@@ -1,0 +1,192 @@
+// F1-S12 / F1-S34: Figure-1 attestation latency.
+//
+// Steps 1-2: host remote attestation (enclave IML report -> QE quote ->
+// IAS round-trip -> AVR verification -> IML appraisal), swept over the
+// size of the IMA measurement list.
+// Steps 3-4: VNF credential-enclave attestation.
+//
+// The SGX crossing cost defaults to the simulator's realistic 2 us; the
+// IAS leg runs over the in-memory network (add LinkOptions latency to
+// model a WAN IAS — see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "testbed.h"
+
+namespace {
+
+using namespace vnfsgx;
+using namespace vnfsgx::examples;
+
+/// Add `n` measured files to a host's IML.
+void grow_iml(SimHost& host, int n) {
+  for (int i = 0; i < n; ++i) {
+    const std::string path = "/opt/pkg/bin/tool" + std::to_string(i);
+    host.machine->filesystem().write_file(
+        path, to_bytes("tool content " + std::to_string(i)),
+        ima::FileMeta{.uid = 0, .executable = true});
+    host.machine->ima().on_exec(path);
+  }
+}
+
+void BM_HostAttestation(benchmark::State& state) {
+  set_log_level(LogLevel::kOff);
+  Testbed bed;
+  SimHost& host = bed.add_host("host-1");
+  grow_iml(host, static_cast<int>(state.range(0)));
+  bed.learn_golden(host);
+
+  for (auto _ : state) {
+    auto channel = bed.agent_channel(host);
+    const core::HostAttestation result = bed.vm.attest_host(*channel);
+    if (!result.trustworthy) state.SkipWithError("attestation failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["iml_entries"] =
+      static_cast<double>(host.machine->ima().list().size());
+}
+BENCHMARK(BM_HostAttestation)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HostAttestationUntrustworthy(benchmark::State& state) {
+  // Detection path: compromised host — same protocol cost, appraisal fails.
+  set_log_level(LogLevel::kOff);
+  Testbed bed;
+  SimHost& host = bed.add_host("host-1");
+  grow_iml(host, 100);
+  bed.learn_golden(host);
+  host.machine->compromise_file("/usr/bin/dockerd");
+
+  for (auto _ : state) {
+    auto channel = bed.agent_channel(host);
+    const core::HostAttestation result = bed.vm.attest_host(*channel);
+    if (result.trustworthy) state.SkipWithError("compromise missed!");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_HostAttestationUntrustworthy)->Unit(benchmark::kMillisecond);
+
+void BM_VnfAttestation(benchmark::State& state) {
+  set_log_level(LogLevel::kOff);
+  Testbed bed;
+  SimHost& host = bed.add_host("host-1");
+
+  std::vector<std::unique_ptr<vnf::Vnf>> vnfs;
+  const int count = static_cast<int>(state.range(0));
+  for (int i = 0; i < count; ++i) {
+    vnfs.push_back(std::make_unique<vnf::Vnf>(
+        "vnf-" + std::to_string(i), *host.machine, bed.vendor.seed,
+        std::make_unique<vnf::MonitorFunction>()));
+    host.agent->register_vnf(*vnfs.back());
+  }
+  bed.learn_golden(host);
+  {
+    auto channel = bed.agent_channel(host);
+    if (!bed.vm.attest_host(*channel).trustworthy) {
+      state.SkipWithError("host attestation failed");
+    }
+  }
+
+  // Each iteration attests every deployed VNF enclave (steps 3-4 x N).
+  for (auto _ : state) {
+    auto channel = bed.agent_channel(host);
+    for (int i = 0; i < count; ++i) {
+      const auto result =
+          bed.vm.attest_vnf(*channel, "vnf-" + std::to_string(i));
+      if (!result.trustworthy) state.SkipWithError("vnf attestation failed");
+    }
+  }
+  state.counters["vnfs"] = count;
+  state.counters["per_vnf_ms"] = benchmark::Counter(
+      static_cast<double>(count) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_VnfAttestation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QuoteGenerationOnly(benchmark::State& state) {
+  // The host-local slice of steps 1-2: IML report ECALL + QE signing,
+  // without the network or IAS.
+  set_log_level(LogLevel::kOff);
+  Testbed bed;
+  SimHost& host = bed.add_host("host-1");
+  grow_iml(host, static_cast<int>(state.range(0)));
+  auto enclave = host.machine->attestation_enclave();
+  const auto qe_target = host.machine->sgx().quoting_enclave().target_info();
+
+  for (auto _ : state) {
+    const Bytes iml = host.machine->ima().list().encode();
+    std::array<std::uint8_t, 32> nonce{};
+    const Bytes report = enclave->call(
+        host::kOpCreateImlReport,
+        host::encode_iml_report_request(nonce, iml, qe_target));
+    const auto quote = host.machine->sgx().quoting_enclave().quote(
+        sgx::Report::decode(report));
+    benchmark::DoNotOptimize(quote);
+  }
+}
+BENCHMARK(BM_QuoteGenerationOnly)
+    ->Arg(10)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HostAttestationWithTpm(benchmark::State& state) {
+  // §4-extension ablation: the same host attestation with the TPM PCR-10
+  // cross-check enabled (one extra Ed25519 verify + aggregate recompute).
+  set_log_level(LogLevel::kOff);
+  Testbed bed;
+  SimHost& host = bed.add_host("host-1");
+  grow_iml(host, static_cast<int>(state.range(0)));
+  bed.learn_golden(host);
+  bed.vm.enroll_platform_aik(host.machine->sgx().platform_id(),
+                             host.machine->tpm().aik_public_key());
+
+  for (auto _ : state) {
+    auto channel = bed.agent_channel(host);
+    const core::HostAttestation result = bed.vm.attest_host(*channel);
+    if (!result.trustworthy || !result.tpm_verified) {
+      state.SkipWithError("TPM-verified attestation failed");
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("tpm-anchored");
+}
+BENCHMARK(BM_HostAttestationWithTpm)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IasVerifyOnly(benchmark::State& state) {
+  // The IAS leg in isolation (HTTP round-trip + quote verify + AVR sign).
+  set_log_level(LogLevel::kOff);
+  Testbed bed;
+  SimHost& host = bed.add_host("host-1");
+  auto enclave = host.machine->attestation_enclave();
+  const auto qe_target = host.machine->sgx().quoting_enclave().target_info();
+  const Bytes iml = host.machine->ima().list().encode();
+  std::array<std::uint8_t, 32> nonce{};
+  const Bytes report = enclave->call(
+      host::kOpCreateImlReport,
+      host::encode_iml_report_request(nonce, iml, qe_target));
+  const Bytes quote = host.machine->sgx()
+                          .quoting_enclave()
+                          .quote(sgx::Report::decode(report))
+                          .encode();
+  ias::IasClient client([&bed] { return bed.net.connect("ias.intel.example:443"); },
+                        bed.ias.report_signing_key());
+
+  for (auto _ : state) {
+    const auto avr = client.verify_quote(quote);
+    benchmark::DoNotOptimize(avr);
+  }
+}
+BENCHMARK(BM_IasVerifyOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// SUB-CRYPTO: throughput/latency of the from-scratch primitives every other
+// experiment sits on. Calibrates the absolute numbers reported by the
+// workflow benches (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "crypto/ed25519.h"
+#include "crypto/gcm.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/random.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+
+namespace vnfsgx::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  DeterministicRandom rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  DeterministicRandom rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  DeterministicRandom rng(3);
+  const AesGcm gcm(rng.bytes(16));
+  const Bytes nonce = rng.bytes(12);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.seal(nonce, data, {}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  DeterministicRandom rng(4);
+  const auto a = x25519_generate(rng);
+  const auto b = x25519_generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519_shared(a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_Ed25519KeyGen(benchmark::State& state) {
+  DeterministicRandom rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_generate(rng));
+  }
+}
+BENCHMARK(BM_Ed25519KeyGen);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  DeterministicRandom rng(6);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_sign(kp.seed, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  DeterministicRandom rng(7);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(256);
+  const auto sig = ed25519_sign(kp.seed, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ed25519_verify(kp.public_key, msg, ByteView(sig.data(), sig.size())));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_HkdfExpandLabel(benchmark::State& state) {
+  DeterministicRandom rng(8);
+  const Bytes secret = rng.bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hkdf_expand_label(secret, "key", {}, 32));
+  }
+}
+BENCHMARK(BM_HkdfExpandLabel);
+
+}  // namespace
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,186 @@
+// S3-MODES: the paper's §3 comparison — Floodlight's three REST security
+// modes (plain HTTP, HTTPS, trusted HTTPS with client authentication).
+//
+// Two series per mode:
+//   * cold: connection setup + one GET (handshake cost dominates TLS modes)
+//   * warm: GET on an established keep-alive connection (crypto per-record
+//     cost only)
+// plus a POST (flow push) series on warm connections.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "testbed.h"
+
+namespace {
+
+using namespace vnfsgx;
+using namespace vnfsgx::examples;
+
+struct ModeBed {
+  Testbed bed;
+  dataplane::Fabric fabric;
+  controller::Controller* ctl = nullptr;
+  pki::TrustStore trust;
+  pki::Certificate client_cert;
+  crypto::Ed25519Seed client_seed;
+  controller::SecurityMode mode;
+
+  explicit ModeBed(controller::SecurityMode m) : mode(m) {
+    set_log_level(LogLevel::kOff);
+    fabric.add_switch(1);
+    ctl = &bed.start_controller(fabric, m);
+    trust.add_root(bed.vm.ca_certificate());
+    const auto kp = crypto::ed25519_generate(bed.rng);
+    client_cert = bed.vm.ca().issue(
+        {"vnf-1", ""}, kp.public_key,
+        static_cast<std::uint8_t>(pki::KeyUsage::kClientAuth), 365 * 24 * 3600);
+    client_seed = kp.seed;
+  }
+
+  net::StreamPtr open_stream() {
+    auto raw = bed.net.connect("controller:8443");
+    if (mode == controller::SecurityMode::kHttp) return raw;
+    tls::Config cfg;
+    cfg.truststore = &trust;
+    cfg.expected_server_name = "controller";
+    cfg.clock = &bed.clock;
+    cfg.rng = &bed.rng;
+    if (mode == controller::SecurityMode::kTrustedHttps) {
+      cfg.certificate = client_cert;
+      cfg.signer = tls::Config::software_signer(client_seed);
+    }
+    return tls::Session::connect(std::move(raw), cfg);
+  }
+};
+
+controller::SecurityMode mode_from_arg(std::int64_t arg) {
+  switch (arg) {
+    case 0:
+      return controller::SecurityMode::kHttp;
+    case 1:
+      return controller::SecurityMode::kHttps;
+    default:
+      return controller::SecurityMode::kTrustedHttps;
+  }
+}
+
+void BM_RestGetColdConnection(benchmark::State& state) {
+  ModeBed m(mode_from_arg(state.range(0)));
+  for (auto _ : state) {
+    http::Client client(m.open_stream());
+    const auto res = client.get("/wm/core/controller/summary/json");
+    if (res.status != 200) state.SkipWithError("bad status");
+    client.close();
+  }
+  state.SetLabel(controller::to_string(m.mode));
+}
+BENCHMARK(BM_RestGetColdConnection)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RestGetWarmConnection(benchmark::State& state) {
+  ModeBed m(mode_from_arg(state.range(0)));
+  http::Client client(m.open_stream());
+  for (auto _ : state) {
+    const auto res = client.get("/wm/core/controller/summary/json");
+    if (res.status != 200) state.SkipWithError("bad status");
+    benchmark::DoNotOptimize(res);
+  }
+  client.close();
+  state.SetLabel(controller::to_string(m.mode));
+}
+BENCHMARK(BM_RestGetWarmConnection)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RestFlowPushWarm(benchmark::State& state) {
+  ModeBed m(mode_from_arg(state.range(0)));
+  http::Client client(m.open_stream());
+  int i = 0;
+  for (auto _ : state) {
+    const auto res = client.post(
+        "/wm/staticflowpusher/json",
+        R"({"name":"f)" + std::to_string(i++ % 64) +
+            R"(","switch":1,"priority":100,"tcp_dst":443,"actions":"drop"})");
+    if (res.status != 200) state.SkipWithError("bad status");
+  }
+  client.close();
+  state.SetLabel(controller::to_string(m.mode));
+}
+BENCHMARK(BM_RestFlowPushWarm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+namespace {
+
+using namespace vnfsgx;
+using namespace vnfsgx::examples;
+
+void BM_RestGetColdWithResumption(benchmark::State& state) {
+  // Trusted HTTPS with session tickets: each "cold" connection resumes the
+  // first session's ticket, amortizing the mutual-auth handshake. Compare
+  // against BM_RestGetColdConnection/2.
+  ModeBed m(controller::SecurityMode::kTrustedHttps);
+  // Rebuild the controller with tickets enabled.
+  controller::ControllerConfig cfg;
+  cfg.mode = controller::SecurityMode::kTrustedHttps;
+  const auto kp = crypto::ed25519_generate(m.bed.rng);
+  cfg.certificate = m.bed.vm.ca().issue(
+      {"controller2", ""}, kp.public_key,
+      static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth), 365 * 24 * 3600);
+  cfg.signer = tls::Config::software_signer(kp.seed);
+  cfg.enable_session_tickets = true;
+  cfg.clock = &m.bed.clock;
+  cfg.rng = &m.bed.rng;
+  static dataplane::Fabric fabric2;
+  controller::Controller ctl(cfg, fabric2);
+  ctl.trust_ca(m.bed.vm.ca_certificate());
+  m.bed.net.serve("controller2:8443",
+                  [&ctl](net::StreamPtr s) { ctl.serve(std::move(s)); });
+
+  auto tls_cfg = [&](const tls::SessionTicket* ticket) {
+    tls::Config c;
+    c.truststore = &m.trust;
+    c.expected_server_name = "controller2";
+    c.clock = &m.bed.clock;
+    c.rng = &m.bed.rng;
+    c.certificate = m.client_cert;
+    c.signer = tls::Config::software_signer(m.client_seed);
+    c.resumption = ticket;
+    return c;
+  };
+
+  // Full handshake to harvest the ticket.
+  tls::SessionTicket ticket;
+  {
+    auto session = tls::Session::connect(m.bed.net.connect("controller2:8443"),
+                                         tls_cfg(nullptr));
+    http::Client client(std::move(session));
+    client.get("/wm/core/controller/summary/json");
+    ticket = *static_cast<tls::Session*>(&client.stream())->session_ticket();
+    client.close();
+  }
+
+  for (auto _ : state) {
+    auto session = tls::Session::connect(m.bed.net.connect("controller2:8443"),
+                                         tls_cfg(&ticket));
+    if (!session->resumed()) state.SkipWithError("did not resume");
+    http::Client client(std::move(session));
+    const auto res = client.get("/wm/core/controller/summary/json");
+    if (res.status != 200) state.SkipWithError("bad status");
+    client.close();
+  }
+  state.SetLabel("TRUSTED_HTTPS+resumption");
+}
+BENCHMARK(BM_RestGetColdWithResumption)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,185 @@
+// F1-S6: the VNF <-> controller secure channel.
+//
+// Handshake latency (server-auth and mutual), and request/response
+// throughput over an established session — both for a plain software TLS
+// endpoint and for the paper's in-enclave termination (compared in detail
+// by bench_enclave_overhead).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "crypto/random.h"
+#include "net/inmemory.h"
+#include "pki/ca.h"
+#include "tls/session.h"
+
+namespace {
+
+using namespace vnfsgx;
+
+struct TlsBed {
+  crypto::DeterministicRandom rng{17};
+  SimClock clock{1'700'000'000};
+  pki::CertificateAuthority ca{{"vm-ca", ""}, rng, clock};
+  pki::TrustStore trust;
+  pki::Certificate server_cert;
+  crypto::Ed25519Seed server_seed;
+  pki::Certificate client_cert;
+  crypto::Ed25519Seed client_seed;
+
+  TlsBed() {
+    trust.add_root(ca.root_certificate());
+    auto skp = crypto::ed25519_generate(rng);
+    server_cert = ca.issue({"controller", ""}, skp.public_key,
+                           static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth),
+                           365 * 24 * 3600);
+    server_seed = skp.seed;
+    auto ckp = crypto::ed25519_generate(rng);
+    client_cert = ca.issue({"vnf-1", ""}, ckp.public_key,
+                           static_cast<std::uint8_t>(pki::KeyUsage::kClientAuth),
+                           365 * 24 * 3600);
+    client_seed = ckp.seed;
+  }
+
+  tls::Config server_config(bool mutual) {
+    tls::Config c;
+    c.certificate = server_cert;
+    c.signer = tls::Config::software_signer(server_seed);
+    c.require_client_certificate = mutual;
+    if (mutual) c.truststore = &trust;
+    c.clock = &clock;
+    c.rng = &rng;
+    return c;
+  }
+
+  tls::Config client_config(bool with_cert) {
+    tls::Config c;
+    if (with_cert) {
+      c.certificate = client_cert;
+      c.signer = tls::Config::software_signer(client_seed);
+    }
+    c.truststore = &trust;
+    c.clock = &clock;
+    c.rng = &rng;
+    return c;
+  }
+};
+
+void BM_TlsHandshake(benchmark::State& state) {
+  const bool mutual = state.range(0) != 0;
+  TlsBed bed;
+  for (auto _ : state) {
+    auto [client_end, server_end] = net::make_pipe();
+    std::thread server([&bed, mutual, s = std::move(server_end)]() mutable {
+      auto session = tls::Session::accept(std::move(s), bed.server_config(mutual));
+      session->close();
+    });
+    auto session =
+        tls::Session::connect(std::move(client_end), bed.client_config(mutual));
+    server.join();
+    benchmark::DoNotOptimize(session);
+  }
+  state.SetLabel(mutual ? "mutual-auth" : "server-auth");
+}
+BENCHMARK(BM_TlsHandshake)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_TlsEchoRoundTrip(benchmark::State& state) {
+  // Request/response of `size` bytes each way over one session.
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  TlsBed bed;
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server([&bed, s = std::move(server_end)]() mutable {
+    auto session = tls::Session::accept(std::move(s), bed.server_config(true));
+    try {
+      while (true) {
+        std::uint8_t len_buf[4];
+        session->read_exact(std::span<std::uint8_t>(len_buf, 4));
+        const std::uint32_t n = read_u32(ByteView(len_buf, 4), 0);
+        const Bytes payload = session->read_exact(n);
+        Bytes reply;
+        append_u32(reply, n);
+        append(reply, payload);
+        session->write(reply);
+      }
+    } catch (const Error&) {
+    }
+  });
+  auto session =
+      tls::Session::connect(std::move(client_end), bed.client_config(true));
+  crypto::DeterministicRandom rng(5);
+  const Bytes payload = rng.bytes(size);
+
+  for (auto _ : state) {
+    Bytes message;
+    append_u32(message, static_cast<std::uint32_t>(size));
+    append(message, payload);
+    session->write(message);
+    std::uint8_t len_buf[4];
+    session->read_exact(std::span<std::uint8_t>(len_buf, 4));
+    const Bytes echoed = session->read_exact(read_u32(ByteView(len_buf, 4), 0));
+    benchmark::DoNotOptimize(echoed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size) * 2);
+  session->close();
+  server.join();
+}
+BENCHMARK(BM_TlsEchoRoundTrip)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+namespace {
+
+using namespace vnfsgx;
+
+void BM_TlsResumedHandshake(benchmark::State& state) {
+  // The "alternative implementation" answer: PSK resumption skips both
+  // certificate exchanges (4 Ed25519 sign/verify pairs) while keeping
+  // ECDHE forward secrecy. Compare against BM_TlsHandshake/1.
+  TlsBed bed;
+  const tls::TicketKey ticket_key = tls::TicketKey::generate(bed.rng);
+
+  // Harvest one ticket via a full handshake + one exchange.
+  tls::SessionTicket ticket;
+  {
+    auto [client_end, server_end] = net::make_pipe();
+    std::thread server([&bed, &ticket_key, s = std::move(server_end)]() mutable {
+      tls::Config cfg = bed.server_config(true);
+      cfg.ticket_key = &ticket_key;
+      auto session = tls::Session::accept(std::move(s), cfg);
+      const Bytes b = session->read_exact(1);
+      session->write(b);
+    });
+    auto session =
+        tls::Session::connect(std::move(client_end), bed.client_config(true));
+    session->write(Bytes{1});
+    session->read_exact(1);
+    server.join();
+    ticket = *session->session_ticket();
+  }
+
+  for (auto _ : state) {
+    auto [client_end, server_end] = net::make_pipe();
+    std::thread server([&bed, &ticket_key, s = std::move(server_end)]() mutable {
+      tls::Config cfg = bed.server_config(true);
+      cfg.ticket_key = &ticket_key;
+      auto session = tls::Session::accept(std::move(s), cfg);
+      session->close();
+    });
+    tls::Config ccfg = bed.client_config(true);
+    ccfg.resumption = &ticket;
+    auto session = tls::Session::connect(std::move(client_end), ccfg);
+    server.join();
+    if (!session->resumed()) state.SkipWithError("fell back to full handshake");
+  }
+  state.SetLabel("resumed (PSK + ECDHE)");
+}
+BENCHMARK(BM_TlsResumedHandshake)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Shared scaffolding for the example programs: spins up the simulated
+// deployment of Figure 1 — an IAS endpoint, a Verification Manager, one or
+// more container hosts with agents, and (optionally) a Floodlight-style
+// controller — all over the in-memory network.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sim_clock.h"
+#include "controller/controller.h"
+#include "core/host_agent.h"
+#include "core/verification_manager.h"
+#include "crypto/random.h"
+#include "http/client.h"
+#include "ias/http_api.h"
+#include "net/framing.h"
+#include "net/inmemory.h"
+#include "vnf/functions.h"
+
+namespace vnfsgx::examples {
+
+inline void banner(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void step(const std::string& text) {
+  std::printf("  -> %s\n", text.c_str());
+}
+
+/// One container host + agent, registered with IAS and served on the
+/// in-memory network at "<name>:7000".
+struct SimHost {
+  std::unique_ptr<host::ContainerHost> machine;
+  std::unique_ptr<core::HostAgent> agent;
+};
+
+class Testbed {
+ public:
+  Testbed()
+      : rng(1),
+        clock(1'700'000'000),
+        ias(rng, clock),
+        ias_router(ias::make_ias_router(ias)),
+        vendor(crypto::ed25519_generate(rng)),
+        vm(rng, clock,
+           ias::IasClient([this] { return net.connect("ias.intel.example:443"); },
+                          ias.report_signing_key())) {
+    net.serve("ias.intel.example:443", [this](net::StreamPtr s) {
+      http::serve_connection(*s, ias_router);
+    });
+  }
+
+  ~Testbed() { net.join_all(); }
+
+  /// Create + boot a host, load its attestation enclave, register the
+  /// platform with IAS (EPID join), and serve its agent.
+  SimHost& add_host(const std::string& name) {
+    sgx::PlatformOptions options;  // default crossing cost: realistic
+    auto machine = std::make_unique<host::ContainerHost>(name, rng, options);
+    machine->boot();
+    machine->load_attestation_enclave(vendor.seed);
+    ias.register_platform(
+        machine->sgx().platform_id(),
+        machine->sgx().quoting_enclave().attestation_public_key());
+    auto agent = std::make_unique<core::HostAgent>(*machine);
+    auto* agent_ptr = agent.get();
+    net.serve(name + ":7000",
+              [agent_ptr](net::StreamPtr s) { agent_ptr->serve(std::move(s)); });
+    // Heap-allocated elements: references returned from here must survive
+    // later add_host calls.
+    hosts.push_back(
+        std::make_unique<SimHost>(SimHost{std::move(machine), std::move(agent)}));
+    return *hosts.back();
+  }
+
+  /// Golden-host enrollment: record a host's current IML as expected.
+  void learn_golden(SimHost& h) { vm.appraisal().learn(h.machine->ima().list()); }
+
+  net::StreamPtr agent_channel(const SimHost& h) {
+    return net.connect(h.machine->name() + ":7000");
+  }
+
+  /// Start a controller in the given mode at "controller:8443"; returns it.
+  controller::Controller& start_controller(dataplane::Fabric& fabric,
+                                           controller::SecurityMode mode) {
+    controller::ControllerConfig cfg;
+    cfg.mode = mode;
+    if (mode != controller::SecurityMode::kHttp) {
+      const auto kp = crypto::ed25519_generate(rng);
+      cfg.certificate = vm.ca().issue(
+          {"controller", "vnfsgx"}, kp.public_key,
+          static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth),
+          /*validity=*/365 * 24 * 3600);
+      cfg.signer = tls::Config::software_signer(kp.seed);
+    }
+    cfg.clock = &clock;
+    cfg.rng = &rng;
+    controller_ = std::make_unique<controller::Controller>(cfg, fabric);
+    if (mode == controller::SecurityMode::kTrustedHttps) {
+      controller_->trust_ca(vm.ca_certificate());
+    }
+    auto* c = controller_.get();
+    net.serve("controller:8443",
+              [c](net::StreamPtr s) { c->serve(std::move(s)); });
+    return *controller_;
+  }
+
+  crypto::DeterministicRandom rng;
+  SimClock clock;
+  net::InMemoryNetwork net;
+  ias::IasService ias;
+  http::Router ias_router;
+  crypto::Ed25519KeyPair vendor;
+  core::VerificationManager vm;
+  std::vector<std::unique_ptr<SimHost>> hosts;
+  std::unique_ptr<controller::Controller> controller_;
+};
+
+}  // namespace vnfsgx::examples

@@ -1,0 +1,91 @@
+#include "common/base64.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace vnfsgx {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> make_reverse_table() {
+  std::array<int, 256> t{};
+  t.fill(-1);
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(kAlphabet[i])] = i;
+  return t;
+}
+}  // namespace
+
+std::string base64_encode(ByteView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view text) {
+  static const std::array<int, 256> kReverse = make_reverse_table();
+  if (text.size() % 4 != 0) {
+    throw std::invalid_argument("base64_decode: length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) {
+          throw std::invalid_argument("base64_decode: misplaced padding");
+        }
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) {
+          throw std::invalid_argument("base64_decode: data after padding");
+        }
+        const int v = kReverse[static_cast<unsigned char>(c)];
+        if (v < 0) {
+          throw std::invalid_argument("base64_decode: invalid character");
+        }
+        vals[j] = v;
+      }
+    }
+    const std::uint32_t n = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                            (static_cast<std::uint32_t>(vals[1]) << 12) |
+                            (static_cast<std::uint32_t>(vals[2]) << 6) |
+                            static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n));
+  }
+  return out;
+}
+
+}  // namespace vnfsgx

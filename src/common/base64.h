@@ -1,0 +1,18 @@
+// Base64 (RFC 4648) encoding, used for quotes and IAS report bodies,
+// mirroring how the real IAS API transports binary blobs in JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace vnfsgx {
+
+/// Standard base64 with padding.
+std::string base64_encode(ByteView data);
+
+/// Decode standard base64. Throws std::invalid_argument on malformed input.
+Bytes base64_decode(std::string_view text);
+
+}  // namespace vnfsgx

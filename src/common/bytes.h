@@ -1,0 +1,116 @@
+// Byte-buffer utilities shared by every module.
+//
+// The whole codebase passes binary data as `Bytes` (owning) or
+// `ByteView` (non-owning, std::span). Helpers here cover the operations
+// protocol code needs constantly: concatenation, big-endian integer
+// packing, and comparison.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vnfsgx {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Build a Bytes from a string's raw characters (no encoding applied).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interpret a byte buffer as text (no validation applied).
+inline std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline void append(Bytes& dst, std::string_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline void append_u8(Bytes& dst, std::uint8_t v) { dst.push_back(v); }
+
+/// Append a big-endian 16-bit integer.
+inline void append_u16(Bytes& dst, std::uint16_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Append a big-endian 24-bit integer (TLS length fields).
+inline void append_u24(Bytes& dst, std::uint32_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 16));
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Append a big-endian 32-bit integer.
+inline void append_u32(Bytes& dst, std::uint32_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 24));
+  dst.push_back(static_cast<std::uint8_t>(v >> 16));
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Append a big-endian 64-bit integer.
+inline void append_u64(Bytes& dst, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+inline std::uint16_t read_u16(ByteView b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+inline std::uint32_t read_u24(ByteView b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) | b[off + 2];
+}
+
+inline std::uint32_t read_u32(ByteView b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) | b[off + 3];
+}
+
+inline std::uint64_t read_u64(ByteView b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | b[off + i];
+  return v;
+}
+
+/// Concatenate any number of byte views.
+inline Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (auto p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (auto p : parts) append(out, p);
+  return out;
+}
+
+/// Value equality (NOT constant time; use crypto::ct_equal for secrets).
+inline bool equal(ByteView a, ByteView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+/// Overwrite a buffer with zeros. Best-effort scrubbing of key material;
+/// uses volatile writes so the store is not elided.
+inline void secure_wipe(Bytes& b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+}  // namespace vnfsgx

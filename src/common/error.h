@@ -1,0 +1,52 @@
+// Error hierarchy. Exceptions are used for contract violations and protocol
+// failures (per the Core Guidelines: errors that cannot be handled locally).
+// Expected verification outcomes (attestation fails, certificate invalid)
+// are returned as values — see the per-module *Result types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vnfsgx {
+
+/// Root of all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed wire data (truncated/overlong/invalid encodings).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// A protocol peer violated the state machine or sent an illegal message.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol: " + what) {}
+};
+
+/// Cryptographic operation failed (bad key size, authentication failure
+/// surfaced where the caller cannot continue).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Violation of the simulated hardware security boundary (EPC access from
+/// untrusted code, mutating an initialized enclave, ...).
+class SecurityViolation : public Error {
+ public:
+  explicit SecurityViolation(const std::string& what)
+      : Error("security violation: " + what) {}
+};
+
+/// I/O failure on a transport (peer closed, socket error).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+}  // namespace vnfsgx

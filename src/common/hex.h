@@ -1,0 +1,18 @@
+// Hexadecimal encoding/decoding for digests, identifiers and test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace vnfsgx {
+
+/// Lowercase hex encoding of a byte buffer.
+std::string to_hex(ByteView data);
+
+/// Decode a hex string (case-insensitive). Throws std::invalid_argument on
+/// odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace vnfsgx

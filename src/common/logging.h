@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Components log lifecycle events (attestation started/succeeded, TLS
+// handshake complete, ...) so examples narrate the Figure-1 workflow.
+// Quiet by default in tests/benches; examples raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vnfsgx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr: "[level] component: message".
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_line(level, component, os.str());
+}
+
+#define VNFSGX_LOG_DEBUG(component, ...) \
+  ::vnfsgx::log(::vnfsgx::LogLevel::kDebug, component, __VA_ARGS__)
+#define VNFSGX_LOG_INFO(component, ...) \
+  ::vnfsgx::log(::vnfsgx::LogLevel::kInfo, component, __VA_ARGS__)
+#define VNFSGX_LOG_WARN(component, ...) \
+  ::vnfsgx::log(::vnfsgx::LogLevel::kWarn, component, __VA_ARGS__)
+#define VNFSGX_LOG_ERROR(component, ...) \
+  ::vnfsgx::log(::vnfsgx::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace vnfsgx

@@ -1,0 +1,16 @@
+#include "common/sim_clock.h"
+
+namespace vnfsgx {
+
+UnixTime SystemClock::now() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const SystemClock& SystemClock::instance() {
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace vnfsgx

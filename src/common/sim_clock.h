@@ -1,0 +1,49 @@
+// Simulation clock.
+//
+// Certificates, attestation reports and revocation lists all carry
+// timestamps. Tests must be able to fast-forward time (e.g. to expire a
+// certificate) without sleeping, so every component takes its time from a
+// Clock interface. `SystemClock` delegates to the wall clock; `SimClock`
+// is a manually-advanced clock for tests and deterministic benchmarks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace vnfsgx {
+
+/// Seconds since the Unix epoch. Plain integer so it serializes trivially.
+using UnixTime = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual UnixTime now() const = 0;
+};
+
+/// Wall-clock time.
+class SystemClock final : public Clock {
+ public:
+  UnixTime now() const override;
+  /// Process-wide instance for components that were not handed a clock.
+  static const SystemClock& instance();
+};
+
+/// Manually advanced clock; thread-safe.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(UnixTime start = 1'700'000'000) : now_(start) {}
+
+  UnixTime now() const override { return now_.load(std::memory_order_relaxed); }
+
+  void advance(std::int64_t seconds) {
+    now_.fetch_add(seconds, std::memory_order_relaxed);
+  }
+  void set(UnixTime t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<UnixTime> now_;
+};
+
+}  // namespace vnfsgx

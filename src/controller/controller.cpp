@@ -1,0 +1,311 @@
+#include "controller/controller.h"
+
+#include "common/logging.h"
+#include "json/json.h"
+
+namespace vnfsgx::controller {
+
+namespace {
+
+/// Parse the staticflowpusher match/action fields shared by push & delete.
+dataplane::FlowEntry flow_from_json(const json::Value& body) {
+  dataplane::FlowEntry entry;
+  entry.name = body.at("name").as_string();
+  entry.priority = static_cast<int>(
+      body.get_or("priority", json::Value(0)).as_number());
+  if (body.contains("ipv4_src")) {
+    entry.match.src_ip = dataplane::ipv4(body.at("ipv4_src").as_string());
+  }
+  if (body.contains("ipv4_dst")) {
+    entry.match.dst_ip = dataplane::ipv4(body.at("ipv4_dst").as_string());
+  }
+  if (body.contains("tcp_dst")) {
+    entry.match.dst_port =
+        static_cast<std::uint16_t>(body.at("tcp_dst").as_number());
+    entry.match.proto = dataplane::IpProto::kTcp;
+  }
+  if (body.contains("tcp_src")) {
+    entry.match.src_port =
+        static_cast<std::uint16_t>(body.at("tcp_src").as_number());
+    entry.match.proto = dataplane::IpProto::kTcp;
+  }
+  if (body.contains("in_port")) {
+    entry.match.in_port =
+        static_cast<std::uint16_t>(body.at("in_port").as_number());
+  }
+
+  const std::string action =
+      body.get_or("actions", json::Value("drop")).as_string();
+  if (action.rfind("output=", 0) == 0) {
+    entry.action = dataplane::Action::forward(
+        static_cast<std::uint16_t>(std::stoul(action.substr(7))));
+  } else if (action == "drop") {
+    entry.action = dataplane::Action::drop();
+  } else if (action == "controller") {
+    entry.action = dataplane::Action::to_controller();
+  } else {
+    throw ParseError("staticflowpusher: unknown action '" + action + "'");
+  }
+  return entry;
+}
+
+std::uint64_t dpid_from_json(const json::Value& body) {
+  return static_cast<std::uint64_t>(body.at("switch").as_number());
+}
+
+}  // namespace
+
+std::string to_string(SecurityMode mode) {
+  switch (mode) {
+    case SecurityMode::kHttp:
+      return "HTTP";
+    case SecurityMode::kHttps:
+      return "HTTPS";
+    case SecurityMode::kTrustedHttps:
+      return "TRUSTED_HTTPS";
+  }
+  return "?";
+}
+
+Controller::Controller(ControllerConfig config, dataplane::Fabric& fabric)
+    : config_(std::move(config)), fabric_(fabric) {
+  if (config_.mode != SecurityMode::kHttp) {
+    if (!config_.certificate || !config_.signer || !config_.clock ||
+        !config_.rng) {
+      throw Error("controller: TLS modes require certificate/signer/clock/rng");
+    }
+    if (config_.enable_session_tickets) {
+      ticket_key_ = tls::TicketKey::generate(*config_.rng);
+    }
+  }
+  build_router();
+}
+
+void Controller::trust_ca(const pki::Certificate& ca_root) {
+  truststore_.add_root(ca_root);
+  ca_trusted_ = true;
+  VNFSGX_LOG_INFO("controller", config_.name, ": trusting CA '",
+                  ca_root.subject.common_name, "'");
+}
+
+void Controller::update_crl(const pki::RevocationList& crl) {
+  truststore_.set_crl(crl);
+}
+
+void Controller::serve(net::StreamPtr stream) {
+  http::RequestContext ctx;
+  try {
+    if (config_.mode == SecurityMode::kHttp) {
+      http::serve_connection(*stream, router_, ctx);
+      return;
+    }
+    tls::Config tls_config;
+    tls_config.certificate = config_.certificate;
+    tls_config.signer = config_.signer;
+    tls_config.clock = config_.clock;
+    tls_config.rng = config_.rng;
+    if (config_.enable_session_tickets) {
+      tls_config.ticket_key = &ticket_key_;
+      tls_config.ticket_lifetime_seconds = config_.ticket_lifetime_seconds;
+    }
+    if (config_.mode == SecurityMode::kTrustedHttps) {
+      if (!ca_trusted_) {
+        throw Error("controller: trusted HTTPS mode requires trust_ca()");
+      }
+      tls_config.require_client_certificate = true;
+      tls_config.truststore = &truststore_;
+    }
+    auto session = tls::Session::accept(std::move(stream), tls_config);
+    ctx.client_identity = session->peer_identity();
+    http::serve_connection(*session, router_, ctx);
+  } catch (const Error& e) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    VNFSGX_LOG_WARN("controller", config_.name,
+                    ": connection rejected: ", e.what());
+  }
+}
+
+bool Controller::authorize_write(const http::RequestContext& ctx) const {
+  // In trusted-HTTPS mode write access requires an authenticated client;
+  // the weaker modes accept anonymous writes — the exposure the paper's
+  // threat model calls out.
+  if (config_.mode != SecurityMode::kTrustedHttps) return true;
+  return !ctx.client_identity.empty();
+}
+
+void Controller::audit(const http::RequestContext& ctx,
+                       const http::Request& req, int status) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  audit_log_.push_back(AuditRecord{ctx.client_identity, req.method,
+                                   req.path(), status});
+}
+
+std::vector<AuditRecord> Controller::audit_log() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return audit_log_;
+}
+
+void Controller::build_router() {
+  router_.add("GET", "/wm/core/controller/summary/json",
+              [this](const http::Request& r, const http::RequestContext& c) {
+                return handle_summary(r, c);
+              });
+  router_.add("GET", "/wm/core/controller/switches/json",
+              [this](const http::Request& r, const http::RequestContext& c) {
+                return handle_switches(r, c);
+              });
+  router_.add("GET", "/wm/topology/links/json",
+              [this](const http::Request& r, const http::RequestContext& c) {
+                return handle_links(r, c);
+              });
+  router_.add("POST", "/wm/staticflowpusher/json",
+              [this](const http::Request& r, const http::RequestContext& c) {
+                return handle_push_flow(r, c);
+              });
+  router_.add("DELETE", "/wm/staticflowpusher/json",
+              [this](const http::Request& r, const http::RequestContext& c) {
+                return handle_delete_flow(r, c);
+              });
+  router_.add("GET", "/wm/staticflowpusher/list/*",
+              [this](const http::Request& r, const http::RequestContext& c) {
+                return handle_list_flows(r, c);
+              });
+}
+
+http::Response Controller::handle_summary(const http::Request& req,
+                                          const http::RequestContext& ctx) {
+  json::Object body;
+  body["controller"] = config_.name;
+  body["securityMode"] = to_string(config_.mode);
+  {
+    const std::lock_guard<std::mutex> lock(fabric_mutex_);
+    body["numSwitches"] = fabric_.switches().size();
+    body["numLinks"] = fabric_.links().size();
+  }
+  body["requestsServed"] = static_cast<std::uint64_t>(requests_.load());
+  const http::Response res =
+      http::Response::json(200, json::serialize(json::Value(std::move(body))));
+  audit(ctx, req, res.status);
+  return res;
+}
+
+http::Response Controller::handle_switches(const http::Request& req,
+                                           const http::RequestContext& ctx) {
+  json::Array switches;
+  const std::lock_guard<std::mutex> lock(fabric_mutex_);
+  for (const auto& [dpid, sw] : fabric_.switches()) {
+    json::Object entry;
+    entry["switchDPID"] = sw->dpid_string();
+    entry["flowCount"] = sw->flows().size();
+    switches.push_back(json::Value(std::move(entry)));
+  }
+  const http::Response res =
+      http::Response::json(200, json::serialize(json::Value(std::move(switches))));
+  audit(ctx, req, res.status);
+  return res;
+}
+
+http::Response Controller::handle_links(const http::Request& req,
+                                        const http::RequestContext& ctx) {
+  json::Array links;
+  const std::lock_guard<std::mutex> lock(fabric_mutex_);
+  for (const auto& [a, b] : fabric_.links()) {
+    json::Object entry;
+    entry["src-switch"] = a.dpid;
+    entry["src-port"] = a.port;
+    entry["dst-switch"] = b.dpid;
+    entry["dst-port"] = b.port;
+    links.push_back(json::Value(std::move(entry)));
+  }
+  const http::Response res =
+      http::Response::json(200, json::serialize(json::Value(std::move(links))));
+  audit(ctx, req, res.status);
+  return res;
+}
+
+http::Response Controller::handle_push_flow(const http::Request& req,
+                                            const http::RequestContext& ctx) {
+  if (!authorize_write(ctx)) {
+    const auto res = http::Response::error(403, "client authentication required");
+    audit(ctx, req, res.status);
+    return res;
+  }
+  http::Response res;
+  try {
+    const json::Value body = json::parse(vnfsgx::to_string(req.body));
+    const std::uint64_t dpid = dpid_from_json(body);
+    const std::lock_guard<std::mutex> lock(fabric_mutex_);
+    dataplane::Switch* sw = fabric_.find_switch(dpid);
+    if (!sw) {
+      res = http::Response::error(404, "unknown switch");
+    } else {
+      sw->add_flow(flow_from_json(body));
+      res = http::Response::json(200, R"({"status":"Entry pushed"})");
+    }
+  } catch (const std::exception& e) {
+    res = http::Response::error(400, "bad flow definition");
+  }
+  audit(ctx, req, res.status);
+  return res;
+}
+
+http::Response Controller::handle_delete_flow(const http::Request& req,
+                                              const http::RequestContext& ctx) {
+  if (!authorize_write(ctx)) {
+    const auto res = http::Response::error(403, "client authentication required");
+    audit(ctx, req, res.status);
+    return res;
+  }
+  http::Response res;
+  try {
+    const json::Value body = json::parse(vnfsgx::to_string(req.body));
+    const std::lock_guard<std::mutex> lock(fabric_mutex_);
+    dataplane::Switch* sw = fabric_.find_switch(dpid_from_json(body));
+    if (!sw || !sw->remove_flow(body.at("name").as_string())) {
+      res = http::Response::error(404, "no such flow");
+    } else {
+      res = http::Response::json(200, R"({"status":"Entry deleted"})");
+    }
+  } catch (const std::exception&) {
+    res = http::Response::error(400, "bad request");
+  }
+  audit(ctx, req, res.status);
+  return res;
+}
+
+http::Response Controller::handle_list_flows(const http::Request& req,
+                                             const http::RequestContext& ctx) {
+  // Path: /wm/staticflowpusher/list/<dpid>/json
+  const std::string path = req.path();
+  const std::string prefix = "/wm/staticflowpusher/list/";
+  http::Response res;
+  try {
+    std::string rest = path.substr(prefix.size());
+    const auto slash = rest.find('/');
+    const std::uint64_t dpid = std::stoull(rest.substr(0, slash));
+    const std::lock_guard<std::mutex> lock(fabric_mutex_);
+    dataplane::Switch* sw = fabric_.find_switch(dpid);
+    if (!sw) {
+      res = http::Response::error(404, "unknown switch");
+    } else {
+      json::Array flows;
+      for (const auto& flow : sw->flows()) {
+        json::Object entry;
+        entry["name"] = flow.name;
+        entry["priority"] = flow.priority;
+        entry["packetCount"] = flow.packet_count;
+        entry["byteCount"] = flow.byte_count;
+        flows.push_back(json::Value(std::move(entry)));
+      }
+      res = http::Response::json(
+          200, json::serialize(json::Value(std::move(flows))));
+    }
+  } catch (const std::exception&) {
+    res = http::Response::error(400, "bad switch id");
+  }
+  audit(ctx, req, res.status);
+  return res;
+}
+
+}  // namespace vnfsgx::controller

@@ -1,0 +1,112 @@
+// Floodlight-like SDN controller.
+//
+// North-bound REST API (a faithful subset of Floodlight v1.2's resources)
+// served in the three security modes the paper's §3 names:
+//   * kHttp         — plain HTTP, no confidentiality or authentication,
+//   * kHttps        — TLS with server authentication only,
+//   * kTrustedHttps — TLS with client authentication ("trusted HTTPS").
+// In trusted mode the controller validates client certificates against the
+// Verification Manager's CA (and CRL) instead of keeping per-client keys in
+// its keystore — the §3 key-management insight.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "dataplane/fabric.h"
+#include "http/server.h"
+#include "pki/truststore.h"
+#include "tls/session.h"
+
+namespace vnfsgx::controller {
+
+enum class SecurityMode { kHttp, kHttps, kTrustedHttps };
+
+std::string to_string(SecurityMode mode);
+
+struct ControllerConfig {
+  std::string name = "floodlight";
+  SecurityMode mode = SecurityMode::kTrustedHttps;
+
+  /// Server identity (required for the TLS modes).
+  std::optional<pki::Certificate> certificate;
+  tls::SignFunction signer;
+
+  /// Issue TLS session tickets so returning clients resume without the
+  /// certificate exchange (revoked credentials still cannot resume — the
+  /// CRL is re-checked). Amortizes the trusted-HTTPS handshake cost.
+  bool enable_session_tickets = false;
+  std::int64_t ticket_lifetime_seconds = 600;
+
+  const Clock* clock = nullptr;
+  crypto::RandomSource* rng = nullptr;
+};
+
+struct AuditRecord {
+  std::string identity;  // authenticated client CN, empty if anonymous
+  std::string method;
+  std::string path;
+  int status = 0;
+};
+
+class Controller {
+ public:
+  Controller(ControllerConfig config, dataplane::Fabric& fabric);
+
+  /// Trust the Verification Manager's CA for client authentication
+  /// (replaces Floodlight's per-client keystore maintenance).
+  void trust_ca(const pki::Certificate& ca_root);
+
+  /// Install/refresh the CA's revocation list.
+  void update_crl(const pki::RevocationList& crl);
+
+  /// Serve one connection end-to-end according to the security mode.
+  /// TLS failures (bad client cert in trusted mode, etc.) terminate the
+  /// connection without serving any request.
+  void serve(net::StreamPtr stream);
+
+  const http::Router& router() const { return router_; }
+  SecurityMode mode() const { return config_.mode; }
+
+  /// Observability for tests/benches.
+  std::vector<AuditRecord> audit_log() const;
+  std::uint64_t requests_served() const { return requests_.load(); }
+  std::uint64_t rejected_connections() const { return rejected_.load(); }
+
+ private:
+  void build_router();
+  http::Response handle_summary(const http::Request&,
+                                const http::RequestContext&);
+  http::Response handle_switches(const http::Request&,
+                                 const http::RequestContext&);
+  http::Response handle_links(const http::Request&,
+                              const http::RequestContext&);
+  http::Response handle_push_flow(const http::Request&,
+                                  const http::RequestContext&);
+  http::Response handle_delete_flow(const http::Request&,
+                                    const http::RequestContext&);
+  http::Response handle_list_flows(const http::Request&,
+                                   const http::RequestContext&);
+  void audit(const http::RequestContext& ctx, const http::Request& req,
+             int status);
+  bool authorize_write(const http::RequestContext& ctx) const;
+
+  ControllerConfig config_;
+  dataplane::Fabric& fabric_;
+  /// Handlers run on per-connection threads; all fabric access serializes.
+  mutable std::mutex fabric_mutex_;
+  pki::TrustStore truststore_;
+  tls::TicketKey ticket_key_;
+  bool ca_trusted_ = false;
+  http::Router router_;
+  mutable std::mutex mutex_;
+  std::vector<AuditRecord> audit_log_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace vnfsgx::controller

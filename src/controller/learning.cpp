@@ -1,0 +1,38 @@
+#include "controller/learning.h"
+
+namespace vnfsgx::controller {
+
+int LearningService::process_packet_ins() {
+  int installed = 0;
+  for (const auto& [dpid, sw] : fabric_.switches()) {
+    while (auto packet_in = sw->pop_packet_in()) {
+      ++handled_;
+      auto& table = tables_[dpid];
+      // Learn where the source lives.
+      if (packet_in->packet.src_mac != 0) {
+        table[packet_in->packet.src_mac] = packet_in->in_port;
+      }
+      // If the destination is known, install a forwarding flow so the
+      // data plane handles the rest of this conversation.
+      const auto dst = table.find(packet_in->packet.dst_mac);
+      if (dst == table.end()) continue;  // flood (no-op in the simulator)
+      dataplane::FlowEntry entry;
+      entry.name = "learned-" + std::to_string(++flow_counter_);
+      entry.priority = 10;  // below operator-pushed static flows
+      entry.match.dst_mac = packet_in->packet.dst_mac;
+      entry.action = dataplane::Action::forward(dst->second);
+      sw->add_flow(entry);
+      ++installed;
+    }
+  }
+  return installed;
+}
+
+const std::map<std::uint64_t, std::uint16_t>& LearningService::mac_table(
+    std::uint64_t dpid) const {
+  static const std::map<std::uint64_t, std::uint16_t> kEmpty;
+  const auto it = tables_.find(dpid);
+  return it == tables_.end() ? kEmpty : it->second;
+}
+
+}  // namespace vnfsgx::controller

@@ -1,0 +1,36 @@
+// Reactive forwarding (Floodlight's Forwarding/LearningSwitch module):
+// consumes packet-ins from the switches, learns MAC locations, and installs
+// destination-based forwarding flows so subsequent packets are handled in
+// the data plane.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dataplane/fabric.h"
+
+namespace vnfsgx::controller {
+
+class LearningService {
+ public:
+  explicit LearningService(dataplane::Fabric& fabric) : fabric_(fabric) {}
+
+  /// Drain every switch's packet-in queue once. Returns the number of
+  /// flows installed this round.
+  int process_packet_ins();
+
+  /// Learned MAC table for one switch (mac -> port).
+  const std::map<std::uint64_t, std::uint16_t>& mac_table(
+      std::uint64_t dpid) const;
+
+  std::uint64_t packet_ins_handled() const { return handled_; }
+
+ private:
+  dataplane::Fabric& fabric_;
+  // Per-switch MAC learning tables.
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint16_t>> tables_;
+  std::uint64_t handled_ = 0;
+  std::uint64_t flow_counter_ = 0;
+};
+
+}  // namespace vnfsgx::controller

@@ -1,0 +1,38 @@
+// Untrusted agent running on the container host: answers the Verification
+// Manager's attestation protocol by driving the local enclaves and the
+// Quoting Enclave, and installs provisioned credentials into VNF enclaves.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "core/protocol.h"
+#include "host/container_host.h"
+#include "net/stream.h"
+#include "vnf/vnf.h"
+
+namespace vnfsgx::core {
+
+class HostAgent {
+ public:
+  explicit HostAgent(host::ContainerHost& host) : host_(host) {}
+
+  /// Make a VNF's credential enclave reachable for attestation and
+  /// provisioning under its name.
+  void register_vnf(vnf::Vnf& vnf);
+
+  /// Serve request/response frames on one connection until EOF.
+  void serve(net::StreamPtr stream);
+
+ private:
+  Bytes handle(ByteView request);
+  Bytes handle_attest_host(const AttestHostRequest& request);
+  Bytes handle_attest_vnf(const AttestVnfRequest& request);
+  Bytes handle_provision(const ProvisionRequest& request);
+
+  host::ContainerHost& host_;
+  std::mutex mutex_;
+  std::map<std::string, vnf::Vnf*> vnfs_;
+};
+
+}  // namespace vnfsgx::core

@@ -1,0 +1,86 @@
+// Wire protocol between the Verification Manager and the container-host
+// agent (the numbered arrows of Figure 1, minus the IAS leg which is HTTP).
+//
+// Frames (net::write_frame) carrying TLV messages. The host agent answers
+// attestation requests for the host itself (integrity attestation enclave +
+// IML) and for each registered VNF credential enclave, and accepts
+// credential provisioning for attested VNFs.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/bytes.h"
+#include "pki/certificate.h"
+#include "sgx/structs.h"
+
+namespace vnfsgx::core {
+
+using Nonce = std::array<std::uint8_t, 32>;
+
+enum class MessageType : std::uint8_t {
+  kAttestHostRequest = 1,
+  kAttestHostResponse = 2,
+  kAttestVnfRequest = 3,
+  kAttestVnfResponse = 4,
+  kProvisionRequest = 5,
+  kProvisionResponse = 6,
+  kError = 7,
+};
+
+struct AttestHostRequest {
+  Nonce nonce{};
+};
+
+struct AttestHostResponse {
+  Bytes quote;      // encoded sgx::Quote
+  Bytes iml;        // encoded ima::MeasurementList
+  /// Optional ima::TpmQuote over PCR 10 bound to the same nonce (the §4
+  /// hardware-root-of-trust extension); empty when the host has no TPM.
+  Bytes tpm_quote;
+};
+
+struct AttestVnfRequest {
+  std::string vnf_name;
+  Nonce nonce{};
+};
+
+struct AttestVnfResponse {
+  Bytes quote;                           // encoded sgx::Quote
+  crypto::Ed25519PublicKey public_key{}; // enclave-held credential key
+};
+
+struct ProvisionRequest {
+  std::string vnf_name;
+  Bytes certificate;  // encoded pki::Certificate
+};
+
+struct ProvisionResponse {
+  bool ok = false;
+  std::string detail;
+};
+
+struct ErrorMessage {
+  std::string what;
+};
+
+/// Encoded message = u8 type || TLV body.
+Bytes encode(const AttestHostRequest&);
+Bytes encode(const AttestHostResponse&);
+Bytes encode(const AttestVnfRequest&);
+Bytes encode(const AttestVnfResponse&);
+Bytes encode(const ProvisionRequest&);
+Bytes encode(const ProvisionResponse&);
+Bytes encode(const ErrorMessage&);
+
+MessageType peek_type(ByteView message);
+
+AttestHostRequest decode_attest_host_request(ByteView message);
+AttestHostResponse decode_attest_host_response(ByteView message);
+AttestVnfRequest decode_attest_vnf_request(ByteView message);
+AttestVnfResponse decode_attest_vnf_response(ByteView message);
+ProvisionRequest decode_provision_request(ByteView message);
+ProvisionResponse decode_provision_response(ByteView message);
+ErrorMessage decode_error(ByteView message);
+
+}  // namespace vnfsgx::core

@@ -1,0 +1,289 @@
+#include "core/verification_manager.h"
+
+#include "common/logging.h"
+#include "crypto/ct.h"
+#include "ima/tpm.h"
+#include "net/framing.h"
+
+namespace vnfsgx::core {
+
+VerificationManager::VerificationManager(crypto::RandomSource& rng,
+                                         const Clock& clock,
+                                         ias::IasClient ias, VmOptions options)
+    : rng_(rng),
+      clock_(clock),
+      ias_(std::move(ias)),
+      options_(std::move(options)),
+      ca_(options_.ca_name, rng, clock) {
+  // The two enclave identities the system ships are trusted out of the box;
+  // operators may allow additional measurements via appraisal().
+  appraisal_.allow_enclave(host::attestation_enclave_measurement());
+  appraisal_.allow_enclave(vnf::credential_enclave_measurement());
+}
+
+Bytes VerificationManager::rpc(net::Stream& channel, const Bytes& request) {
+  net::write_frame(channel, request);
+  return net::read_frame(channel);
+}
+
+Nonce VerificationManager::fresh_nonce() {
+  Nonce nonce;
+  rng_.fill(nonce);
+  return nonce;
+}
+
+HostAttestation VerificationManager::attest_host(net::Stream& channel) {
+  HostAttestation result;
+
+  // Step 1: challenge the host's integrity attestation enclave.
+  AttestHostRequest request;
+  request.nonce = fresh_nonce();
+  const Bytes raw = rpc(channel, encode(request));
+  if (peek_type(raw) == MessageType::kError) {
+    result.reason = "host error: " + decode_error(raw).what;
+    return result;
+  }
+  const AttestHostResponse response = decode_attest_host_response(raw);
+
+  // Step 2: verify the quote with the IAS.
+  const ias::VerificationReport avr = ias_.verify_quote(response.quote);
+  result.quote_status = avr.status();
+  if (result.quote_status != ias::QuoteStatus::kOk) {
+    result.reason = "IAS rejected quote: " + ias::to_string(result.quote_status);
+    return result;
+  }
+  const sgx::ReportBody quoted = avr.quoted_enclave();
+  result.platform_id = avr.platform_id();
+
+  // The quote must come from the known integrity attestation enclave...
+  if (!appraisal_.enclave_allowed(quoted.mr_enclave) ||
+      quoted.mr_enclave != host::attestation_enclave_measurement()) {
+    result.reason = "quote from unrecognized enclave";
+    return result;
+  }
+  // ...and bind this nonce and exactly this IML.
+  const sgx::ReportData expected =
+      host::iml_report_data(request.nonce, response.iml);
+  if (!crypto::ct_equal(ByteView(expected.data(), expected.size()),
+                        ByteView(quoted.report_data.data(),
+                                 quoted.report_data.size()))) {
+    result.reason = "report data does not bind nonce+IML (replay?)";
+    return result;
+  }
+
+  // Appraise the measurement list.
+  const ima::MeasurementList iml = ima::MeasurementList::decode(response.iml);
+  result.iml_entries = iml.size();
+
+  // §4 extension: when this platform has an enrolled AIK, require an
+  // authenticated TPM quote and cross-check the IML aggregate against
+  // PCR 10. A root attacker who sanitized the IML before the enclave bound
+  // it produces an aggregate that no longer matches the hardware PCR.
+  std::optional<crypto::Ed25519PublicKey> aik;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = platform_aiks_.find(result.platform_id);
+    if (it != platform_aiks_.end()) aik = it->second;
+  }
+  if (aik) {
+    if (response.tpm_quote.empty()) {
+      result.reason = "TPM quote required but absent";
+      return result;
+    }
+    ima::TpmQuote tpm_quote;
+    try {
+      tpm_quote = ima::TpmQuote::decode(response.tpm_quote);
+    } catch (const ParseError&) {
+      result.reason = "TPM quote undecodable";
+      return result;
+    }
+    if (!tpm_quote.verify(*aik)) {
+      result.reason = "TPM quote signature invalid";
+      return result;
+    }
+    if (tpm_quote.nonce != request.nonce) {
+      result.reason = "TPM quote nonce mismatch (replay?)";
+      return result;
+    }
+    if (tpm_quote.pcr_index != ima::kImaPcrIndex ||
+        tpm_quote.pcr_value != iml.aggregate()) {
+      result.reason = "IML does not match TPM PCR-10 (IML tampered on host)";
+      return result;
+    }
+    result.tpm_verified = true;
+  }
+
+  result.appraisal = appraisal_.appraise(iml);
+  if (!result.appraisal.trustworthy) {
+    result.reason = "IML appraisal failed: " + result.appraisal.reason;
+    return result;
+  }
+
+  result.trustworthy = true;
+  result.reason = "host attested";
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trusted_platforms_.insert(result.platform_id);
+    ++hosts_attested_;
+  }
+  VNFSGX_LOG_INFO("vm", "host attested, IML entries: ", result.iml_entries);
+  return result;
+}
+
+VnfAttestation VerificationManager::attest_vnf(net::Stream& channel,
+                                               const std::string& vnf_name) {
+  VnfAttestation result;
+
+  AttestVnfRequest request;
+  request.vnf_name = vnf_name;
+  request.nonce = fresh_nonce();
+  const Bytes raw = rpc(channel, encode(request));
+  if (peek_type(raw) == MessageType::kError) {
+    result.reason = "host error: " + decode_error(raw).what;
+    return result;
+  }
+  const AttestVnfResponse response = decode_attest_vnf_response(raw);
+
+  const ias::VerificationReport avr = ias_.verify_quote(response.quote);
+  result.quote_status = avr.status();
+  if (result.quote_status != ias::QuoteStatus::kOk) {
+    result.reason = "IAS rejected quote: " + ias::to_string(result.quote_status);
+    return result;
+  }
+  const sgx::ReportBody quoted = avr.quoted_enclave();
+  result.platform_id = avr.platform_id();
+  result.public_key = response.public_key;
+
+  // The protocol continues only on hosts that passed attestation (§2).
+  if (!platform_trusted(result.platform_id)) {
+    result.reason = "hosting platform not attested";
+    return result;
+  }
+  if (quoted.mr_enclave != vnf::credential_enclave_measurement() ||
+      !appraisal_.enclave_allowed(quoted.mr_enclave)) {
+    result.reason = "quote from unrecognized enclave";
+    return result;
+  }
+  const sgx::ReportData expected =
+      vnf::credential_report_data(request.nonce, response.public_key);
+  if (!crypto::ct_equal(ByteView(expected.data(), expected.size()),
+                        ByteView(quoted.report_data.data(),
+                                 quoted.report_data.size()))) {
+    result.reason = "report data does not bind nonce+key (replay?)";
+    return result;
+  }
+
+  result.trustworthy = true;
+  result.reason = "VNF enclave attested";
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    attested_vnfs_[vnf_name] =
+        AttestedVnf{response.public_key, result.platform_id};
+    ++vnfs_attested_;
+  }
+  VNFSGX_LOG_INFO("vm", "VNF '", vnf_name, "' enclave attested");
+  return result;
+}
+
+std::optional<pki::Certificate> VerificationManager::enroll_vnf(
+    net::Stream& channel, const std::string& vnf_name,
+    const std::string& common_name) {
+  AttestedVnf attested;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = attested_vnfs_.find(vnf_name);
+    if (it == attested_vnfs_.end()) {
+      VNFSGX_LOG_WARN("vm", "enroll refused: '", vnf_name, "' not attested");
+      return std::nullopt;
+    }
+    attested = it->second;
+  }
+
+  // Generate + sign the client certificate for the enclave-held key.
+  const pki::Certificate cert = ca_.issue(
+      {common_name, options_.ca_name.organization}, attested.public_key,
+      static_cast<std::uint8_t>(pki::KeyUsage::kClientAuth),
+      options_.credential_validity_seconds);
+
+  ProvisionRequest request;
+  request.vnf_name = vnf_name;
+  request.certificate = cert.encode();
+  const Bytes raw = rpc(channel, encode(request));
+  if (peek_type(raw) == MessageType::kError) {
+    VNFSGX_LOG_WARN("vm", "provisioning error: ", decode_error(raw).what);
+    return std::nullopt;
+  }
+  const ProvisionResponse response = decode_provision_response(raw);
+  if (!response.ok) {
+    VNFSGX_LOG_WARN("vm", "provisioning refused: ", response.detail);
+    return std::nullopt;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    issued_[cert.serial] = attested.platform_id;
+    ++credentials_issued_;
+  }
+  VNFSGX_LOG_INFO("vm", "credential provisioned to '", vnf_name,
+                  "' serial=", cert.serial);
+  return cert;
+}
+
+void VerificationManager::enroll_platform_aik(
+    const sgx::PlatformId& platform_id, const crypto::Ed25519PublicKey& aik) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  platform_aiks_[platform_id] = aik;
+}
+
+pki::RevocationList VerificationManager::revoke_certificate(
+    std::uint64_t serial) {
+  return ca_.revoke(serial);
+}
+
+pki::RevocationList VerificationManager::revoke_platform(
+    const sgx::PlatformId& platform_id) {
+  std::vector<std::uint64_t> serials;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trusted_platforms_.erase(platform_id);
+    for (const auto& [serial, platform] : issued_) {
+      if (platform == platform_id) serials.push_back(serial);
+    }
+    // Drop attestation state for VNFs on this platform.
+    for (auto it = attested_vnfs_.begin(); it != attested_vnfs_.end();) {
+      if (it->second.platform_id == platform_id) {
+        it = attested_vnfs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  pki::RevocationList crl = ca_.current_crl();
+  for (const std::uint64_t serial : serials) {
+    crl = ca_.revoke(serial);
+  }
+  VNFSGX_LOG_WARN("vm", "platform distrusted; revoked ", serials.size(),
+                  " credential(s)");
+  return crl;
+}
+
+bool VerificationManager::platform_trusted(
+    const sgx::PlatformId& platform_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trusted_platforms_.count(platform_id) > 0;
+}
+
+std::vector<sgx::PlatformId> VerificationManager::trusted_platforms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<sgx::PlatformId>(trusted_platforms_.begin(),
+                                      trusted_platforms_.end());
+}
+
+std::vector<std::string> VerificationManager::attested_vnf_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(attested_vnfs_.size());
+  for (const auto& [name, info] : attested_vnfs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace vnfsgx::core

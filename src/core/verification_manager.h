@@ -1,0 +1,132 @@
+// The Verification Manager — the paper's central component.
+//
+// Responsibilities (§2):
+//  * initiate remote attestation of container hosts (Fig. 1 step 1) and
+//    verify quotes with the IAS (step 2), appraising the IMA measurement
+//    list against the expected-measurement database;
+//  * remotely attest VNF credential enclaves (step 3) and verify their
+//    quotes with the IAS (step 4), continuing only on trustworthy hosts;
+//  * act as certificate authority: generate client certificates for
+//    attested enclaves and provision them (step 5) — the private key is
+//    generated inside the enclave, so only the certificate travels;
+//  * revoke credentials when a platform stops being trustworthy.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/appraisal.h"
+#include "core/protocol.h"
+#include "host/attestation_enclave.h"
+#include "ias/http_api.h"
+#include "net/stream.h"
+#include "pki/ca.h"
+#include "vnf/credential_enclave.h"
+
+namespace vnfsgx::core {
+
+struct VmOptions {
+  pki::DistinguishedName ca_name{"verification-manager", "vnfsgx"};
+  std::int64_t credential_validity_seconds = 24 * 3600;
+};
+
+struct HostAttestation {
+  bool trustworthy = false;
+  std::string reason;
+  sgx::PlatformId platform_id{};
+  ias::QuoteStatus quote_status = ias::QuoteStatus::kMalformed;
+  AppraisalResult appraisal;
+  std::size_t iml_entries = 0;
+  /// §4 extension: true when the IML was cross-checked against an
+  /// authenticated TPM PCR-10 quote (only when an AIK is enrolled).
+  bool tpm_verified = false;
+};
+
+struct VnfAttestation {
+  bool trustworthy = false;
+  std::string reason;
+  crypto::Ed25519PublicKey public_key{};
+  sgx::PlatformId platform_id{};
+  ias::QuoteStatus quote_status = ias::QuoteStatus::kMalformed;
+};
+
+class VerificationManager {
+ public:
+  VerificationManager(crypto::RandomSource& rng, const Clock& clock,
+                      ias::IasClient ias, VmOptions options = {});
+
+  pki::CertificateAuthority& ca() { return ca_; }
+  const pki::Certificate& ca_certificate() const {
+    return ca_.root_certificate();
+  }
+  AppraisalDatabase& appraisal() { return appraisal_; }
+
+  /// Steps 1-2: host remote attestation over a connected channel to the
+  /// host agent. On success the platform is marked trusted.
+  HostAttestation attest_host(net::Stream& channel);
+
+  /// §4 extension: enroll the platform's TPM attestation identity key.
+  /// Once enrolled, attest_host additionally requires an authenticated
+  /// PCR-10 quote whose value matches the delivered IML's aggregate —
+  /// closing the "root rewrites the IML before the enclave binds it" gap
+  /// the paper's base design leaves open.
+  void enroll_platform_aik(const sgx::PlatformId& platform_id,
+                           const crypto::Ed25519PublicKey& aik);
+
+  /// Steps 3-4: attest the named VNF's credential enclave. Requires the
+  /// hosting platform to have passed attest_host.
+  VnfAttestation attest_vnf(net::Stream& channel, const std::string& vnf_name);
+
+  /// Step 5: generate + sign + provision the client certificate for a
+  /// previously attested VNF. Returns nullopt (with reason logged) if the
+  /// VNF was not attested or provisioning fails.
+  std::optional<pki::Certificate> enroll_vnf(net::Stream& channel,
+                                             const std::string& vnf_name,
+                                             const std::string& common_name);
+
+  /// Revoke one credential; returns the updated CRL to distribute.
+  pki::RevocationList revoke_certificate(std::uint64_t serial);
+
+  /// Host compromise response: distrust the platform and revoke every
+  /// credential issued to VNFs on it.
+  pki::RevocationList revoke_platform(const sgx::PlatformId& platform_id);
+
+  bool platform_trusted(const sgx::PlatformId& platform_id) const;
+  std::vector<sgx::PlatformId> trusted_platforms() const;
+  std::vector<std::string> attested_vnf_names() const;
+
+  // Telemetry for tests/benches/examples.
+  std::uint64_t hosts_attested() const { return hosts_attested_; }
+  std::uint64_t vnfs_attested() const { return vnfs_attested_; }
+  std::uint64_t credentials_issued() const { return credentials_issued_; }
+
+ private:
+  Bytes rpc(net::Stream& channel, const Bytes& request);
+  Nonce fresh_nonce();
+
+  crypto::RandomSource& rng_;
+  const Clock& clock_;
+  ias::IasClient ias_;
+  VmOptions options_;
+  pki::CertificateAuthority ca_;
+  AppraisalDatabase appraisal_;
+
+  mutable std::mutex mutex_;
+  std::set<sgx::PlatformId> trusted_platforms_;
+  std::map<sgx::PlatformId, crypto::Ed25519PublicKey> platform_aiks_;
+  struct AttestedVnf {
+    crypto::Ed25519PublicKey public_key{};
+    sgx::PlatformId platform_id{};
+  };
+  std::map<std::string, AttestedVnf> attested_vnfs_;
+  std::map<std::uint64_t, sgx::PlatformId> issued_;  // serial -> platform
+
+  std::uint64_t hosts_attested_ = 0;
+  std::uint64_t vnfs_attested_ = 0;
+  std::uint64_t credentials_issued_ = 0;
+};
+
+}  // namespace vnfsgx::core

@@ -1,0 +1,109 @@
+#include "core/vm_api.h"
+
+#include "common/base64.h"
+#include "common/hex.h"
+#include "json/json.h"
+
+namespace vnfsgx::core {
+
+namespace {
+
+http::Response json_ok(json::Object body) {
+  return http::Response::json(200,
+                              json::serialize(json::Value(std::move(body))));
+}
+
+}  // namespace
+
+http::Router make_vm_router(VerificationManager& vm) {
+  http::Router router;
+
+  router.add("GET", "/vm/status",
+             [&vm](const http::Request&, const http::RequestContext&) {
+               json::Object body;
+               body["ca"] = vm.ca_certificate().subject.to_string();
+               body["hostsAttested"] = vm.hosts_attested();
+               body["vnfsAttested"] = vm.vnfs_attested();
+               body["credentialsIssued"] = vm.credentials_issued();
+               body["trustedPlatforms"] = vm.trusted_platforms().size();
+               json::Array vnfs;
+               for (const auto& name : vm.attested_vnf_names()) {
+                 vnfs.push_back(json::Value(name));
+               }
+               body["attestedVnfs"] = std::move(vnfs);
+               return json_ok(std::move(body));
+             });
+
+  router.add("GET", "/vm/ca/certificate",
+             [&vm](const http::Request&, const http::RequestContext&) {
+               json::Object body;
+               body["certificate"] =
+                   base64_encode(vm.ca_certificate().encode());
+               body["fingerprint"] = vm.ca_certificate().fingerprint();
+               return json_ok(std::move(body));
+             });
+
+  router.add("GET", "/vm/ca/crl",
+             [&vm](const http::Request&, const http::RequestContext&) {
+               const pki::RevocationList crl = vm.ca().current_crl();
+               json::Object body;
+               body["crl"] = base64_encode(crl.encode());
+               body["revokedSerials"] = crl.revoked_serials.size();
+               return json_ok(std::move(body));
+             });
+
+  router.add("GET", "/vm/platforms",
+             [&vm](const http::Request&, const http::RequestContext&) {
+               json::Array platforms;
+               for (const auto& id : vm.trusted_platforms()) {
+                 platforms.push_back(
+                     json::Value(to_hex(ByteView(id.data(), id.size()))));
+               }
+               json::Object body;
+               body["trusted"] = std::move(platforms);
+               return json_ok(std::move(body));
+             });
+
+  router.add("POST", "/vm/revoke",
+             [&vm](const http::Request& req, const http::RequestContext&) {
+               try {
+                 const json::Value body =
+                     json::parse(vnfsgx::to_string(req.body));
+                 const auto serial =
+                     static_cast<std::uint64_t>(body.at("serial").as_number());
+                 const pki::RevocationList crl = vm.revoke_certificate(serial);
+                 json::Object out;
+                 out["crl"] = base64_encode(crl.encode());
+                 out["revokedSerials"] = crl.revoked_serials.size();
+                 return json_ok(std::move(out));
+               } catch (const ParseError&) {
+                 return http::Response::error(400, "bad request");
+               }
+             });
+
+  router.add("POST", "/vm/revoke-platform",
+             [&vm](const http::Request& req, const http::RequestContext&) {
+               try {
+                 const json::Value body =
+                     json::parse(vnfsgx::to_string(req.body));
+                 const Bytes raw =
+                     from_hex(body.at("platformId").as_string());
+                 sgx::PlatformId id{};
+                 if (raw.size() != id.size()) {
+                   return http::Response::error(400, "bad platform id");
+                 }
+                 std::copy(raw.begin(), raw.end(), id.begin());
+                 const pki::RevocationList crl = vm.revoke_platform(id);
+                 json::Object out;
+                 out["crl"] = base64_encode(crl.encode());
+                 out["revokedSerials"] = crl.revoked_serials.size();
+                 return json_ok(std::move(out));
+               } catch (const std::exception&) {
+                 return http::Response::error(400, "bad request");
+               }
+             });
+
+  return router;
+}
+
+}  // namespace vnfsgx::core

@@ -1,0 +1,24 @@
+// Operator-facing REST API of the Verification Manager.
+//
+// The paper's Verification Manager is the operational nerve centre; this
+// module gives operators the visibility/knobs a deployment needs: trusted
+// platforms, attested VNFs, issued credentials, the CA certificate and CRL
+// distribution, and manual revocation. Served like any router (plain or
+// behind TLS).
+#pragma once
+
+#include "core/verification_manager.h"
+#include "http/server.h"
+
+namespace vnfsgx::core {
+
+/// Routes:
+///   GET  /vm/status                 -> counters + CA subject
+///   GET  /vm/ca/certificate         -> base64 root certificate
+///   GET  /vm/ca/crl                 -> base64 current CRL
+///   GET  /vm/platforms              -> trusted platform ids (hex)
+///   POST /vm/revoke {"serial": N}   -> revoke one credential, returns CRL
+///   POST /vm/revoke-platform {"platformId": "<hex>"} -> distrust + revoke
+http::Router make_vm_router(VerificationManager& vm);
+
+}  // namespace vnfsgx::core

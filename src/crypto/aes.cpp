@@ -1,0 +1,173 @@
+#include "crypto/aes.h"
+
+#include "common/error.h"
+
+namespace vnfsgx::crypto {
+
+namespace {
+
+// The S-box is computed at first use (GF(2^8) inversion + affine transform)
+// instead of being transcribed, which removes a whole class of typo bugs.
+struct SboxTable {
+  std::array<std::uint8_t, 256> sbox;
+
+  SboxTable() {
+    // Build log/antilog tables over GF(2^8) with generator 3.
+    std::array<std::uint8_t, 256> log{}, alog{};
+    std::uint8_t p = 1;
+    for (int i = 0; i < 255; ++i) {
+      alog[i] = p;
+      log[p] = static_cast<std::uint8_t>(i);
+      // p *= 3 in GF(2^8): p ^ xtime(p)
+      p = static_cast<std::uint8_t>(p ^ ((p << 1) ^ ((p & 0x80) ? 0x1b : 0)));
+    }
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t inv =
+          (x == 0) ? 0 : alog[(255 - log[static_cast<std::uint8_t>(x)]) % 255];
+      std::uint8_t y = inv;
+      std::uint8_t res = inv ^ 0x63;
+      for (int i = 0; i < 4; ++i) {
+        y = static_cast<std::uint8_t>((y << 1) | (y >> 7));  // rotl 1
+        res ^= y;
+      }
+      sbox[x] = res;
+    }
+  }
+};
+
+const std::uint8_t* sbox() {
+  static const SboxTable t;
+  return t.sbox.data();
+}
+
+inline std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+}
+
+inline std::uint32_t sub_word(std::uint32_t w) {
+  const std::uint8_t* s = sbox();
+  return (static_cast<std::uint32_t>(s[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(s[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(s[(w >> 8) & 0xff]) << 8) |
+         s[w & 0xff];
+}
+
+inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes::Aes(ByteView key) {
+  int nk;  // key length in 32-bit words
+  switch (key.size()) {
+    case 16:
+      nk = 4;
+      rounds_ = 10;
+      break;
+    case 24:
+      nk = 6;
+      rounds_ = 12;
+      break;
+    case 32:
+      nk = 8;
+      rounds_ = 14;
+      break;
+    default:
+      throw CryptoError("AES key must be 16, 24 or 32 bytes");
+  }
+  const int total_words = 4 * (rounds_ + 1);
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = (static_cast<std::uint32_t>(key[i * 4]) << 24) |
+                     (static_cast<std::uint32_t>(key[i * 4 + 1]) << 16) |
+                     (static_cast<std::uint32_t>(key[i * 4 + 2]) << 8) |
+                     key[i * 4 + 3];
+  }
+  std::uint8_t rcon = 1;
+  for (int i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ (static_cast<std::uint32_t>(rcon) << 24);
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const std::uint8_t* s = sbox();
+  std::uint8_t state[16];
+  // AddRoundKey(0); state is column-major: state[4*c + r].
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t rk = round_keys_[c];
+    state[4 * c + 0] = static_cast<std::uint8_t>(in[4 * c + 0] ^ (rk >> 24));
+    state[4 * c + 1] = static_cast<std::uint8_t>(in[4 * c + 1] ^ (rk >> 16));
+    state[4 * c + 2] = static_cast<std::uint8_t>(in[4 * c + 2] ^ (rk >> 8));
+    state[4 * c + 3] = static_cast<std::uint8_t>(in[4 * c + 3] ^ rk);
+  }
+
+  for (int round = 1; round <= rounds_; ++round) {
+    // SubBytes
+    for (auto& b : state) b = s[b];
+    // ShiftRows: row r rotates left by r.
+    std::uint8_t t;
+    t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    t = state[2];
+    state[2] = state[10];
+    state[10] = t;
+    t = state[6];
+    state[6] = state[14];
+    state[14] = t;
+    t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+    // MixColumns (skipped in the final round)
+    if (round < rounds_) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = &state[4 * c];
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
+        col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
+        col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
+        col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
+      }
+    }
+    // AddRoundKey
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t rk = round_keys_[4 * round + c];
+      state[4 * c + 0] ^= static_cast<std::uint8_t>(rk >> 24);
+      state[4 * c + 1] ^= static_cast<std::uint8_t>(rk >> 16);
+      state[4 * c + 2] ^= static_cast<std::uint8_t>(rk >> 8);
+      state[4 * c + 3] ^= static_cast<std::uint8_t>(rk);
+    }
+  }
+  for (int i = 0; i < 16; ++i) out[i] = state[i];
+}
+
+void aes_ctr_xor(const Aes& aes, const AesBlock& initial_counter, ByteView in,
+                 std::uint8_t* out) {
+  AesBlock counter = initial_counter;
+  std::uint8_t keystream[16];
+  std::size_t off = 0;
+  while (off < in.size()) {
+    aes.encrypt_block(counter.data(), keystream);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
+    }
+    off += take;
+    // Increment the low 32 bits big-endian (GCM inc32 convention).
+    for (int i = 15; i >= 12; --i) {
+      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,41 @@
+// AES-128/192/256 block cipher (FIPS 197), encryption direction only —
+// CTR and GCM modes never need block decryption.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// Key-expanded AES context. Supports 16/24/32-byte keys; throws
+/// CryptoError otherwise.
+class Aes {
+ public:
+  explicit Aes(ByteView key);
+
+  /// Encrypt a single 16-byte block.
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  AesBlock encrypt_block(const AesBlock& in) const {
+    AesBlock out;
+    encrypt_block(in.data(), out.data());
+    return out;
+  }
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+/// AES-CTR keystream XOR: encrypt == decrypt. The 16-byte counter block is
+/// incremented big-endian in its last 4 bytes (GCM convention).
+void aes_ctr_xor(const Aes& aes, const AesBlock& initial_counter, ByteView in,
+                 std::uint8_t* out);
+
+}  // namespace vnfsgx::crypto

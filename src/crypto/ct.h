@@ -1,0 +1,19 @@
+// Constant-time helpers for secret-dependent comparisons.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+/// Constant-time equality: scans both inputs fully regardless of content.
+/// Returns false on length mismatch (length is not secret).
+inline bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,372 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/field25519.h"
+#include "crypto/sha512.h"
+
+namespace vnfsgx::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic modulo the group order
+//   L = 2^252 + 27742317777372353535851937790883648493.
+// Little-endian 32-bit limbs; sized for 512-bit intermediates so that the
+// SHA-512 outputs RFC 8032 reduces can be handled directly. Performance is
+// irrelevant next to the point multiplications, so the reduction is a plain
+// binary long division.
+// ---------------------------------------------------------------------------
+
+struct Scalar {
+  // 9 limbs so intermediates during reduction (2*r + bit) fit.
+  std::array<std::uint32_t, 9> limb{};
+};
+
+const std::array<std::uint32_t, 9>& order_limbs() {
+  // L little-endian: 0xED, 0xD3, 0xF5, 0x5C, 0x1A, 0x63, 0x12, 0x58,
+  // 0xD6, 0x9C, 0xF7, 0xA2, 0xDE, 0xF9, 0xDE, 0x14, 0,...,0, 0x10
+  static const std::array<std::uint32_t, 9> kL = {
+      0x5cf5d3edu, 0x5812631au, 0xa2f79cd6u, 0x14def9deu,
+      0x00000000u, 0x00000000u, 0x00000000u, 0x10000000u, 0u};
+  return kL;
+}
+
+// Compare a (9 limbs) with L.
+int cmp_order(const Scalar& a) {
+  const auto& l = order_limbs();
+  for (int i = 8; i >= 0; --i) {
+    if (a.limb[static_cast<std::size_t>(i)] != l[static_cast<std::size_t>(i)]) {
+      return a.limb[static_cast<std::size_t>(i)] < l[static_cast<std::size_t>(i)]
+                 ? -1
+                 : 1;
+    }
+  }
+  return 0;
+}
+
+void sub_order(Scalar& a) {
+  const auto& l = order_limbs();
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 9; ++i) {
+    const std::uint64_t d = static_cast<std::uint64_t>(a.limb[i]) -
+                            l[static_cast<std::size_t>(i)] - borrow;
+    a.limb[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(d);
+    borrow = (d >> 32) & 1;
+  }
+}
+
+// Reduce an arbitrary little-endian byte string modulo L.
+Scalar scalar_from_bytes_wide(ByteView bytes_le) {
+  Scalar r;  // running remainder < L
+  for (std::size_t byte_idx = bytes_le.size(); byte_idx-- > 0;) {
+    const std::uint8_t byte = bytes_le[byte_idx];
+    for (int bit = 7; bit >= 0; --bit) {
+      // r = 2r + bit
+      std::uint32_t carry = (byte >> bit) & 1;
+      for (int i = 0; i < 9; ++i) {
+        const std::uint32_t next_carry = r.limb[static_cast<std::size_t>(i)] >> 31;
+        r.limb[static_cast<std::size_t>(i)] =
+            (r.limb[static_cast<std::size_t>(i)] << 1) | carry;
+        carry = next_carry;
+      }
+      if (cmp_order(r) >= 0) sub_order(r);
+    }
+  }
+  return r;
+}
+
+std::array<std::uint8_t, 32> scalar_to_bytes(const Scalar& s) {
+  std::array<std::uint8_t, 32> out{};
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t v = s.limb[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i * 4)] = static_cast<std::uint8_t>(v);
+    out[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(v >> 8);
+    out[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(v >> 16);
+    out[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+// (a * b + c) mod L via 64-bit accumulation then wide reduction.
+Scalar scalar_mul_add(const Scalar& a, const Scalar& b, const Scalar& c) {
+  std::array<std::uint64_t, 17> acc{};
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const std::uint64_t p =
+          static_cast<std::uint64_t>(a.limb[static_cast<std::size_t>(i)]) *
+          b.limb[static_cast<std::size_t>(j)];
+      acc[static_cast<std::size_t>(i + j)] += p & 0xffffffffu;
+      acc[static_cast<std::size_t>(i + j + 1)] += p >> 32;
+      // Normalize eagerly so accumulators never overflow.
+      if (acc[static_cast<std::size_t>(i + j)] >> 32) {
+        acc[static_cast<std::size_t>(i + j + 1)] +=
+            acc[static_cast<std::size_t>(i + j)] >> 32;
+        acc[static_cast<std::size_t>(i + j)] &= 0xffffffffu;
+      }
+    }
+  }
+  for (int i = 0; i < 8; ++i) acc[static_cast<std::size_t>(i)] += c.limb[static_cast<std::size_t>(i)];
+  // Final carry propagation into a byte string.
+  std::uint64_t carry = 0;
+  Bytes wide(17 * 4);
+  for (int i = 0; i < 17; ++i) {
+    const std::uint64_t v = acc[static_cast<std::size_t>(i)] + carry;
+    const std::uint32_t limb = static_cast<std::uint32_t>(v);
+    carry = v >> 32;
+    wide[static_cast<std::size_t>(i * 4)] = static_cast<std::uint8_t>(limb);
+    wide[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(limb >> 8);
+    wide[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(limb >> 16);
+    wide[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(limb >> 24);
+  }
+  return scalar_from_bytes_wide(wide);
+}
+
+// ---------------------------------------------------------------------------
+// Edwards curve group: -x^2 + y^2 = 1 + d x^2 y^2 over GF(2^255-19),
+// extended homogeneous coordinates (X : Y : Z : T), T = XY/Z.
+// ---------------------------------------------------------------------------
+
+struct Point {
+  Fe x, y, z, t;
+};
+
+const Fe& edwards_d() {
+  // d = -121665/121666, computed rather than transcribed.
+  static const Fe value =
+      fe_neg(fe_mul(fe_from_u64(121665), fe_invert(fe_from_u64(121666))));
+  return value;
+}
+
+const Fe& edwards_2d() {
+  static const Fe value = fe_add(edwards_d(), edwards_d());
+  return value;
+}
+
+Point point_identity() {
+  return Point{fe_zero(), fe_one(), fe_one(), fe_zero()};
+}
+
+// Unified addition (add-2008-hwcd-3 for a = -1).
+Point point_add(const Point& p, const Point& q) {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const Fe c = fe_mul(fe_mul(p.t, q.t), edwards_2d());
+  const Fe d = fe_mul_small(fe_mul(p.z, q.z), 2);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// Doubling (dbl-2008-hwcd).
+Point point_double(const Point& p) {
+  const Fe a = fe_sq(p.x);
+  const Fe b = fe_sq(p.y);
+  const Fe c = fe_mul_small(fe_sq(p.z), 2);
+  const Fe h = fe_add(a, b);
+  const Fe e = fe_sub(h, fe_sq(fe_add(p.x, p.y)));
+  const Fe g = fe_sub(a, b);
+  const Fe f = fe_add(c, g);
+  return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Point point_neg(const Point& p) {
+  return Point{fe_neg(p.x), p.y, p.z, fe_neg(p.t)};
+}
+
+// Scalar multiplication, MSB-first double-and-add over the 256-bit scalar
+// encoding. Variable-time; signatures here protect simulated systems, and
+// the test suite exercises correctness, not side channels.
+Point point_scalar_mul(const Point& p, const std::array<std::uint8_t, 32>& scalar_le) {
+  Point r = point_identity();
+  for (int byte_idx = 31; byte_idx >= 0; --byte_idx) {
+    for (int bit = 7; bit >= 0; --bit) {
+      r = point_double(r);
+      if ((scalar_le[static_cast<std::size_t>(byte_idx)] >> bit) & 1) {
+        r = point_add(r, p);
+      }
+    }
+  }
+  return r;
+}
+
+const Point& base_point() {
+  // y = 4/5, x recovered from the curve equation with even x (sign bit 0).
+  static const Point value = [] {
+    const Fe y = fe_mul(fe_from_u64(4), fe_invert(fe_from_u64(5)));
+    // x^2 = (y^2 - 1) / (d y^2 + 1)
+    const Fe y2 = fe_sq(y);
+    const Fe u = fe_sub(y2, fe_one());
+    const Fe v = fe_add(fe_mul(edwards_d(), y2), fe_one());
+    // Candidate root: (u/v)^((p+3)/8) = u v^3 (u v^7)^((p-5)/8)
+    const Fe v3 = fe_mul(fe_sq(v), v);
+    const Fe v7 = fe_mul(fe_sq(v3), v);
+    std::array<std::uint8_t, 32> exp{};  // (p-5)/8 = 2^252 - 3, big-endian
+    exp[0] = 0x0f;
+    for (int i = 1; i < 31; ++i) exp[static_cast<std::size_t>(i)] = 0xff;
+    exp[31] = 0xfd;
+    Fe x = fe_mul(fe_mul(u, v3), fe_pow(fe_mul(u, v7), exp));
+    const Fe vx2 = fe_mul(v, fe_sq(x));
+    if (!fe_is_zero(fe_sub(vx2, u))) x = fe_mul(x, fe_sqrt_m1());
+    if (fe_is_negative(x)) x = fe_neg(x);
+    return Point{x, y, fe_one(), fe_mul(x, y)};
+  }();
+  return value;
+}
+
+std::array<std::uint8_t, 32> point_encode(const Point& p) {
+  const Fe zinv = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zinv);
+  const Fe y = fe_mul(p.y, zinv);
+  std::array<std::uint8_t, 32> out = fe_to_bytes(y);
+  out[31] = static_cast<std::uint8_t>(
+      out[31] | (static_cast<std::uint8_t>(fe_is_negative(x)) << 7));
+  return out;
+}
+
+std::optional<Point> point_decode(ByteView in) {
+  if (in.size() != 32) return std::nullopt;
+  const int sign = in[31] >> 7;
+  const Fe y = fe_from_bytes(in);
+  // Reject non-canonical y encodings (y >= p).
+  {
+    const auto canonical = fe_to_bytes(y);
+    std::uint8_t masked_last = static_cast<std::uint8_t>(in[31] & 0x7f);
+    bool same = true;
+    for (int i = 0; i < 31; ++i) {
+      if (canonical[static_cast<std::size_t>(i)] != in[static_cast<std::size_t>(i)]) {
+        same = false;
+        break;
+      }
+    }
+    if (canonical[31] != masked_last) same = false;
+    if (!same) return std::nullopt;
+  }
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());
+  const Fe v = fe_add(fe_mul(edwards_d(), y2), fe_one());
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  std::array<std::uint8_t, 32> exp{};
+  exp[0] = 0x0f;
+  for (int i = 1; i < 31; ++i) exp[static_cast<std::size_t>(i)] = 0xff;
+  exp[31] = 0xfd;
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow(fe_mul(u, v7), exp));
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (fe_is_zero(fe_sub(vx2, u))) {
+    // x is a root.
+  } else if (fe_is_zero(fe_add(vx2, u))) {
+    x = fe_mul(x, fe_sqrt_m1());
+  } else {
+    return std::nullopt;
+  }
+  if (fe_is_zero(x) && sign == 1) return std::nullopt;
+  if (fe_is_negative(x) != sign) x = fe_neg(x);
+  return Point{x, y, fe_one(), fe_mul(x, y)};
+}
+
+std::array<std::uint8_t, 32> clamp_scalar(const std::uint8_t h[32]) {
+  std::array<std::uint8_t, 32> a;
+  std::memcpy(a.data(), h, 32);
+  a[0] &= 248;
+  a[31] &= 63;
+  a[31] |= 64;
+  return a;
+}
+
+}  // namespace
+
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
+  const Sha512Digest h = Sha512::hash(seed);
+  const auto a = clamp_scalar(h.data());
+  return point_encode(point_scalar_mul(base_point(), a));
+}
+
+Ed25519KeyPair ed25519_generate(RandomSource& rng) {
+  Ed25519KeyPair kp;
+  rng.fill(kp.seed);
+  kp.public_key = ed25519_public_key(kp.seed);
+  return kp;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message) {
+  const Sha512Digest h = Sha512::hash(seed);
+  const auto a = clamp_scalar(h.data());
+  const Ed25519PublicKey pub =
+      point_encode(point_scalar_mul(base_point(), a));
+
+  // r = SHA512(prefix || M) mod L
+  Sha512 hr;
+  hr.update(ByteView(h.data() + 32, 32));
+  hr.update(message);
+  const Sha512Digest r_wide = hr.finish();
+  const Scalar r = scalar_from_bytes_wide(r_wide);
+  const auto r_bytes = scalar_to_bytes(r);
+  const auto r_enc = point_encode(point_scalar_mul(base_point(), r_bytes));
+
+  // k = SHA512(R || A || M) mod L
+  Sha512 hk;
+  hk.update(r_enc);
+  hk.update(pub);
+  hk.update(message);
+  const Sha512Digest k_wide = hk.finish();
+  const Scalar k = scalar_from_bytes_wide(k_wide);
+
+  // s = (r + k * a) mod L
+  const Scalar a_scalar = scalar_from_bytes_wide(a);
+  const Scalar s = scalar_mul_add(k, a_scalar, r);
+  const auto s_bytes = scalar_to_bytes(s);
+
+  Ed25519Signature sig;
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  std::memcpy(sig.data() + 32, s_bytes.data(), 32);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
+                    ByteView signature) {
+  if (signature.size() != kEd25519SignatureSize) return false;
+  const ByteView r_enc = signature.subspan(0, 32);
+  const ByteView s_enc = signature.subspan(32, 32);
+
+  // Canonical s: s < L.
+  {
+    Scalar s;
+    for (int i = 0; i < 8; ++i) {
+      std::uint32_t v = 0;
+      for (int j = 3; j >= 0; --j) {
+        v = (v << 8) | s_enc[static_cast<std::size_t>(i * 4 + j)];
+      }
+      s.limb[static_cast<std::size_t>(i)] = v;
+    }
+    if (cmp_order(s) >= 0) return false;
+  }
+
+  const auto a_point = point_decode(public_key);
+  if (!a_point) return false;
+  const auto r_point = point_decode(r_enc);
+  if (!r_point) return false;
+
+  Sha512 hk;
+  hk.update(r_enc);
+  hk.update(public_key);
+  hk.update(message);
+  const Sha512Digest k_wide = hk.finish();
+  const Scalar k = scalar_from_bytes_wide(k_wide);
+  const auto k_bytes = scalar_to_bytes(k);
+
+  std::array<std::uint8_t, 32> s_bytes;
+  std::memcpy(s_bytes.data(), s_enc.data(), 32);
+
+  // Check s*B == R + k*A  <=>  s*B + k*(-A) == R.
+  const Point sb = point_scalar_mul(base_point(), s_bytes);
+  const Point ka = point_scalar_mul(point_neg(*a_point), k_bytes);
+  const Point check = point_add(sb, ka);
+  const auto check_enc = point_encode(check);
+  return std::memcmp(check_enc.data(), r_enc.data(), 32) == 0;
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,42 @@
+// Ed25519 signatures (RFC 8032).
+//
+// Every signature in the system is Ed25519: certificate signatures (the
+// Verification Manager's CA), TLS CertificateVerify, SGX quote signatures
+// (the simulator's EPID stand-in), and IAS report signatures.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/random.h"
+
+namespace vnfsgx::crypto {
+
+inline constexpr std::size_t kEd25519SeedSize = 32;
+inline constexpr std::size_t kEd25519PublicKeySize = 32;
+inline constexpr std::size_t kEd25519SignatureSize = 64;
+
+using Ed25519Seed = std::array<std::uint8_t, kEd25519SeedSize>;
+using Ed25519PublicKey = std::array<std::uint8_t, kEd25519PublicKeySize>;
+using Ed25519Signature = std::array<std::uint8_t, kEd25519SignatureSize>;
+
+struct Ed25519KeyPair {
+  Ed25519Seed seed;  // the RFC 8032 private key (32-byte seed)
+  Ed25519PublicKey public_key;
+};
+
+/// Derive the public key from a seed.
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed);
+
+/// Generate a fresh keypair.
+Ed25519KeyPair ed25519_generate(RandomSource& rng);
+
+/// Deterministic signature over `message`.
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message);
+
+/// Verify. Rejects non-canonical s (s >= L) and undecodable points.
+bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
+                    ByteView signature);
+
+}  // namespace vnfsgx::crypto

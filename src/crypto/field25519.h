@@ -1,0 +1,58 @@
+// Field arithmetic over GF(2^255 - 19), shared by X25519 and Ed25519.
+//
+// Representation: five 51-bit limbs in 64-bit words (the "donna-64"
+// radix-2^51 layout). Inputs/outputs of the arithmetic functions are kept
+// loosely reduced (limbs < 2^52); to_bytes performs the full reduction.
+//
+// Curve constants that are usually transcribed from reference code
+// (Edwards d, sqrt(-1), the Ed25519 base point) are *computed* at first use
+// from their defining equations, eliminating transcription errors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+inline Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+inline Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+Fe fe_from_u64(std::uint64_t x);
+
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_neg(const Fe& a);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sq(const Fe& a);
+/// Multiply by a small scalar (< 2^13), used for a24 = 121665 etc.
+Fe fe_mul_small(const Fe& a, std::uint64_t s);
+
+/// Raise to an arbitrary 255-bit exponent given as 32 big-endian bytes.
+/// Variable-time; acceptable because every exponent used is a public
+/// curve constant.
+Fe fe_pow(const Fe& base, const std::array<std::uint8_t, 32>& exp_be);
+
+/// Multiplicative inverse (x^(p-2)); fe_invert(0) == 0.
+Fe fe_invert(const Fe& a);
+
+/// Load 32 little-endian bytes, ignoring the top bit (RFC 7748 masking).
+Fe fe_from_bytes(ByteView in32);
+/// Store fully reduced, 32 little-endian bytes.
+std::array<std::uint8_t, 32> fe_to_bytes(const Fe& a);
+
+bool fe_is_zero(const Fe& a);
+/// Low bit of the fully reduced value (the Edwards "sign" bit).
+int fe_is_negative(const Fe& a);
+
+/// Constant-time conditional swap (swap iff bit == 1).
+void fe_cswap(Fe& a, Fe& b, std::uint64_t bit);
+
+/// sqrt(-1) mod p, computed as 2^((p-1)/4).
+const Fe& fe_sqrt_m1();
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,148 @@
+#include "crypto/gcm.h"
+
+#include "common/error.h"
+#include "crypto/ct.h"
+
+namespace vnfsgx::crypto {
+
+namespace {
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+// Bit-reflected carry-less multiplication in GF(2^128) with the GCM
+// polynomial x^128 + x^7 + x^2 + x + 1. Right-shift algorithm from
+// SP 800-38D: Z starts at 0, V starts at Y; for each bit of X (MSB first)
+// conditionally XOR V into Z, then "multiply V by x" (right shift with
+// reduction constant 0xE1 << 120).
+U128 gf_mul(U128 x, U128 y) {
+  U128 z{0, 0};
+  U128 v = y;
+  for (int i = 0; i < 128; ++i) {
+    const std::uint64_t bit =
+        (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const bool lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+U128 load_block(const std::uint8_t* p) {
+  U128 b;
+  for (int i = 0; i < 8; ++i) b.hi = (b.hi << 8) | p[i];
+  for (int i = 8; i < 16; ++i) b.lo = (b.lo << 8) | p[i];
+  return b;
+}
+
+void store_block(U128 b, std::uint8_t* p) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(b.hi >> (56 - i * 8));
+  for (int i = 0; i < 8; ++i) p[8 + i] = static_cast<std::uint8_t>(b.lo >> (56 - i * 8));
+}
+
+void ghash_update(U128& y, U128 h, ByteView data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::uint8_t block[16] = {0};
+    const std::size_t take = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) block[i] = data[off + i];
+    const U128 x = load_block(block);
+    y.hi ^= x.hi;
+    y.lo ^= x.lo;
+    y = gf_mul(y, h);
+    off += take;
+  }
+}
+
+}  // namespace
+
+AesGcm::AesGcm(ByteView key) : aes_(key) {
+  AesBlock zero{};
+  const AesBlock h = aes_.encrypt_block(zero);
+  const U128 hb = load_block(h.data());
+  h_hi_ = hb.hi;
+  h_lo_ = hb.lo;
+}
+
+AesBlock AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
+  const U128 h{h_hi_, h_lo_};
+  U128 y{0, 0};
+  ghash_update(y, h, aad);
+  ghash_update(y, h, ciphertext);
+  // Length block: bit lengths of AAD and ciphertext.
+  std::uint8_t len_block[16];
+  const std::uint64_t aad_bits = static_cast<std::uint64_t>(aad.size()) * 8;
+  const std::uint64_t ct_bits = static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    len_block[i] = static_cast<std::uint8_t>(aad_bits >> (56 - i * 8));
+    len_block[8 + i] = static_cast<std::uint8_t>(ct_bits >> (56 - i * 8));
+  }
+  const U128 x = load_block(len_block);
+  y.hi ^= x.hi;
+  y.lo ^= x.lo;
+  y = gf_mul(y, h);
+  AesBlock out;
+  store_block(y, out.data());
+  return out;
+}
+
+Bytes AesGcm::seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
+  if (nonce.size() != kGcmNonceSize) {
+    throw CryptoError("AES-GCM nonce must be 12 bytes");
+  }
+  // J0 = nonce || 0x00000001
+  AesBlock j0{};
+  std::copy(nonce.begin(), nonce.end(), j0.begin());
+  j0[15] = 1;
+  // First counter for data is inc32(J0).
+  AesBlock ctr = j0;
+  ctr[15] = 2;
+
+  Bytes out(plaintext.size() + kGcmTagSize);
+  aes_ctr_xor(aes_, ctr, plaintext, out.data());
+
+  const AesBlock s = ghash(aad, ByteView(out.data(), plaintext.size()));
+  AesBlock tag_mask = aes_.encrypt_block(j0);
+  for (std::size_t i = 0; i < kGcmTagSize; ++i) {
+    out[plaintext.size() + i] = static_cast<std::uint8_t>(s[i] ^ tag_mask[i]);
+  }
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteView nonce, ByteView ciphertext_and_tag,
+                                  ByteView aad) const {
+  if (nonce.size() != kGcmNonceSize) {
+    throw CryptoError("AES-GCM nonce must be 12 bytes");
+  }
+  if (ciphertext_and_tag.size() < kGcmTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
+  const ByteView ciphertext = ciphertext_and_tag.subspan(0, ct_len);
+  const ByteView tag = ciphertext_and_tag.subspan(ct_len);
+
+  AesBlock j0{};
+  std::copy(nonce.begin(), nonce.end(), j0.begin());
+  j0[15] = 1;
+
+  const AesBlock s = ghash(aad, ciphertext);
+  const AesBlock tag_mask = aes_.encrypt_block(j0);
+  std::uint8_t expected[kGcmTagSize];
+  for (std::size_t i = 0; i < kGcmTagSize; ++i) {
+    expected[i] = static_cast<std::uint8_t>(s[i] ^ tag_mask[i]);
+  }
+  if (!ct_equal(ByteView(expected, kGcmTagSize), tag)) return std::nullopt;
+
+  AesBlock ctr = j0;
+  ctr[15] = 2;
+  Bytes plaintext(ct_len);
+  aes_ctr_xor(aes_, ctr, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,40 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// The AEAD used everywhere: TLS records, SGX sealed blobs, and the
+// provisioning protocol's encrypted credential payloads.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace vnfsgx::crypto {
+
+inline constexpr std::size_t kGcmTagSize = 16;
+inline constexpr std::size_t kGcmNonceSize = 12;
+
+/// AES-GCM context bound to one key. Nonces must be 12 bytes (the TLS and
+/// sealing layers both construct 12-byte nonces).
+class AesGcm {
+ public:
+  explicit AesGcm(ByteView key);
+
+  /// Encrypt + authenticate. Returns ciphertext || 16-byte tag.
+  Bytes seal(ByteView nonce, ByteView plaintext, ByteView aad) const;
+
+  /// Verify + decrypt ciphertext||tag. Returns nullopt on authentication
+  /// failure (the caller decides whether that is fatal).
+  std::optional<Bytes> open(ByteView nonce, ByteView ciphertext_and_tag,
+                            ByteView aad) const;
+
+ private:
+  AesBlock ghash(ByteView aad, ByteView ciphertext) const;
+
+  Aes aes_;
+  // GHASH key H = E_K(0^128), pre-split into 64-bit halves.
+  std::uint64_t h_hi_ = 0;
+  std::uint64_t h_lo_ = 0;
+};
+
+}  // namespace vnfsgx::crypto

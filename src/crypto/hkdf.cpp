@@ -1,0 +1,49 @@
+#include "crypto/hkdf.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace vnfsgx::crypto {
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw CryptoError("hkdf_expand: requested length too large");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    append(block, info);
+    append_u8(block, counter++);
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const Bytes prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+Bytes hkdf_expand_label(ByteView secret, std::string_view label,
+                        ByteView context, std::size_t length) {
+  // struct { uint16 length; opaque label<7..255>; opaque context<0..255>; }
+  Bytes hkdf_label;
+  append_u16(hkdf_label, static_cast<std::uint16_t>(length));
+  const std::string full_label = "tls13 " + std::string(label);
+  append_u8(hkdf_label, static_cast<std::uint8_t>(full_label.size()));
+  append(hkdf_label, full_label);
+  append_u8(hkdf_label, static_cast<std::uint8_t>(context.size()));
+  append(hkdf_label, context);
+  return hkdf_expand(secret, hkdf_label, length);
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,26 @@
+// HKDF (RFC 5869) with SHA-256.
+//
+// Key-derivation backbone: the TLS 1.3-style key schedule, SGX sealing-key
+// derivation, and report-key derivation all go through HKDF.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+/// HKDF-Extract: PRK = HMAC-SHA256(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derive `length` bytes from `prk` with context `info`.
+/// Throws CryptoError if length > 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+/// TLS 1.3-style HKDF-Expand-Label (RFC 8446 §7.1) used by the tls module
+/// and by the SGX simulator's key-derivation (label-separated contexts).
+Bytes hkdf_expand_label(ByteView secret, std::string_view label,
+                        ByteView context, std::size_t length);
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,65 @@
+#include "crypto/hmac.h"
+
+#include "crypto/ct.h"
+
+namespace vnfsgx::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::array<std::uint8_t, kSha256BlockSize> k{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest d = Sha256::hash(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, kSha256BlockSize> ipad_key;
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad_key[i] = k[i] ^ 0x36;
+    opad_key_[i] = k[i] ^ 0x5c;
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha256::update(ByteView data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  const Sha256Digest d = HmacSha256::mac(key, data);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hmac_sha512(ByteView key, ByteView data) {
+  std::array<std::uint8_t, kSha512BlockSize> k{};
+  if (key.size() > kSha512BlockSize) {
+    const Sha512Digest d = Sha512::hash(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, kSha512BlockSize> pad;
+  for (std::size_t i = 0; i < kSha512BlockSize; ++i) pad[i] = k[i] ^ 0x36;
+  Sha512 inner;
+  inner.update(pad);
+  inner.update(data);
+  const Sha512Digest inner_digest = inner.finish();
+  for (std::size_t i = 0; i < kSha512BlockSize; ++i) pad[i] = k[i] ^ 0x5c;
+  Sha512 outer;
+  outer.update(pad);
+  outer.update(inner_digest);
+  const Sha512Digest d = outer.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+bool hmac_sha256_verify(ByteView key, ByteView data, ByteView tag) {
+  const Sha256Digest expected = HmacSha256::mac(key, data);
+  return ct_equal(ByteView(expected.data(), expected.size()), tag);
+}
+
+}  // namespace vnfsgx::crypto

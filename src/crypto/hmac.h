@@ -1,0 +1,41 @@
+// HMAC (RFC 2104) over SHA-256 and SHA-512.
+//
+// Used for: SGX REPORT MACs (the simulator's stand-in for CMAC), HKDF,
+// HMAC-DRBG, and the Verification Manager's nonce binding.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace vnfsgx::crypto {
+
+/// Incremental HMAC-SHA256.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  Sha256Digest finish();
+
+  static Sha256Digest mac(ByteView key, ByteView data) {
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, kSha256BlockSize> opad_key_;
+};
+
+/// One-shot HMAC-SHA256 returning a Bytes vector.
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// One-shot HMAC-SHA512 returning a Bytes vector.
+Bytes hmac_sha512(ByteView key, ByteView data);
+
+/// Verify an HMAC-SHA256 tag in constant time.
+bool hmac_sha256_verify(ByteView key, ByteView data, ByteView tag);
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,70 @@
+#include "crypto/random.h"
+
+#include <random>
+
+#include "crypto/hmac.h"
+
+namespace vnfsgx::crypto {
+
+HmacDrbg::HmacDrbg(ByteView seed)
+    : key_(kSha256DigestSize, 0x00), v_(kSha256DigestSize, 0x01) {
+  update(seed);
+}
+
+void HmacDrbg::update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes data = v_;
+  append_u8(data, 0x00);
+  append(data, provided);
+  key_ = hmac_sha256(key_, data);
+  v_ = hmac_sha256(key_, v_);
+  if (!provided.empty()) {
+    data = v_;
+    append_u8(data, 0x01);
+    append(data, provided);
+    key_ = hmac_sha256(key_, data);
+    v_ = hmac_sha256(key_, v_);
+  }
+}
+
+void HmacDrbg::fill(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    v_ = hmac_sha256(key_, v_);
+    const std::size_t take = std::min(v_.size(), out.size() - off);
+    std::copy(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(take),
+              out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += take;
+  }
+  update({});
+}
+
+void HmacDrbg::reseed(ByteView entropy) { update(entropy); }
+
+DeterministicRandom::DeterministicRandom(std::uint64_t seed)
+    : drbg_([&] {
+        Bytes s;
+        append(s, std::string_view("vnfsgx-deterministic-rng"));
+        append_u64(s, seed);
+        return s;
+      }()) {}
+
+SystemRandom::SystemRandom() {
+  std::random_device rd;
+  Bytes seed;
+  seed.reserve(48);
+  for (int i = 0; i < 12; ++i) append_u32(seed, rd());
+  drbg_ = std::make_unique<HmacDrbg>(seed);
+}
+
+void SystemRandom::fill(std::span<std::uint8_t> out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  drbg_->fill(out);
+}
+
+SystemRandom& SystemRandom::instance() {
+  static SystemRandom instance;
+  return instance;
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,75 @@
+// Randomness sources.
+//
+// All key generation takes a RandomSource&, so tests and benchmarks can run
+// deterministically (DeterministicRandom) while examples use SystemRandom.
+// SystemRandom is an HMAC-DRBG (SP 800-90A) seeded from std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  std::uint64_t u64() {
+    std::uint8_t b[8];
+    fill(std::span<std::uint8_t>(b, 8));
+    std::uint64_t v = 0;
+    for (auto x : b) v = (v << 8) | x;
+    return v;
+  }
+};
+
+/// HMAC-DRBG (SHA-256), deterministic from a seed. The workhorse behind both
+/// random sources below; also reseedable.
+class HmacDrbg final : public RandomSource {
+ public:
+  explicit HmacDrbg(ByteView seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+  void reseed(ByteView entropy);
+
+ private:
+  void update(ByteView provided);
+
+  Bytes key_;  // K
+  Bytes v_;    // V
+};
+
+/// Deterministic source for tests/benches: HMAC-DRBG with a fixed seed.
+class DeterministicRandom final : public RandomSource {
+ public:
+  explicit DeterministicRandom(std::uint64_t seed);
+  void fill(std::span<std::uint8_t> out) override { drbg_.fill(out); }
+
+ private:
+  HmacDrbg drbg_;
+};
+
+/// Thread-safe process-wide source seeded from the OS.
+class SystemRandom final : public RandomSource {
+ public:
+  SystemRandom();
+  void fill(std::span<std::uint8_t> out) override;
+
+  static SystemRandom& instance();
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<HmacDrbg> drbg_;
+};
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for: enclave measurements (MRENCLAVE extend chain), IMA file digests,
+// certificate signatures (via Ed25519ph-style prehash), HKDF/HMAC, and the
+// TLS transcript hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. Copyable: copying forks the hash state, which the
+/// TLS transcript hash uses to snapshot at each handshake message.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalizes into `out`. The object must be reset() before reuse.
+  Sha256Digest finish();
+
+  static Sha256Digest hash(ByteView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kSha256BlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Convenience: digest as a Bytes vector.
+Bytes sha256(ByteView data);
+
+}  // namespace vnfsgx::crypto

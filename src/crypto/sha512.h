@@ -1,0 +1,42 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::crypto {
+
+inline constexpr std::size_t kSha512DigestSize = 64;
+inline constexpr std::size_t kSha512BlockSize = 128;
+
+using Sha512Digest = std::array<std::uint8_t, kSha512DigestSize>;
+
+/// Incremental SHA-512.
+class Sha512 {
+ public:
+  Sha512() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Sha512Digest finish();
+
+  static Sha512Digest hash(ByteView data) {
+    Sha512 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, kSha512BlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes; messages < 2^64 bytes suffice here
+};
+
+Bytes sha512(ByteView data);
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,72 @@
+#include "crypto/x25519.h"
+
+#include "common/error.h"
+#include "crypto/field25519.h"
+
+namespace vnfsgx::crypto {
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  // Clamp per RFC 7748 §5.
+  X25519Key k = scalar;
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  const Fe x1 = fe_from_bytes(point);
+  Fe x2 = fe_one();
+  Fe z2 = fe_zero();
+  Fe x3 = x1;
+  Fe z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t k_t = (k[static_cast<std::size_t>(t >> 3)] >> (t & 7)) & 1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e, fe_add(aa, fe_mul_small(e, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe out = fe_mul(x2, fe_invert(z2));
+  return fe_to_bytes(out);
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair x25519_generate(RandomSource& rng) {
+  X25519KeyPair kp;
+  rng.fill(kp.private_key);
+  kp.public_key = x25519_base(kp.private_key);
+  return kp;
+}
+
+Bytes x25519_shared(const X25519Key& private_key,
+                    const X25519Key& peer_public) {
+  const X25519Key shared = x25519(private_key, peer_public);
+  std::uint8_t acc = 0;
+  for (auto b : shared) acc |= b;
+  if (acc == 0) throw CryptoError("x25519: low-order peer public key");
+  return Bytes(shared.begin(), shared.end());
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,34 @@
+// X25519 Diffie-Hellman (RFC 7748). Provides the ECDHE key exchange for
+// the TLS-style secure channel and for provisioning-protocol key wrap.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "crypto/random.h"
+
+namespace vnfsgx::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// scalar * point on Curve25519 (Montgomery ladder, constant-time swaps).
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar * base point (u = 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+/// Generate a fresh keypair (clamping applied by the ladder itself).
+X25519KeyPair x25519_generate(RandomSource& rng);
+
+/// Shared secret = private * peer_public. Throws CryptoError if the result
+/// is all-zero (low-order peer point), per RFC 7748 §6.1 guidance.
+Bytes x25519_shared(const X25519Key& private_key, const X25519Key& peer_public);
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,47 @@
+#include "dataplane/fabric.h"
+
+#include "common/error.h"
+
+namespace vnfsgx::dataplane {
+
+Switch& Fabric::add_switch(std::uint64_t dpid) {
+  auto [it, inserted] =
+      switches_.emplace(dpid, std::make_unique<Switch>(dpid));
+  if (!inserted) throw Error("fabric: duplicate dpid");
+  return *it->second;
+}
+
+Switch* Fabric::find_switch(std::uint64_t dpid) {
+  const auto it = switches_.find(dpid);
+  return it == switches_.end() ? nullptr : it->second.get();
+}
+
+void Fabric::link(LinkEnd a, LinkEnd b) {
+  if (!switches_.count(a.dpid) || !switches_.count(b.dpid)) {
+    throw Error("fabric: link references unknown switch");
+  }
+  links_.emplace_back(a, b);
+  peer_[a] = b;
+  peer_[b] = a;
+}
+
+std::vector<PathHop> Fabric::inject(std::uint64_t dpid, std::uint16_t in_port,
+                                    const Packet& packet, int max_hops) {
+  std::vector<PathHop> path;
+  std::uint64_t current_dpid = dpid;
+  std::uint16_t current_port = in_port;
+  for (int hop = 0; hop < max_hops; ++hop) {
+    Switch* sw = find_switch(current_dpid);
+    if (!sw) throw Error("fabric: packet at unknown switch");
+    const ForwardingResult result = sw->process(packet, current_port);
+    path.push_back(PathHop{current_dpid, current_port, result});
+    if (result.kind != ForwardingResult::Kind::kForwarded) break;
+    const auto peer = peer_.find(LinkEnd{current_dpid, result.out_port});
+    if (peer == peer_.end()) break;  // egress port: packet leaves the fabric
+    current_dpid = peer->second.dpid;
+    current_port = peer->second.port;
+  }
+  return path;
+}
+
+}  // namespace vnfsgx::dataplane

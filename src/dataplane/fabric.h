@@ -1,0 +1,54 @@
+// A fabric of switches with point-to-point links; supports injecting a
+// packet at a port and tracing the forwarding path hop by hop.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dataplane/switch.h"
+
+namespace vnfsgx::dataplane {
+
+struct LinkEnd {
+  std::uint64_t dpid = 0;
+  std::uint16_t port = 0;
+  bool operator<(const LinkEnd& other) const {
+    return dpid != other.dpid ? dpid < other.dpid : port < other.port;
+  }
+  bool operator==(const LinkEnd&) const = default;
+};
+
+struct PathHop {
+  std::uint64_t dpid = 0;
+  std::uint16_t in_port = 0;
+  ForwardingResult result;
+};
+
+class Fabric {
+ public:
+  Switch& add_switch(std::uint64_t dpid);
+  Switch* find_switch(std::uint64_t dpid);
+  const std::map<std::uint64_t, std::unique_ptr<Switch>>& switches() const {
+    return switches_;
+  }
+
+  /// Bidirectional link between two switch ports.
+  void link(LinkEnd a, LinkEnd b);
+  const std::vector<std::pair<LinkEnd, LinkEnd>>& links() const {
+    return links_;
+  }
+
+  /// Inject a packet and follow forwarding decisions until it is dropped,
+  /// punted, leaves the fabric (forwarded out an unlinked port), or exceeds
+  /// `max_hops` (loop guard).
+  std::vector<PathHop> inject(std::uint64_t dpid, std::uint16_t in_port,
+                              const Packet& packet, int max_hops = 32);
+
+ private:
+  std::map<std::uint64_t, std::unique_ptr<Switch>> switches_;
+  std::vector<std::pair<LinkEnd, LinkEnd>> links_;
+  std::map<LinkEnd, LinkEnd> peer_;
+};
+
+}  // namespace vnfsgx::dataplane

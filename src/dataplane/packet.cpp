@@ -1,0 +1,61 @@
+#include "dataplane/packet.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vnfsgx::dataplane {
+
+std::uint32_t ipv4(const std::string& dotted) {
+  std::uint32_t out = 0;
+  std::istringstream in(dotted);
+  for (int i = 0; i < 4; ++i) {
+    int octet;
+    if (!(in >> octet) || octet < 0 || octet > 255) {
+      throw std::invalid_argument("bad IPv4 address: " + dotted);
+    }
+    out = (out << 8) | static_cast<std::uint32_t>(octet);
+    if (i < 3) {
+      char dot;
+      if (!(in >> dot) || dot != '.') {
+        throw std::invalid_argument("bad IPv4 address: " + dotted);
+      }
+    }
+  }
+  char extra;
+  if (in >> extra) throw std::invalid_argument("bad IPv4 address: " + dotted);
+  return out;
+}
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  std::ostringstream out;
+  out << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+      << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return out.str();
+}
+
+bool Match::matches(const Packet& p, std::uint16_t packet_in_port) const {
+  if (src_mac && *src_mac != p.src_mac) return false;
+  if (dst_mac && *dst_mac != p.dst_mac) return false;
+  if (src_ip && *src_ip != p.src_ip) return false;
+  if (dst_ip && *dst_ip != p.dst_ip) return false;
+  if (src_port && *src_port != p.src_port) return false;
+  if (dst_port && *dst_port != p.dst_port) return false;
+  if (proto && *proto != p.proto) return false;
+  if (in_port && *in_port != packet_in_port) return false;
+  return true;
+}
+
+int Match::specificity() const {
+  int n = 0;
+  n += src_mac.has_value();
+  n += dst_mac.has_value();
+  n += src_ip.has_value();
+  n += dst_ip.has_value();
+  n += src_port.has_value();
+  n += dst_port.has_value();
+  n += proto.has_value();
+  n += in_port.has_value();
+  return n;
+}
+
+}  // namespace vnfsgx::dataplane

@@ -1,0 +1,45 @@
+// Packets and header matching for the simulated forwarding plane.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::dataplane {
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+struct Packet {
+  std::uint64_t src_mac = 0;
+  std::uint64_t dst_mac = 0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+  Bytes payload;
+};
+
+/// Parse dotted-quad to host-order u32; throws std::invalid_argument.
+std::uint32_t ipv4(const std::string& dotted);
+std::string ipv4_to_string(std::uint32_t ip);
+
+/// OpenFlow-style match: unset fields are wildcards.
+struct Match {
+  std::optional<std::uint64_t> src_mac;
+  std::optional<std::uint64_t> dst_mac;
+  std::optional<std::uint32_t> src_ip;
+  std::optional<std::uint32_t> dst_ip;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<IpProto> proto;
+  std::optional<std::uint16_t> in_port;
+
+  bool matches(const Packet& packet, std::uint16_t packet_in_port) const;
+  /// Number of specified fields (used to break priority ties).
+  int specificity() const;
+};
+
+}  // namespace vnfsgx::dataplane

@@ -1,0 +1,71 @@
+#include "dataplane/switch.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vnfsgx::dataplane {
+
+std::string Switch::dpid_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "00:00:%012llx",
+                static_cast<unsigned long long>(dpid_ & 0xffffffffffffULL));
+  return buf;
+}
+
+void Switch::add_flow(FlowEntry entry) {
+  for (auto& existing : flows_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  flows_.push_back(std::move(entry));
+}
+
+bool Switch::remove_flow(const std::string& name) {
+  const auto it =
+      std::find_if(flows_.begin(), flows_.end(),
+                   [&name](const FlowEntry& e) { return e.name == name; });
+  if (it == flows_.end()) return false;
+  flows_.erase(it);
+  return true;
+}
+
+std::optional<PacketIn> Switch::pop_packet_in() {
+  if (packet_ins_.empty()) return std::nullopt;
+  PacketIn front = std::move(packet_ins_.front());
+  packet_ins_.pop_front();
+  return front;
+}
+
+ForwardingResult Switch::process(const Packet& packet, std::uint16_t in_port) {
+  ++total_packets_;
+  FlowEntry* best = nullptr;
+  for (auto& entry : flows_) {
+    if (!entry.match.matches(packet, in_port)) continue;
+    if (!best || entry.priority > best->priority ||
+        (entry.priority == best->priority &&
+         entry.match.specificity() > best->match.specificity())) {
+      best = &entry;
+    }
+  }
+  if (!best) {
+    packet_ins_.push_back(PacketIn{packet, in_port});
+    return ForwardingResult{ForwardingResult::Kind::kTableMiss, 0, nullptr};
+  }
+  ++best->packet_count;
+  best->byte_count += packet.payload.size();
+  switch (best->action.type) {
+    case ActionType::kForward:
+      return ForwardingResult{ForwardingResult::Kind::kForwarded,
+                              best->action.out_port, best};
+    case ActionType::kDrop:
+      return ForwardingResult{ForwardingResult::Kind::kDropped, 0, best};
+    case ActionType::kSendToController:
+      packet_ins_.push_back(PacketIn{packet, in_port});
+      return ForwardingResult{ForwardingResult::Kind::kPacketIn, 0, best};
+  }
+  return ForwardingResult{};
+}
+
+}  // namespace vnfsgx::dataplane

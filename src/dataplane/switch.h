@@ -1,0 +1,86 @@
+// OpenFlow-style switch: prioritized flow table, per-flow counters,
+// packet-in for table misses. The controller's staticflowpusher REST
+// endpoints program these tables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/packet.h"
+
+namespace vnfsgx::dataplane {
+
+enum class ActionType : std::uint8_t { kForward, kDrop, kSendToController };
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  std::uint16_t out_port = 0;  // for kForward
+
+  static Action forward(std::uint16_t port) {
+    return Action{ActionType::kForward, port};
+  }
+  static Action drop() { return Action{ActionType::kDrop, 0}; }
+  static Action to_controller() {
+    return Action{ActionType::kSendToController, 0};
+  }
+};
+
+struct FlowEntry {
+  std::string name;  // staticflowpusher identifier
+  int priority = 0;
+  Match match;
+  Action action;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// A packet punted to the controller, with its arrival port.
+struct PacketIn {
+  Packet packet;
+  std::uint16_t in_port = 0;
+};
+
+/// Result of running a packet through a switch.
+struct ForwardingResult {
+  enum class Kind { kForwarded, kDropped, kPacketIn, kTableMiss };
+  Kind kind = Kind::kTableMiss;
+  std::uint16_t out_port = 0;
+  const FlowEntry* entry = nullptr;
+};
+
+class Switch {
+ public:
+  explicit Switch(std::uint64_t dpid) : dpid_(dpid) {}
+
+  std::uint64_t dpid() const { return dpid_; }
+  std::string dpid_string() const;
+
+  /// Add or replace (by name) a flow entry.
+  void add_flow(FlowEntry entry);
+  bool remove_flow(const std::string& name);
+  const std::vector<FlowEntry>& flows() const { return flows_; }
+
+  /// Process a packet: highest priority match wins; ties broken by match
+  /// specificity, then insertion order.
+  ForwardingResult process(const Packet& packet, std::uint16_t in_port);
+
+  /// Packets punted to the controller (table miss or explicit action).
+  const std::deque<PacketIn>& packet_in_queue() const { return packet_ins_; }
+  void clear_packet_ins() { packet_ins_.clear(); }
+  /// Remove and return the oldest packet-in (nullopt when empty).
+  std::optional<PacketIn> pop_packet_in();
+
+  std::uint64_t total_packets() const { return total_packets_; }
+
+ private:
+  std::uint64_t dpid_;
+  std::vector<FlowEntry> flows_;
+  std::deque<PacketIn> packet_ins_;
+  std::uint64_t total_packets_ = 0;
+};
+
+}  // namespace vnfsgx::dataplane

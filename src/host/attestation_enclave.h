@@ -1,0 +1,44 @@
+// The Integrity Attestation Enclave (TEE on the container host, "Integrity
+// Attestation Enclave" in Figure 1).
+//
+// Its single job: bind the host's IMA measurement list to an SGX report so
+// the Verification Manager can appraise the host. The enclave hashes
+// (nonce || IML) into the report data, preventing replay of stale lists.
+// As the paper's §4 notes, without a TPM the IML itself is delivered by
+// untrusted host code — the enclave attests freshness and integrity of the
+// *transport*, not the kernel log's provenance.
+#pragma once
+
+#include <array>
+
+#include "ima/measurement_list.h"
+#include "sgx/enclave.h"
+
+namespace vnfsgx::host {
+
+/// ECALL opcodes understood by the attestation enclave.
+enum AttestationEnclaveOp : std::uint32_t {
+  /// input : TLV{nonce(32), iml_bytes, qe_target_info}
+  /// output: serialized sgx::Report whose report_data =
+  ///         SHA256(nonce || iml_bytes) || zeros.
+  kOpCreateImlReport = 1,
+};
+
+/// Build the ECALL input.
+Bytes encode_iml_report_request(const std::array<std::uint8_t, 32>& nonce,
+                                ByteView iml_bytes,
+                                const sgx::TargetInfo& target);
+
+/// The enclave image (fixed code identity + logic factory). All container
+/// hosts run this same image, so the Verification Manager knows its
+/// expected MRENCLAVE.
+sgx::EnclaveImage attestation_enclave_image();
+
+/// The expected measurement of the (untampered) attestation enclave.
+sgx::Measurement attestation_enclave_measurement();
+
+/// Compute the report-data binding the VM recomputes during appraisal.
+sgx::ReportData iml_report_data(const std::array<std::uint8_t, 32>& nonce,
+                                ByteView iml_bytes);
+
+}  // namespace vnfsgx::host

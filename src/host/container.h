@@ -1,0 +1,52 @@
+// Container images and containers (the Docker-level substrate).
+//
+// An image's rootfs bytes stand for its layers; pulling an image installs
+// its entrypoint binary into the host filesystem, where IMA measures it on
+// container start — reproducing what the paper's prototype measures on the
+// container host.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "ima/measurement_list.h"
+
+namespace vnfsgx::host {
+
+struct ContainerImage {
+  std::string name;        // "vnf-firewall:1.0"
+  Bytes rootfs;            // content standing in for the image layers
+  std::string entrypoint;  // binary path inside the image
+
+  /// Content digest (like a Docker image digest).
+  ima::Digest digest() const;
+
+  /// Host path where the entrypoint is installed after a pull.
+  std::string installed_path() const {
+    return "/var/lib/containers/" + name + entrypoint;
+  }
+};
+
+enum class ContainerState { kCreated, kRunning, kStopped };
+
+std::string to_string(ContainerState state);
+
+class Container {
+ public:
+  Container(std::string id, ContainerImage image)
+      : id_(std::move(id)), image_(std::move(image)) {}
+
+  const std::string& id() const { return id_; }
+  const ContainerImage& image() const { return image_; }
+  ContainerState state() const { return state_; }
+
+ private:
+  friend class ContainerRuntime;
+  std::string id_;
+  ContainerImage image_;
+  ContainerState state_ = ContainerState::kCreated;
+};
+
+}  // namespace vnfsgx::host

@@ -1,0 +1,65 @@
+#include "host/container_host.h"
+
+#include "common/logging.h"
+
+namespace vnfsgx::host {
+
+namespace {
+
+/// The base software stack every healthy host runs; paths and contents are
+/// fixed so all untampered hosts produce identical measurements.
+const std::pair<const char*, const char*> kBaseSystem[] = {
+    {"/boot/vmlinuz", "linux kernel 4.4.0-51-generic"},
+    {"/usr/bin/dockerd", "docker daemon 1.12.2"},
+    {"/usr/bin/containerd-shim", "containerd shim 0.2.4"},
+    {"/usr/lib/libc.so.6", "glibc 2.23"},
+    {"/usr/lib/libssl.so", "openssl 1.0.2g"},
+    {"/usr/sbin/sshd", "openssh server 7.2p2"},
+};
+
+}  // namespace
+
+ContainerHost::ContainerHost(std::string name, crypto::RandomSource& rng,
+                             sgx::PlatformOptions sgx_options,
+                             ima::ImaPolicy policy)
+    : name_(std::move(name)),
+      rng_(rng),
+      fs_(),
+      tpm_(rng),
+      ima_(fs_, std::move(policy)),
+      sgx_(rng, name_, sgx_options),
+      runtime_(fs_, ima_) {
+  ima_.attach_tpm(&tpm_);
+}
+
+void ContainerHost::boot() {
+  for (const auto& [path, content] : kBaseSystem) {
+    fs_.write_file(path, to_bytes(content),
+                   ima::FileMeta{.uid = 0, .executable = true});
+  }
+  // Boot executes the stack; IMA measures per policy.
+  for (const auto& [path, content] : kBaseSystem) {
+    ima_.on_exec(path);
+  }
+  booted_ = true;
+  VNFSGX_LOG_INFO("host", name_, " booted, IML entries: ", ima_.list().size());
+}
+
+std::shared_ptr<sgx::Enclave> ContainerHost::load_attestation_enclave(
+    const crypto::Ed25519Seed& vendor_seed) {
+  if (attestation_enclave_) return attestation_enclave_;
+  const sgx::EnclaveImage image = attestation_enclave_image();
+  const sgx::SigStruct sig = sgx::sign_enclave(
+      vendor_seed, sgx::measure_image(image.code, image.attributes), 1, 1);
+  attestation_enclave_ = sgx_.load_enclave(image, sig);
+  return attestation_enclave_;
+}
+
+void ContainerHost::compromise_file(const std::string& path) {
+  fs_.tamper_file(path);
+  // The tampered binary runs, so IMA records the new digest.
+  ima_.on_exec(path);
+  VNFSGX_LOG_WARN("host", name_, ": file compromised: ", path);
+}
+
+}  // namespace vnfsgx::host

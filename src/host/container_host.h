@@ -1,0 +1,61 @@
+// The container host: one machine with a filesystem, an IMA subsystem, an
+// SGX platform, a container runtime, and the integrity attestation enclave
+// — everything inside the "Container Host" box of Figure 1.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "host/attestation_enclave.h"
+#include "host/runtime.h"
+#include "ima/subsystem.h"
+#include "sgx/platform.h"
+
+namespace vnfsgx::host {
+
+class ContainerHost {
+ public:
+  ContainerHost(std::string name, crypto::RandomSource& rng,
+                sgx::PlatformOptions sgx_options = {},
+                ima::ImaPolicy policy = ima::ImaPolicy::tcb_default());
+
+  const std::string& name() const { return name_; }
+  ima::SimulatedFilesystem& filesystem() { return fs_; }
+  ima::ImaSubsystem& ima() { return ima_; }
+  sgx::SgxPlatform& sgx() { return sgx_; }
+  ContainerRuntime& runtime() { return runtime_; }
+  /// Hardware root of trust anchoring the IML (the paper's §4 extension);
+  /// IMA extends PCR 10 on every measurement.
+  ima::Tpm& tpm() { return tpm_; }
+
+  /// Install and measure the base OS stack (kernel modules, container
+  /// runtime, libraries) — what a freshly booted, healthy host looks like.
+  void boot();
+  bool booted() const { return booted_; }
+
+  /// Load the integrity attestation enclave, vendor-signed with
+  /// `vendor_seed`. Idempotent per host.
+  std::shared_ptr<sgx::Enclave> load_attestation_enclave(
+      const crypto::Ed25519Seed& vendor_seed);
+  std::shared_ptr<sgx::Enclave> attestation_enclave() const {
+    return attestation_enclave_;
+  }
+
+  /// Simulate a host compromise: tamper an OS binary, then re-trigger its
+  /// measurement (e.g. the attacker's modified binary gets executed).
+  void compromise_file(const std::string& path);
+
+ private:
+  std::string name_;
+  crypto::RandomSource& rng_;
+  ima::SimulatedFilesystem fs_;
+  ima::Tpm tpm_;
+  ima::ImaSubsystem ima_;
+  sgx::SgxPlatform sgx_;
+  ContainerRuntime runtime_;
+  std::shared_ptr<sgx::Enclave> attestation_enclave_;
+  bool booted_ = false;
+};
+
+}  // namespace vnfsgx::host

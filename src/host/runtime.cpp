@@ -1,0 +1,89 @@
+#include "host/runtime.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "crypto/sha256.h"
+
+namespace vnfsgx::host {
+
+ima::Digest ContainerImage::digest() const {
+  Bytes data;
+  append(data, name);
+  append_u8(data, 0);
+  append(data, rootfs);
+  append_u8(data, 0);
+  append(data, entrypoint);
+  return crypto::Sha256::hash(data);
+}
+
+std::string to_string(ContainerState state) {
+  switch (state) {
+    case ContainerState::kCreated:
+      return "created";
+    case ContainerState::kRunning:
+      return "running";
+    case ContainerState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+ContainerRuntime::ContainerRuntime(ima::SimulatedFilesystem& fs,
+                                   ima::ImaSubsystem& ima)
+    : fs_(fs), ima_(ima) {}
+
+void ContainerRuntime::pull(const ContainerImage& image) {
+  // Install the entrypoint binary: its bytes are the image rootfs, so a
+  // tampered image yields a different IMA measurement on start.
+  fs_.write_file(image.installed_path(), image.rootfs,
+                 ima::FileMeta{.uid = 0, .executable = true});
+  images_[image.name] = image;
+  VNFSGX_LOG_INFO("runtime", "pulled image ", image.name);
+}
+
+bool ContainerRuntime::has_image(const std::string& name) const {
+  return images_.count(name) > 0;
+}
+
+std::shared_ptr<Container> ContainerRuntime::run(
+    const std::string& image_name, const std::string& container_id) {
+  const auto it = images_.find(image_name);
+  if (it == images_.end()) {
+    throw Error("runtime: unknown image '" + image_name + "'");
+  }
+  if (containers_.count(container_id) > 0) {
+    throw Error("runtime: container id in use: " + container_id);
+  }
+  auto container = std::make_shared<Container>(container_id, it->second);
+  // Starting a container executes the runtime helper and the entrypoint;
+  // both are measured by IMA (BPRM_CHECK as root).
+  ima_.on_exec("/usr/bin/containerd-shim");
+  ima_.on_exec(it->second.installed_path());
+  container->state_ = ContainerState::kRunning;
+  containers_[container_id] = container;
+  VNFSGX_LOG_INFO("runtime", "container ", container_id, " running (image ",
+                  image_name, ")");
+  return container;
+}
+
+void ContainerRuntime::stop(const std::string& container_id) {
+  const auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    throw Error("runtime: no such container: " + container_id);
+  }
+  it->second->state_ = ContainerState::kStopped;
+}
+
+std::shared_ptr<Container> ContainerRuntime::find(
+    const std::string& container_id) const {
+  const auto it = containers_.find(container_id);
+  return it == containers_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Container>> ContainerRuntime::list() const {
+  std::vector<std::shared_ptr<Container>> out;
+  for (const auto& [id, c] : containers_) out.push_back(c);
+  return out;
+}
+
+}  // namespace vnfsgx::host

@@ -1,0 +1,39 @@
+// Container runtime (docker-like): pull, run, stop, list. Running a
+// container triggers the IMA measurement of the runtime binary and the
+// container's entrypoint, per the host policy.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "host/container.h"
+#include "ima/subsystem.h"
+
+namespace vnfsgx::host {
+
+class ContainerRuntime {
+ public:
+  ContainerRuntime(ima::SimulatedFilesystem& fs, ima::ImaSubsystem& ima);
+
+  /// Install an image's entrypoint into the host filesystem.
+  void pull(const ContainerImage& image);
+  bool has_image(const std::string& name) const;
+
+  /// Create and start a container from a pulled image. Throws Error if the
+  /// image is unknown. Measures the entrypoint via IMA.
+  std::shared_ptr<Container> run(const std::string& image_name,
+                                 const std::string& container_id);
+
+  void stop(const std::string& container_id);
+  std::shared_ptr<Container> find(const std::string& container_id) const;
+  std::vector<std::shared_ptr<Container>> list() const;
+
+ private:
+  ima::SimulatedFilesystem& fs_;
+  ima::ImaSubsystem& ima_;
+  std::map<std::string, ContainerImage> images_;
+  std::map<std::string, std::shared_ptr<Container>> containers_;
+};
+
+}  // namespace vnfsgx::host

@@ -1,0 +1,35 @@
+#include "http/client.h"
+
+namespace vnfsgx::http {
+
+Response Client::request(const Request& req) {
+  conn_.write(req);
+  auto response = conn_.read_response();
+  if (!response) throw IoError("http: connection closed before response");
+  return std::move(*response);
+}
+
+Response Client::get(const std::string& target) {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+  return request(req);
+}
+
+Response Client::post(const std::string& target, const std::string& json_body) {
+  Request req;
+  req.method = "POST";
+  req.target = target;
+  req.headers.set("Content-Type", "application/json");
+  req.body = to_bytes(json_body);
+  return request(req);
+}
+
+Response Client::del(const std::string& target) {
+  Request req;
+  req.method = "DELETE";
+  req.target = target;
+  return request(req);
+}
+
+}  // namespace vnfsgx::http

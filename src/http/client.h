@@ -1,0 +1,35 @@
+// HTTP client over an owned Stream, with keep-alive reuse.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "http/wire.h"
+#include "net/stream.h"
+
+namespace vnfsgx::http {
+
+class Client {
+ public:
+  /// Takes ownership of a connected stream (pipe, TCP, or TLS session).
+  explicit Client(net::StreamPtr stream)
+      : stream_(std::move(stream)), conn_(*stream_) {}
+
+  /// Send a request and block for the response. Throws IoError if the
+  /// peer closes before responding.
+  Response request(const Request& req);
+
+  /// Convenience wrappers.
+  Response get(const std::string& target);
+  Response post(const std::string& target, const std::string& json_body);
+  Response del(const std::string& target);
+
+  void close() { stream_->close(); }
+  net::Stream& stream() { return *stream_; }
+
+ private:
+  net::StreamPtr stream_;
+  Connection conn_;
+};
+
+}  // namespace vnfsgx::http

@@ -1,0 +1,117 @@
+#include "http/message.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vnfsgx::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+}  // namespace
+
+void Headers::set(std::string name, std::string value) {
+  for (auto& [n, v] : entries_) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& [n, v] : entries_) {
+    if (iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Request::path() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::optional<std::string> Request::query_param(std::string_view key) const {
+  const auto q = target.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::string_view query(target);
+  query.remove_prefix(q + 1);
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    const auto eq = pair.find('=');
+    const std::string_view k = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (k == key) {
+      return std::string(eq == std::string_view::npos ? "" : pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Status";
+  }
+}
+
+Response Response::json(int status, const std::string& body_text) {
+  Response r;
+  r.status = status;
+  r.reason = reason_phrase(status);
+  r.headers.set("Content-Type", "application/json");
+  r.body = to_bytes(body_text);
+  return r;
+}
+
+Response Response::text(int status, const std::string& body_text) {
+  Response r;
+  r.status = status;
+  r.reason = reason_phrase(status);
+  r.headers.set("Content-Type", "text/plain");
+  r.body = to_bytes(body_text);
+  return r;
+}
+
+Response Response::error(int status, const std::string& message) {
+  return json(status, "{\"error\":\"" + message + "\"}");
+}
+
+}  // namespace vnfsgx::http

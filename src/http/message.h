@@ -1,0 +1,60 @@
+// HTTP/1.1 message model: requests, responses, case-insensitive headers.
+//
+// Implements the subset Floodlight's REST API needs (GET/POST/PUT/DELETE,
+// Content-Length bodies, keep-alive) — enough to serve the controller's
+// north-bound interface over plain streams or TLS sessions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::http {
+
+/// Ordered header list with case-insensitive name lookup (RFC 9110 §5.1).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  void add(std::string name, std::string value);
+  /// First value for `name`, if present.
+  std::optional<std::string> get(std::string_view name) const;
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";  // path + optional query
+  Headers headers;
+  Bytes body;
+
+  /// Path portion of the target (before '?').
+  std::string path() const;
+  /// Decoded query parameter, if present.
+  std::optional<std::string> query_param(std::string_view key) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  Bytes body;
+
+  static Response json(int status, const std::string& body_text);
+  static Response text(int status, const std::string& body_text);
+  static Response error(int status, const std::string& message);
+};
+
+/// Standard reason phrase for a status code ("Not Found", ...).
+std::string reason_phrase(int status);
+
+}  // namespace vnfsgx::http

@@ -1,0 +1,80 @@
+#include "http/server.h"
+
+#include "common/logging.h"
+
+namespace vnfsgx::http {
+
+void Router::add(const std::string& method, const std::string& path,
+                 Handler handler) {
+  Route route;
+  route.method = method;
+  if (path.size() >= 2 && path.compare(path.size() - 2, 2, "/*") == 0) {
+    route.prefix = path.substr(0, path.size() - 2);
+    route.wildcard = true;
+  } else {
+    route.prefix = path;
+  }
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+Response Router::dispatch(const Request& request,
+                          const RequestContext& ctx) const {
+  const std::string path = request.path();
+  const Route* best = nullptr;
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    const bool matches =
+        route.wildcard
+            ? path.compare(0, route.prefix.size(), route.prefix) == 0
+            : path == route.prefix;
+    if (!matches) continue;
+    path_matched = true;
+    if (route.method != request.method) continue;
+    if (!best || route.prefix.size() > best->prefix.size() ||
+        (route.prefix.size() == best->prefix.size() && best->wildcard &&
+         !route.wildcard)) {
+      best = &route;
+    }
+  }
+  if (best) return best->handler(request, ctx);
+  if (path_matched) return Response::error(405, "method not allowed");
+  return Response::error(404, "not found");
+}
+
+void serve_connection(net::Stream& stream, const Router& router,
+                      const RequestContext& ctx) {
+  Connection conn(stream);
+  while (true) {
+    std::optional<Request> request;
+    try {
+      request = conn.read_request();
+    } catch (const ParseError& e) {
+      conn.write(Response::error(400, "bad request"));
+      return;
+    } catch (const IoError&) {
+      return;  // peer went away mid-message
+    }
+    if (!request) return;  // clean close
+
+    Response response;
+    try {
+      response = router.dispatch(*request, ctx);
+    } catch (const std::exception& e) {
+      VNFSGX_LOG_WARN("http", "handler threw: ", e.what());
+      response = Response::error(500, "internal error");
+    }
+
+    const bool close_requested =
+        request->headers.get("Connection").value_or("") == "close";
+    if (close_requested) response.headers.set("Connection", "close");
+    try {
+      conn.write(response);
+    } catch (const IoError&) {
+      return;
+    }
+    if (close_requested) return;
+  }
+}
+
+}  // namespace vnfsgx::http

@@ -1,0 +1,51 @@
+// HTTP server: router + per-connection serve loop.
+//
+// Transport-agnostic: `serve_connection` drives any Stream (plain pipe,
+// TCP socket, or a TLS session), which is how the controller offers the
+// same REST API in all three Floodlight security modes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "http/wire.h"
+#include "net/stream.h"
+
+namespace vnfsgx::http {
+
+/// Context a handler receives beyond the request itself.
+struct RequestContext {
+  /// Authenticated TLS client identity (certificate subject), empty for
+  /// plain HTTP or server-auth-only TLS. Set by the controller's TLS layer.
+  std::string client_identity;
+};
+
+using Handler = std::function<Response(const Request&, const RequestContext&)>;
+
+/// Method+path router. Paths match exactly, or by prefix when registered
+/// with a trailing "/*" wildcard (longest prefix wins).
+class Router {
+ public:
+  void add(const std::string& method, const std::string& path, Handler handler);
+
+  /// Dispatch; 404 for unknown path, 405 for known path with wrong method.
+  Response dispatch(const Request& request, const RequestContext& ctx) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::string prefix;  // without the "/*"
+    bool wildcard = false;
+    Handler handler;
+  };
+  std::vector<Route> routes_;
+};
+
+/// Serve HTTP/1.1 on one connection until the peer closes or sends
+/// "Connection: close". Exceptions from handlers map to 500 responses;
+/// parse errors produce 400 and close the connection.
+void serve_connection(net::Stream& stream, const Router& router,
+                      const RequestContext& ctx = {});
+
+}  // namespace vnfsgx::http

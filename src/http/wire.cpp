@@ -1,0 +1,189 @@
+#include "http/wire.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vnfsgx::http {
+
+namespace {
+
+void append_headers(Bytes& out, const Headers& headers, std::size_t body_size) {
+  bool has_content_length = false;
+  for (const auto& [name, value] : headers.entries()) {
+    append(out, name);
+    append(out, std::string_view(": "));
+    append(out, value);
+    append(out, std::string_view("\r\n"));
+    if (name.size() == 14) {
+      std::string lower = name;
+      std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      });
+      if (lower == "content-length") has_content_length = true;
+    }
+  }
+  if (!has_content_length) {
+    append(out, std::string_view("Content-Length: "));
+    append(out, std::to_string(body_size));
+    append(out, std::string_view("\r\n"));
+  }
+  append(out, std::string_view("\r\n"));
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+Headers parse_headers(std::string_view block) {
+  Headers headers;
+  std::size_t line_start = 0;
+  while (line_start < block.size()) {
+    const auto eol = block.find("\r\n", line_start);
+    if (eol == std::string_view::npos) throw ParseError("http: bad header line");
+    const std::string_view line = block.substr(line_start, eol - line_start);
+    line_start = eol + 2;
+    if (line.empty()) break;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw ParseError("http: malformed header");
+    }
+    headers.add(std::string(trim(line.substr(0, colon))),
+                std::string(trim(line.substr(colon + 1))));
+  }
+  return headers;
+}
+
+}  // namespace
+
+Bytes encode_request(const Request& request) {
+  Bytes out;
+  append(out, request.method);
+  append(out, std::string_view(" "));
+  append(out, request.target);
+  append(out, std::string_view(" HTTP/1.1\r\n"));
+  append_headers(out, request.headers, request.body.size());
+  append(out, request.body);
+  return out;
+}
+
+Bytes encode_response(const Response& response) {
+  Bytes out;
+  append(out, std::string_view("HTTP/1.1 "));
+  append(out, std::to_string(response.status));
+  append(out, std::string_view(" "));
+  append(out, response.reason.empty() ? reason_phrase(response.status)
+                                      : response.reason);
+  append(out, std::string_view("\r\n"));
+  append_headers(out, response.headers, response.body.size());
+  append(out, response.body);
+  return out;
+}
+
+bool Connection::fill() {
+  std::uint8_t chunk[4096];
+  const std::size_t n = stream_.read(std::span<std::uint8_t>(chunk, sizeof chunk));
+  if (n == 0) return false;
+  buffer_.insert(buffer_.end(), chunk, chunk + n);
+  return true;
+}
+
+std::optional<std::string> Connection::read_header_block() {
+  while (true) {
+    // Search for CRLFCRLF starting at pos_.
+    if (buffer_.size() >= pos_ + 4) {
+      for (std::size_t i = pos_; i + 4 <= buffer_.size(); ++i) {
+        if (buffer_[i] == '\r' && buffer_[i + 1] == '\n' &&
+            buffer_[i + 2] == '\r' && buffer_[i + 3] == '\n') {
+          std::string block(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                            buffer_.begin() + static_cast<std::ptrdiff_t>(i + 4));
+          pos_ = i + 4;
+          return block;
+        }
+      }
+    }
+    if (buffer_.size() - pos_ > kMaxHeaderBytes) {
+      throw ParseError("http: header block too large");
+    }
+    if (!fill()) {
+      if (buffer_.size() == pos_) return std::nullopt;  // clean EOF
+      throw IoError("http: EOF inside header block");
+    }
+  }
+}
+
+Bytes Connection::read_body(const Headers& headers) {
+  if (const auto te = headers.get("Transfer-Encoding"); te.has_value()) {
+    throw ParseError("http: chunked transfer encoding not supported");
+  }
+  std::size_t length = 0;
+  if (const auto cl = headers.get("Content-Length"); cl.has_value()) {
+    try {
+      length = static_cast<std::size_t>(std::stoull(*cl));
+    } catch (const std::exception&) {
+      throw ParseError("http: invalid Content-Length");
+    }
+  }
+  if (length > kMaxBodyBytes) throw ParseError("http: body too large");
+  while (buffer_.size() - pos_ < length) {
+    if (!fill()) throw IoError("http: EOF inside body");
+  }
+  Bytes body(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + length));
+  pos_ += length;
+  // Compact the buffer between messages.
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  pos_ = 0;
+  return body;
+}
+
+std::optional<Request> Connection::read_request() {
+  const auto block = read_header_block();
+  if (!block) return std::nullopt;
+
+  const auto eol = block->find("\r\n");
+  const std::string_view line(block->data(), eol);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    throw ParseError("http: malformed request line");
+  }
+  Request req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    throw ParseError("http: unsupported version");
+  }
+  req.headers = parse_headers(std::string_view(*block).substr(eol + 2));
+  req.body = read_body(req.headers);
+  return req;
+}
+
+std::optional<Response> Connection::read_response() {
+  const auto block = read_header_block();
+  if (!block) return std::nullopt;
+
+  const auto eol = block->find("\r\n");
+  const std::string_view line(block->data(), eol);
+  if (line.substr(0, 5) != "HTTP/") throw ParseError("http: bad status line");
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+    throw ParseError("http: bad status line");
+  }
+  Response res;
+  try {
+    res.status = std::stoi(std::string(line.substr(sp1 + 1, 3)));
+  } catch (const std::exception&) {
+    throw ParseError("http: bad status code");
+  }
+  if (sp1 + 5 <= line.size()) {
+    res.reason = std::string(line.substr(sp1 + 5));
+  }
+  res.headers = parse_headers(std::string_view(*block).substr(eol + 2));
+  res.body = read_body(res.headers);
+  return res;
+}
+
+}  // namespace vnfsgx::http

@@ -1,0 +1,52 @@
+// HTTP/1.1 wire encoding/decoding over a Stream.
+//
+// Blocking reader with an internal buffer; handles pipelined keep-alive
+// exchanges. Bodies are delimited by Content-Length (chunked encoding is
+// rejected — no peer in this system produces it).
+#pragma once
+
+#include "http/message.h"
+#include "net/stream.h"
+
+namespace vnfsgx::http {
+
+inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+/// Serialize a request to the wire (adds Content-Length).
+Bytes encode_request(const Request& request);
+
+/// Serialize a response to the wire (adds Content-Length).
+Bytes encode_response(const Response& response);
+
+/// Buffered connection wrapper used by both client and server sides.
+class Connection {
+ public:
+  /// Borrows the stream; the caller keeps ownership and must outlive this.
+  explicit Connection(net::Stream& stream) : stream_(stream) {}
+
+  /// Read one request. Returns nullopt on clean EOF before the first byte.
+  /// Throws ParseError on malformed input, IoError on mid-message EOF.
+  std::optional<Request> read_request();
+
+  /// Read one response. Same EOF/exception contract as read_request.
+  std::optional<Response> read_response();
+
+  void write(const Request& request) { stream_.write(encode_request(request)); }
+  void write(const Response& response) {
+    stream_.write(encode_response(response));
+  }
+
+ private:
+  /// Read until CRLFCRLF; returns header block including final CRLF pair,
+  /// or nullopt on immediate EOF.
+  std::optional<std::string> read_header_block();
+  Bytes read_body(const Headers& headers);
+  bool fill();  // pull more bytes from the stream; false on EOF
+
+  net::Stream& stream_;
+  Bytes buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vnfsgx::http

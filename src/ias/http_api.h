@@ -1,0 +1,40 @@
+// REST front-end for the IAS simulator, mirroring the shape of the real
+// service's /attestation/v4/report endpoint, plus a typed client.
+//
+// The Verification Manager talks to IAS through this API over the network
+// substrate, so the attestation benchmarks include a realistic IAS
+// round-trip.
+#pragma once
+
+#include "http/client.h"
+#include "http/server.h"
+#include "ias/service.h"
+
+namespace vnfsgx::ias {
+
+/// Routes:
+///   POST /attestation/v4/report  {"isvEnclaveQuote": "<base64>"}
+///     -> 200, AVR JSON body, X-IASReport-Signature header (base64)
+///   GET  /attestation/v4/sigrl/<hex platform id> -> revocation flag
+http::Router make_ias_router(IasService& service);
+
+/// Client wrapper used by the Verification Manager.
+class IasClient {
+ public:
+  /// `connect` opens a fresh stream to the IAS endpoint per request batch.
+  using Connect = std::function<net::StreamPtr()>;
+
+  IasClient(Connect connect, crypto::Ed25519PublicKey report_signing_key)
+      : connect_(std::move(connect)),
+        signing_key_(report_signing_key) {}
+
+  /// Submit a quote; verifies the AVR signature before returning.
+  /// Throws ProtocolError on transport/HTTP errors or a bad signature.
+  VerificationReport verify_quote(ByteView quote_bytes);
+
+ private:
+  Connect connect_;
+  crypto::Ed25519PublicKey signing_key_;
+};
+
+}  // namespace vnfsgx::ias

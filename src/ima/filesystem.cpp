@@ -1,0 +1,48 @@
+#include "ima/filesystem.h"
+
+namespace vnfsgx::ima {
+
+void SimulatedFilesystem::write_file(const std::string& path, Bytes content,
+                                     FileMeta meta) {
+  files_[path] = File{std::move(content), meta};
+}
+
+void SimulatedFilesystem::tamper_file(const std::string& path,
+                                      std::size_t offset) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw Error("fs: no such file: " + path);
+  if (it->second.content.empty()) {
+    it->second.content.push_back(0xff);
+    return;
+  }
+  it->second.content[offset % it->second.content.size()] ^= 0xff;
+}
+
+void SimulatedFilesystem::remove_file(const std::string& path) {
+  files_.erase(path);
+}
+
+bool SimulatedFilesystem::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+const Bytes& SimulatedFilesystem::read_file(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw Error("fs: no such file: " + path);
+  return it->second.content;
+}
+
+const FileMeta& SimulatedFilesystem::metadata(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw Error("fs: no such file: " + path);
+  return it->second.meta;
+}
+
+std::vector<std::string> SimulatedFilesystem::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace vnfsgx::ima

@@ -1,0 +1,48 @@
+// Simulated filesystem backing the container host.
+//
+// Holds the "software running on the container host" that IMA measures:
+// binaries, libraries, container images' entry points. Tests and examples
+// tamper files here to emulate a compromised host.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace vnfsgx::ima {
+
+struct FileMeta {
+  std::uint32_t uid = 0;       // owner
+  bool executable = false;
+};
+
+class SimulatedFilesystem {
+ public:
+  /// Create or replace a file.
+  void write_file(const std::string& path, Bytes content, FileMeta meta = {});
+
+  /// Flip one byte of an existing file (compromise injection).
+  void tamper_file(const std::string& path, std::size_t offset = 0);
+
+  void remove_file(const std::string& path);
+
+  bool exists(const std::string& path) const;
+  const Bytes& read_file(const std::string& path) const;  // throws if missing
+  const FileMeta& metadata(const std::string& path) const;
+
+  std::vector<std::string> list() const;
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  struct File {
+    Bytes content;
+    FileMeta meta;
+  };
+  std::map<std::string, File> files_;
+};
+
+}  // namespace vnfsgx::ima

@@ -1,0 +1,57 @@
+// IMA measurement list (the kernel's binary_runtime_measurements) in the
+// ima-ng template, plus the PCR-10-style aggregate.
+//
+// The integrity attestation enclave embeds a digest of this list in its
+// quote's report data; the Verification Manager appraises the full list
+// against its expected-measurements database.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::ima {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+struct ImaEntry {
+  std::uint32_t pcr = 10;
+  Digest template_hash{};  // sha256 over the template data
+  std::string template_name = "ima-ng";
+  Digest file_digest{};    // sha256 of file contents (zero for violations)
+  std::string file_path;
+
+  bool is_violation() const;
+  bool operator==(const ImaEntry&) const = default;
+};
+
+/// Compute the ima-ng template hash for a digest+path pair.
+Digest template_hash_for(const Digest& file_digest, const std::string& path);
+
+class MeasurementList {
+ public:
+  /// Append a measurement entry for a file.
+  void add_measurement(const Digest& file_digest, const std::string& path);
+
+  /// Append a violation entry (ToMToU / open-writers): zero digest, which
+  /// invalidates the aggregate for the verifier, as in the kernel.
+  void add_violation(const std::string& path);
+
+  const std::vector<ImaEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool has_violation() const;
+
+  /// PCR-10 extend chain: pcr' = SHA256(pcr || template_hash).
+  Digest aggregate() const;
+
+  Bytes encode() const;
+  static MeasurementList decode(ByteView data);
+
+ private:
+  std::vector<ImaEntry> entries_;
+};
+
+}  // namespace vnfsgx::ima

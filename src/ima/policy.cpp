@@ -1,0 +1,99 @@
+#include "ima/policy.h"
+
+#include <sstream>
+
+namespace vnfsgx::ima {
+
+std::string to_string(ImaHook hook) {
+  switch (hook) {
+    case ImaHook::kBprmCheck:
+      return "BPRM_CHECK";
+    case ImaHook::kFileMmap:
+      return "FILE_MMAP";
+    case ImaHook::kFileCheck:
+      return "FILE_CHECK";
+  }
+  return "?";
+}
+
+namespace {
+ImaHook hook_from_string(const std::string& s) {
+  if (s == "BPRM_CHECK") return ImaHook::kBprmCheck;
+  if (s == "FILE_MMAP") return ImaHook::kFileMmap;
+  if (s == "FILE_CHECK") return ImaHook::kFileCheck;
+  throw ParseError("ima policy: unknown func '" + s + "'");
+}
+}  // namespace
+
+bool PolicyRule::matches(const ImaEvent& event) const {
+  if (func && *func != event.hook) return false;
+  if (uid && *uid != event.uid) return false;
+  if (fowner && *fowner != event.fowner) return false;
+  if (path_prefix &&
+      event.path.compare(0, path_prefix->size(), *path_prefix) != 0) {
+    return false;
+  }
+  return true;
+}
+
+ImaPolicy ImaPolicy::parse(const std::string& text) {
+  ImaPolicy policy;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string action;
+    if (!(words >> action)) continue;
+
+    PolicyRule rule;
+    if (action == "measure") {
+      rule.measure = true;
+    } else if (action == "dont_measure") {
+      rule.measure = false;
+    } else {
+      throw ParseError("ima policy: unknown action '" + action + "'");
+    }
+    std::string token;
+    while (words >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        throw ParseError("ima policy: malformed condition '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "func") {
+        rule.func = hook_from_string(value);
+      } else if (key == "uid") {
+        rule.uid = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "fowner") {
+        rule.fowner = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "path") {
+        rule.path_prefix = value;
+      } else {
+        throw ParseError("ima policy: unknown key '" + key + "'");
+      }
+    }
+    policy.add_rule(std::move(rule));
+  }
+  return policy;
+}
+
+ImaPolicy ImaPolicy::tcb_default() {
+  return parse(
+      "# ima_tcb equivalent\n"
+      "measure func=BPRM_CHECK\n"
+      "measure func=FILE_MMAP\n"
+      "measure func=FILE_CHECK uid=0\n");
+}
+
+bool ImaPolicy::should_measure(const ImaEvent& event) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.matches(event)) return rule.measure;
+  }
+  return false;
+}
+
+}  // namespace vnfsgx::ima

@@ -1,0 +1,68 @@
+// IMA policy: which file events produce measurements.
+//
+// Parses the measure/dont_measure rule syntax of the kernel's IMA policy
+// file ("the measurement targets are configured by the administrator in a
+// policy file" — §2 of the paper). First matching rule decides; no match
+// means no measurement, like the kernel's default-deny for measure rules.
+//
+// Supported conditions: func= (BPRM_CHECK | FILE_MMAP | FILE_CHECK),
+// uid=, fowner=, path= (prefix match; a simulator extension standing in
+// for fsmagic/label selectors).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vnfsgx::ima {
+
+enum class ImaHook : std::uint8_t {
+  kBprmCheck,  // executable launched
+  kFileMmap,   // mmapped with exec
+  kFileCheck,  // opened for read
+};
+
+std::string to_string(ImaHook hook);
+
+struct ImaEvent {
+  ImaHook hook = ImaHook::kBprmCheck;
+  std::uint32_t uid = 0;     // acting user
+  std::uint32_t fowner = 0;  // file owner
+  std::string path;
+};
+
+struct PolicyRule {
+  bool measure = true;  // measure vs dont_measure
+  std::optional<ImaHook> func;
+  std::optional<std::uint32_t> uid;
+  std::optional<std::uint32_t> fowner;
+  std::optional<std::string> path_prefix;
+
+  bool matches(const ImaEvent& event) const;
+};
+
+class ImaPolicy {
+ public:
+  /// Parse policy text; one rule per line, '#' comments. Throws ParseError
+  /// on unknown actions/keys.
+  static ImaPolicy parse(const std::string& text);
+
+  /// The kernel's ima_tcb-equivalent default used by the prototype:
+  /// measure everything root executes or mmaps.
+  static ImaPolicy tcb_default();
+
+  void add_rule(PolicyRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// First matching rule decides; default: do not measure.
+  bool should_measure(const ImaEvent& event) const;
+
+  const std::vector<PolicyRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<PolicyRule> rules_;
+};
+
+}  // namespace vnfsgx::ima

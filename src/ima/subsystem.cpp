@@ -1,0 +1,41 @@
+#include "ima/subsystem.h"
+
+#include "crypto/sha256.h"
+
+namespace vnfsgx::ima {
+
+bool ImaSubsystem::on_event(const ImaEvent& event) {
+  if (!fs_.exists(event.path)) return false;
+  ImaEvent enriched = event;
+  enriched.fowner = fs_.metadata(event.path).uid;
+  if (!policy_.should_measure(enriched)) return false;
+
+  const Digest digest = crypto::Sha256::hash(fs_.read_file(event.path));
+  const auto it = cache_.find(event.path);
+  if (it != cache_.end() && it->second == digest) {
+    return false;  // measurement cache hit: unchanged since last time
+  }
+  cache_[event.path] = digest;
+  list_.add_measurement(digest, event.path);
+  if (tpm_) {
+    tpm_->extend(kImaPcrIndex, list_.entries().back().template_hash);
+  }
+  return true;
+}
+
+bool ImaSubsystem::on_exec(const std::string& path, std::uint32_t uid) {
+  ImaEvent event;
+  event.hook = ImaHook::kBprmCheck;
+  event.uid = uid;
+  event.path = path;
+  return on_event(event);
+}
+
+void ImaSubsystem::report_violation(const std::string& path) {
+  list_.add_violation(path);
+  if (tpm_) {
+    tpm_->extend(kImaPcrIndex, list_.entries().back().template_hash);
+  }
+}
+
+}  // namespace vnfsgx::ima

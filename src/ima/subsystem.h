@@ -1,0 +1,47 @@
+// The IMA runtime subsystem: wires the policy to filesystem events and
+// maintains the measurement list, with the kernel's measurement cache
+// (a file is re-measured only when its content changed).
+#pragma once
+
+#include <map>
+
+#include "ima/filesystem.h"
+#include "ima/measurement_list.h"
+#include "ima/policy.h"
+#include "ima/tpm.h"
+
+namespace vnfsgx::ima {
+
+class ImaSubsystem {
+ public:
+  ImaSubsystem(const SimulatedFilesystem& fs, ImaPolicy policy)
+      : fs_(fs), policy_(std::move(policy)) {}
+
+  /// Anchor measurements in a hardware root of trust: every new entry's
+  /// template hash is extended into the TPM's PCR 10, exactly like the
+  /// kernel's ima_pcr_extend. The TPM must outlive this subsystem.
+  void attach_tpm(Tpm* tpm) { tpm_ = tpm; }
+  bool tpm_attached() const { return tpm_ != nullptr; }
+
+  /// A file event (exec/mmap/open) occurred; measure it if the policy says
+  /// so. Returns true if a new measurement entry was produced.
+  bool on_event(const ImaEvent& event);
+
+  /// Convenience: root executes `path`.
+  bool on_exec(const std::string& path, std::uint32_t uid = 0);
+
+  /// Record a ToMToU violation for `path`.
+  void report_violation(const std::string& path);
+
+  const MeasurementList& list() const { return list_; }
+  Digest aggregate() const { return list_.aggregate(); }
+
+ private:
+  const SimulatedFilesystem& fs_;
+  ImaPolicy policy_;
+  MeasurementList list_;
+  std::map<std::string, Digest> cache_;  // last measured digest per path
+  Tpm* tpm_ = nullptr;
+};
+
+}  // namespace vnfsgx::ima

@@ -1,0 +1,363 @@
+#include "json/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vnfsgx::json {
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw ParseError("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  return as_object().count(key) > 0;
+}
+
+const Value& Value::get_or(const std::string& key, const Value& fallback) const {
+  if (!is_object()) return fallback;
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw ParseError("json: trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw ParseError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("invalid number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void number_into(std::string& out, double d) {
+  // Integers within the exactly-representable range print without a
+  // fractional part; protocol fields are integral almost everywhere.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+void serialize_into(std::string& out, const Value& v, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int d) {
+    if (pretty) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    number_into(out, v.as_number());
+  } else if (v.is_string()) {
+    escape_into(out, v.as_string());
+  } else if (v.is_array()) {
+    const Array& arr = v.as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    bool first = true;
+    for (const Value& item : arr) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline_pad(depth + 1);
+      serialize_into(out, item, indent, depth + 1);
+    }
+    newline_pad(depth);
+    out.push_back(']');
+  } else {
+    const Object& obj = v.as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, item] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline_pad(depth + 1);
+      escape_into(out, key);
+      out.push_back(':');
+      if (pretty) out.push_back(' ');
+      serialize_into(out, item, indent, depth + 1);
+    }
+    newline_pad(depth);
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string serialize(const Value& v) {
+  std::string out;
+  serialize_into(out, v, 0, 0);
+  return out;
+}
+
+std::string serialize_pretty(const Value& v, int indent) {
+  std::string out;
+  serialize_into(out, v, indent, 0);
+  return out;
+}
+
+}  // namespace vnfsgx::json

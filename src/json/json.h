@@ -1,0 +1,98 @@
+// Minimal JSON value model, parser and serializer.
+//
+// Carries controller REST bodies (Floodlight-style endpoints) and IAS
+// attestation-verification-report payloads. Supports the full JSON grammar
+// except \uXXXX escapes beyond Latin-1 (sufficient for this system's
+// ASCII protocol surface).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vnfsgx::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps serialization deterministic (sorted keys), which the
+/// attestation code relies on when signing report bodies.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(unsigned i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  double as_number() const { return get<double>("number"); }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  const Object& as_object() const { return get<Object>("object"); }
+  Array& as_array() { return get<Array>("array"); }
+  Object& as_object() { return get<Object>("object"); }
+
+  /// Object field access; throws ParseError when missing (protocol bodies
+  /// are validated by their consumers, which want a hard error).
+  const Value& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Object field or fallback when absent.
+  const Value& get_or(const std::string& key, const Value& fallback) const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    const T* p = std::get_if<T>(&data_);
+    if (!p) throw ParseError(std::string("json: value is not a ") + name);
+    return *p;
+  }
+  template <typename T>
+  T& get(const char* name) {
+    T* p = std::get_if<T>(&data_);
+    if (!p) throw ParseError(std::string("json: value is not a ") + name);
+    return *p;
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse a complete JSON document. Throws ParseError on malformed input or
+/// trailing garbage.
+Value parse(std::string_view text);
+
+/// Compact serialization (no whitespace), deterministic key order.
+std::string serialize(const Value& v);
+
+/// Pretty-printed serialization for logs and examples.
+std::string serialize_pretty(const Value& v, int indent = 2);
+
+}  // namespace vnfsgx::json

@@ -1,0 +1,153 @@
+#include "net/inmemory.h"
+
+#include <algorithm>
+
+namespace vnfsgx::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// One direction of the pipe: a queue of timestamped chunks.
+class Channel {
+ public:
+  explicit Channel(std::chrono::microseconds latency) : latency_(latency) {}
+
+  void send(ByteView data) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw IoError("pipe: peer closed");
+    chunks_.push_back(Chunk{Bytes(data.begin(), data.end()),
+                            SteadyClock::now() + latency_});
+    cv_.notify_all();
+  }
+
+  std::size_t receive(std::span<std::uint8_t> out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      if (!chunks_.empty()) {
+        const auto deliver_at = chunks_.front().deliver_at;
+        const auto now = SteadyClock::now();
+        if (deliver_at <= now) break;
+        cv_.wait_until(lock, deliver_at);
+        continue;
+      }
+      if (closed_) return 0;
+      cv_.wait(lock);
+    }
+    std::size_t off = 0;
+    while (off < out.size() && !chunks_.empty() &&
+           chunks_.front().deliver_at <= SteadyClock::now()) {
+      Chunk& chunk = chunks_.front();
+      const std::size_t take =
+          std::min(out.size() - off, chunk.data.size() - chunk.offset);
+      std::copy_n(chunk.data.begin() + static_cast<std::ptrdiff_t>(chunk.offset),
+                  take, out.begin() + static_cast<std::ptrdiff_t>(off));
+      chunk.offset += take;
+      off += take;
+      if (chunk.offset == chunk.data.size()) chunks_.pop_front();
+    }
+    return off;
+  }
+
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  struct Chunk {
+    Bytes data;
+    SteadyClock::time_point deliver_at;
+    std::size_t offset = 0;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Chunk> chunks_;
+  bool closed_ = false;
+  std::chrono::microseconds latency_;
+};
+
+class PipeStream final : public Stream {
+ public:
+  PipeStream(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~PipeStream() override { PipeStream::close(); }
+
+  void write(ByteView data) override { out_->send(data); }
+
+  std::size_t read(std::span<std::uint8_t> out) override {
+    return in_->receive(out);
+  }
+
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<Channel> in_;
+};
+
+}  // namespace
+
+std::pair<StreamPtr, StreamPtr> make_pipe(const LinkOptions& options) {
+  auto a_to_b = std::make_shared<Channel>(options.latency);
+  auto b_to_a = std::make_shared<Channel>(options.latency);
+  return {std::make_unique<PipeStream>(a_to_b, b_to_a),
+          std::make_unique<PipeStream>(b_to_a, a_to_b)};
+}
+
+InMemoryNetwork::~InMemoryNetwork() { join_all(); }
+
+void InMemoryNetwork::serve(const std::string& address, AcceptHandler handler,
+                            const LinkOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!listeners_.emplace(address, Listener{std::move(handler), options}).second) {
+    throw Error("inmemory: address already in use: " + address);
+  }
+}
+
+void InMemoryNetwork::stop_serving(const std::string& address) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.erase(address);
+}
+
+StreamPtr InMemoryNetwork::connect(const std::string& address) {
+  AcceptHandler handler;
+  LinkOptions options;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      throw IoError("inmemory: connection refused: " + address);
+    }
+    handler = it->second.handler;
+    options = it->second.options;
+  }
+  auto [client_end, server_end] = make_pipe(options);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads_.emplace_back(
+        [handler = std::move(handler), server = std::move(server_end)]() mutable {
+          handler(std::move(server));
+        });
+  }
+  return std::move(client_end);
+}
+
+void InMemoryNetwork::join_all() {
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace vnfsgx::net

@@ -1,0 +1,73 @@
+// In-memory duplex transport and a named in-process "network".
+//
+// The duplex pipe is two bounded byte queues with optional one-way latency,
+// so benchmarks can model a LAN between the Verification Manager, the
+// container host and the controller without real sockets. The
+// InMemoryNetwork maps string addresses ("controller:8443") to accept
+// handlers, each served on its own thread (thread-per-connection).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/stream.h"
+
+namespace vnfsgx::net {
+
+/// One-way latency applied to each write (0 = instant).
+struct LinkOptions {
+  std::chrono::microseconds latency{0};
+};
+
+/// Create a connected pair of streams. Data written on `first` is read from
+/// `second` and vice versa, after `options.latency`.
+std::pair<StreamPtr, StreamPtr> make_pipe(const LinkOptions& options = {});
+
+/// In-process network with named listeners.
+///
+/// `serve` registers an address; `connect` creates a pipe, hands the server
+/// end to the handler on a fresh thread, and returns the client end.
+/// Destroying the network waits for all connection threads to finish, so
+/// handlers must terminate when their stream is closed.
+class InMemoryNetwork {
+ public:
+  using AcceptHandler = std::function<void(StreamPtr)>;
+
+  InMemoryNetwork() = default;
+  ~InMemoryNetwork();
+
+  InMemoryNetwork(const InMemoryNetwork&) = delete;
+  InMemoryNetwork& operator=(const InMemoryNetwork&) = delete;
+
+  /// Register a listener. Throws Error if the address is taken.
+  void serve(const std::string& address, AcceptHandler handler,
+             const LinkOptions& options = {});
+
+  /// Remove a listener (existing connections keep running).
+  void stop_serving(const std::string& address);
+
+  /// Connect to a named listener. Throws IoError if nothing listens there.
+  StreamPtr connect(const std::string& address);
+
+  /// Wait for all spawned connection threads (also done by the destructor).
+  void join_all();
+
+ private:
+  struct Listener {
+    AcceptHandler handler;
+    LinkOptions options;
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, Listener> listeners_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vnfsgx::net

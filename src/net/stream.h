@@ -1,0 +1,53 @@
+// Byte-stream transport abstraction.
+//
+// All protocol code (HTTP, TLS, attestation RPC) is written against Stream
+// and is therefore transport-agnostic: the in-memory duplex pipe gives
+// deterministic tests with injectable latency, and the TCP transport runs
+// the same code over real loopback sockets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace vnfsgx::net {
+
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Write the whole buffer. Throws IoError if the peer has closed.
+  virtual void write(ByteView data) = 0;
+
+  /// Read up to out.size() bytes, blocking until at least one byte is
+  /// available or the peer closes. Returns 0 only on orderly EOF.
+  virtual std::size_t read(std::span<std::uint8_t> out) = 0;
+
+  /// Close this end. Further writes throw; the peer reads EOF after
+  /// draining buffered data. Idempotent.
+  virtual void close() = 0;
+
+  /// Read exactly out.size() bytes or throw IoError on premature EOF.
+  void read_exact(std::span<std::uint8_t> out) {
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const std::size_t n = read(out.subspan(off));
+      if (n == 0) throw IoError("unexpected end of stream");
+      off += n;
+    }
+  }
+
+  /// Convenience: read exactly n bytes into a fresh buffer.
+  Bytes read_exact(std::size_t n) {
+    Bytes out(n);
+    read_exact(std::span<std::uint8_t>(out));
+    return out;
+  }
+};
+
+using StreamPtr = std::unique_ptr<Stream>;
+
+}  // namespace vnfsgx::net

@@ -1,0 +1,60 @@
+// POSIX TCP transport implementing the Stream interface.
+//
+// Lets every protocol in the repo (HTTP, TLS, the enrollment workflow) run
+// over real loopback sockets in addition to the in-memory pipes — the
+// examples use this to demonstrate the system end-to-end on localhost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/stream.h"
+
+namespace vnfsgx::net {
+
+/// Connected TCP socket.
+class TcpStream final : public Stream {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() override;
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  void write(ByteView data) override;
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void close() override;
+
+  /// Connect to host:port (IPv4 dotted quad or "localhost").
+  static StreamPtr connect(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Bind to the given port; port 0 picks an ephemeral port.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actual bound port.
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a client connects. Throws IoError once closed.
+  StreamPtr accept();
+
+  /// Unblock pending accept() calls and refuse new connections.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace vnfsgx::net

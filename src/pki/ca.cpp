@@ -1,0 +1,94 @@
+#include "pki/ca.h"
+
+namespace vnfsgx::pki {
+
+CertificateAuthority::CertificateAuthority(DistinguishedName name,
+                                           crypto::RandomSource& rng,
+                                           const Clock& clock,
+                                           std::int64_t root_validity_seconds)
+    : name_(std::move(name)), clock_(clock), key_(crypto::ed25519_generate(rng)) {
+  root_cert_.serial = 1;
+  root_cert_.subject = name_;
+  root_cert_.issuer = name_;
+  root_cert_.not_before = clock_.now();
+  root_cert_.not_after = clock_.now() + root_validity_seconds;
+  root_cert_.public_key = key_.public_key;
+  root_cert_.is_ca = true;
+  root_cert_.key_usage = static_cast<std::uint8_t>(KeyUsage::kCertSign);
+  root_cert_.signature = crypto::ed25519_sign(key_.seed, root_cert_.tbs());
+}
+
+std::unique_ptr<CertificateAuthority> CertificateAuthority::subordinate(
+    DistinguishedName name, CertificateAuthority& parent,
+    crypto::RandomSource& rng, const Clock& clock,
+    std::int64_t validity_seconds) {
+  auto sub = std::make_unique<CertificateAuthority>(name, rng, clock,
+                                                    validity_seconds);
+  // Replace the self-signed certificate with one issued by the parent.
+  sub->root_cert_ =
+      parent.issue_intermediate(name, sub->key_.public_key, validity_seconds);
+  return sub;
+}
+
+Certificate CertificateAuthority::issue_intermediate(
+    const DistinguishedName& subject,
+    const crypto::Ed25519PublicKey& subject_key,
+    std::int64_t validity_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.not_before = clock_.now();
+  cert.not_after = clock_.now() + validity_seconds;
+  cert.public_key = subject_key;
+  cert.is_ca = true;
+  cert.key_usage = static_cast<std::uint8_t>(KeyUsage::kCertSign);
+  cert.signature = crypto::ed25519_sign(key_.seed, cert.tbs());
+  return cert;
+}
+
+Certificate CertificateAuthority::issue(
+    const DistinguishedName& subject,
+    const crypto::Ed25519PublicKey& subject_public_key,
+    std::uint8_t key_usage, std::int64_t validity_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.not_before = clock_.now();
+  cert.not_after = clock_.now() + validity_seconds;
+  cert.public_key = subject_public_key;
+  cert.is_ca = false;
+  cert.key_usage = key_usage;
+  cert.signature = crypto::ed25519_sign(key_.seed, cert.tbs());
+  return cert;
+}
+
+RevocationList CertificateAuthority::revoke(std::uint64_t serial) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  revoked_.push_back(serial);
+  return build_crl_locked();
+}
+
+RevocationList CertificateAuthority::current_crl() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return build_crl_locked();
+}
+
+std::uint64_t CertificateAuthority::issued_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_serial_ - 2;
+}
+
+RevocationList CertificateAuthority::build_crl_locked() const {
+  RevocationList crl;
+  crl.issuer = name_;
+  crl.this_update = clock_.now();
+  crl.revoked_serials = revoked_;
+  crl.signature = crypto::ed25519_sign(key_.seed, crl.tbs());
+  return crl;
+}
+
+}  // namespace vnfsgx::pki

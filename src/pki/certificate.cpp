@@ -1,0 +1,81 @@
+#include "pki/certificate.h"
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+#include "pki/tlv.h"
+
+namespace vnfsgx::pki {
+
+namespace {
+// TLV tags for certificate fields.
+enum : std::uint8_t {
+  kTagSerial = 0x01,
+  kTagSubjectCn = 0x02,
+  kTagSubjectOrg = 0x03,
+  kTagIssuerCn = 0x04,
+  kTagIssuerOrg = 0x05,
+  kTagNotBefore = 0x06,
+  kTagNotAfter = 0x07,
+  kTagPublicKey = 0x08,
+  kTagIsCa = 0x09,
+  kTagKeyUsage = 0x0a,
+  kTagSignature = 0x0b,
+  kTagTbs = 0x0c,
+};
+}  // namespace
+
+Bytes Certificate::tbs() const {
+  TlvWriter w;
+  w.add_u64(kTagSerial, serial);
+  w.add_string(kTagSubjectCn, subject.common_name);
+  w.add_string(kTagSubjectOrg, subject.organization);
+  w.add_string(kTagIssuerCn, issuer.common_name);
+  w.add_string(kTagIssuerOrg, issuer.organization);
+  w.add_u64(kTagNotBefore, static_cast<std::uint64_t>(not_before));
+  w.add_u64(kTagNotAfter, static_cast<std::uint64_t>(not_after));
+  w.add_bytes(kTagPublicKey, public_key);
+  w.add_u8(kTagIsCa, is_ca ? 1 : 0);
+  w.add_u8(kTagKeyUsage, key_usage);
+  return w.take();
+}
+
+Bytes Certificate::encode() const {
+  TlvWriter w;
+  w.add_bytes(kTagTbs, tbs());
+  w.add_bytes(kTagSignature, signature);
+  return w.take();
+}
+
+Certificate Certificate::decode(ByteView data) {
+  TlvReader outer(data);
+  const Bytes tbs_bytes = outer.expect_bytes(kTagTbs);
+  Certificate cert;
+  cert.signature = outer.expect_array<crypto::kEd25519SignatureSize>(kTagSignature);
+  if (!outer.done()) throw ParseError("certificate: trailing data");
+
+  TlvReader r(tbs_bytes);
+  cert.serial = r.expect_u64(kTagSerial);
+  cert.subject.common_name = r.expect_string(kTagSubjectCn);
+  cert.subject.organization = r.expect_string(kTagSubjectOrg);
+  cert.issuer.common_name = r.expect_string(kTagIssuerCn);
+  cert.issuer.organization = r.expect_string(kTagIssuerOrg);
+  cert.not_before = static_cast<UnixTime>(r.expect_u64(kTagNotBefore));
+  cert.not_after = static_cast<UnixTime>(r.expect_u64(kTagNotAfter));
+  cert.public_key = r.expect_array<crypto::kEd25519PublicKeySize>(kTagPublicKey);
+  cert.is_ca = r.expect_u8(kTagIsCa) != 0;
+  cert.key_usage = r.expect_u8(kTagKeyUsage);
+  if (!r.done()) throw ParseError("certificate: trailing tbs data");
+  return cert;
+}
+
+bool Certificate::verify_signature(
+    const crypto::Ed25519PublicKey& issuer_key) const {
+  return crypto::ed25519_verify(issuer_key, tbs(),
+                                ByteView(signature.data(), signature.size()));
+}
+
+std::string Certificate::fingerprint() const {
+  return to_hex(crypto::sha256(encode()));
+}
+
+}  // namespace vnfsgx::pki

@@ -1,0 +1,30 @@
+// Certificate revocation list, signed by the issuing CA.
+//
+// The Verification Manager revokes a VNF's client certificate when the
+// platform it runs on stops being trustworthy; the controller consults the
+// CRL during trusted-HTTPS client authentication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "pki/certificate.h"
+
+namespace vnfsgx::pki {
+
+struct RevocationList {
+  DistinguishedName issuer;
+  UnixTime this_update = 0;
+  std::vector<std::uint64_t> revoked_serials;
+  crypto::Ed25519Signature signature{};
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static RevocationList decode(ByteView data);
+
+  bool verify_signature(const crypto::Ed25519PublicKey& issuer_key) const;
+  bool is_revoked(std::uint64_t serial) const;
+};
+
+}  // namespace vnfsgx::pki

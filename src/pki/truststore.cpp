@@ -1,0 +1,135 @@
+#include "pki/truststore.h"
+
+#include "common/error.h"
+
+namespace vnfsgx::pki {
+
+std::string to_string(VerifyStatus status) {
+  switch (status) {
+    case VerifyStatus::kOk:
+      return "ok";
+    case VerifyStatus::kUnknownIssuer:
+      return "unknown issuer";
+    case VerifyStatus::kBadSignature:
+      return "bad signature";
+    case VerifyStatus::kExpired:
+      return "expired";
+    case VerifyStatus::kNotYetValid:
+      return "not yet valid";
+    case VerifyStatus::kRevoked:
+      return "revoked";
+    case VerifyStatus::kWrongUsage:
+      return "wrong key usage";
+    case VerifyStatus::kIssuerNotCa:
+      return "issuer is not a CA";
+  }
+  return "?";
+}
+
+void TrustStore::add_root(const Certificate& root) {
+  if (!root.is_ca) throw Error("truststore: root is not a CA certificate");
+  if (!root.verify_signature(root.public_key)) {
+    throw Error("truststore: root self-signature invalid");
+  }
+  roots_.push_back(root);
+}
+
+void TrustStore::set_crl(const RevocationList& crl) {
+  const Certificate* root = find_root(crl.issuer);
+  if (!root) throw Error("truststore: CRL from unknown issuer");
+  if (!crl.verify_signature(root->public_key)) {
+    throw Error("truststore: CRL signature invalid");
+  }
+  for (auto& existing : crls_) {
+    if (existing.issuer == crl.issuer) {
+      existing = crl;
+      return;
+    }
+  }
+  crls_.push_back(crl);
+}
+
+const Certificate* TrustStore::find_root(
+    const DistinguishedName& issuer) const {
+  for (const Certificate& root : roots_) {
+    if (root.subject == issuer) return &root;
+  }
+  return nullptr;
+}
+
+bool TrustStore::serial_revoked(std::uint64_t serial) const {
+  for (const RevocationList& crl : crls_) {
+    if (crl.is_revoked(serial)) return true;
+  }
+  return false;
+}
+
+VerifyResult TrustStore::verify_chain(
+    const Certificate& leaf, std::span<const Certificate> intermediates,
+    KeyUsage usage, UnixTime now) const {
+  // Leaf-local checks first.
+  if (now < leaf.not_before) return {VerifyStatus::kNotYetValid};
+  if (now > leaf.not_after) return {VerifyStatus::kExpired};
+  if (!leaf.allows(usage)) return {VerifyStatus::kWrongUsage};
+
+  const Certificate* current = &leaf;
+  for (const Certificate& issuer : intermediates) {
+    if (issuer.subject != current->issuer) {
+      return {VerifyStatus::kUnknownIssuer};
+    }
+    if (!issuer.is_ca || !issuer.allows(KeyUsage::kCertSign)) {
+      return {VerifyStatus::kIssuerNotCa};
+    }
+    if (now < issuer.not_before) return {VerifyStatus::kNotYetValid};
+    if (now > issuer.not_after) return {VerifyStatus::kExpired};
+    if (!current->verify_signature(issuer.public_key)) {
+      return {VerifyStatus::kBadSignature};
+    }
+    for (const RevocationList& crl : crls_) {
+      if (crl.issuer == current->issuer && crl.is_revoked(current->serial)) {
+        return {VerifyStatus::kRevoked};
+      }
+    }
+    current = &issuer;
+  }
+  // The last link must chain to a trusted root.
+  return verify_link_to_root(*current, now);
+}
+
+VerifyResult TrustStore::verify_link_to_root(const Certificate& cert,
+                                             UnixTime now) const {
+  const Certificate* root = find_root(cert.issuer);
+  if (!root) return {VerifyStatus::kUnknownIssuer};
+  if (!root->is_ca) return {VerifyStatus::kIssuerNotCa};
+  if (!cert.verify_signature(root->public_key)) {
+    return {VerifyStatus::kBadSignature};
+  }
+  for (const RevocationList& crl : crls_) {
+    if (crl.issuer == cert.issuer && crl.is_revoked(cert.serial)) {
+      return {VerifyStatus::kRevoked};
+    }
+  }
+  (void)now;
+  return {VerifyStatus::kOk};
+}
+
+VerifyResult TrustStore::verify(const Certificate& leaf, KeyUsage usage,
+                                UnixTime now) const {
+  const Certificate* root = find_root(leaf.issuer);
+  if (!root) return {VerifyStatus::kUnknownIssuer};
+  if (!root->is_ca) return {VerifyStatus::kIssuerNotCa};
+  if (!leaf.verify_signature(root->public_key)) {
+    return {VerifyStatus::kBadSignature};
+  }
+  if (now < leaf.not_before) return {VerifyStatus::kNotYetValid};
+  if (now > leaf.not_after) return {VerifyStatus::kExpired};
+  if (!leaf.allows(usage)) return {VerifyStatus::kWrongUsage};
+  for (const RevocationList& crl : crls_) {
+    if (crl.issuer == leaf.issuer && crl.is_revoked(leaf.serial)) {
+      return {VerifyStatus::kRevoked};
+    }
+  }
+  return {VerifyStatus::kOk};
+}
+
+}  // namespace vnfsgx::pki

@@ -1,0 +1,72 @@
+// Trust store: the verifier-side policy for accepting peer certificates.
+//
+// This is the paper's key operational insight (§3): instead of loading
+// every client certificate into the controller's keystore, the controller
+// trusts the Verification Manager's CA certificate and validates the
+// signature chain + validity window + revocation status.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "pki/certificate.h"
+#include "pki/crl.h"
+
+namespace vnfsgx::pki {
+
+enum class VerifyStatus {
+  kOk,
+  kUnknownIssuer,
+  kBadSignature,
+  kExpired,
+  kNotYetValid,
+  kRevoked,
+  kWrongUsage,
+  kIssuerNotCa,
+};
+
+std::string to_string(VerifyStatus status);
+
+struct VerifyResult {
+  VerifyStatus status = VerifyStatus::kOk;
+  bool ok() const { return status == VerifyStatus::kOk; }
+};
+
+class TrustStore {
+ public:
+  /// Trust a CA root. The certificate must be a CA cert; throws otherwise.
+  void add_root(const Certificate& root);
+
+  /// Install/replace the CRL for its issuer. The CRL signature is checked
+  /// against the matching trusted root; throws Error if it fails.
+  void set_crl(const RevocationList& crl);
+
+  /// Verify a leaf certificate for `usage` at time `now`.
+  VerifyResult verify(const Certificate& leaf, KeyUsage usage,
+                      UnixTime now) const;
+
+  /// True if any installed CRL lists `serial` (used by TLS session
+  /// resumption, where only the original certificate's serial is known).
+  bool serial_revoked(std::uint64_t serial) const;
+
+  /// Verify a leaf through a chain of intermediate CA certificates
+  /// (ordered leaf-issuer first) terminating at a trusted root. Every
+  /// certificate in the chain must be a valid, unrevoked CA certificate
+  /// with kCertSign usage.
+  VerifyResult verify_chain(const Certificate& leaf,
+                            std::span<const Certificate> intermediates,
+                            KeyUsage usage, UnixTime now) const;
+
+  const std::vector<Certificate>& roots() const { return roots_; }
+
+ private:
+  const Certificate* find_root(const DistinguishedName& issuer) const;
+  VerifyResult verify_link_to_root(const Certificate& cert, UnixTime now) const;
+
+  std::vector<Certificate> roots_;
+  std::vector<RevocationList> crls_;
+};
+
+}  // namespace vnfsgx::pki

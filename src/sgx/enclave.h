@@ -1,0 +1,152 @@
+// Enclave runtime: trusted-logic interface, in-enclave services (the SDK
+// intrinsics), the protected-memory vault, and the ECALL gate.
+//
+// The simulator enforces the SGX security contract in software:
+//   * an enclave is immutable once initialized (no page changes),
+//   * enclave memory (the vault) is readable only while executing inside
+//     that enclave — any other access throws SecurityViolation,
+//   * reports can only be created from inside an enclave,
+//   * sealed blobs only unseal inside an enclave with the same identity
+//     (measurement or signer, per policy) on the same platform.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "sgx/measurement.h"
+#include "sgx/sigstruct.h"
+#include "sgx/structs.h"
+
+namespace vnfsgx::sgx {
+
+class Enclave;
+class SgxPlatform;
+
+enum class SealPolicy : std::uint8_t {
+  kMrEnclave = 1,  // only the exact same enclave can unseal
+  kMrSigner = 2,   // any enclave from the same vendor can unseal
+};
+
+/// Key-value storage living in (simulated) EPC memory. Reads and writes are
+/// permitted only while the owning enclave is executing an ECALL.
+class EnclaveVault {
+ public:
+  explicit EnclaveVault(const Enclave& owner) : owner_(owner) {}
+
+  void store(const std::string& key, Bytes value);
+  const Bytes& load(const std::string& key) const;
+  bool contains(const std::string& key) const;  // metadata; callable anywhere
+  void erase(const std::string& key);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void check_access(const char* op) const;
+
+  const Enclave& owner_;
+  std::map<std::string, Bytes> entries_;
+};
+
+/// The in-enclave API surface (mirrors sgx_create_report, sgx_seal_data,
+/// sgx_read_rand, ...). Handed to TrustedLogic during ECALLs.
+class EnclaveServices {
+ public:
+  virtual ~EnclaveServices() = default;
+
+  /// EREPORT: a report about this enclave, MACed for `target`.
+  virtual Report create_report(const TargetInfo& target,
+                               const ReportData& data) = 0;
+
+  /// Seal data to this enclave's identity. Returns the sealed blob.
+  virtual Bytes seal(SealPolicy policy, ByteView plaintext, ByteView aad) = 0;
+
+  /// Unseal a blob sealed on this platform to a matching identity.
+  /// Returns nullopt if the blob fails authentication or policy.
+  virtual std::optional<Bytes> unseal(ByteView blob, ByteView aad) = 0;
+
+  /// sgx_read_rand.
+  virtual void read_rand(std::span<std::uint8_t> out) = 0;
+
+  /// This enclave's own identity (for report_data construction etc).
+  virtual const ReportBody& self() const = 0;
+
+  /// Protected storage.
+  virtual EnclaveVault& vault() = 0;
+};
+
+/// The "code inside the enclave". Receives opcode-dispatched ECALLs.
+class TrustedLogic {
+ public:
+  virtual ~TrustedLogic() = default;
+  virtual Bytes handle_call(std::uint32_t opcode, ByteView input,
+                            EnclaveServices& services) = 0;
+};
+
+using LogicFactory = std::function<std::unique_ptr<TrustedLogic>()>;
+
+/// An enclave image: the measured byte contents plus the behavior those
+/// bytes stand for in the simulation. Tampering `code` changes the
+/// measurement exactly as flipping bits in a real enclave binary would.
+struct EnclaveImage {
+  std::string name;  // debugging label only; not measured
+  Bytes code;
+  std::uint64_t attributes = 0;
+  LogicFactory factory;
+};
+
+/// A loaded, initialized enclave. Created via SgxPlatform::load_enclave.
+class Enclave {
+ public:
+  ~Enclave();
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  const Measurement& mr_enclave() const { return body_.mr_enclave; }
+  const Measurement& mr_signer() const { return body_.mr_signer; }
+  const ReportBody& identity() const { return body_; }
+  const std::string& name() const { return name_; }
+
+  /// ECALL: enter the enclave and dispatch to the trusted logic.
+  /// Throws SecurityViolation if the enclave has been destroyed.
+  Bytes call(std::uint32_t opcode, ByteView input);
+
+  /// Number of ECALL crossings so far (used by the overhead benchmarks).
+  std::uint64_t ecall_count() const {
+    return ecall_count_.load(std::memory_order_relaxed);
+  }
+
+  /// EREMOVE: tear down; EPC pages are freed and further calls throw.
+  void destroy();
+  bool destroyed() const { return destroyed_; }
+
+  /// True iff the calling thread is currently executing inside this
+  /// enclave (used by the vault access checks).
+  bool currently_inside() const;
+
+  /// Size of this enclave's EPC reservation.
+  std::size_t epc_bytes() const { return epc_bytes_; }
+
+ private:
+  friend class SgxPlatform;
+  Enclave(SgxPlatform& platform, std::string name, ReportBody body,
+          std::unique_ptr<TrustedLogic> logic, std::size_t epc_bytes);
+
+  class ServicesImpl;
+
+  SgxPlatform& platform_;
+  std::string name_;
+  ReportBody body_;
+  std::unique_ptr<TrustedLogic> logic_;
+  std::unique_ptr<ServicesImpl> services_;
+  std::size_t epc_bytes_;
+  std::atomic<std::uint64_t> ecall_count_{0};
+  bool destroyed_ = false;
+};
+
+}  // namespace vnfsgx::sgx

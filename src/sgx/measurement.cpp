@@ -1,0 +1,64 @@
+#include "sgx/measurement.h"
+
+#include "common/error.h"
+#include "common/hex.h"
+
+namespace vnfsgx::sgx {
+
+namespace {
+constexpr std::size_t kPageSize = 4096;
+}
+
+std::string to_hex_string(const Measurement& m) {
+  return to_hex(ByteView(m.data(), m.size()));
+}
+
+MeasurementBuilder::MeasurementBuilder() = default;
+
+void MeasurementBuilder::ecreate(std::uint64_t enclave_size,
+                                 std::uint64_t attributes) {
+  Bytes record;
+  append(record, std::string_view("ECREATE\0", 8));
+  append_u64(record, enclave_size);
+  append_u64(record, attributes);
+  hash_.update(record);
+}
+
+void MeasurementBuilder::add_page(std::uint64_t offset, ByteView content) {
+  if (finalized_) throw Error("measurement: already finalized");
+  Bytes header;
+  append(header, std::string_view("EEXTEND\0", 8));
+  append_u64(header, offset);
+  hash_.update(header);
+  // Pages are measured zero-padded to the page size, like EEXTEND's
+  // 256-byte chunks cover the whole page.
+  hash_.update(content);
+  if (content.size() < kPageSize) {
+    const Bytes padding(kPageSize - content.size(), 0);
+    hash_.update(padding);
+  }
+}
+
+Measurement MeasurementBuilder::finalize() {
+  if (finalized_) throw Error("measurement: already finalized");
+  finalized_ = true;
+  Bytes record;
+  append(record, std::string_view("EINIT\0\0\0", 8));
+  hash_.update(record);
+  return hash_.finish();
+}
+
+Measurement measure_image(ByteView code, std::uint64_t attributes) {
+  MeasurementBuilder builder;
+  builder.ecreate(code.size(), attributes);
+  std::uint64_t offset = 0;
+  while (offset < code.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(kPageSize, code.size() - offset);
+    builder.add_page(offset, code.subspan(offset, take));
+    offset += take;
+  }
+  return builder.finalize();
+}
+
+}  // namespace vnfsgx::sgx

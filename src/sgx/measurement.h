@@ -1,0 +1,46 @@
+// Enclave measurement (MRENCLAVE) simulation.
+//
+// Real SGX builds MRENCLAVE as a SHA-256 over the ECREATE/EADD/EEXTEND
+// sequence of the enclave's initial contents. The simulator reproduces the
+// extend-chain structure: a context tag per lifecycle operation, hashed in
+// order, so any change to any loaded page (or the load order) changes the
+// measurement — which is exactly the property the paper's attestation
+// workflow relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace vnfsgx::sgx {
+
+using Measurement = std::array<std::uint8_t, 32>;
+
+std::string to_hex_string(const Measurement& m);
+
+/// Builds a measurement by replaying the enclave-load operations.
+class MeasurementBuilder {
+ public:
+  MeasurementBuilder();
+
+  /// ECREATE: fixes the enclave's declared size and attributes.
+  void ecreate(std::uint64_t enclave_size, std::uint64_t attributes);
+
+  /// EADD+EEXTEND: measure one page of initial content at `offset`.
+  void add_page(std::uint64_t offset, ByteView content);
+
+  /// EINIT: finalize. The builder must not be reused afterwards.
+  Measurement finalize();
+
+ private:
+  crypto::Sha256 hash_;
+  bool finalized_ = false;
+};
+
+/// Measure a full image: ecreate + one add_page per 4 KiB chunk.
+Measurement measure_image(ByteView code, std::uint64_t attributes);
+
+}  // namespace vnfsgx::sgx

@@ -1,0 +1,38 @@
+// Enclave signature structure (SIGSTRUCT simulation).
+//
+// EINIT only accepts an enclave whose measurement is signed by the vendor
+// key named in the SIGSTRUCT; MRSIGNER is the hash of that vendor public
+// key. This gives the simulator the same two identities real SGX has:
+// MRENCLAVE (exact code) and MRSIGNER (vendor).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+#include "sgx/measurement.h"
+
+namespace vnfsgx::sgx {
+
+struct SigStruct {
+  crypto::Ed25519PublicKey vendor_public_key{};
+  Measurement enclave_measurement{};
+  std::uint16_t isv_prod_id = 0;
+  std::uint16_t isv_svn = 0;
+  crypto::Ed25519Signature signature{};
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static SigStruct decode(ByteView data);
+
+  bool verify() const;
+  /// MRSIGNER = SHA-256(vendor public key).
+  Measurement mr_signer() const;
+};
+
+/// Vendor-side helper: sign a measurement to produce the SIGSTRUCT.
+SigStruct sign_enclave(const crypto::Ed25519Seed& vendor_seed,
+                       const Measurement& measurement,
+                       std::uint16_t isv_prod_id, std::uint16_t isv_svn);
+
+}  // namespace vnfsgx::sgx

@@ -1,0 +1,107 @@
+#include "sgx/structs.h"
+
+#include "pki/tlv.h"
+
+namespace vnfsgx::sgx {
+
+namespace {
+enum : std::uint8_t {
+  kTagMrEnclave = 0x01,
+  kTagMrSigner = 0x02,
+  kTagIsvProdId = 0x03,
+  kTagIsvSvn = 0x04,
+  kTagAttributes = 0x05,
+  kTagReportData = 0x06,
+  kTagBody = 0x07,
+  kTagMac = 0x08,
+  kTagVersion = 0x09,
+  kTagPlatformId = 0x0a,
+  kTagSignature = 0x0b,
+};
+}  // namespace
+
+Bytes TargetInfo::encode() const {
+  pki::TlvWriter w;
+  w.add_bytes(kTagMrEnclave, mr_enclave);
+  return w.take();
+}
+
+TargetInfo TargetInfo::decode(ByteView data) {
+  pki::TlvReader r(data);
+  TargetInfo info;
+  info.mr_enclave = r.expect_array<32>(kTagMrEnclave);
+  if (!r.done()) throw ParseError("target_info: trailing data");
+  return info;
+}
+
+Bytes ReportBody::encode() const {
+  pki::TlvWriter w;
+  w.add_bytes(kTagMrEnclave, mr_enclave);
+  w.add_bytes(kTagMrSigner, mr_signer);
+  w.add_u32(kTagIsvProdId, isv_prod_id);
+  w.add_u32(kTagIsvSvn, isv_svn);
+  w.add_u64(kTagAttributes, attributes);
+  w.add_bytes(kTagReportData, report_data);
+  return w.take();
+}
+
+ReportBody ReportBody::decode(ByteView data) {
+  pki::TlvReader r(data);
+  ReportBody body;
+  body.mr_enclave = r.expect_array<32>(kTagMrEnclave);
+  body.mr_signer = r.expect_array<32>(kTagMrSigner);
+  body.isv_prod_id = static_cast<std::uint16_t>(r.expect_u32(kTagIsvProdId));
+  body.isv_svn = static_cast<std::uint16_t>(r.expect_u32(kTagIsvSvn));
+  body.attributes = r.expect_u64(kTagAttributes);
+  body.report_data = r.expect_array<64>(kTagReportData);
+  if (!r.done()) throw ParseError("report_body: trailing data");
+  return body;
+}
+
+Bytes Report::encode() const {
+  pki::TlvWriter w;
+  w.add_bytes(kTagBody, body.encode());
+  w.add_bytes(kTagMac, mac);
+  return w.take();
+}
+
+Report Report::decode(ByteView data) {
+  pki::TlvReader r(data);
+  Report report;
+  report.body = ReportBody::decode(r.expect(kTagBody));
+  report.mac = r.expect_array<32>(kTagMac);
+  if (!r.done()) throw ParseError("report: trailing data");
+  return report;
+}
+
+Bytes Quote::encode_tbs() const {
+  pki::TlvWriter w;
+  w.add_u32(kTagVersion, version);
+  w.add_bytes(kTagPlatformId, platform_id);
+  w.add_bytes(kTagBody, body.encode());
+  return w.take();
+}
+
+Bytes Quote::encode() const {
+  pki::TlvWriter w;
+  w.add_bytes(kTagBody, encode_tbs());
+  w.add_bytes(kTagSignature, signature);
+  return w.take();
+}
+
+Quote Quote::decode(ByteView data) {
+  pki::TlvReader outer(data);
+  const Bytes tbs = outer.expect_bytes(kTagBody);
+  Quote quote;
+  quote.signature = outer.expect_array<64>(kTagSignature);
+  if (!outer.done()) throw ParseError("quote: trailing data");
+
+  pki::TlvReader r(tbs);
+  quote.version = static_cast<std::uint16_t>(r.expect_u32(kTagVersion));
+  quote.platform_id = r.expect_array<16>(kTagPlatformId);
+  quote.body = ReportBody::decode(r.expect(kTagBody));
+  if (!r.done()) throw ParseError("quote: trailing tbs data");
+  return quote;
+}
+
+}  // namespace vnfsgx::sgx

@@ -1,0 +1,67 @@
+// SGX data structures: TargetInfo, Report, Quote (simulator equivalents of
+// sgx_target_info_t, sgx_report_t, sgx_quote_t).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+#include "sgx/measurement.h"
+
+namespace vnfsgx::sgx {
+
+/// 16-byte platform identifier — the simulator's stand-in for the EPID
+/// group/pseudonym. IAS maps it to a registered attestation key.
+using PlatformId = std::array<std::uint8_t, 16>;
+
+/// 64 bytes of caller-chosen data bound into reports and quotes; the
+/// attestation protocol uses it to bind nonces and channel keys.
+using ReportData = std::array<std::uint8_t, 64>;
+
+/// Identifies the enclave a local-attestation report is destined for
+/// (the verifying enclave derives the matching report key).
+struct TargetInfo {
+  Measurement mr_enclave{};
+
+  Bytes encode() const;
+  static TargetInfo decode(ByteView data);
+};
+
+/// EREPORT output: enclave identity + report data, MACed with a key only
+/// the target enclave (and the platform) can derive.
+struct ReportBody {
+  Measurement mr_enclave{};
+  Measurement mr_signer{};
+  std::uint16_t isv_prod_id = 0;
+  std::uint16_t isv_svn = 0;
+  std::uint64_t attributes = 0;
+  ReportData report_data{};
+
+  Bytes encode() const;
+  static ReportBody decode(ByteView data);
+  bool operator==(const ReportBody&) const = default;
+};
+
+struct Report {
+  ReportBody body;
+  std::array<std::uint8_t, 32> mac{};  // HMAC-SHA256 under the report key
+
+  Bytes encode() const;
+  static Report decode(ByteView data);
+};
+
+/// Remote-attestation quote produced by the Quoting Enclave: a report body
+/// signed with the platform's attestation key (EPID stand-in).
+struct Quote {
+  std::uint16_t version = 2;
+  PlatformId platform_id{};
+  ReportBody body;
+  crypto::Ed25519Signature signature{};  // over encode_tbs()
+
+  Bytes encode_tbs() const;
+  Bytes encode() const;
+  static Quote decode(ByteView data);
+};
+
+}  // namespace vnfsgx::sgx

@@ -1,0 +1,78 @@
+#include "tls/key_schedule.h"
+
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+
+namespace vnfsgx::tls {
+
+Bytes derive_secret(ByteView secret, std::string_view label,
+                    ByteView transcript_hash) {
+  return crypto::hkdf_expand_label(secret, label, transcript_hash,
+                                   crypto::kSha256DigestSize);
+}
+
+KeySchedule::KeySchedule(ByteView psk) {
+  if (psk.empty()) {
+    const Bytes zeros(crypto::kSha256DigestSize, 0);
+    early_secret_ = crypto::hkdf_extract({}, zeros);
+  } else {
+    early_secret_ = crypto::hkdf_extract({}, psk);
+  }
+}
+
+Bytes KeySchedule::binder_key() const {
+  return crypto::hkdf_expand_label(early_secret_, "res binder", {},
+                                   crypto::kSha256DigestSize);
+}
+
+void KeySchedule::set_handshake_secret(ByteView ecdhe_shared) {
+  const Bytes empty_hash = crypto::sha256({});
+  const Bytes derived = derive_secret(early_secret_, "derived", empty_hash);
+  handshake_secret_ = crypto::hkdf_extract(derived, ecdhe_shared);
+}
+
+Bytes KeySchedule::client_handshake_traffic(ByteView transcript_hash) const {
+  return derive_secret(handshake_secret_, "c hs traffic", transcript_hash);
+}
+
+Bytes KeySchedule::server_handshake_traffic(ByteView transcript_hash) const {
+  return derive_secret(handshake_secret_, "s hs traffic", transcript_hash);
+}
+
+void KeySchedule::set_master_secret() {
+  const Bytes empty_hash = crypto::sha256({});
+  const Bytes derived = derive_secret(handshake_secret_, "derived", empty_hash);
+  const Bytes zeros(crypto::kSha256DigestSize, 0);
+  master_secret_ = crypto::hkdf_extract(derived, zeros);
+}
+
+Bytes KeySchedule::client_application_traffic(ByteView transcript_hash) const {
+  return derive_secret(master_secret_, "c ap traffic", transcript_hash);
+}
+
+Bytes KeySchedule::server_application_traffic(ByteView transcript_hash) const {
+  return derive_secret(master_secret_, "s ap traffic", transcript_hash);
+}
+
+Bytes KeySchedule::resumption_secret(ByteView transcript_hash) const {
+  return derive_secret(master_secret_, "res master", transcript_hash);
+}
+
+Bytes KeySchedule::finished_key(ByteView traffic_secret) {
+  return crypto::hkdf_expand_label(traffic_secret, "finished", {},
+                                   crypto::kSha256DigestSize);
+}
+
+Bytes KeySchedule::finished_mac(ByteView traffic_secret,
+                                ByteView transcript_hash) {
+  return crypto::hmac_sha256(finished_key(traffic_secret), transcript_hash);
+}
+
+TrafficKeys KeySchedule::traffic_keys(ByteView traffic_secret) {
+  TrafficKeys keys;
+  keys.key = crypto::hkdf_expand_label(traffic_secret, "key", {}, 16);
+  keys.iv = crypto::hkdf_expand_label(traffic_secret, "iv", {}, 12);
+  return keys;
+}
+
+}  // namespace vnfsgx::tls

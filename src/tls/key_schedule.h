@@ -1,0 +1,77 @@
+// TLS 1.3-style HKDF key schedule (RFC 8446 §7.1, specialized to one suite:
+// X25519 / AES-128-GCM / SHA-256 / Ed25519).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace vnfsgx::tls {
+
+struct TrafficKeys {
+  Bytes key;  // 16 bytes (AES-128)
+  Bytes iv;   // 12 bytes
+};
+
+/// Derive-Secret(secret, label, transcript_hash).
+Bytes derive_secret(ByteView secret, std::string_view label,
+                    ByteView transcript_hash);
+
+/// Key schedule state machine; feed the ECDHE secret and transcript hashes
+/// as the handshake progresses.
+class KeySchedule {
+ public:
+  /// Full handshakes use an empty PSK; resumption seeds the early secret
+  /// with the previous session's resumption secret (RFC 8446 §4.6.1).
+  explicit KeySchedule(ByteView psk = {});
+
+  /// Binder key for PSK offers: authenticated proof of PSK possession
+  /// carried in the ClientHello.
+  Bytes binder_key() const;
+
+  /// Mix in the ECDHE shared secret after ServerHello.
+  void set_handshake_secret(ByteView ecdhe_shared);
+
+  /// Traffic secrets for the handshake phase (transcript through ServerHello).
+  Bytes client_handshake_traffic(ByteView transcript_hash) const;
+  Bytes server_handshake_traffic(ByteView transcript_hash) const;
+
+  /// Advance to the master secret (after server Finished is sent).
+  void set_master_secret();
+
+  /// Application traffic secrets (transcript through server Finished).
+  Bytes client_application_traffic(ByteView transcript_hash) const;
+  Bytes server_application_traffic(ByteView transcript_hash) const;
+
+  /// Resumption master secret (transcript through client Finished); the
+  /// PSK for the next session.
+  Bytes resumption_secret(ByteView transcript_hash) const;
+
+  /// finished_key = HKDF-Expand-Label(traffic_secret, "finished", "", 32).
+  static Bytes finished_key(ByteView traffic_secret);
+  /// verify_data = HMAC(finished_key, transcript_hash).
+  static Bytes finished_mac(ByteView traffic_secret, ByteView transcript_hash);
+
+  /// Record keys from a traffic secret.
+  static TrafficKeys traffic_keys(ByteView traffic_secret);
+
+ private:
+  Bytes early_secret_;
+  Bytes handshake_secret_;
+  Bytes master_secret_;
+};
+
+/// Running transcript hash over handshake messages.
+class Transcript {
+ public:
+  void add(ByteView message) { hash_.update(message); }
+  Bytes digest() const {
+    crypto::Sha256 copy = hash_;  // snapshot
+    const auto d = copy.finish();
+    return Bytes(d.begin(), d.end());
+  }
+
+ private:
+  crypto::Sha256 hash_;
+};
+
+}  // namespace vnfsgx::tls

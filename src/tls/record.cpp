@@ -1,0 +1,85 @@
+#include "tls/record.h"
+
+#include "common/error.h"
+
+namespace vnfsgx::tls {
+
+void write_record(net::Stream& stream, const Record& record) {
+  if (record.payload.size() > kMaxRecordPayload) {
+    throw ProtocolError("tls: record payload too large");
+  }
+  Bytes wire;
+  append_u8(wire, static_cast<std::uint8_t>(record.type));
+  append_u16(wire, static_cast<std::uint16_t>(record.payload.size()));
+  append(wire, record.payload);
+  stream.write(wire);
+}
+
+std::optional<Record> read_record(net::Stream& stream) {
+  std::uint8_t header[3];
+  // Distinguish clean EOF (0 bytes at boundary) from truncation.
+  const std::size_t first = stream.read(std::span<std::uint8_t>(header, 3));
+  if (first == 0) return std::nullopt;
+  if (first < 3) {
+    stream.read_exact(std::span<std::uint8_t>(header + first, 3 - first));
+  }
+  Record record;
+  record.type = static_cast<ContentType>(header[0]);
+  const std::uint16_t len = read_u16(ByteView(header, 3), 1);
+  if (len > kMaxRecordPayload) throw ProtocolError("tls: oversized record");
+  record.payload = stream.read_exact(len);
+  return record;
+}
+
+RecordProtection::RecordProtection(ByteView key, ByteView iv) : aead_(key) {
+  if (iv.size() != iv_.size()) throw CryptoError("tls: bad record IV size");
+  std::copy(iv.begin(), iv.end(), iv_.begin());
+}
+
+std::array<std::uint8_t, 12> RecordProtection::nonce_for_seq() const {
+  std::array<std::uint8_t, 12> nonce = iv_;
+  for (int i = 0; i < 8; ++i) {
+    nonce[11 - static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(seq_ >> (8 * i));
+  }
+  return nonce;
+}
+
+Record RecordProtection::protect(const Record& plain) {
+  Bytes inner = plain.payload;
+  append_u8(inner, static_cast<std::uint8_t>(plain.type));
+
+  const std::size_t ct_len = inner.size() + crypto::kGcmTagSize;
+  Bytes aad;
+  append_u8(aad, static_cast<std::uint8_t>(ContentType::kApplicationData));
+  append_u16(aad, static_cast<std::uint16_t>(ct_len));
+
+  const auto nonce = nonce_for_seq();
+  ++seq_;
+  Record wire;
+  wire.type = ContentType::kApplicationData;
+  wire.payload = aead_.seal(nonce, inner, aad);
+  return wire;
+}
+
+Record RecordProtection::unprotect(const Record& wire) {
+  if (wire.type != ContentType::kApplicationData) {
+    throw ProtocolError("tls: expected protected record");
+  }
+  Bytes aad;
+  append_u8(aad, static_cast<std::uint8_t>(ContentType::kApplicationData));
+  append_u16(aad, static_cast<std::uint16_t>(wire.payload.size()));
+
+  const auto nonce = nonce_for_seq();
+  auto inner = aead_.open(nonce, wire.payload, aad);
+  if (!inner) throw ProtocolError("tls: record authentication failed");
+  ++seq_;
+  if (inner->empty()) throw ProtocolError("tls: empty inner plaintext");
+  Record plain;
+  plain.type = static_cast<ContentType>(inner->back());
+  inner->pop_back();
+  plain.payload = std::move(*inner);
+  return plain;
+}
+
+}  // namespace vnfsgx::tls

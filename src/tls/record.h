@@ -1,0 +1,56 @@
+// TLS record layer: framing, and AES-128-GCM protection with per-direction
+// sequence-number nonces (RFC 8446 §5 style).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/gcm.h"
+#include "net/stream.h"
+
+namespace vnfsgx::tls {
+
+enum class ContentType : std::uint8_t {
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+inline constexpr std::size_t kMaxRecordPayload = 16384 + 256;
+
+struct Record {
+  ContentType type = ContentType::kHandshake;
+  Bytes payload;
+};
+
+/// Plaintext record framing: type(1) || length(2) || payload.
+void write_record(net::Stream& stream, const Record& record);
+/// Returns nullopt on clean EOF at a record boundary.
+std::optional<Record> read_record(net::Stream& stream);
+
+/// One direction of record protection. Nonce = iv XOR seq (seq in the last
+/// 8 bytes); AAD = the 3-byte record header of the protected record.
+class RecordProtection {
+ public:
+  RecordProtection(ByteView key, ByteView iv);
+
+  /// Encrypt a record; the inner content type is appended to the plaintext
+  /// (TLSInnerPlaintext) and the outer type is ApplicationData.
+  Record protect(const Record& plain);
+
+  /// Decrypt; throws ProtocolError on authentication failure.
+  Record unprotect(const Record& wire);
+
+  std::uint64_t seq() const { return seq_; }
+
+ private:
+  std::array<std::uint8_t, 12> nonce_for_seq() const;
+
+  crypto::AesGcm aead_;
+  std::array<std::uint8_t, 12> iv_{};
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace vnfsgx::tls

@@ -1,0 +1,711 @@
+#include "tls/session.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "crypto/ct.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/x25519.h"
+#include "pki/tlv.h"
+
+namespace vnfsgx::tls {
+
+namespace {
+
+enum class HsType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kNewSessionTicket = 4,
+  kCertificateRequest = 13,
+  kCertificate = 11,
+  kCertificateVerify = 15,
+  kFinished = 20,
+};
+
+enum class AlertCode : std::uint8_t {
+  kCloseNotify = 0,
+  kHandshakeFailure = 40,
+  kBadCertificate = 42,
+  kCertificateRevoked = 44,
+  kCertificateExpired = 45,
+  kCertificateUnknown = 46,
+  kDecryptError = 51,
+  kCertificateRequired = 116,
+};
+
+Bytes hs_message(HsType type, ByteView body) {
+  Bytes msg;
+  append_u8(msg, static_cast<std::uint8_t>(type));
+  append_u24(msg, static_cast<std::uint32_t>(body.size()));
+  append(msg, body);
+  return msg;
+}
+
+/// Signature context for CertificateVerify (RFC 8446 §4.4.3 shape).
+Bytes certificate_verify_content(bool server, ByteView transcript_hash) {
+  Bytes content;
+  content.reserve(64 + 40 + 1 + transcript_hash.size());
+  content.assign(64, 0x20);
+  const std::string_view label = server
+                                     ? "TLS 1.3, server CertificateVerify"
+                                     : "TLS 1.3, client CertificateVerify";
+  append(content, label);
+  append_u8(content, 0);
+  append(content, transcript_hash);
+  return content;
+}
+
+AlertCode alert_for(pki::VerifyStatus status) {
+  switch (status) {
+    case pki::VerifyStatus::kExpired:
+    case pki::VerifyStatus::kNotYetValid:
+      return AlertCode::kCertificateExpired;
+    case pki::VerifyStatus::kRevoked:
+      return AlertCode::kCertificateRevoked;
+    case pki::VerifyStatus::kUnknownIssuer:
+      return AlertCode::kCertificateUnknown;
+    default:
+      return AlertCode::kBadCertificate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session tickets: server-encrypted resumption state.
+// ---------------------------------------------------------------------------
+
+enum : std::uint8_t {
+  kTagResumptionSecret = 0x01,
+  kTagIdentity = 0x02,
+  kTagSerial = 0x03,
+  kTagExpiry = 0x04,
+};
+
+struct TicketPlaintext {
+  Bytes resumption_secret;
+  std::string identity;        // authenticated client CN ("" = anonymous)
+  std::uint64_t serial = 0;    // client certificate serial (0 = none)
+  UnixTime expiry = 0;
+};
+
+Bytes seal_ticket(const TicketKey& key, const TicketPlaintext& plain,
+                  crypto::RandomSource& rng) {
+  pki::TlvWriter w;
+  w.add_bytes(kTagResumptionSecret, plain.resumption_secret);
+  w.add_string(kTagIdentity, plain.identity);
+  w.add_u64(kTagSerial, plain.serial);
+  w.add_u64(kTagExpiry, static_cast<std::uint64_t>(plain.expiry));
+
+  Bytes nonce(12);
+  rng.fill(nonce);
+  const crypto::AesGcm aead(key.key);
+  Bytes out = nonce;
+  const Bytes sealed = aead.seal(nonce, w.bytes(), to_bytes("session-ticket"));
+  append(out, sealed);
+  return out;
+}
+
+std::optional<TicketPlaintext> open_ticket(const TicketKey& key,
+                                           ByteView ticket) {
+  if (ticket.size() < 12 + crypto::kGcmTagSize) return std::nullopt;
+  const crypto::AesGcm aead(key.key);
+  const auto plain = aead.open(ticket.subspan(0, 12), ticket.subspan(12),
+                               to_bytes("session-ticket"));
+  if (!plain) return std::nullopt;
+  try {
+    pki::TlvReader r(*plain);
+    TicketPlaintext t;
+    t.resumption_secret = r.expect_bytes(kTagResumptionSecret);
+    t.identity = r.expect_string(kTagIdentity);
+    t.serial = r.expect_u64(kTagSerial);
+    t.expiry = static_cast<UnixTime>(r.expect_u64(kTagExpiry));
+    return t;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+/// Binder proves PSK possession over the offer contents.
+Bytes compute_binder(const KeySchedule& schedule, ByteView random,
+                     const crypto::X25519Key& share, ByteView ticket) {
+  Bytes data;
+  append(data, random);
+  append(data, ByteView(share.data(), share.size()));
+  append(data, ticket);
+  return crypto::hmac_sha256(schedule.binder_key(), data);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Handshake driver shared by both sides.
+// ---------------------------------------------------------------------------
+
+struct Session::Handshaker {
+  net::Stream& stream;
+  const Config& config;
+  Transcript transcript;
+  KeySchedule schedule;
+
+  std::optional<RecordProtection> read_protection;
+  std::optional<RecordProtection> write_protection;
+  Bytes pending_handshake;  // coalesced handshake bytes not yet consumed
+  std::size_t pending_pos = 0;
+
+  explicit Handshaker(net::Stream& s, const Config& c) : stream(s), config(c) {
+    if (!c.clock || !c.rng) {
+      throw Error("tls: config requires clock and rng");
+    }
+  }
+
+  [[noreturn]] void fail(AlertCode code, const std::string& why) {
+    try {
+      Record alert;
+      alert.type = ContentType::kAlert;
+      append_u8(alert.payload, 2);  // fatal
+      append_u8(alert.payload, static_cast<std::uint8_t>(code));
+      if (write_protection) {
+        write_record(stream, write_protection->protect(alert));
+      } else {
+        write_record(stream, alert);
+      }
+    } catch (...) {
+      // Best effort; the transport may already be gone.
+    }
+    throw ProtocolError("tls: " + why);
+  }
+
+  void send_handshake(HsType type, ByteView body) {
+    const Bytes msg = hs_message(type, body);
+    transcript.add(msg);
+    Record record{ContentType::kHandshake, msg};
+    if (write_protection) {
+      write_record(stream, write_protection->protect(record));
+    } else {
+      write_record(stream, record);
+    }
+  }
+
+  std::pair<HsType, Bytes> next_handshake() {
+    while (pending_handshake.size() - pending_pos < 4) {
+      refill();
+    }
+    const std::uint8_t type = pending_handshake[pending_pos];
+    const std::uint32_t len = read_u24(pending_handshake, pending_pos + 1);
+    while (pending_handshake.size() - pending_pos < 4 + len) {
+      refill();
+    }
+    const ByteView full(pending_handshake.data() + pending_pos, 4 + len);
+    transcript.add(full);
+    Bytes body(pending_handshake.begin() +
+                   static_cast<std::ptrdiff_t>(pending_pos + 4),
+               pending_handshake.begin() +
+                   static_cast<std::ptrdiff_t>(pending_pos + 4 + len));
+    pending_pos += 4 + len;
+    if (pending_pos == pending_handshake.size()) {
+      pending_handshake.clear();
+      pending_pos = 0;
+    }
+    return {static_cast<HsType>(type), std::move(body)};
+  }
+
+  void refill() {
+    auto record = read_record(stream);
+    if (!record) fail(AlertCode::kHandshakeFailure, "peer closed mid-handshake");
+    if (read_protection) *record = read_protection->unprotect(*record);
+    if (record->type == ContentType::kAlert) {
+      throw ProtocolError("tls: peer sent alert during handshake");
+    }
+    if (record->type != ContentType::kHandshake) {
+      fail(AlertCode::kHandshakeFailure, "unexpected record during handshake");
+    }
+    append(pending_handshake, record->payload);
+  }
+
+  Bytes expect(HsType want) {
+    auto [type, body] = next_handshake();
+    if (type != want) {
+      fail(AlertCode::kHandshakeFailure,
+           "unexpected handshake message type " +
+               std::to_string(static_cast<int>(type)));
+    }
+    return std::move(body);
+  }
+
+  // -- message bodies -------------------------------------------------------
+
+  /// ClientHello: random(32) || share(32) || u16 ticket_len ||
+  ///              [ticket bytes || binder(32)]
+  static Bytes client_hello_body(ByteView random, const crypto::X25519Key& share,
+                                 ByteView ticket, ByteView binder) {
+    Bytes body;
+    append(body, random);
+    append(body, ByteView(share.data(), share.size()));
+    append_u16(body, static_cast<std::uint16_t>(ticket.size()));
+    if (!ticket.empty()) {
+      append(body, ticket);
+      append(body, binder);
+    }
+    return body;
+  }
+
+  struct ClientHello {
+    crypto::X25519Key share{};
+    Bytes random;
+    Bytes ticket;
+    Bytes binder;
+  };
+
+  static ClientHello parse_client_hello(ByteView body) {
+    if (body.size() < 66) throw ParseError("tls: short ClientHello");
+    ClientHello ch;
+    ch.random = Bytes(body.begin(), body.begin() + 32);
+    std::copy(body.begin() + 32, body.begin() + 64, ch.share.begin());
+    const std::uint16_t ticket_len = read_u16(body, 64);
+    if (ticket_len > 0) {
+      if (body.size() != 66u + ticket_len + 32u) {
+        throw ParseError("tls: bad ClientHello PSK offer");
+      }
+      ch.ticket = Bytes(body.begin() + 66,
+                        body.begin() + 66 + ticket_len);
+      ch.binder = Bytes(body.begin() + 66 + ticket_len, body.end());
+    } else if (body.size() != 66) {
+      throw ParseError("tls: trailing ClientHello data");
+    }
+    return ch;
+  }
+
+  /// ServerHello: random(32) || share(32) || u8 resumed.
+  static Bytes server_hello_body(ByteView random,
+                                 const crypto::X25519Key& share, bool resumed) {
+    Bytes body;
+    append(body, random);
+    append(body, ByteView(share.data(), share.size()));
+    append_u8(body, resumed ? 1 : 0);
+    return body;
+  }
+
+  struct ServerHello {
+    crypto::X25519Key share{};
+    bool resumed = false;
+  };
+
+  static ServerHello parse_server_hello(ByteView body) {
+    if (body.size() != 65) throw ParseError("tls: bad ServerHello");
+    ServerHello sh;
+    std::copy(body.begin() + 32, body.begin() + 64, sh.share.begin());
+    sh.resumed = body[64] != 0;
+    return sh;
+  }
+
+  void send_certificate() {
+    if (!config.certificate || !config.signer) {
+      fail(AlertCode::kHandshakeFailure, "no local certificate configured");
+    }
+    send_handshake(HsType::kCertificate, config.certificate->encode());
+  }
+
+  void send_certificate_verify(bool server) {
+    const Bytes content =
+        certificate_verify_content(server, transcript.digest());
+    const auto sig = config.signer(content);
+    send_handshake(HsType::kCertificateVerify, ByteView(sig.data(), sig.size()));
+  }
+
+  pki::Certificate receive_certificate(pki::KeyUsage usage) {
+    const Bytes body = expect(HsType::kCertificate);
+    pki::Certificate cert;
+    try {
+      cert = pki::Certificate::decode(body);
+    } catch (const ParseError&) {
+      fail(AlertCode::kBadCertificate, "undecodable certificate");
+    }
+    if (!config.truststore) {
+      fail(AlertCode::kCertificateUnknown, "no truststore configured");
+    }
+    const auto result = config.truststore->verify(cert, usage,
+                                                  config.clock->now());
+    if (!result.ok()) {
+      fail(alert_for(result.status),
+           "peer certificate rejected: " + pki::to_string(result.status));
+    }
+    return cert;
+  }
+
+  void receive_certificate_verify(bool peer_is_server,
+                                  const pki::Certificate& peer_cert,
+                                  ByteView transcript_before) {
+    const Bytes sig = expect(HsType::kCertificateVerify);
+    const Bytes content =
+        certificate_verify_content(peer_is_server, transcript_before);
+    if (!crypto::ed25519_verify(peer_cert.public_key, content, sig)) {
+      fail(AlertCode::kDecryptError, "CertificateVerify signature invalid");
+    }
+  }
+
+  void send_finished(ByteView traffic_secret) {
+    const Bytes mac =
+        KeySchedule::finished_mac(traffic_secret, transcript.digest());
+    send_handshake(HsType::kFinished, mac);
+  }
+
+  void receive_finished(ByteView traffic_secret) {
+    const Bytes expected_mac =
+        KeySchedule::finished_mac(traffic_secret, transcript.digest());
+    const Bytes mac = expect(HsType::kFinished);
+    if (!crypto::ct_equal(expected_mac, mac)) {
+      fail(AlertCode::kDecryptError, "Finished verification failed");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Client handshake.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Session> Session::connect(net::StreamPtr transport,
+                                          const Config& config) {
+  Handshaker hs(*transport, config);
+  if (!config.truststore) {
+    throw Error("tls: client requires a truststore");
+  }
+
+  // PSK offer?
+  const bool offering = config.resumption && config.resumption->valid();
+  if (offering) {
+    hs.schedule = KeySchedule(config.resumption->resumption_secret);
+  }
+
+  // ClientHello.
+  const auto kex = crypto::x25519_generate(*config.rng);
+  const Bytes client_random = config.rng->bytes(32);
+  Bytes binder;
+  if (offering) {
+    binder = compute_binder(hs.schedule, client_random, kex.public_key,
+                            config.resumption->ticket);
+  }
+  hs.send_handshake(
+      HsType::kClientHello,
+      Handshaker::client_hello_body(
+          client_random, kex.public_key,
+          offering ? ByteView(config.resumption->ticket) : ByteView{}, binder));
+
+  // ServerHello.
+  const Bytes sh_body = hs.expect(HsType::kServerHello);
+  Handshaker::ServerHello sh;
+  try {
+    sh = Handshaker::parse_server_hello(sh_body);
+  } catch (const ParseError&) {
+    hs.fail(AlertCode::kHandshakeFailure, "malformed ServerHello");
+  }
+  if (sh.resumed && !offering) {
+    hs.fail(AlertCode::kHandshakeFailure, "server resumed unoffered PSK");
+  }
+  if (!sh.resumed && offering) {
+    // Fallback to a full handshake: discard the PSK early secret.
+    hs.schedule = KeySchedule();
+  }
+  const bool resumed = sh.resumed;
+
+  const Bytes shared = crypto::x25519_shared(kex.private_key, sh.share);
+  hs.schedule.set_handshake_secret(shared);
+  const Bytes th_hello = hs.transcript.digest();
+  const Bytes client_hs = hs.schedule.client_handshake_traffic(th_hello);
+  const Bytes server_hs = hs.schedule.server_handshake_traffic(th_hello);
+  const auto server_keys = KeySchedule::traffic_keys(server_hs);
+  const auto client_keys = KeySchedule::traffic_keys(client_hs);
+  hs.read_protection.emplace(server_keys.key, server_keys.iv);
+  hs.write_protection.emplace(client_keys.key, client_keys.iv);
+
+  // Server's encrypted flight.
+  std::optional<pki::Certificate> server_cert;
+  bool client_cert_requested = false;
+  if (!resumed) {
+    // Peek: next message may be CertificateRequest.
+    while (hs.pending_handshake.size() - hs.pending_pos < 1) hs.refill();
+    if (static_cast<HsType>(hs.pending_handshake[hs.pending_pos]) ==
+        HsType::kCertificateRequest) {
+      hs.expect(HsType::kCertificateRequest);
+      client_cert_requested = true;
+    }
+
+    server_cert = hs.receive_certificate(pki::KeyUsage::kServerAuth);
+    if (!config.expected_server_name.empty() &&
+        server_cert->subject.common_name != config.expected_server_name) {
+      hs.fail(AlertCode::kBadCertificate,
+              "server name mismatch: got " + server_cert->subject.common_name);
+    }
+    const Bytes th_before_cv = hs.transcript.digest();
+    hs.receive_certificate_verify(/*peer_is_server=*/true, *server_cert,
+                                  th_before_cv);
+  }
+  hs.receive_finished(server_hs);
+
+  // Application secrets derive from the transcript through server Finished.
+  hs.schedule.set_master_secret();
+  const Bytes th_server_finished = hs.transcript.digest();
+  const Bytes client_app =
+      hs.schedule.client_application_traffic(th_server_finished);
+  const Bytes server_app =
+      hs.schedule.server_application_traffic(th_server_finished);
+
+  // Client's flight (still under handshake keys).
+  if (client_cert_requested) {
+    if (!config.certificate || !config.signer) {
+      hs.fail(AlertCode::kCertificateRequired,
+              "server requires a client certificate");
+    }
+    hs.send_certificate();
+    hs.send_certificate_verify(/*server=*/false);
+  }
+  hs.send_finished(client_hs);
+
+  // The PSK for the next session (the ticket itself arrives post-handshake
+  // as a NewSessionTicket; see Session::read).
+  const Bytes resumption_secret =
+      hs.schedule.resumption_secret(hs.transcript.digest());
+
+  std::string peer_identity =
+      server_cert ? server_cert->subject.common_name
+                  : (config.resumption ? config.resumption->server_name : "");
+
+  const auto app_server_keys = KeySchedule::traffic_keys(server_app);
+  const auto app_client_keys = KeySchedule::traffic_keys(client_app);
+  auto session = std::unique_ptr<Session>(new Session(
+      std::move(transport),
+      RecordProtection(app_server_keys.key, app_server_keys.iv),
+      RecordProtection(app_client_keys.key, app_client_keys.iv),
+      std::move(server_cert), std::move(peer_identity), resumed,
+      std::nullopt));
+  session->resumption_secret_pending_ = resumption_secret;
+  session->server_name_ = config.expected_server_name.empty()
+                              ? session->peer_identity_
+                              : config.expected_server_name;
+  return session;
+}
+
+// ---------------------------------------------------------------------------
+// Server handshake.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Session> Session::accept(net::StreamPtr transport,
+                                         const Config& config) {
+  Handshaker hs(*transport, config);
+  if (!config.certificate || !config.signer) {
+    throw Error("tls: server requires certificate and signer");
+  }
+  if (config.require_client_certificate && !config.truststore) {
+    throw Error("tls: mutual auth requires a truststore");
+  }
+
+  // ClientHello.
+  const Bytes ch_body = hs.expect(HsType::kClientHello);
+  Handshaker::ClientHello ch;
+  try {
+    ch = Handshaker::parse_client_hello(ch_body);
+  } catch (const ParseError&) {
+    hs.fail(AlertCode::kHandshakeFailure, "malformed ClientHello");
+  }
+
+  // Resumption decision.
+  bool resumed = false;
+  TicketPlaintext resumed_state;
+  if (!ch.ticket.empty() && config.ticket_key) {
+    auto opened = open_ticket(*config.ticket_key, ch.ticket);
+    if (opened && opened->expiry >= config.clock->now()) {
+      // Re-check revocation: a revoked credential must not resume.
+      const bool revoked = config.truststore && opened->serial != 0 &&
+                           config.truststore->serial_revoked(opened->serial);
+      if (!revoked) {
+        const KeySchedule psk_schedule{opened->resumption_secret};
+        const Bytes expected_binder = [&] {
+          Bytes data;
+          append(data, ch.random);
+          append(data, ByteView(ch.share.data(), ch.share.size()));
+          append(data, ch.ticket);
+          return crypto::hmac_sha256(psk_schedule.binder_key(), data);
+        }();
+        if (crypto::ct_equal(expected_binder, ch.binder)) {
+          resumed = true;
+          resumed_state = std::move(*opened);
+          hs.schedule = KeySchedule(resumed_state.resumption_secret);
+        }
+      }
+    }
+    // Any failure falls back silently to a full handshake (RFC behavior).
+  }
+
+  // ServerHello.
+  const auto kex = crypto::x25519_generate(*config.rng);
+  const Bytes server_random = config.rng->bytes(32);
+  hs.send_handshake(
+      HsType::kServerHello,
+      Handshaker::server_hello_body(server_random, kex.public_key, resumed));
+
+  const Bytes shared = crypto::x25519_shared(kex.private_key, ch.share);
+  hs.schedule.set_handshake_secret(shared);
+  const Bytes th_hello = hs.transcript.digest();
+  const Bytes client_hs = hs.schedule.client_handshake_traffic(th_hello);
+  const Bytes server_hs = hs.schedule.server_handshake_traffic(th_hello);
+  const auto server_keys = KeySchedule::traffic_keys(server_hs);
+  const auto client_keys = KeySchedule::traffic_keys(client_hs);
+  hs.read_protection.emplace(client_keys.key, client_keys.iv);
+  hs.write_protection.emplace(server_keys.key, server_keys.iv);
+
+  // Encrypted server flight.
+  if (!resumed) {
+    if (config.require_client_certificate) {
+      hs.send_handshake(HsType::kCertificateRequest, {});
+    }
+    hs.send_certificate();
+    hs.send_certificate_verify(/*server=*/true);
+  }
+  hs.send_finished(server_hs);
+
+  hs.schedule.set_master_secret();
+  const Bytes th_server_finished = hs.transcript.digest();
+  const Bytes client_app =
+      hs.schedule.client_application_traffic(th_server_finished);
+  const Bytes server_app =
+      hs.schedule.server_application_traffic(th_server_finished);
+
+  // Client flight.
+  std::optional<pki::Certificate> client_cert;
+  if (!resumed && config.require_client_certificate) {
+    client_cert = hs.receive_certificate(pki::KeyUsage::kClientAuth);
+    const Bytes th_before_cv = hs.transcript.digest();
+    hs.receive_certificate_verify(/*peer_is_server=*/false, *client_cert,
+                                  th_before_cv);
+  } else if (resumed && config.require_client_certificate &&
+             resumed_state.identity.empty()) {
+    // The original session was anonymous; resumption cannot mint identity.
+    hs.fail(AlertCode::kCertificateRequired,
+            "resumed session lacks client identity");
+  }
+  hs.receive_finished(client_hs);
+
+  std::string peer_identity = client_cert
+                                  ? client_cert->subject.common_name
+                                  : (resumed ? resumed_state.identity : "");
+
+  RecordProtection app_read(KeySchedule::traffic_keys(client_app).key,
+                            KeySchedule::traffic_keys(client_app).iv);
+  RecordProtection app_write(KeySchedule::traffic_keys(server_app).key,
+                             KeySchedule::traffic_keys(server_app).iv);
+
+  // Post-handshake: issue a session ticket on full handshakes (under the
+  // application keys, so the client reads it in its normal record stream).
+  if (!resumed && config.ticket_key) {
+    TicketPlaintext plain;
+    plain.resumption_secret =
+        hs.schedule.resumption_secret(hs.transcript.digest());
+    plain.identity = peer_identity;
+    plain.serial = client_cert ? client_cert->serial : 0;
+    plain.expiry = config.clock->now() + config.ticket_lifetime_seconds;
+    const Bytes ticket = seal_ticket(*config.ticket_key, plain, *config.rng);
+    const Bytes msg = hs_message(HsType::kNewSessionTicket, ticket);
+    Record record{ContentType::kHandshake, msg};
+    write_record(*transport, app_write.protect(record));
+  }
+
+  return std::unique_ptr<Session>(new Session(
+      std::move(transport), std::move(app_read), std::move(app_write),
+      std::move(client_cert), std::move(peer_identity), resumed,
+      std::nullopt));
+}
+
+// ---------------------------------------------------------------------------
+// Application data.
+// ---------------------------------------------------------------------------
+
+Session::Session(net::StreamPtr transport, RecordProtection read_protection,
+                 RecordProtection write_protection,
+                 std::optional<pki::Certificate> peer_certificate,
+                 std::string peer_identity, bool resumed,
+                 std::optional<SessionTicket> session_ticket)
+    : transport_(std::move(transport)),
+      read_protection_(std::move(read_protection)),
+      write_protection_(std::move(write_protection)),
+      peer_certificate_(std::move(peer_certificate)),
+      peer_identity_(std::move(peer_identity)),
+      resumed_(resumed),
+      session_ticket_(std::move(session_ticket)) {}
+
+Session::~Session() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; the transport is going away regardless.
+  }
+}
+
+void Session::write(ByteView data) {
+  if (closed_) throw IoError("tls: session closed");
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t take = std::min<std::size_t>(16384, data.size() - off);
+    Record plain{ContentType::kApplicationData,
+                 Bytes(data.begin() + static_cast<std::ptrdiff_t>(off),
+                       data.begin() + static_cast<std::ptrdiff_t>(off + take))};
+    write_record(*transport_, write_protection_.protect(plain));
+    off += take;
+  }
+}
+
+std::size_t Session::read(std::span<std::uint8_t> out) {
+  while (read_pos_ == read_buffer_.size()) {
+    if (peer_closed_) return 0;
+    std::optional<Record> record = read_record(*transport_);
+    if (!record) {
+      peer_closed_ = true;
+      return 0;
+    }
+    Record plain = read_protection_.unprotect(*record);
+    if (plain.type == ContentType::kAlert) {
+      // close_notify or fatal alert: either way the stream ends.
+      peer_closed_ = true;
+      return 0;
+    }
+    if (plain.type == ContentType::kHandshake) {
+      // Post-handshake message: NewSessionTicket.
+      if (plain.payload.size() >= 4 &&
+          static_cast<HsType>(plain.payload[0]) == HsType::kNewSessionTicket) {
+        const std::uint32_t len = read_u24(plain.payload, 1);
+        if (plain.payload.size() == 4u + len) {
+          SessionTicket ticket;
+          ticket.ticket = Bytes(plain.payload.begin() + 4, plain.payload.end());
+          ticket.resumption_secret = resumption_secret_pending_;
+          ticket.server_name = server_name_;
+          session_ticket_ = std::move(ticket);
+          continue;
+        }
+      }
+      throw ProtocolError("tls: unexpected post-handshake message");
+    }
+    if (plain.type != ContentType::kApplicationData) {
+      throw ProtocolError("tls: unexpected record type after handshake");
+    }
+    read_buffer_ = std::move(plain.payload);
+    read_pos_ = 0;
+  }
+  const std::size_t take = std::min(out.size(), read_buffer_.size() - read_pos_);
+  std::memcpy(out.data(), read_buffer_.data() + read_pos_, take);
+  read_pos_ += take;
+  return take;
+}
+
+void Session::close() {
+  if (closed_) return;
+  closed_ = true;
+  try {
+    Record alert{ContentType::kAlert, {}};
+    append_u8(alert.payload, 1);  // warning
+    append_u8(alert.payload, static_cast<std::uint8_t>(AlertCode::kCloseNotify));
+    write_record(*transport_, write_protection_.protect(alert));
+  } catch (...) {
+    // Peer may already be gone.
+  }
+  transport_->close();
+}
+
+}  // namespace vnfsgx::tls

@@ -1,0 +1,84 @@
+// TLS session: 1.3-style handshake + protected application data stream.
+//
+// One cipher suite (X25519 ECDHE, Ed25519 certificates, AES-128-GCM,
+// SHA-256 transcript). Supports server-only and mutual authentication —
+// the controller's "HTTPS" and "trusted HTTPS" modes. Implements
+// net::Stream so HTTP runs over it unchanged.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/stream.h"
+#include "pki/certificate.h"
+#include "tls/config.h"
+#include "tls/key_schedule.h"
+#include "tls/record.h"
+
+namespace vnfsgx::tls {
+
+class Session final : public net::Stream {
+ public:
+  /// Run the client side of the handshake. Throws ProtocolError/Error on
+  /// any verification failure (after sending a fatal alert).
+  static std::unique_ptr<Session> connect(net::StreamPtr transport,
+                                          const Config& config);
+
+  /// Run the server side of the handshake.
+  static std::unique_ptr<Session> accept(net::StreamPtr transport,
+                                         const Config& config);
+
+  ~Session() override;
+
+  // net::Stream — application data.
+  void write(ByteView data) override;
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void close() override;
+
+  /// The peer's verified certificate (servers in mutual-auth mode and
+  /// clients always have one — on *full* handshakes; resumed sessions
+  /// carry the identity string instead).
+  const std::optional<pki::Certificate>& peer_certificate() const {
+    return peer_certificate_;
+  }
+
+  /// Authenticated peer identity: the certificate CN on full handshakes,
+  /// or the identity carried over in the session ticket on resumption.
+  /// Empty when the peer is anonymous (server-auth-only clients).
+  const std::string& peer_identity() const { return peer_identity_; }
+
+  /// True if this session was established via ticket resumption.
+  bool resumed() const { return resumed_; }
+
+  /// Client side: the resumption ticket issued by the server during this
+  /// session, if any (valid after the handshake; tickets arrive with the
+  /// server's first flight).
+  const std::optional<SessionTicket>& session_ticket() const {
+    return session_ticket_;
+  }
+
+ private:
+  struct Handshaker;
+
+  Session(net::StreamPtr transport, RecordProtection read_protection,
+          RecordProtection write_protection,
+          std::optional<pki::Certificate> peer_certificate,
+          std::string peer_identity, bool resumed,
+          std::optional<SessionTicket> session_ticket);
+
+  net::StreamPtr transport_;
+  RecordProtection read_protection_;
+  RecordProtection write_protection_;
+  std::optional<pki::Certificate> peer_certificate_;
+  std::string peer_identity_;
+  bool resumed_ = false;
+  std::optional<SessionTicket> session_ticket_;
+  Bytes resumption_secret_pending_;  // client: PSK for a future ticket
+  std::string server_name_;          // client: ticket scope
+  Bytes read_buffer_;
+  std::size_t read_pos_ = 0;
+  bool closed_ = false;
+  bool peer_closed_ = false;
+};
+
+}  // namespace vnfsgx::tls

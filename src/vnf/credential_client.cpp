@@ -1,0 +1,99 @@
+#include "vnf/credential_client.h"
+
+#include <cstring>
+
+#include "pki/tlv.h"
+#include "vnf/ocall.h"
+
+namespace vnfsgx::vnf {
+
+crypto::Ed25519PublicKey CredentialClient::generate_key() {
+  const Bytes out = enclave_->call(kOpGenerateKey, {});
+  if (out.size() != crypto::kEd25519PublicKeySize) {
+    throw ProtocolError("credential client: bad public key size");
+  }
+  crypto::Ed25519PublicKey key;
+  std::copy(out.begin(), out.end(), key.begin());
+  return key;
+}
+
+crypto::Ed25519PublicKey CredentialClient::rotate_key() {
+  const Bytes out = enclave_->call(kOpRotateKey, {});
+  if (out.size() != crypto::kEd25519PublicKeySize) {
+    throw ProtocolError("credential client: bad public key size");
+  }
+  crypto::Ed25519PublicKey key;
+  std::copy(out.begin(), out.end(), key.begin());
+  return key;
+}
+
+sgx::Report CredentialClient::create_report(
+    const std::array<std::uint8_t, 32>& nonce, const sgx::TargetInfo& target) {
+  const Bytes out =
+      enclave_->call(kOpCreateReport, encode_report_request(nonce, target));
+  return sgx::Report::decode(out);
+}
+
+void CredentialClient::install_certificate(const pki::Certificate& cert) {
+  enclave_->call(kOpInstallCertificate, cert.encode());
+}
+
+pki::Certificate CredentialClient::certificate() {
+  return pki::Certificate::decode(enclave_->call(kOpGetCertificate, {}));
+}
+
+crypto::Ed25519Signature CredentialClient::sign(ByteView message) {
+  const Bytes out = enclave_->call(kOpSign, message);
+  if (out.size() != crypto::kEd25519SignatureSize) {
+    throw ProtocolError("credential client: bad signature size");
+  }
+  crypto::Ed25519Signature sig;
+  std::copy(out.begin(), out.end(), sig.begin());
+  return sig;
+}
+
+Bytes CredentialClient::seal_state() { return enclave_->call(kOpSealState, {}); }
+
+void CredentialClient::restore_state(ByteView blob) {
+  enclave_->call(kOpRestoreState, blob);
+}
+
+void CredentialClient::tls_open(net::StreamPtr transport, UnixTime now,
+                                const std::string& expected_server_name,
+                                const pki::Certificate& ca_root) {
+  stream_token_ = OcallStreamRegistry::add(std::move(transport));
+  try {
+    enclave_->call(kOpTlsOpen, encode_tls_open(stream_token_, now,
+                                               expected_server_name, ca_root));
+  } catch (...) {
+    OcallStreamRegistry::remove(stream_token_);
+    stream_token_ = 0;
+    throw;
+  }
+}
+
+void CredentialClient::tls_send(ByteView data) {
+  enclave_->call(kOpTlsSend, data);
+}
+
+Bytes CredentialClient::tls_recv(std::size_t max) {
+  pki::TlvWriter w;
+  w.add_u32(0x07, static_cast<std::uint32_t>(max));  // kTagMax
+  return enclave_->call(kOpTlsRecv, w.bytes());
+}
+
+void CredentialClient::tls_close() {
+  enclave_->call(kOpTlsClose, {});
+  if (stream_token_ != 0) {
+    OcallStreamRegistry::remove(stream_token_);
+    stream_token_ = 0;
+  }
+}
+
+std::size_t EnclaveTlsStream::read(std::span<std::uint8_t> out) {
+  const Bytes chunk = client_.tls_recv(out.size());
+  std::memcpy(out.data(), chunk.data(), chunk.size());
+  return chunk.size();
+}
+
+}  // namespace vnfsgx::vnf

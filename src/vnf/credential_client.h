@@ -1,0 +1,76 @@
+// Untrusted-side typed wrapper around the credential enclave's ECALLs,
+// including a net::Stream adapter that tunnels application bytes through
+// the in-enclave TLS session (so http::Client runs unchanged while the
+// session keys stay inside the enclave).
+#pragma once
+
+#include <memory>
+
+#include "common/sim_clock.h"
+#include "net/stream.h"
+#include "pki/certificate.h"
+#include "vnf/credential_enclave.h"
+
+namespace vnfsgx::vnf {
+
+class CredentialClient {
+ public:
+  explicit CredentialClient(std::shared_ptr<sgx::Enclave> enclave)
+      : enclave_(std::move(enclave)) {}
+
+  sgx::Enclave& enclave() { return *enclave_; }
+
+  /// Generate (or fetch) the in-enclave key; returns the public half.
+  crypto::Ed25519PublicKey generate_key();
+
+  /// Discard the current key + certificate and generate a fresh keypair
+  /// (key rotation); requires re-attestation + re-enrollment.
+  crypto::Ed25519PublicKey rotate_key();
+
+  /// Attestation report binding (nonce, public key).
+  sgx::Report create_report(const std::array<std::uint8_t, 32>& nonce,
+                            const sgx::TargetInfo& target);
+
+  void install_certificate(const pki::Certificate& cert);
+  pki::Certificate certificate();
+
+  /// Sign with the in-enclave private key.
+  crypto::Ed25519Signature sign(ByteView message);
+
+  /// Persistence across enclave restarts.
+  Bytes seal_state();
+  void restore_state(ByteView blob);
+
+  /// Open the in-enclave TLS session to the controller over `transport`
+  /// (ownership transferred to the OCALL bridge; released at tls_close).
+  /// Note TLS-1.3 semantics: in mutual-auth mode a server-side rejection
+  /// of the client certificate can surface here *or* on the first
+  /// tls_send/tls_recv, depending on timing.
+  void tls_open(net::StreamPtr transport, UnixTime now,
+                const std::string& expected_server_name,
+                const pki::Certificate& ca_root);
+  void tls_send(ByteView data);
+  Bytes tls_recv(std::size_t max);
+  void tls_close();
+
+ private:
+  std::shared_ptr<sgx::Enclave> enclave_;
+  std::uint64_t stream_token_ = 0;
+};
+
+/// net::Stream adapter over the enclave TLS tunnel: write/read become
+/// kOpTlsSend/kOpTlsRecv ECALLs carrying plaintext; the record protection
+/// happens inside the enclave.
+class EnclaveTlsStream final : public net::Stream {
+ public:
+  explicit EnclaveTlsStream(CredentialClient& client) : client_(client) {}
+
+  void write(ByteView data) override { client_.tls_send(data); }
+  std::size_t read(std::span<std::uint8_t> out) override;
+  void close() override { client_.tls_close(); }
+
+ private:
+  CredentialClient& client_;
+};
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,319 @@
+#include "vnf/credential_enclave.h"
+
+#include "crypto/sha256.h"
+#include "pki/tlv.h"
+#include "pki/truststore.h"
+#include "tls/session.h"
+#include "vnf/ocall.h"
+
+namespace vnfsgx::vnf {
+
+namespace {
+
+enum : std::uint8_t {
+  kTagNonce = 0x01,
+  kTagTargetInfo = 0x02,
+  kTagStreamToken = 0x03,
+  kTagNow = 0x04,
+  kTagExpectedName = 0x05,
+  kTagCaRoot = 0x06,
+  kTagMax = 0x07,
+  kTagSeed = 0x08,
+  kTagCert = 0x09,
+};
+
+Bytes credential_enclave_code() {
+  return to_bytes(
+      "vnfsgx credential enclave v1.0\n"
+      "role: in-enclave VNF credential store + TLS endpoint\n"
+      "guarantee: private key and TLS session keys never leave\n");
+}
+
+/// Wraps an OCALL stream token as a net::Stream the in-enclave TLS client
+/// can use. Throws if untrusted code unregistered the transport.
+class OcallStream final : public net::Stream {
+ public:
+  explicit OcallStream(std::uint64_t token) : token_(token) {}
+
+  void write(ByteView data) override { resolve().write(data); }
+  std::size_t read(std::span<std::uint8_t> out) override {
+    return resolve().read(out);
+  }
+  void close() override {
+    net::Stream* s = OcallStreamRegistry::get(token_);
+    if (s) s->close();
+  }
+
+ private:
+  net::Stream& resolve() {
+    net::Stream* s = OcallStreamRegistry::get(token_);
+    if (!s) throw IoError("ocall stream: transport unregistered");
+    return *s;
+  }
+  std::uint64_t token_;
+};
+
+/// RandomSource adapter over the in-enclave RNG service.
+class ServicesRng final : public crypto::RandomSource {
+ public:
+  explicit ServicesRng(sgx::EnclaveServices& services) : services_(services) {}
+  void fill(std::span<std::uint8_t> out) override { services_.read_rand(out); }
+
+ private:
+  sgx::EnclaveServices& services_;
+};
+
+/// Clock adapter for a timestamp passed through the ECALL (sgx_get_trusted
+/// _time equivalent: the enclave trusts the value only for certificate
+/// validity checks, same as the prototype).
+class FixedClock final : public Clock {
+ public:
+  explicit FixedClock(UnixTime now) : now_(now) {}
+  UnixTime now() const override { return now_; }
+
+ private:
+  UnixTime now_;
+};
+
+class CredentialEnclaveLogic final : public sgx::TrustedLogic {
+ public:
+  Bytes handle_call(std::uint32_t opcode, ByteView input,
+                    sgx::EnclaveServices& services) override {
+    switch (static_cast<CredentialOp>(opcode)) {
+      case kOpGenerateKey:
+        return generate_key(services);
+      case kOpCreateReport:
+        return create_report(input, services);
+      case kOpInstallCertificate:
+        return install_certificate(input, services);
+      case kOpGetCertificate:
+        return get_certificate(services);
+      case kOpSign:
+        return sign(input, services);
+      case kOpSealState:
+        return seal_state(services);
+      case kOpRestoreState:
+        return restore_state(input, services);
+      case kOpTlsOpen:
+        return tls_open(input, services);
+      case kOpTlsSend:
+        return tls_send(input);
+      case kOpTlsRecv:
+        return tls_recv(input);
+      case kOpTlsClose:
+        return tls_close();
+      case kOpRotateKey:
+        return rotate_key(services);
+    }
+    throw Error("credential enclave: unknown opcode " + std::to_string(opcode));
+  }
+
+ private:
+  crypto::Ed25519Seed seed_from_vault(sgx::EnclaveServices& services) {
+    const Bytes& seed_bytes = services.vault().load("seed");
+    crypto::Ed25519Seed seed;
+    std::copy(seed_bytes.begin(), seed_bytes.end(), seed.begin());
+    return seed;
+  }
+
+  Bytes generate_key(sgx::EnclaveServices& services) {
+    if (!services.vault().contains("seed")) {
+      crypto::Ed25519Seed seed;
+      services.read_rand(seed);
+      services.vault().store("seed", Bytes(seed.begin(), seed.end()));
+    }
+    const auto pub = crypto::ed25519_public_key(seed_from_vault(services));
+    return Bytes(pub.begin(), pub.end());
+  }
+
+  Bytes create_report(ByteView input, sgx::EnclaveServices& services) {
+    pki::TlvReader r(input);
+    const auto nonce = r.expect_array<32>(kTagNonce);
+    const sgx::TargetInfo target =
+        sgx::TargetInfo::decode(r.expect(kTagTargetInfo));
+    if (!services.vault().contains("seed")) {
+      throw Error("credential enclave: no key generated yet");
+    }
+    const auto pub = crypto::ed25519_public_key(seed_from_vault(services));
+    const sgx::Report report =
+        services.create_report(target, credential_report_data(nonce, pub));
+    return report.encode();
+  }
+
+  Bytes install_certificate(ByteView input, sgx::EnclaveServices& services) {
+    const pki::Certificate cert = pki::Certificate::decode(input);
+    if (!services.vault().contains("seed")) {
+      throw Error("credential enclave: no key generated yet");
+    }
+    const auto pub = crypto::ed25519_public_key(seed_from_vault(services));
+    if (cert.public_key != pub) {
+      throw SecurityViolation(
+          "credential enclave: certificate key does not match enclave key");
+    }
+    services.vault().store("cert", cert.encode());
+    return {};
+  }
+
+  Bytes get_certificate(sgx::EnclaveServices& services) {
+    if (!services.vault().contains("cert")) {
+      throw Error("credential enclave: no certificate installed");
+    }
+    return services.vault().load("cert");
+  }
+
+  Bytes sign(ByteView input, sgx::EnclaveServices& services) {
+    if (!services.vault().contains("seed")) {
+      throw Error("credential enclave: no key generated yet");
+    }
+    const auto sig = crypto::ed25519_sign(seed_from_vault(services), input);
+    return Bytes(sig.begin(), sig.end());
+  }
+
+  Bytes seal_state(sgx::EnclaveServices& services) {
+    pki::TlvWriter w;
+    w.add_bytes(kTagSeed, services.vault().load("seed"));
+    if (services.vault().contains("cert")) {
+      w.add_bytes(kTagCert, services.vault().load("cert"));
+    }
+    return services.seal(sgx::SealPolicy::kMrEnclave, w.bytes(),
+                         to_bytes("credential-state"));
+  }
+
+  Bytes restore_state(ByteView input, sgx::EnclaveServices& services) {
+    const auto plain = services.unseal(input, to_bytes("credential-state"));
+    if (!plain) {
+      throw SecurityViolation("credential enclave: sealed state rejected");
+    }
+    pki::TlvReader r(*plain);
+    services.vault().store("seed", r.expect_bytes(kTagSeed));
+    if (!r.done()) {
+      services.vault().store("cert", r.expect_bytes(kTagCert));
+    }
+    return {};
+  }
+
+  Bytes tls_open(ByteView input, sgx::EnclaveServices& services) {
+    pki::TlvReader r(input);
+    const std::uint64_t token = r.expect_u64(kTagStreamToken);
+    const UnixTime now = static_cast<UnixTime>(r.expect_u64(kTagNow));
+    const std::string expected_name = r.expect_string(kTagExpectedName);
+    const pki::Certificate ca_root =
+        pki::Certificate::decode(r.expect(kTagCaRoot));
+
+    if (!services.vault().contains("cert")) {
+      throw Error("credential enclave: no certificate installed");
+    }
+    truststore_ = std::make_unique<pki::TrustStore>();
+    truststore_->add_root(ca_root);
+    clock_ = std::make_unique<FixedClock>(now);
+    rng_ = std::make_unique<ServicesRng>(services);
+    const crypto::Ed25519Seed seed = seed_from_vault(services);
+
+    tls::Config config;
+    config.certificate =
+        pki::Certificate::decode(services.vault().load("cert"));
+    // The signer closes over the seed *inside the enclave*; the private
+    // key is never marshalled out.
+    config.signer = [seed](ByteView data) {
+      return crypto::ed25519_sign(seed, data);
+    };
+    config.truststore = truststore_.get();
+    config.expected_server_name = expected_name;
+    config.clock = clock_.get();
+    config.rng = rng_.get();
+
+    session_ = tls::Session::connect(std::make_unique<OcallStream>(token),
+                                     config);
+    return {};
+  }
+
+  Bytes tls_send(ByteView input) {
+    require_session();
+    session_->write(input);
+    return {};
+  }
+
+  Bytes tls_recv(ByteView input) {
+    require_session();
+    pki::TlvReader r(input);
+    const std::uint32_t max = r.expect_u32(kTagMax);
+    Bytes out(std::min<std::uint32_t>(max, 1 << 20));
+    const std::size_t n = session_->read(out);
+    out.resize(n);
+    return out;
+  }
+
+  Bytes tls_close() {
+    if (session_) {
+      session_->close();
+      session_.reset();
+    }
+    return {};
+  }
+
+  Bytes rotate_key(sgx::EnclaveServices& services) {
+    // Any live session was established under the old credential; drop it.
+    tls_close();
+    services.vault().erase("seed");
+    services.vault().erase("cert");
+    return generate_key(services);
+  }
+
+  void require_session() {
+    if (!session_) throw Error("credential enclave: no TLS session open");
+  }
+
+  // In-enclave TLS state: session keys live and die here.
+  std::unique_ptr<pki::TrustStore> truststore_;
+  std::unique_ptr<FixedClock> clock_;
+  std::unique_ptr<ServicesRng> rng_;
+  std::unique_ptr<tls::Session> session_;
+};
+
+}  // namespace
+
+Bytes encode_report_request(const std::array<std::uint8_t, 32>& nonce,
+                            const sgx::TargetInfo& target) {
+  pki::TlvWriter w;
+  w.add_bytes(kTagNonce, nonce);
+  w.add_bytes(kTagTargetInfo, target.encode());
+  return w.take();
+}
+
+Bytes encode_tls_open(std::uint64_t stream_token, UnixTime now,
+                      const std::string& expected_name,
+                      const pki::Certificate& ca_root) {
+  pki::TlvWriter w;
+  w.add_u64(kTagStreamToken, stream_token);
+  w.add_u64(kTagNow, static_cast<std::uint64_t>(now));
+  w.add_string(kTagExpectedName, expected_name);
+  w.add_bytes(kTagCaRoot, ca_root.encode());
+  return w.take();
+}
+
+sgx::ReportData credential_report_data(
+    const std::array<std::uint8_t, 32>& nonce,
+    const crypto::Ed25519PublicKey& public_key) {
+  crypto::Sha256 h;
+  h.update(nonce);
+  h.update(public_key);
+  const auto digest = h.finish();
+  sgx::ReportData data{};
+  std::copy(digest.begin(), digest.end(), data.begin());
+  return data;
+}
+
+sgx::EnclaveImage credential_enclave_image() {
+  sgx::EnclaveImage image;
+  image.name = "credential-enclave";
+  image.code = credential_enclave_code();
+  image.attributes = 0;
+  image.factory = [] { return std::make_unique<CredentialEnclaveLogic>(); };
+  return image;
+}
+
+sgx::Measurement credential_enclave_measurement() {
+  return sgx::measure_image(credential_enclave_code(), 0);
+}
+
+}  // namespace vnfsgx::vnf

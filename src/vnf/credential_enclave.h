@@ -1,0 +1,72 @@
+// The VNF credential enclave (TEE 1 / TEE 2 in Figure 1).
+//
+// Holds the VNF's authentication credentials: the private key is generated
+// *inside* the enclave and never exposed — untrusted code only ever sees
+// the public key, the certificate, and signatures. The enclave also
+// terminates the TLS session to the controller (the paper's implementation
+// choice: "the security context established for each TLS session,
+// including the session key, does not leave the enclave"), doing network
+// I/O through the OCALL stream bridge.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "common/sim_clock.h"
+#include "pki/certificate.h"
+#include "sgx/enclave.h"
+
+namespace vnfsgx::vnf {
+
+/// ECALL opcodes of the credential enclave.
+enum CredentialOp : std::uint32_t {
+  /// () -> public key (32B). Generates the keypair if absent; idempotent.
+  kOpGenerateKey = 1,
+  /// TLV{nonce(32), target_info} -> serialized Report with
+  /// report_data = SHA256(nonce || public_key) || zeros.
+  kOpCreateReport = 2,
+  /// certificate bytes -> (). Rejects a certificate whose subject key is
+  /// not this enclave's key (SecurityViolation).
+  kOpInstallCertificate = 3,
+  /// () -> certificate bytes. Error if none installed.
+  kOpGetCertificate = 4,
+  /// message -> signature (64B). The only way to use the private key.
+  kOpSign = 5,
+  /// () -> sealed blob (MRENCLAVE policy) of {seed, certificate}.
+  kOpSealState = 6,
+  /// sealed blob -> (). Restores key + certificate after a restart.
+  kOpRestoreState = 7,
+  /// TLV{stream_token u64, now u64, expected_name, ca_root cert} -> ().
+  /// Performs the mutually-authenticated TLS handshake over the OCALL
+  /// stream; the session context stays inside the enclave.
+  kOpTlsOpen = 8,
+  /// plaintext -> (). Encrypts + sends on the in-enclave session.
+  kOpTlsSend = 9,
+  /// TLV{max u32} -> plaintext chunk (empty = EOF).
+  kOpTlsRecv = 10,
+  /// () -> (). Closes the in-enclave session.
+  kOpTlsClose = 11,
+  /// () -> new public key (32B). Credential hygiene: discards the current
+  /// keypair and certificate, generating a fresh key. The VNF must be
+  /// re-attested and re-enrolled afterwards.
+  kOpRotateKey = 12,
+};
+
+/// Encoders for the structured ECALL inputs.
+Bytes encode_report_request(const std::array<std::uint8_t, 32>& nonce,
+                            const sgx::TargetInfo& target);
+Bytes encode_tls_open(std::uint64_t stream_token, UnixTime now,
+                      const std::string& expected_name,
+                      const pki::Certificate& ca_root);
+
+/// report_data binding recomputed by the Verification Manager.
+sgx::ReportData credential_report_data(
+    const std::array<std::uint8_t, 32>& nonce,
+    const crypto::Ed25519PublicKey& public_key);
+
+/// The enclave image. All credential enclaves share this code identity, so
+/// the Verification Manager can whitelist one MRENCLAVE.
+sgx::EnclaveImage credential_enclave_image();
+sgx::Measurement credential_enclave_measurement();
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,137 @@
+#include "vnf/functions.h"
+
+#include "json/json.h"
+
+namespace vnfsgx::vnf {
+
+namespace {
+
+std::string flow_body(const std::string& name, std::uint64_t dpid,
+                      int priority, json::Object match_and_action) {
+  json::Object body = std::move(match_and_action);
+  body["name"] = name;
+  body["switch"] = dpid;
+  body["priority"] = priority;
+  return json::serialize(json::Value(std::move(body)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FirewallFunction
+// ---------------------------------------------------------------------------
+
+Verdict FirewallFunction::process(const dataplane::Packet& packet) {
+  const bool blocked = blocked_ports_.count(packet.dst_port) > 0 ||
+                       blocked_sources_.count(packet.src_ip) > 0;
+  if (blocked) {
+    ++dropped_;
+    return Verdict::kDrop;
+  }
+  ++allowed_;
+  return Verdict::kAllow;
+}
+
+std::vector<FlowRequest> FirewallFunction::desired_flows(
+    std::uint64_t dpid) const {
+  std::vector<FlowRequest> flows;
+  int index = 0;
+  for (const std::uint16_t port : blocked_ports_) {
+    json::Object fields;
+    fields["tcp_dst"] = port;
+    fields["actions"] = "drop";
+    FlowRequest request;
+    request.name = "fw-block-port-" + std::to_string(port);
+    request.dpid = dpid;
+    request.priority = 200;
+    request.json_body = flow_body(request.name, dpid, 200, std::move(fields));
+    flows.push_back(std::move(request));
+    ++index;
+  }
+  for (const std::uint32_t ip : blocked_sources_) {
+    json::Object fields;
+    fields["ipv4_src"] = dataplane::ipv4_to_string(ip);
+    fields["actions"] = "drop";
+    FlowRequest request;
+    request.name = "fw-block-src-" + std::to_string(index++);
+    request.dpid = dpid;
+    request.priority = 200;
+    request.json_body = flow_body(request.name, dpid, 200, std::move(fields));
+    flows.push_back(std::move(request));
+  }
+  return flows;
+}
+
+// ---------------------------------------------------------------------------
+// LoadBalancerFunction
+// ---------------------------------------------------------------------------
+
+const LoadBalancerFunction::Backend& LoadBalancerFunction::pick(
+    const dataplane::Packet& packet) const {
+  if (backends_.empty()) throw Error("loadbalancer: no backends configured");
+  // Deterministic 5-tuple hash (FNV-1a over the flow key).
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(packet.src_ip);
+  mix(packet.dst_ip);
+  mix(packet.src_port);
+  mix(packet.dst_port);
+  mix(static_cast<std::uint64_t>(packet.proto));
+  return backends_[h % backends_.size()];
+}
+
+Verdict LoadBalancerFunction::process(const dataplane::Packet& packet) {
+  if (packet.dst_ip != vip_ || packet.dst_port != service_port_) {
+    return Verdict::kAllow;  // not for the virtual service
+  }
+  const Backend& backend = pick(packet);
+  ++counts_[backend.ip];
+  return Verdict::kAllow;
+}
+
+std::vector<FlowRequest> LoadBalancerFunction::desired_flows(
+    std::uint64_t dpid) const {
+  std::vector<FlowRequest> flows;
+  int index = 0;
+  for (const Backend& backend : backends_) {
+    json::Object fields;
+    fields["ipv4_dst"] = dataplane::ipv4_to_string(vip_);
+    fields["tcp_dst"] = service_port_;
+    fields["actions"] = "output=" + std::to_string(backend.switch_port);
+    FlowRequest request;
+    request.name = "lb-backend-" + std::to_string(index++);
+    request.dpid = dpid;
+    request.priority = 150;
+    request.json_body = flow_body(request.name, dpid, 150, std::move(fields));
+    flows.push_back(std::move(request));
+  }
+  return flows;
+}
+
+// ---------------------------------------------------------------------------
+// MonitorFunction
+// ---------------------------------------------------------------------------
+
+Verdict MonitorFunction::process(const dataplane::Packet& packet) {
+  Stats& s = stats_[packet.src_ip];
+  ++s.packets;
+  s.bytes += packet.payload.size();
+  return Verdict::kAllow;
+}
+
+std::uint32_t MonitorFunction::top_talker() const {
+  std::uint32_t top = 0;
+  std::uint64_t best = 0;
+  for (const auto& [ip, s] : stats_) {
+    if (s.bytes >= best) {
+      best = s.bytes;
+      top = ip;
+    }
+  }
+  return top;
+}
+
+}  // namespace vnfsgx::vnf

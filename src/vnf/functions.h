@@ -1,0 +1,87 @@
+// Sample network functions: the workloads the paper's SDN deployment runs
+// in containers (firewall, load balancer, traffic monitor).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "vnf/vnf.h"
+
+namespace vnfsgx::vnf {
+
+/// Stateless firewall: drops packets to blocked TCP ports or from blocked
+/// source prefixes; wants matching drop rules offloaded to the switch.
+class FirewallFunction final : public NetworkFunction {
+ public:
+  std::string kind() const override { return "firewall"; }
+
+  void block_port(std::uint16_t port) { blocked_ports_.insert(port); }
+  void block_source(std::uint32_t ip) { blocked_sources_.insert(ip); }
+
+  Verdict process(const dataplane::Packet& packet) override;
+  std::vector<FlowRequest> desired_flows(std::uint64_t dpid) const override;
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t allowed() const { return allowed_; }
+
+ private:
+  std::set<std::uint16_t> blocked_ports_;
+  std::set<std::uint32_t> blocked_sources_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t allowed_ = 0;
+};
+
+/// L4 load balancer: hashes flows onto backends; wants per-backend
+/// forwarding rules installed.
+class LoadBalancerFunction final : public NetworkFunction {
+ public:
+  struct Backend {
+    std::uint32_t ip = 0;
+    std::uint16_t switch_port = 0;
+  };
+
+  LoadBalancerFunction(std::uint32_t vip, std::uint16_t service_port)
+      : vip_(vip), service_port_(service_port) {}
+
+  std::string kind() const override { return "loadbalancer"; }
+
+  void add_backend(Backend backend) { backends_.push_back(backend); }
+
+  /// Deterministic flow-hash backend selection.
+  const Backend& pick(const dataplane::Packet& packet) const;
+
+  Verdict process(const dataplane::Packet& packet) override;
+  std::vector<FlowRequest> desired_flows(std::uint64_t dpid) const override;
+
+  const std::map<std::uint32_t, std::uint64_t>& per_backend_counts() const {
+    return counts_;
+  }
+
+ private:
+  std::uint32_t vip_;
+  std::uint16_t service_port_;
+  std::vector<Backend> backends_;
+  std::map<std::uint32_t, std::uint64_t> counts_;
+};
+
+/// Passive monitor: per-source packet/byte counters, top-talker queries.
+class MonitorFunction final : public NetworkFunction {
+ public:
+  std::string kind() const override { return "monitor"; }
+
+  Verdict process(const dataplane::Packet& packet) override;
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  const std::map<std::uint32_t, Stats>& per_source() const { return stats_; }
+  std::uint32_t top_talker() const;
+
+ private:
+  std::map<std::uint32_t, Stats> stats_;
+};
+
+}  // namespace vnfsgx::vnf

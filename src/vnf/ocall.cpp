@@ -1,0 +1,34 @@
+#include "vnf/ocall.h"
+
+namespace vnfsgx::vnf {
+
+std::mutex OcallStreamRegistry::mutex_;
+std::map<std::uint64_t, net::StreamPtr> OcallStreamRegistry::streams_;
+std::uint64_t OcallStreamRegistry::next_token_ = 1;
+
+std::uint64_t OcallStreamRegistry::add(net::StreamPtr stream) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  streams_[token] = std::move(stream);
+  return token;
+}
+
+net::Stream* OcallStreamRegistry::get(std::uint64_t token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(token);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+void OcallStreamRegistry::remove(std::uint64_t token) {
+  net::StreamPtr doomed;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(token);
+    if (it == streams_.end()) return;
+    doomed = std::move(it->second);
+    streams_.erase(it);
+  }
+  // Destroyed outside the lock (close may block briefly).
+}
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,39 @@
+// OCALL bridge for enclave network I/O.
+//
+// mbedtls-SGX (the TLS suite the paper's prototype uses inside enclaves)
+// performs network I/O through untrusted OCALLs (net_send/net_recv); the
+// enclave never owns a socket. This registry models that bridge: untrusted
+// code registers a transport stream and passes the opaque token into the
+// enclave, which reads/writes through it — plaintext application bytes and
+// ciphertext cross the boundary, TLS session keys never do.
+//
+// The registry takes ownership of the transport: entries live until
+// remove() (normally at tls_close), so an in-enclave session can never
+// write through a dangling transport pointer even if the untrusted caller
+// forgets to close cleanly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "net/stream.h"
+
+namespace vnfsgx::vnf {
+
+class OcallStreamRegistry {
+ public:
+  /// Register a transport (ownership transferred); returns the token to
+  /// pass through the ECALL.
+  static std::uint64_t add(net::StreamPtr stream);
+  static net::Stream* get(std::uint64_t token);  // nullptr if unknown
+  /// Destroy the registered transport.
+  static void remove(std::uint64_t token);
+
+ private:
+  static std::mutex mutex_;
+  static std::map<std::uint64_t, net::StreamPtr> streams_;
+  static std::uint64_t next_token_;
+};
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,47 @@
+#include "vnf/vnf.h"
+
+#include "common/logging.h"
+
+namespace vnfsgx::vnf {
+
+namespace {
+
+host::ContainerImage image_for(const std::string& name,
+                               const std::string& kind) {
+  host::ContainerImage image;
+  image.name = "vnf-" + kind + ":1.0";
+  image.rootfs = to_bytes("vnf image " + kind + " v1.0");
+  image.entrypoint = "/usr/bin/" + kind;
+  (void)name;
+  return image;
+}
+
+}  // namespace
+
+Vnf::Vnf(std::string name, host::ContainerHost& host,
+         const crypto::Ed25519Seed& enclave_vendor_seed,
+         std::unique_ptr<NetworkFunction> function)
+    : name_(std::move(name)),
+      host_(host),
+      function_(std::move(function)),
+      container_(nullptr),
+      enclave_(nullptr),
+      credentials_(nullptr) {
+  const host::ContainerImage image = image_for(name_, function_->kind());
+  if (!host_.runtime().has_image(image.name)) {
+    host_.runtime().pull(image);
+  }
+  container_ = host_.runtime().run(image.name, name_);
+
+  const sgx::EnclaveImage enclave_image = credential_enclave_image();
+  const sgx::SigStruct sig = sgx::sign_enclave(
+      enclave_vendor_seed,
+      sgx::measure_image(enclave_image.code, enclave_image.attributes),
+      /*isv_prod_id=*/10, /*isv_svn=*/1);
+  enclave_ = host_.sgx().load_enclave(enclave_image, sig);
+  credentials_ = CredentialClient(enclave_);
+  VNFSGX_LOG_INFO("vnf", name_, " deployed (", function_->kind(),
+                  ") on host ", host_.name());
+}
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,78 @@
+// VNF framework: a VNF is a packet-processing function deployed in a
+// container with an associated credential enclave.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dataplane/packet.h"
+#include "host/container_host.h"
+#include "vnf/credential_client.h"
+
+namespace vnfsgx::vnf {
+
+/// Verdict a VNF renders on a packet.
+enum class Verdict { kAllow, kDrop };
+
+/// A desired flow rule the VNF wants installed on a switch via the
+/// controller's staticflowpusher (serialized to its JSON body).
+struct FlowRequest {
+  std::string name;
+  std::uint64_t dpid = 0;
+  int priority = 100;
+  std::string json_body;  // full staticflowpusher body
+};
+
+/// Base class for network functions.
+class NetworkFunction {
+ public:
+  virtual ~NetworkFunction() = default;
+  virtual std::string kind() const = 0;
+  virtual Verdict process(const dataplane::Packet& packet) = 0;
+  /// Flow rules this function wants pushed to the forwarding plane.
+  virtual std::vector<FlowRequest> desired_flows(std::uint64_t dpid) const {
+    (void)dpid;
+    return {};
+  }
+};
+
+/// A deployed VNF: container + credential enclave + network function.
+class Vnf {
+ public:
+  /// Deploys the VNF: pulls its image, starts the container, and loads the
+  /// credential enclave on the host's SGX platform.
+  Vnf(std::string name, host::ContainerHost& host,
+      const crypto::Ed25519Seed& enclave_vendor_seed,
+      std::unique_ptr<NetworkFunction> function);
+
+  const std::string& name() const { return name_; }
+  host::ContainerHost& host() { return host_; }
+  NetworkFunction& function() { return *function_; }
+  CredentialClient& credentials() { return credentials_; }
+  std::shared_ptr<sgx::Enclave> enclave() { return enclave_; }
+  std::shared_ptr<host::Container> container() { return container_; }
+
+  /// Convenience: process a packet through the network function.
+  Verdict process(const dataplane::Packet& packet) {
+    return function_->process(packet);
+  }
+
+  /// Swap in a fresh credential enclave (container/enclave restart): the
+  /// old enclave is destroyed; callers typically restore sealed state into
+  /// the new one next.
+  void replace_enclave(std::shared_ptr<sgx::Enclave> enclave) {
+    if (enclave_) enclave_->destroy();
+    enclave_ = std::move(enclave);
+    credentials_ = CredentialClient(enclave_);
+  }
+
+ private:
+  std::string name_;
+  host::ContainerHost& host_;
+  std::unique_ptr<NetworkFunction> function_;
+  std::shared_ptr<host::Container> container_;
+  std::shared_ptr<sgx::Enclave> enclave_;
+  CredentialClient credentials_;
+};
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,128 @@
+// Unit tests for src/common: byte utilities, hex, base64, clocks.
+#include <gtest/gtest.h>
+
+#include "common/base64.h"
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "common/sim_clock.h"
+
+namespace vnfsgx {
+namespace {
+
+TEST(Bytes, AppendIntegersBigEndian) {
+  Bytes b;
+  append_u8(b, 0x01);
+  append_u16(b, 0x0203);
+  append_u24(b, 0x040506);
+  append_u32(b, 0x0708090a);
+  append_u64(b, 0x0b0c0d0e0f101112ULL);
+  EXPECT_EQ(to_hex(b), "0102030405060708090a0b0c0d0e0f101112");
+}
+
+TEST(Bytes, ReadIntegersRoundTrip) {
+  Bytes b;
+  append_u16(b, 0xbeef);
+  append_u24(b, 0x123456);
+  append_u32(b, 0xdeadbeef);
+  append_u64(b, 0x0123456789abcdefULL);
+  EXPECT_EQ(read_u16(b, 0), 0xbeef);
+  EXPECT_EQ(read_u24(b, 2), 0x123456u);
+  EXPECT_EQ(read_u32(b, 5), 0xdeadbeefu);
+  EXPECT_EQ(read_u64(b, 9), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = concat({a, b, a});
+  EXPECT_EQ(to_string(c), "abcdab");
+}
+
+TEST(Bytes, ConcatEmptyParts) {
+  const Bytes empty;
+  const Bytes a = to_bytes("x");
+  EXPECT_EQ(to_string(concat({empty, a, empty})), "x");
+  EXPECT_TRUE(concat({empty, empty}).empty());
+}
+
+TEST(Bytes, Equal) {
+  EXPECT_TRUE(equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, SecureWipeClearsAndEmpties) {
+  Bytes b = to_bytes("secret");
+  secure_wipe(b);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);  // case-insensitive
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+  EXPECT_THROW(from_hex("a "), std::invalid_argument);
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(to_string(base64_decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(to_string(base64_decode("Zg==")), "f");
+  EXPECT_EQ(to_string(base64_decode("Zm8=")), "fo");
+  EXPECT_TRUE(base64_decode("").empty());
+}
+
+TEST(Base64, RoundTripBinary) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_THROW(base64_decode("abc"), std::invalid_argument);    // bad length
+  EXPECT_THROW(base64_decode("ab=c"), std::invalid_argument);   // data after pad
+  EXPECT_THROW(base64_decode("a==="), std::invalid_argument);   // triple pad
+  EXPECT_THROW(base64_decode("ab!@"), std::invalid_argument);   // bad chars
+}
+
+TEST(SimClock, AdvanceAndSet) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.now(), 1000);
+  clock.advance(500);
+  EXPECT_EQ(clock.now(), 1500);
+  clock.set(42);
+  EXPECT_EQ(clock.now(), 42);
+  clock.advance(-10);
+  EXPECT_EQ(clock.now(), 32);
+}
+
+TEST(SystemClock, LooksLikeCurrentTime) {
+  // Sanity: after 2020-01-01 and before 2100-01-01.
+  const UnixTime now = SystemClock::instance().now();
+  EXPECT_GT(now, 1'577'836'800);
+  EXPECT_LT(now, 4'102'444'800);
+}
+
+}  // namespace
+}  // namespace vnfsgx

@@ -1,0 +1,725 @@
+// Verification Manager tests: protocol round trips, appraisal policy, and
+// the full Figure-1 workflow (attest host -> attest VNF -> provision ->
+// enroll with the controller), plus the adversarial paths.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "controller/controller.h"
+#include "common/base64.h"
+#include "core/host_agent.h"
+#include "core/vm_api.h"
+#include "core/verification_manager.h"
+#include "crypto/random.h"
+#include "http/client.h"
+#include "ias/http_api.h"
+#include "net/framing.h"
+#include "net/inmemory.h"
+#include "vnf/functions.h"
+
+namespace vnfsgx::core {
+namespace {
+
+using crypto::DeterministicRandom;
+
+TEST(Protocol, RoundTrips) {
+  AttestHostRequest ahr;
+  ahr.nonce[0] = 1;
+  EXPECT_EQ(decode_attest_host_request(encode(ahr)).nonce, ahr.nonce);
+
+  AttestHostResponse ahs;
+  ahs.quote = to_bytes("quote");
+  ahs.iml = to_bytes("iml");
+  const auto ahs2 = decode_attest_host_response(encode(ahs));
+  EXPECT_EQ(ahs2.quote, ahs.quote);
+  EXPECT_EQ(ahs2.iml, ahs.iml);
+
+  AttestVnfRequest avr;
+  avr.vnf_name = "vnf-1";
+  avr.nonce[5] = 9;
+  const auto avr2 = decode_attest_vnf_request(encode(avr));
+  EXPECT_EQ(avr2.vnf_name, "vnf-1");
+  EXPECT_EQ(avr2.nonce, avr.nonce);
+
+  ProvisionRequest pr;
+  pr.vnf_name = "v";
+  pr.certificate = to_bytes("cert");
+  const auto pr2 = decode_provision_request(encode(pr));
+  EXPECT_EQ(pr2.vnf_name, "v");
+  EXPECT_EQ(pr2.certificate, pr.certificate);
+
+  ProvisionResponse ps;
+  ps.ok = true;
+  ps.detail = "done";
+  const auto ps2 = decode_provision_response(encode(ps));
+  EXPECT_TRUE(ps2.ok);
+  EXPECT_EQ(ps2.detail, "done");
+
+  ErrorMessage em{"boom"};
+  EXPECT_EQ(decode_error(encode(em)).what, "boom");
+
+  EXPECT_EQ(peek_type(encode(em)), MessageType::kError);
+  EXPECT_THROW(peek_type({}), ParseError);
+  EXPECT_THROW(decode_attest_host_request(encode(em)), ProtocolError);
+}
+
+TEST(AppraisalDatabaseTest, VerdictLogic) {
+  AppraisalDatabase db;
+  const ima::Digest good = crypto::Sha256::hash(to_bytes("good"));
+  const ima::Digest evil = crypto::Sha256::hash(to_bytes("evil"));
+  db.expect_file("/bin/app", good);
+
+  ima::MeasurementList ok;
+  ok.add_measurement(good, "/bin/app");
+  EXPECT_TRUE(db.appraise(ok).trustworthy);
+
+  ima::MeasurementList mismatch;
+  mismatch.add_measurement(evil, "/bin/app");
+  const auto r1 = db.appraise(mismatch);
+  EXPECT_FALSE(r1.trustworthy);
+  EXPECT_EQ(r1.offending_paths, std::vector<std::string>{"/bin/app"});
+
+  ima::MeasurementList unknown;
+  unknown.add_measurement(good, "/bin/unknown");
+  EXPECT_FALSE(db.appraise(unknown).trustworthy);
+
+  ima::MeasurementList violated = ok;
+  violated.add_violation("/bin/app");
+  EXPECT_FALSE(db.appraise(violated).trustworthy);
+
+  // Learning a golden list makes it pass.
+  AppraisalDatabase learned;
+  learned.learn(mismatch);
+  EXPECT_TRUE(learned.appraise(mismatch).trustworthy);
+}
+
+// ---------------------------------------------------------------------------
+// Full-system testbed
+// ---------------------------------------------------------------------------
+
+sgx::PlatformOptions fast_sgx() {
+  sgx::PlatformOptions o;
+  o.crossing_cost = std::chrono::nanoseconds(0);
+  return o;
+}
+
+class Testbed : public ::testing::Test {
+ protected:
+  Testbed()
+      : rng_(61),
+        clock_(1'700'000'000),
+        ias_(rng_, clock_),
+        ias_router_(ias::make_ias_router(ias_)),
+        vendor_(crypto::ed25519_generate(rng_)),
+        host_("host-1", rng_, fast_sgx()),
+        vm_(rng_, clock_,
+            ias::IasClient([this] { return net_.connect("ias:443"); },
+                           ias_.report_signing_key())),
+        agent_(host_) {
+    net_.serve("ias:443", [this](net::StreamPtr s) {
+      http::serve_connection(*s, ias_router_);
+    });
+    net_.serve("host-1:7000",
+               [this](net::StreamPtr s) { agent_.serve(std::move(s)); });
+
+    host_.boot();
+    host_.load_attestation_enclave(vendor_.seed);
+    ias_.register_platform(host_.sgx().platform_id(),
+                           host_.sgx().quoting_enclave().attestation_public_key());
+
+    // Golden-host enrollment: learn the healthy host's measurements.
+    vm_.appraisal().learn(host_.ima().list());
+  }
+
+  ~Testbed() override { net_.join_all(); }
+
+  /// Learn additional measurements the host produced since setup (e.g.
+  /// container entrypoints from VNF deployment).
+  void relearn() { vm_.appraisal().learn(host_.ima().list()); }
+
+  net::StreamPtr channel() { return net_.connect("host-1:7000"); }
+
+  DeterministicRandom rng_;
+  SimClock clock_;
+  net::InMemoryNetwork net_;
+  ias::IasService ias_;
+  http::Router ias_router_;
+  crypto::Ed25519KeyPair vendor_;
+  host::ContainerHost host_;
+  VerificationManager vm_;
+  HostAgent agent_;
+};
+
+TEST_F(Testbed, HostAttestationSucceedsOnHealthyHost) {
+  auto ch = channel();
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_TRUE(result.trustworthy) << result.reason;
+  EXPECT_EQ(result.quote_status, ias::QuoteStatus::kOk);
+  EXPECT_GT(result.iml_entries, 0u);
+  EXPECT_TRUE(vm_.platform_trusted(host_.sgx().platform_id()));
+  EXPECT_EQ(vm_.hosts_attested(), 1u);
+}
+
+TEST_F(Testbed, HostAttestationFailsOnCompromisedHost) {
+  host_.compromise_file("/usr/bin/dockerd");
+  auto ch = channel();
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_EQ(result.quote_status, ias::QuoteStatus::kOk);  // quote fine
+  EXPECT_FALSE(result.appraisal.trustworthy);             // appraisal not
+  EXPECT_EQ(result.appraisal.offending_paths,
+            std::vector<std::string>{"/usr/bin/dockerd"});
+  EXPECT_FALSE(vm_.platform_trusted(host_.sgx().platform_id()));
+}
+
+TEST_F(Testbed, HostAttestationFailsOnUnregisteredPlatform) {
+  DeterministicRandom rng2(62);
+  host::ContainerHost stranger("stranger", rng2, fast_sgx());
+  stranger.boot();
+  stranger.load_attestation_enclave(vendor_.seed);
+  HostAgent stranger_agent(stranger);
+  net_.serve("stranger:7000", [&stranger_agent](net::StreamPtr s) {
+    stranger_agent.serve(std::move(s));
+  });
+  auto ch = net_.connect("stranger:7000");
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_EQ(result.quote_status, ias::QuoteStatus::kUnknownPlatform);
+}
+
+TEST_F(Testbed, HostAttestationFailsOnRevokedPlatform) {
+  ias_.revoke_platform(host_.sgx().platform_id());
+  auto ch = channel();
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_EQ(result.quote_status, ias::QuoteStatus::kGroupRevoked);
+}
+
+TEST_F(Testbed, VnfAttestationRequiresTrustedHost) {
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::MonitorFunction>());
+  agent_.register_vnf(vnf);
+  auto ch = channel();
+  // Host not attested yet: VNF attestation must refuse.
+  const VnfAttestation result = vm_.attest_vnf(*ch, "vnf-1");
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_EQ(result.reason, "hosting platform not attested");
+}
+
+TEST_F(Testbed, FullEnrollmentWorkflow) {
+  // Deploy the VNF (this measures its container entrypoint; relearn).
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::MonitorFunction>());
+  agent_.register_vnf(vnf);
+  relearn();
+
+  auto ch = channel();
+  // Steps 1-2.
+  const HostAttestation host_result = vm_.attest_host(*ch);
+  ASSERT_TRUE(host_result.trustworthy) << host_result.reason;
+  // Steps 3-4.
+  const VnfAttestation vnf_result = vm_.attest_vnf(*ch, "vnf-1");
+  ASSERT_TRUE(vnf_result.trustworthy) << vnf_result.reason;
+  // Step 5.
+  const auto cert = vm_.enroll_vnf(*ch, "vnf-1", "vnf-1.tenant-a");
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->subject.common_name, "vnf-1.tenant-a");
+  EXPECT_EQ(cert->public_key, vnf_result.public_key);
+  EXPECT_TRUE(cert->verify_signature(vm_.ca_certificate().public_key));
+
+  // The enclave now holds the certificate.
+  EXPECT_EQ(vnf.credentials().certificate().serial, cert->serial);
+  EXPECT_EQ(vm_.credentials_issued(), 1u);
+}
+
+TEST_F(Testbed, EnrollRefusedWithoutAttestation) {
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::MonitorFunction>());
+  agent_.register_vnf(vnf);
+  auto ch = channel();
+  EXPECT_FALSE(vm_.enroll_vnf(*ch, "vnf-1", "cn").has_value());
+}
+
+TEST_F(Testbed, AttestUnknownVnfFails) {
+  auto ch = channel();
+  vm_.attest_host(*ch);
+  const VnfAttestation result = vm_.attest_vnf(*ch, "ghost");
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_NE(result.reason.find("unknown VNF"), std::string::npos);
+}
+
+TEST_F(Testbed, Step6VnfSpeaksToControllerFromEnclave) {
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::FirewallFunction>());
+  agent_.register_vnf(vnf);
+  relearn();
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  ASSERT_TRUE(vm_.attest_vnf(*ch, "vnf-1").trustworthy);
+  ASSERT_TRUE(vm_.enroll_vnf(*ch, "vnf-1", "vnf-1").has_value());
+
+  // Controller in trusted-HTTPS mode, trusting the VM's CA.
+  dataplane::Fabric fabric;
+  fabric.add_switch(1);
+  const auto controller_kp = crypto::ed25519_generate(rng_);
+  controller::ControllerConfig cfg;
+  cfg.mode = controller::SecurityMode::kTrustedHttps;
+  cfg.certificate = vm_.ca().issue(
+      {"controller", ""}, controller_kp.public_key,
+      static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth));
+  cfg.signer = tls::Config::software_signer(controller_kp.seed);
+  cfg.clock = &clock_;
+  cfg.rng = &rng_;
+  controller::Controller controller(cfg, fabric);
+  controller.trust_ca(vm_.ca_certificate());
+  net_.serve("controller:8443", [&controller](net::StreamPtr s) {
+    controller.serve(std::move(s));
+  });
+
+  // Step 6: the VNF's enclave terminates the TLS session; HTTP runs over
+  // the enclave tunnel.
+  vnf.credentials().tls_open(net_.connect("controller:8443"), clock_.now(), "controller",
+                             vm_.ca_certificate());
+  vnf::EnclaveTlsStream tunnel(vnf.credentials());
+  http::Connection conn(tunnel);
+  http::Request push;
+  push.method = "POST";
+  push.target = "/wm/staticflowpusher/json";
+  push.body = to_bytes(
+      R"({"name":"fw-1","switch":1,"priority":100,"tcp_dst":23,"actions":"drop"})");
+  conn.write(push);
+  const auto response = conn.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  vnf.credentials().tls_close();
+
+  EXPECT_EQ(fabric.find_switch(1)->flows().size(), 1u);
+  const auto log = controller.audit_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().identity, "vnf-1");
+}
+
+TEST_F(Testbed, RevokedCredentialLockedOutOfController) {
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::MonitorFunction>());
+  agent_.register_vnf(vnf);
+  relearn();
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  ASSERT_TRUE(vm_.attest_vnf(*ch, "vnf-1").trustworthy);
+  const auto cert = vm_.enroll_vnf(*ch, "vnf-1", "vnf-1");
+  ASSERT_TRUE(cert.has_value());
+
+  dataplane::Fabric fabric;
+  const auto controller_kp = crypto::ed25519_generate(rng_);
+  controller::ControllerConfig cfg;
+  cfg.mode = controller::SecurityMode::kTrustedHttps;
+  cfg.certificate = vm_.ca().issue(
+      {"controller", ""}, controller_kp.public_key,
+      static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth));
+  cfg.signer = tls::Config::software_signer(controller_kp.seed);
+  cfg.clock = &clock_;
+  cfg.rng = &rng_;
+  controller::Controller controller(cfg, fabric);
+  controller.trust_ca(vm_.ca_certificate());
+  // Host compromise response: revoke everything on the platform and push
+  // the CRL to the controller.
+  controller.update_crl(vm_.revoke_platform(host_.sgx().platform_id()));
+  net_.serve("controller:8443", [&controller](net::StreamPtr s) {
+    controller.serve(std::move(s));
+  });
+
+  // TLS-1.3 semantics: the rejection surfaces at the handshake or on the
+  // first exchange, depending on timing; the session must never work.
+  EXPECT_THROW(
+      {
+        vnf.credentials().tls_open(net_.connect("controller:8443"),
+                                   clock_.now(), "controller",
+                                   vm_.ca_certificate());
+        vnf.credentials().tls_send(to_bytes("GET / HTTP/1.1\r\n\r\n"));
+        if (vnf.credentials().tls_recv(16).empty()) {
+          throw IoError("server closed without answering");
+        }
+      },
+      Error);
+  EXPECT_FALSE(vm_.platform_trusted(host_.sgx().platform_id()));
+}
+
+TEST_F(Testbed, StaleImlReplayRejected) {
+  // A malicious agent that snapshots a healthy IML+quote and replays it
+  // after the host is compromised: the quote binds the *nonce*, so the
+  // replayed quote fails the report-data check.
+  auto enclave = host_.attestation_enclave();
+  const Bytes healthy_iml = host_.ima().list().encode();
+  std::array<std::uint8_t, 32> old_nonce{};
+  old_nonce[0] = 0xaa;
+  const Bytes report_bytes = enclave->call(
+      host::kOpCreateImlReport,
+      host::encode_iml_report_request(
+          old_nonce, healthy_iml,
+          host_.sgx().quoting_enclave().target_info()));
+  const sgx::Quote stale_quote = host_.sgx().quoting_enclave().quote(
+      sgx::Report::decode(report_bytes));
+
+  // Replay agent answering every challenge with the stale material.
+  net_.serve("replayer:7000", [&](net::StreamPtr s) {
+    try {
+      while (true) {
+        Bytes request;
+        try {
+          request = net::read_frame(*s);
+        } catch (const IoError&) {
+          return;
+        }
+        AttestHostResponse response;
+        response.quote = stale_quote.encode();
+        response.iml = healthy_iml;
+        net::write_frame(*s, encode(response));
+      }
+    } catch (const Error&) {
+    }
+  });
+
+  auto ch = net_.connect("replayer:7000");
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_NE(result.reason.find("replay"), std::string::npos);
+}
+
+TEST_F(Testbed, TamperedImlInTransitRejected) {
+  // A man-in-the-middle that alters the IML after the enclave quoted it:
+  // report data binds the exact bytes, so appraisal never even runs.
+  net_.serve("mitm:7000", [&](net::StreamPtr client) {
+    try {
+      while (true) {
+        Bytes request;
+        try {
+          request = net::read_frame(*client);
+        } catch (const IoError&) {
+          return;
+        }
+        auto upstream = net_.connect("host-1:7000");
+        net::write_frame(*upstream, request);
+        Bytes response = net::read_frame(*upstream);
+        if (peek_type(response) == MessageType::kAttestHostResponse) {
+          AttestHostResponse r = decode_attest_host_response(response);
+          ima::MeasurementList iml = ima::MeasurementList::decode(r.iml);
+          // Hide the dockerd entry (e.g. to mask a compromise).
+          ima::MeasurementList filtered;
+          for (const auto& e : iml.entries()) {
+            if (e.file_path != "/usr/bin/dockerd") {
+              filtered.add_measurement(e.file_digest, e.file_path);
+            }
+          }
+          r.iml = filtered.encode();
+          response = encode(r);
+        }
+        net::write_frame(*client, response);
+      }
+    } catch (const Error&) {
+    }
+  });
+
+  auto ch = net_.connect("mitm:7000");
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_NE(result.reason.find("replay"), std::string::npos);
+}
+
+TEST_F(Testbed, MultipleVnfsEnrollIndependently) {
+  vnf::Vnf vnf1("vnf-1", host_, vendor_.seed,
+                std::make_unique<vnf::FirewallFunction>());
+  vnf::Vnf vnf2("vnf-2", host_, vendor_.seed,
+                std::make_unique<vnf::MonitorFunction>());
+  agent_.register_vnf(vnf1);
+  agent_.register_vnf(vnf2);
+  relearn();
+
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  ASSERT_TRUE(vm_.attest_vnf(*ch, "vnf-1").trustworthy);
+  ASSERT_TRUE(vm_.attest_vnf(*ch, "vnf-2").trustworthy);
+  const auto c1 = vm_.enroll_vnf(*ch, "vnf-1", "vnf-1");
+  const auto c2 = vm_.enroll_vnf(*ch, "vnf-2", "vnf-2");
+  ASSERT_TRUE(c1.has_value());
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_NE(c1->serial, c2->serial);
+  EXPECT_NE(c1->public_key, c2->public_key);  // distinct enclave keys
+  EXPECT_EQ(vm_.credentials_issued(), 2u);
+}
+
+}  // namespace
+}  // namespace vnfsgx::core
+
+// ---------------------------------------------------------------------------
+// §4 extension: TPM-anchored IML verification.
+// ---------------------------------------------------------------------------
+
+namespace vnfsgx::core {
+namespace {
+
+/// Serve an agent that sanitizes the IML (drops the dockerd entry) BEFORE
+/// handing it to the attestation enclave — the root-attacker capability the
+/// paper's base design cannot detect, because the enclave faithfully binds
+/// whatever bytes it is given.
+void serve_sanitizing_agent(net::InMemoryNetwork& net,
+                            const std::string& address,
+                            host::ContainerHost& machine) {
+  net.serve(address, [&machine](net::StreamPtr s) {
+    try {
+      while (true) {
+        Bytes request;
+        try {
+          request = net::read_frame(*s);
+        } catch (const IoError&) {
+          return;
+        }
+        const AttestHostRequest req = decode_attest_host_request(request);
+        // Root sanitizes the in-kernel measurement list it reports.
+        ima::MeasurementList sanitized;
+        for (const auto& e : machine.ima().list().entries()) {
+          if (e.file_path != "/usr/bin/dockerd") {
+            sanitized.add_measurement(e.file_digest, e.file_path);
+          }
+        }
+        const Bytes iml = sanitized.encode();
+        const auto qe_target = machine.sgx().quoting_enclave().target_info();
+        const Bytes report = machine.attestation_enclave()->call(
+            host::kOpCreateImlReport,
+            host::encode_iml_report_request(req.nonce, iml, qe_target));
+        AttestHostResponse response;
+        response.quote = machine.sgx()
+                             .quoting_enclave()
+                             .quote(sgx::Report::decode(report))
+                             .encode();
+        response.iml = iml;
+        // Root cannot forge the TPM, so the best it can do is quote the
+        // true PCR (or omit the quote; both fail verification).
+        response.tpm_quote =
+            machine.tpm().quote(ima::kImaPcrIndex, req.nonce).encode();
+        net::write_frame(*s, encode(response));
+      }
+    } catch (const Error&) {
+    }
+  });
+}
+
+TEST_F(Testbed, SanitizedImlUndetectedWithoutTpm) {
+  // The paper's §4 admission: without a hardware root of trust, a root
+  // attacker who compromised dockerd and then hides its IML entry passes
+  // attestation. (The tampered dockerd ran, so the true IML has the bad
+  // digest; the sanitized one simply omits it.)
+  host_.compromise_file("/usr/bin/dockerd");
+  serve_sanitizing_agent(net_, "rootkit:7000", host_);
+  auto ch = net_.connect("rootkit:7000");
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_TRUE(result.trustworthy)
+      << "unexpected: base design detected the sanitization";
+  EXPECT_FALSE(result.tpm_verified);
+}
+
+TEST_F(Testbed, SanitizedImlDetectedWithTpm) {
+  // With the §4 extension (AIK enrolled), the same attack fails: the
+  // sanitized IML's aggregate cannot match the authenticated PCR-10.
+  vm_.enroll_platform_aik(host_.sgx().platform_id(),
+                          host_.tpm().aik_public_key());
+  host_.compromise_file("/usr/bin/dockerd");
+  serve_sanitizing_agent(net_, "rootkit:7000", host_);
+  auto ch = net_.connect("rootkit:7000");
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_NE(result.reason.find("PCR-10"), std::string::npos) << result.reason;
+}
+
+TEST_F(Testbed, HonestHostPassesTpmCheck) {
+  vm_.enroll_platform_aik(host_.sgx().platform_id(),
+                          host_.tpm().aik_public_key());
+  auto ch = channel();
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_TRUE(result.trustworthy) << result.reason;
+  EXPECT_TRUE(result.tpm_verified);
+}
+
+TEST_F(Testbed, MissingTpmQuoteRejectedWhenAikEnrolled) {
+  vm_.enroll_platform_aik(host_.sgx().platform_id(),
+                          host_.tpm().aik_public_key());
+  // An agent that strips the TPM quote (downgrade attack).
+  net_.serve("stripper:7000", [this](net::StreamPtr s) {
+    try {
+      while (true) {
+        Bytes request;
+        try {
+          request = net::read_frame(*s);
+        } catch (const IoError&) {
+          return;
+        }
+        auto upstream = net_.connect("host-1:7000");
+        net::write_frame(*upstream, request);
+        Bytes response = net::read_frame(*upstream);
+        if (peek_type(response) == MessageType::kAttestHostResponse) {
+          AttestHostResponse r = decode_attest_host_response(response);
+          r.tpm_quote.clear();
+          response = encode(r);
+        }
+        net::write_frame(*s, response);
+      }
+    } catch (const Error&) {
+    }
+  });
+  auto ch = net_.connect("stripper:7000");
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_NE(result.reason.find("TPM quote required"), std::string::npos);
+}
+
+TEST_F(Testbed, WrongAikRejected) {
+  // Enroll a mismatched AIK (e.g. stale inventory): quotes must not verify.
+  crypto::DeterministicRandom other_rng(77);
+  ima::Tpm other_tpm(other_rng);
+  vm_.enroll_platform_aik(host_.sgx().platform_id(),
+                          other_tpm.aik_public_key());
+  auto ch = channel();
+  const HostAttestation result = vm_.attest_host(*ch);
+  EXPECT_FALSE(result.trustworthy);
+  EXPECT_NE(result.reason.find("signature invalid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vnfsgx::core
+
+// ---------------------------------------------------------------------------
+// Operator REST API + key rotation.
+// ---------------------------------------------------------------------------
+
+namespace vnfsgx::core {
+namespace {
+
+class VmApiTestbed : public Testbed {
+ protected:
+  VmApiTestbed() : vm_router_(make_vm_router(vm_)) {
+    net_.serve("vm:8081", [this](net::StreamPtr s) {
+      http::serve_connection(*s, vm_router_);
+    });
+  }
+
+  json::Value get_json(const std::string& target) {
+    http::Client client(net_.connect("vm:8081"));
+    const auto res = client.get(target);
+    EXPECT_EQ(res.status, 200) << target;
+    client.close();
+    return json::parse(vnfsgx::to_string(res.body));
+  }
+
+  http::Router vm_router_;
+};
+
+TEST_F(VmApiTestbed, StatusReflectsAttestations) {
+  auto before = get_json("/vm/status");
+  EXPECT_EQ(before.at("hostsAttested").as_int(), 0);
+
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+
+  auto after = get_json("/vm/status");
+  EXPECT_EQ(after.at("hostsAttested").as_int(), 1);
+  EXPECT_EQ(after.at("trustedPlatforms").as_int(), 1);
+  EXPECT_EQ(after.at("ca").as_string().substr(0, 3), "CN=");
+}
+
+TEST_F(VmApiTestbed, CaCertificateDownloadVerifies) {
+  const auto body = get_json("/vm/ca/certificate");
+  const pki::Certificate cert = pki::Certificate::decode(
+      base64_decode(body.at("certificate").as_string()));
+  EXPECT_EQ(cert, vm_.ca_certificate());
+  EXPECT_EQ(body.at("fingerprint").as_string(), cert.fingerprint());
+}
+
+TEST_F(VmApiTestbed, CrlDownloadAndRevocation) {
+  auto empty = get_json("/vm/ca/crl");
+  EXPECT_EQ(empty.at("revokedSerials").as_int(), 0);
+
+  http::Client client(net_.connect("vm:8081"));
+  const auto res = client.post("/vm/revoke", R"({"serial": 42})");
+  EXPECT_EQ(res.status, 200);
+  client.close();
+
+  auto after = get_json("/vm/ca/crl");
+  EXPECT_EQ(after.at("revokedSerials").as_int(), 1);
+  const pki::RevocationList crl = pki::RevocationList::decode(
+      base64_decode(after.at("crl").as_string()));
+  EXPECT_TRUE(crl.is_revoked(42));
+  EXPECT_TRUE(crl.verify_signature(vm_.ca_certificate().public_key));
+}
+
+TEST_F(VmApiTestbed, PlatformListingAndRevocation) {
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  const auto platforms = get_json("/vm/platforms");
+  ASSERT_EQ(platforms.at("trusted").as_array().size(), 1u);
+  const std::string id_hex = platforms.at("trusted").as_array()[0].as_string();
+
+  http::Client client(net_.connect("vm:8081"));
+  const auto res =
+      client.post("/vm/revoke-platform", R"({"platformId":")" + id_hex + R"("})");
+  EXPECT_EQ(res.status, 200);
+  client.close();
+  EXPECT_TRUE(get_json("/vm/platforms").at("trusted").as_array().empty());
+  EXPECT_FALSE(vm_.platform_trusted(host_.sgx().platform_id()));
+}
+
+TEST_F(VmApiTestbed, BadRequestsRejected) {
+  http::Client client(net_.connect("vm:8081"));
+  EXPECT_EQ(client.post("/vm/revoke", "not json").status, 400);
+  EXPECT_EQ(client.post("/vm/revoke", R"({"wrong":1})").status, 400);
+  EXPECT_EQ(client.post("/vm/revoke-platform", R"({"platformId":"zz"})").status,
+            400);
+  EXPECT_EQ(client.post("/vm/revoke-platform", R"({"platformId":"abcd"})").status,
+            400);  // wrong length
+  client.close();
+}
+
+TEST_F(Testbed, KeyRotationInvalidatesOldCredential) {
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::MonitorFunction>());
+  agent_.register_vnf(vnf);
+  relearn();
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  ASSERT_TRUE(vm_.attest_vnf(*ch, "vnf-1").trustworthy);
+  const auto old_cert = vm_.enroll_vnf(*ch, "vnf-1", "vnf-1");
+  ASSERT_TRUE(old_cert.has_value());
+  const auto old_key = vnf.credentials().generate_key();
+
+  // Rotate: fresh key, certificate gone.
+  const auto new_key = vnf.credentials().rotate_key();
+  EXPECT_NE(new_key, old_key);
+  EXPECT_THROW(vnf.credentials().certificate(), Error);
+  // The old certificate no longer matches the enclave key.
+  EXPECT_THROW(vnf.credentials().install_certificate(*old_cert),
+               SecurityViolation);
+
+  // Re-attestation + re-enrollment picks up the new key.
+  const auto re = vm_.attest_vnf(*ch, "vnf-1");
+  ASSERT_TRUE(re.trustworthy);
+  EXPECT_EQ(re.public_key, new_key);
+  const auto new_cert = vm_.enroll_vnf(*ch, "vnf-1", "vnf-1");
+  ASSERT_TRUE(new_cert.has_value());
+  EXPECT_EQ(new_cert->public_key, new_key);
+  EXPECT_EQ(vnf.credentials().certificate().serial, new_cert->serial);
+}
+
+TEST_F(Testbed, RotationSignsWithNewKeyOnly) {
+  vnf::Vnf vnf("vnf-1", host_, vendor_.seed,
+               std::make_unique<vnf::MonitorFunction>());
+  const auto old_key = vnf.credentials().generate_key();
+  const auto new_key = vnf.credentials().rotate_key();
+  const auto sig = vnf.credentials().sign(to_bytes("msg"));
+  EXPECT_TRUE(crypto::ed25519_verify(new_key, to_bytes("msg"),
+                                     ByteView(sig.data(), sig.size())));
+  EXPECT_FALSE(crypto::ed25519_verify(old_key, to_bytes("msg"),
+                                      ByteView(sig.data(), sig.size())));
+}
+
+}  // namespace
+}  // namespace vnfsgx::core

@@ -1,0 +1,227 @@
+// X25519 (RFC 7748) and Ed25519 (RFC 8032) tests against the RFC vectors,
+// plus algebraic properties (DH agreement, signature malleability checks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "crypto/ed25519.h"
+#include "crypto/random.h"
+#include "crypto/x25519.h"
+
+namespace vnfsgx::crypto {
+namespace {
+
+X25519Key key_from_hex(std::string_view h) {
+  const Bytes b = from_hex(h);
+  X25519Key k;
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+Ed25519Seed seed_from_hex(std::string_view h) {
+  const Bytes b = from_hex(h);
+  Ed25519Seed s;
+  std::copy(b.begin(), b.end(), s.begin());
+  return s;
+}
+
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  const auto out = x25519(scalar, point);
+  EXPECT_EQ(to_hex(out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = key_from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = key_from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  const auto out = x25519(scalar, point);
+  EXPECT_EQ(to_hex(out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748DiffieHellman) {
+  // Bob's RFC 7748 §6.1 keypair, plus Alice's published *public* key and
+  // the published shared secret K = X25519(b, alice_pub).
+  const auto bob_priv = key_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(to_hex(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  const auto alice_pub = key_from_hex(
+      "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  const Bytes k = x25519_shared(bob_priv, alice_pub);
+  EXPECT_EQ(to_hex(k),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, GeneratedPairsAgree) {
+  DeterministicRandom rng(99);
+  for (int i = 0; i < 8; ++i) {
+    const auto a = x25519_generate(rng);
+    const auto b = x25519_generate(rng);
+    EXPECT_EQ(x25519_shared(a.private_key, b.public_key),
+              x25519_shared(b.private_key, a.public_key));
+  }
+}
+
+TEST(X25519, RejectsLowOrderPoint) {
+  DeterministicRandom rng(1);
+  const auto kp = x25519_generate(rng);
+  X25519Key zero{};
+  EXPECT_THROW(x25519_shared(kp.private_key, zero), CryptoError);
+  X25519Key one{};
+  one[0] = 1;
+  EXPECT_THROW(x25519_shared(kp.private_key, one), CryptoError);
+}
+
+// RFC 8032 §7.1 test vectors.
+TEST(Ed25519, Rfc8032Test1EmptyMessage) {
+  const auto seed = seed_from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = ed25519_sign(seed, {});
+  EXPECT_EQ(to_hex(ByteView(sig.data(), sig.size())),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(ed25519_verify(pub, {}, ByteView(sig.data(), sig.size())));
+}
+
+TEST(Ed25519, Rfc8032Test2OneByte) {
+  const auto seed = seed_from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = from_hex("72");
+  const auto sig = ed25519_sign(seed, msg);
+  EXPECT_EQ(to_hex(ByteView(sig.data(), sig.size())),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(ed25519_verify(pub, msg, ByteView(sig.data(), sig.size())));
+}
+
+TEST(Ed25519, Rfc8032Test3TwoBytes) {
+  const auto seed = seed_from_hex(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025");
+  const Bytes msg = from_hex("af82");
+  const auto sig = ed25519_sign(seed, msg);
+  EXPECT_EQ(to_hex(ByteView(sig.data(), sig.size())),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(ed25519_verify(pub, msg, ByteView(sig.data(), sig.size())));
+}
+
+TEST(Ed25519, TamperedSignatureRejected) {
+  DeterministicRandom rng(5);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes("attestation quote body");
+  auto sig = ed25519_sign(kp.seed, msg);
+  EXPECT_TRUE(ed25519_verify(kp.public_key, msg, ByteView(sig.data(), 64)));
+  for (std::size_t i = 0; i < sig.size(); i += 5) {
+    auto bad = sig;
+    bad[i] ^= 1;
+    EXPECT_FALSE(ed25519_verify(kp.public_key, msg, ByteView(bad.data(), 64)))
+        << "byte " << i;
+  }
+}
+
+TEST(Ed25519, TamperedMessageRejected) {
+  DeterministicRandom rng(6);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes("the signed message");
+  const auto sig = ed25519_sign(kp.seed, msg);
+  Bytes other = msg;
+  other.back() ^= 1;
+  EXPECT_FALSE(ed25519_verify(kp.public_key, other, ByteView(sig.data(), 64)));
+  EXPECT_FALSE(ed25519_verify(kp.public_key, {}, ByteView(sig.data(), 64)));
+}
+
+TEST(Ed25519, WrongKeyRejected) {
+  DeterministicRandom rng(7);
+  const auto kp1 = ed25519_generate(rng);
+  const auto kp2 = ed25519_generate(rng);
+  const Bytes msg = to_bytes("msg");
+  const auto sig = ed25519_sign(kp1.seed, msg);
+  EXPECT_FALSE(ed25519_verify(kp2.public_key, msg, ByteView(sig.data(), 64)));
+}
+
+TEST(Ed25519, NonCanonicalSRejected) {
+  // s >= L must be rejected (malleability defence). Take a valid signature
+  // and add L to s (fits because s < L < 2^253).
+  DeterministicRandom rng(8);
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = to_bytes("msg");
+  auto sig = ed25519_sign(kp.seed, msg);
+  // L = 2^252 + 27742317777372353535851937790883648493, little-endian.
+  const Bytes l_le = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14"
+      "00000000000000000000000000000010");
+  ASSERT_EQ(l_le.size(), 32u);
+  unsigned carry = 0;
+  for (int i = 0; i < 32; ++i) {
+    const unsigned v = sig[static_cast<std::size_t>(32 + i)] + l_le[static_cast<std::size_t>(i)] + carry;
+    sig[static_cast<std::size_t>(32 + i)] = static_cast<std::uint8_t>(v);
+    carry = v >> 8;
+  }
+  EXPECT_FALSE(ed25519_verify(kp.public_key, msg, ByteView(sig.data(), 64)));
+}
+
+TEST(Ed25519, BadSignatureLengthRejected) {
+  DeterministicRandom rng(9);
+  const auto kp = ed25519_generate(rng);
+  const auto sig = ed25519_sign(kp.seed, to_bytes("m"));
+  EXPECT_FALSE(ed25519_verify(kp.public_key, to_bytes("m"),
+                              ByteView(sig.data(), 63)));
+  EXPECT_FALSE(ed25519_verify(kp.public_key, to_bytes("m"), {}));
+}
+
+// Property: sign/verify round trip across message sizes and keys.
+class Ed25519Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ed25519Sweep, SignVerifyRoundTrip) {
+  DeterministicRandom rng(static_cast<std::uint64_t>(GetParam()));
+  const auto kp = ed25519_generate(rng);
+  const Bytes msg = rng.bytes(static_cast<std::size_t>(GetParam()) * 17 % 300);
+  const auto sig = ed25519_sign(kp.seed, msg);
+  EXPECT_TRUE(ed25519_verify(kp.public_key, msg, ByteView(sig.data(), 64)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, Ed25519Sweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace vnfsgx::crypto
+
+namespace vnfsgx::crypto {
+namespace {
+
+TEST(X25519, Rfc7748IteratedVector1000) {
+  // RFC 7748 §5.2: iterate k' = X25519(k, u), u' = k. After 1000
+  // iterations: 684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51
+  X25519Key k{};
+  X25519Key u{};
+  k[0] = 9;
+  u[0] = 9;
+  for (int i = 0; i < 1000; ++i) {
+    const X25519Key next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(to_hex(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+}  // namespace
+}  // namespace vnfsgx::crypto

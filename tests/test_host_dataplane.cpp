@@ -1,0 +1,430 @@
+// Container-host and forwarding-plane tests.
+#include <gtest/gtest.h>
+
+#include "crypto/random.h"
+#include <thread>
+
+#include "dataplane/fabric.h"
+#include "dataplane/southbound.h"
+#include "net/framing.h"
+#include "net/inmemory.h"
+#include "host/container_host.h"
+
+namespace vnfsgx {
+namespace {
+
+using crypto::DeterministicRandom;
+
+// ---------------------------------------------------------------------------
+// Container host
+// ---------------------------------------------------------------------------
+
+sgx::PlatformOptions fast_sgx() {
+  sgx::PlatformOptions o;
+  o.crossing_cost = std::chrono::nanoseconds(0);
+  return o;
+}
+
+TEST(ContainerHostTest, BootMeasuresBaseSystem) {
+  DeterministicRandom rng(1);
+  host::ContainerHost h("host-a", rng, fast_sgx());
+  EXPECT_FALSE(h.booted());
+  h.boot();
+  EXPECT_TRUE(h.booted());
+  EXPECT_GT(h.ima().list().size(), 0u);
+}
+
+TEST(ContainerHostTest, IdenticalHostsProduceIdenticalAggregates) {
+  DeterministicRandom rng(2);
+  host::ContainerHost a("a", rng, fast_sgx());
+  host::ContainerHost b("b", rng, fast_sgx());
+  a.boot();
+  b.boot();
+  EXPECT_EQ(a.ima().aggregate(), b.ima().aggregate());
+}
+
+TEST(ContainerHostTest, CompromiseChangesAggregate) {
+  DeterministicRandom rng(3);
+  host::ContainerHost h("h", rng, fast_sgx());
+  h.boot();
+  const auto before = h.ima().aggregate();
+  h.compromise_file("/usr/bin/dockerd");
+  EXPECT_NE(h.ima().aggregate(), before);
+}
+
+TEST(ContainerHostTest, AttestationEnclaveLoadsOnce) {
+  DeterministicRandom rng(4);
+  const auto vendor = crypto::ed25519_generate(rng);
+  host::ContainerHost h("h", rng, fast_sgx());
+  auto e1 = h.load_attestation_enclave(vendor.seed);
+  auto e2 = h.load_attestation_enclave(vendor.seed);
+  EXPECT_EQ(e1.get(), e2.get());
+  EXPECT_EQ(e1->mr_enclave(), host::attestation_enclave_measurement());
+}
+
+TEST(ContainerRuntimeTest, PullRunStop) {
+  DeterministicRandom rng(5);
+  host::ContainerHost h("h", rng, fast_sgx());
+  h.boot();
+  host::ContainerImage image;
+  image.name = "vnf-firewall:1.0";
+  image.rootfs = to_bytes("firewall binary");
+  image.entrypoint = "/usr/bin/firewall";
+  h.runtime().pull(image);
+  EXPECT_TRUE(h.runtime().has_image("vnf-firewall:1.0"));
+
+  const std::size_t iml_before = h.ima().list().size();
+  auto container = h.runtime().run("vnf-firewall:1.0", "c1");
+  EXPECT_EQ(container->state(), host::ContainerState::kRunning);
+  EXPECT_GT(h.ima().list().size(), iml_before);  // entrypoint measured
+
+  h.runtime().stop("c1");
+  EXPECT_EQ(h.runtime().find("c1")->state(), host::ContainerState::kStopped);
+  EXPECT_EQ(h.runtime().list().size(), 1u);
+}
+
+TEST(ContainerRuntimeTest, Errors) {
+  DeterministicRandom rng(6);
+  host::ContainerHost h("h", rng, fast_sgx());
+  EXPECT_THROW(h.runtime().run("missing:1", "c"), Error);
+  EXPECT_THROW(h.runtime().stop("nope"), Error);
+  EXPECT_EQ(h.runtime().find("nope"), nullptr);
+
+  host::ContainerImage image;
+  image.name = "img:1";
+  image.rootfs = to_bytes("x");
+  image.entrypoint = "/x";
+  h.runtime().pull(image);
+  h.runtime().run("img:1", "dup");
+  EXPECT_THROW(h.runtime().run("img:1", "dup"), Error);
+}
+
+TEST(ContainerRuntimeTest, TamperedImageChangesMeasurement) {
+  DeterministicRandom rng(7);
+  host::ContainerHost good("good", rng, fast_sgx());
+  host::ContainerHost bad("bad", rng, fast_sgx());
+  host::ContainerImage image;
+  image.name = "img:1";
+  image.rootfs = to_bytes("legit vnf binary");
+  image.entrypoint = "/bin/vnf";
+
+  good.runtime().pull(image);
+  good.runtime().run("img:1", "c");
+
+  host::ContainerImage tampered = image;
+  tampered.rootfs.back() ^= 1;
+  bad.runtime().pull(tampered);
+  bad.runtime().run("img:1", "c");
+
+  EXPECT_NE(image.digest(), tampered.digest());
+  EXPECT_NE(good.ima().aggregate(), bad.ima().aggregate());
+}
+
+// ---------------------------------------------------------------------------
+// Dataplane
+// ---------------------------------------------------------------------------
+
+namespace dp = dataplane;
+
+TEST(PacketTest, Ipv4Parsing) {
+  EXPECT_EQ(dp::ipv4("10.0.0.1"), 0x0a000001u);
+  EXPECT_EQ(dp::ipv4_to_string(0x0a000001u), "10.0.0.1");
+  EXPECT_THROW(dp::ipv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(dp::ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(dp::ipv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(dp::ipv4("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(MatchTest, WildcardsAndFields) {
+  dp::Packet p;
+  p.src_ip = dp::ipv4("10.0.0.1");
+  p.dst_ip = dp::ipv4("10.0.0.2");
+  p.dst_port = 443;
+
+  dp::Match any;
+  EXPECT_TRUE(any.matches(p, 1));
+  EXPECT_EQ(any.specificity(), 0);
+
+  dp::Match specific;
+  specific.dst_ip = dp::ipv4("10.0.0.2");
+  specific.dst_port = 443;
+  specific.in_port = 1;
+  EXPECT_TRUE(specific.matches(p, 1));
+  EXPECT_FALSE(specific.matches(p, 2));
+  EXPECT_EQ(specific.specificity(), 3);
+
+  specific.dst_port = 80;
+  EXPECT_FALSE(specific.matches(p, 1));
+}
+
+TEST(SwitchTest, PriorityAndSpecificityOrdering) {
+  dp::Switch sw(1);
+  dp::FlowEntry low;
+  low.name = "allow-all";
+  low.priority = 1;
+  low.action = dp::Action::forward(2);
+  sw.add_flow(low);
+
+  dp::FlowEntry high;
+  high.name = "block-443";
+  high.priority = 200;
+  high.match.dst_port = 443;
+  high.action = dp::Action::drop();
+  sw.add_flow(high);
+
+  dp::Packet web;
+  web.dst_port = 443;
+  EXPECT_EQ(sw.process(web, 1).kind, dp::ForwardingResult::Kind::kDropped);
+
+  dp::Packet ssh;
+  ssh.dst_port = 22;
+  const auto res = sw.process(ssh, 1);
+  EXPECT_EQ(res.kind, dp::ForwardingResult::Kind::kForwarded);
+  EXPECT_EQ(res.out_port, 2);
+}
+
+TEST(SwitchTest, TableMissQueuesPacketIn) {
+  dp::Switch sw(1);
+  dp::Packet p;
+  EXPECT_EQ(sw.process(p, 1).kind, dp::ForwardingResult::Kind::kTableMiss);
+  EXPECT_EQ(sw.packet_in_queue().size(), 1u);
+  sw.clear_packet_ins();
+  EXPECT_TRUE(sw.packet_in_queue().empty());
+}
+
+TEST(SwitchTest, CountersAccumulate) {
+  dp::Switch sw(1);
+  dp::FlowEntry e;
+  e.name = "fwd";
+  e.action = dp::Action::forward(1);
+  sw.add_flow(e);
+  dp::Packet p;
+  p.payload = Bytes(100);
+  sw.process(p, 1);
+  sw.process(p, 1);
+  EXPECT_EQ(sw.flows()[0].packet_count, 2u);
+  EXPECT_EQ(sw.flows()[0].byte_count, 200u);
+  EXPECT_EQ(sw.total_packets(), 2u);
+}
+
+TEST(SwitchTest, AddFlowReplacesByName) {
+  dp::Switch sw(1);
+  dp::FlowEntry e;
+  e.name = "rule";
+  e.action = dp::Action::drop();
+  sw.add_flow(e);
+  e.action = dp::Action::forward(7);
+  sw.add_flow(e);
+  EXPECT_EQ(sw.flows().size(), 1u);
+  EXPECT_EQ(sw.flows()[0].action.type, dp::ActionType::kForward);
+  EXPECT_TRUE(sw.remove_flow("rule"));
+  EXPECT_FALSE(sw.remove_flow("rule"));
+}
+
+TEST(FabricTest, MultiHopForwarding) {
+  dp::Fabric fabric;
+  auto& s1 = fabric.add_switch(1);
+  auto& s2 = fabric.add_switch(2);
+  fabric.link({1, 2}, {2, 1});
+
+  dp::FlowEntry f1;
+  f1.name = "to-s2";
+  f1.action = dp::Action::forward(2);
+  s1.add_flow(f1);
+  dp::FlowEntry f2;
+  f2.name = "egress";
+  f2.action = dp::Action::forward(9);  // unlinked port: leaves the fabric
+  s2.add_flow(f2);
+
+  const auto path = fabric.inject(1, 1, dp::Packet{});
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].dpid, 1u);
+  EXPECT_EQ(path[1].dpid, 2u);
+  EXPECT_EQ(path[1].result.out_port, 9);
+}
+
+TEST(FabricTest, LoopGuardStopsForwarding) {
+  dp::Fabric fabric;
+  auto& s1 = fabric.add_switch(1);
+  auto& s2 = fabric.add_switch(2);
+  fabric.link({1, 2}, {2, 1});
+  dp::FlowEntry loop1;
+  loop1.name = "loop";
+  loop1.action = dp::Action::forward(2);
+  s1.add_flow(loop1);
+  dp::FlowEntry loop2;
+  loop2.name = "loop";
+  loop2.action = dp::Action::forward(1);
+  s2.add_flow(loop2);
+
+  const auto path = fabric.inject(1, 5, dp::Packet{}, /*max_hops=*/8);
+  EXPECT_EQ(path.size(), 8u);
+}
+
+TEST(FabricTest, Errors) {
+  dp::Fabric fabric;
+  fabric.add_switch(1);
+  EXPECT_THROW(fabric.add_switch(1), Error);
+  EXPECT_THROW(fabric.link({1, 1}, {2, 1}), Error);
+  EXPECT_THROW(fabric.inject(42, 1, dp::Packet{}), Error);
+  EXPECT_EQ(fabric.find_switch(42), nullptr);
+}
+
+TEST(SwitchTest, DpidString) {
+  dp::Switch sw(0xabc);
+  EXPECT_EQ(sw.dpid_string(), "00:00:000000000abc");
+}
+
+}  // namespace
+}  // namespace vnfsgx
+
+// ---------------------------------------------------------------------------
+// Southbound channel (the OpenFlow-equivalent control protocol).
+// ---------------------------------------------------------------------------
+
+namespace vnfsgx {
+namespace {
+
+namespace dpx = dataplane;
+
+TEST(SouthboundTest, MessageRoundTrips) {
+  EXPECT_EQ(dpx::decode_sb(dpx::encode_hello(42)).dpid, 42u);
+
+  dpx::FlowEntry flow;
+  flow.name = "f1";
+  flow.priority = 120;
+  flow.match.dst_ip = dpx::ipv4("10.0.0.1");
+  flow.match.dst_port = 443;
+  flow.match.proto = dpx::IpProto::kTcp;
+  flow.action = dpx::Action::forward(7);
+  const auto decoded =
+      dpx::decode_sb(dpx::encode_flow_mod(dpx::SbType::kFlowModAdd, flow));
+  EXPECT_EQ(decoded.type, dpx::SbType::kFlowModAdd);
+  EXPECT_EQ(decoded.flow.name, "f1");
+  EXPECT_EQ(decoded.flow.priority, 120);
+  EXPECT_EQ(decoded.flow.match.dst_ip.value(), dpx::ipv4("10.0.0.1"));
+  EXPECT_EQ(decoded.flow.action.out_port, 7);
+  EXPECT_FALSE(decoded.flow.match.src_ip.has_value());
+
+  dpx::Packet p;
+  p.src_mac = 0xA;
+  p.dst_mac = 0xB;
+  p.payload = to_bytes("data");
+  const auto pin = dpx::decode_sb(dpx::encode_packet_in(p, 3));
+  EXPECT_EQ(pin.type, dpx::SbType::kPacketIn);
+  EXPECT_EQ(pin.in_port, 3);
+  EXPECT_EQ(pin.packet.src_mac, 0xAu);
+  EXPECT_EQ(to_string(pin.packet.payload), "data");
+
+  const auto echo = dpx::decode_sb(dpx::encode_echo(dpx::SbType::kEchoRequest, 99));
+  EXPECT_EQ(echo.token, 99u);
+  EXPECT_THROW(dpx::decode_sb({}), ParseError);
+  EXPECT_THROW(dpx::decode_sb(to_bytes("\xff junk")), ParseError);
+}
+
+TEST(SouthboundTest, FlowModsReachTheSwitch) {
+  dpx::Switch sw(7);
+  auto [agent_end, controller_end] = net::make_pipe();
+  dpx::ControllerEndpoint endpoint;
+  std::thread controller_thread([&endpoint, s = std::move(controller_end)]() mutable {
+    endpoint.serve(std::move(s));
+  });
+
+  dpx::SwitchAgent agent(sw, std::move(agent_end));
+  // Wait for registration.
+  while (endpoint.connected_dpids().empty()) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(endpoint.connected_dpids(), std::vector<std::uint64_t>{7});
+
+  dpx::FlowEntry flow;
+  flow.name = "pushed";
+  flow.priority = 50;
+  flow.match.dst_port = 80;
+  flow.match.proto = dpx::IpProto::kTcp;
+  flow.action = dpx::Action::drop();
+  ASSERT_TRUE(endpoint.add_flow(7, flow));
+  ASSERT_TRUE(agent.serve_one());  // applies the flow-mod
+  ASSERT_EQ(sw.flows().size(), 1u);
+
+  dpx::Packet web;
+  web.dst_port = 80;
+  web.proto = dpx::IpProto::kTcp;
+  EXPECT_EQ(sw.process(web, 1).kind, dpx::ForwardingResult::Kind::kDropped);
+
+  ASSERT_TRUE(endpoint.remove_flow(7, "pushed"));
+  ASSERT_TRUE(agent.serve_one());
+  EXPECT_TRUE(sw.flows().empty());
+
+  // Unknown datapath.
+  EXPECT_FALSE(endpoint.add_flow(99, flow));
+
+  agent.device();  // silence unused warnings in some configs
+  // Close agent side; controller unregisters.
+  // (Destroying the agent's channel closes the pipe.)
+  {
+    dpx::SwitchAgent moved = std::move(agent);
+    (void)moved;
+  }
+  controller_thread.join();
+  EXPECT_TRUE(endpoint.connected_dpids().empty());
+}
+
+TEST(SouthboundTest, PacketInsFlowUpstream) {
+  dpx::Switch sw(3);
+  auto [agent_end, controller_end] = net::make_pipe();
+
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, dpx::PacketIn>> received;
+  dpx::ControllerEndpoint endpoint(
+      [&](std::uint64_t dpid, const dpx::PacketIn& pin) {
+        const std::lock_guard<std::mutex> lock(mu);
+        received.emplace_back(dpid, pin);
+      });
+  std::thread controller_thread([&endpoint, s = std::move(controller_end)]() mutable {
+    endpoint.serve(std::move(s));
+  });
+
+  dpx::SwitchAgent agent(sw, std::move(agent_end));
+  dpx::Packet p;
+  p.src_mac = 0x1;
+  p.dst_mac = 0x2;
+  sw.process(p, 4);  // table miss -> queued
+  sw.process(p, 5);
+  agent.pump_packet_ins();
+
+  while (endpoint.packet_ins_received() < 2) {
+    std::this_thread::yield();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(received.size(), 2u);
+    EXPECT_EQ(received[0].first, 3u);
+    EXPECT_EQ(received[0].second.in_port, 4);
+    EXPECT_EQ(received[1].second.in_port, 5);
+  }
+  // Echo liveness: request flows down, reply flows back (consumed silently).
+  EXPECT_TRUE(endpoint.ping(3, 1234));
+  ASSERT_TRUE(agent.serve_one());  // answers the echo
+
+  {
+    dpx::SwitchAgent moved = std::move(agent);
+    (void)moved;
+  }
+  controller_thread.join();
+}
+
+TEST(SouthboundTest, GarbageHelloRejected) {
+  auto [bad_end, controller_end] = net::make_pipe();
+  dpx::ControllerEndpoint endpoint;
+  std::thread controller_thread([&endpoint, s = std::move(controller_end)]() mutable {
+    endpoint.serve(std::move(s));
+  });
+  net::write_frame(*bad_end, to_bytes("not a hello"));
+  bad_end->close();
+  controller_thread.join();
+  EXPECT_TRUE(endpoint.connected_dpids().empty());
+}
+
+}  // namespace
+}  // namespace vnfsgx

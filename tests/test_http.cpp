@@ -1,0 +1,302 @@
+// HTTP message/wire/router/client-server tests over in-memory pipes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/client.h"
+#include "http/server.h"
+#include "net/inmemory.h"
+
+namespace vnfsgx::http {
+namespace {
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers h;
+  h.set("Content-Type", "application/json");
+  EXPECT_EQ(h.get("content-type").value(), "application/json");
+  EXPECT_EQ(h.get("CONTENT-TYPE").value(), "application/json");
+  EXPECT_FALSE(h.get("content-length").has_value());
+}
+
+TEST(HeadersTest, SetReplacesAddAppends) {
+  Headers h;
+  h.set("X-K", "1");
+  h.set("x-k", "2");
+  EXPECT_EQ(h.entries().size(), 1u);
+  EXPECT_EQ(h.get("X-K").value(), "2");
+  h.add("X-K", "3");
+  EXPECT_EQ(h.entries().size(), 2u);
+  EXPECT_EQ(h.get("X-K").value(), "2");  // first match wins
+}
+
+TEST(RequestTest, PathAndQuery) {
+  Request r;
+  r.target = "/wm/core/switch/all?detail=full&sort=asc";
+  EXPECT_EQ(r.path(), "/wm/core/switch/all");
+  EXPECT_EQ(r.query_param("detail").value(), "full");
+  EXPECT_EQ(r.query_param("sort").value(), "asc");
+  EXPECT_FALSE(r.query_param("missing").has_value());
+}
+
+TEST(RequestTest, NoQuery) {
+  Request r;
+  r.target = "/plain";
+  EXPECT_EQ(r.path(), "/plain");
+  EXPECT_FALSE(r.query_param("a").has_value());
+}
+
+TEST(Wire, RequestRoundTrip) {
+  auto [a, b] = net::make_pipe();
+  Request req;
+  req.method = "POST";
+  req.target = "/wm/staticflowpusher/json";
+  req.headers.set("Content-Type", "application/json");
+  req.body = to_bytes(R"({"name":"flow1"})");
+  a->write(encode_request(req));
+
+  Connection conn(*b);
+  const auto got = conn.read_request();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->method, "POST");
+  EXPECT_EQ(got->target, "/wm/staticflowpusher/json");
+  EXPECT_EQ(got->headers.get("content-type").value(), "application/json");
+  EXPECT_EQ(to_string(got->body), R"({"name":"flow1"})");
+}
+
+TEST(Wire, ResponseRoundTrip) {
+  auto [a, b] = net::make_pipe();
+  a->write(encode_response(Response::json(200, R"({"ok":true})")));
+  Connection conn(*b);
+  const auto got = conn.read_response();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 200);
+  EXPECT_EQ(to_string(got->body), R"({"ok":true})");
+}
+
+TEST(Wire, PipelinedRequests) {
+  auto [a, b] = net::make_pipe();
+  Request r1, r2;
+  r1.target = "/one";
+  r2.target = "/two";
+  Bytes wire = encode_request(r1);
+  append(wire, encode_request(r2));
+  a->write(wire);
+  Connection conn(*b);
+  EXPECT_EQ(conn.read_request()->target, "/one");
+  EXPECT_EQ(conn.read_request()->target, "/two");
+}
+
+TEST(Wire, CleanEofReturnsNullopt) {
+  auto [a, b] = net::make_pipe();
+  a->close();
+  Connection conn(*b);
+  EXPECT_FALSE(conn.read_request().has_value());
+}
+
+TEST(Wire, EofMidHeadersThrows) {
+  auto [a, b] = net::make_pipe();
+  a->write(to_bytes("GET / HTTP/1.1\r\nHost: x"));
+  a->close();
+  Connection conn(*b);
+  EXPECT_THROW(conn.read_request(), IoError);
+}
+
+TEST(Wire, EofMidBodyThrows) {
+  auto [a, b] = net::make_pipe();
+  a->write(to_bytes("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"));
+  a->close();
+  Connection conn(*b);
+  EXPECT_THROW(conn.read_request(), IoError);
+}
+
+TEST(Wire, MalformedRequestLineThrows) {
+  auto [a, b] = net::make_pipe();
+  a->write(to_bytes("NONSENSE\r\n\r\n"));
+  Connection conn(*b);
+  EXPECT_THROW(conn.read_request(), ParseError);
+}
+
+TEST(Wire, UnsupportedVersionThrows) {
+  auto [a, b] = net::make_pipe();
+  a->write(to_bytes("GET / HTTP/2.0\r\n\r\n"));
+  Connection conn(*b);
+  EXPECT_THROW(conn.read_request(), ParseError);
+}
+
+TEST(Wire, ChunkedRejected) {
+  auto [a, b] = net::make_pipe();
+  a->write(to_bytes(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"));
+  Connection conn(*b);
+  EXPECT_THROW(conn.read_request(), ParseError);
+}
+
+TEST(Wire, InvalidContentLengthThrows) {
+  auto [a, b] = net::make_pipe();
+  a->write(to_bytes("GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"));
+  Connection conn(*b);
+  EXPECT_THROW(conn.read_request(), ParseError);
+}
+
+TEST(RouterTest, ExactAndWildcardDispatch) {
+  Router router;
+  router.add("GET", "/a", [](const Request&, const RequestContext&) {
+    return Response::text(200, "exact-a");
+  });
+  router.add("GET", "/a/*", [](const Request&, const RequestContext&) {
+    return Response::text(200, "wild-a");
+  });
+  router.add("POST", "/a", [](const Request&, const RequestContext&) {
+    return Response::text(200, "post-a");
+  });
+
+  Request req;
+  RequestContext ctx;
+  req.method = "GET";
+  req.target = "/a";
+  EXPECT_EQ(to_string(router.dispatch(req, ctx).body), "exact-a");
+  req.target = "/a/deep/path";
+  EXPECT_EQ(to_string(router.dispatch(req, ctx).body), "wild-a");
+  req.method = "POST";
+  req.target = "/a";
+  EXPECT_EQ(to_string(router.dispatch(req, ctx).body), "post-a");
+}
+
+TEST(RouterTest, NotFoundAndMethodNotAllowed) {
+  Router router;
+  router.add("GET", "/only-get", [](const Request&, const RequestContext&) {
+    return Response::text(200, "ok");
+  });
+  Request req;
+  RequestContext ctx;
+  req.method = "GET";
+  req.target = "/nowhere";
+  EXPECT_EQ(router.dispatch(req, ctx).status, 404);
+  req.method = "DELETE";
+  req.target = "/only-get";
+  EXPECT_EQ(router.dispatch(req, ctx).status, 405);
+}
+
+TEST(RouterTest, LongestPrefixWins) {
+  Router router;
+  router.add("GET", "/api/*", [](const Request&, const RequestContext&) {
+    return Response::text(200, "api");
+  });
+  router.add("GET", "/api/v2/*", [](const Request&, const RequestContext&) {
+    return Response::text(200, "v2");
+  });
+  Request req;
+  RequestContext ctx;
+  req.target = "/api/v2/things";
+  EXPECT_EQ(to_string(router.dispatch(req, ctx).body), "v2");
+  req.target = "/api/v1/things";
+  EXPECT_EQ(to_string(router.dispatch(req, ctx).body), "api");
+}
+
+TEST(ClientServer, KeepAliveExchanges) {
+  Router router;
+  int hits = 0;
+  router.add("GET", "/count", [&hits](const Request&, const RequestContext&) {
+    return Response::text(200, std::to_string(++hits));
+  });
+
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server([&router, s = std::move(server_end)]() mutable {
+    serve_connection(*s, router);
+  });
+
+  Client client(std::move(client_end));
+  EXPECT_EQ(to_string(client.get("/count").body), "1");
+  EXPECT_EQ(to_string(client.get("/count").body), "2");
+  EXPECT_EQ(to_string(client.get("/count").body), "3");
+  client.close();
+  server.join();
+}
+
+TEST(ClientServer, PostBodyEcho) {
+  Router router;
+  router.add("POST", "/echo", [](const Request& req, const RequestContext&) {
+    Response r = Response::json(200, to_string(req.body));
+    return r;
+  });
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server([&router, s = std::move(server_end)]() mutable {
+    serve_connection(*s, router);
+  });
+  Client client(std::move(client_end));
+  const auto res = client.post("/echo", R"({"x":1})");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(to_string(res.body), R"({"x":1})");
+  client.close();
+  server.join();
+}
+
+TEST(ClientServer, HandlerExceptionBecomes500) {
+  Router router;
+  router.add("GET", "/boom", [](const Request&, const RequestContext&) -> Response {
+    throw std::runtime_error("kaboom");
+  });
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server([&router, s = std::move(server_end)]() mutable {
+    serve_connection(*s, router);
+  });
+  Client client(std::move(client_end));
+  EXPECT_EQ(client.get("/boom").status, 500);
+  client.close();
+  server.join();
+}
+
+TEST(ClientServer, MalformedRequestGets400) {
+  Router router;
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server([&router, s = std::move(server_end)]() mutable {
+    serve_connection(*s, router);
+  });
+  client_end->write(to_bytes("BAD\r\n\r\n"));
+  Connection conn(*client_end);
+  const auto res = conn.read_response();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->status, 400);
+  client_end->close();
+  server.join();
+}
+
+TEST(ClientServer, ConnectionCloseHonored) {
+  Router router;
+  router.add("GET", "/x", [](const Request&, const RequestContext&) {
+    return Response::text(200, "bye");
+  });
+  auto [client_end, server_end] = net::make_pipe();
+  std::thread server([&router, s = std::move(server_end)]() mutable {
+    serve_connection(*s, router);
+  });
+  Request req;
+  req.target = "/x";
+  req.headers.set("Connection", "close");
+  Client client(std::move(client_end));
+  const auto res = client.request(req);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.headers.get("Connection").value_or(""), "close");
+  server.join();  // server loop must have exited
+  client.close();
+}
+
+TEST(ClientServer, ContextIdentityVisibleToHandler) {
+  Router router;
+  router.add("GET", "/whoami", [](const Request&, const RequestContext& ctx) {
+    return Response::text(200, ctx.client_identity);
+  });
+  auto [client_end, server_end] = net::make_pipe();
+  RequestContext ctx;
+  ctx.client_identity = "CN=vnf-1";
+  std::thread server([&router, ctx, s = std::move(server_end)]() mutable {
+    serve_connection(*s, router, ctx);
+  });
+  Client client(std::move(client_end));
+  EXPECT_EQ(to_string(client.get("/whoami").body), "CN=vnf-1");
+  client.close();
+  server.join();
+}
+
+}  // namespace
+}  // namespace vnfsgx::http

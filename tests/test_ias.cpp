@@ -1,0 +1,217 @@
+// IAS simulator tests: registration, quote verification statuses,
+// revocation, report signing, and the REST front-end.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/hex.h"
+#include "common/sim_clock.h"
+#include "crypto/random.h"
+#include "ias/http_api.h"
+#include "net/inmemory.h"
+#include "sgx/platform.h"
+
+namespace vnfsgx::ias {
+namespace {
+
+using crypto::DeterministicRandom;
+
+enum : std::uint32_t { kReportOp = 1 };
+
+class ReportLogic final : public sgx::TrustedLogic {
+ public:
+  Bytes handle_call(std::uint32_t, ByteView input,
+                    sgx::EnclaveServices& services) override {
+    const sgx::TargetInfo target = sgx::TargetInfo::decode(input);
+    return services.create_report(target, sgx::ReportData{}).encode();
+  }
+};
+
+class IasFixture : public ::testing::Test {
+ protected:
+  IasFixture() : rng_(21), clock_(1'700'000'000), ias_(rng_, clock_) {
+    sgx::PlatformOptions options;
+    options.crossing_cost = std::chrono::nanoseconds(0);
+    platform_ = std::make_unique<sgx::SgxPlatform>(rng_, "host", options);
+    vendor_ = crypto::ed25519_generate(rng_);
+  }
+
+  sgx::Quote make_quote() {
+    sgx::EnclaveImage image;
+    image.name = "reporter";
+    image.code = to_bytes("reporter enclave");
+    image.factory = [] { return std::make_unique<ReportLogic>(); };
+    const sgx::SigStruct sig = sgx::sign_enclave(
+        vendor_.seed, sgx::measure_image(image.code, 0), 1, 1);
+    auto enclave = platform_->load_enclave(image, sig);
+    const Bytes report_bytes = enclave->call(
+        kReportOp, platform_->quoting_enclave().target_info().encode());
+    return platform_->quoting_enclave().quote(
+        sgx::Report::decode(report_bytes));
+  }
+
+  void register_platform() {
+    ias_.register_platform(platform_->platform_id(),
+                           platform_->quoting_enclave().attestation_public_key());
+  }
+
+  DeterministicRandom rng_;
+  SimClock clock_;
+  IasService ias_;
+  std::unique_ptr<sgx::SgxPlatform> platform_;
+  crypto::Ed25519KeyPair vendor_;
+};
+
+TEST_F(IasFixture, OkForRegisteredPlatform) {
+  register_platform();
+  const auto avr = ias_.verify_quote(make_quote().encode());
+  EXPECT_EQ(avr.status(), QuoteStatus::kOk);
+  EXPECT_TRUE(avr.verify(ias_.report_signing_key()));
+  EXPECT_EQ(avr.platform_id(), platform_->platform_id());
+  EXPECT_EQ(avr.timestamp(), clock_.now());
+}
+
+TEST_F(IasFixture, UnknownPlatformRejected) {
+  const auto avr = ias_.verify_quote(make_quote().encode());
+  EXPECT_EQ(avr.status(), QuoteStatus::kUnknownPlatform);
+  EXPECT_TRUE(avr.verify(ias_.report_signing_key()));  // errors are signed too
+}
+
+TEST_F(IasFixture, RevokedPlatformRejected) {
+  register_platform();
+  ias_.revoke_platform(platform_->platform_id());
+  EXPECT_TRUE(ias_.is_revoked(platform_->platform_id()));
+  const auto avr = ias_.verify_quote(make_quote().encode());
+  EXPECT_EQ(avr.status(), QuoteStatus::kGroupRevoked);
+}
+
+TEST_F(IasFixture, TamperedQuoteSignatureInvalid) {
+  register_platform();
+  sgx::Quote quote = make_quote();
+  quote.body.report_data[0] ^= 1;
+  const auto avr = ias_.verify_quote(quote.encode());
+  EXPECT_EQ(avr.status(), QuoteStatus::kSignatureInvalid);
+}
+
+TEST_F(IasFixture, MalformedQuote) {
+  const auto avr = ias_.verify_quote(to_bytes("not a quote"));
+  EXPECT_EQ(avr.status(), QuoteStatus::kMalformed);
+  EXPECT_TRUE(avr.verify(ias_.report_signing_key()));
+}
+
+TEST_F(IasFixture, ReportSignatureTamperDetected) {
+  register_platform();
+  auto avr = ias_.verify_quote(make_quote().encode());
+  avr.body_json[avr.body_json.size() / 2] ^= 1;
+  EXPECT_FALSE(avr.verify(ias_.report_signing_key()));
+}
+
+TEST_F(IasFixture, QuoteBodyEchoMatchesSubmitted) {
+  register_platform();
+  const sgx::Quote quote = make_quote();
+  const auto avr = ias_.verify_quote(quote.encode());
+  EXPECT_EQ(avr.quoted_enclave(), quote.body);
+}
+
+TEST_F(IasFixture, ReportIdsIncrement) {
+  register_platform();
+  const auto a = ias_.verify_quote(make_quote().encode());
+  const auto b = ias_.verify_quote(make_quote().encode());
+  EXPECT_NE(a.report_id(), b.report_id());
+  EXPECT_EQ(ias_.reports_issued(), 2u);
+}
+
+TEST_F(IasFixture, HttpApiEndToEnd) {
+  register_platform();
+  http::Router router = make_ias_router(ias_);
+  net::InMemoryNetwork net;
+  net.serve("ias:443", [&router](net::StreamPtr s) {
+    http::serve_connection(*s, router);
+  });
+
+  IasClient client([&net] { return net.connect("ias:443"); },
+                   ias_.report_signing_key());
+  const auto avr = client.verify_quote(make_quote().encode());
+  EXPECT_EQ(avr.status(), QuoteStatus::kOk);
+  net.join_all();
+}
+
+TEST_F(IasFixture, HttpApiRejectsBadRequests) {
+  http::Router router = make_ias_router(ias_);
+  net::InMemoryNetwork net;
+  net.serve("ias:443", [&router](net::StreamPtr s) {
+    http::serve_connection(*s, router);
+  });
+
+  {
+    http::Client c(net.connect("ias:443"));
+    EXPECT_EQ(c.post("/attestation/v4/report", "not json").status, 400);
+    c.close();
+  }
+  {
+    http::Client c(net.connect("ias:443"));
+    EXPECT_EQ(c.post("/attestation/v4/report", R"({"x":1})").status, 400);
+    c.close();
+  }
+  {
+    http::Client c(net.connect("ias:443"));
+    EXPECT_EQ(c.post("/attestation/v4/report",
+                     R"({"isvEnclaveQuote":"!!!!"})").status, 400);
+    c.close();
+  }
+  net.join_all();
+}
+
+TEST_F(IasFixture, SigrlEndpoint) {
+  register_platform();
+  http::Router router = make_ias_router(ias_);
+  net::InMemoryNetwork net;
+  net.serve("ias:443", [&router](net::StreamPtr s) {
+    http::serve_connection(*s, router);
+  });
+
+  const std::string id_hex =
+      to_hex(ByteView(platform_->platform_id().data(), 16));
+  {
+    http::Client c(net.connect("ias:443"));
+    const auto res = c.get("/attestation/v4/sigrl/" + id_hex);
+    EXPECT_EQ(res.status, 200);
+    EXPECT_FALSE(json::parse(vnfsgx::to_string(res.body)).at("revoked").as_bool());
+    c.close();
+  }
+  ias_.revoke_platform(platform_->platform_id());
+  {
+    http::Client c(net.connect("ias:443"));
+    const auto res = c.get("/attestation/v4/sigrl/" + id_hex);
+    EXPECT_TRUE(json::parse(vnfsgx::to_string(res.body)).at("revoked").as_bool());
+    c.close();
+  }
+  {
+    http::Client c(net.connect("ias:443"));
+    EXPECT_EQ(c.get("/attestation/v4/sigrl/zz").status, 400);
+    c.close();
+  }
+  net.join_all();
+}
+
+TEST_F(IasFixture, IasClientRejectsForgedSignature) {
+  register_platform();
+  // A rogue IAS signing with a different key must be detected.
+  DeterministicRandom rogue_rng(123);
+  IasService rogue(rogue_rng, clock_);
+  rogue.register_platform(platform_->platform_id(),
+                          platform_->quoting_enclave().attestation_public_key());
+  http::Router router = make_ias_router(rogue);
+  net::InMemoryNetwork net;
+  net.serve("ias:443", [&router](net::StreamPtr s) {
+    http::serve_connection(*s, router);
+  });
+  // Client pins the *real* service's key.
+  IasClient client([&net] { return net.connect("ias:443"); },
+                   ias_.report_signing_key());
+  EXPECT_THROW(client.verify_quote(make_quote().encode()), ProtocolError);
+  net.join_all();
+}
+
+}  // namespace
+}  // namespace vnfsgx::ias

@@ -1,0 +1,177 @@
+// JSON parser/serializer unit tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "json/json.h"
+
+namespace vnfsgx::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, Escapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_bool(), true);
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Value v = parse("  {\n \"k\" :\t[ 1 , 2 ]\r\n} ");
+  EXPECT_EQ(v.at("k").as_array().size(), 2u);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("[]").as_array().empty());
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);   // trailing garbage
+  EXPECT_THROW(parse("--1"), ParseError);
+  EXPECT_THROW(parse("\"bad\\q\""), ParseError);
+}
+
+TEST(JsonParse, RejectsControlCharInString) {
+  EXPECT_THROW(parse("\"a\nb\""), ParseError);
+}
+
+TEST(JsonSerialize, RoundTrip) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"x"],"obj":{"nested":true},"s":"a\"b","z":null})";
+  const Value v = parse(doc);
+  EXPECT_EQ(parse(serialize(v)), v);
+}
+
+TEST(JsonSerialize, DeterministicKeyOrder) {
+  Object o;
+  o["zebra"] = 1;
+  o["alpha"] = 2;
+  EXPECT_EQ(serialize(Value(std::move(o))), R"({"alpha":2,"zebra":1})");
+}
+
+TEST(JsonSerialize, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(serialize(Value(42)), "42");
+  EXPECT_EQ(serialize(Value(std::int64_t{-7})), "-7");
+  EXPECT_EQ(serialize(Value(2.5)), "2.5");
+}
+
+TEST(JsonSerialize, EscapesSpecials) {
+  EXPECT_EQ(serialize(Value("a\"b\\c\nd")), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonSerialize, Pretty) {
+  Object o;
+  o["a"] = Array{1, 2};
+  const std::string pretty = serialize_pretty(Value(std::move(o)));
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty).at("a").as_array().size(), 2u);
+}
+
+TEST(JsonValue, TypeErrorsThrow) {
+  const Value v = parse("42");
+  EXPECT_THROW(v.as_string(), ParseError);
+  EXPECT_THROW(v.as_object(), ParseError);
+  EXPECT_THROW(v.at("x"), ParseError);
+}
+
+TEST(JsonValue, GetOrFallback) {
+  const Value v = parse(R"({"a":1})");
+  EXPECT_DOUBLE_EQ(v.get_or("a", Value(9)).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.get_or("b", Value(9)).as_number(), 9.0);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("b"));
+}
+
+}  // namespace
+}  // namespace vnfsgx::json
+
+// ---------------------------------------------------------------------------
+// Generator-based round-trip property: random documents survive
+// serialize -> parse -> serialize unchanged.
+// ---------------------------------------------------------------------------
+
+namespace vnfsgx::json {
+namespace {
+
+Value random_value(std::mt19937& gen, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth > 0 ? 5 : 3);
+  switch (kind(gen)) {
+    case 0:
+      return Value(nullptr);
+    case 1:
+      return Value(gen() % 2 == 0);
+    case 2: {
+      std::uniform_int_distribution<int> num(-1000000, 1000000);
+      return Value(num(gen));
+    }
+    case 3: {
+      std::uniform_int_distribution<int> len(0, 12);
+      std::string s;
+      const std::string alphabet =
+          "abc XYZ019 _-/\\\"\n\t{}[]:,é";
+      const int n = len(gen);
+      for (int i = 0; i < n; ++i) {
+        s.push_back(alphabet[gen() % alphabet.size()]);
+      }
+      return Value(std::move(s));
+    }
+    case 4: {
+      Array arr;
+      std::uniform_int_distribution<int> len(0, 4);
+      const int n = len(gen);
+      for (int i = 0; i < n; ++i) arr.push_back(random_value(gen, depth - 1));
+      return Value(std::move(arr));
+    }
+    default: {
+      Object obj;
+      std::uniform_int_distribution<int> len(0, 4);
+      const int n = len(gen);
+      for (int i = 0; i < n; ++i) {
+        obj["k" + std::to_string(gen() % 16)] = random_value(gen, depth - 1);
+      }
+      return Value(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripSweep, SerializeParseFixpoint) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const Value original = random_value(gen, 4);
+    const std::string once = serialize(original);
+    const Value reparsed = parse(once);
+    EXPECT_EQ(reparsed, original);
+    EXPECT_EQ(serialize(reparsed), once);  // fixpoint
+    // Pretty form parses back to the same value too.
+    EXPECT_EQ(parse(serialize_pretty(original)), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripSweep, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace vnfsgx::json

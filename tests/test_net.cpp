@@ -1,0 +1,198 @@
+// Transport tests: in-memory pipes, the named network, framing, TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/framing.h"
+#include "net/inmemory.h"
+#include "net/tcp.h"
+
+namespace vnfsgx::net {
+namespace {
+
+TEST(Pipe, RoundTrip) {
+  auto [a, b] = make_pipe();
+  a->write(to_bytes("hello"));
+  Bytes got = b->read_exact(5);
+  EXPECT_EQ(to_string(got), "hello");
+  b->write(to_bytes("world"));
+  EXPECT_EQ(to_string(a->read_exact(5)), "world");
+}
+
+TEST(Pipe, ReadReturnsAvailablePrefix) {
+  auto [a, b] = make_pipe();
+  a->write(to_bytes("abc"));
+  std::uint8_t buf[16];
+  const std::size_t n = b->read(std::span<std::uint8_t>(buf, 16));
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(Pipe, EofAfterCloseDrainsBufferedData) {
+  auto [a, b] = make_pipe();
+  a->write(to_bytes("tail"));
+  a->close();
+  EXPECT_EQ(to_string(b->read_exact(4)), "tail");
+  std::uint8_t buf[4];
+  EXPECT_EQ(b->read(std::span<std::uint8_t>(buf, 4)), 0u);
+}
+
+TEST(Pipe, WriteAfterPeerCloseThrows) {
+  auto [a, b] = make_pipe();
+  b->close();
+  EXPECT_THROW(a->write(to_bytes("x")), IoError);
+}
+
+TEST(Pipe, CrossThreadBlockingRead) {
+  auto [a, b] = make_pipe();
+  std::thread writer([&a = a]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->write(to_bytes("delayed"));
+  });
+  EXPECT_EQ(to_string(b->read_exact(7)), "delayed");
+  writer.join();
+}
+
+TEST(Pipe, LatencyDelaysDelivery) {
+  LinkOptions options;
+  options.latency = std::chrono::microseconds(30'000);
+  auto [a, b] = make_pipe(options);
+  const auto start = std::chrono::steady_clock::now();
+  a->write(to_bytes("x"));
+  b->read_exact(1);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(25'000));
+}
+
+TEST(Pipe, LargeTransfer) {
+  auto [a, b] = make_pipe();
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  std::thread writer([&a = a, &big]() { a->write(big); });
+  const Bytes got = b->read_exact(big.size());
+  writer.join();
+  EXPECT_EQ(got, big);
+}
+
+TEST(InMemoryNetworkTest, ConnectAndEcho) {
+  InMemoryNetwork net;
+  net.serve("echo:1", [](StreamPtr s) {
+    Bytes data = s->read_exact(4);
+    s->write(data);
+  });
+  auto client = net.connect("echo:1");
+  client->write(to_bytes("ping"));
+  EXPECT_EQ(to_string(client->read_exact(4)), "ping");
+}
+
+TEST(InMemoryNetworkTest, ConnectionRefused) {
+  InMemoryNetwork net;
+  EXPECT_THROW(net.connect("nobody:9"), IoError);
+}
+
+TEST(InMemoryNetworkTest, DuplicateAddressRejected) {
+  InMemoryNetwork net;
+  net.serve("svc:1", [](StreamPtr) {});
+  EXPECT_THROW(net.serve("svc:1", [](StreamPtr) {}), Error);
+}
+
+TEST(InMemoryNetworkTest, StopServingRefusesNewConnections) {
+  InMemoryNetwork net;
+  net.serve("svc:1", [](StreamPtr s) { s->close(); });
+  net.stop_serving("svc:1");
+  EXPECT_THROW(net.connect("svc:1"), IoError);
+}
+
+TEST(InMemoryNetworkTest, ConcurrentClients) {
+  InMemoryNetwork net;
+  std::atomic<int> served{0};
+  net.serve("ctr:1", [&served](StreamPtr s) {
+    Bytes b = s->read_exact(1);
+    s->write(b);
+    ++served;
+  });
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 16; ++i) {
+    clients.emplace_back([&net, i] {
+      auto c = net.connect("ctr:1");
+      const std::uint8_t byte = static_cast<std::uint8_t>(i);
+      c->write(ByteView(&byte, 1));
+      EXPECT_EQ(c->read_exact(1)[0], byte);
+    });
+  }
+  for (auto& t : clients) t.join();
+  net.join_all();
+  EXPECT_EQ(served.load(), 16);
+}
+
+TEST(Framing, RoundTrip) {
+  auto [a, b] = make_pipe();
+  write_frame(*a, to_bytes("payload"));
+  write_frame(*a, {});
+  EXPECT_EQ(to_string(read_frame(*b)), "payload");
+  EXPECT_TRUE(read_frame(*b).empty());
+}
+
+TEST(Framing, OversizedFrameRejected) {
+  auto [a, b] = make_pipe();
+  Bytes header;
+  append_u32(header, 1u << 30);
+  a->write(header);
+  EXPECT_THROW(read_frame(*b), ParseError);
+}
+
+TEST(Framing, TruncatedFrameThrows) {
+  auto [a, b] = make_pipe();
+  Bytes header;
+  append_u32(header, 10);
+  a->write(header);
+  a->write(to_bytes("abc"));  // only 3 of 10
+  a->close();
+  EXPECT_THROW(read_frame(*b), IoError);
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  std::thread server([&listener] {
+    auto s = listener.accept();
+    Bytes data = s->read_exact(5);
+    s->write(data);
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  client->write(to_bytes("tcp!!"));
+  EXPECT_EQ(to_string(client->read_exact(5)), "tcp!!");
+  server.join();
+}
+
+TEST(Tcp, ConnectRefusedThrows) {
+  // Bind+close to get a port that is (very likely) not listening.
+  std::uint16_t port;
+  {
+    TcpListener probe(0);
+    port = probe.port();
+  }
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", port), IoError);
+}
+
+TEST(Tcp, EofOnPeerClose) {
+  TcpListener listener(0);
+  std::thread server([&listener] {
+    auto s = listener.accept();
+    s->close();
+  });
+  auto client = TcpStream::connect("localhost", listener.port());
+  std::uint8_t buf[8];
+  EXPECT_EQ(client->read(std::span<std::uint8_t>(buf, 8)), 0u);
+  server.join();
+}
+
+TEST(Tcp, InvalidAddressThrows) {
+  EXPECT_THROW(TcpStream::connect("not-an-ip", 80), IoError);
+}
+
+}  // namespace
+}  // namespace vnfsgx::net

@@ -1,0 +1,376 @@
+// PKI tests: TLV, certificates, CA, CRL, trust store policy.
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "crypto/random.h"
+#include "pki/ca.h"
+#include "pki/tlv.h"
+#include "pki/truststore.h"
+
+namespace vnfsgx::pki {
+namespace {
+
+using crypto::DeterministicRandom;
+
+TEST(Tlv, RoundTrip) {
+  TlvWriter w;
+  w.add_u8(1, 0xab);
+  w.add_u32(2, 0xdeadbeef);
+  w.add_u64(3, 0x0123456789abcdefULL);
+  w.add_string(4, "hello");
+  w.add_bytes(5, Bytes{0x01, 0x02});
+
+  TlvReader r(w.bytes());
+  EXPECT_EQ(r.expect_u8(1), 0xab);
+  EXPECT_EQ(r.expect_u32(2), 0xdeadbeefu);
+  EXPECT_EQ(r.expect_u64(3), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.expect_string(4), "hello");
+  EXPECT_EQ(r.expect_bytes(5), (Bytes{0x01, 0x02}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Tlv, WrongTagThrows) {
+  TlvWriter w;
+  w.add_u8(1, 7);
+  TlvReader r(w.bytes());
+  EXPECT_THROW(r.expect_u8(2), ParseError);
+}
+
+TEST(Tlv, TruncatedThrows) {
+  TlvWriter w;
+  w.add_string(1, "payload");
+  Bytes data = w.take();
+  data.pop_back();
+  TlvReader r(data);
+  EXPECT_THROW(r.expect_string(1), ParseError);
+}
+
+TEST(Tlv, BadScalarLengthThrows) {
+  TlvWriter w;
+  w.add_string(1, "xyz");  // 3 bytes, not a valid u32
+  TlvReader r(w.bytes());
+  EXPECT_THROW(r.expect_u32(1), ParseError);
+}
+
+TEST(Tlv, PeekDoesNotConsume) {
+  TlvWriter w;
+  w.add_u8(9, 1);
+  TlvReader r(w.bytes());
+  EXPECT_EQ(r.peek_tag(), 9);
+  EXPECT_EQ(r.peek_tag(), 9);
+  EXPECT_EQ(r.expect_u8(9), 1);
+}
+
+class PkiFixture : public ::testing::Test {
+ protected:
+  PkiFixture()
+      : rng_(42),
+        clock_(1'700'000'000),
+        ca_(DistinguishedName{"verification-manager", "RISE"}, rng_, clock_) {}
+
+  DeterministicRandom rng_;
+  SimClock clock_;
+  CertificateAuthority ca_;
+};
+
+TEST_F(PkiFixture, RootIsSelfSignedCa) {
+  const Certificate& root = ca_.root_certificate();
+  EXPECT_TRUE(root.is_ca);
+  EXPECT_EQ(root.subject, root.issuer);
+  EXPECT_TRUE(root.verify_signature(root.public_key));
+  EXPECT_TRUE(root.allows(KeyUsage::kCertSign));
+}
+
+TEST_F(PkiFixture, CertificateEncodingRoundTrip) {
+  const auto subject_key = crypto::ed25519_generate(rng_);
+  const Certificate cert =
+      ca_.issue({"vnf-1.example", "tenant"}, subject_key.public_key,
+                static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  const Certificate decoded = Certificate::decode(cert.encode());
+  EXPECT_EQ(decoded, cert);
+  EXPECT_EQ(decoded.fingerprint(), cert.fingerprint());
+}
+
+TEST_F(PkiFixture, DecodeRejectsCorruption) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate cert = ca_.issue(
+      {"x", ""}, key.public_key, static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  Bytes data = cert.encode();
+  data.push_back(0);  // trailing garbage
+  EXPECT_THROW(Certificate::decode(data), ParseError);
+  Bytes truncated = cert.encode();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(Certificate::decode(truncated), ParseError);
+}
+
+TEST_F(PkiFixture, IssuedCertVerifiesAgainstRoot) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate cert = ca_.issue(
+      {"vnf-2", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  EXPECT_TRUE(cert.verify_signature(ca_.root_certificate().public_key));
+  EXPECT_FALSE(cert.is_ca);
+  EXPECT_EQ(cert.issuer, ca_.root_certificate().subject);
+}
+
+TEST_F(PkiFixture, SerialsAreUnique) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const auto c1 = ca_.issue({"a", ""}, key.public_key, 1);
+  const auto c2 = ca_.issue({"b", ""}, key.public_key, 1);
+  EXPECT_NE(c1.serial, c2.serial);
+  EXPECT_EQ(ca_.issued_count(), 2u);
+}
+
+TEST_F(PkiFixture, TrustStoreAcceptsValidLeaf) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"vnf-3", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+}
+
+TEST_F(PkiFixture, TrustStoreRejectsUnknownIssuer) {
+  TrustStore store;  // empty
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kUnknownIssuer);
+}
+
+TEST_F(PkiFixture, TrustStoreRejectsForgedSignature) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const auto key = crypto::ed25519_generate(rng_);
+  Certificate leaf = ca_.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  leaf.subject.common_name = "vnf-imposter";  // invalidates the signature
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kBadSignature);
+}
+
+TEST_F(PkiFixture, TrustStoreEnforcesValidityWindow) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth), /*validity=*/3600);
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, leaf.not_before - 10).status,
+            VerifyStatus::kNotYetValid);
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, leaf.not_after + 10).status,
+            VerifyStatus::kExpired);
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, leaf.not_before + 1).ok());
+}
+
+TEST_F(PkiFixture, TrustStoreEnforcesKeyUsage) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kServerAuth, clock_.now()).status,
+            VerifyStatus::kWrongUsage);
+}
+
+TEST_F(PkiFixture, RevocationRoundTrip) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+
+  const RevocationList crl = ca_.revoke(leaf.serial);
+  store.set_crl(crl);
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kRevoked);
+}
+
+TEST_F(PkiFixture, CrlEncodingRoundTrip) {
+  ca_.revoke(5);
+  ca_.revoke(9);
+  const RevocationList crl = ca_.current_crl();
+  const RevocationList decoded = RevocationList::decode(crl.encode());
+  EXPECT_EQ(decoded.revoked_serials, (std::vector<std::uint64_t>{5, 9}));
+  EXPECT_TRUE(decoded.verify_signature(ca_.root_certificate().public_key));
+  EXPECT_TRUE(decoded.is_revoked(5));
+  EXPECT_FALSE(decoded.is_revoked(6));
+}
+
+TEST_F(PkiFixture, TamperedCrlRejectedByTrustStore) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  RevocationList crl = ca_.revoke(7);
+  crl.revoked_serials.push_back(1234);  // tamper after signing
+  EXPECT_THROW(store.set_crl(crl), Error);
+}
+
+TEST_F(PkiFixture, CrlFromUnknownIssuerRejected) {
+  TrustStore store;  // no roots
+  EXPECT_THROW(store.set_crl(ca_.current_crl()), Error);
+}
+
+TEST_F(PkiFixture, AddRootRejectsNonCa) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  TrustStore store;
+  EXPECT_THROW(store.add_root(leaf), Error);
+}
+
+TEST_F(PkiFixture, CertFromDifferentCaRejected) {
+  DeterministicRandom rng2(77);
+  CertificateAuthority other_ca(DistinguishedName{"rogue-ca", ""}, rng2, clock_);
+  const auto key = crypto::ed25519_generate(rng2);
+  const Certificate leaf = other_ca.issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kUnknownIssuer);
+}
+
+}  // namespace
+}  // namespace vnfsgx::pki
+
+// ---------------------------------------------------------------------------
+// Intermediate CA chains (per-tenant issuance delegation).
+// ---------------------------------------------------------------------------
+
+namespace vnfsgx::pki {
+namespace {
+
+class ChainFixture : public PkiFixture {
+ protected:
+  ChainFixture()
+      : tenant_ca_(CertificateAuthority::subordinate(
+            {"tenant-a-ca", "tenant-a"}, ca_, rng_, clock_)) {}
+
+  std::unique_ptr<CertificateAuthority> tenant_ca_;
+};
+
+TEST_F(ChainFixture, SubordinateCertSignedByParent) {
+  EXPECT_FALSE(tenant_ca_->is_root());
+  EXPECT_TRUE(ca_.is_root());
+  const Certificate& sub_cert = tenant_ca_->root_certificate();
+  EXPECT_TRUE(sub_cert.is_ca);
+  EXPECT_EQ(sub_cert.issuer, ca_.root_certificate().subject);
+  EXPECT_TRUE(sub_cert.verify_signature(ca_.root_certificate().public_key));
+}
+
+TEST_F(ChainFixture, ChainVerifiesThroughIntermediate) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = tenant_ca_->issue(
+      {"vnf-1.tenant-a", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  // Direct verification fails (issuer is not a root)...
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kUnknownIssuer);
+  // ...chain verification succeeds.
+  const Certificate chain[] = {tenant_ca_->root_certificate()};
+  EXPECT_TRUE(
+      store.verify_chain(leaf, chain, KeyUsage::kClientAuth, clock_.now()).ok());
+}
+
+TEST_F(ChainFixture, TwoLevelChain) {
+  auto team_ca = CertificateAuthority::subordinate({"team-ca", "tenant-a"},
+                                                   *tenant_ca_, rng_, clock_);
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = team_ca->issue(
+      {"vnf-deep", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const Certificate chain[] = {team_ca->root_certificate(),
+                               tenant_ca_->root_certificate()};
+  EXPECT_TRUE(
+      store.verify_chain(leaf, chain, KeyUsage::kClientAuth, clock_.now()).ok());
+  // Wrong order fails.
+  const Certificate bad_order[] = {tenant_ca_->root_certificate(),
+                                   team_ca->root_certificate()};
+  EXPECT_FALSE(store.verify_chain(leaf, bad_order, KeyUsage::kClientAuth,
+                                  clock_.now()).ok());
+}
+
+TEST_F(ChainFixture, RevokedIntermediateBreaksChain) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = tenant_ca_->issue(
+      {"vnf-1", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  // Root revokes the tenant CA's certificate.
+  store.set_crl(ca_.revoke(tenant_ca_->root_certificate().serial));
+  const Certificate chain[] = {tenant_ca_->root_certificate()};
+  EXPECT_EQ(store.verify_chain(leaf, chain, KeyUsage::kClientAuth, clock_.now())
+                .status,
+            VerifyStatus::kRevoked);
+}
+
+TEST_F(ChainFixture, NonCaIntermediateRejected) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate fake_intermediate = ca_.issue(
+      {"not-a-ca", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  const auto leaf_key = crypto::ed25519_generate(rng_);
+  // Sign a "leaf" with the non-CA key by hand.
+  Certificate leaf;
+  leaf.serial = 999;
+  leaf.subject = {"evil", ""};
+  leaf.issuer = fake_intermediate.subject;
+  leaf.not_before = clock_.now();
+  leaf.not_after = clock_.now() + 3600;
+  leaf.public_key = leaf_key.public_key;
+  leaf.key_usage = static_cast<std::uint8_t>(KeyUsage::kClientAuth);
+  leaf.signature = crypto::ed25519_sign(key.seed, leaf.tbs());
+
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const Certificate chain[] = {fake_intermediate};
+  EXPECT_EQ(store.verify_chain(leaf, chain, KeyUsage::kClientAuth, clock_.now())
+                .status,
+            VerifyStatus::kIssuerNotCa);
+}
+
+TEST_F(ChainFixture, ExpiredIntermediateRejected) {
+  auto brief_ca = CertificateAuthority::subordinate(
+      {"brief-ca", ""}, ca_, rng_, clock_, /*validity=*/60);
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = brief_ca->issue(
+      {"vnf", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth), /*validity=*/3600);
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  clock_.advance(120);  // intermediate expired, leaf still valid
+  const Certificate chain[] = {brief_ca->root_certificate()};
+  EXPECT_EQ(store.verify_chain(leaf, chain, KeyUsage::kClientAuth, clock_.now())
+                .status,
+            VerifyStatus::kExpired);
+}
+
+TEST_F(ChainFixture, EmptyChainEqualsDirectVerification) {
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate leaf = ca_.issue(
+      {"direct", ""}, key.public_key,
+      static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  EXPECT_TRUE(store.verify_chain(leaf, {}, KeyUsage::kClientAuth, clock_.now())
+                  .ok());
+}
+
+}  // namespace
+}  // namespace vnfsgx::pki

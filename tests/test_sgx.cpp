@@ -1,0 +1,367 @@
+// SGX simulator tests: measurement, SIGSTRUCT/EINIT, the enclave security
+// boundary (EPC access, immutability), sealing policies, local attestation
+// reports, and quoting.
+#include <gtest/gtest.h>
+#include <atomic>
+#include <thread>
+
+#include "common/hex.h"
+#include "crypto/random.h"
+#include "sgx/platform.h"
+
+namespace vnfsgx::sgx {
+namespace {
+
+using crypto::DeterministicRandom;
+
+// A tiny trusted logic used across the tests: stores/loads a secret in its
+// vault, creates reports, seals/unseals.
+enum TestOp : std::uint32_t {
+  kStore = 1,
+  kLoad = 2,
+  kReport = 3,
+  kSeal = 4,
+  kUnseal = 5,
+  kEcho = 6,
+};
+
+class TestLogic final : public TrustedLogic {
+ public:
+  Bytes handle_call(std::uint32_t opcode, ByteView input,
+                    EnclaveServices& services) override {
+    switch (opcode) {
+      case kStore:
+        services.vault().store("secret", Bytes(input.begin(), input.end()));
+        return {};
+      case kLoad:
+        return services.vault().load("secret");
+      case kReport: {
+        TargetInfo target = TargetInfo::decode(input.subspan(64));
+        ReportData data{};
+        std::copy(input.begin(), input.begin() + 64, data.begin());
+        return services.create_report(target, data).encode();
+      }
+      case kSeal:
+        return services.seal(SealPolicy::kMrEnclave, input, to_bytes("aad"));
+      case kUnseal: {
+        auto plain = services.unseal(input, to_bytes("aad"));
+        return plain ? *plain : Bytes{};
+      }
+      case kEcho:
+        return Bytes(input.begin(), input.end());
+    }
+    throw Error("unknown opcode");
+  }
+};
+
+EnclaveImage test_image(const std::string& tag = "v1") {
+  EnclaveImage image;
+  image.name = "test-enclave-" + tag;
+  image.code = to_bytes("test enclave code " + tag);
+  image.factory = [] { return std::make_unique<TestLogic>(); };
+  return image;
+}
+
+class SgxFixture : public ::testing::Test {
+ protected:
+  SgxFixture() : rng_(11), vendor_(crypto::ed25519_generate(rng_)) {
+    PlatformOptions options;
+    options.crossing_cost = std::chrono::nanoseconds(0);  // fast tests
+    platform_ = std::make_unique<SgxPlatform>(rng_, "test-host", options);
+  }
+
+  std::shared_ptr<Enclave> load(const EnclaveImage& image,
+                                std::uint16_t svn = 1) {
+    const SigStruct sig = sign_enclave(
+        vendor_.seed, measure_image(image.code, image.attributes), 1, svn);
+    return platform_->load_enclave(image, sig);
+  }
+
+  DeterministicRandom rng_;
+  crypto::Ed25519KeyPair vendor_;
+  std::unique_ptr<SgxPlatform> platform_;
+};
+
+TEST(MeasurementTest, DeterministicAndContentSensitive) {
+  const Bytes code_a = to_bytes("enclave code A");
+  Bytes code_b = code_a;
+  code_b.back() ^= 1;
+  EXPECT_EQ(measure_image(code_a, 0), measure_image(code_a, 0));
+  EXPECT_NE(measure_image(code_a, 0), measure_image(code_b, 0));
+  EXPECT_NE(measure_image(code_a, 0), measure_image(code_a, 1));  // attributes
+}
+
+TEST(MeasurementTest, PageOrderMatters) {
+  // Two pages swapped produce a different extend chain.
+  Bytes page1(4096, 0xaa), page2(4096, 0xbb);
+  MeasurementBuilder b1;
+  b1.ecreate(8192, 0);
+  b1.add_page(0, page1);
+  b1.add_page(4096, page2);
+  MeasurementBuilder b2;
+  b2.ecreate(8192, 0);
+  b2.add_page(0, page2);
+  b2.add_page(4096, page1);
+  EXPECT_NE(b1.finalize(), b2.finalize());
+}
+
+TEST(MeasurementTest, BuilderSingleUse) {
+  MeasurementBuilder b;
+  b.ecreate(0, 0);
+  b.finalize();
+  EXPECT_THROW(b.finalize(), Error);
+  EXPECT_THROW(b.add_page(0, Bytes{1}), Error);
+}
+
+TEST(SigStructTest, SignAndVerify) {
+  DeterministicRandom rng(1);
+  const auto vendor = crypto::ed25519_generate(rng);
+  const Measurement m = measure_image(to_bytes("code"), 0);
+  SigStruct sig = sign_enclave(vendor.seed, m, 7, 3);
+  EXPECT_TRUE(sig.verify());
+  EXPECT_EQ(sig.isv_prod_id, 7);
+  // Round trip.
+  const SigStruct decoded = SigStruct::decode(sig.encode());
+  EXPECT_TRUE(decoded.verify());
+  EXPECT_EQ(decoded.enclave_measurement, m);
+  // Tamper.
+  sig.isv_svn = 99;
+  EXPECT_FALSE(sig.verify());
+}
+
+TEST_F(SgxFixture, LoadAndCallEnclave) {
+  auto enclave = load(test_image());
+  const Bytes out = enclave->call(kEcho, to_bytes("ping"));
+  EXPECT_EQ(to_string(out), "ping");
+  EXPECT_EQ(enclave->ecall_count(), 1u);
+  EXPECT_EQ(platform_->total_crossings(), 1u);
+}
+
+TEST_F(SgxFixture, EinitRejectsTamperedImage) {
+  EnclaveImage image = test_image();
+  const SigStruct sig = sign_enclave(
+      vendor_.seed, measure_image(image.code, image.attributes), 1, 1);
+  image.code.back() ^= 1;  // tamper after signing
+  EXPECT_THROW(platform_->load_enclave(image, sig), SecurityViolation);
+}
+
+TEST_F(SgxFixture, EinitRejectsForgedSigstruct) {
+  EnclaveImage image = test_image();
+  SigStruct sig = sign_enclave(
+      vendor_.seed, measure_image(image.code, image.attributes), 1, 1);
+  sig.isv_svn += 1;  // invalidates vendor signature
+  EXPECT_THROW(platform_->load_enclave(image, sig), SecurityViolation);
+}
+
+TEST_F(SgxFixture, VaultUnreachableFromOutside) {
+  auto enclave = load(test_image());
+  enclave->call(kStore, to_bytes("the-credential"));
+  // Reading back via ECALL works.
+  EXPECT_EQ(to_string(enclave->call(kLoad, {})), "the-credential");
+  // The enclave is not executing now; no way to reach the vault from here.
+  EXPECT_FALSE(enclave->currently_inside());
+}
+
+TEST_F(SgxFixture, DestroyedEnclaveRejectsCalls) {
+  auto enclave = load(test_image());
+  enclave->call(kEcho, {});
+  enclave->destroy();
+  EXPECT_TRUE(enclave->destroyed());
+  EXPECT_THROW(enclave->call(kEcho, {}), SecurityViolation);
+}
+
+TEST_F(SgxFixture, EpcAccounting) {
+  const std::size_t before = platform_->epc_used();
+  auto enclave = load(test_image());
+  EXPECT_GT(platform_->epc_used(), before);
+  enclave->destroy();
+  EXPECT_EQ(platform_->epc_used(), before);
+}
+
+TEST_F(SgxFixture, EpcExhaustionRejectsLoad) {
+  DeterministicRandom rng(3);
+  PlatformOptions tiny;
+  tiny.epc_capacity = 100 * 1024;  // 100 KiB
+  tiny.crossing_cost = std::chrono::nanoseconds(0);
+  SgxPlatform small_platform(rng, "small", tiny);
+  EnclaveImage image = test_image();
+  const SigStruct sig = sign_enclave(
+      vendor_.seed, measure_image(image.code, image.attributes), 1, 1);
+  auto first = small_platform.load_enclave(image, sig);  // ~64KiB reserve
+  EXPECT_THROW(small_platform.load_enclave(image, sig), Error);
+  first->destroy();
+  EXPECT_NO_THROW(small_platform.load_enclave(image, sig));
+}
+
+TEST_F(SgxFixture, SealUnsealRoundTrip) {
+  auto enclave = load(test_image());
+  const Bytes blob = enclave->call(kSeal, to_bytes("sealed-secret"));
+  EXPECT_FALSE(blob.empty());
+  EXPECT_EQ(to_string(enclave->call(kUnseal, blob)), "sealed-secret");
+}
+
+TEST_F(SgxFixture, SealedBlobBoundToMeasurement) {
+  auto enclave_a = load(test_image("va"));
+  auto enclave_b = load(test_image("vb"));  // different code => different MR
+  const Bytes blob = enclave_a->call(kSeal, to_bytes("secret"));
+  // Enclave B (same vendor, different measurement) cannot unseal a
+  // MRENCLAVE-policy blob.
+  EXPECT_TRUE(enclave_b->call(kUnseal, blob).empty());
+}
+
+TEST_F(SgxFixture, SealedBlobBoundToPlatform) {
+  auto enclave = load(test_image());
+  const Bytes blob = enclave->call(kSeal, to_bytes("secret"));
+
+  DeterministicRandom rng2(99);
+  PlatformOptions options;
+  options.crossing_cost = std::chrono::nanoseconds(0);
+  SgxPlatform other(rng2, "other-host", options);
+  EnclaveImage image = test_image();
+  const SigStruct sig = sign_enclave(
+      vendor_.seed, measure_image(image.code, image.attributes), 1, 1);
+  auto same_enclave_other_platform = other.load_enclave(image, sig);
+  EXPECT_TRUE(same_enclave_other_platform->call(kUnseal, blob).empty());
+}
+
+TEST_F(SgxFixture, TamperedSealedBlobRejected) {
+  auto enclave = load(test_image());
+  Bytes blob = enclave->call(kSeal, to_bytes("secret"));
+  blob[blob.size() / 2] ^= 1;
+  EXPECT_TRUE(enclave->call(kUnseal, blob).empty());
+}
+
+TEST_F(SgxFixture, ReportVerifiesViaQuotingEnclave) {
+  auto enclave = load(test_image());
+  const TargetInfo qe = platform_->quoting_enclave().target_info();
+  Bytes input(64, 0x42);
+  append(input, qe.encode());
+  const Report report = Report::decode(enclave->call(kReport, input));
+  EXPECT_EQ(report.body.mr_enclave, enclave->mr_enclave());
+  EXPECT_EQ(report.body.report_data[0], 0x42);
+
+  const Quote quote = platform_->quoting_enclave().quote(report);
+  EXPECT_EQ(quote.platform_id, platform_->platform_id());
+  EXPECT_EQ(quote.body, report.body);
+  EXPECT_TRUE(crypto::ed25519_verify(
+      platform_->quoting_enclave().attestation_public_key(),
+      quote.encode_tbs(), ByteView(quote.signature.data(), 64)));
+}
+
+TEST_F(SgxFixture, QuotingEnclaveRejectsForeignReport) {
+  // A report created on another platform fails the QE's local attestation.
+  DeterministicRandom rng2(55);
+  PlatformOptions options;
+  options.crossing_cost = std::chrono::nanoseconds(0);
+  SgxPlatform other(rng2, "other", options);
+  EnclaveImage image = test_image();
+  const SigStruct sig = sign_enclave(
+      vendor_.seed, measure_image(image.code, image.attributes), 1, 1);
+  auto foreign = other.load_enclave(image, sig);
+
+  const TargetInfo qe = platform_->quoting_enclave().target_info();
+  Bytes input(64, 0);
+  append(input, qe.encode());
+  const Report report = Report::decode(foreign->call(kReport, input));
+  EXPECT_THROW(platform_->quoting_enclave().quote(report), SecurityViolation);
+}
+
+TEST_F(SgxFixture, QuotingEnclaveRejectsTamperedReport) {
+  auto enclave = load(test_image());
+  const TargetInfo qe = platform_->quoting_enclave().target_info();
+  Bytes input(64, 1);
+  append(input, qe.encode());
+  Report report = Report::decode(enclave->call(kReport, input));
+  report.body.report_data[0] ^= 1;  // tamper after MAC
+  EXPECT_THROW(platform_->quoting_enclave().quote(report), SecurityViolation);
+}
+
+TEST_F(SgxFixture, StructEncodingRoundTrips) {
+  auto enclave = load(test_image());
+  const TargetInfo qe = platform_->quoting_enclave().target_info();
+  EXPECT_EQ(TargetInfo::decode(qe.encode()).mr_enclave, qe.mr_enclave);
+
+  Bytes input(64, 7);
+  append(input, qe.encode());
+  const Report report = Report::decode(enclave->call(kReport, input));
+  const Report decoded = Report::decode(report.encode());
+  EXPECT_EQ(decoded.body, report.body);
+  EXPECT_EQ(decoded.mac, report.mac);
+
+  const Quote quote = platform_->quoting_enclave().quote(report);
+  const Quote qdec = Quote::decode(quote.encode());
+  EXPECT_EQ(qdec.body, quote.body);
+  EXPECT_EQ(qdec.platform_id, quote.platform_id);
+  EXPECT_EQ(qdec.signature, quote.signature);
+}
+
+TEST_F(SgxFixture, QuoteDecodeRejectsGarbage) {
+  EXPECT_THROW(Quote::decode(to_bytes("garbage")), ParseError);
+  EXPECT_THROW(Report::decode({}), ParseError);
+}
+
+TEST_F(SgxFixture, CrossingCostCharged) {
+  DeterministicRandom rng(5);
+  PlatformOptions options;
+  options.crossing_cost = std::chrono::microseconds(50);
+  SgxPlatform slow(rng, "slow", options);
+  EnclaveImage image = test_image();
+  const SigStruct sig = sign_enclave(
+      vendor_.seed, measure_image(image.code, image.attributes), 1, 1);
+  auto enclave = slow.load_enclave(image, sig);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) enclave->call(kEcho, {});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(400));
+}
+
+}  // namespace
+}  // namespace vnfsgx::sgx
+
+// ---------------------------------------------------------------------------
+// Concurrency and nesting.
+// ---------------------------------------------------------------------------
+
+namespace vnfsgx::sgx {
+namespace {
+
+TEST_F(SgxFixture, ConcurrentEcallsFromManyThreads) {
+  auto enclave = load(test_image());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&enclave, &failures, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::string msg = "t" + std::to_string(t) + "i" + std::to_string(i);
+        const Bytes out = enclave->call(kEcho, to_bytes(msg));
+        if (to_string(out) != msg) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(enclave->ecall_count(), 400u);
+}
+
+TEST_F(SgxFixture, VaultIsolationBetweenEnclaves) {
+  auto a = load(test_image("iso-a"));
+  auto b = load(test_image("iso-b"));
+  a->call(kStore, to_bytes("secret-a"));
+  b->call(kStore, to_bytes("secret-b"));
+  EXPECT_EQ(to_string(a->call(kLoad, {})), "secret-a");
+  EXPECT_EQ(to_string(b->call(kLoad, {})), "secret-b");
+}
+
+TEST_F(SgxFixture, PerThreadEnclaveStateTracking) {
+  auto enclave = load(test_image());
+  // From another thread, the enclave is not "inside" while this thread
+  // isn't executing it.
+  std::thread checker([&enclave] {
+    EXPECT_FALSE(enclave->currently_inside());
+  });
+  checker.join();
+}
+
+}  // namespace
+}  // namespace vnfsgx::sgx
