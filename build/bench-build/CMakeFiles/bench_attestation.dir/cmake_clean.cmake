@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_attestation"
+  "../bench/bench_attestation.pdb"
+  "CMakeFiles/bench_attestation.dir/bench_attestation.cpp.o"
+  "CMakeFiles/bench_attestation.dir/bench_attestation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

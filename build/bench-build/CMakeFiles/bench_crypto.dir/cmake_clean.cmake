@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crypto"
+  "../bench/bench_crypto.pdb"
+  "CMakeFiles/bench_crypto.dir/bench_crypto.cpp.o"
+  "CMakeFiles/bench_crypto.dir/bench_crypto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

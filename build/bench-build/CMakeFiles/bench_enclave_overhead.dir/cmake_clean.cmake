@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_enclave_overhead"
+  "../bench/bench_enclave_overhead.pdb"
+  "CMakeFiles/bench_enclave_overhead.dir/bench_enclave_overhead.cpp.o"
+  "CMakeFiles/bench_enclave_overhead.dir/bench_enclave_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclave_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

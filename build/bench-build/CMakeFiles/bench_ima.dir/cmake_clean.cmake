@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ima"
+  "../bench/bench_ima.pdb"
+  "CMakeFiles/bench_ima.dir/bench_ima.cpp.o"
+  "CMakeFiles/bench_ima.dir/bench_ima.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ima.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rest_modes"
+  "../bench/bench_rest_modes.pdb"
+  "CMakeFiles/bench_rest_modes.dir/bench_rest_modes.cpp.o"
+  "CMakeFiles/bench_rest_modes.dir/bench_rest_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rest_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

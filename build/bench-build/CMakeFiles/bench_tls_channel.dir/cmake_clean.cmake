@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tls_channel"
+  "../bench/bench_tls_channel.pdb"
+  "CMakeFiles/bench_tls_channel.dir/bench_tls_channel.cpp.o"
+  "CMakeFiles/bench_tls_channel.dir/bench_tls_channel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tls_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

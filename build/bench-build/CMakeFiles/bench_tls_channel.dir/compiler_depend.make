@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tls_channel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compromise_detection.dir/compromise_detection.cpp.o"
+  "CMakeFiles/compromise_detection.dir/compromise_detection.cpp.o.d"
+  "compromise_detection"
+  "compromise_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compromise_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

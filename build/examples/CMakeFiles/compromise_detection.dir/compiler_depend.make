@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compromise_detection.
+# This may be replaced when dependencies are built.

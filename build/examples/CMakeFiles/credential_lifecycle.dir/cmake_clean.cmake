@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credential_lifecycle.dir/credential_lifecycle.cpp.o"
+  "CMakeFiles/credential_lifecycle.dir/credential_lifecycle.cpp.o.d"
+  "credential_lifecycle"
+  "credential_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credential_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for credential_lifecycle.
+# This may be replaced when dependencies are built.

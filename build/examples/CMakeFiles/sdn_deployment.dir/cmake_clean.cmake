@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_deployment.dir/sdn_deployment.cpp.o"
+  "CMakeFiles/sdn_deployment.dir/sdn_deployment.cpp.o.d"
+  "sdn_deployment"
+  "sdn_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

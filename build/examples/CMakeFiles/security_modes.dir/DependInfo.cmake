@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/security_modes.cpp" "examples/CMakeFiles/security_modes.dir/security_modes.cpp.o" "gcc" "examples/CMakeFiles/security_modes.dir/security_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vnfsgx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/vnfsgx_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/ias/CMakeFiles/vnfsgx_ias.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/vnfsgx_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/vnfsgx_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/vnfsgx_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/vnfsgx_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/vnfsgx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vnfsgx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/vnfsgx_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfsgx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_modes.dir/security_modes.cpp.o"
+  "CMakeFiles/security_modes.dir/security_modes.cpp.o.d"
+  "security_modes"
+  "security_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

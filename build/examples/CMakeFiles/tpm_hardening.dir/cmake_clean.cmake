@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_hardening.dir/tpm_hardening.cpp.o"
+  "CMakeFiles/tpm_hardening.dir/tpm_hardening.cpp.o.d"
+  "tpm_hardening"
+  "tpm_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tpm_hardening.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tpm_hardening.
+# This may be replaced when dependencies are built.

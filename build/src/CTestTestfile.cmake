@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("json")
+subdirs("net")
+subdirs("http")
+subdirs("pki")
+subdirs("tls")
+subdirs("sgx")
+subdirs("ias")
+subdirs("ima")
+subdirs("host")
+subdirs("dataplane")
+subdirs("controller")
+subdirs("vnf")
+subdirs("core")

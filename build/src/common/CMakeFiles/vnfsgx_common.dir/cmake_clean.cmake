@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_common.dir/base64.cpp.o"
+  "CMakeFiles/vnfsgx_common.dir/base64.cpp.o.d"
+  "CMakeFiles/vnfsgx_common.dir/hex.cpp.o"
+  "CMakeFiles/vnfsgx_common.dir/hex.cpp.o.d"
+  "CMakeFiles/vnfsgx_common.dir/logging.cpp.o"
+  "CMakeFiles/vnfsgx_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vnfsgx_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/vnfsgx_common.dir/sim_clock.cpp.o.d"
+  "libvnfsgx_common.a"
+  "libvnfsgx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_controller.dir/controller.cpp.o"
+  "CMakeFiles/vnfsgx_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/vnfsgx_controller.dir/learning.cpp.o"
+  "CMakeFiles/vnfsgx_controller.dir/learning.cpp.o.d"
+  "libvnfsgx_controller.a"
+  "libvnfsgx_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_core.dir/appraisal.cpp.o"
+  "CMakeFiles/vnfsgx_core.dir/appraisal.cpp.o.d"
+  "CMakeFiles/vnfsgx_core.dir/host_agent.cpp.o"
+  "CMakeFiles/vnfsgx_core.dir/host_agent.cpp.o.d"
+  "CMakeFiles/vnfsgx_core.dir/protocol.cpp.o"
+  "CMakeFiles/vnfsgx_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/vnfsgx_core.dir/verification_manager.cpp.o"
+  "CMakeFiles/vnfsgx_core.dir/verification_manager.cpp.o.d"
+  "CMakeFiles/vnfsgx_core.dir/vm_api.cpp.o"
+  "CMakeFiles/vnfsgx_core.dir/vm_api.cpp.o.d"
+  "libvnfsgx_core.a"
+  "libvnfsgx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/field25519.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/field25519.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/field25519.cpp.o.d"
+  "/root/repo/src/crypto/gcm.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/gcm.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/gcm.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/hkdf.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/random.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/random.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/vnfsgx_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_crypto.dir/aes.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/field25519.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/field25519.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/random.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/vnfsgx_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/vnfsgx_crypto.dir/x25519.cpp.o.d"
+  "libvnfsgx_crypto.a"
+  "libvnfsgx_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

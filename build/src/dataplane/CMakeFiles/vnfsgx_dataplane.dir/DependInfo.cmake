@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/fabric.cpp" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/fabric.cpp.o" "gcc" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/fabric.cpp.o.d"
+  "/root/repo/src/dataplane/packet.cpp" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/packet.cpp.o" "gcc" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/packet.cpp.o.d"
+  "/root/repo/src/dataplane/southbound.cpp" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/southbound.cpp.o" "gcc" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/southbound.cpp.o.d"
+  "/root/repo/src/dataplane/switch.cpp" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/switch.cpp.o" "gcc" "src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfsgx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_dataplane.dir/fabric.cpp.o"
+  "CMakeFiles/vnfsgx_dataplane.dir/fabric.cpp.o.d"
+  "CMakeFiles/vnfsgx_dataplane.dir/packet.cpp.o"
+  "CMakeFiles/vnfsgx_dataplane.dir/packet.cpp.o.d"
+  "CMakeFiles/vnfsgx_dataplane.dir/southbound.cpp.o"
+  "CMakeFiles/vnfsgx_dataplane.dir/southbound.cpp.o.d"
+  "CMakeFiles/vnfsgx_dataplane.dir/switch.cpp.o"
+  "CMakeFiles/vnfsgx_dataplane.dir/switch.cpp.o.d"
+  "libvnfsgx_dataplane.a"
+  "libvnfsgx_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/attestation_enclave.cpp" "src/host/CMakeFiles/vnfsgx_host.dir/attestation_enclave.cpp.o" "gcc" "src/host/CMakeFiles/vnfsgx_host.dir/attestation_enclave.cpp.o.d"
+  "/root/repo/src/host/container_host.cpp" "src/host/CMakeFiles/vnfsgx_host.dir/container_host.cpp.o" "gcc" "src/host/CMakeFiles/vnfsgx_host.dir/container_host.cpp.o.d"
+  "/root/repo/src/host/runtime.cpp" "src/host/CMakeFiles/vnfsgx_host.dir/runtime.cpp.o" "gcc" "src/host/CMakeFiles/vnfsgx_host.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/vnfsgx_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/vnfsgx_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

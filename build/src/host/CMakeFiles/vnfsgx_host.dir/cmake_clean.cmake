@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_host.dir/attestation_enclave.cpp.o"
+  "CMakeFiles/vnfsgx_host.dir/attestation_enclave.cpp.o.d"
+  "CMakeFiles/vnfsgx_host.dir/container_host.cpp.o"
+  "CMakeFiles/vnfsgx_host.dir/container_host.cpp.o.d"
+  "CMakeFiles/vnfsgx_host.dir/runtime.cpp.o"
+  "CMakeFiles/vnfsgx_host.dir/runtime.cpp.o.d"
+  "libvnfsgx_host.a"
+  "libvnfsgx_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

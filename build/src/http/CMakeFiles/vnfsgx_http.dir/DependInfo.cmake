@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/client.cpp" "src/http/CMakeFiles/vnfsgx_http.dir/client.cpp.o" "gcc" "src/http/CMakeFiles/vnfsgx_http.dir/client.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/vnfsgx_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/vnfsgx_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/server.cpp" "src/http/CMakeFiles/vnfsgx_http.dir/server.cpp.o" "gcc" "src/http/CMakeFiles/vnfsgx_http.dir/server.cpp.o.d"
+  "/root/repo/src/http/wire.cpp" "src/http/CMakeFiles/vnfsgx_http.dir/wire.cpp.o" "gcc" "src/http/CMakeFiles/vnfsgx_http.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfsgx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

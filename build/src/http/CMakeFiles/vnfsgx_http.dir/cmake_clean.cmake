@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_http.dir/client.cpp.o"
+  "CMakeFiles/vnfsgx_http.dir/client.cpp.o.d"
+  "CMakeFiles/vnfsgx_http.dir/message.cpp.o"
+  "CMakeFiles/vnfsgx_http.dir/message.cpp.o.d"
+  "CMakeFiles/vnfsgx_http.dir/server.cpp.o"
+  "CMakeFiles/vnfsgx_http.dir/server.cpp.o.d"
+  "CMakeFiles/vnfsgx_http.dir/wire.cpp.o"
+  "CMakeFiles/vnfsgx_http.dir/wire.cpp.o.d"
+  "libvnfsgx_http.a"
+  "libvnfsgx_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvnfsgx_http.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ias/http_api.cpp" "src/ias/CMakeFiles/vnfsgx_ias.dir/http_api.cpp.o" "gcc" "src/ias/CMakeFiles/vnfsgx_ias.dir/http_api.cpp.o.d"
+  "/root/repo/src/ias/service.cpp" "src/ias/CMakeFiles/vnfsgx_ias.dir/service.cpp.o" "gcc" "src/ias/CMakeFiles/vnfsgx_ias.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/vnfsgx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/vnfsgx_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/vnfsgx_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfsgx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

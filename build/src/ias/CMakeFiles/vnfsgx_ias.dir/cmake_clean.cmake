@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_ias.dir/http_api.cpp.o"
+  "CMakeFiles/vnfsgx_ias.dir/http_api.cpp.o.d"
+  "CMakeFiles/vnfsgx_ias.dir/service.cpp.o"
+  "CMakeFiles/vnfsgx_ias.dir/service.cpp.o.d"
+  "libvnfsgx_ias.a"
+  "libvnfsgx_ias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_ias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ima/filesystem.cpp" "src/ima/CMakeFiles/vnfsgx_ima.dir/filesystem.cpp.o" "gcc" "src/ima/CMakeFiles/vnfsgx_ima.dir/filesystem.cpp.o.d"
+  "/root/repo/src/ima/measurement_list.cpp" "src/ima/CMakeFiles/vnfsgx_ima.dir/measurement_list.cpp.o" "gcc" "src/ima/CMakeFiles/vnfsgx_ima.dir/measurement_list.cpp.o.d"
+  "/root/repo/src/ima/policy.cpp" "src/ima/CMakeFiles/vnfsgx_ima.dir/policy.cpp.o" "gcc" "src/ima/CMakeFiles/vnfsgx_ima.dir/policy.cpp.o.d"
+  "/root/repo/src/ima/subsystem.cpp" "src/ima/CMakeFiles/vnfsgx_ima.dir/subsystem.cpp.o" "gcc" "src/ima/CMakeFiles/vnfsgx_ima.dir/subsystem.cpp.o.d"
+  "/root/repo/src/ima/tpm.cpp" "src/ima/CMakeFiles/vnfsgx_ima.dir/tpm.cpp.o" "gcc" "src/ima/CMakeFiles/vnfsgx_ima.dir/tpm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

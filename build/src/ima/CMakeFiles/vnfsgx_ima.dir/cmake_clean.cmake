@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_ima.dir/filesystem.cpp.o"
+  "CMakeFiles/vnfsgx_ima.dir/filesystem.cpp.o.d"
+  "CMakeFiles/vnfsgx_ima.dir/measurement_list.cpp.o"
+  "CMakeFiles/vnfsgx_ima.dir/measurement_list.cpp.o.d"
+  "CMakeFiles/vnfsgx_ima.dir/policy.cpp.o"
+  "CMakeFiles/vnfsgx_ima.dir/policy.cpp.o.d"
+  "CMakeFiles/vnfsgx_ima.dir/subsystem.cpp.o"
+  "CMakeFiles/vnfsgx_ima.dir/subsystem.cpp.o.d"
+  "CMakeFiles/vnfsgx_ima.dir/tpm.cpp.o"
+  "CMakeFiles/vnfsgx_ima.dir/tpm.cpp.o.d"
+  "libvnfsgx_ima.a"
+  "libvnfsgx_ima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

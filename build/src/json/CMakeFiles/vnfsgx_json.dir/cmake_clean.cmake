@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_json.dir/json.cpp.o"
+  "CMakeFiles/vnfsgx_json.dir/json.cpp.o.d"
+  "libvnfsgx_json.a"
+  "libvnfsgx_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vnfsgx_json.
+# This may be replaced when dependencies are built.

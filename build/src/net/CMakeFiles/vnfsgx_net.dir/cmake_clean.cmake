@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_net.dir/inmemory.cpp.o"
+  "CMakeFiles/vnfsgx_net.dir/inmemory.cpp.o.d"
+  "CMakeFiles/vnfsgx_net.dir/tcp.cpp.o"
+  "CMakeFiles/vnfsgx_net.dir/tcp.cpp.o.d"
+  "libvnfsgx_net.a"
+  "libvnfsgx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/ca.cpp" "src/pki/CMakeFiles/vnfsgx_pki.dir/ca.cpp.o" "gcc" "src/pki/CMakeFiles/vnfsgx_pki.dir/ca.cpp.o.d"
+  "/root/repo/src/pki/certificate.cpp" "src/pki/CMakeFiles/vnfsgx_pki.dir/certificate.cpp.o" "gcc" "src/pki/CMakeFiles/vnfsgx_pki.dir/certificate.cpp.o.d"
+  "/root/repo/src/pki/crl.cpp" "src/pki/CMakeFiles/vnfsgx_pki.dir/crl.cpp.o" "gcc" "src/pki/CMakeFiles/vnfsgx_pki.dir/crl.cpp.o.d"
+  "/root/repo/src/pki/truststore.cpp" "src/pki/CMakeFiles/vnfsgx_pki.dir/truststore.cpp.o" "gcc" "src/pki/CMakeFiles/vnfsgx_pki.dir/truststore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

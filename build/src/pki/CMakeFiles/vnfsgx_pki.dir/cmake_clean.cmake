@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_pki.dir/ca.cpp.o"
+  "CMakeFiles/vnfsgx_pki.dir/ca.cpp.o.d"
+  "CMakeFiles/vnfsgx_pki.dir/certificate.cpp.o"
+  "CMakeFiles/vnfsgx_pki.dir/certificate.cpp.o.d"
+  "CMakeFiles/vnfsgx_pki.dir/crl.cpp.o"
+  "CMakeFiles/vnfsgx_pki.dir/crl.cpp.o.d"
+  "CMakeFiles/vnfsgx_pki.dir/truststore.cpp.o"
+  "CMakeFiles/vnfsgx_pki.dir/truststore.cpp.o.d"
+  "libvnfsgx_pki.a"
+  "libvnfsgx_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

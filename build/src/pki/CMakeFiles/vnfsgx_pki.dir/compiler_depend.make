@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vnfsgx_pki.
+# This may be replaced when dependencies are built.

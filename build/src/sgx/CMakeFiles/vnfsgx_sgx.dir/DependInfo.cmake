@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/enclave.cpp" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/enclave.cpp.o" "gcc" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgx/measurement.cpp" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/measurement.cpp.o" "gcc" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/measurement.cpp.o.d"
+  "/root/repo/src/sgx/platform.cpp" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/platform.cpp.o" "gcc" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/platform.cpp.o.d"
+  "/root/repo/src/sgx/sigstruct.cpp" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/sigstruct.cpp.o" "gcc" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/sigstruct.cpp.o.d"
+  "/root/repo/src/sgx/structs.cpp" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/structs.cpp.o" "gcc" "src/sgx/CMakeFiles/vnfsgx_sgx.dir/structs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

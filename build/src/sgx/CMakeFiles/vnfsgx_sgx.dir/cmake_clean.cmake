@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/vnfsgx_sgx.dir/enclave.cpp.o.d"
+  "CMakeFiles/vnfsgx_sgx.dir/measurement.cpp.o"
+  "CMakeFiles/vnfsgx_sgx.dir/measurement.cpp.o.d"
+  "CMakeFiles/vnfsgx_sgx.dir/platform.cpp.o"
+  "CMakeFiles/vnfsgx_sgx.dir/platform.cpp.o.d"
+  "CMakeFiles/vnfsgx_sgx.dir/sigstruct.cpp.o"
+  "CMakeFiles/vnfsgx_sgx.dir/sigstruct.cpp.o.d"
+  "CMakeFiles/vnfsgx_sgx.dir/structs.cpp.o"
+  "CMakeFiles/vnfsgx_sgx.dir/structs.cpp.o.d"
+  "libvnfsgx_sgx.a"
+  "libvnfsgx_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vnfsgx_sgx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/key_schedule.cpp" "src/tls/CMakeFiles/vnfsgx_tls.dir/key_schedule.cpp.o" "gcc" "src/tls/CMakeFiles/vnfsgx_tls.dir/key_schedule.cpp.o.d"
+  "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/vnfsgx_tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/vnfsgx_tls.dir/record.cpp.o.d"
+  "/root/repo/src/tls/session.cpp" "src/tls/CMakeFiles/vnfsgx_tls.dir/session.cpp.o" "gcc" "src/tls/CMakeFiles/vnfsgx_tls.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfsgx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

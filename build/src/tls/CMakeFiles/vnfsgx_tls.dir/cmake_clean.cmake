@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_tls.dir/key_schedule.cpp.o"
+  "CMakeFiles/vnfsgx_tls.dir/key_schedule.cpp.o.d"
+  "CMakeFiles/vnfsgx_tls.dir/record.cpp.o"
+  "CMakeFiles/vnfsgx_tls.dir/record.cpp.o.d"
+  "CMakeFiles/vnfsgx_tls.dir/session.cpp.o"
+  "CMakeFiles/vnfsgx_tls.dir/session.cpp.o.d"
+  "libvnfsgx_tls.a"
+  "libvnfsgx_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

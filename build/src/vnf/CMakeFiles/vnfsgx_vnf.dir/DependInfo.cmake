@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vnf/credential_client.cpp" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/credential_client.cpp.o" "gcc" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/credential_client.cpp.o.d"
+  "/root/repo/src/vnf/credential_enclave.cpp" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/credential_enclave.cpp.o" "gcc" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/credential_enclave.cpp.o.d"
+  "/root/repo/src/vnf/functions.cpp" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/functions.cpp.o" "gcc" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/functions.cpp.o.d"
+  "/root/repo/src/vnf/ocall.cpp" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/ocall.cpp.o" "gcc" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/ocall.cpp.o.d"
+  "/root/repo/src/vnf/vnf.cpp" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/vnf.cpp.o" "gcc" "src/vnf/CMakeFiles/vnfsgx_vnf.dir/vnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfsgx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vnfsgx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/vnfsgx_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/vnfsgx_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/vnfsgx_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/vnfsgx_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/vnfsgx_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfsgx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/vnfsgx_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/vnfsgx_pki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfsgx_vnf.dir/credential_client.cpp.o"
+  "CMakeFiles/vnfsgx_vnf.dir/credential_client.cpp.o.d"
+  "CMakeFiles/vnfsgx_vnf.dir/credential_enclave.cpp.o"
+  "CMakeFiles/vnfsgx_vnf.dir/credential_enclave.cpp.o.d"
+  "CMakeFiles/vnfsgx_vnf.dir/functions.cpp.o"
+  "CMakeFiles/vnfsgx_vnf.dir/functions.cpp.o.d"
+  "CMakeFiles/vnfsgx_vnf.dir/ocall.cpp.o"
+  "CMakeFiles/vnfsgx_vnf.dir/ocall.cpp.o.d"
+  "CMakeFiles/vnfsgx_vnf.dir/vnf.cpp.o"
+  "CMakeFiles/vnfsgx_vnf.dir/vnf.cpp.o.d"
+  "libvnfsgx_vnf.a"
+  "libvnfsgx_vnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfsgx_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vnfsgx_vnf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_aead.dir/test_crypto_aead.cpp.o"
+  "CMakeFiles/test_crypto_aead.dir/test_crypto_aead.cpp.o.d"
+  "test_crypto_aead"
+  "test_crypto_aead.pdb"
+  "test_crypto_aead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_aead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

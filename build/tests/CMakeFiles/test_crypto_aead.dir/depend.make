@@ -1,0 +1,2 @@
+# Empty dependencies file for test_crypto_aead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_curve.dir/test_crypto_curve.cpp.o"
+  "CMakeFiles/test_crypto_curve.dir/test_crypto_curve.cpp.o.d"
+  "test_crypto_curve"
+  "test_crypto_curve.pdb"
+  "test_crypto_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

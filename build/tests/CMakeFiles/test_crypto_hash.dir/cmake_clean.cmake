@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_hash.dir/test_crypto_hash.cpp.o"
+  "CMakeFiles/test_crypto_hash.dir/test_crypto_hash.cpp.o.d"
+  "test_crypto_hash"
+  "test_crypto_hash.pdb"
+  "test_crypto_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_dataplane.dir/test_host_dataplane.cpp.o"
+  "CMakeFiles/test_host_dataplane.dir/test_host_dataplane.cpp.o.d"
+  "test_host_dataplane"
+  "test_host_dataplane.pdb"
+  "test_host_dataplane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ias.dir/test_ias.cpp.o"
+  "CMakeFiles/test_ias.dir/test_ias.cpp.o.d"
+  "test_ias"
+  "test_ias.pdb"
+  "test_ias[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ima.dir/test_ima.cpp.o"
+  "CMakeFiles/test_ima.dir/test_ima.cpp.o.d"
+  "test_ima"
+  "test_ima.pdb"
+  "test_ima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

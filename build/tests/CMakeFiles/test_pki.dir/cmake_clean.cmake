@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pki.dir/test_pki.cpp.o"
+  "CMakeFiles/test_pki.dir/test_pki.cpp.o.d"
+  "test_pki"
+  "test_pki.pdb"
+  "test_pki[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

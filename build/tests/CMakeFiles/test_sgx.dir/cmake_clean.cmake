@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgx.dir/test_sgx.cpp.o"
+  "CMakeFiles/test_sgx.dir/test_sgx.cpp.o.d"
+  "test_sgx"
+  "test_sgx.pdb"
+  "test_sgx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls.dir/test_tls.cpp.o"
+  "CMakeFiles/test_tls.dir/test_tls.cpp.o.d"
+  "test_tls"
+  "test_tls.pdb"
+  "test_tls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnf.dir/test_vnf.cpp.o"
+  "CMakeFiles/test_vnf.dir/test_vnf.cpp.o.d"
+  "test_vnf"
+  "test_vnf.pdb"
+  "test_vnf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

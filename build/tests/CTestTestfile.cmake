@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_aead[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_curve[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_pki[1]_include.cmake")
+include("/root/repo/build/tests/test_tls[1]_include.cmake")
+include("/root/repo/build/tests/test_sgx[1]_include.cmake")
+include("/root/repo/build/tests/test_ias[1]_include.cmake")
+include("/root/repo/build/tests/test_ima[1]_include.cmake")
+include("/root/repo/build/tests/test_host_dataplane[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_vnf[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
