@@ -50,6 +50,36 @@ void BM_AesGcmSeal(benchmark::State& state) {
 }
 BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1024)->Arg(16384);
 
+void BM_AesGcmOpen(benchmark::State& state) {
+  DeterministicRandom rng(3);
+  const AesGcm gcm(rng.bytes(16));
+  const Bytes nonce = rng.bytes(12);
+  const Bytes sealed =
+      gcm.seal(nonce, rng.bytes(static_cast<std::size_t>(state.range(0))), {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcm.open(nonce, sealed, {}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesGcmOpen)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AesGcmSealInPlace(benchmark::State& state) {
+  // The TLS record path: no allocation, ciphertext over the plaintext.
+  DeterministicRandom rng(3);
+  const AesGcm gcm(rng.bytes(16));
+  const Bytes nonce = rng.bytes(12);
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  Bytes buf = rng.bytes(len + kGcmTagSize);
+  for (auto _ : state) {
+    gcm.seal_in_place(nonce, buf.data(), len, {}, buf.data() + len);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesGcmSealInPlace)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_X25519SharedSecret(benchmark::State& state) {
   DeterministicRandom rng(4);
   const auto a = x25519_generate(rng);

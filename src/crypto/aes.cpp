@@ -1,17 +1,24 @@
 #include "crypto/aes.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.h"
 
 namespace vnfsgx::crypto {
 
 namespace {
 
-// The S-box is computed at first use (GF(2^8) inversion + affine transform)
-// instead of being transcribed, which removes a whole class of typo bugs.
-struct SboxTable {
+// The S-box and the four round T-tables are computed at first use (GF(2^8)
+// inversion + affine transform, then MixColumns folded in) instead of being
+// transcribed, which removes a whole class of typo bugs. The T-tables merge
+// SubBytes + ShiftRows + MixColumns into four 32-bit lookups per column —
+// the classic software-AES hot-path layout.
+struct AesTables {
   std::array<std::uint8_t, 256> sbox;
+  std::array<std::uint32_t, 256> te0, te1, te2, te3;
 
-  SboxTable() {
+  AesTables() {
     // Build log/antilog tables over GF(2^8) with generator 3.
     std::array<std::uint8_t, 256> log{}, alog{};
     std::uint8_t p = 1;
@@ -32,13 +39,27 @@ struct SboxTable {
       }
       sbox[x] = res;
     }
+    for (int x = 0; x < 256; ++x) {
+      const std::uint32_t s = sbox[x];
+      const std::uint32_t s2 = (s << 1) ^ ((s & 0x80) ? 0x11b : 0);  // 02·S
+      const std::uint32_t s3 = s2 ^ s;                               // 03·S
+      // Column word {02·S, S, S, 03·S} big-endian; te1..te3 are byte
+      // rotations so each state byte indexes the table matching its row.
+      const std::uint32_t t = (s2 << 24) | (s << 16) | (s << 8) | s3;
+      te0[x] = t;
+      te1[x] = (t >> 8) | (t << 24);
+      te2[x] = (t >> 16) | (t << 16);
+      te3[x] = (t >> 24) | (t << 8);
+    }
   }
 };
 
-const std::uint8_t* sbox() {
-  static const SboxTable t;
-  return t.sbox.data();
+const AesTables& tables() {
+  static const AesTables t;
+  return t;
 }
+
+const std::uint8_t* sbox() { return tables().sbox.data(); }
 
 inline std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
@@ -94,79 +115,156 @@ Aes::Aes(ByteView key) {
   }
 }
 
-void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
-  const std::uint8_t* s = sbox();
-  std::uint8_t state[16];
-  // AddRoundKey(0); state is column-major: state[4*c + r].
-  for (int c = 0; c < 4; ++c) {
-    const std::uint32_t rk = round_keys_[c];
-    state[4 * c + 0] = static_cast<std::uint8_t>(in[4 * c + 0] ^ (rk >> 24));
-    state[4 * c + 1] = static_cast<std::uint8_t>(in[4 * c + 1] ^ (rk >> 16));
-    state[4 * c + 2] = static_cast<std::uint8_t>(in[4 * c + 2] ^ (rk >> 8));
-    state[4 * c + 3] = static_cast<std::uint8_t>(in[4 * c + 3] ^ rk);
-  }
+namespace {
 
-  for (int round = 1; round <= rounds_; ++round) {
-    // SubBytes
-    for (auto& b : state) b = s[b];
-    // ShiftRows: row r rotates left by r.
-    std::uint8_t t;
-    t = state[1];
-    state[1] = state[5];
-    state[5] = state[9];
-    state[9] = state[13];
-    state[13] = t;
-    t = state[2];
-    state[2] = state[10];
-    state[10] = t;
-    t = state[6];
-    state[6] = state[14];
-    state[14] = t;
-    t = state[15];
-    state[15] = state[11];
-    state[11] = state[7];
-    state[7] = state[3];
-    state[3] = t;
-    // MixColumns (skipped in the final round)
-    if (round < rounds_) {
-      for (int c = 0; c < 4; ++c) {
-        std::uint8_t* col = &state[4 * c];
-        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-        const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
-        col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
-        col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
-        col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
-        col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
-      }
-    }
-    // AddRoundKey
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+inline void store_be32(std::uint32_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const AesTables& tb = tables();
+  const std::uint32_t* rk = round_keys_.data();
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
+  rk += 4;
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    const std::uint32_t t0 = tb.te0[s0 >> 24] ^ tb.te1[(s1 >> 16) & 0xff] ^
+                             tb.te2[(s2 >> 8) & 0xff] ^ tb.te3[s3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = tb.te0[s1 >> 24] ^ tb.te1[(s2 >> 16) & 0xff] ^
+                             tb.te2[(s3 >> 8) & 0xff] ^ tb.te3[s0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = tb.te0[s2 >> 24] ^ tb.te1[(s3 >> 16) & 0xff] ^
+                             tb.te2[(s0 >> 8) & 0xff] ^ tb.te3[s1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = tb.te0[s3 >> 24] ^ tb.te1[(s0 >> 16) & 0xff] ^
+                             tb.te2[(s1 >> 8) & 0xff] ^ tb.te3[s2 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const std::uint8_t* s = tb.sbox.data();
+  auto final_word = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                        std::uint32_t d, std::uint32_t k) {
+    return ((static_cast<std::uint32_t>(s[a >> 24]) << 24) |
+            (static_cast<std::uint32_t>(s[(b >> 16) & 0xff]) << 16) |
+            (static_cast<std::uint32_t>(s[(c >> 8) & 0xff]) << 8) |
+            s[d & 0xff]) ^
+           k;
+  };
+  store_be32(final_word(s0, s1, s2, s3, rk[0]), out);
+  store_be32(final_word(s1, s2, s3, s0, rk[1]), out + 4);
+  store_be32(final_word(s2, s3, s0, s1, rk[2]), out + 8);
+  store_be32(final_word(s3, s0, s1, s2, rk[3]), out + 12);
+}
+
+void Aes::encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const {
+  // Four independent blocks walked through the rounds together so the four
+  // dependency chains interleave (the single-block path is latency-bound on
+  // the table lookups).
+  const AesTables& tb = tables();
+  std::uint32_t st[4][4];
+  for (int lane = 0; lane < 4; ++lane) {
     for (int c = 0; c < 4; ++c) {
-      const std::uint32_t rk = round_keys_[4 * round + c];
-      state[4 * c + 0] ^= static_cast<std::uint8_t>(rk >> 24);
-      state[4 * c + 1] ^= static_cast<std::uint8_t>(rk >> 16);
-      state[4 * c + 2] ^= static_cast<std::uint8_t>(rk >> 8);
-      state[4 * c + 3] ^= static_cast<std::uint8_t>(rk);
+      st[lane][c] = load_be32(in + 16 * lane + 4 * c) ^ round_keys_[c];
     }
   }
-  for (int i = 0; i < 16; ++i) out[i] = state[i];
+  const std::uint32_t* rk = round_keys_.data() + 4;
+  for (int round = 1; round < rounds_; ++round, rk += 4) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::uint32_t s0 = st[lane][0], s1 = st[lane][1], s2 = st[lane][2],
+                          s3 = st[lane][3];
+      st[lane][0] = tb.te0[s0 >> 24] ^ tb.te1[(s1 >> 16) & 0xff] ^
+                    tb.te2[(s2 >> 8) & 0xff] ^ tb.te3[s3 & 0xff] ^ rk[0];
+      st[lane][1] = tb.te0[s1 >> 24] ^ tb.te1[(s2 >> 16) & 0xff] ^
+                    tb.te2[(s3 >> 8) & 0xff] ^ tb.te3[s0 & 0xff] ^ rk[1];
+      st[lane][2] = tb.te0[s2 >> 24] ^ tb.te1[(s3 >> 16) & 0xff] ^
+                    tb.te2[(s0 >> 8) & 0xff] ^ tb.te3[s1 & 0xff] ^ rk[2];
+      st[lane][3] = tb.te0[s3 >> 24] ^ tb.te1[(s0 >> 16) & 0xff] ^
+                    tb.te2[(s1 >> 8) & 0xff] ^ tb.te3[s2 & 0xff] ^ rk[3];
+    }
+  }
+  const std::uint8_t* s = tb.sbox.data();
+  for (int lane = 0; lane < 4; ++lane) {
+    const std::uint32_t s0 = st[lane][0], s1 = st[lane][1], s2 = st[lane][2],
+                        s3 = st[lane][3];
+    const std::uint32_t w[4] = {s0, s1, s2, s3};
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t a = w[c], b = w[(c + 1) & 3], d = w[(c + 2) & 3],
+                          e = w[(c + 3) & 3];
+      const std::uint32_t v =
+          ((static_cast<std::uint32_t>(s[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(s[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(s[(d >> 8) & 0xff]) << 8) |
+           s[e & 0xff]) ^
+          rk[c];
+      store_be32(v, out + 16 * lane + 4 * c);
+    }
+  }
 }
+
+namespace {
+
+// Big-endian increment of the low 32 counter bits (GCM inc32 convention).
+inline void inc32(AesBlock& counter) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+inline void xor_bytes(const std::uint8_t* a, const std::uint8_t* b,
+                      std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    x ^= y;
+    std::memcpy(out + i, &x, 8);
+  }
+  for (; i < n; ++i) out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+}
+
+}  // namespace
 
 void aes_ctr_xor(const Aes& aes, const AesBlock& initial_counter, ByteView in,
                  std::uint8_t* out) {
   AesBlock counter = initial_counter;
-  std::uint8_t keystream[16];
   std::size_t off = 0;
+  // Batch keystream generation four counter blocks at a time.
+  std::uint8_t ctr4[64];
+  std::uint8_t ks[64];
+  while (in.size() - off >= 64) {
+    for (int b = 0; b < 4; ++b) {
+      std::memcpy(ctr4 + 16 * b, counter.data(), 16);
+      inc32(counter);
+    }
+    aes.encrypt4(ctr4, ks);
+    xor_bytes(in.data() + off, ks, out + off, 64);
+    off += 64;
+  }
   while (off < in.size()) {
-    aes.encrypt_block(counter.data(), keystream);
+    aes.encrypt_block(counter.data(), ks);
+    inc32(counter);
     const std::size_t take = std::min<std::size_t>(16, in.size() - off);
-    for (std::size_t i = 0; i < take; ++i) {
-      out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
-    }
+    xor_bytes(in.data() + off, ks, out + off, take);
     off += take;
-    // Increment the low 32 bits big-endian (GCM inc32 convention).
-    for (int i = 15; i >= 12; --i) {
-      if (++counter[static_cast<std::size_t>(i)] != 0) break;
-    }
   }
 }
 

@@ -28,6 +28,10 @@ class Aes {
     return out;
   }
 
+  /// Encrypt four independent 16-byte blocks in one interleaved pass
+  /// (keystream batching for CTR/GCM).
+  void encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const;
+
  private:
   std::array<std::uint32_t, 60> round_keys_{};
   int rounds_ = 0;

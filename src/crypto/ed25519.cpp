@@ -1,6 +1,7 @@
 #include "crypto/ed25519.h"
 
 #include <cstring>
+#include <vector>
 
 #include "common/error.h"
 #include "crypto/field25519.h"
@@ -179,7 +180,8 @@ Point point_neg(const Point& p) {
 
 // Scalar multiplication, MSB-first double-and-add over the 256-bit scalar
 // encoding. Variable-time; signatures here protect simulated systems, and
-// the test suite exercises correctness, not side channels.
+// the test suite exercises correctness, not side channels. Kept as the
+// reference ladder the windowed paths are cross-checked against.
 Point point_scalar_mul(const Point& p, const std::array<std::uint8_t, 32>& scalar_le) {
   Point r = point_identity();
   for (int byte_idx = 31; byte_idx >= 0; --byte_idx) {
@@ -193,6 +195,233 @@ Point point_scalar_mul(const Point& p, const std::array<std::uint8_t, 32>& scala
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Windowed fixed-base multiplication and Straus double-scalar multiplication.
+//
+// Precomputed points are stored in affine Niels form (y+x, y-x, 2dxy with
+// Z = 1), which makes a mixed addition cost 7 field multiplies instead of
+// the 9 of the general formula. The base table holds (j+1)·16^(2i)·B for
+// i < 32, j < 8, so a·B is 64 mixed additions + 4 doublings and no
+// per-scalar doubling chain at all. All of this is variable-time (secret-
+// dependent table offsets and skips) — see docs/PROTOCOL.md.
+// ---------------------------------------------------------------------------
+
+const Point& base_point();
+
+struct Niels {
+  Fe yplusx, yminusx, xy2d;
+};
+
+// Mixed addition P + Q (add-2008-hwcd-3 with Z2 = 1).
+Point point_madd(const Point& p, const Niels& q) {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), q.yminusx);
+  const Fe b = fe_mul(fe_add(p.y, p.x), q.yplusx);
+  const Fe c = fe_mul(p.t, q.xy2d);
+  const Fe d = fe_mul_small(p.z, 2);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// Mixed subtraction P - Q: add the negated Niels point (swap y±x, -2dxy).
+Point point_msub(const Point& p, const Niels& q) {
+  return point_madd(p, Niels{q.yminusx, q.yplusx, fe_neg(q.xy2d)});
+}
+
+// Convert extended points to affine Niels with one shared inversion
+// (Montgomery batch-inversion trick) — 3 multiplies per point instead of a
+// ~250-multiply inversion each.
+std::vector<Niels> to_niels_batch(const std::vector<Point>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<Fe> prefix(n);
+  prefix[0] = pts[0].z;
+  for (std::size_t i = 1; i < n; ++i) prefix[i] = fe_mul(prefix[i - 1], pts[i].z);
+  Fe inv = fe_invert(prefix[n - 1]);
+  std::vector<Fe> zinv(n);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    zinv[i] = fe_mul(inv, prefix[i - 1]);
+    inv = fe_mul(inv, pts[i].z);
+  }
+  zinv[0] = inv;
+  std::vector<Niels> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fe x = fe_mul(pts[i].x, zinv[i]);
+    const Fe y = fe_mul(pts[i].y, zinv[i]);
+    out[i] = Niels{fe_add(y, x), fe_sub(y, x),
+                   fe_mul(fe_mul(x, y), edwards_2d())};
+  }
+  return out;
+}
+
+// base_table()[i][j] = (j+1)·16^(2i)·B, built once at first use.
+const std::array<std::array<Niels, 8>, 32>& base_table();
+
+// Odd multiples B, 3B, ..., 15B for the Straus/wNAF verification path.
+const std::array<Niels, 8>& base_odd_table();
+
+const std::array<std::array<Niels, 8>, 32>& base_table() {
+  static const std::array<std::array<Niels, 8>, 32> value = [] {
+    std::vector<Point> pts;
+    pts.reserve(32 * 8);
+    Point window_base = base_point();  // 16^(2i)·B for the current window
+    for (int i = 0; i < 32; ++i) {
+      Point q = window_base;
+      for (int j = 0; j < 8; ++j) {
+        pts.push_back(q);
+        if (j < 7) q = point_add(q, window_base);
+      }
+      if (i < 31) {
+        for (int k = 0; k < 8; ++k) window_base = point_double(window_base);
+      }
+    }
+    const std::vector<Niels> niels = to_niels_batch(pts);
+    std::array<std::array<Niels, 8>, 32> table;
+    for (int i = 0; i < 32; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        table[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            niels[static_cast<std::size_t>(i * 8 + j)];
+      }
+    }
+    return table;
+  }();
+  return value;
+}
+
+const std::array<Niels, 8>& base_odd_table() {
+  static const std::array<Niels, 8> value = [] {
+    std::vector<Point> pts;
+    pts.reserve(8);
+    const Point b2 = point_double(base_point());
+    Point q = base_point();
+    for (int j = 0; j < 8; ++j) {
+      pts.push_back(q);
+      if (j < 7) q = point_add(q, b2);
+    }
+    const std::vector<Niels> niels = to_niels_batch(pts);
+    std::array<Niels, 8> table;
+    for (int j = 0; j < 8; ++j) table[static_cast<std::size_t>(j)] = niels[static_cast<std::size_t>(j)];
+    return table;
+  }();
+  return value;
+}
+
+// Signed radix-16 recoding: 64 digits in [-8, 8], Σ e[i]·16^i = scalar.
+// Requires scalar < 2^255 - 8·16^63 (true for clamped scalars and values
+// reduced mod L), so the top digit absorbs its carry without overflow.
+std::array<std::int8_t, 64> to_radix16(const std::array<std::uint8_t, 32>& a) {
+  std::array<std::int8_t, 64> e;
+  for (int i = 0; i < 32; ++i) {
+    e[static_cast<std::size_t>(2 * i)] =
+        static_cast<std::int8_t>(a[static_cast<std::size_t>(i)] & 15);
+    e[static_cast<std::size_t>(2 * i + 1)] =
+        static_cast<std::int8_t>((a[static_cast<std::size_t>(i)] >> 4) & 15);
+  }
+  std::int8_t carry = 0;
+  for (int i = 0; i < 63; ++i) {
+    e[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
+        e[static_cast<std::size_t>(i)] + carry);
+    carry = static_cast<std::int8_t>((e[static_cast<std::size_t>(i)] + 8) >> 4);
+    e[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(
+        e[static_cast<std::size_t>(i)] - (carry << 4));
+  }
+  e[63] = static_cast<std::int8_t>(e[63] + carry);
+  return e;
+}
+
+Point madd_digit(const Point& h, const std::array<Niels, 8>& window,
+                 std::int8_t digit) {
+  if (digit > 0) return point_madd(h, window[static_cast<std::size_t>(digit - 1)]);
+  if (digit < 0) return point_msub(h, window[static_cast<std::size_t>(-digit - 1)]);
+  return h;
+}
+
+// a·B via the precomputed window table: odd digit positions first (their
+// windows are one factor of 16 short), one ×16, then the even positions.
+Point base_scalar_mul(const std::array<std::uint8_t, 32>& scalar_le) {
+  const auto& table = base_table();
+  const auto e = to_radix16(scalar_le);
+  Point h = point_identity();
+  for (int i = 1; i < 64; i += 2) {
+    h = madd_digit(h, table[static_cast<std::size_t>(i / 2)],
+                   e[static_cast<std::size_t>(i)]);
+  }
+  for (int k = 0; k < 4; ++k) h = point_double(h);
+  for (int i = 0; i < 64; i += 2) {
+    h = madd_digit(h, table[static_cast<std::size_t>(i / 2)],
+                   e[static_cast<std::size_t>(i)]);
+  }
+  return h;
+}
+
+// Sliding-window NAF recoding, width 5: digits are 0 or odd in [-15, 15],
+// with the usual sparsity (~1 nonzero digit per 6 positions).
+void slide(std::int8_t r[256], const std::array<std::uint8_t, 32>& a) {
+  for (int i = 0; i < 256; ++i) {
+    r[i] = static_cast<std::int8_t>(1 & (a[static_cast<std::size_t>(i >> 3)] >> (i & 7)));
+  }
+  for (int i = 0; i < 256; ++i) {
+    if (!r[i]) continue;
+    for (int b = 1; b <= 6 && i + b < 256; ++b) {
+      if (!r[i + b]) continue;
+      if (r[i] + (r[i + b] << b) <= 15) {
+        r[i] = static_cast<std::int8_t>(r[i] + (r[i + b] << b));
+        r[i + b] = 0;
+      } else if (r[i] - (r[i + b] << b) >= -15) {
+        r[i] = static_cast<std::int8_t>(r[i] - (r[i + b] << b));
+        for (int k = i + b; k < 256; ++k) {
+          if (!r[k]) {
+            r[k] = 1;
+            break;
+          }
+          r[k] = 0;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+// Straus/Shamir: a·A + b·B in one interleaved pass with shared doublings.
+// A's odd multiples are built per call (extended coords); B's come from the
+// static Niels table.
+Point double_scalarmult_vartime(const std::array<std::uint8_t, 32>& a_scalar,
+                                const Point& a_point,
+                                const std::array<std::uint8_t, 32>& b_scalar) {
+  std::int8_t aslide[256];
+  std::int8_t bslide[256];
+  slide(aslide, a_scalar);
+  slide(bslide, b_scalar);
+
+  std::array<Point, 8> ai;  // A, 3A, 5A, ..., 15A
+  ai[0] = a_point;
+  const Point a2 = point_double(a_point);
+  for (int j = 1; j < 8; ++j) {
+    ai[static_cast<std::size_t>(j)] = point_add(ai[static_cast<std::size_t>(j - 1)], a2);
+  }
+  const auto& bi = base_odd_table();
+
+  Point h = point_identity();
+  int i = 255;
+  while (i >= 0 && !aslide[i] && !bslide[i]) --i;
+  for (; i >= 0; --i) {
+    h = point_double(h);
+    if (aslide[i] > 0) {
+      h = point_add(h, ai[static_cast<std::size_t>(aslide[i] / 2)]);
+    } else if (aslide[i] < 0) {
+      h = point_add(h, point_neg(ai[static_cast<std::size_t>(-aslide[i] / 2)]));
+    }
+    if (bslide[i] > 0) {
+      h = point_madd(h, bi[static_cast<std::size_t>(bslide[i] / 2)]);
+    } else if (bslide[i] < 0) {
+      h = point_msub(h, bi[static_cast<std::size_t>(-bslide[i] / 2)]);
+    }
+  }
+  return h;
+}
+
 const Point& base_point() {
   // y = 4/5, x recovered from the curve equation with even x (sign bit 0).
   static const Point value = [] {
@@ -204,11 +433,7 @@ const Point& base_point() {
     // Candidate root: (u/v)^((p+3)/8) = u v^3 (u v^7)^((p-5)/8)
     const Fe v3 = fe_mul(fe_sq(v), v);
     const Fe v7 = fe_mul(fe_sq(v3), v);
-    std::array<std::uint8_t, 32> exp{};  // (p-5)/8 = 2^252 - 3, big-endian
-    exp[0] = 0x0f;
-    for (int i = 1; i < 31; ++i) exp[static_cast<std::size_t>(i)] = 0xff;
-    exp[31] = 0xfd;
-    Fe x = fe_mul(fe_mul(u, v3), fe_pow(fe_mul(u, v7), exp));
+    Fe x = fe_mul(fe_mul(u, v3), fe_pow22523(fe_mul(u, v7)));
     const Fe vx2 = fe_mul(v, fe_sq(x));
     if (!fe_is_zero(fe_sub(vx2, u))) x = fe_mul(x, fe_sqrt_m1());
     if (fe_is_negative(x)) x = fe_neg(x);
@@ -250,11 +475,7 @@ std::optional<Point> point_decode(ByteView in) {
   const Fe v = fe_add(fe_mul(edwards_d(), y2), fe_one());
   const Fe v3 = fe_mul(fe_sq(v), v);
   const Fe v7 = fe_mul(fe_sq(v3), v);
-  std::array<std::uint8_t, 32> exp{};
-  exp[0] = 0x0f;
-  for (int i = 1; i < 31; ++i) exp[static_cast<std::size_t>(i)] = 0xff;
-  exp[31] = 0xfd;
-  Fe x = fe_mul(fe_mul(u, v3), fe_pow(fe_mul(u, v7), exp));
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow22523(fe_mul(u, v7)));
   const Fe vx2 = fe_mul(v, fe_sq(x));
   if (fe_is_zero(fe_sub(vx2, u))) {
     // x is a root.
@@ -282,7 +503,7 @@ std::array<std::uint8_t, 32> clamp_scalar(const std::uint8_t h[32]) {
 Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
   const Sha512Digest h = Sha512::hash(seed);
   const auto a = clamp_scalar(h.data());
-  return point_encode(point_scalar_mul(base_point(), a));
+  return point_encode(base_scalar_mul(a));
 }
 
 Ed25519KeyPair ed25519_generate(RandomSource& rng) {
@@ -295,8 +516,7 @@ Ed25519KeyPair ed25519_generate(RandomSource& rng) {
 Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message) {
   const Sha512Digest h = Sha512::hash(seed);
   const auto a = clamp_scalar(h.data());
-  const Ed25519PublicKey pub =
-      point_encode(point_scalar_mul(base_point(), a));
+  const Ed25519PublicKey pub = point_encode(base_scalar_mul(a));
 
   // r = SHA512(prefix || M) mod L
   Sha512 hr;
@@ -305,7 +525,7 @@ Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message) {
   const Sha512Digest r_wide = hr.finish();
   const Scalar r = scalar_from_bytes_wide(r_wide);
   const auto r_bytes = scalar_to_bytes(r);
-  const auto r_enc = point_encode(point_scalar_mul(base_point(), r_bytes));
+  const auto r_enc = point_encode(base_scalar_mul(r_bytes));
 
   // k = SHA512(R || A || M) mod L
   Sha512 hk;
@@ -361,12 +581,26 @@ bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
   std::array<std::uint8_t, 32> s_bytes;
   std::memcpy(s_bytes.data(), s_enc.data(), 32);
 
-  // Check s*B == R + k*A  <=>  s*B + k*(-A) == R.
-  const Point sb = point_scalar_mul(base_point(), s_bytes);
-  const Point ka = point_scalar_mul(point_neg(*a_point), k_bytes);
-  const Point check = point_add(sb, ka);
+  // Check s*B == R + k*A  <=>  k*(-A) + s*B == R, computed in one
+  // interleaved Straus pass with shared doublings.
+  const Point check =
+      double_scalarmult_vartime(k_bytes, point_neg(*a_point), s_bytes);
   const auto check_enc = point_encode(check);
   return std::memcmp(check_enc.data(), r_enc.data(), 32) == 0;
 }
+
+namespace detail {
+
+std::array<std::uint8_t, 32> base_mul_ladder(
+    const std::array<std::uint8_t, 32>& scalar_le) {
+  return point_encode(point_scalar_mul(base_point(), scalar_le));
+}
+
+std::array<std::uint8_t, 32> base_mul_windowed(
+    const std::array<std::uint8_t, 32>& scalar_le) {
+  return point_encode(base_scalar_mul(scalar_le));
+}
+
+}  // namespace detail
 
 }  // namespace vnfsgx::crypto

@@ -3,6 +3,11 @@
 // Every signature in the system is Ed25519: certificate signatures (the
 // Verification Manager's CA), TLS CertificateVerify, SGX quote signatures
 // (the simulator's EPID stand-in), and IAS report signatures.
+//
+// Fixed-base scalar multiplications (keygen, sign) run against a
+// precomputed 32x8 window table of base-point multiples; verification uses
+// an interleaved Straus double-scalar multiplication. Both are
+// variable-time — see docs/PROTOCOL.md, "Constant-time notes".
 #pragma once
 
 #include <array>
@@ -38,5 +43,18 @@ Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message);
 /// Verify. Rejects non-canonical s (s >= L) and undecodable points.
 bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
                     ByteView signature);
+
+namespace detail {
+
+/// Test hooks: encoded scalar·B computed by the reference double-and-add
+/// ladder and by the precomputed window table, for cross-checking the two
+/// paths on arbitrary scalars. Scalars must be < 2^253 (clamped secret
+/// scalars and values reduced mod L both qualify).
+std::array<std::uint8_t, 32> base_mul_ladder(
+    const std::array<std::uint8_t, 32>& scalar_le);
+std::array<std::uint8_t, 32> base_mul_windowed(
+    const std::array<std::uint8_t, 32>& scalar_le);
+
+}  // namespace detail
 
 }  // namespace vnfsgx::crypto

@@ -125,13 +125,47 @@ Fe fe_pow(const Fe& base, const std::array<std::uint8_t, 32>& exp_be) {
   return result;
 }
 
+namespace {
+
+Fe fe_sqn(Fe x, int n) {
+  for (int i = 0; i < n; ++i) x = fe_sq(x);
+  return x;
+}
+
+// Shared prefix of the p-2 and (p-5)/8 addition chains: z^(2^250 - 1),
+// plus the z^11 byproduct the inversion tail needs.
+struct PowChain {
+  Fe t250;  // z^(2^250 - 1)
+  Fe z11;
+};
+
+PowChain fe_pow_chain(const Fe& z) {
+  const Fe z2 = fe_sq(z);                                   // z^2
+  const Fe z9 = fe_mul(z, fe_sqn(z2, 2));                   // z^9
+  const Fe z11 = fe_mul(z2, z9);                            // z^11
+  const Fe z_5_0 = fe_mul(z9, fe_sq(z11));                  // z^(2^5 - 1)
+  const Fe z_10_0 = fe_mul(fe_sqn(z_5_0, 5), z_5_0);        // z^(2^10 - 1)
+  const Fe z_20_0 = fe_mul(fe_sqn(z_10_0, 10), z_10_0);     // z^(2^20 - 1)
+  const Fe z_40_0 = fe_mul(fe_sqn(z_20_0, 20), z_20_0);     // z^(2^40 - 1)
+  const Fe z_50_0 = fe_mul(fe_sqn(z_40_0, 10), z_10_0);     // z^(2^50 - 1)
+  const Fe z_100_0 = fe_mul(fe_sqn(z_50_0, 50), z_50_0);    // z^(2^100 - 1)
+  const Fe z_200_0 = fe_mul(fe_sqn(z_100_0, 100), z_100_0); // z^(2^200 - 1)
+  const Fe z_250_0 = fe_mul(fe_sqn(z_200_0, 50), z_50_0);   // z^(2^250 - 1)
+  return {z_250_0, z11};
+}
+
+}  // namespace
+
 Fe fe_invert(const Fe& a) {
-  // p - 2 = 2^255 - 21
-  static constexpr std::array<std::uint8_t, 32> kPm2 = {
-      0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xeb};
-  return fe_pow(a, kPm2);
+  // a^(p-2) = a^(2^255 - 21) = (a^(2^250 - 1))^(2^5) * a^11.
+  const PowChain c = fe_pow_chain(a);
+  return fe_mul(fe_sqn(c.t250, 5), c.z11);
+}
+
+Fe fe_pow22523(const Fe& a) {
+  // a^((p-5)/8) = a^(2^252 - 3) = (a^(2^250 - 1))^(2^2) * a.
+  const PowChain c = fe_pow_chain(a);
+  return fe_mul(fe_sqn(c.t250, 2), a);
 }
 
 Fe fe_from_bytes(ByteView in32) {

@@ -37,8 +37,14 @@ Fe fe_mul_small(const Fe& a, std::uint64_t s);
 /// curve constant.
 Fe fe_pow(const Fe& base, const std::array<std::uint8_t, 32>& exp_be);
 
-/// Multiplicative inverse (x^(p-2)); fe_invert(0) == 0.
+/// Multiplicative inverse (x^(p-2)); fe_invert(0) == 0. Uses the standard
+/// curve25519 addition chain (254 squarings + 11 multiplies) instead of a
+/// generic square-and-multiply walk.
 Fe fe_invert(const Fe& a);
+
+/// x^((p-5)/8) = x^(2^252 - 3), the exponent used by Ed25519 point
+/// decompression (RFC 8032 §5.1.3). Shares the inversion addition chain.
+Fe fe_pow22523(const Fe& a);
 
 /// Load 32 little-endian bytes, ignoring the top bit (RFC 7748 masking).
 Fe fe_from_bytes(ByteView in32);

@@ -1,5 +1,7 @@
 #include "crypto/gcm.h"
 
+#include <atomic>
+
 #include "common/error.h"
 #include "crypto/ct.h"
 
@@ -7,32 +9,57 @@ namespace vnfsgx::crypto {
 
 namespace {
 
+std::atomic<bool> g_constant_time{false};
+
 struct U128 {
   std::uint64_t hi = 0;
   std::uint64_t lo = 0;
 };
 
+// Multiply by x: right shift with the reduction constant 0xE1 << 120
+// folded back in when the x^127 coefficient (the lsb) drops out.
+inline U128 mul_x(U128 v) {
+  const std::uint64_t lsb_mask = 0 - (v.lo & 1);
+  v.lo = (v.lo >> 1) | (v.hi << 63);
+  v.hi = (v.hi >> 1) ^ (lsb_mask & 0xe100000000000000ULL);
+  return v;
+}
+
 // Bit-reflected carry-less multiplication in GF(2^128) with the GCM
 // polynomial x^128 + x^7 + x^2 + x + 1. Right-shift algorithm from
-// SP 800-38D: Z starts at 0, V starts at Y; for each bit of X (MSB first)
-// conditionally XOR V into Z, then "multiply V by x" (right shift with
-// reduction constant 0xE1 << 120).
+// SP 800-38D, kept branchless: Z starts at 0, V starts at Y; for each bit
+// of X (MSB first) mask-XOR V into Z, then multiply V by x. This is the
+// constant-time fallback and the reference the table path is checked
+// against (tests cross-check the two on random inputs).
 U128 gf_mul(U128 x, U128 y) {
   U128 z{0, 0};
   U128 v = y;
   for (int i = 0; i < 128; ++i) {
     const std::uint64_t bit =
         (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
-    if (bit) {
-      z.hi ^= v.hi;
-      z.lo ^= v.lo;
-    }
-    const bool lsb = v.lo & 1;
-    v.lo = (v.lo >> 1) | (v.hi << 63);
-    v.hi >>= 1;
-    if (lsb) v.hi ^= 0xe100000000000000ULL;
+    const std::uint64_t mask = 0 - bit;
+    z.hi ^= v.hi & mask;
+    z.lo ^= v.lo & mask;
+    v = mul_x(v);
   }
   return z;
+}
+
+// Key-independent reduction table for 8-bit shifts: rem8()[r] is the value
+// folded into the high word when a byte r is shifted out the low end.
+// Computed once from eight single-bit reduce-shifts per entry rather than
+// transcribed (Shoup's method; the table has only the top 16 bits set).
+const std::array<std::uint64_t, 256>& rem8() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (int r = 0; r < 256; ++r) {
+      U128 v{0, static_cast<std::uint64_t>(r)};
+      for (int i = 0; i < 8; ++i) v = mul_x(v);
+      t[static_cast<std::size_t>(r)] = v.hi;
+    }
+    return t;
+  }();
+  return table;
 }
 
 U128 load_block(const std::uint8_t* p) {
@@ -47,21 +74,62 @@ void store_block(U128 b, std::uint8_t* p) {
   for (int i = 0; i < 8; ++i) p[8 + i] = static_cast<std::uint8_t>(b.lo >> (56 - i * 8));
 }
 
-void ghash_update(U128& y, U128 h, ByteView data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    std::uint8_t block[16] = {0};
-    const std::size_t take = std::min<std::size_t>(16, data.size() - off);
-    for (std::size_t i = 0; i < take; ++i) block[i] = data[off + i];
-    const U128 x = load_block(block);
-    y.hi ^= x.hi;
-    y.lo ^= x.lo;
-    y = gf_mul(y, h);
-    off += take;
+// Shoup 4-bit tables for multiplication by a fixed H. hi_t[n] = n·H with
+// the nibble in the high-nibble slot of byte 0 (so hi_t[8] = H itself),
+// lo_t[n] = hi_t[n]·x^4 (the low-nibble slot).
+struct GhashTables {
+  U128 hi_t[16];
+  U128 lo_t[16];
+
+  GhashTables() = default;
+
+  explicit GhashTables(U128 h) {
+    hi_t[0] = U128{0, 0};
+    hi_t[8] = h;                  // degree-0 nibble bit
+    hi_t[4] = mul_x(hi_t[8]);
+    hi_t[2] = mul_x(hi_t[4]);
+    hi_t[1] = mul_x(hi_t[2]);
+    for (int n = 3; n < 16; ++n) {
+      if (n == 4 || n == 8) continue;
+      const int low = n & (-n);   // lowest set bit
+      hi_t[n] = U128{hi_t[n - low].hi ^ hi_t[low].hi,
+                     hi_t[n - low].lo ^ hi_t[low].lo};
+    }
+    for (int n = 0; n < 16; ++n) {
+      U128 v = hi_t[n];
+      for (int i = 0; i < 4; ++i) v = mul_x(v);
+      lo_t[n] = v;
+    }
   }
-}
+
+  // y·H: Horner over the 16 bytes of y, two table lookups per byte and one
+  // 8-bit reduce-shift between bytes (15 shifts per block).
+  U128 mul(U128 y) const {
+    const std::uint64_t* rem = rem8().data();
+    U128 z{0, 0};
+    bool first = true;
+    // Bytes 15..8 live in y.lo (lsb first), bytes 7..0 in y.hi.
+    for (const std::uint64_t half : {y.lo, y.hi}) {
+      for (int k = 0; k < 8; ++k) {
+        if (!first) {
+          const std::uint64_t r = z.lo & 0xff;
+          z.lo = (z.lo >> 8) | (z.hi << 56);
+          z.hi = (z.hi >> 8) ^ rem[r];
+        }
+        first = false;
+        const std::uint8_t b = static_cast<std::uint8_t>(half >> (8 * k));
+        z.hi ^= hi_t[b >> 4].hi ^ lo_t[b & 0xf].hi;
+        z.lo ^= hi_t[b >> 4].lo ^ lo_t[b & 0xf].lo;
+      }
+    }
+    return z;
+  }
+};
 
 }  // namespace
+
+void gcm_set_constant_time(bool enabled) { g_constant_time = enabled; }
+bool gcm_constant_time() { return g_constant_time; }
 
 AesGcm::AesGcm(ByteView key) : aes_(key) {
   AesBlock zero{};
@@ -69,80 +137,140 @@ AesGcm::AesGcm(ByteView key) : aes_(key) {
   const U128 hb = load_block(h.data());
   h_hi_ = hb.hi;
   h_lo_ = hb.lo;
+  constant_time_ = g_constant_time;
+  const GhashTables tables(hb);
+  for (int n = 0; n < 16; ++n) {
+    table_hi_[n][0] = tables.hi_t[n].hi;
+    table_hi_[n][1] = tables.hi_t[n].lo;
+    table_lo_[n][0] = tables.lo_t[n].hi;
+    table_lo_[n][1] = tables.lo_t[n].lo;
+  }
 }
 
 AesBlock AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
   const U128 h{h_hi_, h_lo_};
-  U128 y{0, 0};
-  ghash_update(y, h, aad);
-  ghash_update(y, h, ciphertext);
-  // Length block: bit lengths of AAD and ciphertext.
-  std::uint8_t len_block[16];
-  const std::uint64_t aad_bits = static_cast<std::uint64_t>(aad.size()) * 8;
-  const std::uint64_t ct_bits = static_cast<std::uint64_t>(ciphertext.size()) * 8;
-  for (int i = 0; i < 8; ++i) {
-    len_block[i] = static_cast<std::uint8_t>(aad_bits >> (56 - i * 8));
-    len_block[8 + i] = static_cast<std::uint8_t>(ct_bits >> (56 - i * 8));
+  GhashTables tables;
+  for (int n = 0; n < 16; ++n) {
+    tables.hi_t[n] = U128{table_hi_[n][0], table_hi_[n][1]};
+    tables.lo_t[n] = U128{table_lo_[n][0], table_lo_[n][1]};
   }
-  const U128 x = load_block(len_block);
-  y.hi ^= x.hi;
-  y.lo ^= x.lo;
-  y = gf_mul(y, h);
+  const bool ct = constant_time_;
+  auto mul_h = [&](U128 y) { return ct ? gf_mul(y, h) : tables.mul(y); };
+
+  U128 y{0, 0};
+  auto update = [&](ByteView data) {
+    std::size_t off = 0;
+    const std::size_t full_end = data.size() & ~static_cast<std::size_t>(15);
+    while (off < full_end) {
+      const U128 x = load_block(data.data() + off);
+      y.hi ^= x.hi;
+      y.lo ^= x.lo;
+      y = mul_h(y);
+      off += 16;
+    }
+    if (off < data.size()) {
+      std::uint8_t block[16] = {0};
+      for (std::size_t i = 0; off + i < data.size(); ++i) block[i] = data[off + i];
+      const U128 x = load_block(block);
+      y.hi ^= x.hi;
+      y.lo ^= x.lo;
+      y = mul_h(y);
+    }
+  };
+  update(aad);
+  update(ciphertext);
+  // Length block: bit lengths of AAD and ciphertext.
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  y = mul_h(y);
   AesBlock out;
   store_block(y, out.data());
   return out;
 }
 
-Bytes AesGcm::seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
+void AesGcm::seal_in_place(ByteView nonce, std::uint8_t* data, std::size_t len,
+                           ByteView aad, std::uint8_t* tag_out) const {
   if (nonce.size() != kGcmNonceSize) {
     throw CryptoError("AES-GCM nonce must be 12 bytes");
   }
-  // J0 = nonce || 0x00000001
+  // J0 = nonce || 0x00000001; first counter for data is inc32(J0).
   AesBlock j0{};
   std::copy(nonce.begin(), nonce.end(), j0.begin());
   j0[15] = 1;
-  // First counter for data is inc32(J0).
   AesBlock ctr = j0;
   ctr[15] = 2;
 
-  Bytes out(plaintext.size() + kGcmTagSize);
-  aes_ctr_xor(aes_, ctr, plaintext, out.data());
+  aes_ctr_xor(aes_, ctr, ByteView(data, len), data);
 
-  const AesBlock s = ghash(aad, ByteView(out.data(), plaintext.size()));
-  AesBlock tag_mask = aes_.encrypt_block(j0);
+  const AesBlock s = ghash(aad, ByteView(data, len));
+  const AesBlock tag_mask = aes_.encrypt_block(j0);
   for (std::size_t i = 0; i < kGcmTagSize; ++i) {
-    out[plaintext.size() + i] = static_cast<std::uint8_t>(s[i] ^ tag_mask[i]);
+    tag_out[i] = static_cast<std::uint8_t>(s[i] ^ tag_mask[i]);
   }
-  return out;
 }
 
-std::optional<Bytes> AesGcm::open(ByteView nonce, ByteView ciphertext_and_tag,
-                                  ByteView aad) const {
+bool AesGcm::open_in_place(ByteView nonce, std::uint8_t* data, std::size_t len,
+                           ByteView aad, ByteView tag) const {
   if (nonce.size() != kGcmNonceSize) {
     throw CryptoError("AES-GCM nonce must be 12 bytes");
   }
-  if (ciphertext_and_tag.size() < kGcmTagSize) return std::nullopt;
-  const std::size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
-  const ByteView ciphertext = ciphertext_and_tag.subspan(0, ct_len);
-  const ByteView tag = ciphertext_and_tag.subspan(ct_len);
-
+  if (tag.size() != kGcmTagSize) return false;
   AesBlock j0{};
   std::copy(nonce.begin(), nonce.end(), j0.begin());
   j0[15] = 1;
 
-  const AesBlock s = ghash(aad, ciphertext);
+  const AesBlock s = ghash(aad, ByteView(data, len));
   const AesBlock tag_mask = aes_.encrypt_block(j0);
   std::uint8_t expected[kGcmTagSize];
   for (std::size_t i = 0; i < kGcmTagSize; ++i) {
     expected[i] = static_cast<std::uint8_t>(s[i] ^ tag_mask[i]);
   }
-  if (!ct_equal(ByteView(expected, kGcmTagSize), tag)) return std::nullopt;
+  if (!ct_equal(ByteView(expected, kGcmTagSize), tag)) return false;
 
   AesBlock ctr = j0;
   ctr[15] = 2;
-  Bytes plaintext(ct_len);
-  aes_ctr_xor(aes_, ctr, ciphertext, plaintext.data());
+  aes_ctr_xor(aes_, ctr, ByteView(data, len), data);
+  return true;
+}
+
+Bytes AesGcm::seal(ByteView nonce, ByteView plaintext, ByteView aad) const {
+  Bytes out(plaintext.size() + kGcmTagSize);
+  std::copy(plaintext.begin(), plaintext.end(), out.begin());
+  seal_in_place(nonce, out.data(), plaintext.size(), aad,
+                out.data() + plaintext.size());
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteView nonce, ByteView ciphertext_and_tag,
+                                  ByteView aad) const {
+  if (ciphertext_and_tag.size() < kGcmTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kGcmTagSize;
+  Bytes plaintext(ciphertext_and_tag.begin(),
+                  ciphertext_and_tag.begin() + static_cast<std::ptrdiff_t>(ct_len));
+  if (!open_in_place(nonce, plaintext.data(), ct_len, aad,
+                     ciphertext_and_tag.subspan(ct_len))) {
+    return std::nullopt;
+  }
   return plaintext;
 }
+
+namespace detail {
+
+AesBlock ghash_mul_reference(const AesBlock& x, const AesBlock& y) {
+  const U128 z = gf_mul(load_block(x.data()), load_block(y.data()));
+  AesBlock out;
+  store_block(z, out.data());
+  return out;
+}
+
+AesBlock ghash_mul_table(const AesBlock& x, const AesBlock& y) {
+  const GhashTables tables(load_block(y.data()));
+  const U128 z = tables.mul(load_block(x.data()));
+  AesBlock out;
+  store_block(z, out.data());
+  return out;
+}
+
+}  // namespace detail
 
 }  // namespace vnfsgx::crypto

@@ -2,6 +2,13 @@
 //
 // The AEAD used everywhere: TLS records, SGX sealed blobs, and the
 // provisioning protocol's encrypted credential payloads.
+//
+// GHASH runs table-driven by default: a 16-entry table of H·i (Shoup's
+// 4-bit method, per-key, built in the constructor) plus a key-independent
+// 256-entry reduction table, processing one lookup + shift per nibble
+// instead of 128 conditional-XOR rounds per block. Table indices depend on
+// secret data; `gcm_set_constant_time(true)` selects the branchless
+// bit-at-a-time fallback (see docs/PROTOCOL.md, "Constant-time notes").
 #pragma once
 
 #include <optional>
@@ -13,6 +20,12 @@ namespace vnfsgx::crypto {
 
 inline constexpr std::size_t kGcmTagSize = 16;
 inline constexpr std::size_t kGcmNonceSize = 12;
+
+/// Process-wide GHASH mode switch. When enabled, AesGcm instances
+/// constructed afterwards use the constant-time bit-at-a-time GF(2^128)
+/// multiply instead of the secret-indexed tables.
+void gcm_set_constant_time(bool enabled);
+bool gcm_constant_time();
 
 /// AES-GCM context bound to one key. Nonces must be 12 bytes (the TLS and
 /// sealing layers both construct 12-byte nonces).
@@ -28,6 +41,16 @@ class AesGcm {
   std::optional<Bytes> open(ByteView nonce, ByteView ciphertext_and_tag,
                             ByteView aad) const;
 
+  /// Zero-copy seal: encrypts data[0..len) in place and writes the 16-byte
+  /// tag to tag_out (which may alias data+len in a larger buffer).
+  void seal_in_place(ByteView nonce, std::uint8_t* data, std::size_t len,
+                     ByteView aad, std::uint8_t* tag_out) const;
+
+  /// Zero-copy open: authenticates data[0..len) against tag, then decrypts
+  /// in place. Returns false (leaving data as ciphertext) on tag mismatch.
+  bool open_in_place(ByteView nonce, std::uint8_t* data, std::size_t len,
+                     ByteView aad, ByteView tag) const;
+
  private:
   AesBlock ghash(ByteView aad, ByteView ciphertext) const;
 
@@ -35,6 +58,22 @@ class AesGcm {
   // GHASH key H = E_K(0^128), pre-split into 64-bit halves.
   std::uint64_t h_hi_ = 0;
   std::uint64_t h_lo_ = 0;
+  // Shoup 4-bit tables: table_hi_[n] = (nibble n in the high-nibble slot of
+  // byte 0)·H, table_lo_[n] = the same shifted by x^4 (low-nibble slot).
+  std::uint64_t table_hi_[16][2];
+  std::uint64_t table_lo_[16][2];
+  bool constant_time_ = false;
 };
+
+namespace detail {
+
+/// Test hooks: X·Y in GF(2^128) (GCM bit order) computed by the branchless
+/// bit-at-a-time reference path and by the table-driven path. The AEAD
+/// KATs pin the composite; these pin the multiplier itself on arbitrary
+/// inputs so the two code paths can be cross-checked exhaustively.
+AesBlock ghash_mul_reference(const AesBlock& x, const AesBlock& y);
+AesBlock ghash_mul_table(const AesBlock& x, const AesBlock& y);
+
+}  // namespace detail
 
 }  // namespace vnfsgx::crypto

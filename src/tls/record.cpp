@@ -45,40 +45,70 @@ std::array<std::uint8_t, 12> RecordProtection::nonce_for_seq() const {
   return nonce;
 }
 
-Record RecordProtection::protect(const Record& plain) {
-  Bytes inner = plain.payload;
-  append_u8(inner, static_cast<std::uint8_t>(plain.type));
-
-  const std::size_t ct_len = inner.size() + crypto::kGcmTagSize;
-  Bytes aad;
-  append_u8(aad, static_cast<std::uint8_t>(ContentType::kApplicationData));
-  append_u16(aad, static_cast<std::uint16_t>(ct_len));
+void RecordProtection::protect_into(ContentType type, ByteView payload,
+                                    Bytes& wire) {
+  const std::size_t inner_len = payload.size() + 1;  // TLSInnerPlaintext
+  const std::size_t ct_len = inner_len + crypto::kGcmTagSize;
+  if (ct_len > kMaxRecordPayload) {
+    throw ProtocolError("tls: record payload too large");
+  }
+  wire.clear();
+  wire.reserve(3 + ct_len);
+  append_u8(wire, static_cast<std::uint8_t>(ContentType::kApplicationData));
+  append_u16(wire, static_cast<std::uint16_t>(ct_len));
+  append(wire, payload);
+  append_u8(wire, static_cast<std::uint8_t>(type));
+  wire.resize(3 + ct_len);
 
   const auto nonce = nonce_for_seq();
+  // AAD is the 3-byte header just written; ciphertext replaces the inner
+  // plaintext in place, tag lands directly after it.
+  aead_.seal_in_place(nonce, wire.data() + 3, inner_len,
+                      ByteView(wire.data(), 3), wire.data() + 3 + inner_len);
   ++seq_;
+}
+
+ContentType RecordProtection::unprotect_in_place(ContentType outer_type,
+                                                 Bytes& payload) {
+  if (outer_type != ContentType::kApplicationData) {
+    throw ProtocolError("tls: expected protected record");
+  }
+  if (payload.size() < crypto::kGcmTagSize + 1) {
+    throw ProtocolError("tls: record authentication failed");
+  }
+  std::uint8_t aad[3];
+  aad[0] = static_cast<std::uint8_t>(ContentType::kApplicationData);
+  aad[1] = static_cast<std::uint8_t>(payload.size() >> 8);
+  aad[2] = static_cast<std::uint8_t>(payload.size());
+
+  const std::size_t inner_len = payload.size() - crypto::kGcmTagSize;
+  const auto nonce = nonce_for_seq();
+  if (!aead_.open_in_place(nonce, payload.data(), inner_len, ByteView(aad, 3),
+                           ByteView(payload.data() + inner_len,
+                                    crypto::kGcmTagSize))) {
+    throw ProtocolError("tls: record authentication failed");
+  }
+  ++seq_;
+  const auto type = static_cast<ContentType>(payload[inner_len - 1]);
+  payload.resize(inner_len - 1);
+  return type;
+}
+
+Record RecordProtection::protect(const Record& plain) {
+  Bytes wire_bytes;
+  protect_into(plain.type, plain.payload, wire_bytes);
   Record wire;
   wire.type = ContentType::kApplicationData;
-  wire.payload = aead_.seal(nonce, inner, aad);
+  // Strip the 3-byte header protect_into assembled; Record carries it
+  // implicitly and write_record re-emits it.
+  wire.payload.assign(wire_bytes.begin() + 3, wire_bytes.end());
   return wire;
 }
 
 Record RecordProtection::unprotect(const Record& wire) {
-  if (wire.type != ContentType::kApplicationData) {
-    throw ProtocolError("tls: expected protected record");
-  }
-  Bytes aad;
-  append_u8(aad, static_cast<std::uint8_t>(ContentType::kApplicationData));
-  append_u16(aad, static_cast<std::uint16_t>(wire.payload.size()));
-
-  const auto nonce = nonce_for_seq();
-  auto inner = aead_.open(nonce, wire.payload, aad);
-  if (!inner) throw ProtocolError("tls: record authentication failed");
-  ++seq_;
-  if (inner->empty()) throw ProtocolError("tls: empty inner plaintext");
   Record plain;
-  plain.type = static_cast<ContentType>(inner->back());
-  inner->pop_back();
-  plain.payload = std::move(*inner);
+  plain.payload = wire.payload;
+  plain.type = unprotect_in_place(wire.type, plain.payload);
   return plain;
 }
 

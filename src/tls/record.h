@@ -43,6 +43,18 @@ class RecordProtection {
   /// Decrypt; throws ProtocolError on authentication failure.
   Record unprotect(const Record& wire);
 
+  /// Zero-copy protect: assembles the full wire record — 3-byte header,
+  /// ciphertext, tag — into `wire` (cleared and reused; one append of the
+  /// payload, encrypted in place, no intermediate buffers). The result is
+  /// ready for Stream::write as-is.
+  void protect_into(ContentType type, ByteView payload, Bytes& wire);
+
+  /// Zero-copy unprotect: decrypts a wire record payload (ciphertext||tag)
+  /// in place, strips the tag and inner type byte, and leaves the plaintext
+  /// in `payload`. Throws ProtocolError on a non-ApplicationData outer type
+  /// or authentication failure. Returns the inner content type.
+  ContentType unprotect_in_place(ContentType outer_type, Bytes& payload);
+
   std::uint64_t seq() const { return seq_; }
 
  private:

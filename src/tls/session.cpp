@@ -150,6 +150,7 @@ struct Session::Handshaker {
   std::optional<RecordProtection> read_protection;
   std::optional<RecordProtection> write_protection;
   Bytes pending_handshake;  // coalesced handshake bytes not yet consumed
+  Bytes wire_scratch;       // reused wire-record buffer for protect_into
   std::size_t pending_pos = 0;
 
   explicit Handshaker(net::Stream& s, const Config& c) : stream(s), config(c) {
@@ -165,7 +166,8 @@ struct Session::Handshaker {
       append_u8(alert.payload, 2);  // fatal
       append_u8(alert.payload, static_cast<std::uint8_t>(code));
       if (write_protection) {
-        write_record(stream, write_protection->protect(alert));
+        write_protection->protect_into(alert.type, alert.payload, wire_scratch);
+        stream.write(wire_scratch);
       } else {
         write_record(stream, alert);
       }
@@ -178,11 +180,11 @@ struct Session::Handshaker {
   void send_handshake(HsType type, ByteView body) {
     const Bytes msg = hs_message(type, body);
     transcript.add(msg);
-    Record record{ContentType::kHandshake, msg};
     if (write_protection) {
-      write_record(stream, write_protection->protect(record));
+      write_protection->protect_into(ContentType::kHandshake, msg, wire_scratch);
+      stream.write(wire_scratch);
     } else {
-      write_record(stream, record);
+      write_record(stream, Record{ContentType::kHandshake, msg});
     }
   }
 
@@ -212,7 +214,10 @@ struct Session::Handshaker {
   void refill() {
     auto record = read_record(stream);
     if (!record) fail(AlertCode::kHandshakeFailure, "peer closed mid-handshake");
-    if (read_protection) *record = read_protection->unprotect(*record);
+    if (read_protection) {
+      record->type =
+          read_protection->unprotect_in_place(record->type, record->payload);
+    }
     if (record->type == ContentType::kAlert) {
       throw ProtocolError("tls: peer sent alert during handshake");
     }
@@ -604,8 +609,8 @@ std::unique_ptr<Session> Session::accept(net::StreamPtr transport,
     plain.expiry = config.clock->now() + config.ticket_lifetime_seconds;
     const Bytes ticket = seal_ticket(*config.ticket_key, plain, *config.rng);
     const Bytes msg = hs_message(HsType::kNewSessionTicket, ticket);
-    Record record{ContentType::kHandshake, msg};
-    write_record(*transport, app_write.protect(record));
+    app_write.protect_into(ContentType::kHandshake, msg, hs.wire_scratch);
+    transport->write(hs.wire_scratch);
   }
 
   return std::unique_ptr<Session>(new Session(
@@ -644,10 +649,9 @@ void Session::write(ByteView data) {
   std::size_t off = 0;
   while (off < data.size()) {
     const std::size_t take = std::min<std::size_t>(16384, data.size() - off);
-    Record plain{ContentType::kApplicationData,
-                 Bytes(data.begin() + static_cast<std::ptrdiff_t>(off),
-                       data.begin() + static_cast<std::ptrdiff_t>(off + take))};
-    write_record(*transport_, write_protection_.protect(plain));
+    write_protection_.protect_into(ContentType::kApplicationData,
+                                   data.subspan(off, take), write_wire_);
+    transport_->write(write_wire_);
     off += take;
   }
 }
@@ -660,7 +664,9 @@ std::size_t Session::read(std::span<std::uint8_t> out) {
       peer_closed_ = true;
       return 0;
     }
-    Record plain = read_protection_.unprotect(*record);
+    // Decrypt in place: record->payload becomes the inner plaintext.
+    Record plain = std::move(*record);
+    plain.type = read_protection_.unprotect_in_place(plain.type, plain.payload);
     if (plain.type == ContentType::kAlert) {
       // close_notify or fatal alert: either way the stream ends.
       peer_closed_ = true;
@@ -701,7 +707,8 @@ void Session::close() {
     Record alert{ContentType::kAlert, {}};
     append_u8(alert.payload, 1);  // warning
     append_u8(alert.payload, static_cast<std::uint8_t>(AlertCode::kCloseNotify));
-    write_record(*transport_, write_protection_.protect(alert));
+    write_protection_.protect_into(alert.type, alert.payload, write_wire_);
+    transport_->write(write_wire_);
   } catch (...) {
     // Peer may already be gone.
   }

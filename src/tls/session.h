@@ -76,6 +76,7 @@ class Session final : public net::Stream {
   Bytes resumption_secret_pending_;  // client: PSK for a future ticket
   std::string server_name_;          // client: ticket scope
   Bytes read_buffer_;
+  Bytes write_wire_;  // reused wire-record scratch for protect_into
   std::size_t read_pos_ = 0;
   bool closed_ = false;
   bool peer_closed_ = false;

@@ -159,6 +159,141 @@ TEST(AesGcm, RejectsBadNonceSize) {
   EXPECT_THROW(gcm.seal(Bytes(16, 0), to_bytes("x"), {}), CryptoError);
 }
 
+TEST(AesGcm, NistCase14Aes256EmptyPlaintext) {
+  const AesGcm gcm(Bytes(32, 0));
+  const Bytes nonce(12, 0);
+  const Bytes out = gcm.seal(nonce, {}, {});
+  EXPECT_EQ(to_hex(out), "530f8afbc74536b9a963b4f1c4cb738b");
+}
+
+TEST(AesGcm, NistCase16Aes256NonAlignedWithAad) {
+  const AesGcm gcm(from_hex(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"));
+  const Bytes nonce = from_hex("cafebabefacedbaddecaf888");
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const Bytes out = gcm.seal(nonce, pt, aad);
+  EXPECT_EQ(to_hex(out),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+            "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662"
+            "76fc6ece0f4e1768cddf8853bb2d551b");
+}
+
+TEST(AesGcm, EmptyPlaintextWithAadRoundTrip) {
+  const AesGcm gcm(Bytes(16, 0x5a));
+  const Bytes nonce(12, 0x0b);
+  const Bytes aad = to_bytes("authenticated-only header");
+  const Bytes ct = gcm.seal(nonce, {}, aad);
+  EXPECT_EQ(ct.size(), kGcmTagSize);
+  const auto opened = gcm.open(nonce, ct, aad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+  EXPECT_FALSE(gcm.open(nonce, ct, to_bytes("other header")).has_value());
+}
+
+TEST(AesGcm, InPlaceMatchesAllocatingPath) {
+  DeterministicRandom rng(7);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                std::size_t{16}, std::size_t{61},
+                                std::size_t{1024}}) {
+    const AesGcm gcm(rng.bytes(16));
+    const Bytes nonce = rng.bytes(12);
+    const Bytes pt = rng.bytes(len);
+    const Bytes aad = rng.bytes(13);
+    const Bytes sealed = gcm.seal(nonce, pt, aad);
+
+    Bytes buf = pt;
+    buf.resize(len + kGcmTagSize);
+    gcm.seal_in_place(nonce, buf.data(), len, aad, buf.data() + len);
+    EXPECT_EQ(buf, sealed) << "len " << len;
+
+    ASSERT_TRUE(gcm.open_in_place(nonce, buf.data(), len, aad,
+                                  ByteView(buf.data() + len, kGcmTagSize)));
+    EXPECT_EQ(Bytes(buf.begin(),
+                    buf.begin() + static_cast<std::ptrdiff_t>(len)),
+              pt);
+
+    if (len > 0) {
+      buf = sealed;
+      buf[0] ^= 1;
+      EXPECT_FALSE(gcm.open_in_place(nonce, buf.data(), len, aad,
+                                     ByteView(buf.data() + len, kGcmTagSize)));
+      // On failure the data must be left as (tampered) ciphertext.
+      EXPECT_EQ(buf[0], static_cast<std::uint8_t>(sealed[0] ^ 1));
+    }
+  }
+}
+
+// Cross-check the table-driven GHASH multiplier against the branchless
+// bit-at-a-time reference on structured and random inputs. The two share no
+// code beyond mul_x, so agreement here pins the Shoup tables and the
+// byte-Horner reduction independently of the AEAD vectors.
+TEST(Ghash, TableMatchesReferenceExhaustiveRandom) {
+  DeterministicRandom rng(0x9456);
+  auto random_block = [&] {
+    AesBlock b;
+    const Bytes r = rng.bytes(16);
+    std::copy(r.begin(), r.end(), b.begin());
+    return b;
+  };
+  // Edge cases: zero, the GF identity (x^0 = 0x80 in byte 0), all-ones,
+  // and every single-bit element on both sides.
+  AesBlock zero{};
+  AesBlock one{};
+  one[0] = 0x80;
+  AesBlock ones;
+  ones.fill(0xff);
+  const AesBlock h = random_block();
+  EXPECT_EQ(detail::ghash_mul_table(zero, h), detail::ghash_mul_reference(zero, h));
+  EXPECT_EQ(detail::ghash_mul_table(one, h), detail::ghash_mul_reference(one, h));
+  EXPECT_EQ(detail::ghash_mul_table(one, h), h);
+  EXPECT_EQ(detail::ghash_mul_table(ones, h), detail::ghash_mul_reference(ones, h));
+  for (int bit = 0; bit < 128; ++bit) {
+    AesBlock x{};
+    x[static_cast<std::size_t>(bit / 8)] =
+        static_cast<std::uint8_t>(0x80 >> (bit % 8));
+    EXPECT_EQ(detail::ghash_mul_table(x, h), detail::ghash_mul_reference(x, h))
+        << "bit " << bit;
+    EXPECT_EQ(detail::ghash_mul_table(h, x), detail::ghash_mul_reference(h, x))
+        << "bit " << bit;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const AesBlock x = random_block();
+    const AesBlock y = random_block();
+    ASSERT_EQ(detail::ghash_mul_table(x, y), detail::ghash_mul_reference(x, y))
+        << "iteration " << i;
+  }
+}
+
+// The constant-time fallback must produce byte-identical AEAD output.
+TEST(AesGcm, ConstantTimeFallbackMatchesTables) {
+  ASSERT_FALSE(gcm_constant_time());
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes nonce = from_hex("cafebabefacedbaddecaf888");
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const AesGcm table_gcm(key);
+  gcm_set_constant_time(true);
+  const AesGcm ct_gcm(key);  // snapshots the mode at construction
+  gcm_set_constant_time(false);
+
+  const Bytes table_out = table_gcm.seal(nonce, pt, aad);
+  const Bytes ct_out = ct_gcm.seal(nonce, pt, aad);
+  EXPECT_EQ(ct_out, table_out);
+  EXPECT_EQ(to_hex(ct_out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+  // Cross-mode open: the wire format is identical.
+  const auto opened = ct_gcm.open(nonce, table_out, aad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
 // Property: round trip holds across plaintext sizes spanning block edges.
 class GcmSizeSweep : public ::testing::TestWithParam<std::size_t> {};
 

@@ -201,6 +201,55 @@ TEST_P(Ed25519Sweep, SignVerifyRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Keys, Ed25519Sweep, ::testing::Range(0, 12));
 
+// Cross-check the windowed fixed-base path against the reference
+// double-and-add ladder on edge-case and random scalars. The window table,
+// radix-16 recoding, and Niels mixed additions share no code with the
+// ladder, so agreement pins them independently of the RFC vectors.
+TEST(Ed25519, WindowedBaseMulMatchesLadder) {
+  std::array<std::uint8_t, 32> scalar{};
+  // Zero, one, two, and the largest single-limb values.
+  EXPECT_EQ(detail::base_mul_windowed(scalar), detail::base_mul_ladder(scalar));
+  scalar[0] = 1;
+  EXPECT_EQ(detail::base_mul_windowed(scalar), detail::base_mul_ladder(scalar));
+  scalar[0] = 2;
+  EXPECT_EQ(detail::base_mul_windowed(scalar), detail::base_mul_ladder(scalar));
+  scalar.fill(0xff);
+  scalar[31] = 0x1f;  // just below 2^253
+  EXPECT_EQ(detail::base_mul_windowed(scalar), detail::base_mul_ladder(scalar));
+
+  DeterministicRandom rng(0x25519);
+  for (int i = 0; i < 64; ++i) {
+    const Bytes r = rng.bytes(32);
+    std::copy(r.begin(), r.end(), scalar.begin());
+    scalar[31] &= 0x1f;  // keep within the table path's 2^253 domain
+    ASSERT_EQ(detail::base_mul_windowed(scalar), detail::base_mul_ladder(scalar))
+        << "iteration " << i;
+    // Clamped form, as used by key generation and signing.
+    scalar[0] &= 248;
+    scalar[31] &= 63;
+    scalar[31] |= 64;
+    ASSERT_EQ(detail::base_mul_windowed(scalar), detail::base_mul_ladder(scalar))
+        << "clamped iteration " << i;
+  }
+}
+
+// 1000 random keys/messages through the full windowed-sign + Straus-verify
+// pipeline, with a tamper check on each round.
+TEST(Ed25519, RandomSignVerifyTamperSweep) {
+  DeterministicRandom rng(0x8032);
+  for (int i = 0; i < 1000; ++i) {
+    const auto kp = ed25519_generate(rng);
+    const Bytes msg = rng.bytes(static_cast<std::size_t>(i) % 97);
+    const auto sig = ed25519_sign(kp.seed, msg);
+    ASSERT_TRUE(ed25519_verify(kp.public_key, msg, ByteView(sig.data(), 64)))
+        << "iteration " << i;
+    auto bad = sig;
+    bad[static_cast<std::size_t>(i) % 64] ^= 1;
+    ASSERT_FALSE(ed25519_verify(kp.public_key, msg, ByteView(bad.data(), 64)))
+        << "iteration " << i;
+  }
+}
+
 }  // namespace
 }  // namespace vnfsgx::crypto
 
