@@ -121,7 +121,7 @@ int main() {
     for (int i = 0; i < runs + 2; ++i) {
       const double us = measure_get(bed, port, mode, trust,
                                     mutual ? &client_cert : nullptr,
-                                    mutual ? &client_kp.seed : nullptr);
+                                    mutual ? &*client_kp.seed : nullptr);
       if (i >= 2) total += us;
     }
     std::printf("  %-14s GET summary (cold conn): %8.1f us avg over %d runs\n",

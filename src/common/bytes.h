@@ -29,6 +29,15 @@ inline std::string to_string(ByteView b) {
   return std::string(b.begin(), b.end());
 }
 
+// GCC 12 false-positives on the vector range-insert's reallocation path
+// once these are inlined into callers ("writing ... into a region of size
+// 0", PR105329 family); clang and GCC 13 are clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#pragma GCC diagnostic ignored "-Wstringop-overread"
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
 /// Append `src` to `dst`.
 inline void append(Bytes& dst, ByteView src) {
   dst.insert(dst.end(), src.begin(), src.end());
@@ -37,6 +46,9 @@ inline void append(Bytes& dst, ByteView src) {
 inline void append(Bytes& dst, std::string_view src) {
   dst.insert(dst.end(), src.begin(), src.end());
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 inline void append_u8(Bytes& dst, std::uint8_t v) { dst.push_back(v); }
 

@@ -1,0 +1,22 @@
+#include "common/secure.h"
+
+namespace vnfsgx {
+
+// Forced optimization so the test exercises dead-store elimination even in
+// a -O0 debug build: without the barrier in secure_memzero, an optimizing
+// compiler is entitled to drop the wipe of a buffer it can prove is never
+// read again through the original name.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("O2")))
+#endif
+void secure_memzero_probe(std::uint8_t fill, std::uint8_t out[64]) {
+  std::uint8_t buf[64];
+  for (std::size_t i = 0; i < sizeof(buf); ++i) buf[i] = fill;
+  secure_memzero(buf, sizeof(buf));
+  // Copy whatever survived; with a working secure_memzero this is all
+  // zeros. (The copy itself is why a plain memset could legally survive
+  // here — the real assurance is the barrier, the test documents it.)
+  std::memcpy(out, buf, sizeof(buf));
+}
+
+}  // namespace vnfsgx

@@ -1,0 +1,238 @@
+// Secret-hygiene primitives: guaranteed wiping of key material.
+//
+// The paper's core invariant is that credentials never leave the enclave;
+// this header makes the *lifetime* half of that invariant mechanical. Any
+// buffer holding long-lived key material (seeds, traffic secrets, round
+// keys, GHASH tables) is declared as Zeroizing<T>, which overwrites the
+// storage with zeros before it is released — including on moves, so no
+// stale copy survives in the moved-from object. tools/secretlint rule R2
+// enforces the convention at lint time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace vnfsgx {
+
+/// Overwrite `n` bytes at `p` with zeros in a way the optimizer may not
+/// elide, even when the buffer is provably dead afterwards (the exact
+/// scenario dead-store elimination targets). The asm barrier tells the
+/// compiler the zeroed memory is observed.
+inline void secure_memzero(void* p, std::size_t n) {
+  if (p == nullptr || n == 0) return;
+  std::memset(p, 0, n);
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : : "r"(p) : "memory");
+#else
+  // Fallback: volatile writes cannot be elided.
+  volatile std::uint8_t* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+#endif
+}
+
+namespace detail {
+
+template <typename T>
+concept ContiguousContainer = requires(T t) {
+  { t.data() };
+  { t.size() };
+};
+
+template <typename T>
+concept ClearableContainer = ContiguousContainer<T> && requires(T t) {
+  t.clear();
+};
+
+template <typename T>
+concept ByteSized = ContiguousContainer<T> &&
+                    sizeof(*std::declval<T&>().data()) == 1;
+
+/// Wipe the secret content of `v`. Containers have their element storage
+/// zeroed (and are cleared when possible); trivially copyable values are
+/// zeroed in place.
+template <typename T>
+void wipe_value(T& v) {
+  if constexpr (ContiguousContainer<T>) {
+    using Elem = std::remove_reference_t<decltype(*v.data())>;
+    secure_memzero(const_cast<std::remove_const_t<Elem>*>(v.data()),
+                   v.size() * sizeof(Elem));
+    if constexpr (ClearableContainer<T>) v.clear();
+  } else {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Zeroizing<T> requires a contiguous container or a "
+                  "trivially copyable type");
+    secure_memzero(&v, sizeof(T));
+  }
+}
+
+}  // namespace detail
+
+/// Wrapper that wipes the contained value when it is destroyed or moved
+/// from. Copyable on purpose: each copy wipes itself, and copies into
+/// non-wiping containers are what secretlint rule R2 exists to catch.
+///
+/// Implicit conversions to T&, const T& and (for byte containers)
+/// ByteView keep call sites unchanged: a Zeroizing<Ed25519Seed> passes
+/// anywhere a seed or a byte view is expected.
+///
+/// Caveat (inherited from std::vector): growing a wrapped vector
+/// reallocates and the *old* buffer is not wiped. Size secret vectors up
+/// front (all in-tree uses are fixed-size derivations).
+template <typename T>
+class Zeroizing {
+ public:
+  using value_type = T;
+
+  Zeroizing() = default;
+  Zeroizing(const T& v) : value_(v) {}
+  Zeroizing(T&& v) : value_(std::move(v)) {}
+
+  /// Forward multi-argument constructors, e.g.
+  /// Zeroizing<Bytes>(n, fill). Single-argument forwarding is excluded so
+  /// the T / copy / move constructors above keep their exact semantics.
+  template <typename A0, typename A1, typename... Rest>
+  Zeroizing(A0&& a0, A1&& a1, Rest&&... rest)
+      : value_(std::forward<A0>(a0), std::forward<A1>(a1),
+               std::forward<Rest>(rest)...) {}
+
+  Zeroizing(const Zeroizing& other) : value_(other.value_) {}
+  Zeroizing(Zeroizing&& other) noexcept : value_(std::move(other.value_)) {
+    other.wipe();
+  }
+
+  Zeroizing& operator=(const Zeroizing& other) {
+    if (this != &other) {
+      wipe();
+      value_ = other.value_;
+    }
+    return *this;
+  }
+  Zeroizing& operator=(Zeroizing&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      value_ = std::move(other.value_);
+      other.wipe();
+    }
+    return *this;
+  }
+  Zeroizing& operator=(const T& v) {
+    wipe();
+    value_ = v;
+    return *this;
+  }
+  Zeroizing& operator=(T&& v) {
+    wipe();
+    value_ = std::move(v);
+    return *this;
+  }
+
+  ~Zeroizing() { wipe(); }
+
+  /// Wipe now (also leaves the value empty/zeroed for reuse).
+  void wipe() { detail::wipe_value(value_); }
+
+  T& get() { return value_; }
+  const T& get() const { return value_; }
+  T& operator*() { return value_; }
+  const T& operator*() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+  operator T&() { return value_; }
+  operator const T&() const { return value_; }
+
+  /// Byte containers additionally convert to views so one user-defined
+  /// conversion reaches ByteView / span parameters.
+  operator ByteView() const
+    requires detail::ByteSized<T>
+  {
+    return ByteView(reinterpret_cast<const std::uint8_t*>(value_.data()),
+                    value_.size());
+  }
+  operator std::span<std::uint8_t>()
+    requires detail::ByteSized<T>
+  {
+    return std::span<std::uint8_t>(
+        reinterpret_cast<std::uint8_t*>(value_.data()), value_.size());
+  }
+
+  // Container forwarding, so members like round_keys_[i] / .data() keep
+  // reading naturally at use sites.
+  auto data()
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.data();
+  }
+  auto data() const
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.data();
+  }
+  auto size() const
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.size();
+  }
+  bool empty() const
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.size() == 0;
+  }
+  auto begin()
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.begin();
+  }
+  auto begin() const
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.begin();
+  }
+  auto end()
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.end();
+  }
+  auto end() const
+    requires detail::ContiguousContainer<T>
+  {
+    return value_.end();
+  }
+  decltype(auto) operator[](std::size_t i)
+    requires detail::ContiguousContainer<T>
+  {
+    return value_[i];
+  }
+  decltype(auto) operator[](std::size_t i) const
+    requires detail::ContiguousContainer<T>
+  {
+    return value_[i];
+  }
+
+  friend bool operator==(const Zeroizing& a, const Zeroizing& b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator==(const Zeroizing& a, const T& b) {
+    return a.value_ == b;
+  }
+
+ private:
+  T value_{};
+};
+
+/// The workhorse alias: an owning, self-wiping byte buffer.
+using SecureBytes = Zeroizing<Bytes>;
+
+/// Test hook for tests/test_secure.cpp: compiled in secure.cpp at forced
+/// -O2 regardless of the build type. Fills a stack buffer with `fill`,
+/// wipes it with secure_memzero, then reports the post-wipe contents via
+/// `out` so the test can verify the stores were not elided.
+void secure_memzero_probe(std::uint8_t fill, std::uint8_t out[64]);
+
+}  // namespace vnfsgx

@@ -65,12 +65,16 @@ inline std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
 }
 
-inline std::uint32_t sub_word(std::uint32_t w) {
+inline std::uint32_t sub_word(std::uint32_t key_word) {
   const std::uint8_t* s = sbox();
-  return (static_cast<std::uint32_t>(s[(w >> 24) & 0xff]) << 24) |
-         (static_cast<std::uint32_t>(s[(w >> 16) & 0xff]) << 16) |
-         (static_cast<std::uint32_t>(s[(w >> 8) & 0xff]) << 8) |
-         s[w & 0xff];
+  // ct-ok-begin: S-box lookups on key-schedule words; the table-driven AES
+  // here is the simulator's fast path and is not hardened against cache
+  // timing (docs/SECURITY.md, "Constant-time policy").
+  return (static_cast<std::uint32_t>(s[(key_word >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(s[(key_word >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(s[(key_word >> 8) & 0xff]) << 8) |
+         s[key_word & 0xff];
+  // ct-ok-end
 }
 
 inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
@@ -140,6 +144,9 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
   std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
   std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
   rk += 4;
+  // ct-ok-begin: T-table rounds index on key-mixed state; table AES is the
+  // simulator's fast path and is not hardened against cache timing
+  // (docs/SECURITY.md, "Constant-time policy").
   for (int round = 1; round < rounds_; ++round, rk += 4) {
     const std::uint32_t t0 = tb.te0[s0 >> 24] ^ tb.te1[(s1 >> 16) & 0xff] ^
                              tb.te2[(s2 >> 8) & 0xff] ^ tb.te3[s3 & 0xff] ^
@@ -172,6 +179,7 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
   store_be32(final_word(s1, s2, s3, s0, rk[1]), out + 4);
   store_be32(final_word(s2, s3, s0, s1, rk[2]), out + 8);
   store_be32(final_word(s3, s0, s1, s2, rk[3]), out + 12);
+  // ct-ok-end
 }
 
 void Aes::encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const {
@@ -186,6 +194,9 @@ void Aes::encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const {
     }
   }
   const std::uint32_t* rk = round_keys_.data() + 4;
+  // ct-ok-begin: same T-table / S-box indexing on key-mixed state as
+  // encrypt_block; table AES is the simulator's fast path and is not
+  // hardened against cache timing (docs/SECURITY.md).
   for (int round = 1; round < rounds_; ++round, rk += 4) {
     for (int lane = 0; lane < 4; ++lane) {
       const std::uint32_t s0 = st[lane][0], s1 = st[lane][1], s2 = st[lane][2],
@@ -217,6 +228,7 @@ void Aes::encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const {
       store_be32(v, out + 16 * lane + 4 * c);
     }
   }
+  // ct-ok-end
 }
 
 namespace {

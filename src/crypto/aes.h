@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "common/secure.h"
 
 namespace vnfsgx::crypto {
 
@@ -33,7 +34,8 @@ class Aes {
   void encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const;
 
  private:
-  std::array<std::uint32_t, 60> round_keys_{};
+  // Expanded key schedule is key-equivalent material: wiped on destruct.
+  Zeroizing<std::array<std::uint32_t, 60>> round_keys_;
   int rounds_ = 0;
 };
 

@@ -38,6 +38,9 @@ const std::array<std::uint32_t, 9>& order_limbs() {
 int cmp_order(const Scalar& a) {
   const auto& l = order_limbs();
   for (int i = 8; i >= 0; --i) {
+    // ct-ok: early-exit compare leaks only which limb first differs from
+    // the fixed public constant L; accepted for the software simulator
+    // (docs/SECURITY.md, "Constant-time policy").
     if (a.limb[static_cast<std::size_t>(i)] != l[static_cast<std::size_t>(i)]) {
       return a.limb[static_cast<std::size_t>(i)] < l[static_cast<std::size_t>(i)]
                  ? -1
@@ -72,6 +75,8 @@ Scalar scalar_from_bytes_wide(ByteView bytes_le) {
             (r.limb[static_cast<std::size_t>(i)] << 1) | carry;
         carry = next_carry;
       }
+      // ct-ok: per-bit conditional subtract during reduction; accepted for
+      // the software simulator (docs/SECURITY.md, "Constant-time policy").
       if (cmp_order(r) >= 0) sub_order(r);
     }
   }
@@ -99,13 +104,12 @@ Scalar scalar_mul_add(const Scalar& a, const Scalar& b, const Scalar& c) {
           static_cast<std::uint64_t>(a.limb[static_cast<std::size_t>(i)]) *
           b.limb[static_cast<std::size_t>(j)];
       acc[static_cast<std::size_t>(i + j)] += p & 0xffffffffu;
-      acc[static_cast<std::size_t>(i + j + 1)] += p >> 32;
-      // Normalize eagerly so accumulators never overflow.
-      if (acc[static_cast<std::size_t>(i + j)] >> 32) {
-        acc[static_cast<std::size_t>(i + j + 1)] +=
-            acc[static_cast<std::size_t>(i + j)] >> 32;
-        acc[static_cast<std::size_t>(i + j)] &= 0xffffffffu;
-      }
+      // Normalize eagerly (and branchlessly: the carry add is unconditional
+      // so timing does not depend on the secret limbs) so accumulators
+      // never overflow.
+      acc[static_cast<std::size_t>(i + j + 1)] +=
+          (p >> 32) + (acc[static_cast<std::size_t>(i + j)] >> 32);
+      acc[static_cast<std::size_t>(i + j)] &= 0xffffffffu;
     }
   }
   for (int i = 0; i < 8; ++i) acc[static_cast<std::size_t>(i)] += c.limb[static_cast<std::size_t>(i)];
@@ -187,6 +191,8 @@ Point point_scalar_mul(const Point& p, const std::array<std::uint8_t, 32>& scala
   for (int byte_idx = 31; byte_idx >= 0; --byte_idx) {
     for (int bit = 7; bit >= 0; --bit) {
       r = point_double(r);
+      // ct-ok: double-and-add reference ladder, used only to cross-check
+      // the windowed implementation (see function comment above).
       if ((scalar_le[static_cast<std::size_t>(byte_idx)] >> bit) & 1) {
         r = point_add(r, p);
       }
@@ -562,10 +568,12 @@ bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
       }
       s.limb[static_cast<std::size_t>(i)] = v;
     }
+    // ct-ok: s is the signature scalar, a public input to verification.
     if (cmp_order(s) >= 0) return false;
   }
 
   const auto a_point = point_decode(public_key);
+  // ct-ok: the public key is a public input to verification.
   if (!a_point) return false;
   const auto r_point = point_decode(r_enc);
   if (!r_point) return false;

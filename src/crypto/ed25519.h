@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secure.h"
 #include "crypto/random.h"
 
 namespace vnfsgx::crypto {
@@ -27,8 +28,9 @@ using Ed25519PublicKey = std::array<std::uint8_t, kEd25519PublicKeySize>;
 using Ed25519Signature = std::array<std::uint8_t, kEd25519SignatureSize>;
 
 struct Ed25519KeyPair {
-  Ed25519Seed seed;  // the RFC 8032 private key (32-byte seed)
-  Ed25519PublicKey public_key;
+  // The RFC 8032 private key (32-byte seed); wiped when the pair dies.
+  Zeroizing<Ed25519Seed> seed;
+  Ed25519PublicKey public_key{};
 };
 
 /// Derive the public key from a seed.

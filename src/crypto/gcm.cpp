@@ -102,14 +102,18 @@ struct GhashTables {
     }
   }
 
-  // y·H: Horner over the 16 bytes of y, two table lookups per byte and one
-  // 8-bit reduce-shift between bytes (15 shifts per block).
-  U128 mul(U128 y) const {
+  // y·H: Horner over the 16 bytes of the key-mixed accumulator y, two table
+  // lookups per byte and one 8-bit reduce-shift between bytes (15 shifts
+  // per block).
+  U128 mul(U128 y_keyed) const {
     const std::uint64_t* rem = rem8().data();
     U128 z{0, 0};
     bool first = true;
-    // Bytes 15..8 live in y.lo (lsb first), bytes 7..0 in y.hi.
-    for (const std::uint64_t half : {y.lo, y.hi}) {
+    // ct-ok-begin: 4-bit table GHASH indexes on the H-mixed accumulator;
+    // this is the variable-time fast path — gcm_set_constant_time(true)
+    // selects the branchless gf_mul instead (docs/SECURITY.md).
+    // Bytes 15..8 live in y_keyed.lo (lsb first), bytes 7..0 in y_keyed.hi.
+    for (const std::uint64_t half : {y_keyed.lo, y_keyed.hi}) {
       for (int k = 0; k < 8; ++k) {
         if (!first) {
           const std::uint64_t r = z.lo & 0xff;
@@ -122,6 +126,7 @@ struct GhashTables {
         z.lo ^= hi_t[b >> 4].lo ^ lo_t[b & 0xf].lo;
       }
     }
+    // ct-ok-end
     return z;
   }
 };
@@ -133,26 +138,29 @@ bool gcm_constant_time() { return g_constant_time; }
 
 AesGcm::AesGcm(ByteView key) : aes_(key) {
   AesBlock zero{};
-  const AesBlock h = aes_.encrypt_block(zero);
+  AesBlock h = aes_.encrypt_block(zero);
   const U128 hb = load_block(h.data());
-  h_hi_ = hb.hi;
-  h_lo_ = hb.lo;
+  ghash_key_->h_hi = hb.hi;
+  ghash_key_->h_lo = hb.lo;
   constant_time_ = g_constant_time;
-  const GhashTables tables(hb);
+  GhashTables tables(hb);
   for (int n = 0; n < 16; ++n) {
-    table_hi_[n][0] = tables.hi_t[n].hi;
-    table_hi_[n][1] = tables.hi_t[n].lo;
-    table_lo_[n][0] = tables.lo_t[n].hi;
-    table_lo_[n][1] = tables.lo_t[n].lo;
+    ghash_key_->table_hi[n][0] = tables.hi_t[n].hi;
+    ghash_key_->table_hi[n][1] = tables.hi_t[n].lo;
+    ghash_key_->table_lo[n][0] = tables.lo_t[n].hi;
+    ghash_key_->table_lo[n][1] = tables.lo_t[n].lo;
   }
+  // Stack copies of H and the tables are key material too.
+  secure_memzero(h.data(), h.size());
+  secure_memzero(&tables, sizeof(tables));
 }
 
 AesBlock AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
-  const U128 h{h_hi_, h_lo_};
+  const U128 h{ghash_key_->h_hi, ghash_key_->h_lo};
   GhashTables tables;
   for (int n = 0; n < 16; ++n) {
-    tables.hi_t[n] = U128{table_hi_[n][0], table_hi_[n][1]};
-    tables.lo_t[n] = U128{table_lo_[n][0], table_lo_[n][1]};
+    tables.hi_t[n] = U128{ghash_key_->table_hi[n][0], ghash_key_->table_hi[n][1]};
+    tables.lo_t[n] = U128{ghash_key_->table_lo[n][0], ghash_key_->table_lo[n][1]};
   }
   const bool ct = constant_time_;
   auto mul_h = [&](U128 y) { return ct ? gf_mul(y, h) : tables.mul(y); };

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secure.h"
 #include "crypto/aes.h"
 
 namespace vnfsgx::crypto {
@@ -54,14 +55,20 @@ class AesGcm {
  private:
   AesBlock ghash(ByteView aad, ByteView ciphertext) const;
 
+  // GHASH key H = E_K(0^128) (split into 64-bit halves) plus the Shoup
+  // 4-bit tables derived from it: table_hi[n] = (nibble n in the
+  // high-nibble slot of byte 0)·H, table_lo[n] = the same shifted by x^4
+  // (low-nibble slot). All of it is key-equivalent, hence one Zeroizing
+  // block wiped on destruct.
+  struct GhashKey {
+    std::uint64_t h_hi = 0;
+    std::uint64_t h_lo = 0;
+    std::uint64_t table_hi[16][2];
+    std::uint64_t table_lo[16][2];
+  };
+
   Aes aes_;
-  // GHASH key H = E_K(0^128), pre-split into 64-bit halves.
-  std::uint64_t h_hi_ = 0;
-  std::uint64_t h_lo_ = 0;
-  // Shoup 4-bit tables: table_hi_[n] = (nibble n in the high-nibble slot of
-  // byte 0)·H, table_lo_[n] = the same shifted by x^4 (low-nibble slot).
-  std::uint64_t table_hi_[16][2];
-  std::uint64_t table_lo_[16][2];
+  Zeroizing<GhashKey> ghash_key_;
   bool constant_time_ = false;
 };
 

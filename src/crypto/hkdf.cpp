@@ -15,10 +15,11 @@ Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
   }
   Bytes out;
   out.reserve(length);
-  Bytes t;
+  // T(i) chains key material; the working copies wipe themselves.
+  SecureBytes t;
   std::uint8_t counter = 1;
   while (out.size() < length) {
-    Bytes block = t;
+    SecureBytes block = t;
     append(block, info);
     append_u8(block, counter++);
     t = hmac_sha256(prk, block);
@@ -29,7 +30,7 @@ Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
 }
 
 Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
-  const Bytes prk = hkdf_extract(salt, ikm);
+  const SecureBytes prk = hkdf_extract(salt, ikm);
   return hkdf_expand(prk, info, length);
 }
 

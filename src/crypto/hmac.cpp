@@ -5,14 +5,14 @@
 namespace vnfsgx::crypto {
 
 HmacSha256::HmacSha256(ByteView key) {
-  std::array<std::uint8_t, kSha256BlockSize> k{};
+  Zeroizing<std::array<std::uint8_t, kSha256BlockSize>> k;
   if (key.size() > kSha256BlockSize) {
     const Sha256Digest d = Sha256::hash(key);
     std::copy(d.begin(), d.end(), k.begin());
   } else {
     std::copy(key.begin(), key.end(), k.begin());
   }
-  std::array<std::uint8_t, kSha256BlockSize> ipad_key;
+  Zeroizing<std::array<std::uint8_t, kSha256BlockSize>> ipad_key;
   for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
     ipad_key[i] = k[i] ^ 0x36;
     opad_key_[i] = k[i] ^ 0x5c;
@@ -36,14 +36,14 @@ Bytes hmac_sha256(ByteView key, ByteView data) {
 }
 
 Bytes hmac_sha512(ByteView key, ByteView data) {
-  std::array<std::uint8_t, kSha512BlockSize> k{};
+  Zeroizing<std::array<std::uint8_t, kSha512BlockSize>> k;
   if (key.size() > kSha512BlockSize) {
     const Sha512Digest d = Sha512::hash(key);
     std::copy(d.begin(), d.end(), k.begin());
   } else {
     std::copy(key.begin(), key.end(), k.begin());
   }
-  std::array<std::uint8_t, kSha512BlockSize> pad;
+  Zeroizing<std::array<std::uint8_t, kSha512BlockSize>> pad;
   for (std::size_t i = 0; i < kSha512BlockSize; ++i) pad[i] = k[i] ^ 0x36;
   Sha512 inner;
   inner.update(pad);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/secure.h"
 #include "crypto/sha256.h"
 #include "crypto/sha512.h"
 
@@ -26,7 +27,8 @@ class HmacSha256 {
 
  private:
   Sha256 inner_;
-  std::array<std::uint8_t, kSha256BlockSize> opad_key_;
+  // Key-derived pad, kept for finish(); wiped with the context.
+  Zeroizing<std::array<std::uint8_t, kSha256BlockSize>> opad_key_;
 };
 
 /// One-shot HMAC-SHA256 returning a Bytes vector.

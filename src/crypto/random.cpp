@@ -13,7 +13,7 @@ HmacDrbg::HmacDrbg(ByteView seed)
 
 void HmacDrbg::update(ByteView provided) {
   // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
-  Bytes data = v_;
+  SecureBytes data = v_;
   append_u8(data, 0x00);
   append(data, provided);
   key_ = hmac_sha256(key_, data);
@@ -51,8 +51,8 @@ DeterministicRandom::DeterministicRandom(std::uint64_t seed)
 
 SystemRandom::SystemRandom() {
   std::random_device rd;
-  Bytes seed;
-  seed.reserve(48);
+  SecureBytes seed;
+  seed->reserve(48);
   for (int i = 0; i < 12; ++i) append_u32(seed, rd());
   drbg_ = std::make_unique<HmacDrbg>(seed);
 }

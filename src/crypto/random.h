@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "common/bytes.h"
+#include "common/secure.h"
 
 namespace vnfsgx::crypto {
 
@@ -45,8 +46,10 @@ class HmacDrbg final : public RandomSource {
  private:
   void update(ByteView provided);
 
-  Bytes key_;  // K
-  Bytes v_;    // V
+  // DRBG working state: K predicts all future output, so both halves are
+  // wiped on destruction.
+  SecureBytes key_;  // K
+  SecureBytes v_;    // V
 };
 
 /// Deterministic source for tests/benches: HMAC-DRBG with a fixed seed.

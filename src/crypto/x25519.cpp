@@ -6,8 +6,8 @@
 namespace vnfsgx::crypto {
 
 X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
-  // Clamp per RFC 7748 §5.
-  X25519Key k = scalar;
+  // Clamp per RFC 7748 §5 (the working copy wipes itself).
+  Zeroizing<X25519Key> k = scalar;
   k[0] &= 248;
   k[31] &= 127;
   k[31] |= 64;
@@ -60,11 +60,13 @@ X25519KeyPair x25519_generate(RandomSource& rng) {
   return kp;
 }
 
-Bytes x25519_shared(const X25519Key& private_key,
-                    const X25519Key& peer_public) {
-  const X25519Key shared = x25519(private_key, peer_public);
+SecureBytes x25519_shared(const X25519Key& private_key,
+                          const X25519Key& peer_public) {
+  const Zeroizing<X25519Key> shared = x25519(private_key, peer_public);
   std::uint8_t acc = 0;
   for (auto b : shared) acc |= b;
+  // ct-ok: reveals only the all-zero rejection mandated by RFC 7748 §6.1,
+  // not any bit of a usable shared secret.
   if (acc == 0) throw CryptoError("x25519: low-order peer public key");
   return Bytes(shared.begin(), shared.end());
 }

@@ -5,6 +5,7 @@
 #include <array>
 
 #include "common/bytes.h"
+#include "common/secure.h"
 #include "crypto/random.h"
 
 namespace vnfsgx::crypto {
@@ -20,15 +21,17 @@ X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
 X25519Key x25519_base(const X25519Key& scalar);
 
 struct X25519KeyPair {
-  X25519Key private_key;
-  X25519Key public_key;
+  Zeroizing<X25519Key> private_key;  // wiped when the pair dies
+  X25519Key public_key{};
 };
 
 /// Generate a fresh keypair (clamping applied by the ladder itself).
 X25519KeyPair x25519_generate(RandomSource& rng);
 
 /// Shared secret = private * peer_public. Throws CryptoError if the result
-/// is all-zero (low-order peer point), per RFC 7748 §6.1 guidance.
-Bytes x25519_shared(const X25519Key& private_key, const X25519Key& peer_public);
+/// is all-zero (low-order peer point), per RFC 7748 §6.1 guidance. The
+/// result feeds key derivation, so it comes back self-wiping.
+SecureBytes x25519_shared(const X25519Key& private_key,
+                          const X25519Key& peer_public);
 
 }  // namespace vnfsgx::crypto

@@ -78,7 +78,7 @@ class Enclave::ServicesImpl final : public EnclaveServices {
     Report report;
     report.body = enclave_.body_;
     report.body.report_data = data;
-    const Bytes key = platform_.report_key(target.mr_enclave);
+    const SecureBytes key = platform_.report_key(target.mr_enclave);
     const auto mac = crypto::HmacSha256::mac(key, report.body.encode());
     std::copy(mac.begin(), mac.end(), report.mac.begin());
     return report;
@@ -91,7 +91,7 @@ class Enclave::ServicesImpl final : public EnclaveServices {
                                      : enclave_.body_.mr_signer;
     Bytes key_id(16);
     platform_.rng_.fill(key_id);
-    const Bytes key = platform_.seal_key(policy, identity, key_id);
+    const SecureBytes key = platform_.seal_key(policy, identity, key_id);
     Bytes nonce(12);
     platform_.rng_.fill(nonce);
 
@@ -119,7 +119,7 @@ class Enclave::ServicesImpl final : public EnclaveServices {
     const Measurement identity = policy == SealPolicy::kMrEnclave
                                      ? enclave_.body_.mr_enclave
                                      : enclave_.body_.mr_signer;
-    const Bytes key = platform_.seal_key(policy, identity, key_id);
+    const SecureBytes key = platform_.seal_key(policy, identity, key_id);
     const crypto::AesGcm aead(key);
     return aead.open(nonce, sealed, aad);
   }

@@ -20,6 +20,7 @@
 
 #include "common/bytes.h"
 #include "common/error.h"
+#include "common/secure.h"
 #include "sgx/measurement.h"
 #include "sgx/sigstruct.h"
 #include "sgx/structs.h"
@@ -50,7 +51,9 @@ class EnclaveVault {
   void check_access(const char* op) const;
 
   const Enclave& owner_;
-  std::map<std::string, Bytes> entries_;
+  // Vault entries model EPC-resident secrets: each value wipes itself on
+  // erase() and on enclave teardown (EREMOVE scrubs EPC pages).
+  std::map<std::string, SecureBytes> entries_;
 };
 
 /// The in-enclave API surface (mirrors sgx_create_report, sgx_seal_data,

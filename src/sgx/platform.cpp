@@ -67,13 +67,14 @@ std::size_t SgxPlatform::epc_used() const {
   return epc_used_;
 }
 
-Bytes SgxPlatform::report_key(const Measurement& target_mr) const {
+SecureBytes SgxPlatform::report_key(const Measurement& target_mr) const {
   return crypto::hkdf(device_root_key_, to_bytes("sgx-report-key"), target_mr,
                       32);
 }
 
-Bytes SgxPlatform::seal_key(SealPolicy policy, const Measurement& identity,
-                            ByteView key_id) const {
+SecureBytes SgxPlatform::seal_key(SealPolicy policy,
+                                  const Measurement& identity,
+                                  ByteView key_id) const {
   Bytes info;
   append_u8(info, static_cast<std::uint8_t>(policy));
   append(info, identity);
@@ -115,7 +116,7 @@ TargetInfo QuotingEnclave::target_info() const {
 
 Quote QuotingEnclave::quote(const Report& report) const {
   // Local attestation: recompute the MAC with the QE's report key.
-  const Bytes key = platform_.report_key(measurement_);
+  const SecureBytes key = platform_.report_key(measurement_);
   if (!crypto::hmac_sha256_verify(key, report.body.encode(),
                                   ByteView(report.mac.data(),
                                            report.mac.size()))) {

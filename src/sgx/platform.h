@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/secure.h"
 #include "crypto/random.h"
 #include "sgx/enclave.h"
 
@@ -65,11 +66,11 @@ class SgxPlatform {
   friend class QuotingEnclave;
 
   /// Report key for reports targeted at the enclave with `target_mr`.
-  Bytes report_key(const Measurement& target_mr) const;
+  SecureBytes report_key(const Measurement& target_mr) const;
 
   /// Seal key bound to identity + key id.
-  Bytes seal_key(SealPolicy policy, const Measurement& identity,
-                 ByteView key_id) const;
+  SecureBytes seal_key(SealPolicy policy, const Measurement& identity,
+                       ByteView key_id) const;
 
   void release_epc(std::size_t bytes);
   void charge_crossing();
@@ -77,7 +78,7 @@ class SgxPlatform {
   std::string name_;
   PlatformOptions options_;
   crypto::RandomSource& rng_;
-  Bytes device_root_key_;
+  SecureBytes device_root_key_;  // stand-in for the fused SGX keys
   PlatformId platform_id_{};
   mutable std::mutex mutex_;
   std::size_t epc_used_ = 0;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "common/secure.h"
 #include "common/sim_clock.h"
 #include "crypto/ed25519.h"
 #include "crypto/random.h"
@@ -23,7 +24,7 @@ using SignFunction = std::function<crypto::Ed25519Signature(ByteView)>;
 
 /// Server-side session-ticket protection key (rotate by replacing).
 struct TicketKey {
-  std::array<std::uint8_t, 16> key{};
+  Zeroizing<std::array<std::uint8_t, 16>> key;
 
   static TicketKey generate(crypto::RandomSource& rng) {
     TicketKey k;
@@ -34,9 +35,9 @@ struct TicketKey {
 
 /// A resumable session handle held by the client after a full handshake.
 struct SessionTicket {
-  Bytes ticket;              // opaque server-encrypted blob
-  Bytes resumption_secret;   // the PSK (client-side secret, never sent)
-  std::string server_name;   // which server it resumes to
+  Bytes ticket;                   // opaque server-encrypted blob
+  SecureBytes resumption_secret;  // the PSK (client-side secret, never sent)
+  std::string server_name;        // which server it resumes to
 
   bool valid() const { return !ticket.empty(); }
 };
@@ -72,9 +73,12 @@ struct Config {
   const Clock* clock = nullptr;        // required
   crypto::RandomSource* rng = nullptr; // required
 
-  /// Convenience: identity from a certificate + software key.
+  /// Convenience: identity from a certificate + software key. The closure
+  /// holds its seed copy in a Zeroizing so it is wiped with the Config.
   static SignFunction software_signer(const crypto::Ed25519Seed& seed) {
-    return [seed](ByteView data) { return crypto::ed25519_sign(seed, data); };
+    return [seed = Zeroizing<crypto::Ed25519Seed>(seed)](ByteView data) {
+      return crypto::ed25519_sign(seed, data);
+    };
   }
 };
 

@@ -5,8 +5,8 @@
 
 namespace vnfsgx::tls {
 
-Bytes derive_secret(ByteView secret, std::string_view label,
-                    ByteView transcript_hash) {
+SecureBytes derive_secret(ByteView secret, std::string_view label,
+                          ByteView transcript_hash) {
   return crypto::hkdf_expand_label(secret, label, transcript_hash,
                                    crypto::kSha256DigestSize);
 }
@@ -20,45 +20,45 @@ KeySchedule::KeySchedule(ByteView psk) {
   }
 }
 
-Bytes KeySchedule::binder_key() const {
+SecureBytes KeySchedule::binder_key() const {
   return crypto::hkdf_expand_label(early_secret_, "res binder", {},
                                    crypto::kSha256DigestSize);
 }
 
 void KeySchedule::set_handshake_secret(ByteView ecdhe_shared) {
   const Bytes empty_hash = crypto::sha256({});
-  const Bytes derived = derive_secret(early_secret_, "derived", empty_hash);
+  const SecureBytes derived = derive_secret(early_secret_, "derived", empty_hash);
   handshake_secret_ = crypto::hkdf_extract(derived, ecdhe_shared);
 }
 
-Bytes KeySchedule::client_handshake_traffic(ByteView transcript_hash) const {
+SecureBytes KeySchedule::client_handshake_traffic(ByteView transcript_hash) const {
   return derive_secret(handshake_secret_, "c hs traffic", transcript_hash);
 }
 
-Bytes KeySchedule::server_handshake_traffic(ByteView transcript_hash) const {
+SecureBytes KeySchedule::server_handshake_traffic(ByteView transcript_hash) const {
   return derive_secret(handshake_secret_, "s hs traffic", transcript_hash);
 }
 
 void KeySchedule::set_master_secret() {
   const Bytes empty_hash = crypto::sha256({});
-  const Bytes derived = derive_secret(handshake_secret_, "derived", empty_hash);
+  const SecureBytes derived = derive_secret(handshake_secret_, "derived", empty_hash);
   const Bytes zeros(crypto::kSha256DigestSize, 0);
   master_secret_ = crypto::hkdf_extract(derived, zeros);
 }
 
-Bytes KeySchedule::client_application_traffic(ByteView transcript_hash) const {
+SecureBytes KeySchedule::client_application_traffic(ByteView transcript_hash) const {
   return derive_secret(master_secret_, "c ap traffic", transcript_hash);
 }
 
-Bytes KeySchedule::server_application_traffic(ByteView transcript_hash) const {
+SecureBytes KeySchedule::server_application_traffic(ByteView transcript_hash) const {
   return derive_secret(master_secret_, "s ap traffic", transcript_hash);
 }
 
-Bytes KeySchedule::resumption_secret(ByteView transcript_hash) const {
+SecureBytes KeySchedule::resumption_secret(ByteView transcript_hash) const {
   return derive_secret(master_secret_, "res master", transcript_hash);
 }
 
-Bytes KeySchedule::finished_key(ByteView traffic_secret) {
+SecureBytes KeySchedule::finished_key(ByteView traffic_secret) {
   return crypto::hkdf_expand_label(traffic_secret, "finished", {},
                                    crypto::kSha256DigestSize);
 }

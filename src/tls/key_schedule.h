@@ -3,18 +3,22 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/secure.h"
 #include "crypto/sha256.h"
 
 namespace vnfsgx::tls {
 
+/// Record-layer keys; both halves derive from a traffic secret and wipe
+/// themselves (the IV is XORed with sequence numbers to form nonces, so
+/// leaking it weakens nonce privacy even though it is not a key proper).
 struct TrafficKeys {
-  Bytes key;  // 16 bytes (AES-128)
-  Bytes iv;   // 12 bytes
+  SecureBytes key;  // 16 bytes (AES-128)
+  SecureBytes iv;   // 12 bytes
 };
 
 /// Derive-Secret(secret, label, transcript_hash).
-Bytes derive_secret(ByteView secret, std::string_view label,
-                    ByteView transcript_hash);
+SecureBytes derive_secret(ByteView secret, std::string_view label,
+                          ByteView transcript_hash);
 
 /// Key schedule state machine; feed the ECDHE secret and transcript hashes
 /// as the handshake progresses.
@@ -26,38 +30,39 @@ class KeySchedule {
 
   /// Binder key for PSK offers: authenticated proof of PSK possession
   /// carried in the ClientHello.
-  Bytes binder_key() const;
+  SecureBytes binder_key() const;
 
   /// Mix in the ECDHE shared secret after ServerHello.
   void set_handshake_secret(ByteView ecdhe_shared);
 
   /// Traffic secrets for the handshake phase (transcript through ServerHello).
-  Bytes client_handshake_traffic(ByteView transcript_hash) const;
-  Bytes server_handshake_traffic(ByteView transcript_hash) const;
+  SecureBytes client_handshake_traffic(ByteView transcript_hash) const;
+  SecureBytes server_handshake_traffic(ByteView transcript_hash) const;
 
   /// Advance to the master secret (after server Finished is sent).
   void set_master_secret();
 
   /// Application traffic secrets (transcript through server Finished).
-  Bytes client_application_traffic(ByteView transcript_hash) const;
-  Bytes server_application_traffic(ByteView transcript_hash) const;
+  SecureBytes client_application_traffic(ByteView transcript_hash) const;
+  SecureBytes server_application_traffic(ByteView transcript_hash) const;
 
   /// Resumption master secret (transcript through client Finished); the
   /// PSK for the next session.
-  Bytes resumption_secret(ByteView transcript_hash) const;
+  SecureBytes resumption_secret(ByteView transcript_hash) const;
 
   /// finished_key = HKDF-Expand-Label(traffic_secret, "finished", "", 32).
-  static Bytes finished_key(ByteView traffic_secret);
-  /// verify_data = HMAC(finished_key, transcript_hash).
+  static SecureBytes finished_key(ByteView traffic_secret);
+  /// verify_data = HMAC(finished_key, transcript_hash). The MAC itself
+  /// goes on the wire, so it stays a plain Bytes.
   static Bytes finished_mac(ByteView traffic_secret, ByteView transcript_hash);
 
   /// Record keys from a traffic secret.
   static TrafficKeys traffic_keys(ByteView traffic_secret);
 
  private:
-  Bytes early_secret_;
-  Bytes handshake_secret_;
-  Bytes master_secret_;
+  SecureBytes early_secret_;
+  SecureBytes handshake_secret_;
+  SecureBytes master_secret_;
 };
 
 /// Running transcript hash over handshake messages.

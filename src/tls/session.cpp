@@ -82,7 +82,7 @@ enum : std::uint8_t {
 };
 
 struct TicketPlaintext {
-  Bytes resumption_secret;
+  SecureBytes resumption_secret;
   std::string identity;        // authenticated client CN ("" = anonymous)
   std::uint64_t serial = 0;    // client certificate serial (0 = none)
   UnixTime expiry = 0;
@@ -412,11 +412,11 @@ std::unique_ptr<Session> Session::connect(net::StreamPtr transport,
   }
   const bool resumed = sh.resumed;
 
-  const Bytes shared = crypto::x25519_shared(kex.private_key, sh.share);
+  const SecureBytes shared = crypto::x25519_shared(kex.private_key, sh.share);
   hs.schedule.set_handshake_secret(shared);
   const Bytes th_hello = hs.transcript.digest();
-  const Bytes client_hs = hs.schedule.client_handshake_traffic(th_hello);
-  const Bytes server_hs = hs.schedule.server_handshake_traffic(th_hello);
+  const SecureBytes client_hs = hs.schedule.client_handshake_traffic(th_hello);
+  const SecureBytes server_hs = hs.schedule.server_handshake_traffic(th_hello);
   const auto server_keys = KeySchedule::traffic_keys(server_hs);
   const auto client_keys = KeySchedule::traffic_keys(client_hs);
   hs.read_protection.emplace(server_keys.key, server_keys.iv);
@@ -449,9 +449,9 @@ std::unique_ptr<Session> Session::connect(net::StreamPtr transport,
   // Application secrets derive from the transcript through server Finished.
   hs.schedule.set_master_secret();
   const Bytes th_server_finished = hs.transcript.digest();
-  const Bytes client_app =
+  const SecureBytes client_app =
       hs.schedule.client_application_traffic(th_server_finished);
-  const Bytes server_app =
+  const SecureBytes server_app =
       hs.schedule.server_application_traffic(th_server_finished);
 
   // Client's flight (still under handshake keys).
@@ -467,7 +467,7 @@ std::unique_ptr<Session> Session::connect(net::StreamPtr transport,
 
   // The PSK for the next session (the ticket itself arrives post-handshake
   // as a NewSessionTicket; see Session::read).
-  const Bytes resumption_secret =
+  const SecureBytes resumption_secret =
       hs.schedule.resumption_secret(hs.transcript.digest());
 
   std::string peer_identity =
@@ -547,11 +547,11 @@ std::unique_ptr<Session> Session::accept(net::StreamPtr transport,
       HsType::kServerHello,
       Handshaker::server_hello_body(server_random, kex.public_key, resumed));
 
-  const Bytes shared = crypto::x25519_shared(kex.private_key, ch.share);
+  const SecureBytes shared = crypto::x25519_shared(kex.private_key, ch.share);
   hs.schedule.set_handshake_secret(shared);
   const Bytes th_hello = hs.transcript.digest();
-  const Bytes client_hs = hs.schedule.client_handshake_traffic(th_hello);
-  const Bytes server_hs = hs.schedule.server_handshake_traffic(th_hello);
+  const SecureBytes client_hs = hs.schedule.client_handshake_traffic(th_hello);
+  const SecureBytes server_hs = hs.schedule.server_handshake_traffic(th_hello);
   const auto server_keys = KeySchedule::traffic_keys(server_hs);
   const auto client_keys = KeySchedule::traffic_keys(client_hs);
   hs.read_protection.emplace(client_keys.key, client_keys.iv);
@@ -569,9 +569,9 @@ std::unique_ptr<Session> Session::accept(net::StreamPtr transport,
 
   hs.schedule.set_master_secret();
   const Bytes th_server_finished = hs.transcript.digest();
-  const Bytes client_app =
+  const SecureBytes client_app =
       hs.schedule.client_application_traffic(th_server_finished);
-  const Bytes server_app =
+  const SecureBytes server_app =
       hs.schedule.server_application_traffic(th_server_finished);
 
   // Client flight.

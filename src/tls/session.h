@@ -73,7 +73,7 @@ class Session final : public net::Stream {
   std::string peer_identity_;
   bool resumed_ = false;
   std::optional<SessionTicket> session_ticket_;
-  Bytes resumption_secret_pending_;  // client: PSK for a future ticket
+  SecureBytes resumption_secret_pending_;  // client: PSK for a future ticket
   std::string server_name_;          // client: ticket scope
   Bytes read_buffer_;
   Bytes write_wire_;  // reused wire-record scratch for protect_into

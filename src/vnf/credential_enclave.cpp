@@ -109,16 +109,17 @@ class CredentialEnclaveLogic final : public sgx::TrustedLogic {
   }
 
  private:
-  crypto::Ed25519Seed seed_from_vault(sgx::EnclaveServices& services) {
+  Zeroizing<crypto::Ed25519Seed> seed_from_vault(
+      sgx::EnclaveServices& services) {
     const Bytes& seed_bytes = services.vault().load("seed");
-    crypto::Ed25519Seed seed;
+    Zeroizing<crypto::Ed25519Seed> seed;
     std::copy(seed_bytes.begin(), seed_bytes.end(), seed.begin());
     return seed;
   }
 
   Bytes generate_key(sgx::EnclaveServices& services) {
     if (!services.vault().contains("seed")) {
-      crypto::Ed25519Seed seed;
+      Zeroizing<crypto::Ed25519Seed> seed;
       services.read_rand(seed);
       services.vault().store("seed", Bytes(seed.begin(), seed.end()));
     }
@@ -207,14 +208,14 @@ class CredentialEnclaveLogic final : public sgx::TrustedLogic {
     truststore_->add_root(ca_root);
     clock_ = std::make_unique<FixedClock>(now);
     rng_ = std::make_unique<ServicesRng>(services);
-    const crypto::Ed25519Seed seed = seed_from_vault(services);
+    Zeroizing<crypto::Ed25519Seed> seed = seed_from_vault(services);
 
     tls::Config config;
     config.certificate =
         pki::Certificate::decode(services.vault().load("cert"));
     // The signer closes over the seed *inside the enclave*; the private
-    // key is never marshalled out.
-    config.signer = [seed](ByteView data) {
+    // key is never marshalled out, and the closure's copy wipes itself.
+    config.signer = [seed = std::move(seed)](ByteView data) {
       return crypto::ed25519_sign(seed, data);
     };
     config.truststore = truststore_.get();

@@ -1,0 +1,12 @@
+// secretlint fixture: an untrusted module reaching into an enclave-private
+// header. Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/controller/boundary_include.cpp
+// secretlint-expect: R1
+
+#include "tls/key_schedule.h"
+
+namespace vnfsgx::controller {
+
+void peek_at_traffic_keys();
+
+}  // namespace vnfsgx::controller

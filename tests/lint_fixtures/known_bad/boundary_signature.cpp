@@ -1,0 +1,13 @@
+// secretlint fixture: a secret-bearing type leaking into the OCALL
+// marshalling surface. Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/vnf/ocall.h
+// secretlint-expect: R1
+
+#pragma once
+
+namespace vnfsgx::vnf {
+
+// A signature like this would let untrusted code serialize the seed.
+crypto::Ed25519Seed export_signing_seed();
+
+}  // namespace vnfsgx::vnf

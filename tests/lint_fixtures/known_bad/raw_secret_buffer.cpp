@@ -1,0 +1,15 @@
+// secretlint fixture: owned secret material in a plain (non-wiping)
+// buffer. Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/pki/raw_secret_buffer.cpp
+// secretlint-expect: R2
+
+#include "common/bytes.h"
+
+namespace vnfsgx::pki {
+
+Bytes copy_out_ca_key() {
+  Bytes ca_private_key = {0x01, 0x02, 0x03};
+  return ca_private_key;
+}
+
+}  // namespace vnfsgx::pki

@@ -1,0 +1,16 @@
+// secretlint fixture: branch and table index on key-derived data in
+// crypto code. Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/crypto/secret_branch.cpp
+// secretlint-expect: R3
+
+namespace vnfsgx::crypto {
+
+int select(const unsigned char* secret_key, const int* table) {
+  int x = secret_key[0];
+  if (x & 1) {
+    return table[x];
+  }
+  return 0;
+}
+
+}  // namespace vnfsgx::crypto

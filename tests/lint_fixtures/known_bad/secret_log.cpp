@@ -1,0 +1,14 @@
+// secretlint fixture: secret identifier flowing into a log statement.
+// Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/ias/secret_log.cpp
+// secretlint-expect: R4
+
+#include "common/logging.h"
+
+namespace vnfsgx::ias {
+
+void debug_dump(const Bytes& client_seed) {
+  VNFSGX_LOG_INFO("ias", "client seed = ", to_hex_string(client_seed));
+}
+
+}  // namespace vnfsgx::ias

@@ -1,0 +1,14 @@
+// secretlint fixture: memset over secret bytes (dead-store elimination
+// erases it). Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/host/secret_memset.cpp
+// secretlint-expect: R4
+
+#include <cstring>
+
+namespace vnfsgx::host {
+
+void wipe_wrong(unsigned char* session_key_buf) {
+  std::memset(session_key_buf, 0, 32);
+}
+
+}  // namespace vnfsgx::host

@@ -1,0 +1,16 @@
+// secretlint fixture: a ct-ok suppression with no reason is itself a
+// finding. Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/crypto/suppress_no_reason.cpp
+// secretlint-expect: R3
+
+namespace vnfsgx::crypto {
+
+int parity(int key_bit) {
+  // ct-ok:
+  if (key_bit) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace vnfsgx::crypto

@@ -1,0 +1,42 @@
+// secretlint fixture: the hygienic counterparts of every known_bad
+// pattern — must produce zero findings. Never compiled; consumed by
+// `secretlint --fixtures`.
+// secretlint-file: src/crypto/clean.cpp
+
+#include "common/secure.h"
+
+namespace vnfsgx::crypto {
+
+// R2: owned secrets wrapped so they wipe on destruct.
+SecureBytes derive_secret_material() {
+  SecureBytes okm;
+  Zeroizing<std::array<unsigned char, 32>> seed_copy;
+  return okm;
+}
+
+// R3: a reasoned single-line suppression.
+int parity(int key_bit) {
+  // ct-ok: fixture demonstrating a reasoned suppression; the branch here
+  // is the documented escape hatch, not a leak.
+  if (key_bit) {
+    return 1;
+  }
+  return 0;
+}
+
+// R3: a reasoned block suppression over a table walk.
+int table_walk(const unsigned char* round_keys_ptr, const int* table) {
+  int acc = 0;
+  // ct-ok-begin: fixture demonstrating a reasoned block suppression.
+  for (int i = 0; i < 4; ++i) {
+    acc ^= table[round_keys_ptr[i] & 3];
+  }
+  // ct-ok-end
+  return acc;
+}
+
+// R4: wiping through the sanctioned primitive, sizes logged instead of
+// contents.
+void wipe_right(unsigned char* buf) { secure_memzero(buf, 32); }
+
+}  // namespace vnfsgx::crypto

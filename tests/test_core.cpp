@@ -186,6 +186,10 @@ TEST_F(Testbed, HostAttestationFailsOnUnregisteredPlatform) {
   const HostAttestation result = vm_.attest_host(*ch);
   EXPECT_FALSE(result.trustworthy);
   EXPECT_EQ(result.quote_status, ias::QuoteStatus::kUnknownPlatform);
+  // The handler thread holds &stranger_agent; close our end of the pipe
+  // and join before the agent leaves scope.
+  ch.reset();
+  net_.join_all();
 }
 
 TEST_F(Testbed, HostAttestationFailsOnRevokedPlatform) {
@@ -298,6 +302,10 @@ TEST_F(Testbed, Step6VnfSpeaksToControllerFromEnclave) {
   const auto log = controller.audit_log();
   ASSERT_FALSE(log.empty());
   EXPECT_EQ(log.back().identity, "vnf-1");
+  // The handler thread holds &controller; close every stream we still
+  // hold open and join before it leaves scope.
+  ch.reset();
+  net_.join_all();
 }
 
 TEST_F(Testbed, RevokedCredentialLockedOutOfController) {
@@ -343,6 +351,15 @@ TEST_F(Testbed, RevokedCredentialLockedOutOfController) {
         }
       },
       Error);
+  // The handler thread holds &controller, which dies with this scope:
+  // release our end of the pipe (tls_close is a no-op if the handshake
+  // already failed) and join before the controller is destroyed.
+  try {
+    vnf.credentials().tls_close();
+  } catch (const Error&) {
+  }
+  ch.reset();
+  net_.join_all();
   EXPECT_FALSE(vm_.platform_trusted(host_.sgx().platform_id()));
 }
 
@@ -385,6 +402,10 @@ TEST_F(Testbed, StaleImlReplayRejected) {
   const HostAttestation result = vm_.attest_host(*ch);
   EXPECT_FALSE(result.trustworthy);
   EXPECT_NE(result.reason.find("replay"), std::string::npos);
+  // The handler thread reads stale_quote/healthy_iml by reference; close
+  // our end of the pipe and join before they leave scope.
+  ch.reset();
+  net_.join_all();
 }
 
 TEST_F(Testbed, TamperedImlInTransitRejected) {
@@ -425,6 +446,10 @@ TEST_F(Testbed, TamperedImlInTransitRejected) {
   const HostAttestation result = vm_.attest_host(*ch);
   EXPECT_FALSE(result.trustworthy);
   EXPECT_NE(result.reason.find("replay"), std::string::npos);
+  // Close our end of the pipe and join the mitm thread before test-body
+  // state it captured by reference leaves scope.
+  ch.reset();
+  net_.join_all();
 }
 
 TEST_F(Testbed, MultipleVnfsEnrollIndependently) {

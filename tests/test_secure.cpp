@@ -1,0 +1,141 @@
+// Tests for common/secure.h: secure_memzero survives optimization, and
+// Zeroizing<T> wipes on destruct, move, and reassignment.
+
+#include "common/secure.h"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace vnfsgx {
+namespace {
+
+using SecretArray = std::array<std::uint8_t, 32>;
+
+bool all_zero(const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+TEST(SecureMemzero, SurvivesOptimization) {
+  // secure_memzero_probe is compiled at forced -O2: it fills a dead stack
+  // buffer, wipes it, and copies out what the wipe left behind. If the
+  // compiler elided the "dead" stores, nonzero fill bytes leak through.
+  std::uint8_t out[64];
+  std::memset(out, 0xAA, sizeof(out));
+  secure_memzero_probe(0x5C, out);
+  EXPECT_TRUE(all_zero(out, sizeof(out)));
+}
+
+TEST(SecureMemzero, HandlesNullAndZeroLength) {
+  secure_memzero(nullptr, 16);  // must not crash
+  std::uint8_t b = 0x7F;
+  secure_memzero(&b, 0);
+  EXPECT_EQ(b, 0x7F);
+}
+
+TEST(Zeroizing, WipesArrayOnDestruct) {
+  // Placement-new so the storage outlives the object: after ~Zeroizing we
+  // can inspect the bytes the object used to occupy.
+  alignas(Zeroizing<SecretArray>) std::uint8_t storage[sizeof(
+      Zeroizing<SecretArray>)];
+  auto* z = new (storage) Zeroizing<SecretArray>();
+  for (std::size_t i = 0; i < z->size(); ++i) (*z)[i] = 0xE7;
+  z->~Zeroizing<SecretArray>();
+  EXPECT_TRUE(all_zero(storage, sizeof(storage)));
+}
+
+TEST(Zeroizing, WipesVectorStorageOnDestruct) {
+  // The heap buffer is wiped before the vector releases it. Keep a raw
+  // alias to observe it post-destruction; freed memory is typically not
+  // recycled between these two statements in practice, but to stay
+  // rigorous we check *before* destruction via wipe() instead.
+  SecureBytes s = Bytes{1, 2, 3, 4, 5};
+  const std::uint8_t* p = s.data();
+  const std::size_t n = s.size();
+  s.wipe();
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(all_zero(p, n));  // buffer still owned (clear keeps capacity)
+}
+
+TEST(Zeroizing, MoveConstructWipesSource) {
+  Zeroizing<SecretArray> src;
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = 0x3B;
+  Zeroizing<SecretArray> dst = std::move(src);
+  EXPECT_TRUE(all_zero(src.data(), src.size()));
+  EXPECT_EQ(dst[0], 0x3B);
+  EXPECT_EQ(dst[31], 0x3B);
+}
+
+TEST(Zeroizing, MoveAssignWipesSourceAndOldValue) {
+  Zeroizing<SecretArray> a;
+  Zeroizing<SecretArray> b;
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0x11;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0x22;
+  b = std::move(a);
+  EXPECT_TRUE(all_zero(a.data(), a.size()));
+  EXPECT_EQ(b[0], 0x11);
+}
+
+TEST(Zeroizing, ReassignFromPlainValueWipesOldValue) {
+  // vector reassignment may reuse the allocation; verify through a stable
+  // array type where the storage address cannot change.
+  Zeroizing<SecretArray> z;
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = 0x44;
+  const std::uint8_t* p = z.data();
+  SecretArray next{};
+  next[0] = 0x55;
+  z = next;
+  EXPECT_EQ(p, z.data());
+  EXPECT_EQ(z[0], 0x55);
+  EXPECT_EQ(z[1], 0x00);
+}
+
+TEST(Zeroizing, CopyIsIndependent) {
+  SecureBytes a = Bytes{9, 9, 9};
+  SecureBytes b = a;
+  a.wipe();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 9);
+}
+
+TEST(Zeroizing, ConvertsWhereSecretsAreConsumed) {
+  SecureBytes s = Bytes{1, 2, 3};
+  // ByteView conversion: the common read-only parameter type.
+  const ByteView view = s;
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[1], 2);
+  // span conversion: the common fill-target type.
+  std::span<std::uint8_t> span = s;
+  span[0] = 7;
+  EXPECT_EQ(s[0], 7);
+  // T& conversion: passes anywhere a Bytes& is expected.
+  Bytes& plain = s;
+  EXPECT_EQ(plain.size(), 3u);
+}
+
+TEST(Zeroizing, EqualityComparesContents) {
+  SecureBytes a = Bytes{1, 2};
+  SecureBytes b = Bytes{1, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, Bytes({1, 2}));
+  b = Bytes{1, 3};
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Zeroizing, ForwardingConstructor) {
+  SecureBytes filled(4, 0xAB);
+  ASSERT_EQ(filled.size(), 4u);
+  EXPECT_EQ(filled[3], 0xAB);
+}
+
+}  // namespace
+}  // namespace vnfsgx

@@ -1,0 +1,681 @@
+// secretlint: secret-hygiene static analyzer for the vnfsgx tree.
+//
+// A token/AST-lite checker (no compiler dependency) enforcing four rule
+// families over src/ (see docs/SECURITY.md for the policy rationale):
+//
+//   R1 boundary     enclave-private headers must not be included from
+//                   untrusted modules (controller/, dataplane/, ias/,
+//                   http/), and the OCALL/serialization surface
+//                   (vnf/ocall.h, core/protocol.h) must not mention
+//                   secret-bearing types.
+//   R2 zeroization  variables that *own* secret bytes (seeds, private
+//                   keys, round keys, IKM) must be wrapped in
+//                   Zeroizing<T> / SecureBytes so they wipe on destruct.
+//   R3 constant-time (src/crypto/ only) branches and table indexing on
+//                   key-derived values are flagged via a heuristic taint
+//                   pass; `// ct-ok: <reason>` suppresses a finding and
+//                   the reason is mandatory.
+//   R4 hygiene      no memset() over secrets (use secure_memzero) and no
+//                   secret identifiers in log statements.
+//
+// Modes:
+//   secretlint --root <dir>       lint a source tree; exit 1 on findings
+//   secretlint --fixtures <dir>   self-test against known_bad/known_good
+//                                 snippets carrying secretlint-expect
+//                                 directives; exit 1 on any mismatch
+//
+// The analyzer is deliberately heuristic: it trades soundness for zero
+// build-time dependencies. Known blind spots (ternaries, multi-level
+// template types, indirect data flow) are documented in docs/SECURITY.md.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Policy tables
+// ---------------------------------------------------------------------------
+
+// Modules that run outside the enclave trust boundary.
+const std::set<std::string> kUntrustedModules = {"controller", "dataplane",
+                                                 "ias", "http"};
+
+// Headers whose contents are enclave-private (key schedules, record keys,
+// the vault). Untrusted modules must talk through vnf/ocall.h instead.
+const std::set<std::string> kPrivateHeaders = {
+    "vnf/credential_enclave.h", "host/attestation_enclave.h",
+    "tls/key_schedule.h", "tls/record.h", "sgx/enclave.h"};
+
+// The marshalling surface between trusted and untrusted code. If a secret
+// type leaks into these headers it can be serialized across the boundary.
+const std::set<std::string> kBoundaryHeaders = {"src/vnf/ocall.h",
+                                                "src/core/protocol.h"};
+const std::vector<std::string> kSecretTypeTokens = {
+    "Ed25519Seed", "Ed25519KeyPair", "X25519KeyPair", "KeySchedule",
+    "TrafficKeys", "Zeroizing",      "SecureBytes"};
+
+// R2: identifiers that denote owned secret material.
+const std::regex kSecretIdent("(secret|seed|private_key|round_keys|ikm)",
+                              std::regex::icase);
+
+// R2: owning types that can hold secret bytes. References and views are
+// excluded by construction (the regex requires whitespace after the type).
+const std::regex kOwningDecl(
+    R"(\b(?:const\s+)?(?:(?:\w+::)*)(Bytes|Ed25519Seed|X25519Key|array<[^<>]*>)\s+([A-Za-z_]\w*)\s*[;={])");
+
+// R3: identifiers that seed the taint set in crypto code.
+const std::regex kTaintSource("(key|seed|secret|scalar|ikm|priv)",
+                              std::regex::icase);
+
+// R4: identifiers that make a memset/log line suspicious.
+const std::regex kHygieneIdent(
+    "(secret|seed|private_key|round_keys|ikm|scalar|_key|key_)",
+    std::regex::icase);
+
+const std::regex kIdent(R"([A-Za-z_]\w*)");
+const std::regex kInclude(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+// Single-line suppression; the lookahead keeps it from also matching the
+// block markers below.
+const std::regex kCtOk(R"(//\s*ct-ok(?!-)\s*:?\s*(.*))");
+const std::regex kCtOkBegin(R"(//\s*ct-ok-begin\s*:?\s*(.*))");
+const std::regex kCtOkEnd(R"(//\s*ct-ok-end)");
+
+// Member accesses that reveal only public metadata, not secret bytes.
+// (.data()/.begin()/.end() are NOT here: they alias the secret bytes.)
+const std::regex kPublicAccess(
+    R"(\w+\s*(\.|->)\s*(size|empty)\s*\(\s*\))");
+
+// ---------------------------------------------------------------------------
+// Source model
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+enum class CtOk { kNone, kWithReason, kMissingReason };
+
+struct SourceFile {
+  std::string path;    // repo-relative, e.g. src/crypto/aes.cpp
+  std::string module;  // first directory under src/, e.g. crypto
+  std::vector<std::string> raw;   // original lines (for directives/ct-ok)
+  std::vector<std::string> code;  // comment- and string-stripped lines
+  std::vector<CtOk> ct_ok;        // per-line suppression state
+  std::optional<std::size_t> unclosed_ct_block;  // ct-ok-begin with no end
+};
+
+/// Strips // and /* */ comments plus string/char literal *contents* so rule
+/// regexes never match words inside comments or quoted text. Keeps line
+/// structure (one output line per input line).
+std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string s;
+    s.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        i += 2;
+        continue;
+      }
+      const char c = line[i];
+      if (c == '"' || c == '\'') {
+        s += c;
+        ++i;
+        while (i < line.size() && line[i] != c) {
+          i += (line[i] == '\\' && i + 1 < line.size()) ? 2 : 1;
+        }
+        if (i < line.size()) {
+          s += c;
+          ++i;
+        }
+        continue;
+      }
+      s += c;
+      ++i;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+SourceFile load_source(std::string path, std::string module,
+                       const std::string& text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.module = std::move(module);
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.raw.push_back(line);
+  }
+  f.code = strip_code(f.raw);
+  f.ct_ok.resize(f.raw.size(), CtOk::kNone);
+  auto trimmed = [](std::string s) {
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.pop_back();
+    }
+    return s;
+  };
+  bool in_block = false;
+  bool block_ok = false;
+  std::size_t block_start = 0;
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(f.raw[i], m, kCtOkBegin)) {
+      in_block = true;
+      block_ok = !trimmed(m[1].str()).empty();
+      block_start = i;
+      f.ct_ok[i] = block_ok ? CtOk::kWithReason : CtOk::kMissingReason;
+    } else if (std::regex_search(f.raw[i], kCtOkEnd)) {
+      in_block = false;
+      f.ct_ok[i] = CtOk::kWithReason;
+    } else if (in_block) {
+      // Missing-reason blocks are reported once, at the begin marker.
+      f.ct_ok[i] = block_ok ? CtOk::kWithReason : CtOk::kNone;
+    } else if (std::regex_search(f.raw[i], m, kCtOk)) {
+      f.ct_ok[i] = trimmed(m[1].str()).empty() ? CtOk::kMissingReason
+                                               : CtOk::kWithReason;
+    }
+  }
+  if (in_block) f.unclosed_ct_block = block_start;
+  return f;
+}
+
+std::vector<std::string> idents_in(const std::string& expr) {
+  std::vector<std::string> out;
+  for (auto it = std::sregex_iterator(expr.begin(), expr.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    out.push_back(it->str());
+  }
+  return out;
+}
+
+/// Removes .size()/.empty()/... accesses: `key.size()` is public metadata.
+std::string strip_public_access(const std::string& expr) {
+  return std::regex_replace(expr, kPublicAccess, "");
+}
+
+// ---------------------------------------------------------------------------
+// Linter
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  std::vector<Finding> lint(const SourceFile& f) {
+    findings_.clear();
+    rule_boundary(f);
+    rule_zeroization(f);
+    if (f.module == "crypto") rule_constant_time(f);
+    rule_hygiene(f);
+    return findings_;
+  }
+
+ private:
+  void add(const SourceFile& f, std::size_t line_index, const char* rule,
+           std::string message) {
+    findings_.push_back(Finding{f.path, static_cast<int>(line_index + 1),
+                                rule, std::move(message)});
+  }
+
+  // R1: trust-boundary includes and marshalling-surface types.
+  void rule_boundary(const SourceFile& f) {
+    if (kUntrustedModules.count(f.module) != 0) {
+      // Raw lines: the stripper blanks string-literal contents, which is
+      // exactly where an include path lives.
+      for (std::size_t i = 0; i < f.raw.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(f.raw[i], m, kInclude) &&
+            kPrivateHeaders.count(m[1].str()) != 0) {
+          add(f, i, "R1",
+              "untrusted module '" + f.module +
+                  "' includes enclave-private header \"" + m[1].str() + "\"");
+        }
+      }
+    }
+    if (kBoundaryHeaders.count(f.path) != 0) {
+      for (std::size_t i = 0; i < f.code.size(); ++i) {
+        for (const std::string& tok : kSecretTypeTokens) {
+          const std::regex word("\\b" + tok + "\\b");
+          if (std::regex_search(f.code[i], word)) {
+            add(f, i, "R1",
+                "boundary header mentions secret type '" + tok +
+                    "' (secrets must not cross the OCALL surface)");
+          }
+        }
+      }
+    }
+  }
+
+  // R2: owned secret material must be Zeroizing-wrapped.
+  void rule_zeroization(const SourceFile& f) {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      // Already wrapped (or an alias of a wrapper) on this line.
+      if (line.find("Zeroizing") != std::string::npos ||
+          line.find("SecureBytes") != std::string::npos) {
+        continue;
+      }
+      std::smatch m;
+      if (std::regex_search(line, m, kOwningDecl) &&
+          std::regex_search(m[2].first, m[2].second, kSecretIdent)) {
+        add(f, i, "R2",
+            "secret-named variable '" + m[2].str() + "' has raw owning type " +
+                m[1].str() + "; wrap it in Zeroizing<> / SecureBytes");
+      }
+    }
+  }
+
+  // R3: heuristic taint from key-like identifiers to branches/indexing.
+  //
+  // Taint is *function-scoped*: the file is segmented at column-0 closing
+  // braces (this codebase puts top-level definitions at column 0), so a
+  // nonce named `r` in sign() does not taint an unrelated `r` in slide().
+  // Cross-function flow (a helper called with a secret argument) is instead
+  // caught by seeding from parameter *names and types* inside the callee.
+  void rule_constant_time(const SourceFile& f) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (!f.code[i].empty() && f.code[i][0] == '}') {
+        ct_segment(f, start, i + 1);
+        start = i + 1;
+      }
+    }
+    ct_segment(f, start, f.code.size());
+
+    // A ct-ok marker with no reason is itself a finding: suppressions must
+    // be auditable.
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (f.ct_ok[i] == CtOk::kMissingReason) {
+        add(f, i, "R3", "ct-ok suppression is missing a reason");
+      }
+    }
+    if (f.unclosed_ct_block) {
+      add(f, *f.unclosed_ct_block, "R3",
+          "ct-ok-begin block is never closed with ct-ok-end");
+    }
+  }
+
+  void ct_segment(const SourceFile& f, std::size_t begin, std::size_t end) {
+    // Taint seeding: identifiers that *name* key material, plus variables
+    // and parameters whose declared *type* names key material (Scalar,
+    // Ed25519Seed, ...).
+    std::set<std::string> tainted;
+    const std::regex typed_decl(
+        R"(\b([A-Za-z_][\w:]*)\s*[&*]?\s+([A-Za-z_]\w*)\s*[,)=;{\[])");
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const std::string& id : idents_in(f.code[i])) {
+        if (std::regex_search(id, kTaintSource)) tainted.insert(id);
+      }
+      const std::string& line = f.code[i];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          typed_decl);
+           it != std::sregex_iterator(); ++it) {
+        if (std::regex_search((*it)[1].first, (*it)[1].second,
+                              kTaintSource)) {
+          tainted.insert((*it)[2].str());
+        }
+      }
+    }
+    // Propagation: assignments (declarations, plain/compound assignment —
+    // possibly through a subscripted lvalue — and range-for bindings) from
+    // a tainted right-hand side taint the target name. Fixpoint over the
+    // segment. The `[^=]` after `=` rejects `==` comparisons.
+    const std::regex assign(
+        R"(\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*(?:[-+*/%&|^]|<<|>>)?=\s*([^=][^;]*);)");
+    const std::regex range_for(
+        R"(\bfor\s*\(\s*[^:;()]*[\s&*]([A-Za-z_]\w*)\s*:\s*([^)]*)\))");
+    for (int pass = 0; pass < 8; ++pass) {
+      bool changed = false;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::string& line = f.code[i];
+        std::smatch m;
+        auto try_taint = [&](const std::string& name,
+                             const std::string& init) {
+          if (tainted.count(name) != 0) return;
+          const std::string cleaned = strip_public_access(init);
+          for (const std::string& id : idents_in(cleaned)) {
+            if (tainted.count(id) != 0) {
+              tainted.insert(name);
+              changed = true;
+              return;
+            }
+          }
+        };
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), assign);
+             it != std::sregex_iterator(); ++it) {
+          try_taint((*it)[1].str(), (*it)[2].str());
+        }
+        if (std::regex_search(line, m, range_for)) {
+          try_taint(m[1].str(), m[2].str());
+        }
+      }
+      if (!changed) break;
+    }
+
+    // A finding is suppressed by a reasoned ct-ok on the same line or in
+    // the contiguous comment block immediately above the statement.
+    auto suppressed = [&](std::size_t i) {
+      if (f.ct_ok[i] == CtOk::kWithReason) return true;
+      for (std::size_t j = i; j-- > 0;) {
+        std::size_t k = 0;
+        const std::string& r = f.raw[j];
+        while (k < r.size() &&
+               std::isspace(static_cast<unsigned char>(r[k]))) {
+          ++k;
+        }
+        if (r.compare(k, 2, "//") != 0) break;
+        if (f.ct_ok[j] == CtOk::kWithReason) return true;
+      }
+      return false;
+    };
+    auto expr_tainted = [&](const std::string& expr) -> std::string {
+      const std::string cleaned = strip_public_access(expr);
+      for (const std::string& id : idents_in(cleaned)) {
+        if (tainted.count(id) != 0) return id;
+      }
+      return {};
+    };
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& line = f.code[i];
+
+      // Branch conditions: if/while/switch (...) and the middle clause of a
+      // classic for. Conditions are extracted with paren balancing and may
+      // span lines.
+      static const std::regex branch(R"(\b(if|while|switch|for)\s*\()");
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), branch);
+           it != std::sregex_iterator(); ++it) {
+        const std::string kw = (*it)[1].str();
+        std::string expr = balance_parens(
+            f, i, static_cast<std::size_t>(it->position(0) + it->length(0)));
+        if (kw == "for") {
+          // Only the loop condition (between top-level semicolons) can leak
+          // timing; range-fors walk the container sequentially.
+          const auto clauses = split_top_level(expr, ';');
+          if (clauses.size() < 2) continue;
+          expr = clauses[1];
+        }
+        const std::string id = expr_tainted(expr);
+        if (!id.empty() && !suppressed(i)) {
+          add(f, i, "R3",
+              kw + " condition depends on key-derived value '" + id + "'");
+        }
+      }
+
+      // Table indexing: subscript *contents* derived from key material.
+      for (std::size_t pos = line.find('[');
+           pos != std::string::npos; pos = line.find('[', pos + 1)) {
+        const std::size_t close = line.find(']', pos + 1);
+        if (close == std::string::npos) break;
+        const std::string sub = line.substr(pos + 1, close - pos - 1);
+        const std::string id = expr_tainted(sub);
+        if (!id.empty() && !suppressed(i)) {
+          add(f, i, "R3",
+              "array index depends on key-derived value '" + id + "'");
+        }
+      }
+    }
+  }
+
+  // R4: memset over secrets; secrets in logs.
+  void rule_hygiene(const SourceFile& f) {
+    // common/secure.* implements secure_memzero and is allowed its memset.
+    const bool is_secure_impl = f.path == "src/common/secure.h" ||
+                                f.path == "src/common/secure.cpp";
+    static const std::regex memset_call(R"(\bmemset\s*\()");
+    static const std::regex log_call(R"(\bVNFSGX_LOG_\w+\s*\()");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+      std::smatch m;
+      if (!is_secure_impl && std::regex_search(line, m, memset_call)) {
+        const std::string args = balance_parens(
+            f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
+        for (const std::string& id : idents_in(args)) {
+          if (std::regex_search(id, kHygieneIdent)) {
+            add(f, i, "R4",
+                "memset over secret '" + id +
+                    "'; use secure_memzero (memset is dead-store-eliminated)");
+            break;
+          }
+        }
+      }
+      if (std::regex_search(line, m, log_call)) {
+        const std::string args = balance_parens(
+            f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
+        for (const std::string& id : idents_in(args)) {
+          if (std::regex_search(id, kHygieneIdent)) {
+            add(f, i, "R4",
+                "log statement references secret '" + id + "'");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Returns the parenthesized expression starting at code[line][col]
+  /// (col just past the opening paren), balancing across lines.
+  static std::string balance_parens(const SourceFile& f, std::size_t line,
+                                    std::size_t col) {
+    std::string out;
+    int depth = 1;
+    for (std::size_t i = line; i < f.code.size() && depth > 0; ++i) {
+      const std::string& s = f.code[i];
+      for (std::size_t j = (i == line ? col : 0); j < s.size(); ++j) {
+        if (s[j] == '(') ++depth;
+        if (s[j] == ')' && --depth == 0) return out;
+        out += s[j];
+      }
+      out += ' ';
+    }
+    return out;
+  }
+
+  static std::vector<std::string> split_top_level(const std::string& expr,
+                                                  char sep) {
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (const char c : expr) {
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == sep && depth == 0) {
+        out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    out.push_back(cur);
+    return out;
+  }
+
+  std::vector<Finding> findings_;
+};
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+}
+
+int run_root(const fs::path& root) {
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "secretlint: not a directory: %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && is_source(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  std::vector<Finding> all;
+  for (const fs::path& p : files) {
+    const auto text = read_file(p);
+    if (!text) continue;
+    const std::string rel = fs::relative(p, root).generic_string();
+    const std::string module = rel.substr(0, rel.find('/'));
+    auto src = load_source("src/" + rel, module, *text);
+    auto fnd = linter.lint(src);
+    all.insert(all.end(), fnd.begin(), fnd.end());
+  }
+  print_findings(all);
+  std::fprintf(stderr, "secretlint: %zu file(s), %zu finding(s)\n",
+               files.size(), all.size());
+  return all.empty() ? 0 : 1;
+}
+
+// Fixture self-test: every known_bad file declares the rules it must trip
+// via `// secretlint-expect: R<n>`; known_good files must be clean.
+int run_fixtures(const fs::path& dir) {
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "secretlint: not a directory: %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  const std::regex d_file(R"(secretlint-file:\s*(\S+))");
+  const std::regex d_expect(R"(secretlint-expect:\s*(R\d))");
+
+  Linter linter;
+  int failures = 0;
+  int checked = 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && is_source(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& p : files) {
+    const auto text = read_file(p);
+    if (!text) continue;
+    const bool is_bad =
+        p.parent_path().filename().string() == "known_bad";
+    ++checked;
+
+    // Directives: the virtual path decides module + boundary rules.
+    std::string vpath = "src/misc/" + p.filename().string();
+    std::multiset<std::string> expected;
+    {
+      std::istringstream in(*text);
+      for (std::string line; std::getline(in, line);) {
+        std::smatch m;
+        if (std::regex_search(line, m, d_file)) vpath = m[1].str();
+        if (std::regex_search(line, m, d_expect)) expected.insert(m[1].str());
+      }
+    }
+    std::string module = vpath;
+    if (module.rfind("src/", 0) == 0) module = module.substr(4);
+    module = module.substr(0, module.find('/'));
+
+    const auto findings = linter.lint(load_source(vpath, module, *text));
+    std::set<std::string> fired;
+    for (const Finding& f : findings) fired.insert(f.rule);
+
+    auto fail = [&](const std::string& why) {
+      std::fprintf(stderr, "FAIL %s: %s\n", p.filename().string().c_str(),
+                   why.c_str());
+      print_findings(findings);
+      ++failures;
+    };
+
+    if (is_bad) {
+      if (expected.empty()) {
+        fail("known_bad fixture declares no secretlint-expect directive");
+        continue;
+      }
+      const std::set<std::string> expected_rules(expected.begin(),
+                                                 expected.end());
+      for (const std::string& rule : expected_rules) {
+        if (fired.count(rule) == 0) {
+          fail("expected rule " + rule + " did not fire");
+        }
+      }
+      for (const std::string& rule : fired) {
+        if (expected_rules.count(rule) == 0) {
+          fail("unexpected rule " + rule + " fired");
+        }
+      }
+    } else {
+      if (!findings.empty()) {
+        fail("known_good fixture produced findings");
+      }
+    }
+  }
+  std::fprintf(stderr, "secretlint fixtures: %d checked, %d failure(s)\n",
+               checked, failures);
+  if (checked == 0) {
+    std::fprintf(stderr, "secretlint: no fixtures found under %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--root") {
+    return run_root(argv[2]);
+  }
+  if (argc == 3 && std::string(argv[1]) == "--fixtures") {
+    return run_fixtures(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage: secretlint --root <src-dir> | --fixtures <dir>\n");
+  return 2;
+}
