@@ -1,0 +1,19 @@
+// Compiled into every bench (and example) binary: installs the atexit
+// JSON metrics snapshot so each run leaves a machine-readable trace next
+// to the google-benchmark output. Destination is controlled by
+// VNFSGX_METRICS_OUT / VNFSGX_METRICS_DIR; a run with neither set writes
+// nothing. VNFSGX_BENCH_NAME is injected per-target by CMake.
+#include "obs/export.h"
+
+#ifndef VNFSGX_BENCH_NAME
+#define VNFSGX_BENCH_NAME "run"
+#endif
+
+namespace {
+
+[[maybe_unused]] const bool kInstalled = [] {
+  vnfsgx::obs::install_exit_snapshot(VNFSGX_BENCH_NAME);
+  return true;
+}();
+
+}  // namespace

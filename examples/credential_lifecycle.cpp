@@ -106,6 +106,31 @@ int main() {
     vnf->credentials().tls_close();
   }
 
+  // Everything above is one-and-a-half Figure-1 runs; the whole history is
+  // scrapeable from the VM's REST API in Prometheus text format.
+  banner("Phase 6: observability scrape");
+  bed.serve_vm_api();
+  http::Client scrape(bed.net.connect("vm:8080"));
+  const auto metrics = scrape.get("/vm/metrics");
+  scrape.close();
+  step("GET /vm/metrics: HTTP " + std::to_string(metrics.status) + ", " +
+       std::to_string(metrics.body.size()) + " bytes of Prometheus text");
+  const std::string text = vnfsgx::to_string(metrics.body);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    for (const char* prefix :
+         {"vnfsgx_attestations_total", "vnfsgx_credentials_provisioned_total",
+          "vnfsgx_ca_revocations_total", "vnfsgx_enclave_tls_sessions_total"}) {
+      if (line.rfind(prefix, 0) == 0) step(line);
+    }
+  }
+
+  print_metrics_summary();
+
   std::printf("\ncredential_lifecycle complete.\n");
   return 0;
 }

@@ -99,6 +99,8 @@ int main() {
   step("controller audit: " + log.back().method + " " + log.back().path +
        " by authenticated client '" + log.back().identity + "'");
 
+  print_metrics_summary();
+
   std::printf("\nquickstart complete: VNF enrolled and operating.\n");
   return 0;
 }

@@ -152,6 +152,8 @@ int main() {
     }
   }
 
+  print_metrics_summary();
+
   std::printf("\nsecurity_modes complete.\n");
   return 0;
 }

@@ -14,11 +14,14 @@
 #include "controller/controller.h"
 #include "core/host_agent.h"
 #include "core/verification_manager.h"
+#include "core/vm_api.h"
 #include "crypto/random.h"
 #include "http/client.h"
 #include "ias/http_api.h"
 #include "net/framing.h"
 #include "net/inmemory.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "vnf/functions.h"
 
 namespace vnfsgx::examples {
@@ -29,6 +32,13 @@ inline void banner(const std::string& text) {
 
 inline void step(const std::string& text) {
   std::printf("  -> %s\n", text.c_str());
+}
+
+/// Human-readable metrics roll-up for examples to print at exit, so the
+/// demo narrates its own numbers (request counts, handshake p50/p95, ...).
+inline void print_metrics_summary() {
+  std::printf("\n=== metrics summary ===\n%s",
+              obs::summary_table(obs::registry()).c_str());
 }
 
 /// One container host + agent, registered with IAS and served on the
@@ -84,6 +94,15 @@ class Testbed {
     return net.connect(h.machine->name() + ":7000");
   }
 
+  /// Serve the VM's management REST API (including GET /vm/metrics and
+  /// /vm/metrics/json) on the in-memory network at "vm:8080".
+  void serve_vm_api() {
+    vm_router_ = core::make_vm_router(vm);
+    net.serve("vm:8080", [this](net::StreamPtr s) {
+      http::serve_connection(*s, vm_router_);
+    });
+  }
+
   /// Start a controller in the given mode at "controller:8443"; returns it.
   controller::Controller& start_controller(dataplane::Fabric& fabric,
                                            controller::SecurityMode mode) {
@@ -118,6 +137,7 @@ class Testbed {
   core::VerificationManager vm;
   std::vector<std::unique_ptr<SimHost>> hosts;
   std::unique_ptr<controller::Controller> controller_;
+  http::Router vm_router_;
 };
 
 }  // namespace vnfsgx::examples

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 namespace vnfsgx {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+std::atomic<LogSink*> g_sink{nullptr};
+std::mutex g_stderr_mutex;
+std::atomic<std::uint64_t> g_counts[4];  // kDebug..kError
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,10 +34,47 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+std::uint64_t log_message_count(LogLevel level) {
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx >= 4) return 0;
+  return g_counts[idx].load(std::memory_order_relaxed);
+}
+
+void CapturingLogSink::write(LogLevel level, std::string_view component,
+                             std::string_view message) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(Line{level, std::string(component), std::string(message)});
+}
+
+std::vector<CapturingLogSink::Line> CapturingLogSink::lines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+std::size_t CapturingLogSink::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+void CapturingLogSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+}
+
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
-  if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (level < log_level() || level >= LogLevel::kOff) return;
+  g_counts[static_cast<int>(level)].fetch_add(1, std::memory_order_relaxed);
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink->write(level, component, message);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_stderr_mutex);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -3,11 +3,20 @@
 // Components log lifecycle events (attestation started/succeeded, TLS
 // handshake complete, ...) so examples narrate the Figure-1 workflow.
 // Quiet by default in tests/benches; examples raise the level.
+//
+// Emission is serialized behind a mutex (concurrent writers no longer
+// interleave), the destination is a pluggable sink (stderr by default, a
+// capturing sink for tests), and per-level emission counts are kept so
+// the obs subsystem can export `vnfsgx_log_messages_total{level}` without
+// common/ depending on obs/.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace vnfsgx {
 
@@ -17,7 +26,46 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line to stderr: "[level] component: message".
+/// Destination for emitted log lines. Implementations must tolerate
+/// concurrent write() calls (the default stderr sink serializes behind
+/// the logger's mutex; CapturingLogSink has its own).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, std::string_view component,
+                     std::string_view message) = 0;
+};
+
+/// Replace the log destination; nullptr restores the stderr sink. The
+/// caller keeps ownership and must keep the sink alive until it is
+/// swapped out again.
+void set_log_sink(LogSink* sink);
+
+/// In-memory sink for tests: records every emitted line.
+class CapturingLogSink : public LogSink {
+ public:
+  struct Line {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message) override;
+  std::vector<Line> lines() const;
+  std::size_t count() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Line> lines_;
+};
+
+/// Lines emitted at `level` since process start (monotonic; counts only
+/// lines that passed the level filter). kOff always reads 0.
+std::uint64_t log_message_count(LogLevel level);
+
+/// Emit one line: "[level] component: message" to the active sink.
 void log_line(LogLevel level, std::string_view component,
               std::string_view message);
 

@@ -2,6 +2,9 @@
 
 #include "common/logging.h"
 #include "json/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace vnfsgx::controller {
 
@@ -120,6 +123,12 @@ void Controller::serve(net::StreamPtr stream) {
     http::serve_connection(*session, router_, ctx);
   } catch (const Error& e) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry()
+        .counter("vnfsgx_controller_rejected_connections_total",
+                 {{"mode", to_string(config_.mode)}},
+                 "Connections dropped before serving any request "
+                 "(TLS or authentication failure)")
+        .add();
     VNFSGX_LOG_WARN("controller", config_.name,
                     ": connection rejected: ", e.what());
   }
@@ -136,6 +145,18 @@ bool Controller::authorize_write(const http::RequestContext& ctx) const {
 void Controller::audit(const http::RequestContext& ctx,
                        const http::Request& req, int status) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry()
+      .counter("vnfsgx_controller_requests_total",
+               {{"mode", to_string(config_.mode)}, {"method", req.method}},
+               "REST requests served, by controller security mode")
+      .add();
+  if (status == 403) {
+    obs::registry()
+        .counter("vnfsgx_controller_auth_failures_total",
+                 {{"mode", to_string(config_.mode)}},
+                 "Write requests refused for missing client identity")
+        .add();
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   audit_log_.push_back(AuditRecord{ctx.client_identity, req.method,
                                    req.path(), status});
@@ -147,29 +168,68 @@ std::vector<AuditRecord> Controller::audit_log() const {
 }
 
 void Controller::build_router() {
+  // Every route goes through `traced`: a step-6 rest_request span plus a
+  // per-mode latency histogram around the handler.
+  const auto traced = [this](http::Handler h) -> http::Handler {
+    return [this, h = std::move(h)](const http::Request& r,
+                                    const http::RequestContext& c) {
+      obs::Histogram& duration = obs::registry().histogram(
+          "vnfsgx_controller_request_duration_us",
+          {{"mode", to_string(config_.mode)}}, {},
+          "Controller REST handler latency, by security mode");
+      obs::Span span =
+          obs::tracer().start_span("rest_request", obs::kStepSecureChannel);
+      span.annotate("method", r.method);
+      span.annotate("path", r.path());
+      const http::Response res = h(r, c);
+      span.annotate("status", std::to_string(res.status));
+      span.end();
+      duration.observe(span.elapsed_us());
+      return res;
+    };
+  };
   router_.add("GET", "/wm/core/controller/summary/json",
-              [this](const http::Request& r, const http::RequestContext& c) {
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
                 return handle_summary(r, c);
-              });
+              }));
   router_.add("GET", "/wm/core/controller/switches/json",
-              [this](const http::Request& r, const http::RequestContext& c) {
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
                 return handle_switches(r, c);
-              });
+              }));
   router_.add("GET", "/wm/topology/links/json",
-              [this](const http::Request& r, const http::RequestContext& c) {
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
                 return handle_links(r, c);
-              });
+              }));
   router_.add("POST", "/wm/staticflowpusher/json",
-              [this](const http::Request& r, const http::RequestContext& c) {
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
                 return handle_push_flow(r, c);
-              });
+              }));
   router_.add("DELETE", "/wm/staticflowpusher/json",
-              [this](const http::Request& r, const http::RequestContext& c) {
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
                 return handle_delete_flow(r, c);
-              });
+              }));
   router_.add("GET", "/wm/staticflowpusher/list/*",
-              [this](const http::Request& r, const http::RequestContext& c) {
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
                 return handle_list_flows(r, c);
+              }));
+  // Observability endpoints (read-only; served in every security mode).
+  router_.add("GET", "/metrics",
+              [](const http::Request&, const http::RequestContext&) {
+                return http::Response::text(200,
+                                            obs::to_prometheus(obs::registry()));
+              });
+  router_.add("GET", "/metrics/json",
+              [](const http::Request&, const http::RequestContext&) {
+                return http::Response::json(
+                    200, json::serialize(obs::snapshot_json(
+                             obs::registry().collect(), obs::tracer().spans(),
+                             "controller")));
               });
 }
 

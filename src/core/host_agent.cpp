@@ -2,8 +2,26 @@
 
 #include "common/logging.h"
 #include "net/framing.h"
+#include "obs/metrics.h"
 
 namespace vnfsgx::core {
+
+namespace {
+
+const char* request_label(MessageType type) {
+  switch (type) {
+    case MessageType::kAttestHostRequest:
+      return "attest_host";
+    case MessageType::kAttestVnfRequest:
+      return "attest_vnf";
+    case MessageType::kProvisionRequest:
+      return "provision";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
 
 void HostAgent::register_vnf(vnf::Vnf& vnf) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -23,6 +41,10 @@ void HostAgent::serve(net::StreamPtr stream) {
       try {
         response = handle(request);
       } catch (const std::exception& e) {
+        obs::registry()
+            .counter("vnfsgx_host_agent_errors_total", {},
+                     "Host-agent requests answered with an error message")
+            .add();
         response = encode(ErrorMessage{e.what()});
       }
       net::write_frame(*stream, response);
@@ -34,6 +56,11 @@ void HostAgent::serve(net::StreamPtr stream) {
 }
 
 Bytes HostAgent::handle(ByteView request) {
+  obs::registry()
+      .counter("vnfsgx_host_agent_requests_total",
+               {{"type", request_label(peek_type(request))}},
+               "Attestation-protocol requests served by the host agent")
+      .add();
   switch (peek_type(request)) {
     case MessageType::kAttestHostRequest:
       return handle_attest_host(decode_attest_host_request(request));

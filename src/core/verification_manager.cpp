@@ -4,8 +4,23 @@
 #include "crypto/ct.h"
 #include "ima/tpm.h"
 #include "net/framing.h"
+#include "obs/metrics.h"
 
 namespace vnfsgx::core {
+
+namespace {
+
+obs::Counter& attestation_counter(const char* kind, bool ok) {
+  // One instrument per (kind, result); references are stable so the four
+  // lookups happen once per process.
+  return obs::registry().counter(
+      "vnfsgx_attestations_total",
+      {{"kind", kind}, {"result", ok ? "ok" : "fail"}},
+      "Attestation outcomes by kind (host = Figure-1 steps 1-2, "
+      "vnf = steps 3-4)");
+}
+
+}  // namespace
 
 VerificationManager::VerificationManager(crypto::RandomSource& rng,
                                          const Clock& clock,
@@ -33,6 +48,22 @@ Nonce VerificationManager::fresh_nonce() {
 }
 
 HostAttestation VerificationManager::attest_host(net::Stream& channel) {
+  static obs::Histogram& duration = obs::registry().histogram(
+      "vnfsgx_host_attestation_duration_us", {}, {},
+      "Wall time of Figure-1 steps 1-2 (challenge, quote, IAS, appraisal)");
+  obs::Span span =
+      obs::tracer().start_span("host_attestation", obs::kStepHostAttestation);
+  HostAttestation result = attest_host_impl(channel, span);
+  span.annotate("result", result.trustworthy ? "ok" : "fail");
+  if (!result.trustworthy) span.annotate("reason", result.reason);
+  span.end();
+  duration.observe(span.elapsed_us());
+  attestation_counter("host", result.trustworthy).add();
+  return result;
+}
+
+HostAttestation VerificationManager::attest_host_impl(net::Stream& channel,
+                                                      obs::Span& span) {
   HostAttestation result;
 
   // Step 1: challenge the host's integrity attestation enclave.
@@ -46,7 +77,11 @@ HostAttestation VerificationManager::attest_host(net::Stream& channel) {
   const AttestHostResponse response = decode_attest_host_response(raw);
 
   // Step 2: verify the quote with the IAS.
-  const ias::VerificationReport avr = ias_.verify_quote(response.quote);
+  ias::VerificationReport avr = [&] {
+    obs::Span verify =
+        span.child("quote_verification", obs::kStepQuoteVerification);
+    return ias_.verify_quote(response.quote);
+  }();
   result.quote_status = avr.status();
   if (result.quote_status != ias::QuoteStatus::kOk) {
     result.reason = "IAS rejected quote: " + ias::to_string(result.quote_status);
@@ -132,6 +167,24 @@ HostAttestation VerificationManager::attest_host(net::Stream& channel) {
 
 VnfAttestation VerificationManager::attest_vnf(net::Stream& channel,
                                                const std::string& vnf_name) {
+  static obs::Histogram& duration = obs::registry().histogram(
+      "vnfsgx_vnf_attestation_duration_us", {}, {},
+      "Wall time of Figure-1 steps 3-4 (enclave challenge, quote, IAS)");
+  obs::Span span = obs::tracer().start_span("enclave_attestation",
+                                            obs::kStepEnclaveAttestation);
+  span.annotate("vnf", vnf_name);
+  VnfAttestation result = attest_vnf_impl(channel, vnf_name, span);
+  span.annotate("result", result.trustworthy ? "ok" : "fail");
+  if (!result.trustworthy) span.annotate("reason", result.reason);
+  span.end();
+  duration.observe(span.elapsed_us());
+  attestation_counter("vnf", result.trustworthy).add();
+  return result;
+}
+
+VnfAttestation VerificationManager::attest_vnf_impl(net::Stream& channel,
+                                                    const std::string& vnf_name,
+                                                    obs::Span& span) {
   VnfAttestation result;
 
   AttestVnfRequest request;
@@ -144,7 +197,11 @@ VnfAttestation VerificationManager::attest_vnf(net::Stream& channel,
   }
   const AttestVnfResponse response = decode_attest_vnf_response(raw);
 
-  const ias::VerificationReport avr = ias_.verify_quote(response.quote);
+  ias::VerificationReport avr = [&] {
+    obs::Span verify = span.child("enclave_quote_verification",
+                                  obs::kStepEnclaveQuoteVerification);
+    return ias_.verify_quote(response.quote);
+  }();
   result.quote_status = avr.status();
   if (result.quote_status != ias::QuoteStatus::kOk) {
     result.reason = "IAS rejected quote: " + ias::to_string(result.quote_status);
@@ -186,6 +243,30 @@ VnfAttestation VerificationManager::attest_vnf(net::Stream& channel,
 }
 
 std::optional<pki::Certificate> VerificationManager::enroll_vnf(
+    net::Stream& channel, const std::string& vnf_name,
+    const std::string& common_name) {
+  static obs::Histogram& duration = obs::registry().histogram(
+      "vnfsgx_provisioning_duration_us", {}, {},
+      "Wall time of Figure-1 step 5 (issue + provision credential)");
+  static obs::Counter& ok = obs::registry().counter(
+      "vnfsgx_credentials_provisioned_total", {{"result", "ok"}},
+      "Credential provisioning outcomes (Figure-1 step 5)");
+  static obs::Counter& fail = obs::registry().counter(
+      "vnfsgx_credentials_provisioned_total", {{"result", "fail"}},
+      "Credential provisioning outcomes (Figure-1 step 5)");
+  obs::Span span =
+      obs::tracer().start_span("provisioning", obs::kStepProvisioning);
+  span.annotate("vnf", vnf_name);
+  std::optional<pki::Certificate> cert =
+      enroll_vnf_impl(channel, vnf_name, common_name);
+  span.annotate("result", cert ? "ok" : "fail");
+  span.end();
+  duration.observe(span.elapsed_us());
+  (cert ? ok : fail).add();
+  return cert;
+}
+
+std::optional<pki::Certificate> VerificationManager::enroll_vnf_impl(
     net::Stream& channel, const std::string& vnf_name,
     const std::string& common_name) {
   AttestedVnf attested;

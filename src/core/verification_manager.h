@@ -23,6 +23,7 @@
 #include "host/attestation_enclave.h"
 #include "ias/http_api.h"
 #include "net/stream.h"
+#include "obs/span.h"
 #include "pki/ca.h"
 #include "vnf/credential_enclave.h"
 
@@ -106,6 +107,14 @@ class VerificationManager {
  private:
   Bytes rpc(net::Stream& channel, const Bytes& request);
   Nonce fresh_nonce();
+
+  // Protocol bodies; the public wrappers add the Figure-1 span + metrics.
+  HostAttestation attest_host_impl(net::Stream& channel, obs::Span& span);
+  VnfAttestation attest_vnf_impl(net::Stream& channel,
+                                 const std::string& vnf_name, obs::Span& span);
+  std::optional<pki::Certificate> enroll_vnf_impl(net::Stream& channel,
+                                                  const std::string& vnf_name,
+                                                  const std::string& common_name);
 
   crypto::RandomSource& rng_;
   const Clock& clock_;

@@ -3,6 +3,9 @@
 #include "common/base64.h"
 #include "common/hex.h"
 #include "json/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace vnfsgx::core {
 
@@ -62,6 +65,23 @@ http::Router make_vm_router(VerificationManager& vm) {
                json::Object body;
                body["trusted"] = std::move(platforms);
                return json_ok(std::move(body));
+             });
+
+  // Prometheus scrape + JSON snapshot of the process-wide registry. The VM
+  // process hosts the Figure-1 verifier, so one full workflow run shows up
+  // here as attestation/provisioning/handshake counters and step spans.
+  router.add("GET", "/vm/metrics",
+             [](const http::Request&, const http::RequestContext&) {
+               return http::Response::text(
+                   200, obs::to_prometheus(obs::registry()));
+             });
+
+  router.add("GET", "/vm/metrics/json",
+             [](const http::Request&, const http::RequestContext&) {
+               return http::Response::json(
+                   200, json::serialize(obs::snapshot_json(
+                            obs::registry().collect(), obs::tracer().spans(),
+                            "verification-manager")));
              });
 
   router.add("POST", "/vm/revoke",

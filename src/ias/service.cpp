@@ -3,6 +3,7 @@
 #include "common/base64.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace vnfsgx::ias {
 
@@ -132,6 +133,11 @@ VerificationReport IasService::sign_report(QuoteStatus status,
     const std::lock_guard<std::mutex> lock(mutex_);
     id = next_report_id_++;
   }
+  obs::registry()
+      .counter("vnfsgx_ias_reports_total", {{"status", to_string(status)}},
+               "Attestation verification reports signed by the IAS, "
+               "by quote status")
+      .add();
   json::Object body;
   body["id"] = "avr-" + std::to_string(id);
   body["version"] = 4;

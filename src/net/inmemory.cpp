@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace vnfsgx::net {
 
 namespace {
@@ -128,12 +130,21 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
     handler = it->second.handler;
     options = it->second.options;
   }
+  static obs::Counter& accepted = obs::registry().counter(
+      "vnfsgx_net_connections_total", {{"transport", "inmemory"}},
+      "Connections accepted, by transport");
+  static obs::Gauge& active = obs::registry().gauge(
+      "vnfsgx_net_active_connections", {{"transport", "inmemory"}},
+      "Connections with a live server-side handler");
   auto [client_end, server_end] = make_pipe(options);
+  accepted.add();
+  active.add(1);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     threads_.emplace_back(
         [handler = std::move(handler), server = std::move(server_end)]() mutable {
           handler(std::move(server));
+          active.add(-1);
         });
   }
   return std::move(client_end);

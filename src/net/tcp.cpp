@@ -9,12 +9,26 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace vnfsgx::net {
 
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
+}
+
+obs::Counter& tcp_connections(const char* side) {
+  return obs::registry().counter("vnfsgx_net_connections_total",
+                                 {{"transport", "tcp"}, {"side", side}},
+                                 "Connections accepted, by transport");
+}
+
+obs::Gauge& tcp_active() {
+  return obs::registry().gauge("vnfsgx_net_active_connections",
+                               {{"transport", "tcp"}},
+                               "Open TCP streams (both sides)");
 }
 
 }  // namespace
@@ -50,6 +64,7 @@ void TcpStream::close() {
     ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
+    tcp_active().add(-1);  // close() is idempotent: fd_ guards the decrement
   }
 }
 
@@ -71,6 +86,8 @@ StreamPtr TcpStream::connect(const std::string& host, std::uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  tcp_connections("client").add();
+  tcp_active().add(1);
   return std::make_unique<TcpStream>(fd);
 }
 
@@ -107,6 +124,8 @@ StreamPtr TcpListener::accept() {
     }
     const int one = 1;
     ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    tcp_connections("server").add();
+    tcp_active().add(1);
     return std::make_unique<TcpStream>(client);
   }
 }

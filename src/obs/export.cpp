@@ -1,0 +1,343 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace vnfsgx::obs {
+
+namespace {
+
+/// Prometheus-style number: exact integers render without a fractional
+/// part, everything else as shortest round-trip-ish %.17g.
+std::string format_number(double v) {
+  const auto as_int = static_cast<long long>(v);
+  if (static_cast<double>(as_int) == v && v < 9.007199254740992e15 &&
+      v > -9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", as_int);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Escape a Prometheus label value: backslash, double-quote, newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label(v);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// labels + one extra pair (for histogram `le`).
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return label_block(extended);
+}
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+json::Value labels_json(const Labels& labels) {
+  json::Object obj;
+  for (const auto& [k, v] : labels) obj[k] = v;
+  return obj;
+}
+
+std::string span_step_name(int step) {
+  switch (step) {
+    case kStepHostAttestation:
+      return "host_attestation";
+    case kStepQuoteVerification:
+      return "quote_verification";
+    case kStepEnclaveAttestation:
+      return "enclave_attestation";
+    case kStepEnclaveQuoteVerification:
+      return "enclave_quote_verification";
+    case kStepProvisioning:
+      return "provisioning";
+    case kStepSecureChannel:
+      return "secure_channel";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Prometheus text format
+// ---------------------------------------------------------------------------
+
+std::string to_prometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  std::string last_header;  // suppress repeated HELP/TYPE for label variants
+  for (const MetricSample& s : samples) {
+    if (s.name != last_header) {
+      last_header = s.name;
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + " " + s.help + "\n";
+      }
+      out += "# TYPE " + s.name + " " + std::string(type_name(s.type)) + "\n";
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        out += s.name + label_block(s.labels) + " " + format_number(s.value) +
+               "\n";
+        break;
+      case MetricType::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          cumulative += s.buckets[i];
+          const std::string le = (i < s.bounds.size())
+                                     ? format_number(s.bounds[i])
+                                     : std::string("+Inf");
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+          out += s.name + "_bucket" + label_block_with(s.labels, "le", le) +
+                 " " + buf + "\n";
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, s.count);
+        out += s.name + "_sum" + label_block(s.labels) + " " +
+               format_number(s.sum) + "\n";
+        out += s.name + "_count" + label_block(s.labels) + " " + buf + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& reg) {
+  return to_prometheus(reg.collect());
+}
+
+// ---------------------------------------------------------------------------
+// JSON snapshot
+// ---------------------------------------------------------------------------
+
+json::Value snapshot_json(const std::vector<MetricSample>& samples,
+                          const std::vector<SpanRecord>& spans,
+                          const std::string& run_name) {
+  json::Object root;
+  root["context"] = json::Object{
+      {"run", run_name},
+      {"schema", "vnfsgx-obs/1"},
+      {"library", "vnfsgx"},
+  };
+
+  json::Array metrics;
+  json::Array benchmarks;
+  for (const MetricSample& s : samples) {
+    json::Object m;
+    m["name"] = s.name;
+    m["labels"] = labels_json(s.labels);
+    m["type"] = type_name(s.type);
+    if (!s.help.empty()) m["help"] = s.help;
+    switch (s.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        m["value"] = s.value;
+        break;
+      case MetricType::kHistogram: {
+        json::Array bounds;
+        for (const double b : s.bounds) bounds.push_back(b);
+        json::Array buckets;
+        for (const std::uint64_t c : s.buckets) buckets.push_back(c);
+        m["bounds"] = std::move(bounds);
+        m["buckets"] = std::move(buckets);
+        m["sum"] = s.sum;
+        m["count"] = s.count;
+        m["p50"] = s.p50;
+        m["p95"] = s.p95;
+        m["p99"] = s.p99;
+        // BENCH_*.json-style entry so trajectory tooling can ingest
+        // live-run histograms next to google-benchmark output.
+        if (s.count > 0) {
+          std::string bench_name = s.name;
+          for (const auto& [k, v] : s.labels) bench_name += "/" + k + ":" + v;
+          benchmarks.push_back(json::Object{
+              {"name", bench_name},
+              {"run_type", "aggregate"},
+              {"iterations", s.count},
+              {"real_time", s.count ? s.sum / static_cast<double>(s.count) : 0},
+              {"p50", s.p50},
+              {"p95", s.p95},
+              {"p99", s.p99},
+              {"time_unit", "us"},
+          });
+        }
+        break;
+      }
+    }
+    metrics.push_back(std::move(m));
+  }
+  root["metrics"] = std::move(metrics);
+  root["benchmarks"] = std::move(benchmarks);
+
+  json::Array span_array;
+  for (const SpanRecord& sp : spans) {
+    json::Object o;
+    o["id"] = sp.id;
+    o["parent_id"] = sp.parent_id;
+    o["name"] = sp.name;
+    if (sp.step != kStepNone) {
+      o["figure1_step"] = sp.step;
+      o["figure1_name"] = span_step_name(sp.step);
+    }
+    o["start_us"] = static_cast<double>(sp.start_ns) / 1000.0;
+    o["duration_us"] = static_cast<double>(sp.duration_ns) / 1000.0;
+    if (!sp.annotations.empty()) {
+      json::Object ann;
+      for (const auto& [k, v] : sp.annotations) ann[k] = v;
+      o["annotations"] = std::move(ann);
+    }
+    span_array.push_back(std::move(o));
+  }
+  root["spans"] = std::move(span_array);
+  return root;
+}
+
+std::string snapshot_text(const MetricsRegistry& reg, const Tracer& tracer,
+                          const std::string& run_name) {
+  return json::serialize_pretty(
+      snapshot_json(reg.collect(), tracer.spans(), run_name));
+}
+
+bool write_snapshot_file(const std::string& path,
+                         const std::string& run_name) {
+  const std::string text = snapshot_text(registry(), tracer(), run_name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    VNFSGX_LOG_WARN("obs", "cannot open metrics snapshot path ", path);
+    return false;
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) VNFSGX_LOG_WARN("obs", "short write on metrics snapshot ", path);
+  return ok;
+}
+
+namespace {
+
+/// atexit() takes a plain function pointer, so the run name lives in a
+/// file-scope string the handler reads back.
+std::string& exit_snapshot_name() {
+  static std::string* name = new std::string();  // leaked: read at exit
+  return *name;
+}
+
+extern "C" void vnfsgx_obs_exit_snapshot() {
+  const std::string& run_name = exit_snapshot_name();
+  if (run_name.empty()) return;
+  const char* out = std::getenv("VNFSGX_METRICS_OUT");
+  std::string path;
+  if (out != nullptr && out[0] != '\0') {
+    path = out;
+  } else {
+    const char* dir = std::getenv("VNFSGX_METRICS_DIR");
+    if (dir == nullptr || dir[0] == '\0') return;
+    path = std::string(dir) + "/" + run_name + ".metrics.json";
+  }
+  write_snapshot_file(path, run_name);
+}
+
+}  // namespace
+
+void install_exit_snapshot(const std::string& run_name) {
+  // Construct the singletons first: atexit handlers run LIFO, so touching
+  // registry()/tracer() here guarantees the snapshot handler runs while
+  // they are still alive (and both are leaked anyway).
+  registry();
+  tracer();
+  const bool first = exit_snapshot_name().empty();
+  exit_snapshot_name() = run_name;
+  if (first) std::atexit(vnfsgx_obs_exit_snapshot);
+}
+
+// ---------------------------------------------------------------------------
+// Summary table
+// ---------------------------------------------------------------------------
+
+std::string summary_table(const std::vector<MetricSample>& samples) {
+  std::string out;
+  out += "  metric                                                  value\n";
+  out += "  ------------------------------------------------------  ----------\n";
+  char line[160];
+  for (const MetricSample& s : samples) {
+    std::string display = s.name + label_block(s.labels);
+    if (display.size() > 54) display = display.substr(0, 51) + "...";
+    switch (s.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        if (s.value == 0) continue;  // keep the table narratable
+        std::snprintf(line, sizeof(line), "  %-54s  %s\n", display.c_str(),
+                      format_number(s.value).c_str());
+        out += line;
+        break;
+      case MetricType::kHistogram: {
+        if (s.count == 0) continue;
+        std::snprintf(line, sizeof(line), "  %-54s  n=%llu p50=%.1f p95=%.1f\n",
+                      display.c_str(),
+                      static_cast<unsigned long long>(s.count), s.p50, s.p95);
+        out += line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string summary_table(const MetricsRegistry& reg) {
+  return summary_table(reg.collect());
+}
+
+}  // namespace vnfsgx::obs

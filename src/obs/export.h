@@ -1,0 +1,53 @@
+// Exporters for the metrics registry and tracer.
+//
+// Two wire formats:
+//  - Prometheus text exposition (served on `GET /vm/metrics` and the
+//    controller's `GET /metrics`),
+//  - a JSON snapshot in the BENCH_*.json style ("context" + "benchmarks"
+//    arrays, plus "metrics" and "spans" sections) written by benches and
+//    examples at exit so every run leaves a machine-readable trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace vnfsgx::obs {
+
+/// Prometheus text exposition format (text/plain; version=0.0.4).
+/// Histograms expand to cumulative `_bucket{le=...}` series plus `_sum`
+/// and `_count`; quantile estimates are NOT exported here (Prometheus
+/// derives them server-side) — they live in the JSON snapshot.
+std::string to_prometheus(const std::vector<MetricSample>& samples);
+std::string to_prometheus(const MetricsRegistry& reg);
+
+/// JSON snapshot: {"context": {...}, "metrics": [...], "spans": [...],
+/// "benchmarks": [...]}. `benchmarks` summarizes every histogram as a
+/// BENCH_*.json-style entry (name, iterations, real_time p50/p95/p99,
+/// time_unit) so the bench trajectory tooling can ingest live-run data.
+json::Value snapshot_json(const std::vector<MetricSample>& samples,
+                          const std::vector<SpanRecord>& spans,
+                          const std::string& run_name);
+std::string snapshot_text(const MetricsRegistry& reg, const Tracer& tracer,
+                          const std::string& run_name);
+
+/// Serialize the global registry + tracer to `path`. Returns false (and
+/// logs) on I/O failure rather than throwing — exporters run at exit.
+bool write_snapshot_file(const std::string& path, const std::string& run_name);
+
+/// Register an atexit hook that writes the snapshot of the global
+/// registry/tracer. Destination: $VNFSGX_METRICS_OUT if set, else
+/// $VNFSGX_METRICS_DIR/<run_name>.metrics.json, else no-op. Call early in
+/// main(): the hook must outlive instrumented statics, so this touches
+/// registry()/tracer() before registering.
+void install_exit_snapshot(const std::string& run_name);
+
+/// Fixed-width human-readable table of the most narratable numbers
+/// (counters + histogram p50/p95) for examples to print at exit.
+std::string summary_table(const std::vector<MetricSample>& samples);
+std::string summary_table(const MetricsRegistry& reg);
+
+}  // namespace vnfsgx::obs

@@ -1,0 +1,119 @@
+#include "obs/span.h"
+
+namespace vnfsgx::obs {
+
+namespace {
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+Span::Span(Tracer* tracer, std::uint64_t id, std::uint64_t parent_id,
+           std::string name, int step)
+    : tracer_(tracer), started_(std::chrono::steady_clock::now()) {
+  record_.id = id;
+  record_.parent_id = parent_id;
+  record_.name = std::move(name);
+  record_.step = step;
+  record_.start_ns = ns_between(tracer->epoch(), started_);
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    started_ = other.started_;
+    ended_ = other.ended_;
+    other.tracer_ = nullptr;
+    other.ended_ = true;
+  }
+  return *this;
+}
+
+Span Span::child(std::string name, int step) {
+  if (tracer_ == nullptr) return Span();
+  return tracer_->start_span(std::move(name), step, record_.id);
+}
+
+void Span::annotate(std::string key, std::string value) {
+  if (tracer_ == nullptr || ended_) return;
+  record_.annotations.emplace_back(std::move(key), std::move(value));
+}
+
+double Span::elapsed_us() const {
+  if (tracer_ == nullptr) return 0;
+  if (ended_) return static_cast<double>(record_.duration_ns) / 1000.0;
+  return static_cast<double>(
+             ns_between(started_, std::chrono::steady_clock::now())) /
+         1000.0;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr || ended_) return;
+  ended_ = true;
+  record_.duration_ns =
+      ns_between(started_, std::chrono::steady_clock::now());
+  tracer_->record(std::move(record_));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Span Tracer::start_span(std::string name, int step, std::uint64_t parent_id) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return Span(this, id, parent_id, std::move(name), step);
+}
+
+void Tracer::record(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t Tracer::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();  // leaked: outlives static dtors
+  return *instance;
+}
+
+}  // namespace vnfsgx::obs

@@ -1,0 +1,119 @@
+// Trace spans keyed to the paper's Figure-1 workflow steps.
+//
+// A Span is an RAII timer: started from a Tracer (or as a child of another
+// span), annotated with string key/values, and recorded into the tracer's
+// bounded buffer when it ends. The exporters serialize completed spans so
+// one Figure-1 run — host attestation (1), quote verification (2), enclave
+// attestation (3), enclave quote verification (4), provisioning (5), TLS
+// handshake / REST request (6) — reads as a parent/child timing tree.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vnfsgx::obs {
+
+/// Figure-1 step numbers for the spans the system emits. Step 6 covers
+/// both the TLS handshake and the REST exchange it protects.
+enum Figure1Step : int {
+  kStepNone = 0,
+  kStepHostAttestation = 1,
+  kStepQuoteVerification = 2,
+  kStepEnclaveAttestation = 3,
+  kStepEnclaveQuoteVerification = 4,
+  kStepProvisioning = 5,
+  kStepSecureChannel = 6,
+};
+
+/// One completed span.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  int step = kStepNone;
+  std::vector<std::pair<std::string, std::string>> annotations;
+  std::uint64_t start_ns = 0;  // steady-clock offset from the tracer epoch
+  std::uint64_t duration_ns = 0;
+};
+
+class Tracer;
+
+/// Move-only RAII span; records itself on end() (or destruction).
+class Span {
+ public:
+  Span() = default;  // inert span: annotate/end are no-ops
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Start a child span sharing this span's tracer.
+  Span child(std::string name, int step = kStepNone);
+
+  void annotate(std::string key, std::string value);
+
+  /// Elapsed time so far (or final duration once ended).
+  double elapsed_us() const;
+
+  /// Record the span; idempotent.
+  void end();
+
+  std::uint64_t id() const { return record_.id; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id, std::uint64_t parent_id,
+       std::string name, int step);
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point started_{};
+  bool ended_ = false;
+};
+
+/// Bounded buffer of completed spans. start_span() is cheap (an atomic id
+/// and a clock read); recording takes a short mutex on span end — span
+/// granularity is per attestation/handshake/request, not per byte.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  Span start_span(std::string name, int step = kStepNone,
+                  std::uint64_t parent_id = 0);
+
+  /// Completed spans, oldest first (up to `capacity` retained).
+  std::vector<SpanRecord> spans() const;
+  /// Total spans ever recorded (including any dropped by the ring).
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  friend class Span;
+  void record(SpanRecord record);
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Process-wide default tracer used by the instrumented subsystems.
+Tracer& tracer();
+
+}  // namespace vnfsgx::obs

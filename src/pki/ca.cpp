@@ -1,6 +1,23 @@
 #include "pki/ca.h"
 
+#include "obs/metrics.h"
+
 namespace vnfsgx::pki {
+
+namespace {
+
+obs::Counter& issued_counter(const char* kind) {
+  return obs::registry().counter("vnfsgx_ca_certificates_issued_total",
+                                 {{"kind", kind}},
+                                 "Certificates signed by the CA");
+}
+
+obs::Counter& revocation_counter() {
+  return obs::registry().counter("vnfsgx_ca_revocations_total", {},
+                                 "Serials added to the CRL");
+}
+
+}  // namespace
 
 CertificateAuthority::CertificateAuthority(DistinguishedName name,
                                            crypto::RandomSource& rng,
@@ -45,6 +62,7 @@ Certificate CertificateAuthority::issue_intermediate(
   cert.is_ca = true;
   cert.key_usage = static_cast<std::uint8_t>(KeyUsage::kCertSign);
   cert.signature = crypto::ed25519_sign(key_.seed, cert.tbs());
+  issued_counter("intermediate").add();
   return cert;
 }
 
@@ -63,12 +81,14 @@ Certificate CertificateAuthority::issue(
   cert.is_ca = false;
   cert.key_usage = key_usage;
   cert.signature = crypto::ed25519_sign(key_.seed, cert.tbs());
+  issued_counter("leaf").add();
   return cert;
 }
 
 RevocationList CertificateAuthority::revoke(std::uint64_t serial) {
   const std::lock_guard<std::mutex> lock(mutex_);
   revoked_.push_back(serial);
+  revocation_counter().add();
   return build_crl_locked();
 }
 

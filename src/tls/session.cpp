@@ -7,6 +7,8 @@
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
 #include "crypto/x25519.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "pki/tlv.h"
 
 namespace vnfsgx::tls {
@@ -365,11 +367,64 @@ struct Session::Handshaker {
 };
 
 // ---------------------------------------------------------------------------
+// Handshake instrumentation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using HandshakeFn = std::unique_ptr<Session> (*)(net::StreamPtr,
+                                                 const Config&);
+
+/// Step-6 span + handshake counters/latency. Only the handshake pays for
+/// observability here — the record path (Session::write/read) adds nothing
+/// beyond cached relaxed counter adds, keeping hot-path overhead flat.
+std::unique_ptr<Session> handshake_instrumented(const char* role,
+                                                net::StreamPtr transport,
+                                                const Config& config,
+                                                HandshakeFn fn) {
+  obs::Histogram& duration = obs::registry().histogram(
+      "vnfsgx_tls_handshake_duration_us", {{"role", role}}, {},
+      "TLS handshake wall time (Figure-1 step 6)");
+  obs::Span span =
+      obs::tracer().start_span("tls_handshake", obs::kStepSecureChannel);
+  span.annotate("role", role);
+  try {
+    std::unique_ptr<Session> session = fn(std::move(transport), config);
+    const char* kind = session->resumed() ? "resumed" : "full";
+    span.annotate("kind", kind);
+    span.end();
+    duration.observe(span.elapsed_us());
+    obs::registry()
+        .counter("vnfsgx_tls_handshakes_total",
+                 {{"role", role}, {"kind", kind}, {"result", "ok"}},
+                 "TLS handshake outcomes")
+        .add();
+    return session;
+  } catch (...) {
+    span.annotate("result", "fail");
+    obs::registry()
+        .counter("vnfsgx_tls_handshakes_total",
+                 {{"role", role}, {"kind", "unknown"}, {"result", "fail"}},
+                 "TLS handshake outcomes")
+        .add();
+    throw;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Client handshake.
 // ---------------------------------------------------------------------------
 
 std::unique_ptr<Session> Session::connect(net::StreamPtr transport,
                                           const Config& config) {
+  return handshake_instrumented("client", std::move(transport), config,
+                                &Session::connect_impl);
+}
+
+std::unique_ptr<Session> Session::connect_impl(net::StreamPtr transport,
+                                               const Config& config) {
   Handshaker hs(*transport, config);
   if (!config.truststore) {
     throw Error("tls: client requires a truststore");
@@ -495,6 +550,12 @@ std::unique_ptr<Session> Session::connect(net::StreamPtr transport,
 
 std::unique_ptr<Session> Session::accept(net::StreamPtr transport,
                                          const Config& config) {
+  return handshake_instrumented("server", std::move(transport), config,
+                                &Session::accept_impl);
+}
+
+std::unique_ptr<Session> Session::accept_impl(net::StreamPtr transport,
+                                              const Config& config) {
   Handshaker hs(*transport, config);
   if (!config.certificate || !config.signer) {
     throw Error("tls: server requires certificate and signer");
@@ -645,6 +706,14 @@ Session::~Session() {
 }
 
 void Session::write(ByteView data) {
+  // Cached references: registration cost is paid once per process; the
+  // per-record cost is two relaxed adds on a thread-striped shard.
+  static obs::Counter& bytes_out = obs::registry().counter(
+      "vnfsgx_tls_bytes_total", {{"direction", "out"}},
+      "Application bytes through the TLS record layer");
+  static obs::Counter& records_out = obs::registry().counter(
+      "vnfsgx_tls_records_total", {{"direction", "out"}},
+      "TLS application-data records processed");
   if (closed_) throw IoError("tls: session closed");
   std::size_t off = 0;
   while (off < data.size()) {
@@ -653,7 +722,9 @@ void Session::write(ByteView data) {
                                    data.subspan(off, take), write_wire_);
     transport_->write(write_wire_);
     off += take;
+    records_out.add();
   }
+  bytes_out.add(data.size());
 }
 
 std::size_t Session::read(std::span<std::uint8_t> out) {
@@ -691,6 +762,14 @@ std::size_t Session::read(std::span<std::uint8_t> out) {
     if (plain.type != ContentType::kApplicationData) {
       throw ProtocolError("tls: unexpected record type after handshake");
     }
+    static obs::Counter& bytes_in = obs::registry().counter(
+        "vnfsgx_tls_bytes_total", {{"direction", "in"}},
+        "Application bytes through the TLS record layer");
+    static obs::Counter& records_in = obs::registry().counter(
+        "vnfsgx_tls_records_total", {{"direction", "in"}},
+        "TLS application-data records processed");
+    records_in.add();
+    bytes_in.add(plain.payload.size());
     read_buffer_ = std::move(plain.payload);
     read_pos_ = 0;
   }

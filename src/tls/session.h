@@ -60,6 +60,12 @@ class Session final : public net::Stream {
  private:
   struct Handshaker;
 
+  // Handshake bodies; the public wrappers add the step-6 span + metrics.
+  static std::unique_ptr<Session> connect_impl(net::StreamPtr transport,
+                                               const Config& config);
+  static std::unique_ptr<Session> accept_impl(net::StreamPtr transport,
+                                              const Config& config);
+
   Session(net::StreamPtr transport, RecordProtection read_protection,
           RecordProtection write_protection,
           std::optional<pki::Certificate> peer_certificate,

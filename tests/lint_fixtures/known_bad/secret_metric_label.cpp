@@ -1,0 +1,19 @@
+// secretlint fixture: secret identifier flowing into a metric label value.
+// Labels are exported verbatim over the unauthenticated /metrics endpoints,
+// so this is the same egress class as a log line.
+// Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/tls/secret_metric_label.cpp
+// secretlint-expect: R4
+
+#include "obs/metrics.h"
+
+namespace vnfsgx::tls {
+
+void count_session(const std::string& session_key_hex) {
+  obs::registry()
+      .counter("vnfsgx_tls_sessions_total", {{"key", session_key_hex}},
+               "sessions by key")
+      .add(1);
+}
+
+}  // namespace vnfsgx::tls

@@ -2,6 +2,7 @@
 // client authentication, authorization, audit log.
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <thread>
 
 #include "common/sim_clock.h"
@@ -492,8 +493,27 @@ TEST(LearningServiceTest, EmptyQueuesNoop) {
 namespace vnfsgx::controller {
 namespace {
 
+/// The fixture's DeterministicRandom is not thread-safe; the concurrency
+/// test hands every handshake (12 serve threads + 12 clients) this
+/// mutex-guarded view of it instead.
+class LockedRandom final : public crypto::RandomSource {
+ public:
+  explicit LockedRandom(crypto::RandomSource& inner) : inner_(inner) {}
+  void fill(std::span<std::uint8_t> out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.fill(out);
+  }
+
+ private:
+  std::mutex mutex_;
+  crypto::RandomSource& inner_;
+};
+
 TEST_F(ControllerFixture, ConcurrentTrustedClients) {
-  Controller controller(config(SecurityMode::kTrustedHttps), fabric_);
+  LockedRandom locked_rng(rng_);
+  ControllerConfig cfg = config(SecurityMode::kTrustedHttps);
+  cfg.rng = &locked_rng;
+  Controller controller(cfg, fabric_);
   controller.trust_ca(ca_.root_certificate());
 
   constexpr int kClients = 12;
@@ -511,14 +531,14 @@ TEST_F(ControllerFixture, ConcurrentTrustedClients) {
         [&controller, s = std::move(server_end)]() mutable {
           controller.serve(std::move(s));
         });
-    clients.emplace_back([this, &controller, &ok, &identities, i,
+    clients.emplace_back([this, &controller, &ok, &identities, &locked_rng, i,
                           c = std::move(client_end)]() mutable {
       (void)controller;
       tls::Config tls_config;
       tls_config.truststore = &truststore_;
       tls_config.expected_server_name = "controller";
       tls_config.clock = &clock_;
-      tls_config.rng = &rng_;
+      tls_config.rng = &locked_rng;
       tls_config.certificate = identities[static_cast<std::size_t>(i)].cert;
       tls_config.signer = tls::Config::software_signer(
           identities[static_cast<std::size_t>(i)].seed);

@@ -447,13 +447,18 @@ class Linter {
     }
   }
 
-  // R4: memset over secrets; secrets in logs.
+  // R4: memset over secrets; secrets in logs, metric names/labels, and
+  // span annotations. The obs exporters serve everything they are handed
+  // over unauthenticated /metrics endpoints, so instrument registration
+  // and span annotation are egress points just like log lines.
   void rule_hygiene(const SourceFile& f) {
     // common/secure.* implements secure_memzero and is allowed its memset.
     const bool is_secure_impl = f.path == "src/common/secure.h" ||
                                 f.path == "src/common/secure.cpp";
     static const std::regex memset_call(R"(\bmemset\s*\()");
     static const std::regex log_call(R"(\bVNFSGX_LOG_\w+\s*\()");
+    static const std::regex obs_call(
+        R"(\b(?:counter|gauge|histogram|start_span|annotate)\s*\()");
     for (std::size_t i = 0; i < f.code.size(); ++i) {
       const std::string& line = f.code[i];
       std::smatch m;
@@ -476,6 +481,19 @@ class Linter {
           if (std::regex_search(id, kHygieneIdent)) {
             add(f, i, "R4",
                 "log statement references secret '" + id + "'");
+            break;
+          }
+        }
+      }
+      if (std::regex_search(line, m, obs_call)) {
+        const std::string args = balance_parens(
+            f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
+        for (const std::string& id : idents_in(args)) {
+          if (std::regex_search(id, kHygieneIdent)) {
+            add(f, i, "R4",
+                "metric/span call references secret '" + id +
+                    "'; instrument names, label values, and annotations "
+                    "are exported over /metrics");
             break;
           }
         }
