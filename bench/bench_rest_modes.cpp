@@ -144,8 +144,8 @@ void BM_RestGetColdWithResumption(benchmark::State& state) {
   static dataplane::Fabric fabric2;
   controller::Controller ctl(cfg, fabric2);
   ctl.trust_ca(m.bed.vm.ca_certificate());
-  m.bed.net.serve("controller2:8443",
-                  [&ctl](net::StreamPtr s) { ctl.serve(std::move(s)); });
+  m.bed.runtime.listen_inmemory(m.bed.net, "controller2:8443",
+                                ctl.driver_factory());
 
   auto tls_cfg = [&](const tls::SessionTicket* ticket) {
     tls::Config c;

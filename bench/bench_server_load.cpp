@@ -1,0 +1,324 @@
+// SERVER-LOAD: the PR-4 scalability experiment. A controller in trusted
+// HTTPS mode (§3's strongest REST mode) serves a fleet of keep-alive TLS
+// connections — most of them idle — while a smaller set of active clients
+// drives a closed-loop request storm. Two server models run the identical
+// workload over the in-memory transport (zero kernel noise, so the series
+// isolates the server's own dispatch machinery):
+//
+//   * threaded — the seed model: one blocking thread per accepted
+//     connection, so 512 idle + 64 active conns pin ~576 server threads.
+//   * pooled   — the ServerRuntime: idle connections park in the readiness
+//     source for free; every burst runs on a bounded worker pool
+//     (max(2, 2x hardware_concurrency)).
+//
+// Counters per series: requests/s (items_per_second), server_threads,
+// process_threads (from /proc/self/status), workers, idle/active conns.
+// The obs registry snapshot (metrics_exit) additionally captures the
+// runtime's queue-depth / queue-wait / burst-duration series for
+// BENCH_pr4.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sim_clock.h"
+#include "controller/controller.h"
+#include "crypto/random.h"
+#include "http/client.h"
+#include "net/inmemory.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "pki/ca.h"
+#include "tls/session.h"
+
+namespace {
+
+using namespace vnfsgx;
+using controller::Controller;
+using controller::ControllerConfig;
+using controller::SecurityMode;
+
+// Sanitizer builds run the same shape at reduced scale: the point there is
+// correctness under TSan/ASan, not throughput.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define VNFSGX_BENCH_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define VNFSGX_BENCH_SANITIZED 1
+#endif
+
+#if defined(VNFSGX_BENCH_SANITIZED)
+constexpr int kIdleConnections = 64;
+constexpr int kClientThreads = 4;
+constexpr int kConnsPerClient = 2;
+#else
+constexpr int kIdleConnections = 512;
+constexpr int kClientThreads = 16;
+constexpr int kConnsPerClient = 4;  // 64 active connections total
+#endif
+constexpr int kActiveConnections = kClientThreads * kConnsPerClient;
+
+constexpr auto kWindow = std::chrono::milliseconds(200);
+constexpr const char* kPath = "/wm/core/controller/summary/json";
+
+enum class Model { kThreadPerConnection, kPooled };
+
+const char* to_string(Model model) {
+  return model == Model::kPooled ? "pooled" : "threaded";
+}
+
+/// DeterministicRandom is not thread-safe; concurrent TLS handshakes on
+/// both ends share this mutex-guarded view of it.
+class LockedRandom final : public crypto::RandomSource {
+ public:
+  explicit LockedRandom(crypto::RandomSource& inner) : inner_(inner) {}
+  void fill(std::span<std::uint8_t> out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.fill(out);
+  }
+
+ private:
+  std::mutex mutex_;
+  crypto::RandomSource& inner_;
+};
+
+/// Total threads in this process, from /proc/self/status. Counts client
+/// threads too, but those are identical across models, so the delta
+/// between series is the server-side thread bill.
+std::size_t process_threads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      std::istringstream field(line.substr(8));
+      std::size_t n = 0;
+      field >> n;
+      return n;
+    }
+  }
+  return 0;
+}
+
+struct LoadBed {
+  crypto::DeterministicRandom rng{2026};
+  LockedRandom locked_rng{rng};
+  SimClock clock{1'700'000'000};
+  pki::CertificateAuthority ca{pki::DistinguishedName{"vm-ca", "vnfsgx"}, rng,
+                               clock};
+  pki::TrustStore truststore;
+  dataplane::Fabric fabric;
+  net::InMemoryNetwork net;
+  net::ServerRuntime runtime{{.workers = 0,
+                              .burst_read_timeout = std::chrono::seconds(10),
+                              .name = "bench-load"}};
+  std::unique_ptr<Controller> controller;
+  pki::Certificate client_cert;
+  crypto::Ed25519Seed client_seed{};
+  Model model;
+
+  explicit LoadBed(Model m) : model(m) {
+    set_log_level(LogLevel::kOff);
+    fabric.add_switch(1);
+    truststore.add_root(ca.root_certificate());
+    const auto client_kp = crypto::ed25519_generate(rng);
+    client_cert =
+        ca.issue({"vnf-client", ""}, client_kp.public_key,
+                 static_cast<std::uint8_t>(pki::KeyUsage::kClientAuth));
+    client_seed = client_kp.seed;
+
+    ControllerConfig config;
+    config.mode = SecurityMode::kTrustedHttps;
+    const auto kp = crypto::ed25519_generate(rng);
+    config.certificate =
+        ca.issue({"controller", ""}, kp.public_key,
+                 static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth));
+    config.signer = tls::Config::software_signer(kp.seed);
+    config.clock = &clock;
+    config.rng = &locked_rng;
+    controller = std::make_unique<Controller>(std::move(config), fabric);
+    controller->trust_ca(ca.root_certificate());
+
+    if (model == Model::kPooled) {
+      runtime.listen_inmemory(net, "controller:8443",
+                              controller->driver_factory());
+    } else {
+      net.serve("controller:8443", [this](net::StreamPtr stream) {
+        controller->serve(std::move(stream));
+      });
+    }
+  }
+
+  net::StreamPtr connect_stream() {
+    tls::Config cfg;
+    cfg.truststore = &truststore;
+    cfg.expected_server_name = "controller";
+    cfg.clock = &clock;
+    cfg.rng = &locked_rng;
+    cfg.certificate = client_cert;
+    cfg.signer = tls::Config::software_signer(client_seed);
+    return tls::Session::connect(net.connect("controller:8443"), cfg);
+  }
+
+  http::Client connect() { return http::Client(connect_stream()); }
+
+  std::size_t server_threads() {
+    return model == Model::kPooled ? runtime.worker_count()
+                                   : net.live_connection_threads();
+  }
+};
+
+void BM_ServerLoad(benchmark::State& state) {
+  const Model model =
+      state.range(0) == 0 ? Model::kThreadPerConnection : Model::kPooled;
+  LoadBed bed(model);
+
+  // Fleet of keep-alive connections: handshake + one request each, then
+  // idle. In the threaded model each one keeps a dedicated server thread
+  // blocked in read(); in the pooled model they park in the readiness
+  // source and cost nothing.
+  std::vector<http::Client> idle;
+  idle.reserve(kIdleConnections);
+  for (int i = 0; i < kIdleConnections; ++i) {
+    idle.push_back(bed.connect());
+    if (idle.back().get(kPath).status != 200) {
+      state.SkipWithError("idle connection setup failed");
+      return;
+    }
+  }
+
+  // Active fleet: each client thread owns kConnsPerClient established
+  // connections and drives them as a pipelined batch — write a request on
+  // every connection, then collect every response. That keeps
+  // kActiveConnections requests outstanding (the keep-alive connection-pool
+  // shape real REST clients use): the pooled model's workers find the queue
+  // non-empty and never sleep, while the threaded model has all 64
+  // per-connection server threads runnable and contending.
+  struct Pipelined {
+    net::StreamPtr stream;
+    http::Connection conn;
+    explicit Pipelined(net::StreamPtr s) : stream(std::move(s)), conn(*stream) {}
+  };
+  http::Request probe_request;
+  probe_request.target = kPath;
+  std::vector<std::vector<std::unique_ptr<Pipelined>>> active(kClientThreads);
+  for (auto& pool : active) {
+    pool.reserve(kConnsPerClient);
+    for (int i = 0; i < kConnsPerClient; ++i) {
+      pool.push_back(std::make_unique<Pipelined>(bed.connect_stream()));
+      pool.back()->conn.write(probe_request);
+      const auto response = pool.back()->conn.read_response();
+      if (!response || response->status != 200) {
+        state.SkipWithError("active connection setup failed");
+        return;
+      }
+    }
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> inflight{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto& pool = active[static_cast<std::size_t>(t)];
+      http::Request request;
+      request.target = kPath;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!go.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        inflight.fetch_add(1, std::memory_order_acq_rel);
+        try {
+          for (auto& p : pool) p->conn.write(request);
+          for (auto& p : pool) {
+            const auto response = p->conn.read_response();
+            if (response && response->status == 200) {
+              requests.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } catch (const Error&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        inflight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  const std::size_t steady_threads = process_threads();
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t before = requests.load(std::memory_order_relaxed);
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(kWindow);
+    go.store(false, std::memory_order_release);
+    while (inflight.load(std::memory_order_acquire) != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    total += requests.load(std::memory_order_relaxed) - before;
+    state.SetIterationTime(std::chrono::duration<double>(elapsed).count());
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : clients) thread.join();
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.SetLabel(to_string(model));
+  state.counters["idle_conns"] = kIdleConnections;
+  state.counters["active_conns"] = kActiveConnections;
+  state.counters["server_threads"] = static_cast<double>(bed.server_threads());
+  state.counters["process_threads"] = static_cast<double>(steady_threads);
+  state.counters["errors"] = static_cast<double>(errors.load());
+  if (model == Model::kPooled) {
+    state.counters["workers"] = static_cast<double>(bed.runtime.worker_count());
+    state.counters["active_parked"] =
+        static_cast<double>(bed.runtime.active_connections());
+  }
+
+  // Mirror the headline numbers into the obs registry so the atexit
+  // snapshot lands them in BENCH_pr4.json.
+  obs::registry()
+      .gauge("vnfsgx_bench_server_load_threads", {{"model", to_string(model)}},
+             "Server-side threads at steady state, by server model")
+      .set(static_cast<double>(bed.server_threads()));
+  obs::registry()
+      .gauge("vnfsgx_bench_server_load_requests",
+             {{"model", to_string(model)}},
+             "Closed-loop requests completed, by server model")
+      .set(static_cast<double>(total));
+
+  // Teardown: close every client end so threaded-model handlers observe
+  // EOF and exit before the bed (runtime, network) is destroyed.
+  for (auto& pool : active) {
+    for (auto& p : pool) p->stream->close();
+  }
+  for (auto& conn : idle) conn.close();
+  bed.runtime.shutdown();
+  bed.net.join_all();
+}
+BENCHMARK(BM_ServerLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -17,13 +17,13 @@ namespace {
 
 struct TcpController {
   std::unique_ptr<controller::Controller> controller;
-  std::unique_ptr<net::TcpListener> listener;
-  std::thread acceptor;
-
-  ~TcpController() {
-    listener->close();
-    if (acceptor.joinable()) acceptor.join();
-  }
+  /// Epoll reactor + bounded worker pool — accepted connections park in
+  /// the reactor, so no thread is spent per connection. Declared after the
+  /// controller so it shuts down first.
+  net::ServerRuntime runtime{{.workers = 0,
+                              .burst_read_timeout = std::chrono::seconds(5),
+                              .name = "security_modes"}};
+  std::uint16_t port = 0;
 };
 
 std::unique_ptr<TcpController> start(Testbed& bed, dataplane::Fabric& fabric,
@@ -44,21 +44,8 @@ std::unique_ptr<TcpController> start(Testbed& bed, dataplane::Fabric& fabric,
   if (mode == controller::SecurityMode::kTrustedHttps) {
     tc->controller->trust_ca(bed.vm.ca_certificate());
   }
-  tc->listener = std::make_unique<net::TcpListener>(0);
-  auto* c = tc->controller.get();
-  auto* l = tc->listener.get();
-  tc->acceptor = std::thread([c, l] {
-    try {
-      while (true) {
-        auto stream = l->accept();
-        std::thread([c, s = std::move(stream)]() mutable {
-          c->serve(std::move(s));
-        }).detach();
-      }
-    } catch (const Error&) {
-      // listener closed
-    }
-  });
+  tc->port =
+      tc->runtime.listen_tcp(0, tc->controller->driver_factory()).port();
   return tc;
 }
 
@@ -112,7 +99,7 @@ int main() {
                           controller::SecurityMode::kHttps,
                           controller::SecurityMode::kTrustedHttps}) {
     auto tc = start(bed, fabric, mode);
-    const std::uint16_t port = tc->listener->port();
+    const std::uint16_t port = tc->port;
     const bool mutual = mode == controller::SecurityMode::kTrustedHttps;
 
     // Warm up, then measure a few cold connections (handshake included).

@@ -17,9 +17,11 @@
 #include "core/vm_api.h"
 #include "crypto/random.h"
 #include "http/client.h"
+#include "http/runtime.h"
 #include "ias/http_api.h"
 #include "net/framing.h"
 #include "net/inmemory.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "vnf/functions.h"
@@ -59,9 +61,8 @@ class Testbed {
         vm(rng, clock,
            ias::IasClient([this] { return net.connect("ias.intel.example:443"); },
                           ias.report_signing_key())) {
-    net.serve("ias.intel.example:443", [this](net::StreamPtr s) {
-      http::serve_connection(*s, ias_router);
-    });
+    runtime.listen_inmemory(net, "ias.intel.example:443",
+                            http::make_http_driver_factory(ias_router));
   }
 
   ~Testbed() { net.join_all(); }
@@ -78,8 +79,12 @@ class Testbed {
         machine->sgx().quoting_enclave().attestation_public_key());
     auto agent = std::make_unique<core::HostAgent>(*machine);
     auto* agent_ptr = agent.get();
-    net.serve(name + ":7000",
-              [agent_ptr](net::StreamPtr s) { agent_ptr->serve(std::move(s)); });
+    // Framed driver: the channel parks between protocol frames, so an
+    // operator holding agent channels open does not pin pool workers.
+    runtime.listen_inmemory(
+        net, name + ":7000", net::frame_driver([agent_ptr](ByteView request) {
+          return agent_ptr->serve_frame(request);
+        }));
     // Heap-allocated elements: references returned from here must survive
     // later add_host calls.
     hosts.push_back(
@@ -98,9 +103,8 @@ class Testbed {
   /// /vm/metrics/json) on the in-memory network at "vm:8080".
   void serve_vm_api() {
     vm_router_ = core::make_vm_router(vm);
-    net.serve("vm:8080", [this](net::StreamPtr s) {
-      http::serve_connection(*s, vm_router_);
-    });
+    runtime.listen_inmemory(net, "vm:8080",
+                            http::make_http_driver_factory(vm_router_));
   }
 
   /// Start a controller in the given mode at "controller:8443"; returns it.
@@ -122,9 +126,8 @@ class Testbed {
     if (mode == controller::SecurityMode::kTrustedHttps) {
       controller_->trust_ca(vm.ca_certificate());
     }
-    auto* c = controller_.get();
-    net.serve("controller:8443",
-              [c](net::StreamPtr s) { c->serve(std::move(s)); });
+    runtime.listen_inmemory(net, "controller:8443",
+                            controller_->driver_factory());
     return *controller_;
   }
 
@@ -138,6 +141,11 @@ class Testbed {
   std::vector<std::unique_ptr<SimHost>> hosts;
   std::unique_ptr<controller::Controller> controller_;
   http::Router vm_router_;
+  /// Declared last: shut down (and its workers joined) before the routers,
+  /// controller, and network it serves are destroyed.
+  net::ServerRuntime runtime{{.workers = 0,
+                              .burst_read_timeout = std::chrono::seconds(5),
+                              .name = "testbed"}};
 };
 
 }  // namespace vnfsgx::examples

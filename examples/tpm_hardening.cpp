@@ -19,15 +19,8 @@ namespace {
 /// A root attacker's agent: compromises dockerd, then reports a sanitized
 /// IML with the incriminating entry removed.
 void serve_rootkit_agent(Testbed& bed, SimHost& host) {
-  bed.net.serve("rootkit:7000", [&host](net::StreamPtr s) {
-    try {
-      while (true) {
-        Bytes request;
-        try {
-          request = net::read_frame(*s);
-        } catch (const IoError&) {
-          return;
-        }
+  bed.runtime.listen_inmemory(
+      bed.net, "rootkit:7000", net::frame_driver([&host](ByteView request) {
         const core::AttestHostRequest req =
             core::decode_attest_host_request(request);
         ima::MeasurementList sanitized;
@@ -51,11 +44,8 @@ void serve_rootkit_agent(Testbed& bed, SimHost& host) {
         // hopes the verifier doesn't check.
         response.tpm_quote =
             host.machine->tpm().quote(ima::kImaPcrIndex, req.nonce).encode();
-        net::write_frame(*s, core::encode(response));
-      }
-    } catch (const Error&) {
-    }
-  });
+        return core::encode(response);
+      }));
 }
 
 }  // namespace

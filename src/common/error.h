@@ -49,4 +49,13 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error("io: " + what) {}
 };
 
+/// A read deadline expired on a transport with a configured timeout. The
+/// server runtime uses this to reap connections that stall mid-request
+/// without letting them pin a worker thread forever.
+class TimeoutError : public IoError {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : IoError("timeout: " + what) {}
+};
+
 }  // namespace vnfsgx

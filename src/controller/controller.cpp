@@ -95,13 +95,10 @@ void Controller::update_crl(const pki::RevocationList& crl) {
   truststore_.set_crl(crl);
 }
 
-void Controller::serve(net::StreamPtr stream) {
-  http::RequestContext ctx;
+net::StreamPtr Controller::wrap_session(net::StreamPtr stream,
+                                        http::RequestContext& ctx) {
   try {
-    if (config_.mode == SecurityMode::kHttp) {
-      http::serve_connection(*stream, router_, ctx);
-      return;
-    }
+    if (config_.mode == SecurityMode::kHttp) return stream;
     tls::Config tls_config;
     tls_config.certificate = config_.certificate;
     tls_config.signer = config_.signer;
@@ -120,7 +117,9 @@ void Controller::serve(net::StreamPtr stream) {
     }
     auto session = tls::Session::accept(std::move(stream), tls_config);
     ctx.client_identity = session->peer_identity();
-    http::serve_connection(*session, router_, ctx);
+    return session;
+  } catch (const TimeoutError&) {
+    throw;  // a stalled handshake is a burst timeout, not an auth failure
   } catch (const Error& e) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs::registry()
@@ -131,6 +130,24 @@ void Controller::serve(net::StreamPtr stream) {
         .add();
     VNFSGX_LOG_WARN("controller", config_.name,
                     ": connection rejected: ", e.what());
+    throw;
+  }
+}
+
+net::DriverFactory Controller::driver_factory() {
+  return http::make_http_driver_factory(
+      router_, [this](net::StreamPtr stream, http::RequestContext& ctx) {
+        return wrap_session(std::move(stream), ctx);
+      });
+}
+
+void Controller::serve(net::StreamPtr stream) {
+  http::RequestContext ctx;
+  try {
+    auto session = wrap_session(std::move(stream), ctx);
+    http::serve_connection(*session, router_, ctx);
+  } catch (const Error&) {
+    // wrap_session already metered and logged the rejection.
   }
 }
 

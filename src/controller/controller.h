@@ -18,6 +18,7 @@
 
 #include "common/sim_clock.h"
 #include "dataplane/fabric.h"
+#include "http/runtime.h"
 #include "http/server.h"
 #include "pki/truststore.h"
 #include "tls/session.h"
@@ -68,6 +69,17 @@ class Controller {
   /// TLS failures (bad client cert in trusted mode, etc.) terminate the
   /// connection without serving any request.
   void serve(net::StreamPtr stream);
+
+  /// Mode-dependent session setup for the pooled server runtime: wraps a
+  /// raw transport in TLS when the mode calls for it, recording the
+  /// authenticated client in `ctx`. Failures are counted as rejected
+  /// connections and rethrown so the runtime drops the connection.
+  net::StreamPtr wrap_session(net::StreamPtr stream, http::RequestContext& ctx);
+
+  /// Driver factory for net::ServerRuntime::listen_* — every accepted
+  /// connection serves this controller's REST API under its security mode
+  /// on a pooled worker instead of a dedicated thread.
+  net::DriverFactory driver_factory();
 
   const http::Router& router() const { return router_; }
   SecurityMode mode() const { return config_.mode; }

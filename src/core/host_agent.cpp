@@ -28,30 +28,32 @@ void HostAgent::register_vnf(vnf::Vnf& vnf) {
   vnfs_[vnf.name()] = &vnf;
 }
 
-void HostAgent::serve(net::StreamPtr stream) {
+void HostAgent::serve(net::Stream& stream) {
   try {
     while (true) {
       Bytes request;
       try {
-        request = net::read_frame(*stream);
+        request = net::read_frame(stream);
       } catch (const IoError&) {
         return;  // peer closed
       }
-      Bytes response;
-      try {
-        response = handle(request);
-      } catch (const std::exception& e) {
-        obs::registry()
-            .counter("vnfsgx_host_agent_errors_total", {},
-                     "Host-agent requests answered with an error message")
-            .add();
-        response = encode(ErrorMessage{e.what()});
-      }
-      net::write_frame(*stream, response);
+      net::write_frame(stream, serve_frame(request));
     }
   } catch (const Error& e) {
     VNFSGX_LOG_WARN("host-agent", host_.name(), ": connection error: ",
                     e.what());
+  }
+}
+
+Bytes HostAgent::serve_frame(ByteView request) {
+  try {
+    return handle(request);
+  } catch (const std::exception& e) {
+    obs::registry()
+        .counter("vnfsgx_host_agent_errors_total", {},
+                 "Host-agent requests answered with an error message")
+        .add();
+    return encode(ErrorMessage{e.what()});
   }
 }
 

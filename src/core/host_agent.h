@@ -21,8 +21,17 @@ class HostAgent {
   /// provisioning under its name.
   void register_vnf(vnf::Vnf& vnf);
 
-  /// Serve request/response frames on one connection until EOF.
-  void serve(net::StreamPtr stream);
+  /// Serve request/response frames on one connection until EOF. The
+  /// borrowing overload suits pooled runtimes where the transport is owned
+  /// by the connection driver.
+  void serve(net::Stream& stream);
+  void serve(net::StreamPtr stream) { serve(*stream); }
+
+  /// Answer one protocol frame; errors come back as an encoded
+  /// ErrorMessage frame, never as an exception. This is the per-burst
+  /// entry used with net::frame_driver, where the runtime owns the framing
+  /// I/O and the connection parks between frames.
+  Bytes serve_frame(ByteView request);
 
  private:
   Bytes handle(ByteView request);

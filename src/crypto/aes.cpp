@@ -5,9 +5,67 @@
 
 #include "common/error.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#define VNFSGX_AESNI_COMPILED 1
+#include <immintrin.h>
+#endif
+
 namespace vnfsgx::crypto {
 
 namespace {
+
+#if defined(VNFSGX_AESNI_COMPILED)
+
+bool cpu_has_aesni() {
+  static const bool available =
+      __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+  return available;
+}
+
+// One block through the full round sequence. Round keys are the FIPS-197
+// schedule serialized big-endian per word — the byte order AESENC consumes.
+__attribute__((target("aes,sse2"))) void aesni_encrypt1(
+    const std::uint8_t* rk, int rounds, const std::uint8_t in[16],
+    std::uint8_t out[16]) {
+  __m128i b = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(in)),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk)));
+  for (int r = 1; r < rounds; ++r) {
+    b = _mm_aesenc_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r)));
+  }
+  b = _mm_aesenclast_si128(
+      b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * rounds)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+// Four independent blocks interleaved: AESENC has multi-cycle latency but
+// single-cycle throughput, so four dependency chains keep the unit fed.
+__attribute__((target("aes,sse2"))) void aesni_encrypt4(
+    const std::uint8_t* rk, int rounds, const std::uint8_t in[64],
+    std::uint8_t out[64]) {
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk));
+  __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + 0), k);
+  __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + 1), k);
+  __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + 2), k);
+  __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + 3), k);
+  for (int r = 1; r < rounds; ++r) {
+    k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * r));
+    b0 = _mm_aesenc_si128(b0, k);
+    b1 = _mm_aesenc_si128(b1, k);
+    b2 = _mm_aesenc_si128(b2, k);
+    b3 = _mm_aesenc_si128(b3, k);
+  }
+  k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * rounds));
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+  _mm_storeu_si128(dst + 0, _mm_aesenclast_si128(b0, k));
+  _mm_storeu_si128(dst + 1, _mm_aesenclast_si128(b1, k));
+  _mm_storeu_si128(dst + 2, _mm_aesenclast_si128(b2, k));
+  _mm_storeu_si128(dst + 3, _mm_aesenclast_si128(b3, k));
+}
+
+#endif  // VNFSGX_AESNI_COMPILED
 
 // The S-box and the four round T-tables are computed at first use (GF(2^8)
 // inversion + affine transform, then MixColumns folded in) instead of being
@@ -81,6 +139,14 @@ inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
 
 }  // namespace
 
+bool aes_hw_available() {
+#if defined(VNFSGX_AESNI_COMPILED)
+  return cpu_has_aesni();
+#else
+  return false;
+#endif
+}
+
 Aes::Aes(ByteView key) {
   int nk;  // key length in 32-bit words
   switch (key.size()) {
@@ -117,6 +183,22 @@ Aes::Aes(ByteView key) {
     }
     round_keys_[i] = round_keys_[i - nk] ^ temp;
   }
+#if defined(VNFSGX_AESNI_COMPILED)
+  if (cpu_has_aesni()) {
+    hw_ = true;
+    for (int i = 0; i < total_words; ++i) {
+      const std::uint32_t w = round_keys_[i];
+      round_key_bytes_[static_cast<std::size_t>(i) * 4] =
+          static_cast<std::uint8_t>(w >> 24);
+      round_key_bytes_[static_cast<std::size_t>(i) * 4 + 1] =
+          static_cast<std::uint8_t>(w >> 16);
+      round_key_bytes_[static_cast<std::size_t>(i) * 4 + 2] =
+          static_cast<std::uint8_t>(w >> 8);
+      round_key_bytes_[static_cast<std::size_t>(i) * 4 + 3] =
+          static_cast<std::uint8_t>(w);
+    }
+  }
+#endif
 }
 
 namespace {
@@ -137,6 +219,12 @@ inline void store_be32(std::uint32_t v, std::uint8_t* p) {
 }  // namespace
 
 void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+#if defined(VNFSGX_AESNI_COMPILED)
+  if (hw_) {
+    aesni_encrypt1(round_key_bytes_.data(), rounds_, in, out);
+    return;
+  }
+#endif
   const AesTables& tb = tables();
   const std::uint32_t* rk = round_keys_.data();
   std::uint32_t s0 = load_be32(in) ^ rk[0];
@@ -183,6 +271,12 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
 }
 
 void Aes::encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const {
+#if defined(VNFSGX_AESNI_COMPILED)
+  if (hw_) {
+    aesni_encrypt4(round_key_bytes_.data(), rounds_, in, out);
+    return;
+  }
+#endif
   // Four independent blocks walked through the rounds together so the four
   // dependency chains interleave (the single-block path is latency-bound on
   // the table lookups).

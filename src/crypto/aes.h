@@ -1,5 +1,9 @@
 // AES-128/192/256 block cipher (FIPS 197), encryption direction only —
 // CTR and GCM modes never need block decryption.
+//
+// Two code paths behind one key schedule: AES-NI (runtime-detected, used
+// whenever the CPU has it — constant-time by construction and ~10x the
+// table path) and the classic T-table software fallback.
 #pragma once
 
 #include <array>
@@ -13,6 +17,9 @@ namespace vnfsgx::crypto {
 inline constexpr std::size_t kAesBlockSize = 16;
 
 using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// True when this build and CPU run AES rounds in hardware (AES-NI).
+bool aes_hw_available();
 
 /// Key-expanded AES context. Supports 16/24/32-byte keys; throws
 /// CryptoError otherwise.
@@ -35,8 +42,12 @@ class Aes {
 
  private:
   // Expanded key schedule is key-equivalent material: wiped on destruct.
+  // The byte-serialized copy feeds AES-NI round-key loads (same schedule,
+  // each word big-endian — the block byte order AESENC consumes).
   Zeroizing<std::array<std::uint32_t, 60>> round_keys_;
+  Zeroizing<std::array<std::uint8_t, 240>> round_key_bytes_;
   int rounds_ = 0;
+  bool hw_ = false;
 };
 
 /// AES-CTR keystream XOR: encrypt == decrypt. The 16-byte counter block is

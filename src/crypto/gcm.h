@@ -3,11 +3,12 @@
 // The AEAD used everywhere: TLS records, SGX sealed blobs, and the
 // provisioning protocol's encrypted credential payloads.
 //
-// GHASH runs table-driven by default: a 16-entry table of H·i (Shoup's
-// 4-bit method, per-key, built in the constructor) plus a key-independent
-// 256-entry reduction table, processing one lookup + shift per nibble
-// instead of 128 conditional-XOR rounds per block. Table indices depend on
-// secret data; `gcm_set_constant_time(true)` selects the branchless
+// GHASH picks the fastest safe path at runtime: PCLMULQDQ carry-less
+// multiplication when the CPU has it (no lookups or branches — it serves
+// both timing modes), else Shoup's 4-bit tables (a 16-entry table of H·i,
+// per-key, built in the constructor, plus a key-independent 256-entry
+// reduction table). Table indices depend on secret data, so without
+// PCLMUL `gcm_set_constant_time(true)` selects the branchless
 // bit-at-a-time fallback (see docs/PROTOCOL.md, "Constant-time notes").
 #pragma once
 
@@ -24,9 +25,13 @@ inline constexpr std::size_t kGcmNonceSize = 12;
 
 /// Process-wide GHASH mode switch. When enabled, AesGcm instances
 /// constructed afterwards use the constant-time bit-at-a-time GF(2^128)
-/// multiply instead of the secret-indexed tables.
+/// multiply instead of the secret-indexed tables. Moot on CPUs with
+/// PCLMUL: the hardware path is constant-time and always preferred.
 void gcm_set_constant_time(bool enabled);
 bool gcm_constant_time();
+
+/// True when this build and CPU run GHASH on PCLMULQDQ.
+bool ghash_hw_available();
 
 /// AES-GCM context bound to one key. Nonces must be 12 bytes (the TLS and
 /// sealing layers both construct 12-byte nonces).
@@ -80,6 +85,9 @@ namespace detail {
 /// inputs so the two code paths can be cross-checked exhaustively.
 AesBlock ghash_mul_reference(const AesBlock& x, const AesBlock& y);
 AesBlock ghash_mul_table(const AesBlock& x, const AesBlock& y);
+/// PCLMUL path when available (falls back to the reference otherwise, so
+/// cross-checks are trivially true on CPUs without it).
+AesBlock ghash_mul_clmul(const AesBlock& x, const AesBlock& y);
 
 }  // namespace detail
 

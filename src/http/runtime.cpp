@@ -1,0 +1,79 @@
+#include "http/runtime.h"
+
+#include <optional>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace vnfsgx::http {
+
+namespace {
+
+class HttpDriver final : public net::ConnectionDriver {
+ public:
+  HttpDriver(net::StreamPtr transport, const Router& router, SessionWrap wrap)
+      : transport_(std::move(transport)),
+        router_(router),
+        wrap_(std::move(wrap)) {}
+
+  net::BurstResult on_readable() override {
+    if (!session_) {
+      // First burst: the peer's initial bytes are on the wire, so the
+      // (possibly multi-round-trip) TLS accept can run to completion here.
+      // A parked connection that never sent a byte never reaches this.
+      try {
+        RequestContext ctx;
+        session_ = wrap_ ? wrap_(std::move(transport_), ctx)
+                         : std::move(transport_);
+        ctx_ = std::move(ctx);
+      } catch (const TimeoutError&) {
+        throw;  // metered by the runtime
+      } catch (const Error& e) {
+        static obs::Counter& rejected = obs::registry().counter(
+            "vnfsgx_http_session_rejects_total", {},
+            "Connections dropped during session setup (TLS handshake or "
+            "authentication failure)");
+        rejected.add();
+        VNFSGX_LOG_DEBUG("http", "session setup failed: ", e.what());
+        return net::BurstResult::kClose;
+      }
+      conn_.emplace(*session_);
+    }
+    if (serve_one(*conn_, router_, ctx_) == ServeResult::kClose) {
+      return net::BurstResult::kClose;
+    }
+    // Bytes already decoded into userspace (pipelined request in the HTTP
+    // buffer, or plaintext in the TLS session) are invisible to epoll/pipe
+    // readiness — ask for an immediate re-dispatch instead of parking.
+    const bool pending = conn_->has_buffered_data() || session_->buffered();
+    return pending ? net::BurstResult::kMoreData
+                   : net::BurstResult::kKeepAlive;
+  }
+
+  // A failed session wrap destroys the transport during unwinding (the TLS
+  // accept consumes the stream); the runtime must not touch its borrowed
+  // pointer or fd afterwards.
+  bool transport_alive() const override {
+    return transport_ != nullptr || session_ != nullptr;
+  }
+
+ private:
+  net::StreamPtr transport_;  // consumed by the wrap on the first burst
+  const Router& router_;
+  SessionWrap wrap_;
+  net::StreamPtr session_;
+  std::optional<Connection> conn_;
+  RequestContext ctx_;
+};
+
+}  // namespace
+
+net::DriverFactory make_http_driver_factory(const Router& router,
+                                            SessionWrap wrap) {
+  return [&router, wrap = std::move(wrap)](net::StreamPtr transport)
+             -> std::unique_ptr<net::ConnectionDriver> {
+    return std::make_unique<HttpDriver>(std::move(transport), router, wrap);
+  };
+}
+
+}  // namespace vnfsgx::http

@@ -1,0 +1,28 @@
+// Glue between the HTTP server loop and the net::ServerRuntime pool: a
+// ConnectionDriver that keeps per-connection protocol state (optional TLS
+// session, the buffered HTTP connection) alive across parked intervals and
+// serves exactly one request/response exchange per readiness burst.
+#pragma once
+
+#include <functional>
+
+#include "http/server.h"
+#include "net/server.h"
+
+namespace vnfsgx::http {
+
+/// Upgrades a freshly accepted transport into the application stream on
+/// the connection's first burst — e.g. runs a TLS accept and records the
+/// authenticated peer in the context. Throwing rejects the connection.
+/// The default (empty) wrap serves plain HTTP on the transport.
+using SessionWrap =
+    std::function<net::StreamPtr(net::StreamPtr, RequestContext&)>;
+
+/// Driver factory for ServerRuntime::listen_*: each accepted connection
+/// gets a driver that (lazily, on first readable) wraps the transport and
+/// then serves one HTTP exchange per burst. The router is borrowed and
+/// must outlive the runtime.
+net::DriverFactory make_http_driver_factory(const Router& router,
+                                            SessionWrap wrap = {});
+
+}  // namespace vnfsgx::http

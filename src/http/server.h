@@ -2,12 +2,15 @@
 //
 // Transport-agnostic: `serve_connection` drives any Stream (plain pipe,
 // TCP socket, or a TLS session), which is how the controller offers the
-// same REST API in all three Floodlight security modes.
+// same REST API in all three Floodlight security modes. `serve_one` is the
+// single-burst variant the ServerRuntime worker pool runs per readiness
+// event.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "http/wire.h"
 #include "net/stream.h"
@@ -24,7 +27,12 @@ struct RequestContext {
 using Handler = std::function<Response(const Request&, const RequestContext&)>;
 
 /// Method+path router. Paths match exactly, or by prefix when registered
-/// with a trailing "/*" wildcard (longest prefix wins).
+/// with a trailing "/*" wildcard (longest prefix wins; an exact route beats
+/// a wildcard of the same length).
+///
+/// Dispatch is O(log n) over a method+path-sorted table for exact routes
+/// plus a short longest-first scan of the (few) wildcard routes — no longer
+/// a linear pass over every registration per request.
 class Router {
  public:
   void add(const std::string& method, const std::string& path, Handler handler);
@@ -36,11 +44,22 @@ class Router {
   struct Route {
     std::string method;
     std::string prefix;  // without the "/*"
-    bool wildcard = false;
     Handler handler;
   };
-  std::vector<Route> routes_;
+  std::vector<Route> exact_;     // sorted by (prefix, method)
+  std::vector<Route> wildcard_;  // sorted by prefix length, longest first
 };
+
+/// Outcome of one request/response exchange.
+enum class ServeResult { kKeepAlive, kClose };
+
+/// Serve exactly one request/response exchange on an established buffered
+/// connection. Maps handler exceptions to 500, parse errors to 400+close,
+/// and peer disappearance to kClose. TimeoutError (a stalled mid-request
+/// peer on a deadline-bearing transport) propagates so the server runtime
+/// can meter it.
+ServeResult serve_one(Connection& conn, const Router& router,
+                      const RequestContext& ctx = {});
 
 /// Serve HTTP/1.1 on one connection until the peer closes or sends
 /// "Connection: close". Exceptions from handlers map to 500 responses;

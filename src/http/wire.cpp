@@ -7,6 +7,10 @@ namespace vnfsgx::http {
 
 namespace {
 
+/// Keep-alive buffers are compacted once the consumed prefix passes this,
+/// instead of after every message — amortizes the memmove.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
 void append_headers(Bytes& out, const Headers& headers, std::size_t body_size) {
   bool has_content_length = false;
   for (const auto& [name, value] : headers.entries()) {
@@ -57,19 +61,18 @@ Headers parse_headers(std::string_view block) {
 
 }  // namespace
 
-Bytes encode_request(const Request& request) {
-  Bytes out;
+void encode_request_into(Bytes& out, const Request& request) {
+  out.clear();
   append(out, request.method);
   append(out, std::string_view(" "));
   append(out, request.target);
   append(out, std::string_view(" HTTP/1.1\r\n"));
   append_headers(out, request.headers, request.body.size());
   append(out, request.body);
-  return out;
 }
 
-Bytes encode_response(const Response& response) {
-  Bytes out;
+void encode_response_into(Bytes& out, const Response& response) {
+  out.clear();
   append(out, std::string_view("HTTP/1.1 "));
   append(out, std::to_string(response.status));
   append(out, std::string_view(" "));
@@ -78,30 +81,58 @@ Bytes encode_response(const Response& response) {
   append(out, std::string_view("\r\n"));
   append_headers(out, response.headers, response.body.size());
   append(out, response.body);
+}
+
+Bytes encode_request(const Request& request) {
+  Bytes out;
+  encode_request_into(out, request);
+  return out;
+}
+
+Bytes encode_response(const Response& response) {
+  Bytes out;
+  encode_response_into(out, response);
   return out;
 }
 
 bool Connection::fill() {
-  std::uint8_t chunk[4096];
-  const std::size_t n = stream_.read(std::span<std::uint8_t>(chunk, sizeof chunk));
-  if (n == 0) return false;
-  buffer_.insert(buffer_.end(), chunk, chunk + n);
-  return true;
+  // Read straight into the buffer's tail — no bounce through a stack chunk.
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t old_size = buffer_.size();
+  buffer_.resize(old_size + kChunk);
+  std::size_t n = 0;
+  try {
+    n = stream_.read(std::span<std::uint8_t>(buffer_.data() + old_size, kChunk));
+  } catch (...) {
+    buffer_.resize(old_size);
+    throw;
+  }
+  buffer_.resize(old_size + n);
+  return n != 0;
 }
 
-std::optional<std::string> Connection::read_header_block() {
+void Connection::compact() {
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();  // keeps capacity for the next request
+    pos_ = 0;
+  } else if (pos_ > kCompactThreshold) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  scan_ = pos_;
+}
+
+std::optional<std::size_t> Connection::find_header_end() {
+  scan_ = std::max(scan_, pos_);
   while (true) {
-    // Search for CRLFCRLF starting at pos_.
-    if (buffer_.size() >= pos_ + 4) {
-      for (std::size_t i = pos_; i + 4 <= buffer_.size(); ++i) {
-        if (buffer_[i] == '\r' && buffer_[i + 1] == '\n' &&
-            buffer_[i + 2] == '\r' && buffer_[i + 3] == '\n') {
-          std::string block(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                            buffer_.begin() + static_cast<std::ptrdiff_t>(i + 4));
-          pos_ = i + 4;
-          return block;
-        }
+    // Resume the CRLFCRLF search where the last fill left off instead of
+    // rescanning the block from the start each time.
+    while (scan_ + 4 <= buffer_.size()) {
+      if (buffer_[scan_] == '\r' && buffer_[scan_ + 1] == '\n' &&
+          buffer_[scan_ + 2] == '\r' && buffer_[scan_ + 3] == '\n') {
+        return scan_ + 4;
       }
+      ++scan_;
     }
     if (buffer_.size() - pos_ > kMaxHeaderBytes) {
       throw ParseError("http: header block too large");
@@ -132,18 +163,22 @@ Bytes Connection::read_body(const Headers& headers) {
   Bytes body(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
              buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + length));
   pos_ += length;
-  // Compact the buffer between messages.
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
-  pos_ = 0;
+  compact();
   return body;
 }
 
 std::optional<Request> Connection::read_request() {
-  const auto block = read_header_block();
-  if (!block) return std::nullopt;
+  const auto end = find_header_end();
+  if (!end) return std::nullopt;
+  // Parse the request line + headers in place; everything outlives the
+  // parse because read_body (which may grow/reallocate the buffer) runs
+  // only after the header fields are copied into owning strings.
+  const std::string_view block(
+      reinterpret_cast<const char*>(buffer_.data()) + pos_, *end - pos_);
+  pos_ = *end;
 
-  const auto eol = block->find("\r\n");
-  const std::string_view line(block->data(), eol);
+  const auto eol = block.find("\r\n");
+  const std::string_view line = block.substr(0, eol);
   const auto sp1 = line.find(' ');
   const auto sp2 = line.rfind(' ');
   if (sp1 == std::string_view::npos || sp2 == sp1) {
@@ -156,17 +191,20 @@ std::optional<Request> Connection::read_request() {
   if (version != "HTTP/1.1" && version != "HTTP/1.0") {
     throw ParseError("http: unsupported version");
   }
-  req.headers = parse_headers(std::string_view(*block).substr(eol + 2));
+  req.headers = parse_headers(block.substr(eol + 2));
   req.body = read_body(req.headers);
   return req;
 }
 
 std::optional<Response> Connection::read_response() {
-  const auto block = read_header_block();
-  if (!block) return std::nullopt;
+  const auto end = find_header_end();
+  if (!end) return std::nullopt;
+  const std::string_view block(
+      reinterpret_cast<const char*>(buffer_.data()) + pos_, *end - pos_);
+  pos_ = *end;
 
-  const auto eol = block->find("\r\n");
-  const std::string_view line(block->data(), eol);
+  const auto eol = block.find("\r\n");
+  const std::string_view line = block.substr(0, eol);
   if (line.substr(0, 5) != "HTTP/") throw ParseError("http: bad status line");
   const auto sp1 = line.find(' ');
   if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
@@ -181,7 +219,7 @@ std::optional<Response> Connection::read_response() {
   if (sp1 + 5 <= line.size()) {
     res.reason = std::string(line.substr(sp1 + 5));
   }
-  res.headers = parse_headers(std::string_view(*block).substr(eol + 2));
+  res.headers = parse_headers(block.substr(eol + 2));
   res.body = read_body(res.headers);
   return res;
 }

@@ -3,6 +3,11 @@
 // Blocking reader with an internal buffer; handles pipelined keep-alive
 // exchanges. Bodies are delimited by Content-Length (chunked encoding is
 // rejected — no peer in this system produces it).
+//
+// The read buffer, the CRLFCRLF scan cursor, and the encode scratch all
+// persist across keep-alive requests, so a long-lived connection settles
+// into a zero-allocation steady state on the wire layer (mirroring the TLS
+// record path's reused scratch buffers).
 #pragma once
 
 #include "http/message.h"
@@ -19,6 +24,11 @@ Bytes encode_request(const Request& request);
 /// Serialize a response to the wire (adds Content-Length).
 Bytes encode_response(const Response& response);
 
+/// Append-serialize into a caller-owned scratch buffer (cleared first);
+/// lets keep-alive loops reuse one allocation across messages.
+void encode_request_into(Bytes& out, const Request& request);
+void encode_response_into(Bytes& out, const Response& response);
+
 /// Buffered connection wrapper used by both client and server sides.
 class Connection {
  public:
@@ -32,21 +42,34 @@ class Connection {
   /// Read one response. Same EOF/exception contract as read_request.
   std::optional<Response> read_response();
 
-  void write(const Request& request) { stream_.write(encode_request(request)); }
+  void write(const Request& request) {
+    encode_request_into(write_scratch_, request);
+    stream_.write(write_scratch_);
+  }
   void write(const Response& response) {
-    stream_.write(encode_response(response));
+    encode_response_into(write_scratch_, response);
+    stream_.write(write_scratch_);
   }
 
+  /// True when a later message's bytes are already sitting in the read
+  /// buffer (pipelined requests). The server runtime re-dispatches such
+  /// connections instead of parking them — the readiness source only sees
+  /// the transport, not this buffer.
+  bool has_buffered_data() const { return pos_ < buffer_.size(); }
+
  private:
-  /// Read until CRLFCRLF; returns header block including final CRLF pair,
-  /// or nullopt on immediate EOF.
-  std::optional<std::string> read_header_block();
+  /// Find the end of the next header block (index one past CRLFCRLF),
+  /// filling from the stream as needed; npos-like nullopt on clean EOF.
+  std::optional<std::size_t> find_header_end();
   Bytes read_body(const Headers& headers);
   bool fill();  // pull more bytes from the stream; false on EOF
+  void compact();
 
   net::Stream& stream_;
   Bytes buffer_;
   std::size_t pos_ = 0;
+  std::size_t scan_ = 0;  // resume point for the CRLFCRLF search
+  Bytes write_scratch_;
 };
 
 }  // namespace vnfsgx::http

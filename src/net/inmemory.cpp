@@ -1,6 +1,7 @@
 #include "net/inmemory.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/metrics.h"
 
@@ -21,10 +22,13 @@ class Channel {
     chunks_.push_back(Chunk{Bytes(data.begin(), data.end()),
                             SteadyClock::now() + latency_});
     cv_.notify_all();
+    if (on_readable_) on_readable_();
   }
 
   std::size_t receive(std::span<std::uint8_t> out) {
     std::unique_lock<std::mutex> lock(mutex_);
+    const bool bounded = read_timeout_.count() > 0;
+    const auto deadline = SteadyClock::now() + read_timeout_;
     while (true) {
       if (!chunks_.empty()) {
         const auto deliver_at = chunks_.front().deliver_at;
@@ -34,7 +38,12 @@ class Channel {
         continue;
       }
       if (closed_) return 0;
-      cv_.wait(lock);
+      if (!bounded) {
+        cv_.wait(lock);
+      } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+                 chunks_.empty() && !closed_) {
+        throw TimeoutError("pipe receive deadline expired");
+      }
     }
     std::size_t off = 0;
     while (off < out.size() && !chunks_.empty() &&
@@ -55,6 +64,22 @@ class Channel {
     const std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
     cv_.notify_all();
+    if (on_readable_) on_readable_();  // readers observe EOF
+  }
+
+  void set_readable_callback(std::function<void()> callback) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    on_readable_ = std::move(callback);
+  }
+
+  bool readable() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return !chunks_.empty() || closed_;
+  }
+
+  void set_read_timeout(std::chrono::milliseconds timeout) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    read_timeout_ = timeout;
   }
 
  private:
@@ -69,6 +94,8 @@ class Channel {
   std::deque<Chunk> chunks_;
   bool closed_ = false;
   std::chrono::microseconds latency_;
+  std::chrono::milliseconds read_timeout_{0};
+  std::function<void()> on_readable_;
 };
 
 class PipeStream final : public Stream {
@@ -76,7 +103,14 @@ class PipeStream final : public Stream {
   PipeStream(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in)
       : out_(std::move(out)), in_(std::move(in)) {}
 
-  ~PipeStream() override { PipeStream::close(); }
+  ~PipeStream() override {
+    // Tear down our own readiness hook first: once this end is gone nobody
+    // will read from it, and owners (pooled runtimes) rely on destruction
+    // clearing the hook even when the stream dies mid-burst inside a failed
+    // session wrap — their borrowed stream pointer is dangling by then.
+    in_->set_readable_callback(nullptr);
+    PipeStream::close();
+  }
 
   void write(ByteView data) override { out_->send(data); }
 
@@ -88,6 +122,16 @@ class PipeStream final : public Stream {
     out_->close();
     in_->close();
   }
+
+  void set_read_timeout(std::chrono::milliseconds timeout) override {
+    in_->set_read_timeout(timeout);
+  }
+
+  void set_readable_callback(std::function<void()> callback) {
+    in_->set_readable_callback(std::move(callback));
+  }
+
+  bool readable() { return in_->readable(); }
 
  private:
   std::shared_ptr<Channel> out_;
@@ -103,12 +147,27 @@ std::pair<StreamPtr, StreamPtr> make_pipe(const LinkOptions& options) {
           std::make_unique<PipeStream>(b_to_a, a_to_b)};
 }
 
+bool set_pipe_readable_callback(Stream& stream,
+                                std::function<void()> callback) {
+  auto* pipe = dynamic_cast<PipeStream*>(&stream);
+  if (!pipe) return false;
+  pipe->set_readable_callback(std::move(callback));
+  return true;
+}
+
+bool pipe_readable(Stream& stream) {
+  auto* pipe = dynamic_cast<PipeStream*>(&stream);
+  return pipe != nullptr && pipe->readable();
+}
+
 InMemoryNetwork::~InMemoryNetwork() { join_all(); }
 
 void InMemoryNetwork::serve(const std::string& address, AcceptHandler handler,
-                            const LinkOptions& options) {
+                            const LinkOptions& options, ServeMode mode) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!listeners_.emplace(address, Listener{std::move(handler), options}).second) {
+  if (!listeners_
+           .emplace(address, Listener{std::move(handler), options, mode})
+           .second) {
     throw Error("inmemory: address already in use: " + address);
   }
 }
@@ -121,6 +180,7 @@ void InMemoryNetwork::stop_serving(const std::string& address) {
 StreamPtr InMemoryNetwork::connect(const std::string& address) {
   AcceptHandler handler;
   LinkOptions options;
+  ServeMode mode;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = listeners_.find(address);
@@ -129,6 +189,7 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
     }
     handler = it->second.handler;
     options = it->second.options;
+    mode = it->second.mode;
   }
   static obs::Counter& accepted = obs::registry().counter(
       "vnfsgx_net_connections_total", {{"transport", "inmemory"}},
@@ -138,26 +199,56 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
       "Connections with a live server-side handler");
   auto [client_end, server_end] = make_pipe(options);
   accepted.add();
+  if (mode == ServeMode::kInline) {
+    // Pooled dispatch: the handler only registers the server end with a
+    // runtime and returns, so no thread is spawned at all. The runtime's
+    // connection-close path owns the active-gauge decrement instead.
+    handler(std::move(server_end));
+    return std::move(client_end);
+  }
   active.add(1);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    threads_.emplace_back(
-        [handler = std::move(handler), server = std::move(server_end)]() mutable {
+    reap_locked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    threads_.push_back(ConnThread{
+        std::thread([handler = std::move(handler),
+                     server = std::move(server_end), done]() mutable {
           handler(std::move(server));
           active.add(-1);
-        });
+          done->store(true, std::memory_order_release);
+        }),
+        done});
   }
   return std::move(client_end);
 }
 
+void InMemoryNetwork::reap_locked() {
+  // Join and drop threads whose handler already returned; callers hold
+  // mutex_. join() on a finished thread returns immediately, so this keeps
+  // threads_ proportional to *live* connections instead of every handle
+  // ever spawned.
+  std::erase_if(threads_, [](ConnThread& ct) {
+    if (!ct.done->load(std::memory_order_acquire)) return false;
+    if (ct.thread.joinable()) ct.thread.join();
+    return true;
+  });
+}
+
+std::size_t InMemoryNetwork::live_connection_threads() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reap_locked();
+  return threads_.size();
+}
+
 void InMemoryNetwork::join_all() {
-  std::vector<std::thread> threads;
+  std::vector<ConnThread> threads;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     threads.swap(threads_);
   }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  for (auto& ct : threads) {
+    if (ct.thread.joinable()) ct.thread.join();
   }
 }
 

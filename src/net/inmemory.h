@@ -4,7 +4,10 @@
 // so benchmarks can model a LAN between the Verification Manager, the
 // container host and the controller without real sockets. The
 // InMemoryNetwork maps string addresses ("controller:8443") to accept
-// handlers, each served on its own thread (thread-per-connection).
+// handlers. Handlers run either on a per-connection thread (legacy mode,
+// reaped as connections finish) or inline on the connector's thread
+// (kInline — used by the ServerRuntime's pooled dispatcher, which only
+// registers the connection and returns immediately).
 #pragma once
 
 #include <chrono>
@@ -12,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -30,12 +34,33 @@ struct LinkOptions {
 /// `second` and vice versa, after `options.latency`.
 std::pair<StreamPtr, StreamPtr> make_pipe(const LinkOptions& options = {});
 
+/// Install (or clear, with nullptr) a readiness hook on a pipe stream from
+/// make_pipe: the callback fires every time bytes or EOF become available
+/// to read on `stream`. It is invoked from the *writer's* thread while the
+/// pipe's internal lock is held, so it must be cheap and must not re-enter
+/// the pipe; after a clear() returns, no further invocations happen.
+/// Returns false if `stream` is not a pipe stream.
+bool set_pipe_readable_callback(Stream& stream, std::function<void()> callback);
+
+/// Level-triggered readiness probe: true when `stream` (a pipe stream) has
+/// bytes queued or has seen peer EOF — i.e. a read would not block. This is
+/// the pipe analogue of a level-triggered epoll check; pooled runtimes use
+/// it to decide whether a parked connection needs a dispatch right now.
+/// Returns false for non-pipe streams.
+bool pipe_readable(Stream& stream);
+
+/// How InMemoryNetwork runs a listener's accept handler.
+enum class ServeMode {
+  kThreadPerConnection,  // legacy: handler owns the connection on a thread
+  kInline,               // handler registers + returns on the caller's thread
+};
+
 /// In-process network with named listeners.
 ///
 /// `serve` registers an address; `connect` creates a pipe, hands the server
-/// end to the handler on a fresh thread, and returns the client end.
-/// Destroying the network waits for all connection threads to finish, so
-/// handlers must terminate when their stream is closed.
+/// end to the handler, and returns the client end. Destroying the network
+/// waits for all connection threads to finish, so thread-mode handlers must
+/// terminate when their stream is closed.
 class InMemoryNetwork {
  public:
   using AcceptHandler = std::function<void(StreamPtr)>;
@@ -48,7 +73,8 @@ class InMemoryNetwork {
 
   /// Register a listener. Throws Error if the address is taken.
   void serve(const std::string& address, AcceptHandler handler,
-             const LinkOptions& options = {});
+             const LinkOptions& options = {},
+             ServeMode mode = ServeMode::kThreadPerConnection);
 
   /// Remove a listener (existing connections keep running).
   void stop_serving(const std::string& address);
@@ -59,15 +85,27 @@ class InMemoryNetwork {
   /// Wait for all spawned connection threads (also done by the destructor).
   void join_all();
 
+  /// Connection threads still running (finished ones are reaped lazily on
+  /// each connect). Bounded by live thread-mode connections, not by the
+  /// total ever accepted.
+  std::size_t live_connection_threads();
+
  private:
   struct Listener {
     AcceptHandler handler;
     LinkOptions options;
+    ServeMode mode = ServeMode::kThreadPerConnection;
   };
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void reap_locked();
 
   std::mutex mutex_;
   std::map<std::string, Listener> listeners_;
-  std::vector<std::thread> threads_;
+  std::vector<ConnThread> threads_;
 };
 
 }  // namespace vnfsgx::net

@@ -1,0 +1,107 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace vnfsgx::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// Reserved token for the self-wake eventfd; connection ids start at 1.
+constexpr std::uint64_t kWakeToken = ~std::uint64_t{0};
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeToken;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl add wakefd");
+  }
+}
+
+Reactor::~Reactor() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Reactor::add(int fd, std::uint64_t token, bool oneshot) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (oneshot ? EPOLLONESHOT : 0u);
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl add");
+  }
+}
+
+void Reactor::rearm(int fd, std::uint64_t token) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl mod");
+  }
+}
+
+void Reactor::remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::size_t Reactor::wait(std::span<Event> out, int timeout_ms) {
+  if (out.empty()) return 0;
+  epoll_event events[64];
+  const int cap =
+      static_cast<int>(std::min(out.size(), std::size_t{64}));
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, cap, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+
+  std::size_t count = 0;
+  for (int i = 0; i < n; ++i) {
+    Event& e = out[count++];
+    e = Event{};
+    if (events[i].data.u64 == kWakeToken) {
+      e.wake = true;
+      std::uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+      }
+      continue;
+    }
+    e.token = events[i].data.u64;
+    e.readable = (events[i].events & EPOLLIN) != 0;
+    e.hangup =
+        (events[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+  }
+  return count;
+}
+
+void Reactor::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+}  // namespace vnfsgx::net

@@ -1,0 +1,54 @@
+// Readiness reactor: a thin epoll(7) wrapper.
+//
+// One Reactor instance backs a ServerRuntime: listening sockets register
+// level-triggered, accepted connections register EPOLLONESHOT so a parked
+// keep-alive connection fires exactly once per readiness burst and stays
+// quiet until a worker re-arms it. A self-wake eventfd unblocks wait() for
+// shutdown and cross-thread nudges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vnfsgx::net {
+
+class Reactor {
+ public:
+  struct Event {
+    std::uint64_t token = 0;
+    bool readable = false;
+    bool hangup = false;  // EPOLLHUP/EPOLLERR/EPOLLRDHUP
+    bool wake = false;    // the self-wake eventfd fired
+  };
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Register `fd` for read readiness under `token`. One-shot fds deliver a
+  /// single event and then stay disarmed until rearm().
+  void add(int fd, std::uint64_t token, bool oneshot);
+
+  /// Re-arm a one-shot fd (EPOLL_CTL_MOD). Level-triggered semantics: if
+  /// the fd is already readable the event fires again immediately, which is
+  /// what keeps pipelined data from being stranded.
+  void rearm(int fd, std::uint64_t token);
+
+  /// Deregister `fd`. Safe to call for fds never added (no-op).
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever) and fill `out` with ready
+  /// events; returns the count. Wake events appear with `wake == true`.
+  std::size_t wait(std::span<Event> out, int timeout_ms);
+
+  /// Make a concurrent (or the next) wait() return with a wake event.
+  void wake();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace vnfsgx::net

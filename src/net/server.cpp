@@ -1,0 +1,470 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+
+#include "common/logging.h"
+#include "net/framing.h"
+#include "obs/metrics.h"
+
+namespace vnfsgx::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double us_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() - start)
+      .count();
+}
+
+class BlockingDriver final : public ConnectionDriver {
+ public:
+  BlockingDriver(StreamPtr stream, std::function<void(Stream&)> serve)
+      : stream_(std::move(stream)), serve_(std::move(serve)) {
+    // The protocol paces its own round trips (e.g. the attestation RPC
+    // waits on IAS mid-conversation), so the burst deadline does not apply.
+    stream_->set_read_timeout(std::chrono::milliseconds{0});
+  }
+
+  BurstResult on_readable() override {
+    serve_(*stream_);
+    return BurstResult::kClose;
+  }
+
+ private:
+  StreamPtr stream_;
+  std::function<void(Stream&)> serve_;
+};
+
+class FrameDriver final : public ConnectionDriver {
+ public:
+  FrameDriver(StreamPtr stream, std::function<Bytes(ByteView)> handler)
+      : stream_(std::move(stream)), handler_(std::move(handler)) {}
+
+  BurstResult on_readable() override {
+    Bytes request;
+    try {
+      request = read_frame(*stream_);
+    } catch (const TimeoutError&) {
+      throw;  // stalled mid-frame: metered + dropped by the runtime
+    } catch (const IoError&) {
+      return BurstResult::kClose;  // EOF at a frame boundary
+    }
+    write_frame(*stream_, handler_(request));
+    return BurstResult::kKeepAlive;
+  }
+
+ private:
+  StreamPtr stream_;
+  std::function<Bytes(ByteView)> handler_;
+};
+
+}  // namespace
+
+DriverFactory blocking_driver(std::function<void(Stream&)> serve) {
+  return [serve = std::move(serve)](StreamPtr stream) {
+    return std::make_unique<BlockingDriver>(std::move(stream), serve);
+  };
+}
+
+DriverFactory frame_driver(std::function<Bytes(ByteView)> handler) {
+  return [handler = std::move(handler)](StreamPtr stream) {
+    return std::make_unique<FrameDriver>(std::move(stream), handler);
+  };
+}
+
+struct ServerRuntime::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;           // -1: readiness comes from the pipe callback
+  // Borrowed transport pointer for the level probe at burst end. Only valid
+  // while the driver reports transport_alive() — kClose bursts may have
+  // destroyed the stream already, so teardown never dereferences it.
+  Stream* raw = nullptr;
+  std::unique_ptr<ConnectionDriver> driver;
+  enum class State { kParked, kQueued, kRunning } state = State::kParked;
+  /// Pipe readiness observed while kRunning. Cleared when the burst ends,
+  /// then consulted after the level probe — closing the window between
+  /// "probe said empty" and "parked" where a send would otherwise vanish.
+  bool pending = false;
+  SteadyClock::time_point enqueued_at;
+};
+
+struct ServerRuntime::Listener {
+  std::unique_ptr<TcpListener> listener;
+  DriverFactory factory;
+};
+
+namespace {
+
+struct RuntimeMetrics {
+  obs::Gauge& workers;
+  obs::Gauge& busy;
+  obs::Gauge& queue_depth;
+  obs::Gauge& active;
+  obs::Counter& dispatches;
+  obs::Counter& timeouts;
+  obs::Counter& driver_errors;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& burst_us;
+};
+
+RuntimeMetrics make_metrics(const std::string& name) {
+  const obs::Labels labels{{"runtime", name}};
+  auto& reg = obs::registry();
+  return RuntimeMetrics{
+      reg.gauge("vnfsgx_server_workers", labels,
+                "Worker pool size (bounded; independent of open connections)"),
+      reg.gauge("vnfsgx_server_busy_workers", labels,
+                "Workers currently running a request/response burst"),
+      reg.gauge("vnfsgx_server_queue_depth", labels,
+                "Ready connections waiting for a free worker"),
+      reg.gauge("vnfsgx_server_active_connections", labels,
+                "Open connections owned by the runtime (parked + busy)"),
+      reg.counter("vnfsgx_server_dispatches_total", labels,
+                  "Readiness bursts handed to the worker pool"),
+      reg.counter("vnfsgx_server_burst_timeouts_total", labels,
+                  "Connections dropped because a burst read deadline "
+                  "expired (stalled mid-request peer)"),
+      reg.counter("vnfsgx_server_driver_errors_total", labels,
+                  "Bursts terminated by an unexpected driver exception"),
+      reg.histogram("vnfsgx_server_queue_wait_us", labels,
+                    obs::Histogram::latency_bounds_us(),
+                    "Delay between readiness and a worker picking it up"),
+      reg.histogram("vnfsgx_server_burst_duration_us", labels,
+                    obs::Histogram::latency_bounds_us(),
+                    "Time a worker spent on one request/response burst"),
+  };
+}
+
+RuntimeMetrics& metrics_for(const std::string& name) {
+  // Instruments live for the registry's lifetime; one cached bundle per
+  // runtime name (runtimes with the same name share instruments).
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<RuntimeMetrics>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[name];
+  if (!slot) slot = std::make_unique<RuntimeMetrics>(make_metrics(name));
+  return *slot;
+}
+
+}  // namespace
+
+ServerRuntime::ServerRuntime(ServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers == 0) {
+    options_.workers =
+        std::max<std::size_t>(2, 2 * std::thread::hardware_concurrency());
+  }
+  auto& m = metrics_for(options_.name);
+  m.workers.add(static_cast<std::int64_t>(options_.workers));
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
+}
+
+ServerRuntime::~ServerRuntime() { shutdown(); }
+
+TcpListener& ServerRuntime::listen_tcp(std::uint16_t port,
+                                       DriverFactory factory, int backlog) {
+  auto listener = std::make_unique<TcpListener>(port, backlog);
+  listener->set_nonblocking();
+  TcpListener& ref = *listener;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) throw Error("server runtime: already shut down");
+  const std::uint64_t id = next_id_++;
+  reactor_.add(ref.native_handle(), id, /*oneshot=*/false);
+  listeners_.emplace(id, std::make_unique<Listener>(Listener{
+                             std::move(listener), std::move(factory)}));
+  return ref;
+}
+
+void ServerRuntime::listen_inmemory(InMemoryNetwork& network,
+                                    const std::string& address,
+                                    DriverFactory factory) {
+  network.serve(
+      address,
+      [this, factory = std::move(factory)](StreamPtr stream) {
+        adopt(std::move(stream), factory);
+      },
+      {}, ServeMode::kInline);
+}
+
+void ServerRuntime::adopt(StreamPtr stream, const DriverFactory& factory) {
+  int fd = -1;
+  if (auto* tcp = dynamic_cast<TcpStream*>(stream.get())) {
+    fd = tcp->native_handle();
+  } else if (!set_pipe_readable_callback(*stream, nullptr)) {
+    // Probe: non-TCP streams must be pipes, or there is no way to learn
+    // about readiness while parked.
+    throw Error("server runtime: adopted stream has no readiness source");
+  }
+  register_connection(std::move(stream), factory, fd);
+}
+
+std::uint64_t ServerRuntime::register_connection(StreamPtr stream,
+                                                 const DriverFactory& factory,
+                                                 int fd) {
+  stream->set_read_timeout(options_.burst_read_timeout);
+  Stream* raw = stream.get();
+  auto driver = factory(std::move(stream));
+  if (!driver) return 0;  // factory rejected the connection
+
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->raw = raw;
+  conn->driver = std::move(driver);
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return 0;  // conn destructs; driver closes the stream
+    id = next_id_++;
+    conn->id = id;
+    connections_.emplace(id, std::move(conn));
+    metrics_for(options_.name).active.add(1);
+    // Level-triggered + ONESHOT: if bytes already arrived, the event fires
+    // immediately after this add.
+    if (fd >= 0) reactor_.add(fd, id, /*oneshot=*/true);
+  }
+  if (fd < 0) {
+    // Install the pipe readiness hook outside mutex_ (the hook runs under
+    // the pipe's lock and itself takes mutex_ — keep the order one-way).
+    set_pipe_readable_callback(*raw, [this, id] { notify(id); });
+    // Level-triggered catch-up: dispatch only if bytes or EOF raced ahead
+    // of the hook installation. An idle accepted connection stays parked —
+    // an unconditional dispatch would pin a worker until the burst
+    // deadline and then wrongly drop the idle peer.
+    if (pipe_readable(*raw)) notify(id);
+  }
+  return id;
+}
+
+void ServerRuntime::notify(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  switch (conn.state) {
+    case Connection::State::kParked:
+      enqueue_locked(conn);
+      break;
+    case Connection::State::kRunning:
+      // The in-flight burst may or may not consume the data this event
+      // announces. finish_burst clears this flag and then level-probes the
+      // pipe, so a stale event costs nothing while a fresh one (arriving
+      // after the probe) still schedules a dispatch.
+      conn.pending = true;
+      break;
+    case Connection::State::kQueued:
+      break;
+  }
+}
+
+void ServerRuntime::enqueue_locked(Connection& conn) {
+  conn.state = Connection::State::kQueued;
+  conn.enqueued_at = SteadyClock::now();
+  queue_.push_back(conn.id);
+  auto& m = metrics_for(options_.name);
+  m.queue_depth.add(1);
+  m.dispatches.add();
+  queue_cv_.notify_one();
+}
+
+void ServerRuntime::reactor_loop() {
+  std::array<Reactor::Event, 64> events;
+  while (true) {
+    std::size_t n = 0;
+    try {
+      n = reactor_.wait(events, -1);
+    } catch (const Error& e) {
+      VNFSGX_LOG_WARN("server", options_.name, ": reactor wait: ", e.what());
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Reactor::Event& event = events[i];
+      if (event.wake) continue;
+      Listener* listener = nullptr;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = listeners_.find(event.token);
+        if (it != listeners_.end()) listener = it->second.get();
+      }
+      if (listener) {
+        // Drain the accept queue. Listeners are only destroyed after this
+        // thread is joined, so the borrowed pointer stays valid.
+        while (auto accepted = listener->listener->try_accept()) {
+          const int fd = accepted->native_handle();
+          try {
+            register_connection(std::move(accepted), listener->factory, fd);
+          } catch (const Error& e) {
+            VNFSGX_LOG_WARN("server", options_.name,
+                            ": rejected connection: ", e.what());
+          }
+        }
+        continue;
+      }
+      // Connection readiness (readable and/or hangup — either way a worker
+      // must run the driver so it can observe data or EOF).
+      notify(event.token);
+    }
+  }
+}
+
+void ServerRuntime::worker_loop() {
+  auto& m = metrics_for(options_.name);
+  while (true) {
+    std::uint64_t id = 0;
+    Connection* conn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      id = queue_.front();
+      queue_.pop_front();
+      m.queue_depth.add(-1);
+      const auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      conn = it->second.get();
+      conn->state = Connection::State::kRunning;
+      conn->pending = false;
+      ++busy_workers_;
+      peak_busy_workers_ = std::max(peak_busy_workers_, busy_workers_);
+      m.busy.add(1);
+      m.queue_wait_us.observe(us_since(conn->enqueued_at));
+    }
+    const auto burst_start = SteadyClock::now();
+    BurstResult result = BurstResult::kClose;
+    try {
+      result = conn->driver->on_readable();
+    } catch (const TimeoutError&) {
+      m.timeouts.add();
+    } catch (const std::exception& e) {
+      m.driver_errors.add();
+      VNFSGX_LOG_DEBUG("server", options_.name, ": burst error: ", e.what());
+    }
+    m.burst_us.observe(us_since(burst_start));
+    finish_burst(id, result);
+  }
+}
+
+void ServerRuntime::finish_burst(std::uint64_t id, BurstResult result) {
+  auto& m = metrics_for(options_.name);
+  std::unique_ptr<Connection> dead;
+  bool probe = false;
+  Stream* raw = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --busy_workers_;
+    m.busy.add(-1);
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection& conn = *it->second;
+    if (stopping_) {
+      conn.state = Connection::State::kParked;  // shutdown() reaps it
+      return;
+    }
+    if (result == BurstResult::kClose) {
+      dead = std::move(it->second);
+      connections_.erase(it);
+      m.active.add(-1);
+    } else if (result == BurstResult::kMoreData) {
+      enqueue_locked(conn);
+    } else if (conn.fd >= 0) {
+      conn.state = Connection::State::kParked;
+      // Level-triggered ONESHOT re-arm: fires immediately if bytes arrived
+      // during the burst.
+      try {
+        reactor_.rearm(conn.fd, id);
+      } catch (const Error& e) {
+        VNFSGX_LOG_WARN("server", options_.name, ": rearm: ", e.what());
+        dead = std::move(it->second);
+        connections_.erase(it);
+        m.active.add(-1);
+      }
+    } else {
+      // Pipe analogue of the re-arm. The probe takes the pipe's lock, so
+      // it must run outside mutex_ (lock order: pipe -> runtime); keeping
+      // the state kRunning meanwhile means no other worker can claim (or
+      // destroy) the connection, and any send landing after this clear is
+      // recorded in `pending`.
+      conn.pending = false;
+      probe = true;
+      raw = conn.raw;
+    }
+  }
+  if (probe) {
+    const bool readable = raw != nullptr && pipe_readable(*raw);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = connections_.find(id);
+    if (it != connections_.end()) {
+      Connection& conn = *it->second;
+      if (!stopping_ && (readable || conn.pending)) {
+        enqueue_locked(conn);
+      } else {
+        conn.state = Connection::State::kParked;
+      }
+    }
+  }
+  if (dead) destroy_connection(std::move(dead));
+}
+
+void ServerRuntime::destroy_connection(std::unique_ptr<Connection> conn) {
+  // Outside mutex_ (driver teardown may close sockets and takes the pipe
+  // lock). Never touch conn->raw here: if the driver destroyed its
+  // transport mid-burst (failed TLS accept), the pointer is dangling — and
+  // a closed fd may already be reused by a newer connection, so the epoll
+  // removal must be skipped too (the kernel deregistered it on close).
+  // Pipe readiness hooks are cleared by the pipe stream's own destructor.
+  if (conn->fd >= 0 && conn->driver && conn->driver->transport_alive()) {
+    reactor_.remove(conn->fd);
+  }
+  conn->driver.reset();
+}
+
+std::size_t ServerRuntime::active_connections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.size();
+}
+
+std::size_t ServerRuntime::peak_busy_workers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_busy_workers_;
+}
+
+void ServerRuntime::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  reactor_.wake();
+  queue_cv_.notify_all();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Single-threaded from here on.
+  auto& m = metrics_for(options_.name);
+  for (auto& [id, listener] : listeners_) {
+    listener->listener->close();
+  }
+  listeners_.clear();
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections;
+  connections.swap(connections_);
+  for (auto& [id, conn] : connections) {
+    m.active.add(-1);
+    destroy_connection(std::move(conn));
+  }
+  m.queue_depth.add(-static_cast<std::int64_t>(queue_.size()));
+  queue_.clear();
+  m.workers.add(-static_cast<std::int64_t>(options_.workers));
+}
+
+}  // namespace vnfsgx::net

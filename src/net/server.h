@@ -1,0 +1,158 @@
+// ServerRuntime: shared scalable server scaffolding for every listening
+// surface (controller REST, VM operator API, IAS HTTP API, examples).
+//
+// Replaces thread-per-connection: idle keep-alive connections park in the
+// epoll reactor (or behind a pipe readiness callback for the in-memory
+// transport) costing zero threads. When a connection becomes readable it is
+// queued to a bounded worker pool; the worker runs the protocol's existing
+// blocking code for exactly one request/response burst, then re-arms the
+// connection (EPOLLONESHOT). Thread count is therefore bounded by *active*
+// requests, not open connections. A per-burst read deadline
+// (Stream::set_read_timeout) stops a stalled mid-request peer from pinning
+// a worker: the read throws TimeoutError and the connection is dropped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/inmemory.h"
+#include "net/reactor.h"
+#include "net/stream.h"
+#include "net/tcp.h"
+
+namespace vnfsgx::net {
+
+/// What a worker reports after one readiness burst.
+enum class BurstResult {
+  kKeepAlive,  // park; dispatch again on the next readiness event
+  kMoreData,   // bytes already buffered in userspace — re-queue immediately
+  kClose,      // tear the connection down
+};
+
+/// Per-connection protocol state owned by the runtime. Created when a
+/// connection is accepted; on_readable() runs on a worker thread once per
+/// readiness burst and must consume at most one request/response exchange
+/// before returning (long-running blocking protocols may consume the whole
+/// conversation — they hold a worker for its duration, which is fine for
+/// surfaces whose sessions are active end-to-end, like the attestation RPC).
+class ConnectionDriver {
+ public:
+  virtual ~ConnectionDriver() = default;
+  virtual BurstResult on_readable() = 0;
+
+  /// False once the driver has destroyed its transport ahead of its own
+  /// destruction (e.g. a TLS accept that consumed the stream and threw).
+  /// The runtime checks this before touching the transport's fd or its
+  /// borrowed stream pointer during teardown; kKeepAlive/kMoreData results
+  /// promise the transport is still alive.
+  virtual bool transport_alive() const { return true; }
+};
+
+/// Builds the driver for a freshly accepted transport stream. The runtime
+/// has already applied its burst read deadline to the stream; factories
+/// for trusted multi-round-trip protocols may override it (set 0).
+using DriverFactory =
+    std::function<std::unique_ptr<ConnectionDriver>(StreamPtr)>;
+
+/// Wrap a classic blocking `serve(stream)` loop as a driver: the whole
+/// conversation runs in a single burst on the first readiness event, and
+/// the read deadline is lifted (the protocol paces itself). Idle accepted
+/// connections still cost zero threads until the peer's first byte.
+///
+/// Caution: the conversation pins a worker from first byte to EOF. A
+/// handful of long-lived connections can exhaust the pool, so this is only
+/// for surfaces whose sessions are genuinely active end-to-end. Framed
+/// request/response protocols should use frame_driver, which parks the
+/// connection between frames.
+DriverFactory blocking_driver(std::function<void(Stream&)> serve);
+
+/// Driver for length-prefixed framed request/response protocols (framing.h,
+/// e.g. the attestation RPC): each readiness burst reads exactly one frame,
+/// passes it to `handler`, writes the returned frame back, then parks. The
+/// connection holds no worker between frames, so callers may keep channels
+/// open across long pauses (IAS round trips, operator think time) without
+/// starving the pool. EOF at a frame boundary closes cleanly; a peer that
+/// stalls mid-frame is dropped by the burst read deadline.
+DriverFactory frame_driver(std::function<Bytes(ByteView)> handler);
+
+struct ServerOptions {
+  /// Worker pool size; 0 = max(2, 2 x hardware concurrency).
+  std::size_t workers = 0;
+  /// Per-burst read deadline applied to accepted transports (0 = none).
+  std::chrono::milliseconds burst_read_timeout{1000};
+  /// Metrics label value for this runtime's vnfsgx_server_* instruments.
+  std::string name = "server";
+};
+
+class ServerRuntime {
+ public:
+  explicit ServerRuntime(ServerOptions options = {});
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  /// Bind a TCP listener on 127.0.0.1:`port` (0 = ephemeral) and serve
+  /// accepted connections through the pool. Returns the listener (owned by
+  /// the runtime) so callers can read the bound port.
+  TcpListener& listen_tcp(std::uint16_t port, DriverFactory factory,
+                          int backlog = TcpListener::kDefaultBacklog);
+
+  /// Register `address` on the in-memory network; connections dispatch
+  /// through the same queue + worker pool as TCP ones (ServeMode::kInline —
+  /// no per-connection thread is ever spawned).
+  void listen_inmemory(InMemoryNetwork& network, const std::string& address,
+                       DriverFactory factory);
+
+  /// Adopt an already-connected stream (pipe or TCP) into the pool.
+  void adopt(StreamPtr stream, const DriverFactory& factory);
+
+  /// Stop accepting, drain workers, and close every connection. Called by
+  /// the destructor; idempotent.
+  void shutdown();
+
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t active_connections() const;
+  /// High-water mark of concurrently busy workers (for bounds assertions).
+  std::size_t peak_busy_workers() const;
+
+ private:
+  struct Connection;
+  struct Listener;
+
+  void reactor_loop();
+  void worker_loop();
+  void notify(std::uint64_t id);
+  void enqueue_locked(Connection& conn);
+  void finish_burst(std::uint64_t id, BurstResult result);
+  void destroy_connection(std::unique_ptr<Connection> conn);
+  std::uint64_t register_connection(StreamPtr stream,
+                                    const DriverFactory& factory, int fd);
+
+  ServerOptions options_;
+  Reactor reactor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::uint64_t> queue_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::map<std::uint64_t, std::unique_ptr<Listener>> listeners_;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::size_t busy_workers_ = 0;
+  std::size_t peak_busy_workers_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::thread reactor_thread_;
+};
+
+}  // namespace vnfsgx::net

@@ -6,6 +6,7 @@
 // the same code over real loopback sockets.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -29,6 +30,17 @@ class Stream {
   /// Close this end. Further writes throw; the peer reads EOF after
   /// draining buffered data. Idempotent.
   virtual void close() = 0;
+
+  /// Bound how long a single read() may block before throwing TimeoutError
+  /// (zero = block forever, the default). Transports without deadline
+  /// support ignore the call; stream wrappers (TLS) inherit the deadline of
+  /// the transport they read from.
+  virtual void set_read_timeout(std::chrono::milliseconds /*timeout*/) {}
+
+  /// True when decrypted/decoded bytes are already buffered inside this
+  /// stream object (not visible to the transport's readiness machinery).
+  /// The server runtime re-dispatches instead of parking such connections.
+  virtual bool buffered() const { return false; }
 
   /// Read exactly out.size() bytes or throw IoError on premature EOF.
   void read_exact(std::span<std::uint8_t> out) {

@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -9,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 
 namespace vnfsgx::net {
@@ -29,6 +31,37 @@ obs::Gauge& tcp_active() {
   return obs::registry().gauge("vnfsgx_net_active_connections",
                                {{"transport", "tcp"}},
                                "Open TCP streams (both sides)");
+}
+
+obs::Counter& accept_soft_error(const char* reason) {
+  return obs::registry().counter(
+      "vnfsgx_net_accept_soft_errors_total", {{"reason", reason}},
+      "accept() failures survived without killing the accept loop");
+}
+
+void configure_accepted(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  tcp_connections("server").add();
+  tcp_active().add(1);
+}
+
+/// Classify an accept() errno: returns the metric reason for survivable
+/// failures, nullptr for fatal ones.
+const char* accept_soft_reason(int err) {
+  switch (err) {
+    case ECONNABORTED:  // peer reset while queued in the backlog
+      return "econnaborted";
+    case EMFILE:  // process fd table full — shed this connection
+      return "emfile";
+    case ENFILE:  // system fd table full
+      return "enfile";
+    case ENOBUFS:
+    case ENOMEM:
+      return "enobufs";
+    default:
+      return nullptr;
+  }
 }
 
 }  // namespace
@@ -53,10 +86,21 @@ std::size_t TcpStream::read(std::span<std::uint8_t> out) {
     const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // The socket stays blocking; EAGAIN can only mean SO_RCVTIMEO fired.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("tcp recv deadline expired");
+      }
       throw_errno("tcp recv");
     }
     return static_cast<std::size_t>(n);
   }
+}
+
+void TcpStream::set_read_timeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 void TcpStream::close() {
@@ -91,7 +135,7 @@ StreamPtr TcpStream::connect(const std::string& host, std::uint16_t port) {
   return std::make_unique<TcpStream>(fd);
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("tcp socket");
   const int one = 1;
@@ -104,7 +148,7 @@ TcpListener::TcpListener(std::uint16_t port) {
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     throw_errno("tcp bind");
   }
-  if (::listen(fd_, 64) != 0) throw_errno("tcp listen");
+  if (::listen(fd_, backlog) != 0) throw_errno("tcp listen");
 
   socklen_t len = sizeof addr;
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -120,13 +164,42 @@ StreamPtr TcpListener::accept() {
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) {
       if (errno == EINTR) continue;
+      if (const char* reason = accept_soft_reason(errno)) {
+        accept_soft_error(reason).add();
+        VNFSGX_LOG_WARN("net", "tcp accept soft failure (", reason,
+                        "): ", std::strerror(errno));
+        continue;
+      }
       throw_errno("tcp accept");
     }
-    const int one = 1;
-    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    tcp_connections("server").add();
-    tcp_active().add(1);
+    configure_accepted(client);
     return std::make_unique<TcpStream>(client);
+  }
+}
+
+std::unique_ptr<TcpStream> TcpListener::try_accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return nullptr;
+      if (const char* reason = accept_soft_reason(errno)) {
+        accept_soft_error(reason).add();
+        VNFSGX_LOG_WARN("net", "tcp accept soft failure (", reason,
+                        "): ", std::strerror(errno));
+        return nullptr;  // let the reactor retry on the next readiness event
+      }
+      throw_errno("tcp accept");
+    }
+    configure_accepted(client);
+    return std::make_unique<TcpStream>(client);
+  }
+}
+
+void TcpListener::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("tcp fcntl O_NONBLOCK");
   }
 }
 

@@ -5,7 +5,10 @@
 // examples use this to demonstrate the system end-to-end on localhost.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "net/stream.h"
@@ -26,6 +29,13 @@ class TcpStream final : public Stream {
   std::size_t read(std::span<std::uint8_t> out) override;
   void close() override;
 
+  /// SO_RCVTIMEO: a read blocking longer than `timeout` throws
+  /// TimeoutError. Zero restores indefinite blocking.
+  void set_read_timeout(std::chrono::milliseconds timeout) override;
+
+  /// The underlying socket fd (for readiness registration); -1 once closed.
+  int native_handle() const { return fd_; }
+
   /// Connect to host:port (IPv4 dotted quad or "localhost").
   static StreamPtr connect(const std::string& host, std::uint16_t port);
 
@@ -36,18 +46,37 @@ class TcpStream final : public Stream {
 /// Listening TCP socket bound to 127.0.0.1.
 class TcpListener {
  public:
-  /// Bind to the given port; port 0 picks an ephemeral port.
-  explicit TcpListener(std::uint16_t port);
+  /// Bind to the given port; port 0 picks an ephemeral port. `backlog` is
+  /// the listen(2) queue depth — deep by default so connection storms from
+  /// a VNF fleet queue in the kernel instead of seeing RSTs.
+  explicit TcpListener(std::uint16_t port, int backlog = kDefaultBacklog);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
+  static constexpr int kDefaultBacklog = 1024;
+
   /// The actual bound port.
   std::uint16_t port() const { return port_; }
 
+  /// The listening fd (for readiness registration); -1 once closed.
+  int native_handle() const { return fd_; }
+
   /// Block until a client connects. Throws IoError once closed.
+  /// Transient accept failures (ECONNABORTED: peer gave up while queued;
+  /// EMFILE/ENFILE: fd exhaustion) are logged + metered and retried rather
+  /// than thrown, so one bad connection cannot kill the accept loop.
   StreamPtr accept();
+
+  /// Non-blocking accept for reactor loops: the listener must be in
+  /// non-blocking mode (see set_nonblocking). Returns nullptr when no
+  /// connection is pending or on a metered soft failure; throws IoError
+  /// only for fatal conditions (listener closed).
+  std::unique_ptr<TcpStream> try_accept();
+
+  /// Switch the listening socket to non-blocking accepts.
+  void set_nonblocking();
 
   /// Unblock pending accept() calls and refuse new connections.
   void close();

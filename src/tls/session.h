@@ -34,6 +34,12 @@ class Session final : public net::Stream {
   void write(ByteView data) override;
   std::size_t read(std::span<std::uint8_t> out) override;
   void close() override;
+  void set_read_timeout(std::chrono::milliseconds timeout) override {
+    transport_->set_read_timeout(timeout);
+  }
+  /// Decrypted application bytes already queued in userspace — invisible
+  /// to transport-level readiness polling.
+  bool buffered() const override { return read_pos_ < read_buffer_.size(); }
 
   /// The peer's verified certificate (servers in mutual-auth mode and
   /// clients always have one — on *full* handshakes; resumed sessions

@@ -5,8 +5,11 @@
 #include <chrono>
 #include <thread>
 
+#include <array>
+
 #include "net/framing.h"
 #include "net/inmemory.h"
+#include "net/reactor.h"
 #include "net/tcp.h"
 
 namespace vnfsgx::net {
@@ -192,6 +195,183 @@ TEST(Tcp, EofOnPeerClose) {
 
 TEST(Tcp, InvalidAddressThrows) {
   EXPECT_THROW(TcpStream::connect("not-an-ip", 80), IoError);
+}
+
+TEST(Tcp, ListenerAcceptsConfigurableBacklog) {
+  TcpListener listener(0, /*backlog=*/2048);
+  ASSERT_GT(listener.port(), 0);
+  std::thread server([&listener] {
+    auto s = listener.accept();
+    s->write(to_bytes("k"));
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  EXPECT_EQ(to_string(client->read_exact(1)), "k");
+  server.join();
+}
+
+TEST(Tcp, TryAcceptReturnsNullWhenNoPending) {
+  TcpListener listener(0);
+  listener.set_nonblocking();
+  EXPECT_EQ(listener.try_accept(), nullptr);
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  // The connection completes asynchronously; poll briefly.
+  std::unique_ptr<TcpStream> accepted;
+  for (int i = 0; i < 200 && !accepted; ++i) {
+    accepted = listener.try_accept();
+    if (!accepted) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(listener.try_accept(), nullptr);
+}
+
+TEST(Tcp, ReadDeadlineThrowsTimeout) {
+  TcpListener listener(0);
+  std::thread server([&listener] {
+    auto s = listener.accept();
+    // Hold the connection open without sending anything.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    s->close();
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  client->set_read_timeout(std::chrono::milliseconds(50));
+  std::uint8_t buf[1];
+  EXPECT_THROW(client->read(std::span<std::uint8_t>(buf, 1)), TimeoutError);
+  // Clearing the deadline restores blocking reads (EOF after peer close).
+  client->set_read_timeout(std::chrono::milliseconds(0));
+  EXPECT_EQ(client->read(std::span<std::uint8_t>(buf, 1)), 0u);
+  server.join();
+}
+
+TEST(Pipe, ReadDeadlineThrowsTimeout) {
+  auto [a, b] = make_pipe();
+  b->set_read_timeout(std::chrono::milliseconds(50));
+  std::uint8_t buf[1];
+  EXPECT_THROW(b->read(std::span<std::uint8_t>(buf, 1)), TimeoutError);
+  // Data beats the deadline on a later read.
+  a->write(to_bytes("x"));
+  EXPECT_EQ(b->read(std::span<std::uint8_t>(buf, 1)), 1u);
+}
+
+TEST(Pipe, ReadableCallbackFiresOnDataAndEof) {
+  auto [a, b] = make_pipe();
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(set_pipe_readable_callback(*b, [&fired] { ++fired; }));
+  a->write(to_bytes("x"));
+  EXPECT_GE(fired.load(), 1);
+  const int after_write = fired.load();
+  a->close();
+  EXPECT_GT(fired.load(), after_write);  // EOF is a readiness event too
+  ASSERT_TRUE(set_pipe_readable_callback(*b, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection bound: finished handler threads are reaped.
+// ---------------------------------------------------------------------------
+
+TEST(InMemoryNetworkTest, FinishedConnectionThreadsAreReaped) {
+  InMemoryNetwork net;
+  net.serve("svc:1", [](StreamPtr s) {
+    Bytes b = s->read_exact(1);
+    s->write(b);
+  });
+  // 100 sequential connections, each fully drained before the next: the
+  // live thread count must stay O(1), not grow to 100.
+  std::size_t peak = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto c = net.connect("svc:1");
+    const std::uint8_t byte = 1;
+    c->write(ByteView(&byte, 1));
+    EXPECT_EQ(c->read_exact(1)[0], byte);
+    c->close();
+    peak = std::max(peak, net.live_connection_threads());
+  }
+  // A handful may still be between "handler returned" and "joined", but
+  // nowhere near one thread per historical connection.
+  EXPECT_LE(peak, 8u);
+  net.join_all();
+  EXPECT_EQ(net.live_connection_threads(), 0u);
+}
+
+TEST(InMemoryNetworkTest, InlineModeSpawnsNoThreads) {
+  InMemoryNetwork net;
+  std::atomic<int> served{0};
+  net.serve(
+      "svc:1",
+      [&served](StreamPtr s) {
+        ++served;
+        s->close();
+      },
+      {}, ServeMode::kInline);
+  for (int i = 0; i < 10; ++i) {
+    auto c = net.connect("svc:1");
+    EXPECT_EQ(net.live_connection_threads(), 0u);
+  }
+  EXPECT_EQ(served.load(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: epoll readiness with oneshot re-arm and wakeups.
+// ---------------------------------------------------------------------------
+
+TEST(ReactorTest, OneshotDeliversOncePerArm) {
+  TcpListener listener(0);
+  std::thread server([&listener] {
+    auto s = listener.accept();
+    s->write(to_bytes("a"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    s->write(to_bytes("b"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  const int client_fd = static_cast<TcpStream&>(*client).native_handle();
+
+  Reactor reactor;
+  reactor.add(client_fd, 42, /*oneshot=*/true);
+  std::array<Reactor::Event, 8> events;
+
+  ASSERT_EQ(reactor.wait(events, 1000), 1u);
+  EXPECT_EQ(events[0].token, 42u);
+  EXPECT_TRUE(events[0].readable);
+
+  // Oneshot: no further events until re-armed, even though "b" arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(reactor.wait(events, 50), 0u);
+
+  // Level-triggered re-arm fires immediately: bytes are still unread.
+  reactor.rearm(client_fd, 42);
+  ASSERT_EQ(reactor.wait(events, 1000), 1u);
+  EXPECT_EQ(events[0].token, 42u);
+
+  reactor.remove(client_fd);
+  server.join();
+}
+
+TEST(ReactorTest, WakeInterruptsWait) {
+  Reactor reactor;
+  std::array<Reactor::Event, 8> events;
+  std::thread waker([&reactor] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    reactor.wake();
+  });
+  const std::size_t n = reactor.wait(events, 5000);
+  ASSERT_EQ(n, 1u);
+  EXPECT_TRUE(events[0].wake);
+  waker.join();
+}
+
+TEST(ReactorTest, HangupReported) {
+  TcpListener listener(0);
+  std::thread server([&listener] { listener.accept()->close(); });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  const int client_fd = static_cast<TcpStream&>(*client).native_handle();
+  Reactor reactor;
+  reactor.add(client_fd, 7, /*oneshot=*/true);
+  std::array<Reactor::Event, 8> events;
+  ASSERT_EQ(reactor.wait(events, 2000), 1u);
+  EXPECT_EQ(events[0].token, 7u);
+  EXPECT_TRUE(events[0].hangup);
+  reactor.remove(client_fd);
+  server.join();
 }
 
 }  // namespace
