@@ -111,6 +111,133 @@ BENCHMARK(BM_VnfAttestation)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Fleet attestation: serial vs overlapped, over a WAN-modelled IAS link
+// ---------------------------------------------------------------------------
+
+/// Figure-1 deployment with per-write latency on the IAS pipe, so each IAS
+/// round-trip costs a real RTT (the quantity the fleet path overlaps). The
+/// host agent runs thread-per-connection so fleet workers get concurrent
+/// channels; the shared deterministic RNG is serialized by LockedRandom.
+struct FleetBed {
+  static constexpr std::chrono::microseconds kIasOneWay{500};
+
+  explicit FleetBed(int vnf_count)
+      : base_rng(7),
+        rng(base_rng),
+        clock(1'700'000'000),
+        ias(rng, clock),
+        ias_router(ias::make_ias_router(ias)),
+        vendor(crypto::ed25519_generate(rng)),
+        host("host-1", rng, sgx::PlatformOptions{}),
+        vm(rng, clock,
+           ias::IasClient([this] { return net.connect("ias:443"); },
+                          ias.report_signing_key())),
+        agent(host) {
+    net.serve(
+        "ias:443",
+        [this](net::StreamPtr s) { http::serve_connection(*s, ias_router); },
+        net::LinkOptions{.latency = kIasOneWay});
+    net.serve("host-1:7000",
+              [this](net::StreamPtr s) { agent.serve(std::move(s)); });
+    host.boot();
+    host.load_attestation_enclave(vendor.seed);
+    ias.register_platform(
+        host.sgx().platform_id(),
+        host.sgx().quoting_enclave().attestation_public_key());
+    for (int i = 0; i < vnf_count; ++i) {
+      vnfs.push_back(std::make_unique<vnf::Vnf>(
+          "vnf-" + std::to_string(i), host, vendor.seed,
+          std::make_unique<vnf::MonitorFunction>()));
+      agent.register_vnf(*vnfs.back());
+    }
+    vm.appraisal().learn(host.ima().list());
+  }
+
+  ~FleetBed() { net.join_all(); }
+
+  crypto::DeterministicRandom base_rng;
+  crypto::LockedRandom rng;
+  SimClock clock;
+  net::InMemoryNetwork net;
+  ias::IasService ias;
+  http::Router ias_router;
+  crypto::Ed25519KeyPair vendor;
+  host::ContainerHost host;
+  core::VerificationManager vm;
+  core::HostAgent agent;
+  std::vector<std::unique_ptr<vnf::Vnf>> vnfs;
+};
+
+void BM_VnfAttestationSerialWan(benchmark::State& state) {
+  // Baseline for the fleet comparison: the same WAN-modelled IAS link,
+  // one attest_vnf round (RPC + IAS RTT + verify) per VNF, back to back.
+  set_log_level(LogLevel::kOff);
+  const int count = static_cast<int>(state.range(0));
+  FleetBed bed(count);
+  {
+    auto channel = bed.net.connect("host-1:7000");
+    if (!bed.vm.attest_host(*channel).trustworthy) {
+      state.SkipWithError("host attestation failed");
+    }
+  }
+  for (auto _ : state) {
+    auto channel = bed.net.connect("host-1:7000");
+    for (int i = 0; i < count; ++i) {
+      const auto result =
+          bed.vm.attest_vnf(*channel, "vnf-" + std::to_string(i));
+      if (!result.trustworthy) state.SkipWithError("vnf attestation failed");
+    }
+  }
+  state.counters["vnfs"] = count;
+  state.counters["per_vnf_ms"] = benchmark::Counter(
+      static_cast<double>(count) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_VnfAttestationSerialWan)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VnfAttestationFleet(benchmark::State& state) {
+  // Fleet mode: the same N attestations with RPC + IAS legs overlapped on
+  // a bounded worker set (IAS traffic on the keep-alive pool) and all AVR
+  // signatures checked in one Ed25519 batch verification.
+  set_log_level(LogLevel::kOff);
+  const int count = static_cast<int>(state.range(0));
+  FleetBed bed(count);
+  {
+    auto channel = bed.net.connect("host-1:7000");
+    if (!bed.vm.attest_host(*channel).trustworthy) {
+      state.SkipWithError("host attestation failed");
+    }
+  }
+  for (auto _ : state) {
+    std::vector<net::StreamPtr> channels;
+    std::vector<core::FleetTarget> targets;
+    channels.reserve(count);
+    targets.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      channels.push_back(bed.net.connect("host-1:7000"));
+      targets.push_back({channels.back().get(), "vnf-" + std::to_string(i)});
+    }
+    const auto results = bed.vm.attest_fleet(targets, /*max_workers=*/8);
+    for (const auto& r : results) {
+      if (!r.trustworthy) state.SkipWithError("fleet attestation failed");
+    }
+  }
+  state.counters["vnfs"] = count;
+  state.counters["per_vnf_ms"] = benchmark::Counter(
+      static_cast<double>(count) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_VnfAttestationFleet)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_QuoteGenerationOnly(benchmark::State& state) {
   // The host-local slice of steps 1-2: IML report ECALL + QE signing,
   // without the network or IAS.

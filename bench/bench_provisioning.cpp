@@ -135,4 +135,49 @@ void BM_Revocation(benchmark::State& state) {
 }
 BENCHMARK(BM_Revocation)->Arg(0)->Arg(100)->Arg(10000)->Unit(benchmark::kMicrosecond);
 
+void BM_RevocationOutOfOrder(benchmark::State& state) {
+  // Worst case for the CA's incrementally-maintained serial block: each
+  // revocation lands mid-sequence, forcing a full re-encode before the
+  // re-sign (in-order revocations — BM_Revocation — append instead).
+  crypto::DeterministicRandom rng(4);
+  SimClock clock(1'700'000'000);
+  pki::CertificateAuthority ca({"vm-ca", ""}, rng, clock);
+  for (int i = 0; i < state.range(0); ++i) {
+    ca.revoke(static_cast<std::uint64_t>(i) * 2 + 100);
+  }
+  std::uint64_t odd = 101;  // falls between existing even serials
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ca.revoke(odd));
+    odd += 2;
+  }
+  state.counters["crl_size"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RevocationOutOfOrder)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CrlLookup(benchmark::State& state) {
+  // Verifier-side revocation check against a CRL of crl_size serials. The
+  // sorted-serial index makes this a binary search; every trusted-HTTPS
+  // handshake and every cached certificate verdict replays this check.
+  crypto::DeterministicRandom rng(5);
+  SimClock clock(1'700'000'000);
+  pki::CertificateAuthority ca({"vm-ca", ""}, rng, clock);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) ca.revoke(i * 2 + 100);
+  const pki::RevocationList crl = ca.current_crl();
+  std::uint64_t probe = 100;
+  for (auto _ : state) {
+    // Alternate hits (even) and misses (odd) across the serial range.
+    benchmark::DoNotOptimize(crl.is_revoked(probe));
+    probe = (probe + 1) % (2 * n + 200);
+  }
+  state.counters["crl_size"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CrlLookup)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Unit(benchmark::kNanosecond);
+
 }  // namespace

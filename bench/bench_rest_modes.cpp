@@ -81,6 +81,26 @@ BENCHMARK(BM_RestGetColdConnection)
     ->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_RestGetColdConnectionColdCache(benchmark::State& state) {
+  // Ablation for the certificate-validation cache: the same trusted-HTTPS
+  // cold connection as BM_RestGetColdConnection/2, but both validation
+  // caches (controller's and client's) are flushed before every handshake,
+  // so each side pays full chain validation including the Ed25519
+  // signature check. The delta against BM_RestGetColdConnection/2 is what
+  // a warm cache saves a returning (still-valid, unrevoked) client.
+  ModeBed m(controller::SecurityMode::kTrustedHttps);
+  for (auto _ : state) {
+    m.ctl->truststore().flush_validation_cache();
+    m.trust.flush_validation_cache();
+    http::Client client(m.open_stream());
+    const auto res = client.get("/wm/core/controller/summary/json");
+    if (res.status != 200) state.SkipWithError("bad status");
+    client.close();
+  }
+  state.SetLabel("TRUSTED_HTTPS cold-cache");
+}
+BENCHMARK(BM_RestGetColdConnectionColdCache)->Unit(benchmark::kMicrosecond);
+
 void BM_RestGetWarmConnection(benchmark::State& state) {
   ModeBed m(mode_from_arg(state.range(0)));
   http::Client client(m.open_stream());

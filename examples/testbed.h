@@ -53,7 +53,8 @@ struct SimHost {
 class Testbed {
  public:
   Testbed()
-      : rng(1),
+      : base_rng(1),
+        rng(base_rng),
         clock(1'700'000'000),
         ias(rng, clock),
         ias_router(ias::make_ias_router(ias)),
@@ -131,7 +132,11 @@ class Testbed {
     return *controller_;
   }
 
-  crypto::DeterministicRandom rng;
+  /// One deterministic source feeds the whole deployment; the LockedRandom
+  /// wrapper keeps it safe when concurrent connections (fleet attestation,
+  /// load benches) drive enclave key generation from pool workers.
+  crypto::DeterministicRandom base_rng;
+  crypto::LockedRandom rng;
   SimClock clock;
   net::InMemoryNetwork net;
   ias::IasService ias;

@@ -95,6 +95,12 @@ void Controller::update_crl(const pki::RevocationList& crl) {
   truststore_.set_crl(crl);
 }
 
+std::vector<pki::VerifyResult> Controller::prevalidate_certificates(
+    std::span<const pki::Certificate> certs) {
+  const UnixTime now = config_.clock ? config_.clock->now() : 0;
+  return truststore_.verify_batch(certs, pki::KeyUsage::kClientAuth, now);
+}
+
 net::StreamPtr Controller::wrap_session(net::StreamPtr stream,
                                         http::RequestContext& ctx) {
   try {

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,8 +63,20 @@ class Controller {
   /// (replaces Floodlight's per-client keystore maintenance).
   void trust_ca(const pki::Certificate& ca_root);
 
-  /// Install/refresh the CA's revocation list.
+  /// Install/refresh the CA's revocation list. Cached validation verdicts
+  /// from before this CRL are invalidated before the call returns.
   void update_crl(const pki::RevocationList& crl);
+
+  /// Warm the certificate-validation cache for a burst of expected clients
+  /// (e.g. the VNFs a fleet attestation just credentialed): all Ed25519
+  /// signature checks fold into one batch verification, and the subsequent
+  /// trusted-HTTPS handshakes hit the cache. Returns per-certificate
+  /// verdicts identical to individual validation.
+  std::vector<pki::VerifyResult> prevalidate_certificates(
+      std::span<const pki::Certificate> certs);
+
+  /// The controller's verifier-side trust policy (cache/flush telemetry).
+  const pki::TrustStore& truststore() const { return truststore_; }
 
   /// Serve one connection end-to-end according to the security mode.
   /// TLS failures (bad client cert in trusted mode, etc.) terminate the

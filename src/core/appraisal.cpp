@@ -1,10 +1,52 @@
 #include "core/appraisal.h"
 
+#include "obs/metrics.h"
+
 namespace vnfsgx::core {
+
+namespace {
+
+constexpr std::size_t kMaxCachedAppraisals = 1024;
+
+obs::Counter& cache_counter(const char* result) {
+  return obs::registry().counter(
+      "vnfsgx_cache_requests_total",
+      {{"cache", "appraisal"}, {"result", result}},
+      "IML appraisal cache lookups by outcome");
+}
+
+obs::Counter& eviction_counter() {
+  return obs::registry().counter(
+      "vnfsgx_cache_evictions_total", {{"cache", "appraisal"}},
+      "Cached appraisals dropped (policy generation bump or capacity)");
+}
+
+}  // namespace
+
+void AppraisalDatabase::bump_generation() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++generation_;
+}
+
+std::uint64_t AppraisalDatabase::generation() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return generation_;
+}
+
+std::uint64_t AppraisalDatabase::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_hits_;
+}
+
+std::uint64_t AppraisalDatabase::cache_misses() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_misses_;
+}
 
 void AppraisalDatabase::expect_file(const std::string& path,
                                     const ima::Digest& digest) {
   expected_files_[path] = digest;
+  bump_generation();
 }
 
 void AppraisalDatabase::learn(const ima::MeasurementList& golden) {
@@ -13,10 +55,12 @@ void AppraisalDatabase::learn(const ima::MeasurementList& golden) {
       expected_files_[entry.file_path] = entry.file_digest;
     }
   }
+  bump_generation();
 }
 
 void AppraisalDatabase::allow_enclave(const sgx::Measurement& mr_enclave) {
   allowed_enclaves_.insert(mr_enclave);
+  bump_generation();
 }
 
 bool AppraisalDatabase::enclave_allowed(
@@ -46,6 +90,40 @@ AppraisalResult AppraisalDatabase::appraise(
   }
   result.trustworthy = result.offending_paths.empty();
   if (result.trustworthy) result.reason = "all measurements match";
+  return result;
+}
+
+AppraisalResult AppraisalDatabase::appraise_cached(
+    ByteView encoded_iml, const ima::MeasurementList& iml) const {
+  const crypto::Sha256Digest key = crypto::Sha256::hash(encoded_iml);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_generation_ != generation_) {
+      if (!cache_.empty()) eviction_counter().add(cache_.size());
+      cache_.clear();
+      cache_generation_ = generation_;
+    }
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      cache_counter("hit").add();
+      return it->second;
+    }
+    ++cache_misses_;
+    cache_counter("miss").add();
+  }
+
+  const AppraisalResult result = appraise(iml);
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  // The appraisal ran against the generation captured above; if policy
+  // changed meanwhile, drop the verdict rather than publish a stale one.
+  if (cache_generation_ != generation_) return result;
+  if (cache_.size() >= kMaxCachedAppraisals) {
+    cache_.erase(cache_.begin());
+    eviction_counter().add();
+  }
+  cache_[key] = result;
   return result;
 }
 

@@ -3,11 +3,14 @@
 // measurements — and the appraisal verdict logic.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "crypto/sha256.h"
 #include "ima/measurement_list.h"
 #include "sgx/measurement.h"
 
@@ -39,11 +42,39 @@ class AppraisalDatabase {
   /// otherwise trustworthy.
   AppraisalResult appraise(const ima::MeasurementList& iml) const;
 
+  /// appraise() with memoization: the verdict for an IML is cached under
+  /// SHA-256(encoded IML) + the current policy generation, so a fleet of
+  /// hosts booted from one golden image appraises the shared list once.
+  /// Any policy change (expect_file/learn/allow_enclave) bumps the
+  /// generation and the very next appraisal re-evaluates — no stale-grant
+  /// window. Callers must still bind `encoded_iml` to the attestation
+  /// evidence (nonce/report-data checks) before trusting the verdict;
+  /// only the policy appraisal is memoized. Thread-safe.
+  AppraisalResult appraise_cached(ByteView encoded_iml,
+                                  const ima::MeasurementList& iml) const;
+
+  /// Policy generation; bumped by every mutation (cache-key component).
+  std::uint64_t generation() const;
+
+  // Cache telemetry for tests/benches (also exported as
+  // vnfsgx_cache_requests_total{cache="appraisal"}).
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+
   std::size_t expected_file_count() const { return expected_files_.size(); }
 
  private:
+  void bump_generation();
+
   std::map<std::string, ima::Digest> expected_files_;
   std::set<sgx::Measurement> allowed_enclaves_;
+
+  mutable std::mutex cache_mutex_;
+  std::uint64_t generation_ = 0;
+  mutable std::map<crypto::Sha256Digest, AppraisalResult> cache_;
+  mutable std::uint64_t cache_generation_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace vnfsgx::core

@@ -1,5 +1,8 @@
 #include "core/verification_manager.h"
 
+#include <atomic>
+#include <thread>
+
 #include "common/logging.h"
 #include "crypto/ct.h"
 #include "ima/tpm.h"
@@ -148,7 +151,11 @@ HostAttestation VerificationManager::attest_host_impl(net::Stream& channel,
     result.tpm_verified = true;
   }
 
-  result.appraisal = appraisal_.appraise(iml);
+  // Nonce and report-data binding were checked above against exactly these
+  // IML bytes; the (pure) policy appraisal itself is memoized by IML digest
+  // + policy generation, so a fleet booted from one golden image appraises
+  // the shared list once.
+  result.appraisal = appraisal_.appraise_cached(response.iml, iml);
   if (!result.appraisal.trustworthy) {
     result.reason = "IML appraisal failed: " + result.appraisal.reason;
     return result;
@@ -202,6 +209,13 @@ VnfAttestation VerificationManager::attest_vnf_impl(net::Stream& channel,
                                   obs::kStepEnclaveQuoteVerification);
     return ias_.verify_quote(response.quote);
   }();
+  return finish_vnf_attestation(vnf_name, request.nonce, response, avr);
+}
+
+VnfAttestation VerificationManager::finish_vnf_attestation(
+    const std::string& vnf_name, const Nonce& nonce,
+    const AttestVnfResponse& response, const ias::VerificationReport& avr) {
+  VnfAttestation result;
   result.quote_status = avr.status();
   if (result.quote_status != ias::QuoteStatus::kOk) {
     result.reason = "IAS rejected quote: " + ias::to_string(result.quote_status);
@@ -222,7 +236,7 @@ VnfAttestation VerificationManager::attest_vnf_impl(net::Stream& channel,
     return result;
   }
   const sgx::ReportData expected =
-      vnf::credential_report_data(request.nonce, response.public_key);
+      vnf::credential_report_data(nonce, response.public_key);
   if (!crypto::ct_equal(ByteView(expected.data(), expected.size()),
                         ByteView(quoted.report_data.data(),
                                  quoted.report_data.size()))) {
@@ -240,6 +254,123 @@ VnfAttestation VerificationManager::attest_vnf_impl(net::Stream& channel,
   }
   VNFSGX_LOG_INFO("vm", "VNF '", vnf_name, "' enclave attested");
   return result;
+}
+
+std::vector<VnfAttestation> VerificationManager::attest_fleet(
+    std::span<const FleetTarget> targets, std::size_t max_workers) {
+  static obs::Histogram& duration = obs::registry().histogram(
+      "vnfsgx_fleet_attestation_duration_us", {}, {},
+      "Wall time of one attest_fleet call (all targets, all phases)");
+  static obs::Histogram& batch_size = obs::registry().histogram(
+      "vnfsgx_ed25519_batch_size", {},
+      {1, 2, 4, 8, 16, 32, 64, 128, 256},
+      "AVR signatures checked per Ed25519 batch verification");
+
+  std::vector<VnfAttestation> results(targets.size());
+  if (targets.empty()) return results;
+
+  obs::Span span = obs::tracer().start_span("fleet_attestation",
+                                            obs::kStepEnclaveAttestation);
+  span.annotate("fleet_size", std::to_string(targets.size()));
+
+  struct Slot {
+    AttestVnfRequest request;
+    AttestVnfResponse response;
+    ias::VerificationReport avr;
+    std::string error;  // transport/decode/IAS failure captured by the worker
+    bool have_avr = false;
+  };
+  std::vector<Slot> slots(targets.size());
+
+  // Phase 0 (serial): draw every nonce up front — the RandomSource is not
+  // required to be thread-safe, so it must not be shared across workers.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    slots[i].request.vnf_name = targets[i].vnf_name;
+    slots[i].request.nonce = fresh_nonce();
+  }
+
+  // Phase 1 (parallel): overlap the RPC and IAS legs of independent
+  // attestations on a bounded worker set. The AVR signature check is
+  // deferred to one batch verification in phase 2. Each worker owns the
+  // slots it claims; channels are per-target, and the IAS client is
+  // thread-safe (pooled).
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= targets.size()) return;
+      Slot& slot = slots[i];
+      try {
+        const Bytes raw = rpc(*targets[i].channel, encode(slot.request));
+        if (peek_type(raw) == MessageType::kError) {
+          slot.error = "host error: " + decode_error(raw).what;
+          continue;
+        }
+        slot.response = decode_attest_vnf_response(raw);
+        slot.avr = ias_.fetch_report_unverified(slot.response.quote);
+        slot.have_avr = true;
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+      }
+    }
+  };
+  if (max_workers == 0) max_workers = 8;
+  const std::size_t worker_count = std::min(max_workers, targets.size());
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+
+  // Phase 2 (serial): one Ed25519 batch verification over every collected
+  // AVR. The views alias slot storage, which no longer moves.
+  std::vector<std::size_t> pending;
+  std::vector<crypto::Ed25519BatchItem> items;
+  pending.reserve(slots.size());
+  items.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].have_avr) continue;
+    pending.push_back(i);
+    crypto::Ed25519BatchItem item;
+    item.public_key = ias_.report_signing_key();
+    item.message = ByteView(
+        reinterpret_cast<const std::uint8_t*>(slots[i].avr.body_json.data()),
+        slots[i].avr.body_json.size());
+    item.signature =
+        ByteView(slots[i].avr.signature.data(), slots[i].avr.signature.size());
+    items.push_back(item);
+  }
+  batch_size.observe(static_cast<double>(items.size()));
+  const std::vector<bool> sig_ok = crypto::ed25519_verify_batch(
+      std::span<const crypto::Ed25519BatchItem>(items), &rng_);
+
+  // Phase 3 (serial): per-target checks and state updates, identical to the
+  // attest_vnf tail.
+  std::vector<bool> avr_trusted(slots.size(), false);
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    avr_trusted[pending[j]] = sig_ok[j];
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    VnfAttestation& result = results[i];
+    if (!slots[i].error.empty()) {
+      result.reason = slots[i].error;
+    } else if (!avr_trusted[i]) {
+      result.reason = "ias: report signature verification failed";
+    } else {
+      result = finish_vnf_attestation(targets[i].vnf_name,
+                                      slots[i].request.nonce,
+                                      slots[i].response, slots[i].avr);
+    }
+    attestation_counter("vnf", result.trustworthy).add();
+  }
+
+  std::size_t ok_count = 0;
+  for (const VnfAttestation& r : results) ok_count += r.trustworthy ? 1 : 0;
+  span.annotate("trustworthy", std::to_string(ok_count));
+  span.end();
+  duration.observe(span.elapsed_us());
+  VNFSGX_LOG_INFO("vm", "fleet attestation: ", ok_count, "/", targets.size(),
+                  " trustworthy");
+  return results;
 }
 
 std::optional<pki::Certificate> VerificationManager::enroll_vnf(

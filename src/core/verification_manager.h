@@ -16,7 +16,9 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/appraisal.h"
 #include "core/protocol.h"
@@ -54,6 +56,13 @@ struct VnfAttestation {
   ias::QuoteStatus quote_status = ias::QuoteStatus::kMalformed;
 };
 
+/// One member of a fleet attestation: an open agent channel plus the VNF to
+/// attest over it.
+struct FleetTarget {
+  net::Stream* channel = nullptr;
+  std::string vnf_name;
+};
+
 class VerificationManager {
  public:
   VerificationManager(crypto::RandomSource& rng, const Clock& clock,
@@ -81,6 +90,21 @@ class VerificationManager {
   /// hosting platform to have passed attest_host.
   VnfAttestation attest_vnf(net::Stream& channel, const std::string& vnf_name);
 
+  /// Fleet-scale steps 3-4: attest N independent VNF enclaves at once.
+  ///
+  /// The serial path pays (RPC + IAS round-trip + Ed25519 verify) × N back to
+  /// back. Here the RPC and IAS legs of independent attestations overlap on a
+  /// bounded worker set (IAS traffic additionally rides the keep-alive pool),
+  /// and all N AVR signatures are checked in a single Ed25519 batch
+  /// verification; a failing batch falls back to per-report verification, so
+  /// one forged report is individually rejected while the rest of the fleet
+  /// still passes. Verdicts are identical to calling attest_vnf N times.
+  ///
+  /// Nonces are drawn serially before workers start (the RandomSource is not
+  /// required to be thread-safe). Results are index-aligned with `targets`.
+  std::vector<VnfAttestation> attest_fleet(std::span<const FleetTarget> targets,
+                                           std::size_t max_workers = 8);
+
   /// Step 5: generate + sign + provision the client certificate for a
   /// previously attested VNF. Returns nullopt (with reason logged) if the
   /// VNF was not attested or provisioning fails.
@@ -100,6 +124,7 @@ class VerificationManager {
   std::vector<std::string> attested_vnf_names() const;
 
   // Telemetry for tests/benches/examples.
+  const ias::IasClient& ias_client() const { return ias_; }
   std::uint64_t hosts_attested() const { return hosts_attested_; }
   std::uint64_t vnfs_attested() const { return vnfs_attested_; }
   std::uint64_t credentials_issued() const { return credentials_issued_; }
@@ -112,6 +137,15 @@ class VerificationManager {
   HostAttestation attest_host_impl(net::Stream& channel, obs::Span& span);
   VnfAttestation attest_vnf_impl(net::Stream& channel,
                                  const std::string& vnf_name, obs::Span& span);
+  // Shared tail of steps 3-4 once the AVR signature is trusted (checked
+  // individually on the serial path, batch-checked on the fleet path):
+  // quote status, platform trust, enclave measurement, report-data binding,
+  // then state update. Keeping one implementation keeps fleet verdicts
+  // bit-identical to attest_vnf.
+  VnfAttestation finish_vnf_attestation(const std::string& vnf_name,
+                                        const Nonce& nonce,
+                                        const AttestVnfResponse& response,
+                                        const ias::VerificationReport& avr);
   std::optional<pki::Certificate> enroll_vnf_impl(net::Stream& channel,
                                                   const std::string& vnf_name,
                                                   const std::string& common_name);

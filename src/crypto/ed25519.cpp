@@ -504,6 +504,58 @@ std::array<std::uint8_t, 32> clamp_scalar(const std::uint8_t h[32]) {
   return a;
 }
 
+// The shared input validation of single and batch verification: signature
+// length, canonical s (< L), decodable A and R, and the challenge scalar
+// k = SHA512(R || A || M) mod L. nullopt mirrors exactly the cases where
+// ed25519_verify answers false without evaluating the curve equation.
+struct DecodedVerify {
+  Point a;                                // public-key point
+  Point r;                                // signature R point
+  std::array<std::uint8_t, 32> s_bytes{};  // canonical scalar s
+  Scalar s;
+  Scalar k;
+};
+
+std::optional<DecodedVerify> decode_for_verify(
+    const Ed25519PublicKey& public_key, ByteView message, ByteView signature) {
+  if (signature.size() != kEd25519SignatureSize) return std::nullopt;
+  const ByteView r_enc = signature.subspan(0, 32);
+  const ByteView s_enc = signature.subspan(32, 32);
+
+  DecodedVerify out;
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t v = 0;
+    for (int j = 3; j >= 0; --j) {
+      v = (v << 8) | s_enc[static_cast<std::size_t>(i * 4 + j)];
+    }
+    out.s.limb[static_cast<std::size_t>(i)] = v;
+  }
+  // ct-ok: s is the signature scalar, a public input to verification.
+  if (cmp_order(out.s) >= 0) return std::nullopt;
+
+  const auto a_point = point_decode(public_key);
+  // ct-ok: the public key is a public input to verification.
+  if (!a_point) return std::nullopt;
+  const auto r_point = point_decode(r_enc);
+  if (!r_point) return std::nullopt;
+  out.a = *a_point;
+  out.r = *r_point;
+
+  Sha512 hk;
+  hk.update(r_enc);
+  hk.update(public_key);
+  hk.update(message);
+  const Sha512Digest k_wide = hk.finish();
+  out.k = scalar_from_bytes_wide(k_wide);
+  std::memcpy(out.s_bytes.data(), s_enc.data(), 32);
+  return out;
+}
+
+bool point_is_identity(const Point& p) {
+  // (X : Y : Z) is the identity iff x == 0 and y == z (affine (0, 1)).
+  return fe_is_zero(p.x) && fe_is_zero(fe_sub(p.y, p.z));
+}
+
 }  // namespace
 
 Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
@@ -554,47 +606,171 @@ Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message) {
 
 bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
                     ByteView signature) {
-  if (signature.size() != kEd25519SignatureSize) return false;
-  const ByteView r_enc = signature.subspan(0, 32);
-  const ByteView s_enc = signature.subspan(32, 32);
-
-  // Canonical s: s < L.
-  {
-    Scalar s;
-    for (int i = 0; i < 8; ++i) {
-      std::uint32_t v = 0;
-      for (int j = 3; j >= 0; --j) {
-        v = (v << 8) | s_enc[static_cast<std::size_t>(i * 4 + j)];
-      }
-      s.limb[static_cast<std::size_t>(i)] = v;
-    }
-    // ct-ok: s is the signature scalar, a public input to verification.
-    if (cmp_order(s) >= 0) return false;
-  }
-
-  const auto a_point = point_decode(public_key);
-  // ct-ok: the public key is a public input to verification.
-  if (!a_point) return false;
-  const auto r_point = point_decode(r_enc);
-  if (!r_point) return false;
-
-  Sha512 hk;
-  hk.update(r_enc);
-  hk.update(public_key);
-  hk.update(message);
-  const Sha512Digest k_wide = hk.finish();
-  const Scalar k = scalar_from_bytes_wide(k_wide);
-  const auto k_bytes = scalar_to_bytes(k);
-
-  std::array<std::uint8_t, 32> s_bytes;
-  std::memcpy(s_bytes.data(), s_enc.data(), 32);
+  const auto decoded = decode_for_verify(public_key, message, signature);
+  // ct-ok: verification inputs (public key, signature) are public values.
+  if (!decoded) return false;
+  const auto k_bytes = scalar_to_bytes(decoded->k);
 
   // Check s*B == R + k*A  <=>  k*(-A) + s*B == R, computed in one
   // interleaved Straus pass with shared doublings.
-  const Point check =
-      double_scalarmult_vartime(k_bytes, point_neg(*a_point), s_bytes);
+  const Point check = double_scalarmult_vartime(
+      k_bytes, point_neg(decoded->a), decoded->s_bytes);
   const auto check_enc = point_encode(check);
-  return std::memcmp(check_enc.data(), r_enc.data(), 32) == 0;
+  return std::memcmp(check_enc.data(), signature.data(), 32) == 0;
+}
+
+std::vector<bool> ed25519_verify_batch(std::span<const Ed25519BatchItem> items,
+                                       RandomSource* rng) {
+  const std::size_t n = items.size();
+  std::vector<bool> ok(n, false);
+  if (n == 0) return ok;
+
+  // Input validation identical to single verify; invalid items are settled
+  // here and never enter the combined equation.
+  struct Candidate {
+    std::size_t index;
+    DecodedVerify decoded;
+    Scalar z;  // 128-bit blinding coefficient
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto decoded = decode_for_verify(items[i].public_key, items[i].message,
+                                     items[i].signature);
+    if (decoded) candidates.push_back({i, std::move(*decoded), Scalar{}});
+  }
+  if (candidates.empty()) return ok;
+
+  // A single survivor gains nothing from the batch equation.
+  if (candidates.size() == 1) {
+    const auto& item = items[candidates[0].index];
+    ok[candidates[0].index] =
+        ed25519_verify(item.public_key, item.message, item.signature);
+    return ok;
+  }
+
+  // Blinding coefficients: 128 bits each, either from the caller's RNG or
+  // derived by hashing the whole batch (the derivation commits every z_i to
+  // all signatures, so an adversary cannot pick signatures afterwards).
+  Sha512Digest batch_digest{};
+  if (!rng) {
+    Sha512 h;
+    h.update(to_bytes("vnfsgx-ed25519-batch-v1"));
+    for (const Candidate& c : candidates) {
+      const auto& item = items[c.index];
+      h.update(item.public_key);
+      h.update(item.signature);
+      h.update(Sha512::hash(item.message));
+    }
+    batch_digest = h.finish();
+  }
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    std::array<std::uint8_t, 32> z_bytes{};
+    if (rng) {
+      std::array<std::uint8_t, 16> raw{};
+      rng->fill(raw);
+      std::copy(raw.begin(), raw.end(), z_bytes.begin());
+    } else {
+      Sha512 h;
+      h.update(batch_digest);
+      std::array<std::uint8_t, 8> idx{};
+      for (int b = 0; b < 8; ++b) {
+        idx[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(j >> (8 * b));
+      }
+      h.update(idx);
+      const Sha512Digest zd = h.finish();
+      std::copy(zd.begin(), zd.begin() + 16, z_bytes.begin());
+    }
+    z_bytes[0] |= 1;  // never zero: a zero coefficient drops its item
+    candidates[j].z = scalar_from_bytes_wide(z_bytes);
+  }
+
+  // Batch equation scalars:
+  //   per item:  z_i (for R_i) and z_i*k_i mod L (for A_i),
+  //   combined:  Σ z_i*s_i mod L (for the subtracted base term).
+  // One Straus pass over all 2·m+1 terms shares the 256-double chain that
+  // single verification pays per signature.
+  struct Term {
+    std::array<Point, 8> odd;  // P, 3P, ..., 15P
+    std::array<std::int8_t, 256> digits;
+  };
+  std::vector<Term> terms(2 * candidates.size());
+  Scalar s_total;
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    const Candidate& c = candidates[j];
+    const Scalar zk = scalar_mul_add(c.z, c.decoded.k, Scalar{});
+    s_total = scalar_mul_add(c.z, c.decoded.s, s_total);
+
+    Term& tr = terms[2 * j];      // z_i · R_i
+    Term& ta = terms[2 * j + 1];  // (z_i·k_i) · A_i
+    slide(tr.digits.data(), scalar_to_bytes(c.z));
+    slide(ta.digits.data(), scalar_to_bytes(zk));
+    for (Term* t : {&tr, &ta}) {
+      const Point& p = (t == &tr) ? c.decoded.r : c.decoded.a;
+      t->odd[0] = p;
+      const Point p2 = point_double(p);
+      for (int m = 1; m < 8; ++m) {
+        t->odd[static_cast<std::size_t>(m)] =
+            point_add(t->odd[static_cast<std::size_t>(m - 1)], p2);
+      }
+    }
+  }
+  std::array<std::int8_t, 256> base_digits;
+  slide(base_digits.data(), scalar_to_bytes(s_total));
+  const auto& base_odd = base_odd_table();
+
+  int top = 255;
+  const auto any_digit_at = [&](int i) {
+    if (base_digits[static_cast<std::size_t>(i)]) return true;
+    for (const Term& t : terms) {
+      if (t.digits[static_cast<std::size_t>(i)]) return true;
+    }
+    return false;
+  };
+  while (top >= 0 && !any_digit_at(top)) --top;
+
+  Point h = point_identity();
+  for (int i = top; i >= 0; --i) {
+    h = point_double(h);
+    for (const Term& t : terms) {
+      const std::int8_t d = t.digits[static_cast<std::size_t>(i)];
+      if (d > 0) {
+        h = point_add(h, t.odd[static_cast<std::size_t>(d / 2)]);
+      } else if (d < 0) {
+        h = point_add(h, point_neg(t.odd[static_cast<std::size_t>(-d / 2)]));
+      }
+    }
+    // The base term is subtracted, so its additions flip sign.
+    const std::int8_t d = base_digits[static_cast<std::size_t>(i)];
+    if (d > 0) {
+      h = point_msub(h, base_odd[static_cast<std::size_t>(d / 2)]);
+    } else if (d < 0) {
+      h = point_madd(h, base_odd[static_cast<std::size_t>(-d / 2)]);
+    }
+  }
+
+  if (point_is_identity(h)) {
+    for (const Candidate& c : candidates) ok[c.index] = true;
+    return ok;
+  }
+  // The combination failed: at least one signature is bad. Re-verify each
+  // survivor individually so the verdicts stay bit-exact with single verify
+  // and the culprit is identified precisely.
+  for (const Candidate& c : candidates) {
+    const auto& item = items[c.index];
+    ok[c.index] = ed25519_verify(item.public_key, item.message, item.signature);
+  }
+  return ok;
+}
+
+std::array<std::uint8_t, 32> ed25519_base_montgomery_u(
+    const std::array<std::uint8_t, 32>& scalar_le) {
+  const Point p = base_scalar_mul(scalar_le);
+  // u = (1+y)/(1-y) with affine y = Y/Z, so u = (Z+Y)/(Z-Y). A clamped
+  // scalar is never 0 mod L (no multiple of odd L in [2^254, 2^255) is
+  // divisible by 8), so k·B is never the identity and Z-Y is invertible.
+  return fe_to_bytes(fe_mul(fe_add(p.z, p.y), fe_invert(fe_sub(p.z, p.y))));
 }
 
 namespace detail {

@@ -12,6 +12,8 @@
 
 #include <array>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/secure.h"
@@ -45,6 +47,42 @@ Ed25519Signature ed25519_sign(const Ed25519Seed& seed, ByteView message);
 /// Verify. Rejects non-canonical s (s >= L) and undecodable points.
 bool ed25519_verify(const Ed25519PublicKey& public_key, ByteView message,
                     ByteView signature);
+
+/// One (key, message, signature) triple of a verification batch.
+struct Ed25519BatchItem {
+  Ed25519PublicKey public_key{};
+  ByteView message;
+  ByteView signature;
+};
+
+/// Random-linear-combination batch verification: checks
+///   Σ z_i·R_i + Σ (z_i·k_i mod L)·A_i − (Σ z_i·s_i mod L)·B == identity
+/// for 128-bit random coefficients z_i, evaluated as one multi-scalar
+/// Straus pass whose doubling chain is shared across the whole batch
+/// (~3-4x fewer point operations per signature than verifying serially).
+///
+/// The per-item verdicts are always identical to calling ed25519_verify on
+/// each item: items failing the single-verify input checks (bad length,
+/// non-canonical s, undecodable A or R) are rejected up front and excluded
+/// from the combined equation, and if the combined equation does not hold
+/// the remaining items fall back to individual verification, identifying
+/// exactly which signatures are bad while the rest still pass.
+///
+/// `rng` supplies the blinding coefficients; when null they are derived by
+/// hashing the entire batch (domain-separated SHA-512), which commits the
+/// coefficients to all inputs before any is chosen.
+std::vector<bool> ed25519_verify_batch(std::span<const Ed25519BatchItem> items,
+                                       RandomSource* rng = nullptr);
+
+/// Fixed-base scalar multiplication exported for X25519 key generation:
+/// computes scalar·B on edwards25519 via the precomputed window table and
+/// returns the Montgomery u-coordinate of the birationally equivalent
+/// curve25519 point, u = (1+y)/(1-y). For an RFC 7748 clamped scalar this
+/// equals x25519(scalar, 9) at a fraction of the Montgomery-ladder cost —
+/// the table amortizes the ~255-step doubling chain away. Scalar domain:
+/// clamped scalars and values reduced mod L.
+std::array<std::uint8_t, 32> ed25519_base_montgomery_u(
+    const std::array<std::uint8_t, 32>& scalar_le);
 
 namespace detail {
 

@@ -62,6 +62,22 @@ class DeterministicRandom final : public RandomSource {
   HmacDrbg drbg_;
 };
 
+/// Serializing adapter: makes any RandomSource safe to share across
+/// threads (e.g. one DeterministicRandom feeding a multi-threaded testbed
+/// or a fleet attestation's host simulators).
+class LockedRandom final : public RandomSource {
+ public:
+  explicit LockedRandom(RandomSource& inner) : inner_(inner) {}
+  void fill(std::span<std::uint8_t> out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.fill(out);
+  }
+
+ private:
+  std::mutex mutex_;
+  RandomSource& inner_;
+};
+
 /// Thread-safe process-wide source seeded from the OS.
 class SystemRandom final : public RandomSource {
  public:

@@ -1,6 +1,7 @@
 #include "crypto/x25519.h"
 
 #include "common/error.h"
+#include "crypto/ed25519.h"
 #include "crypto/field25519.h"
 
 namespace vnfsgx::crypto {
@@ -48,9 +49,17 @@ X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
 }
 
 X25519Key x25519_base(const X25519Key& scalar) {
-  X25519Key base{};
-  base[0] = 9;
-  return x25519(scalar, base);
+  // Clamp, then ride the Ed25519 precomputed base table: scalar·B on the
+  // birationally equivalent Edwards curve, mapped back to the Montgomery
+  // u-coordinate. Bit-identical to x25519(scalar, 9) (the generic ladder
+  // pays the ~255-step doubling chain the window table precomputed), and
+  // roughly 3x cheaper — this is both sides' ephemeral keygen in every
+  // TLS handshake.
+  Zeroizing<X25519Key> k = scalar;
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+  return ed25519_base_montgomery_u(k);
 }
 
 X25519KeyPair x25519_generate(RandomSource& rng) {

@@ -1,5 +1,7 @@
 #include "http/client.h"
 
+#include "obs/metrics.h"
+
 namespace vnfsgx::http {
 
 Response Client::request(const Request& req) {
@@ -30,6 +32,114 @@ Response Client::del(const std::string& target) {
   req.method = "DELETE";
   req.target = target;
   return request(req);
+}
+
+// ---------------------------------------------------------------------------
+// ClientPool
+// ---------------------------------------------------------------------------
+
+ClientPool::ClientPool(Connect connect)
+    : ClientPool(std::move(connect), Options()) {}
+
+ClientPool::ClientPool(Connect connect, Options options)
+    : connect_(std::move(connect)), options_(std::move(options)) {
+  if (options_.max_connections == 0) options_.max_connections = 8;
+}
+
+ClientPool::~ClientPool() = default;
+
+std::size_t ClientPool::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+ClientPool::Lease::~Lease() {
+  if (pool_) pool_->release(std::move(client_), reusable_);
+}
+
+std::unique_ptr<Client> ClientPool::take_or_dial_locked(
+    std::unique_lock<std::mutex>& lock, bool& fresh) {
+  if (!idle_.empty()) {
+    auto client = std::move(idle_.back());
+    idle_.pop_back();
+    fresh = false;
+    obs::registry()
+        .counter("vnfsgx_http_client_reuses_total", {{"pool", options_.name}},
+                 "Requests served on a reused keep-alive pooled connection")
+        .add();
+    return client;
+  }
+  fresh = true;
+  ++connects_total_;
+  obs::Counter& connects = obs::registry().counter(
+      "vnfsgx_http_client_connects_total", {{"pool", options_.name}},
+      "Connections dialed by the pooled HTTP client (reconnect meter)");
+  // Dial outside the lock: connect() may block on the network, and holding
+  // the pool mutex would serialize the very round-trips the pool exists to
+  // overlap. The in-flight slot is already reserved by the caller.
+  lock.unlock();
+  connects.add();
+  std::unique_ptr<Client> client;
+  try {
+    client = std::make_unique<Client>(connect_());
+  } catch (...) {
+    lock.lock();
+    throw;
+  }
+  lock.lock();
+  return client;
+}
+
+ClientPool::Lease ClientPool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [&] { return in_flight_ < options_.max_connections; });
+  ++in_flight_;
+  obs::registry()
+      .gauge("vnfsgx_http_client_inflight", {{"pool", options_.name}},
+             "Pooled HTTP connections currently leased")
+      .add(1);
+  bool fresh = false;
+  std::unique_ptr<Client> client;
+  try {
+    client = take_or_dial_locked(lock, fresh);
+  } catch (...) {
+    --in_flight_;
+    obs::registry()
+        .gauge("vnfsgx_http_client_inflight", {{"pool", options_.name}}, "")
+        .add(-1);
+    available_.notify_one();
+    throw;
+  }
+  return Lease(this, std::move(client), fresh);
+}
+
+void ClientPool::release(std::unique_ptr<Client> client, bool reusable) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (reusable && client && idle_.size() < options_.max_connections) {
+      idle_.push_back(std::move(client));
+    }
+  }
+  obs::registry()
+      .gauge("vnfsgx_http_client_inflight", {{"pool", options_.name}}, "")
+      .add(-1);
+  available_.notify_one();
+}
+
+Response ClientPool::request(const Request& req) {
+  for (int attempt = 0;; ++attempt) {
+    Lease lease = acquire();
+    try {
+      return lease->request(req);
+    } catch (const IoError&) {
+      lease.discard();
+      // A reused keep-alive connection may have been closed by the peer
+      // between requests; retry exactly once on a fresh dial. Failures on
+      // a fresh connection are real and propagate.
+      if (lease.fresh() || attempt > 0) throw;
+    }
+  }
 }
 
 }  // namespace vnfsgx::http

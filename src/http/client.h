@@ -1,8 +1,14 @@
-// HTTP client over an owned Stream, with keep-alive reuse.
+// HTTP client over an owned Stream, with keep-alive reuse, plus a pooled
+// keep-alive client for callers that issue many requests to one origin
+// (the Verification Manager's IAS leg, bench fleets).
 #pragma once
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "http/wire.h"
 #include "net/stream.h"
@@ -30,6 +36,97 @@ class Client {
  private:
   net::StreamPtr stream_;
   Connection conn_;
+};
+
+/// Keep-alive connection pool for one origin.
+///
+/// Connections are dialed through `connect` on demand, parked idle after a
+/// lease is returned, and reused for later requests — so a burst of N
+/// requests pays one connect, not N. The pool is a bounded in-flight
+/// window: at most `max_connections` leases exist at once and further
+/// acquire() calls block until one is returned, which caps the concurrency
+/// a client fleet can impose on the origin.
+///
+/// Every dial is metered (vnfsgx_http_client_connects_total{pool=...}), so
+/// a pool that keeps reconnecting per request shows up in /metrics.
+class ClientPool {
+ public:
+  using Connect = std::function<net::StreamPtr()>;
+
+  struct Options {
+    /// Bounded in-flight window (also the idle-pool cap). 0 = 8.
+    std::size_t max_connections = 8;
+    /// Metrics label value for this pool's vnfsgx_http_client_* series.
+    std::string name = "client";
+  };
+
+  explicit ClientPool(Connect connect);
+  ClientPool(Connect connect, Options options);
+  ~ClientPool();
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Exclusive lease of one pooled connection. Returned to the idle pool
+  /// on destruction unless discarded.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), client_(std::move(other.client_)),
+          fresh_(other.fresh_), reusable_(other.reusable_) {
+      other.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    Client& client() { return *client_; }
+    Client* operator->() { return client_.get(); }
+    /// True when this lease dialed a fresh connection (nothing reused).
+    bool fresh() const { return fresh_; }
+    /// Drop the connection instead of returning it (peer closed, protocol
+    /// desync, ...).
+    void discard() { reusable_ = false; }
+
+   private:
+    friend class ClientPool;
+    Lease(ClientPool* pool, std::unique_ptr<Client> client, bool fresh)
+        : pool_(pool), client_(std::move(client)), fresh_(fresh) {}
+
+    ClientPool* pool_;
+    std::unique_ptr<Client> client_;
+    bool fresh_ = false;
+    bool reusable_ = true;
+  };
+
+  /// Lease a connection: reuse an idle keep-alive one, dial when below the
+  /// window, otherwise block until a lease returns.
+  Lease acquire();
+
+  /// One request/response exchange on a pooled connection. A reused
+  /// connection whose peer closed between requests is transparently
+  /// replaced and the request retried once on a fresh dial.
+  Response request(const Request& req);
+
+  /// Total connections dialed (the reconnect meter; a keep-alive-respecting
+  /// workload holds this near the in-flight window size).
+  std::uint64_t connects() const { return connects_total_; }
+  /// Currently leased connections.
+  std::size_t in_flight() const;
+
+ private:
+  std::unique_ptr<Client> take_or_dial_locked(std::unique_lock<std::mutex>& lock,
+                                              bool& fresh);
+  void release(std::unique_ptr<Client> client, bool reusable);
+
+  Connect connect_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<Client>> idle_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t connects_total_ = 0;
 };
 
 }  // namespace vnfsgx::http

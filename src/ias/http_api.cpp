@@ -2,6 +2,7 @@
 
 #include "common/base64.h"
 #include "common/hex.h"
+#include "obs/metrics.h"
 
 namespace vnfsgx::ias {
 
@@ -56,15 +57,36 @@ http::Router make_ias_router(IasService& service) {
   return router;
 }
 
-VerificationReport IasClient::verify_quote(ByteView quote_bytes) {
+IasClient::IasClient(Connect connect,
+                     crypto::Ed25519PublicKey report_signing_key,
+                     std::size_t max_connections)
+    : pool_(std::make_shared<http::ClientPool>(
+          std::move(connect),
+          http::ClientPool::Options{max_connections, "ias"})),
+      signing_key_(report_signing_key) {}
+
+VerificationReport IasClient::fetch_report_unverified(ByteView quote_bytes) {
   json::Object request_body;
   request_body["isvEnclaveQuote"] = base64_encode(quote_bytes);
 
-  http::Client client(connect_());
-  const http::Response res = client.post(
-      "/attestation/v4/report",
-      json::serialize(json::Value(std::move(request_body))));
-  client.close();
+  http::Request req;
+  req.method = "POST";
+  req.target = "/attestation/v4/report";
+  req.headers.set("Content-Type", "application/json");
+  req.body = to_bytes(json::serialize(json::Value(std::move(request_body))));
+
+  obs::Gauge& inflight = obs::registry().gauge(
+      "vnfsgx_ias_inflight", {},
+      "IAS verification round-trips currently in flight");
+  inflight.add(1);
+  http::Response res;
+  try {
+    res = pool_->request(req);
+  } catch (...) {
+    inflight.add(-1);
+    throw;
+  }
+  inflight.add(-1);
   if (res.status != 200) {
     throw ProtocolError("ias: HTTP " + std::to_string(res.status));
   }
@@ -78,6 +100,11 @@ VerificationReport IasClient::verify_quote(ByteView quote_bytes) {
     throw ProtocolError("ias: bad signature length");
   }
   std::copy(sig.begin(), sig.end(), avr.signature.begin());
+  return avr;
+}
+
+VerificationReport IasClient::verify_quote(ByteView quote_bytes) {
+  VerificationReport avr = fetch_report_unverified(quote_bytes);
   if (!avr.verify(signing_key_)) {
     throw ProtocolError("ias: report signature verification failed");
   }

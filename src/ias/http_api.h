@@ -6,6 +6,8 @@
 // round-trip.
 #pragma once
 
+#include <memory>
+
 #include "http/client.h"
 #include "http/server.h"
 #include "ias/service.h"
@@ -19,21 +21,40 @@ namespace vnfsgx::ias {
 http::Router make_ias_router(IasService& service);
 
 /// Client wrapper used by the Verification Manager.
+///
+/// Requests run over a keep-alive connection pool: a fleet attestation's
+/// IAS round-trips reuse (and overlap on) up to `max_connections` pooled
+/// connections instead of paying a fresh connect per quote. The client is
+/// thread-safe; concurrent verifications are bounded by the pool window
+/// and surfaced on the vnfsgx_ias_inflight gauge.
 class IasClient {
  public:
-  /// `connect` opens a fresh stream to the IAS endpoint per request batch.
+  /// `connect` opens a stream to the IAS endpoint (invoked only when the
+  /// pool has no idle keep-alive connection to reuse).
   using Connect = std::function<net::StreamPtr()>;
 
-  IasClient(Connect connect, crypto::Ed25519PublicKey report_signing_key)
-      : connect_(std::move(connect)),
-        signing_key_(report_signing_key) {}
+  IasClient(Connect connect, crypto::Ed25519PublicKey report_signing_key,
+            std::size_t max_connections = 8);
 
   /// Submit a quote; verifies the AVR signature before returning.
   /// Throws ProtocolError on transport/HTTP errors or a bad signature.
   VerificationReport verify_quote(ByteView quote_bytes);
 
+  /// Submit a quote and return the AVR *without* checking its signature:
+  /// the fleet path defers that to one Ed25519 batch verification across
+  /// all attestations. Callers must check avr.verify(report_signing_key())
+  /// (or batch-equivalent) before trusting the report.
+  VerificationReport fetch_report_unverified(ByteView quote_bytes);
+
+  const crypto::Ed25519PublicKey& report_signing_key() const {
+    return signing_key_;
+  }
+
+  /// Total IAS connections dialed (reconnect meter for tests/benches).
+  std::uint64_t connections_dialed() const { return pool_->connects(); }
+
  private:
-  Connect connect_;
+  std::shared_ptr<http::ClientPool> pool_;
   crypto::Ed25519PublicKey signing_key_;
 };
 

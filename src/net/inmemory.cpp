@@ -133,6 +133,15 @@ class PipeStream final : public Stream {
 
   bool readable() { return in_->readable(); }
 
+  /// Detached shutdown hook: closing the read side from outside makes a
+  /// blocked reader observe EOF. Holds only a weak reference, so it is
+  /// safe to invoke after both stream ends are gone.
+  std::function<void()> make_read_shutdown() {
+    return [weak = std::weak_ptr<Channel>(in_)] {
+      if (auto channel = weak.lock()) channel->close();
+    };
+  }
+
  private:
   std::shared_ptr<Channel> out_;
   std::shared_ptr<Channel> in_;
@@ -211,6 +220,10 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
     const std::lock_guard<std::mutex> lock(mutex_);
     reap_locked();
     auto done = std::make_shared<std::atomic<bool>>(false);
+    std::function<void()> shutdown;
+    if (auto* pipe = dynamic_cast<PipeStream*>(server_end.get())) {
+      shutdown = pipe->make_read_shutdown();
+    }
     threads_.push_back(ConnThread{
         std::thread([handler = std::move(handler),
                      server = std::move(server_end), done]() mutable {
@@ -218,7 +231,7 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
           active.add(-1);
           done->store(true, std::memory_order_release);
         }),
-        done});
+        done, std::move(shutdown)});
   }
   return std::move(client_end);
 }
@@ -246,6 +259,14 @@ void InMemoryNetwork::join_all() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     threads.swap(threads_);
+  }
+  // Keep-alive clients (e.g. the pooled HTTP client) may still hold idle
+  // connections open. Signal EOF on each surviving server read side first —
+  // the in-memory analogue of a server closing its keep-alive connections
+  // on shutdown — so thread-mode handlers unblock instead of waiting for a
+  // client close that never comes.
+  for (auto& ct : threads) {
+    if (ct.shutdown) ct.shutdown();
   }
   for (auto& ct : threads) {
     if (ct.thread.joinable()) ct.thread.join();

@@ -82,7 +82,12 @@ class InMemoryNetwork {
   /// Connect to a named listener. Throws IoError if nothing listens there.
   StreamPtr connect(const std::string& address);
 
-  /// Wait for all spawned connection threads (also done by the destructor).
+  /// Shut down and wait for all spawned connection threads (also done by
+  /// the destructor). Surviving server read sides are signalled EOF first —
+  /// keep-alive clients (pooled HTTP) hold connections open indefinitely,
+  /// and a thread-mode handler blocked in read must unblock to be joined.
+  /// A pooled client whose idle connection is closed this way sees an
+  /// IoError on next reuse and re-dials, as with a real server shutdown.
   void join_all();
 
   /// Connection threads still running (finished ones are reaped lazily on
@@ -99,6 +104,9 @@ class InMemoryNetwork {
   struct ConnThread {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
+    /// Forces EOF on the connection's server read side (weakly held; a
+    /// no-op once the pipe is gone). Set for thread-mode pipe connections.
+    std::function<void()> shutdown;
   };
 
   void reap_locked();

@@ -1,5 +1,7 @@
 #include "pki/ca.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace vnfsgx::pki {
@@ -87,7 +89,17 @@ Certificate CertificateAuthority::issue(
 
 RevocationList CertificateAuthority::revoke(std::uint64_t serial) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  revoked_.push_back(serial);
+  const auto pos = std::upper_bound(revoked_.begin(), revoked_.end(), serial);
+  if (pos == revoked_.end()) {
+    // Common case (serials revoke in roughly issue order): extend the
+    // cached TLV block instead of re-encoding the whole set.
+    revoked_.push_back(serial);
+    const Bytes one = encode_crl_serials({&serial, 1});
+    serial_block_.insert(serial_block_.end(), one.begin(), one.end());
+  } else {
+    revoked_.insert(pos, serial);
+    serial_block_ = encode_crl_serials(revoked_);
+  }
   revocation_counter().add();
   return build_crl_locked();
 }
@@ -107,7 +119,11 @@ RevocationList CertificateAuthority::build_crl_locked() const {
   crl.issuer = name_;
   crl.this_update = clock_.now();
   crl.revoked_serials = revoked_;
-  crl.signature = crypto::ed25519_sign(key_.seed, crl.tbs());
+  crl.serials_sorted = true;
+  // crl_tbs over the cached block is byte-identical to crl.tbs(), so the
+  // signature verifies against a fresh re-encoding on the receiver side.
+  crl.signature = crypto::ed25519_sign(
+      key_.seed, crl_tbs(name_, crl.this_update, serial_block_));
   return crl;
 }
 

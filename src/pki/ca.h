@@ -70,7 +70,11 @@ class CertificateAuthority {
   crypto::Ed25519KeyPair key_;
   Certificate root_cert_;
   std::uint64_t next_serial_ = 2;  // 1 is the root
-  std::vector<std::uint64_t> revoked_;
+  std::vector<std::uint64_t> revoked_;  // kept ascending (CRL binary search)
+  // Cached encode_crl_serials(revoked_): serials revoke in roughly issue
+  // order, so each re-sign appends one TLV element instead of re-encoding
+  // the whole (possibly 10k-entry) set.
+  Bytes serial_block_;
 };
 
 }  // namespace vnfsgx::pki

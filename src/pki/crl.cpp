@@ -17,15 +17,26 @@ enum : std::uint8_t {
 };
 }  // namespace
 
-Bytes RevocationList::tbs() const {
+Bytes encode_crl_serials(std::span<const std::uint64_t> serials) {
+  TlvWriter w;
+  for (const std::uint64_t serial : serials) {
+    w.add_u64(kTagSerial, serial);
+  }
+  return w.take();
+}
+
+Bytes crl_tbs(const DistinguishedName& issuer, UnixTime this_update,
+              ByteView serial_block) {
   TlvWriter w;
   w.add_string(kTagIssuerCn, issuer.common_name);
   w.add_string(kTagIssuerOrg, issuer.organization);
   w.add_u64(kTagThisUpdate, static_cast<std::uint64_t>(this_update));
-  for (const std::uint64_t serial : revoked_serials) {
-    w.add_u64(kTagSerial, serial);
-  }
+  w.append_encoded(serial_block);
   return w.take();
+}
+
+Bytes RevocationList::tbs() const {
+  return crl_tbs(issuer, this_update, encode_crl_serials(revoked_serials));
 }
 
 Bytes RevocationList::encode() const {
@@ -49,6 +60,8 @@ RevocationList RevocationList::decode(ByteView data) {
   while (!r.done()) {
     crl.revoked_serials.push_back(r.expect_u64(kTagSerial));
   }
+  crl.serials_sorted =
+      std::is_sorted(crl.revoked_serials.begin(), crl.revoked_serials.end());
   return crl;
 }
 
@@ -59,6 +72,10 @@ bool RevocationList::verify_signature(
 }
 
 bool RevocationList::is_revoked(std::uint64_t serial) const {
+  if (serials_sorted) {
+    return std::binary_search(revoked_serials.begin(), revoked_serials.end(),
+                              serial);
+  }
   return std::find(revoked_serials.begin(), revoked_serials.end(), serial) !=
          revoked_serials.end();
 }

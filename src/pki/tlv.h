@@ -43,6 +43,10 @@ class TlvWriter {
     add_bytes(tag, ByteView(b, 1));
   }
 
+  /// Append bytes that are already TLV-encoded (e.g. a cached run of
+  /// elements) without re-wrapping them in a tag/length header.
+  void append_encoded(ByteView encoded) { append(out_, encoded); }
+
   const Bytes& bytes() const { return out_; }
   Bytes take() { return std::move(out_); }
 

@@ -1,8 +1,29 @@
 #include "pki/truststore.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace vnfsgx::pki {
+
+namespace {
+
+constexpr std::size_t kMaxCachedVerdicts = 4096;
+
+obs::Counter& cache_counter(const char* result) {
+  return obs::registry().counter(
+      "vnfsgx_cache_requests_total",
+      {{"cache", "cert_validation"}, {"result", result}},
+      "Certificate-validation cache lookups by outcome");
+}
+
+obs::Counter& eviction_counter() {
+  return obs::registry().counter("vnfsgx_cache_evictions_total",
+                                 {{"cache", "cert_validation"}},
+                                 "Cached verdicts dropped (generation bump, "
+                                 "capacity, or explicit flush)");
+}
+
+}  // namespace
 
 std::string to_string(VerifyStatus status) {
   switch (status) {
@@ -31,15 +52,21 @@ void TrustStore::add_root(const Certificate& root) {
   if (!root.verify_signature(root.public_key)) {
     throw Error("truststore: root self-signature invalid");
   }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   roots_.push_back(root);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void TrustStore::set_crl(const RevocationList& crl) {
-  const Certificate* root = find_root(crl.issuer);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const Certificate* root = find_root_locked(crl.issuer);
   if (!root) throw Error("truststore: CRL from unknown issuer");
   if (!crl.verify_signature(root->public_key)) {
     throw Error("truststore: CRL signature invalid");
   }
+  // Invalidate before publishing the new list: once set_crl returns, no
+  // cached verdict predating this CRL can be served.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& existing : crls_) {
     if (existing.issuer == crl.issuer) {
       existing = crl;
@@ -49,7 +76,7 @@ void TrustStore::set_crl(const RevocationList& crl) {
   crls_.push_back(crl);
 }
 
-const Certificate* TrustStore::find_root(
+const Certificate* TrustStore::find_root_locked(
     const DistinguishedName& issuer) const {
   for (const Certificate& root : roots_) {
     if (root.subject == issuer) return &root;
@@ -58,6 +85,7 @@ const Certificate* TrustStore::find_root(
 }
 
 bool TrustStore::serial_revoked(std::uint64_t serial) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   for (const RevocationList& crl : crls_) {
     if (crl.is_revoked(serial)) return true;
   }
@@ -67,6 +95,7 @@ bool TrustStore::serial_revoked(std::uint64_t serial) const {
 VerifyResult TrustStore::verify_chain(
     const Certificate& leaf, std::span<const Certificate> intermediates,
     KeyUsage usage, UnixTime now) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   // Leaf-local checks first.
   if (now < leaf.not_before) return {VerifyStatus::kNotYetValid};
   if (now > leaf.not_after) return {VerifyStatus::kExpired};
@@ -93,12 +122,12 @@ VerifyResult TrustStore::verify_chain(
     current = &issuer;
   }
   // The last link must chain to a trusted root.
-  return verify_link_to_root(*current, now);
+  return verify_link_to_root_locked(*current, now);
 }
 
-VerifyResult TrustStore::verify_link_to_root(const Certificate& cert,
-                                             UnixTime now) const {
-  const Certificate* root = find_root(cert.issuer);
+VerifyResult TrustStore::verify_link_to_root_locked(const Certificate& cert,
+                                                    UnixTime now) const {
+  const Certificate* root = find_root_locked(cert.issuer);
   if (!root) return {VerifyStatus::kUnknownIssuer};
   if (!root->is_ca) return {VerifyStatus::kIssuerNotCa};
   if (!cert.verify_signature(root->public_key)) {
@@ -113,23 +142,214 @@ VerifyResult TrustStore::verify_link_to_root(const Certificate& cert,
   return {VerifyStatus::kOk};
 }
 
-VerifyResult TrustStore::verify(const Certificate& leaf, KeyUsage usage,
-                                UnixTime now) const {
-  const Certificate* root = find_root(leaf.issuer);
-  if (!root) return {VerifyStatus::kUnknownIssuer};
-  if (!root->is_ca) return {VerifyStatus::kIssuerNotCa};
-  if (!leaf.verify_signature(root->public_key)) {
-    return {VerifyStatus::kBadSignature};
+// Full (uncached) evaluation of the time-independent verdict. Check order
+// matches the original verify(): issuer, signature, [window], usage,
+// revocation — apply() re-inserts the window test between pre and post.
+TrustStore::CachedVerdict TrustStore::evaluate_locked(const Certificate& leaf,
+                                                      KeyUsage usage) const {
+  CachedVerdict v;
+  v.not_before = leaf.not_before;
+  v.not_after = leaf.not_after;
+  const Certificate* root = find_root_locked(leaf.issuer);
+  if (!root) {
+    v.pre = VerifyStatus::kUnknownIssuer;
+    return v;
   }
-  if (now < leaf.not_before) return {VerifyStatus::kNotYetValid};
-  if (now > leaf.not_after) return {VerifyStatus::kExpired};
-  if (!leaf.allows(usage)) return {VerifyStatus::kWrongUsage};
+  if (!root->is_ca) {
+    v.pre = VerifyStatus::kIssuerNotCa;
+    return v;
+  }
+  if (!leaf.verify_signature(root->public_key)) {
+    v.pre = VerifyStatus::kBadSignature;
+    return v;
+  }
+  if (!leaf.allows(usage)) {
+    v.post = VerifyStatus::kWrongUsage;
+    return v;
+  }
   for (const RevocationList& crl : crls_) {
     if (crl.issuer == leaf.issuer && crl.is_revoked(leaf.serial)) {
-      return {VerifyStatus::kRevoked};
+      v.post = VerifyStatus::kRevoked;
+      return v;
     }
   }
-  return {VerifyStatus::kOk};
+  return v;
+}
+
+VerifyResult TrustStore::apply(const CachedVerdict& verdict, UnixTime now) {
+  if (verdict.pre != VerifyStatus::kOk) return {verdict.pre};
+  if (now < verdict.not_before) return {VerifyStatus::kNotYetValid};
+  if (now > verdict.not_after) return {VerifyStatus::kExpired};
+  return {verdict.post};
+}
+
+std::string TrustStore::cache_key(const Certificate& leaf, KeyUsage usage) {
+  // Fingerprint (hex SHA-256 of the public encoding) + requested usage —
+  // no key material ever enters the cache.
+  return leaf.fingerprint() + "/" +
+         std::to_string(static_cast<unsigned>(usage));
+}
+
+std::optional<TrustStore::CachedVerdict> TrustStore::cache_lookup(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::uint64_t current = generation_.load(std::memory_order_acquire);
+  if (cache_generation_ != current) {
+    if (!cache_.empty()) eviction_counter().add(cache_.size());
+    cache_.clear();
+    cache_generation_ = current;
+  }
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++cache_misses_;
+    cache_counter("miss").add();
+    return std::nullopt;
+  }
+  ++cache_hits_;
+  cache_counter("hit").add();
+  return it->second;
+}
+
+void TrustStore::cache_store(const std::string& key,
+                             const CachedVerdict& verdict,
+                             std::uint64_t generation) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::uint64_t current = generation_.load(std::memory_order_acquire);
+  // A verdict computed against an older truststore must never be published:
+  // a revocation may have landed between evaluation and now.
+  if (generation != current) return;
+  if (cache_generation_ != current) {
+    if (!cache_.empty()) eviction_counter().add(cache_.size());
+    cache_.clear();
+    cache_generation_ = current;
+  }
+  if (cache_.size() >= kMaxCachedVerdicts) {
+    cache_.erase(cache_.begin());
+    eviction_counter().add();
+  }
+  cache_[key] = verdict;
+}
+
+void TrustStore::flush_validation_cache() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_.empty()) eviction_counter().add(cache_.size());
+  cache_.clear();
+}
+
+std::uint64_t TrustStore::cache_hits() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_hits_;
+}
+
+std::uint64_t TrustStore::cache_misses() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_misses_;
+}
+
+VerifyResult TrustStore::verify(const Certificate& leaf, KeyUsage usage,
+                                UnixTime now) const {
+  const std::string key = cache_key(leaf, usage);
+  if (const auto cached = cache_lookup(key)) return apply(*cached, now);
+  CachedVerdict verdict;
+  std::uint64_t generation = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    generation = generation_.load(std::memory_order_acquire);
+    verdict = evaluate_locked(leaf, usage);
+  }
+  cache_store(key, verdict, generation);
+  return apply(verdict, now);
+}
+
+std::vector<VerifyResult> TrustStore::verify_batch(
+    std::span<const Certificate> leaves, KeyUsage usage, UnixTime now) const {
+  static obs::Histogram& batch_size = obs::registry().histogram(
+      "vnfsgx_ed25519_batch_size", {}, {1, 2, 4, 8, 16, 32, 64, 128, 256},
+      "Signatures checked per Ed25519 batch verification");
+
+  std::vector<VerifyResult> results(leaves.size());
+  std::vector<CachedVerdict> verdicts(leaves.size());
+  std::vector<std::string> keys(leaves.size());
+  std::vector<bool> resolved(leaves.size(), false);
+
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    keys[i] = cache_key(leaves[i], usage);
+    if (const auto cached = cache_lookup(keys[i])) {
+      results[i] = apply(*cached, now);
+      resolved[i] = true;
+    }
+  }
+
+  // Cache misses: everything except the Ed25519 signature check is cheap,
+  // so evaluate those parts per certificate and fold all signature checks
+  // into one batch verification.
+  std::vector<std::size_t> need_sig;
+  std::vector<Bytes> tbs_storage;
+  std::vector<crypto::Ed25519BatchItem> items;
+  std::uint64_t generation = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    generation = generation_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if (resolved[i]) continue;
+      const Certificate& leaf = leaves[i];
+      CachedVerdict& v = verdicts[i];
+      v.not_before = leaf.not_before;
+      v.not_after = leaf.not_after;
+      const Certificate* root = find_root_locked(leaf.issuer);
+      if (!root) {
+        v.pre = VerifyStatus::kUnknownIssuer;
+        continue;
+      }
+      if (!root->is_ca) {
+        v.pre = VerifyStatus::kIssuerNotCa;
+        continue;
+      }
+      need_sig.push_back(i);
+      tbs_storage.push_back(leaf.tbs());
+      crypto::Ed25519BatchItem item;
+      item.public_key = root->public_key;
+      item.message = ByteView(tbs_storage.back());
+      item.signature =
+          ByteView(leaf.signature.data(), leaf.signature.size());
+      items.push_back(item);
+    }
+    // tbs_storage stops growing here, so the message views stay valid.
+    for (std::size_t j = 0; j < need_sig.size(); ++j) {
+      items[j].message = ByteView(tbs_storage[j]);
+    }
+    if (!items.empty()) {
+      batch_size.observe(static_cast<double>(items.size()));
+      const std::vector<bool> sig_ok = crypto::ed25519_verify_batch(
+          std::span<const crypto::Ed25519BatchItem>(items), nullptr);
+      for (std::size_t j = 0; j < need_sig.size(); ++j) {
+        const std::size_t i = need_sig[j];
+        const Certificate& leaf = leaves[i];
+        CachedVerdict& v = verdicts[i];
+        if (!sig_ok[j]) {
+          v.pre = VerifyStatus::kBadSignature;
+          continue;
+        }
+        if (!leaf.allows(usage)) {
+          v.post = VerifyStatus::kWrongUsage;
+          continue;
+        }
+        for (const RevocationList& crl : crls_) {
+          if (crl.issuer == leaf.issuer && crl.is_revoked(leaf.serial)) {
+            v.post = VerifyStatus::kRevoked;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    if (resolved[i]) continue;
+    cache_store(keys[i], verdicts[i], generation);
+    results[i] = apply(verdicts[i], now);
+  }
+  return results;
 }
 
 }  // namespace vnfsgx::pki

@@ -6,8 +6,14 @@
 // signature chain + validity window + revocation status.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -34,6 +40,17 @@ struct VerifyResult {
   bool ok() const { return status == VerifyStatus::kOk; }
 };
 
+/// Thread-safe: verification may run concurrently with add_root/set_crl
+/// (revocation during live TLS handshakes).
+///
+/// Repeat validations are served from an internal cache keyed by
+/// certificate fingerprint + key usage, invalidated explicitly by a
+/// truststore generation counter that every add_root/set_crl bumps — a
+/// revoked certificate misses the cache on the very next verify, there is
+/// no stale-grant window. Only time-independent facts (issuer, signature,
+/// usage, revocation status) are cached; the validity window is re-checked
+/// against `now` on every hit. Keys are fingerprints (SHA-256 of the public
+/// encoding), never key material.
 class TrustStore {
  public:
   /// Trust a CA root. The certificate must be a CA cert; throws otherwise.
@@ -46,6 +63,13 @@ class TrustStore {
   /// Verify a leaf certificate for `usage` at time `now`.
   VerifyResult verify(const Certificate& leaf, KeyUsage usage,
                       UnixTime now) const;
+
+  /// Verify a burst of independent leaf certificates. Cache misses share
+  /// one Ed25519 batch verification for their signature checks instead of
+  /// paying a full scalar multiplication each; verdicts are identical to
+  /// calling verify() per certificate, and all verdicts land in the cache.
+  std::vector<VerifyResult> verify_batch(std::span<const Certificate> leaves,
+                                         KeyUsage usage, UnixTime now) const;
 
   /// True if any installed CRL lists `serial` (used by TLS session
   /// resumption, where only the original certificate's serial is known).
@@ -61,12 +85,55 @@ class TrustStore {
 
   const std::vector<Certificate>& roots() const { return roots_; }
 
- private:
-  const Certificate* find_root(const DistinguishedName& issuer) const;
-  VerifyResult verify_link_to_root(const Certificate& cert, UnixTime now) const;
+  /// Truststore generation: bumped by every add_root/set_crl. Cached
+  /// verdicts from older generations are never served.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
+  /// Drop all cached verdicts (cold-cache benchmarking; never required for
+  /// correctness — generation bumps already invalidate).
+  void flush_validation_cache() const;
+
+  // Cache telemetry for tests/benches (also exported as
+  // vnfsgx_cache_requests_total{cache="cert_validation"}).
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+
+ private:
+  // Time-independent portion of a verdict, cached per (fingerprint, usage).
+  // `pre` is the issuer/signature outcome checked before the validity
+  // window, `post` the usage/revocation outcome checked after it — split so
+  // replaying the cached verdict preserves verify()'s exact status
+  // precedence.
+  struct CachedVerdict {
+    VerifyStatus pre = VerifyStatus::kOk;
+    VerifyStatus post = VerifyStatus::kOk;
+    UnixTime not_before = 0;
+    UnixTime not_after = 0;
+  };
+
+  const Certificate* find_root_locked(const DistinguishedName& issuer) const;
+  VerifyResult verify_link_to_root_locked(const Certificate& cert,
+                                          UnixTime now) const;
+  CachedVerdict evaluate_locked(const Certificate& leaf, KeyUsage usage) const;
+  static VerifyResult apply(const CachedVerdict& verdict, UnixTime now);
+  static std::string cache_key(const Certificate& leaf, KeyUsage usage);
+  std::optional<CachedVerdict> cache_lookup(const std::string& key) const;
+  void cache_store(const std::string& key, const CachedVerdict& verdict,
+                   std::uint64_t generation) const;
+
+  // Guards roots_/crls_; shared for verification, exclusive for updates.
+  mutable std::shared_mutex mutex_;
   std::vector<Certificate> roots_;
   std::vector<RevocationList> crls_;
+  std::atomic<std::uint64_t> generation_{0};
+
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<std::string, CachedVerdict> cache_;
+  mutable std::uint64_t cache_generation_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace vnfsgx::pki

@@ -494,20 +494,8 @@ namespace vnfsgx::controller {
 namespace {
 
 /// The fixture's DeterministicRandom is not thread-safe; the concurrency
-/// test hands every handshake (12 serve threads + 12 clients) this
-/// mutex-guarded view of it instead.
-class LockedRandom final : public crypto::RandomSource {
- public:
-  explicit LockedRandom(crypto::RandomSource& inner) : inner_(inner) {}
-  void fill(std::span<std::uint8_t> out) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    inner_.fill(out);
-  }
-
- private:
-  std::mutex mutex_;
-  crypto::RandomSource& inner_;
-};
+/// test hands every handshake a crypto::LockedRandom view of it instead.
+using crypto::LockedRandom;
 
 TEST_F(ControllerFixture, ConcurrentTrustedClients) {
   LockedRandom locked_rng(rng_);

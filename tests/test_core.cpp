@@ -3,7 +3,9 @@
 // enroll with the controller), plus the adversarial paths.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/sim_clock.h"
 #include "controller/controller.h"
@@ -744,6 +746,161 @@ TEST_F(Testbed, RotationSignsWithNewKeyOnly) {
                                      ByteView(sig.data(), sig.size())));
   EXPECT_FALSE(crypto::ed25519_verify(old_key, to_bytes("msg"),
                                       ByteView(sig.data(), sig.size())));
+}
+
+// ---------------------------------------------------------------------------
+// Appraisal cache
+// ---------------------------------------------------------------------------
+
+TEST_F(Testbed, AppraisalCacheHitsRepeatAndInvalidatesOnPolicyChange) {
+  auto ch = channel();
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  EXPECT_EQ(vm_.appraisal().cache_misses(), 1u);
+  EXPECT_EQ(vm_.appraisal().cache_hits(), 0u);
+
+  // Same IML again: the appraisal is served from cache. Nonce/report-data
+  // binding is checked upstream of the cache, so a replayed quote still
+  // cannot ride a cached verdict.
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  EXPECT_EQ(vm_.appraisal().cache_hits(), 1u);
+  EXPECT_EQ(vm_.appraisal().cache_misses(), 1u);
+
+  // A policy change must invalidate on the very next request: no window in
+  // which a stale verdict for the old policy generation is served.
+  vm_.appraisal().expect_file("/opt/new-tool",
+                              crypto::Sha256::hash(to_bytes("tool")));
+  ASSERT_TRUE(vm_.attest_host(*ch).trustworthy);
+  EXPECT_EQ(vm_.appraisal().cache_misses(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet attestation
+// ---------------------------------------------------------------------------
+
+/// Like Testbed, but the shared deterministic RNG is wrapped in a
+/// LockedRandom: attest_fleet drives concurrent handler threads on the host
+/// agent, and every enclave key generation draws from the one platform
+/// source. The fixture deploys a fleet of VNFs up front.
+class FleetTestbed : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFleetSize = 8;
+
+  FleetTestbed()
+      : rng_(71),
+        locked_rng_(rng_),
+        clock_(1'700'000'000),
+        ias_(locked_rng_, clock_),
+        ias_router_(ias::make_ias_router(ias_)),
+        vendor_(crypto::ed25519_generate(locked_rng_)),
+        host_("host-1", locked_rng_, fast_sgx()),
+        vm_(locked_rng_, clock_,
+            ias::IasClient([this] { return net_.connect("ias:443"); },
+                           ias_.report_signing_key())),
+        agent_(host_) {
+    net_.serve("ias:443", [this](net::StreamPtr s) {
+      http::serve_connection(*s, ias_router_);
+    });
+    net_.serve("host-1:7000",
+               [this](net::StreamPtr s) { agent_.serve(std::move(s)); });
+    host_.boot();
+    host_.load_attestation_enclave(vendor_.seed);
+    ias_.register_platform(
+        host_.sgx().platform_id(),
+        host_.sgx().quoting_enclave().attestation_public_key());
+    for (std::size_t i = 0; i < kFleetSize; ++i) {
+      vnfs_.push_back(std::make_unique<vnf::Vnf>(
+          "vnf-" + std::to_string(i), host_, vendor_.seed,
+          std::make_unique<vnf::MonitorFunction>()));
+      agent_.register_vnf(*vnfs_.back());
+    }
+    vm_.appraisal().learn(host_.ima().list());
+  }
+
+  ~FleetTestbed() override { net_.join_all(); }
+
+  crypto::DeterministicRandom rng_;
+  crypto::LockedRandom locked_rng_;
+  SimClock clock_;
+  net::InMemoryNetwork net_;
+  ias::IasService ias_;
+  http::Router ias_router_;
+  crypto::Ed25519KeyPair vendor_;
+  host::ContainerHost host_;
+  VerificationManager vm_;
+  HostAgent agent_;
+  std::vector<std::unique_ptr<vnf::Vnf>> vnfs_;
+};
+
+TEST_F(FleetTestbed, FleetAttestationMatchesSerialVerdicts) {
+  auto host_ch = net_.connect("host-1:7000");
+  ASSERT_TRUE(vm_.attest_host(*host_ch).trustworthy);
+
+  std::vector<net::StreamPtr> channels;
+  std::vector<FleetTarget> targets;
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    channels.push_back(net_.connect("host-1:7000"));
+    targets.push_back({channels.back().get(), "vnf-" + std::to_string(i)});
+  }
+  const auto results = vm_.attest_fleet(targets, /*max_workers=*/4);
+  ASSERT_EQ(results.size(), kFleetSize);
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    EXPECT_TRUE(results[i].trustworthy)
+        << targets[i].vnf_name << ": " << results[i].reason;
+    EXPECT_EQ(results[i].quote_status, ias::QuoteStatus::kOk);
+    EXPECT_EQ(results[i].platform_id, host_.sgx().platform_id());
+  }
+  EXPECT_EQ(vm_.vnfs_attested(), kFleetSize);
+  EXPECT_EQ(vm_.attested_vnf_names().size(), kFleetSize);
+  // Nine IAS round-trips (host + fleet) rode the keep-alive pool, so dials
+  // are bounded by the pool window rather than the request count.
+  EXPECT_LE(vm_.ias_client().connections_dialed(), 8u);
+
+  // Fleet-attested VNFs enroll exactly like serially attested ones.
+  const auto cert = vm_.enroll_vnf(*channels[0], "vnf-0", "vnf-0");
+  EXPECT_TRUE(cert.has_value());
+}
+
+TEST_F(FleetTestbed, FleetIsolatesFailureToTheOffendingVnf) {
+  auto host_ch = net_.connect("host-1:7000");
+  ASSERT_TRUE(vm_.attest_host(*host_ch).trustworthy);
+
+  std::vector<net::StreamPtr> channels;
+  std::vector<FleetTarget> targets;
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    channels.push_back(net_.connect("host-1:7000"));
+    const std::string name =
+        (i == 3) ? "ghost" : "vnf-" + std::to_string(i);
+    targets.push_back({channels.back().get(), name});
+  }
+  const auto results = vm_.attest_fleet(targets, /*max_workers=*/4);
+  ASSERT_EQ(results.size(), kFleetSize);
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(results[i].trustworthy);
+      EXPECT_FALSE(results[i].reason.empty());
+    } else {
+      EXPECT_TRUE(results[i].trustworthy) << results[i].reason;
+    }
+  }
+  EXPECT_EQ(vm_.vnfs_attested(), kFleetSize - 1);
+}
+
+TEST_F(FleetTestbed, FleetRejectsEveryVnfOnUnattestedHost) {
+  // attest_host was never called: the platform is untrusted, and every
+  // member of the fleet must be rejected — same verdict as attest_vnf.
+  std::vector<net::StreamPtr> channels;
+  std::vector<FleetTarget> targets;
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    channels.push_back(net_.connect("host-1:7000"));
+    targets.push_back({channels.back().get(), "vnf-" + std::to_string(i)});
+  }
+  const auto results = vm_.attest_fleet(targets, /*max_workers=*/4);
+  ASSERT_EQ(results.size(), kFleetSize);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.trustworthy);
+    EXPECT_FALSE(r.reason.empty());
+  }
+  EXPECT_EQ(vm_.vnfs_attested(), 0u);
 }
 
 }  // namespace

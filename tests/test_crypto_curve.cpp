@@ -72,6 +72,21 @@ TEST(X25519, GeneratedPairsAgree) {
   }
 }
 
+TEST(X25519, BasePointFastPathMatchesGenericLadder) {
+  // x25519_base rides the Ed25519 window table + birational map; it must
+  // stay bit-identical to the generic Montgomery ladder applied to the
+  // base point u=9, for any scalar (clamping happens inside both paths).
+  X25519Key base{};
+  base[0] = 9;
+  DeterministicRandom rng(4242);
+  for (int i = 0; i < 32; ++i) {
+    X25519Key scalar;
+    rng.fill(scalar);
+    EXPECT_EQ(to_hex(x25519_base(scalar)), to_hex(x25519(scalar, base)))
+        << "scalar " << to_hex(scalar);
+  }
+}
+
 TEST(X25519, RejectsLowOrderPoint) {
   DeterministicRandom rng(1);
   const auto kp = x25519_generate(rng);
@@ -270,6 +285,193 @@ TEST(X25519, Rfc7748IteratedVector1000) {
   }
   EXPECT_EQ(to_hex(k),
             "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+}  // namespace
+}  // namespace vnfsgx::crypto
+
+// ---------------------------------------------------------------------------
+// Ed25519 batch verification: the fleet-attestation fast path. Verdicts must
+// be bit-exact with per-signature ed25519_verify across valid, tampered, and
+// malformed inputs, with and without a caller-supplied RandomSource for the
+// blinding coefficients.
+// ---------------------------------------------------------------------------
+namespace vnfsgx::crypto {
+namespace {
+
+Ed25519Seed batch_seed_from_hex(std::string_view h) {
+  const Bytes b = from_hex(h);
+  Ed25519Seed s;
+  std::copy(b.begin(), b.end(), s.begin());
+  return s;
+}
+
+struct SignedMessage {
+  Ed25519PublicKey public_key{};
+  Bytes message;
+  Ed25519Signature signature{};
+};
+
+std::vector<SignedMessage> make_signed(DeterministicRandom& rng,
+                                       std::size_t count) {
+  std::vector<SignedMessage> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto kp = ed25519_generate(rng);
+    out[i].public_key = kp.public_key;
+    out[i].message = rng.bytes(i % 113);
+    out[i].signature = ed25519_sign(kp.seed, out[i].message);
+  }
+  return out;
+}
+
+std::vector<Ed25519BatchItem> to_items(const std::vector<SignedMessage>& in) {
+  std::vector<Ed25519BatchItem> items(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    items[i].public_key = in[i].public_key;
+    items[i].message = ByteView(in[i].message);
+    items[i].signature = ByteView(in[i].signature.data(), 64);
+  }
+  return items;
+}
+
+void expect_matches_single(const std::vector<SignedMessage>& batch,
+                           RandomSource* rng) {
+  const auto items = to_items(batch);
+  const std::vector<bool> verdicts =
+      ed25519_verify_batch(std::span<const Ed25519BatchItem>(items), rng);
+  ASSERT_EQ(verdicts.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(verdicts[i],
+              ed25519_verify(items[i].public_key, items[i].message,
+                             items[i].signature))
+        << "index " << i;
+  }
+}
+
+TEST(Ed25519Batch, EmptyBatch) {
+  EXPECT_TRUE(
+      ed25519_verify_batch(std::span<const Ed25519BatchItem>(), nullptr)
+          .empty());
+}
+
+TEST(Ed25519Batch, Rfc8032VectorsAllAccepted) {
+  // The three RFC 8032 §7.1 vectors already exercised one-by-one above,
+  // now verified as one batch.
+  struct Vector {
+    const char* seed;
+    const char* msg;
+  };
+  const Vector vectors[] = {
+      {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+       ""},
+      {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+       "72"},
+      {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+       "af82"},
+  };
+  std::vector<SignedMessage> batch;
+  for (const Vector& v : vectors) {
+    SignedMessage sm;
+    const Ed25519Seed seed = batch_seed_from_hex(v.seed);
+    sm.public_key = ed25519_public_key(seed);
+    sm.message = from_hex(v.msg);
+    sm.signature = ed25519_sign(seed, sm.message);
+    batch.push_back(std::move(sm));
+  }
+  expect_matches_single(batch, nullptr);
+  const auto items = to_items(batch);
+  const auto verdicts =
+      ed25519_verify_batch(std::span<const Ed25519BatchItem>(items), nullptr);
+  for (const bool ok : verdicts) EXPECT_TRUE(ok);
+}
+
+TEST(Ed25519Batch, SixtyFourValidSignaturesPass) {
+  DeterministicRandom rng(0xba7c);
+  const auto batch = make_signed(rng, 64);
+  const auto items = to_items(batch);
+  // Random and deterministic coefficient derivation must both accept.
+  for (RandomSource* coeff_rng : {static_cast<RandomSource*>(&rng),
+                                  static_cast<RandomSource*>(nullptr)}) {
+    const auto verdicts = ed25519_verify_batch(
+        std::span<const Ed25519BatchItem>(items), coeff_rng);
+    ASSERT_EQ(verdicts.size(), 64u);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      EXPECT_TRUE(verdicts[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(Ed25519Batch, TamperedSignatureInSixtyFourIsolated) {
+  // One forged report in a 64-quote fleet: the batch equation fails, the
+  // per-item fallback pins the culprit, and the other 63 still pass.
+  DeterministicRandom rng(0xf1ee);
+  auto batch = make_signed(rng, 64);
+  const std::size_t victim = 23;
+  batch[victim].signature[10] ^= 0x40;
+  const auto items = to_items(batch);
+  const auto verdicts =
+      ed25519_verify_batch(std::span<const Ed25519BatchItem>(items), &rng);
+  ASSERT_EQ(verdicts.size(), 64u);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != victim) << "index " << i;
+  }
+}
+
+TEST(Ed25519Batch, TamperedMessageIsolated) {
+  DeterministicRandom rng(0x5eed);
+  auto batch = make_signed(rng, 16);
+  batch[7].message.push_back(0x00);
+  expect_matches_single(batch, &rng);
+}
+
+TEST(Ed25519Batch, WrongKeyIsolated) {
+  DeterministicRandom rng(0xabcd);
+  auto batch = make_signed(rng, 8);
+  const auto other = ed25519_generate(rng);
+  batch[3].public_key = other.public_key;
+  expect_matches_single(batch, nullptr);
+}
+
+TEST(Ed25519Batch, MalformedItemsRejectedWithoutPoisoningBatch) {
+  DeterministicRandom rng(0x0bad);
+  auto batch = make_signed(rng, 8);
+  auto items = to_items(batch);
+  // Truncated signature and non-canonical S: both must be individually
+  // rejected while the six well-formed signatures pass.
+  items[1].signature = ByteView(items[1].signature.data(), 63);
+  static std::array<std::uint8_t, 64> high_s{};
+  high_s.fill(0xff);
+  items[5].signature = ByteView(high_s.data(), high_s.size());
+  const auto verdicts =
+      ed25519_verify_batch(std::span<const Ed25519BatchItem>(items), &rng);
+  ASSERT_EQ(verdicts.size(), 8u);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 1 && i != 5) << "index " << i;
+  }
+}
+
+TEST(Ed25519Batch, SingleItemBatch) {
+  DeterministicRandom rng(0x0001);
+  const auto batch = make_signed(rng, 1);
+  expect_matches_single(batch, nullptr);
+}
+
+TEST(Ed25519Batch, RandomSweepMatchesSingleVerify) {
+  // Random batches with random tampering: every verdict must match the
+  // single-signature verifier exactly.
+  DeterministicRandom rng(0x57ab1e);
+  for (int round = 0; round < 10; ++round) {
+    auto batch = make_signed(rng, 1 + (static_cast<std::size_t>(round) * 7) % 33);
+    for (auto& sm : batch) {
+      const Bytes coin = rng.bytes(1);
+      if (coin[0] < 64) {
+        sm.signature[coin[0] % 64] ^= 1;
+      } else if (coin[0] < 96) {
+        sm.message.push_back(0x5a);
+      }
+    }
+    expect_matches_single(batch, round % 2 ? &rng : nullptr);
+  }
 }
 
 }  // namespace

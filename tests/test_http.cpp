@@ -1,7 +1,9 @@
 // HTTP message/wire/router/client-server tests over in-memory pipes.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "http/client.h"
 #include "http/server.h"
@@ -296,6 +298,119 @@ TEST(ClientServer, ContextIdentityVisibleToHandler) {
   EXPECT_EQ(to_string(client.get("/whoami").body), "CN=vnf-1");
   client.close();
   server.join();
+}
+
+}  // namespace
+}  // namespace vnfsgx::http
+
+// ---------------------------------------------------------------------------
+// ClientPool: keep-alive reuse, bounded window, stale-connection retry.
+// ---------------------------------------------------------------------------
+namespace vnfsgx::http {
+namespace {
+
+class PoolFixture : public ::testing::Test {
+ protected:
+  PoolFixture() {
+    router_.add("GET", "/count",
+                [this](const Request&, const RequestContext&) {
+                  return Response::text(200, std::to_string(++hits_));
+                });
+    net_.serve("origin:80", [this](net::StreamPtr s) {
+      serve_connection(*s, router_);
+    });
+  }
+  ~PoolFixture() override { net_.join_all(); }
+
+  ClientPool::Connect connect() {
+    return [this] { return net_.connect("origin:80"); };
+  }
+
+  Router router_;
+  std::atomic<int> hits_{0};
+  net::InMemoryNetwork net_;
+};
+
+TEST_F(PoolFixture, SequentialRequestsReuseOneConnection) {
+  ClientPool pool(connect());
+  Request req;
+  req.method = "GET";
+  req.target = "/count";
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(to_string(pool.request(req).body), std::to_string(i));
+  }
+  // The reconnect meter: ten requests, one dial.
+  EXPECT_EQ(pool.connects(), 1u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST_F(PoolFixture, ConcurrentRequestsBoundedByWindow) {
+  ClientPool pool(connect(), {.max_connections = 4, .name = "test"});
+  Request req;
+  req.method = "GET";
+  req.target = "/count";
+  std::vector<std::thread> clients;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 16; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        if (pool.request(req).status == 200) done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(done.load(), 16 * 8);
+  EXPECT_EQ(hits_.load(), 16 * 8);
+  // At most `max_connections` dials ever happen: the burst multiplexes
+  // over the window instead of reconnecting per request.
+  EXPECT_LE(pool.connects(), 4u);
+  EXPECT_GE(pool.connects(), 1u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST_F(PoolFixture, StaleKeepAliveConnectionRetriedOnce) {
+  // First exchange parks an idle connection; the server then closes it.
+  // The next request must transparently re-dial instead of failing.
+  std::atomic<bool> close_after{true};
+  Router one_shot;
+  one_shot.add("GET", "/x", [](const Request&, const RequestContext&) {
+    return Response::text(200, "ok");
+  });
+  net_.serve("flaky:80", [&](net::StreamPtr s) {
+    // Serve exactly one request, then drop the connection.
+    if (close_after.load()) {
+      auto req = Connection(*s).read_request();
+      (void)req;
+      Response res = Response::text(200, "ok");
+      Connection(*s).write(res);
+      s->close();
+    } else {
+      serve_connection(*s, one_shot);
+    }
+  });
+
+  ClientPool pool([this] { return net_.connect("flaky:80"); });
+  Request req;
+  req.method = "GET";
+  req.target = "/x";
+  EXPECT_EQ(pool.request(req).status, 200);
+  close_after.store(false);
+  EXPECT_EQ(pool.request(req).status, 200);  // stale lease retried
+  EXPECT_EQ(pool.connects(), 2u);
+}
+
+TEST_F(PoolFixture, LeaseDiscardDropsConnection) {
+  ClientPool pool(connect());
+  {
+    ClientPool::Lease lease = pool.acquire();
+    EXPECT_TRUE(lease.fresh());
+    lease.discard();
+  }
+  {
+    ClientPool::Lease lease = pool.acquire();
+    EXPECT_TRUE(lease.fresh());  // discarded connection was not reused
+  }
+  EXPECT_EQ(pool.connects(), 2u);
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 // PKI tests: TLV, certificates, CA, CRL, trust store policy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/sim_clock.h"
 #include "crypto/random.h"
 #include "pki/ca.h"
@@ -370,6 +375,191 @@ TEST_F(ChainFixture, EmptyChainEqualsDirectVerification) {
   store.add_root(ca_.root_certificate());
   EXPECT_TRUE(store.verify_chain(leaf, {}, KeyUsage::kClientAuth, clock_.now())
                   .ok());
+}
+
+}  // namespace
+}  // namespace vnfsgx::pki
+
+// ---------------------------------------------------------------------------
+// Validation cache + sorted CRL index (the controller-side hot path).
+// ---------------------------------------------------------------------------
+namespace vnfsgx::pki {
+namespace {
+
+class CacheFixture : public PkiFixture {
+ protected:
+  Certificate issue_client(const std::string& cn) {
+    const auto kp = crypto::ed25519_generate(rng_);
+    return ca_.issue({cn, "RISE"}, kp.public_key,
+                     static_cast<std::uint8_t>(KeyUsage::kClientAuth), 3600);
+  }
+};
+
+TEST_F(CacheFixture, RepeatVerifyHitsCache) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const Certificate leaf = issue_client("vnf-a");
+  const std::uint64_t misses0 = store.cache_misses();
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+  EXPECT_EQ(store.cache_misses(), misses0 + 1);
+  const std::uint64_t hits0 = store.cache_hits();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+  }
+  EXPECT_EQ(store.cache_hits(), hits0 + 5);
+  EXPECT_EQ(store.cache_misses(), misses0 + 1);
+}
+
+TEST_F(CacheFixture, ValidityWindowRecheckedOnHit) {
+  // Cached verdicts memoize only time-independent facts; an expired cert
+  // must be rejected even when its verdict is hot in the cache.
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const Certificate leaf = issue_client("vnf-a");
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, leaf.not_after + 1)
+                .status,
+            VerifyStatus::kExpired);
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, leaf.not_before - 1)
+                .status,
+            VerifyStatus::kNotYetValid);
+}
+
+TEST_F(CacheFixture, RevocationInvalidatesOnNextRequest) {
+  // The no-stale-grant property: after update(set_crl) returns, the very
+  // next verify must observe the revocation — no window where the cache
+  // serves the old verdict.
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const Certificate leaf = issue_client("vnf-a");
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+
+  store.set_crl(ca_.revoke(leaf.serial));
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kRevoked);
+}
+
+TEST_F(CacheFixture, AddRootInvalidates) {
+  TrustStore store;
+  const Certificate leaf = issue_client("vnf-a");
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kUnknownIssuer);
+  store.add_root(ca_.root_certificate());
+  EXPECT_TRUE(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).ok());
+}
+
+TEST_F(CacheFixture, BatchVerifyMatchesSingle) {
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  std::vector<Certificate> certs;
+  for (int i = 0; i < 24; ++i) {
+    certs.push_back(issue_client("vnf-" + std::to_string(i)));
+  }
+  // Mix in failures: forged signature, revoked, unknown issuer.
+  certs[3].signature[0] ^= 1;
+  store.set_crl(ca_.revoke(certs[9].serial));
+  certs[17].issuer.common_name = "nobody";
+
+  const auto batch = store.verify_batch(
+      std::span<const Certificate>(certs), KeyUsage::kClientAuth,
+      clock_.now());
+  ASSERT_EQ(batch.size(), certs.size());
+  TrustStore fresh;
+  fresh.add_root(ca_.root_certificate());
+  fresh.set_crl(ca_.current_crl());
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    EXPECT_EQ(batch[i].status,
+              fresh.verify(certs[i], KeyUsage::kClientAuth, clock_.now())
+                  .status)
+        << "index " << i;
+  }
+  // And the batch warmed the cache.
+  const std::uint64_t hits0 = store.cache_hits();
+  (void)store.verify(certs[0], KeyUsage::kClientAuth, clock_.now());
+  EXPECT_EQ(store.cache_hits(), hits0 + 1);
+}
+
+TEST_F(CacheFixture, ConcurrentRevokeWhileValidating) {
+  // Races a revocation against a validation storm (run under TSan in CI).
+  // Invariant: once set_crl has returned, every verify observes kRevoked.
+  TrustStore store;
+  store.add_root(ca_.root_certificate());
+  const Certificate leaf = issue_client("vnf-a");
+  const Certificate bystander = issue_client("vnf-b");
+  const RevocationList crl = ca_.revoke(leaf.serial);
+
+  std::atomic<bool> revoked{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> verifiers;
+  for (int t = 0; t < 4; ++t) {
+    verifiers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const bool after = revoked.load(std::memory_order_acquire);
+        const VerifyResult r =
+            store.verify(leaf, KeyUsage::kClientAuth, clock_.now());
+        const VerifyResult other =
+            store.verify(bystander, KeyUsage::kClientAuth, clock_.now());
+        if (!other.ok()) violations.fetch_add(1);
+        if (after && r.status != VerifyStatus::kRevoked) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  store.set_crl(crl);
+  revoked.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : verifiers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(store.verify(leaf, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kRevoked);
+}
+
+TEST_F(CacheFixture, CrlBinarySearchMatchesLinear) {
+  // The CA emits sorted CRLs (binary-searched); decode() of an unsorted
+  // list falls back to the linear scan. Both must agree.
+  for (const std::uint64_t serial :
+       {std::uint64_t{5}, std::uint64_t{800}, std::uint64_t{12345}}) {
+    (void)ca_.revoke(serial);
+  }
+  const RevocationList crl = ca_.revoke(40);
+  EXPECT_TRUE(crl.serials_sorted);
+  EXPECT_TRUE(std::is_sorted(crl.revoked_serials.begin(),
+                             crl.revoked_serials.end()));
+  for (const std::uint64_t s : {5u, 40u, 800u, 12345u}) {
+    EXPECT_TRUE(crl.is_revoked(s)) << s;
+  }
+  EXPECT_FALSE(crl.is_revoked(6));
+  EXPECT_FALSE(crl.is_revoked(99999));
+
+  // Round-trips keep sortedness; hand-built unsorted lists stay correct.
+  const RevocationList decoded = RevocationList::decode(crl.encode());
+  EXPECT_TRUE(decoded.serials_sorted);
+  EXPECT_TRUE(decoded.verify_signature(ca_.root_certificate().public_key));
+  RevocationList unsorted = crl;
+  unsorted.serials_sorted = false;
+  std::reverse(unsorted.revoked_serials.begin(),
+               unsorted.revoked_serials.end());
+  for (const std::uint64_t s : {5u, 40u, 800u, 12345u}) {
+    EXPECT_TRUE(unsorted.is_revoked(s)) << s;
+  }
+}
+
+TEST_F(CacheFixture, OutOfOrderRevocationStillSignsCorrectly) {
+  // Out-of-order serials force the CA to rebuild its cached TLV serial
+  // block; the resulting CRL must still verify and stay sorted.
+  (void)ca_.revoke(100);
+  (void)ca_.revoke(7);  // insertion in the middle -> rebuild
+  const RevocationList crl = ca_.revoke(50);
+  EXPECT_TRUE(crl.serials_sorted);
+  EXPECT_EQ(crl.revoked_serials, (std::vector<std::uint64_t>{7, 50, 100}));
+  EXPECT_TRUE(crl.verify_signature(ca_.root_certificate().public_key));
+  EXPECT_TRUE(RevocationList::decode(crl.encode())
+                  .verify_signature(ca_.root_certificate().public_key));
 }
 
 }  // namespace

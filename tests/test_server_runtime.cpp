@@ -37,19 +37,8 @@ using controller::ControllerConfig;
 using controller::SecurityMode;
 
 /// DeterministicRandom is not thread-safe; concurrent TLS handshakes on
-/// both ends share this mutex-guarded view of it.
-class LockedRandom final : public crypto::RandomSource {
- public:
-  explicit LockedRandom(crypto::RandomSource& inner) : inner_(inner) {}
-  void fill(std::span<std::uint8_t> out) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    inner_.fill(out);
-  }
-
- private:
-  std::mutex mutex_;
-  crypto::RandomSource& inner_;
-};
+/// both ends share a crypto::LockedRandom view of it.
+using crypto::LockedRandom;
 
 class ServerRuntimeFixture : public ::testing::Test {
  protected:
