@@ -127,7 +127,7 @@ int main() {
       // would be dropped at the edge anyway; also count the switch verdict
     }
     const auto path = fabric.inject(1, 7, p);
-    switch (path.back().result.kind) {
+    switch (path.hops.back().result.kind) {
       case dataplane::ForwardingResult::Kind::kDropped:
         ++dropped;
         break;

@@ -25,23 +25,51 @@ void Fabric::link(LinkEnd a, LinkEnd b) {
   peer_[b] = a;
 }
 
-std::vector<PathHop> Fabric::inject(std::uint64_t dpid, std::uint16_t in_port,
-                                    const Packet& packet, int max_hops) {
-  std::vector<PathHop> path;
+const char* to_string(PathOutcome outcome) {
+  switch (outcome) {
+    case PathOutcome::kDelivered:
+      return "delivered";
+    case PathOutcome::kDropped:
+      return "dropped";
+    case PathOutcome::kPunted:
+      return "punted";
+    case PathOutcome::kLoopGuard:
+      return "loop-guard";
+  }
+  return "unknown";
+}
+
+PathTrace Fabric::inject(std::uint64_t dpid, std::uint16_t in_port,
+                         const Packet& packet, int max_hops) {
+  PathTrace trace;
+  trace.outcome = PathOutcome::kLoopGuard;
   std::uint64_t current_dpid = dpid;
   std::uint16_t current_port = in_port;
   for (int hop = 0; hop < max_hops; ++hop) {
     Switch* sw = find_switch(current_dpid);
     if (!sw) throw Error("fabric: packet at unknown switch");
     const ForwardingResult result = sw->process(packet, current_port);
-    path.push_back(PathHop{current_dpid, current_port, result});
-    if (result.kind != ForwardingResult::Kind::kForwarded) break;
+    trace.hops.push_back(PathHop{current_dpid, current_port, result});
+    if (result.kind == ForwardingResult::Kind::kDropped) {
+      trace.outcome = PathOutcome::kDropped;
+      return trace;
+    }
+    if (result.kind == ForwardingResult::Kind::kPacketIn ||
+        result.kind == ForwardingResult::Kind::kTableMiss) {
+      trace.outcome = PathOutcome::kPunted;
+      return trace;
+    }
     const auto peer = peer_.find(LinkEnd{current_dpid, result.out_port});
-    if (peer == peer_.end()) break;  // egress port: packet leaves the fabric
+    if (peer == peer_.end()) {
+      // Egress port: the packet leaves the fabric toward a host.
+      trace.outcome = PathOutcome::kDelivered;
+      return trace;
+    }
     current_dpid = peer->second.dpid;
     current_port = peer->second.port;
   }
-  return path;
+  // Ran out of hop budget while still being forwarded switch-to-switch.
+  return trace;
 }
 
 }  // namespace vnfsgx::dataplane

@@ -25,6 +25,23 @@ struct PathHop {
   ForwardingResult result;
 };
 
+/// Why a traced packet stopped moving. Distinguishes "left the fabric"
+/// from "the loop guard killed it" — the raw hop list cannot.
+enum class PathOutcome : std::uint8_t {
+  kDelivered,  // forwarded out an unlinked (edge) port: left the fabric
+  kDropped,    // a switch dropped it (drop action or inspection verdict)
+  kPunted,     // handed to the controller (packet-in or table miss)
+  kLoopGuard,  // still circulating at max_hops; forwarding loop suspected
+};
+
+const char* to_string(PathOutcome outcome);
+
+/// Hop-by-hop trace of one injected packet plus its terminal outcome.
+struct PathTrace {
+  std::vector<PathHop> hops;
+  PathOutcome outcome = PathOutcome::kDropped;
+};
+
 class Fabric {
  public:
   Switch& add_switch(std::uint64_t dpid);
@@ -41,9 +58,10 @@ class Fabric {
 
   /// Inject a packet and follow forwarding decisions until it is dropped,
   /// punted, leaves the fabric (forwarded out an unlinked port), or exceeds
-  /// `max_hops` (loop guard).
-  std::vector<PathHop> inject(std::uint64_t dpid, std::uint16_t in_port,
-                              const Packet& packet, int max_hops = 32);
+  /// `max_hops` (loop guard). The trace's outcome says which of those
+  /// actually terminated the walk.
+  PathTrace inject(std::uint64_t dpid, std::uint16_t in_port,
+                   const Packet& packet, int max_hops = 32);
 
  private:
   std::map<std::uint64_t, std::unique_ptr<Switch>> switches_;

@@ -49,23 +49,71 @@ ForwardingResult Switch::process(const Packet& packet, std::uint16_t in_port) {
       best = &entry;
     }
   }
+  ForwardingResult result;
   if (!best) {
     packet_ins_.push_back(PacketIn{packet, in_port});
-    return ForwardingResult{ForwardingResult::Kind::kTableMiss, 0, nullptr};
+    result.kind = ForwardingResult::Kind::kTableMiss;
+    return result;
   }
   ++best->packet_count;
   best->byte_count += packet.payload.size();
+  result.entry = best;
   switch (best->action.type) {
     case ActionType::kForward:
-      return ForwardingResult{ForwardingResult::Kind::kForwarded,
-                              best->action.out_port, best};
+      result.kind = ForwardingResult::Kind::kForwarded;
+      result.out_port = best->action.out_port;
+      break;
     case ActionType::kDrop:
-      return ForwardingResult{ForwardingResult::Kind::kDropped, 0, best};
+      result.kind = ForwardingResult::Kind::kDropped;
+      break;
     case ActionType::kSendToController:
       packet_ins_.push_back(PacketIn{packet, in_port});
-      return ForwardingResult{ForwardingResult::Kind::kPacketIn, 0, best};
+      result.kind = ForwardingResult::Kind::kPacketIn;
+      break;
+    case ActionType::kInspect:
+      return run_inspection(*best, packet, in_port);
   }
-  return ForwardingResult{};
+  return result;
+}
+
+ForwardingResult Switch::run_inspection(FlowEntry& entry, const Packet& packet,
+                                        std::uint16_t in_port) {
+  ForwardingResult result;
+  result.entry = &entry;
+  result.inspected = true;
+  // Fail closed: a punt flow with no reachable inspector must not let
+  // traffic bypass inspection.
+  if (!inspector_) {
+    result.kind = ForwardingResult::Kind::kDropped;
+    result.verdict = InspectVerdict::kDrop;
+    result.inspect_rule = "no-inspector";
+    return result;
+  }
+  InspectionOutcome outcome;
+  try {
+    outcome = inspector_(packet, in_port);
+  } catch (const std::exception& e) {
+    result.kind = ForwardingResult::Kind::kDropped;
+    result.verdict = InspectVerdict::kDrop;
+    result.inspect_rule = std::string("inspector-error: ") + e.what();
+    return result;
+  }
+  result.verdict = outcome.verdict;
+  result.inspect_rule = std::move(outcome.rule);
+  switch (outcome.verdict) {
+    case InspectVerdict::kDrop:
+      result.kind = ForwardingResult::Kind::kDropped;
+      break;
+    case InspectVerdict::kAlert:
+      // Alert rules forward the packet but copy it to the controller.
+      packet_ins_.push_back(PacketIn{packet, in_port});
+      [[fallthrough]];
+    case InspectVerdict::kForward:
+      result.kind = ForwardingResult::Kind::kForwarded;
+      result.out_port = entry.action.out_port;
+      break;
+  }
+  return result;
 }
 
 }  // namespace vnfsgx::dataplane

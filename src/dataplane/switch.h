@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -14,11 +15,16 @@
 
 namespace vnfsgx::dataplane {
 
-enum class ActionType : std::uint8_t { kForward, kDrop, kSendToController };
+enum class ActionType : std::uint8_t {
+  kForward,
+  kDrop,
+  kSendToController,
+  kInspect,  // punt through the registered inspector, then forward/drop
+};
 
 struct Action {
   ActionType type = ActionType::kDrop;
-  std::uint16_t out_port = 0;  // for kForward
+  std::uint16_t out_port = 0;  // for kForward / kInspect pass verdicts
 
   static Action forward(std::uint16_t port) {
     return Action{ActionType::kForward, port};
@@ -27,7 +33,29 @@ struct Action {
   static Action to_controller() {
     return Action{ActionType::kSendToController, 0};
   }
+  /// Punt to the inspector NF; clean verdicts forward out `port`.
+  static Action inspect(std::uint16_t port) {
+    return Action{ActionType::kInspect, port};
+  }
 };
+
+/// Inspector NF verdict for one punted packet.
+enum class InspectVerdict : std::uint8_t {
+  kForward,  // clean: forward along the flow's out_port
+  kDrop,     // signature hit: discard
+  kAlert,    // signature hit on an alert rule: forward, notify controller
+};
+
+struct InspectionOutcome {
+  InspectVerdict verdict = InspectVerdict::kForward;
+  std::string rule;  // matched rule name for kDrop / kAlert
+};
+
+/// The punt-path hook. Deliberately an opaque callable: the dataplane knows
+/// nothing about enclaves — the VNF layer binds this to its in-enclave
+/// inspection NF (vnf::InspectionClient::as_inspector).
+using InspectorFn =
+    std::function<InspectionOutcome(const Packet&, std::uint16_t in_port)>;
 
 struct FlowEntry {
   std::string name;  // staticflowpusher identifier
@@ -50,6 +78,10 @@ struct ForwardingResult {
   Kind kind = Kind::kTableMiss;
   std::uint16_t out_port = 0;
   const FlowEntry* entry = nullptr;
+  // Punt-path trace: set when the matched action was kInspect.
+  bool inspected = false;
+  InspectVerdict verdict = InspectVerdict::kForward;
+  std::string inspect_rule;  // rule behind a kDrop/kAlert verdict
 };
 
 class Switch {
@@ -68,6 +100,14 @@ class Switch {
   /// specificity, then insertion order.
   ForwardingResult process(const Packet& packet, std::uint16_t in_port);
 
+  /// Bind the inspection NF serving this switch's kInspect actions. With no
+  /// inspector bound (or an inspector that throws), kInspect fails CLOSED:
+  /// the packet is dropped rather than forwarded uninspected.
+  void set_inspector(InspectorFn inspector) {
+    inspector_ = std::move(inspector);
+  }
+  bool has_inspector() const { return static_cast<bool>(inspector_); }
+
   /// Packets punted to the controller (table miss or explicit action).
   const std::deque<PacketIn>& packet_in_queue() const { return packet_ins_; }
   void clear_packet_ins() { packet_ins_.clear(); }
@@ -77,9 +117,13 @@ class Switch {
   std::uint64_t total_packets() const { return total_packets_; }
 
  private:
+  ForwardingResult run_inspection(FlowEntry& entry, const Packet& packet,
+                                  std::uint16_t in_port);
+
   std::uint64_t dpid_;
   std::vector<FlowEntry> flows_;
   std::deque<PacketIn> packet_ins_;
+  InspectorFn inspector_;
   std::uint64_t total_packets_ = 0;
 };
 

@@ -4,11 +4,32 @@
 
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
+#include "obs/metrics.h"
 #include "sgx/platform.h"
 
 namespace vnfsgx::sgx {
 
 namespace {
+
+// Dispatch counters by boundary path (see docs/ENCLAVE_BOUNDARY.md).
+obs::Counter& ecall_sync_total() {
+  static obs::Counter& c = obs::registry().counter(
+      "vnfsgx_ecall_sync_total", {},
+      "ECALL jobs dispatched as classic one-crossing-per-call ECALLs");
+  return c;
+}
+obs::Counter& ecall_batched_total() {
+  static obs::Counter& c = obs::registry().counter(
+      "vnfsgx_ecall_batched_total", {},
+      "ECALL jobs dispatched via call_batch (one crossing per batch)");
+  return c;
+}
+obs::Counter& ecall_switchless_total() {
+  static obs::Counter& c = obs::registry().counter(
+      "vnfsgx_ecall_switchless_total", {},
+      "ECALL jobs dispatched by the switchless hostcall ring worker");
+  return c;
+}
 
 // Stack of enclaves the current thread is executing inside (ECALLs may
 // nest when trusted logic calls into another enclave via untrusted glue).
@@ -168,8 +189,75 @@ Bytes Enclave::call(std::uint32_t opcode, ByteView input) {
   }
   platform_.charge_crossing();
   ecall_count_.fetch_add(1, std::memory_order_relaxed);
+  note_dispatch(opcode, DispatchPath::kSync);
   const EnclaveEntryGuard guard(this);
   return logic_->handle_call(opcode, input, *services_);
+}
+
+std::vector<BatchResult> Enclave::call_batch(std::span<const BatchCall> jobs) {
+  if (destroyed_) {
+    throw SecurityViolation("batched ECALL into destroyed enclave '" + name_ +
+                            "'");
+  }
+  std::vector<BatchResult> results;
+  results.reserve(jobs.size());
+  if (jobs.empty()) return results;
+  // One crossing for the whole batch; per-job dispatch happens inside.
+  platform_.charge_crossing();
+  ecall_count_.fetch_add(1, std::memory_order_relaxed);
+  const EnclaveEntryGuard guard(this);
+  for (const BatchCall& job : jobs) {
+    note_dispatch(job.opcode, DispatchPath::kBatched);
+    BatchResult r;
+    try {
+      r.output = logic_->handle_call(job.opcode, job.input, *services_);
+      r.ok = true;
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.error = e.what();
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+EcallStats Enclave::ecall_stats() const {
+  // Publish/consume fence: writers use relaxed adds on hot paths, so make
+  // every count published before this snapshot visible to the caller.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  EcallStats stats;
+  stats.crossings = ecall_count_.load(std::memory_order_relaxed);
+  stats.sync_calls = sync_calls_.load(std::memory_order_relaxed);
+  stats.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
+  stats.switchless_jobs = switchless_jobs_.load(std::memory_order_relaxed);
+  for (std::uint32_t op = 0; op < kTrackedOpcodes; ++op) {
+    const std::uint64_t n = opcode_counts_[op].load(std::memory_order_relaxed);
+    if (n != 0) stats.per_opcode.emplace_back(op, n);
+  }
+  const std::uint64_t overflow =
+      opcode_counts_[kTrackedOpcodes].load(std::memory_order_relaxed);
+  if (overflow != 0) stats.per_opcode.emplace_back(kOpcodeOverflow, overflow);
+  return stats;
+}
+
+void Enclave::note_dispatch(std::uint32_t opcode, DispatchPath path) {
+  const std::uint32_t slot =
+      opcode < kTrackedOpcodes ? opcode : kTrackedOpcodes;
+  opcode_counts_[slot].fetch_add(1, std::memory_order_relaxed);
+  switch (path) {
+    case DispatchPath::kSync:
+      sync_calls_.fetch_add(1, std::memory_order_relaxed);
+      ecall_sync_total().add();
+      break;
+    case DispatchPath::kBatched:
+      batched_jobs_.fetch_add(1, std::memory_order_relaxed);
+      ecall_batched_total().add();
+      break;
+    case DispatchPath::kSwitchless:
+      switchless_jobs_.fetch_add(1, std::memory_order_relaxed);
+      ecall_switchless_total().add();
+      break;
+  }
 }
 
 bool Enclave::currently_inside() const { return inside(this); }
@@ -178,6 +266,31 @@ void Enclave::destroy() {
   if (destroyed_) return;
   destroyed_ = true;
   platform_.release_epc(epc_bytes_);
+}
+
+// ---------------------------------------------------------------------------
+// EnclaveEntry (switchless worker residency)
+// ---------------------------------------------------------------------------
+
+EnclaveEntry::EnclaveEntry(Enclave& enclave) : enclave_(enclave) {
+  if (enclave_.destroyed_) {
+    throw SecurityViolation("ECALL into destroyed enclave '" +
+                            enclave_.name() + "'");
+  }
+  enclave_.platform_.charge_crossing();
+  enclave_.ecall_count_.fetch_add(1, std::memory_order_relaxed);
+  t_enclave_stack.push_back(&enclave_);
+}
+
+EnclaveEntry::~EnclaveEntry() { t_enclave_stack.pop_back(); }
+
+Bytes EnclaveEntry::dispatch(std::uint32_t opcode, ByteView input) {
+  if (enclave_.destroyed_) {
+    throw SecurityViolation("switchless dispatch into destroyed enclave '" +
+                            enclave_.name() + "'");
+  }
+  enclave_.note_dispatch(opcode, Enclave::DispatchPath::kSwitchless);
+  return enclave_.logic_->handle_call(opcode, input, *enclave_.services_);
 }
 
 }  // namespace vnfsgx::sgx

@@ -10,13 +10,17 @@
 //     (measurement or signer, per policy) on the same platform.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/error.h"
@@ -93,6 +97,45 @@ class TrustedLogic {
 
 using LogicFactory = std::function<std::unique_ptr<TrustedLogic>()>;
 
+/// One job of a batched ECALL: K of these amortize a single crossing.
+struct BatchCall {
+  std::uint32_t opcode = 0;
+  Bytes input;
+};
+
+/// Per-job outcome of a batched ECALL. Failures are isolated: one job
+/// throwing does not poison its batch siblings.
+struct BatchResult {
+  bool ok = false;
+  Bytes output;
+  std::string error;  // what() of the job's exception when !ok
+};
+
+/// Coherent snapshot of an enclave's ECALL accounting (see ecall_stats()).
+struct EcallStats {
+  /// Boundary crossings: sync ECALLs + batch entries + switchless-worker
+  /// (re)entries. This is what the crossing cost is charged per.
+  std::uint64_t crossings = 0;
+  /// Jobs dispatched per path. sync_calls jobs paid one crossing each;
+  /// batched_jobs shared one crossing per batch; switchless_jobs crossed
+  /// only when their worker woke from a park.
+  std::uint64_t sync_calls = 0;
+  std::uint64_t batched_jobs = 0;
+  std::uint64_t switchless_jobs = 0;
+  /// Dispatch counts keyed by opcode (all paths combined), ascending by
+  /// opcode. Opcodes >= kTrackedOpcodes aggregate under kOpcodeOverflow.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> per_opcode;
+
+  std::uint64_t dispatches() const {
+    return sync_calls + batched_jobs + switchless_jobs;
+  }
+};
+
+/// Opcodes tracked individually in EcallStats::per_opcode; everything at or
+/// above this aggregates under the kOpcodeOverflow pseudo-opcode.
+inline constexpr std::uint32_t kTrackedOpcodes = 64;
+inline constexpr std::uint32_t kOpcodeOverflow = 0xffffffff;
+
 /// An enclave image: the measured byte contents plus the behavior those
 /// bytes stand for in the simulation. Tampering `code` changes the
 /// measurement exactly as flipping bits in a real enclave binary would.
@@ -119,10 +162,21 @@ class Enclave {
   /// Throws SecurityViolation if the enclave has been destroyed.
   Bytes call(std::uint32_t opcode, ByteView input);
 
+  /// Batched ECALL: one boundary crossing amortized over all jobs. Each
+  /// job's failure is captured in its BatchResult rather than thrown, so a
+  /// bad job cannot abort its siblings mid-batch. Results are positional.
+  std::vector<BatchResult> call_batch(std::span<const BatchCall> jobs);
+
   /// Number of ECALL crossings so far (used by the overhead benchmarks).
   std::uint64_t ecall_count() const {
     return ecall_count_.load(std::memory_order_relaxed);
   }
+
+  /// Snapshot of the crossing/dispatch counters. Issues a fence before
+  /// reading so counts published by other threads (benchmark workers, the
+  /// switchless ring's enclave thread) are visible to before/after deltas;
+  /// prefer this over raw ecall_count() reads across threads.
+  EcallStats ecall_stats() const;
 
   /// EREMOVE: tear down; EPC pages are freed and further calls throw.
   void destroy();
@@ -137,10 +191,14 @@ class Enclave {
 
  private:
   friend class SgxPlatform;
+  friend class EnclaveEntry;
   Enclave(SgxPlatform& platform, std::string name, ReportBody body,
           std::unique_ptr<TrustedLogic> logic, std::size_t epc_bytes);
 
   class ServicesImpl;
+
+  enum class DispatchPath { kSync, kBatched, kSwitchless };
+  void note_dispatch(std::uint32_t opcode, DispatchPath path);
 
   SgxPlatform& platform_;
   std::string name_;
@@ -149,7 +207,30 @@ class Enclave {
   std::unique_ptr<ServicesImpl> services_;
   std::size_t epc_bytes_;
   std::atomic<std::uint64_t> ecall_count_{0};
+  std::atomic<std::uint64_t> sync_calls_{0};
+  std::atomic<std::uint64_t> batched_jobs_{0};
+  std::atomic<std::uint64_t> switchless_jobs_{0};
+  // Per-opcode dispatch counts; slot kTrackedOpcodes is the overflow bin.
+  std::array<std::atomic<std::uint64_t>, kTrackedOpcodes + 1> opcode_counts_{};
   bool destroyed_ = false;
+};
+
+/// RAII enclave entry for the switchless hostcall worker: the constructor
+/// performs ONE classic crossing (charged + counted); dispatch() then runs
+/// jobs inside the enclave with no further crossings until destruction
+/// exits. Must be entered and exited on the same thread.
+class EnclaveEntry {
+ public:
+  explicit EnclaveEntry(Enclave& enclave);
+  ~EnclaveEntry();
+  EnclaveEntry(const EnclaveEntry&) = delete;
+  EnclaveEntry& operator=(const EnclaveEntry&) = delete;
+
+  /// Dispatch one job to the trusted logic without a boundary crossing.
+  Bytes dispatch(std::uint32_t opcode, ByteView input);
+
+ private:
+  Enclave& enclave_;
 };
 
 }  // namespace vnfsgx::sgx

@@ -1,0 +1,300 @@
+#include "sgx/hostcall.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace vnfsgx::sgx {
+
+namespace {
+
+// Slot lifecycle. Transitions are one-directional around the cycle:
+//   kFree -(submitter CAS)-> kClaimed -(submitter store)-> kQueued
+//   kQueued -(worker CAS)-> kExecuting -(worker store)-> kDone
+//   kDone -(waiter store)-> kFree
+constexpr std::uint32_t kFree = 0;
+constexpr std::uint32_t kClaimed = 1;
+constexpr std::uint32_t kQueued = 2;
+constexpr std::uint32_t kExecuting = 3;
+constexpr std::uint32_t kDone = 4;
+
+// Yield-polls a waiter spends on its own slot before blocking on done_cv_.
+constexpr int kWaitSpinPolls = 256;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// One ring slot. `state` is the synchronization point: every plain field is
+// written strictly before a release store of `state` and read strictly after
+// an acquire load of it, so the non-atomic payload/result bytes hand off
+// cleanly between the untrusted submitter and the enclave worker.
+struct alignas(64) HostCallRing::Slot {
+  std::atomic<std::uint32_t> state{kFree};
+  std::uint32_t opcode = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t result_len = 0;
+  std::uint8_t failed = 0;
+  std::array<std::uint8_t, kMaxHostCallPayload> payload{};
+  // Result shares the error channel: when failed != 0 the bytes hold the
+  // trusted handler's exception text instead of output.
+  std::array<std::uint8_t, kMaxHostCallPayload> result{};
+};
+
+HostCallRing::HostCallRing(std::shared_ptr<Enclave> enclave,
+                           HostCallOptions options)
+    : enclave_(std::move(enclave)), options_(std::move(options)) {
+  if (!enclave_) throw Error("hostcall: null enclave");
+  capacity_ = round_up_pow2(std::max<std::size_t>(options_.ring_capacity, 2));
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  occupancy_gauge_ = &obs::registry().gauge(
+      "vnfsgx_hostcall_ring_occupancy", {{"ring", options_.name}},
+      "Hostcall ring slots currently claimed, queued, executing, or "
+      "holding an uncollected result");
+  worker_ = std::thread(&HostCallRing::worker_main, this);
+}
+
+HostCallRing::~HostCallRing() { stop(); }
+
+void HostCallRing::set_occupancy_gauge() {
+  occupancy_gauge_->set(
+      static_cast<std::int64_t>(occupancy_.load(std::memory_order_relaxed)));
+}
+
+HostCallRing::Slot* HostCallRing::try_claim() {
+  const std::uint32_t start = claim_hint_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[(start + i) & mask_];
+    std::uint32_t expected = kFree;
+    if (slot.state.compare_exchange_strong(expected, kClaimed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+      claim_hint_.store(static_cast<std::uint32_t>((start + i + 1) & mask_),
+                        std::memory_order_relaxed);
+      occupancy_.fetch_add(1, std::memory_order_relaxed);
+      set_occupancy_gauge();
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+HostCallRing::Slot& HostCallRing::claim_slot() {
+  if (Slot* slot = try_claim()) return *slot;
+  // Ring full: backpressure. Block until a waiter frees a slot — never drop.
+  backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lk(space_mutex_);
+  space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  Slot* claimed = nullptr;
+  space_cv_.wait(lk, [&] {
+    if (!accepting_.load(std::memory_order_seq_cst)) return true;
+    claimed = try_claim();
+    return claimed != nullptr;
+  });
+  space_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  if (claimed == nullptr) {
+    throw Error("hostcall: ring '" + options_.name + "' stopped");
+  }
+  return *claimed;
+}
+
+HostCallRing::Ticket HostCallRing::submit(std::uint32_t opcode,
+                                          ByteView payload) {
+  if (payload.size() > kMaxHostCallPayload) {
+    throw Error("hostcall: payload of " + std::to_string(payload.size()) +
+                " bytes exceeds ring limit of " +
+                std::to_string(kMaxHostCallPayload));
+  }
+  submitters_.fetch_add(1, std::memory_order_seq_cst);
+  struct SubmitGuard {
+    HostCallRing* ring;
+    ~SubmitGuard() {
+      if (ring->submitters_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        std::lock_guard<std::mutex> lk(ring->stop_mutex_);
+        ring->stop_cv_.notify_all();
+      }
+    }
+  } guard{this};
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    throw Error("hostcall: ring '" + options_.name + "' stopped");
+  }
+  Slot& slot = claim_slot();
+  slot.opcode = opcode;
+  slot.payload_len = static_cast<std::uint32_t>(payload.size());
+  if (!payload.empty()) {
+    std::memcpy(slot.payload.data(), payload.data(), payload.size());
+  }
+  slot.state.store(kQueued, std::memory_order_release);
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  // Classic-ECALL wakeup edge: only pay the lock when the worker is parked.
+  if (parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+  return static_cast<Ticket>(&slot - slots_.get());
+}
+
+Bytes HostCallRing::wait(Ticket ticket) {
+  if (ticket >= capacity_) throw Error("hostcall: invalid ticket");
+  Slot& slot = slots_[ticket];
+  for (int i = 0; i < kWaitSpinPolls; ++i) {
+    if (slot.state.load(std::memory_order_acquire) == kDone) break;
+    std::this_thread::yield();
+  }
+  if (slot.state.load(std::memory_order_acquire) != kDone) {
+    std::unique_lock<std::mutex> lk(done_mutex_);
+    done_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    done_cv_.wait(lk, [&] {
+      return slot.state.load(std::memory_order_seq_cst) == kDone;
+    });
+    done_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  const std::uint32_t result_len = slot.result_len;
+  const bool failed = slot.failed != 0;
+  Bytes out(slot.result.begin(), slot.result.begin() + result_len);
+  slot.state.store(kFree, std::memory_order_release);
+  occupancy_.fetch_sub(1, std::memory_order_relaxed);
+  set_occupancy_gauge();
+  if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(space_mutex_);
+    space_cv_.notify_all();
+  }
+  if (failed) throw Error(std::string(out.begin(), out.end()));
+  return out;
+}
+
+Bytes HostCallRing::call(std::uint32_t opcode, ByteView payload) {
+  return wait(submit(opcode, payload));
+}
+
+bool HostCallRing::process_one(EnclaveEntry& entry) {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[(scan_ + i) & mask_];
+    if (slot.state.load(std::memory_order_acquire) != kQueued) continue;
+    std::uint32_t expected = kQueued;
+    if (!slot.state.compare_exchange_strong(expected, kExecuting,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      continue;
+    }
+    scan_ = (scan_ + i + 1) & mask_;
+    queued_.fetch_sub(1, std::memory_order_seq_cst);
+
+    // Copy-in ONCE from the untrusted slot: each field is read exactly one
+    // time into an enclave-local value, then validated and used only via
+    // that copy. Trusted code never re-reads untrusted memory after a
+    // check, so a concurrently scribbling host cannot flip a validated
+    // length or opcode (the classic TOCTOU double-fetch).
+    const std::uint32_t opcode_copy = slot.opcode;
+    const std::uint32_t payload_len_copy = slot.payload_len;
+    bool ok = false;
+    Bytes output;
+    std::string error;
+    if (payload_len_copy > kMaxHostCallPayload) {
+      error = "hostcall: untrusted payload_len out of range";
+    } else {
+      const Bytes input(slot.payload.begin(),
+                        slot.payload.begin() + payload_len_copy);
+      try {
+        output = entry.dispatch(opcode_copy, input);
+        ok = true;
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    if (ok && output.size() > kMaxHostCallPayload) {
+      ok = false;
+      error = "hostcall: trusted result exceeds ring slot capacity";
+    }
+    if (!ok) output.assign(error.begin(), error.end());
+    const std::size_t reply_len = std::min(output.size(), kMaxHostCallPayload);
+    if (reply_len != 0) std::memcpy(slot.result.data(), output.data(), reply_len);
+    slot.result_len = static_cast<std::uint32_t>(reply_len);
+    slot.failed = ok ? 0 : 1;
+    slot.state.store(kDone, std::memory_order_seq_cst);
+    jobs_.fetch_add(1, std::memory_order_relaxed);
+    if (done_waiters_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lk(done_mutex_);
+      done_cv_.notify_all();
+    }
+    return true;
+  }
+  return false;
+}
+
+void HostCallRing::worker_main() {
+  while (true) {
+    {
+      // One crossing to enter; every job dispatched inside this scope is
+      // switchless. Re-entry after a park is the "classic ECALL wakeup".
+      EnclaveEntry entry(*enclave_);
+      int empty_polls = 0;
+      while (true) {
+        if (process_one(entry)) {
+          empty_polls = 0;
+          continue;
+        }
+        if (!running_.load(std::memory_order_seq_cst)) {
+          // stop() already drained submitters; the ring is empty. Done.
+          return;
+        }
+        if (++empty_polls >= options_.spin_polls) break;
+        std::this_thread::yield();
+      }
+    }  // exit the enclave before sleeping: idle enclaves burn no CPU
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lk(wake_mutex_);
+      parked_.store(true, std::memory_order_seq_cst);
+      wake_cv_.wait(lk, [&] {
+        return !running_.load(std::memory_order_seq_cst) ||
+               queued_.load(std::memory_order_seq_cst) > 0;
+      });
+      parked_.store(false, std::memory_order_seq_cst);
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HostCallRing::stop() {
+  std::call_once(stop_once_, [this] {
+    // Phase 1: refuse new jobs and kick backpressure-blocked claimants.
+    accepting_.store(false, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lk(space_mutex_);
+      space_cv_.notify_all();
+    }
+    // Phase 2: let in-flight submitters land their jobs (the worker is
+    // still running, so anything they queued will execute).
+    {
+      std::unique_lock<std::mutex> lk(stop_mutex_);
+      stop_cv_.wait(lk, [this] {
+        return submitters_.load(std::memory_order_seq_cst) == 0;
+      });
+    }
+    // Phase 3: tell the worker to finish its final drain and exit.
+    running_.store(false, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lk(wake_mutex_);
+      wake_cv_.notify_one();
+    }
+    worker_.join();
+  });
+}
+
+HostCallStats HostCallRing::stats() const {
+  HostCallStats s;
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.backpressure_waits = backpressure_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vnfsgx::sgx

@@ -1,0 +1,152 @@
+// Switchless ECALL runtime (the HotCalls design): a shared-memory job ring
+// between untrusted submitters and one dedicated in-enclave worker thread.
+//
+// Untrusted threads claim a ring slot, copy opcode + payload into it, and
+// mark it queued; the worker — resident inside the enclave via a single
+// long-lived ECALL entry — polls the ring, copies each job *into* enclave
+// memory (exactly one read per slot field: untrusted memory is never
+// re-read after validation), executes it, and posts the result back into
+// the slot. No per-job boundary crossing happens on this path.
+//
+// Idle policy is spin-then-park: after `spin_polls` empty polls the worker
+// exits the enclave and parks on a condition variable, so an idle enclave
+// burns no CPU; the next submission performs a classic ECALL-style wakeup
+// (one crossing when the worker re-enters).
+//
+// Capacity is bounded and submission applies backpressure (blocks for a
+// free slot) rather than dropping. See docs/ENCLAVE_BOUNDARY.md for the
+// memory layout and the trusted/untrusted ownership rules.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sgx/enclave.h"
+
+namespace vnfsgx::obs {
+class Gauge;
+}
+
+namespace vnfsgx::sgx {
+
+/// Upper bound on a ring job's payload and result. Oversized payloads are
+/// rejected at the untrusted gate (submit throws); oversized results are
+/// truncated to an error inside the enclave.
+inline constexpr std::size_t kMaxHostCallPayload = 2048;
+
+struct HostCallOptions {
+  /// Ring slots; rounded up to a power of two, minimum 2.
+  std::size_t ring_capacity = 128;
+  /// Empty polls before the worker exits the enclave and parks.
+  int spin_polls = 4096;
+  /// Metrics label for this ring's occupancy gauge.
+  std::string name = "hostcall";
+};
+
+/// Counters exposed for tests and benchmarks (monotonic, relaxed).
+struct HostCallStats {
+  std::uint64_t jobs = 0;                // jobs completed through the ring
+  std::uint64_t parks = 0;               // spin budget exhausted, worker slept
+  std::uint64_t wakeups = 0;             // park -> run transitions
+  std::uint64_t backpressure_waits = 0;  // submits that blocked on a full ring
+};
+
+class HostCallRing {
+ public:
+  /// Starts the in-enclave worker thread. The ring shares ownership of the
+  /// enclave so the worker can never outlive it.
+  explicit HostCallRing(std::shared_ptr<Enclave> enclave,
+                        HostCallOptions options = {});
+  ~HostCallRing();
+
+  HostCallRing(const HostCallRing&) = delete;
+  HostCallRing& operator=(const HostCallRing&) = delete;
+
+  /// Handle to a submitted job; pass to wait() exactly once.
+  using Ticket = std::uint32_t;
+
+  /// Enqueue a job. Blocks only when the ring is full (backpressure) —
+  /// never drops. Throws Error if the payload exceeds kMaxHostCallPayload
+  /// or the ring has been stopped.
+  Ticket submit(std::uint32_t opcode, ByteView payload);
+
+  /// Collect a submitted job's result, freeing its slot. Rethrows the
+  /// trusted handler's failure as Error.
+  Bytes wait(Ticket ticket);
+
+  /// submit + wait: the drop-in replacement for Enclave::call.
+  Bytes call(std::uint32_t opcode, ByteView payload);
+
+  /// Stop accepting jobs, let in-flight submitters finish, drain every
+  /// queued job through the worker, then join it. Idempotent; also run by
+  /// the destructor. After stop(), submit/call throw Error.
+  void stop();
+  bool stopped() const {
+    return !accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Slots currently claimed/queued/executing/unconsumed.
+  std::size_t occupancy() const {
+    return occupancy_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+  HostCallStats stats() const;
+
+ private:
+  struct Slot;
+
+  Slot* try_claim();
+  Slot& claim_slot();
+  bool process_one(EnclaveEntry& entry);
+  void worker_main();
+  void set_occupancy_gauge();
+
+  std::shared_ptr<Enclave> enclave_;
+  HostCallOptions options_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> running_{true};
+  std::atomic<std::size_t> occupancy_{0};
+  std::atomic<std::uint64_t> queued_{0};      // enqueued, not yet claimed
+  std::atomic<std::uint64_t> submitters_{0};  // calls inside submit/wait
+  std::atomic<std::uint32_t> claim_hint_{0};
+  std::size_t scan_ = 0;  // worker-only cursor
+
+  // Worker park/wake (the "classic ECALL wakeup" edge).
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> parked_{false};
+
+  // Submitters blocked on a full ring (backpressure) or on a result.
+  std::mutex space_mutex_;
+  std::condition_variable space_cv_;
+  std::atomic<std::uint32_t> space_waiters_{0};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::atomic<std::uint32_t> done_waiters_{0};
+
+  // stop() rendezvous with in-flight submitters.
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  std::once_flag stop_once_;
+
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> backpressure_waits_{0};
+
+  // Cached metric instrument (registered once per ring name).
+  obs::Gauge* occupancy_gauge_ = nullptr;
+
+  std::thread worker_;
+};
+
+}  // namespace vnfsgx::sgx

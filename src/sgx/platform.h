@@ -63,6 +63,7 @@ class SgxPlatform {
 
  private:
   friend class Enclave;
+  friend class EnclaveEntry;
   friend class QuotingEnclave;
 
   /// Report key for reports targeted at the enclave with `target_mr`.

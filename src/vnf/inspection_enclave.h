@@ -1,0 +1,102 @@
+// In-enclave signature-match IDS NF (the first enclave-resident consumer of
+// the switchless hostcall ring).
+//
+// Everything security-relevant lives inside the enclave: the rule table,
+// the compiled matcher, the 5-tuple flow table with per-flow counters, and
+// the verdict cache. Untrusted code only marshals packets in and verdicts
+// out. Rule provisioning rides the sealed-credential path: kOpSealRules /
+// kOpRestoreRules wrap the table with the platform seal keys, so rules are
+// confidentiality-protected exactly like VNF credentials.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataplane/switch.h"
+#include "sgx/hostcall.h"
+#include "vnf/inspection_rules.h"
+
+namespace vnfsgx::vnf {
+
+/// ECALL opcodes of the inspection enclave.
+enum InspectionOp : std::uint32_t {
+  /// RuleSet TLV -> (). Installs + compiles the rule table, resets flows.
+  kOpLoadRules = 1,
+  /// TLV{5-tuple, in_port, payload} -> TLV{verdict u8, rule, cached u8}.
+  /// Throws if no rules are loaded (the dataplane then fails closed).
+  kOpInspectPacket = 2,
+  /// () -> sealed blob (MRENCLAVE policy) of the rule table.
+  kOpSealRules = 3,
+  /// sealed blob -> (). Restores a sealed rule table after a restart.
+  kOpRestoreRules = 4,
+  /// () -> TLV flow-table statistics snapshot.
+  kOpFlowStats = 5,
+  /// () -> (). Clears the flow table and verdict cache; rules stay.
+  kOpResetFlows = 6,
+};
+
+/// In-enclave flow-table statistics (kOpFlowStats).
+struct InspectionStats {
+  std::uint64_t flows = 0;       // distinct 5-tuples seen
+  std::uint64_t inspected = 0;   // packets run through the matcher or cache
+  std::uint64_t dropped = 0;     // drop verdicts issued
+  std::uint64_t alerted = 0;     // alert verdicts issued
+  std::uint64_t cache_hits = 0;  // verdicts served from the flow cache
+};
+
+/// The enclave image (one shared MRENCLAVE for all inspection enclaves).
+sgx::EnclaveImage inspection_enclave_image();
+sgx::Measurement inspection_enclave_measurement();
+
+/// Untrusted-side client: marshals packets to the enclave over one of the
+/// three boundary disciplines and adapts the NF to the dataplane punt hook.
+class InspectionClient {
+ public:
+  enum class Mode { kSync, kBatched, kSwitchless };
+
+  /// For kSwitchless a dedicated hostcall ring (and its in-enclave worker
+  /// thread) is spun up; the other modes call straight into the enclave.
+  explicit InspectionClient(std::shared_ptr<sgx::Enclave> enclave,
+                            Mode mode = Mode::kSync);
+  ~InspectionClient();
+  InspectionClient(const InspectionClient&) = delete;
+  InspectionClient& operator=(const InspectionClient&) = delete;
+
+  Mode mode() const { return mode_; }
+
+  void load_rules(const RuleSet& rules);
+  Bytes seal_rules();
+  void restore_rules(ByteView sealed);
+
+  /// Inspect one frame. Records the per-frame latency histogram.
+  dataplane::InspectionOutcome inspect(const dataplane::Packet& packet,
+                                       std::uint16_t in_port);
+
+  /// Inspect a burst. kSync pays one crossing per frame, kBatched one per
+  /// burst, kSwitchless keeps the whole burst in flight on the ring.
+  std::vector<dataplane::InspectionOutcome> inspect_burst(
+      std::span<const dataplane::Packet> packets, std::uint16_t in_port);
+
+  InspectionStats flow_stats();
+  void reset_flows();
+
+  /// Bind this NF to Switch::set_inspector. The returned callable holds a
+  /// plain reference: the client must outlive any switch it is bound to.
+  dataplane::InspectorFn as_inspector();
+
+ private:
+  Bytes dispatch(std::uint32_t opcode, ByteView input);
+
+  std::shared_ptr<sgx::Enclave> enclave_;
+  Mode mode_;
+  std::unique_ptr<sgx::HostCallRing> ring_;
+};
+
+/// Wire helpers, exposed for tests.
+Bytes encode_inspect_request(const dataplane::Packet& packet,
+                             std::uint16_t in_port);
+dataplane::InspectionOutcome decode_inspect_response(ByteView response);
+
+}  // namespace vnfsgx::vnf

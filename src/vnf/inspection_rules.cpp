@@ -1,0 +1,162 @@
+#include "vnf/inspection_rules.h"
+
+#include <deque>
+#include <map>
+
+#include "common/error.h"
+#include "pki/tlv.h"
+
+namespace vnfsgx::vnf {
+
+namespace {
+
+enum : std::uint8_t {
+  kTagRule = 0x01,
+  kTagName = 0x02,
+  kTagPattern = 0x03,
+  kTagAction = 0x04,
+  kTagDstPort = 0x05,
+  kTagProto = 0x06,
+};
+
+}  // namespace
+
+void RuleSet::add(InspectionRule rule) {
+  if (rule.name.empty()) throw Error("inspection rules: empty rule name");
+  if (rule.pattern.empty()) {
+    throw Error("inspection rules: rule '" + rule.name + "' has no pattern");
+  }
+  if (rule.action != RuleAction::kDrop && rule.action != RuleAction::kAlert) {
+    throw Error("inspection rules: rule '" + rule.name + "' has bad action");
+  }
+  for (auto& existing : rules_) {
+    if (existing.name == rule.name) {
+      existing = std::move(rule);
+      return;
+    }
+  }
+  rules_.push_back(std::move(rule));
+}
+
+Bytes RuleSet::encode() const {
+  pki::TlvWriter out;
+  for (const InspectionRule& rule : rules_) {
+    pki::TlvWriter w;
+    w.add_string(kTagName, rule.name);
+    w.add_bytes(kTagPattern, rule.pattern);
+    w.add_u8(kTagAction, static_cast<std::uint8_t>(rule.action));
+    w.add_u32(kTagDstPort, rule.dst_port);
+    w.add_u8(kTagProto, rule.proto);
+    out.add_bytes(kTagRule, w.bytes());
+  }
+  return out.take();
+}
+
+RuleSet RuleSet::decode(ByteView blob) {
+  RuleSet set;
+  pki::TlvReader r(blob);
+  while (!r.done()) {
+    pki::TlvReader rule_reader(r.expect(kTagRule));
+    InspectionRule rule;
+    rule.name = rule_reader.expect_string(kTagName);
+    rule.pattern = rule_reader.expect_bytes(kTagPattern);
+    rule.action = static_cast<RuleAction>(rule_reader.expect_u8(kTagAction));
+    const std::uint32_t port = rule_reader.expect_u32(kTagDstPort);
+    if (port > 0xffff) throw ParseError("inspection rules: bad dst_port");
+    rule.dst_port = static_cast<std::uint16_t>(port);
+    rule.proto = rule_reader.expect_u8(kTagProto);
+    set.add(std::move(rule));  // re-validates fields on the trusted side
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// RuleMatcher (Aho-Corasick)
+// ---------------------------------------------------------------------------
+
+struct RuleMatcher::Node {
+  std::map<std::uint8_t, int> next;
+  int fail = 0;
+  std::vector<std::size_t> outputs;  // rule indices ending at this node
+};
+
+RuleMatcher::RuleMatcher(const RuleSet& rules) : rules_(rules.rules()) {
+  nodes_.emplace_back();  // root
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    int node = 0;
+    for (const std::uint8_t byte : rules_[r].pattern) {
+      const auto it = nodes_[node].next.find(byte);
+      if (it != nodes_[node].next.end()) {
+        node = it->second;
+      } else {
+        nodes_.emplace_back();
+        const int child = static_cast<int>(nodes_.size() - 1);
+        nodes_[node].next.emplace(byte, child);
+        node = child;
+      }
+    }
+    nodes_[node].outputs.push_back(r);
+  }
+  // BFS failure links; merge suffix outputs so one state reports every
+  // pattern ending at it.
+  std::deque<int> queue;
+  for (const auto& [byte, child] : nodes_[0].next) queue.push_back(child);
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop_front();
+    for (const auto& [byte, child] : nodes_[node].next) {
+      int fail = nodes_[node].fail;
+      while (fail != 0 && !nodes_[fail].next.count(byte)) {
+        fail = nodes_[fail].fail;
+      }
+      const auto it = nodes_[fail].next.find(byte);
+      if (it != nodes_[fail].next.end() && it->second != child) {
+        nodes_[child].fail = it->second;
+      }
+      const auto& inherited = nodes_[nodes_[child].fail].outputs;
+      nodes_[child].outputs.insert(nodes_[child].outputs.end(),
+                                   inherited.begin(), inherited.end());
+      queue.push_back(child);
+    }
+  }
+}
+
+RuleMatcher::~RuleMatcher() = default;
+
+std::optional<std::size_t> RuleMatcher::match(ByteView payload,
+                                              std::uint16_t dst_port,
+                                              std::uint8_t proto) const {
+  std::optional<std::size_t> best;
+  const auto consider = [&](std::size_t rule_index) {
+    const InspectionRule& rule = rules_[rule_index];
+    if (rule.dst_port != 0 && rule.dst_port != dst_port) return;
+    if (rule.proto != 0 && rule.proto != proto) return;
+    if (!best) {
+      best = rule_index;
+      return;
+    }
+    const InspectionRule& current = rules_[*best];
+    const bool rule_drops = rule.action == RuleAction::kDrop;
+    const bool current_drops = current.action == RuleAction::kDrop;
+    if (rule_drops != current_drops) {
+      if (rule_drops) best = rule_index;
+    } else if (rule_index < *best) {
+      best = rule_index;
+    }
+  };
+
+  int node = 0;
+  for (const std::uint8_t byte : payload) {
+    while (node != 0 && !nodes_[node].next.count(byte)) {
+      node = nodes_[node].fail;
+    }
+    const auto it = nodes_[node].next.find(byte);
+    node = it != nodes_[node].next.end() ? it->second : 0;
+    for (const std::size_t rule_index : nodes_[node].outputs) {
+      consider(rule_index);
+    }
+  }
+  return best;
+}
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,71 @@
+// Signature rules for the in-enclave inspection NF: a named byte-pattern
+// table (Snort-style content rules with optional header constraints) with a
+// TLV wire form, plus a compiled Aho-Corasick multi-pattern matcher.
+//
+// This header deliberately stays free of enclave and dataplane types: the
+// same code compiles into the trusted logic (where the rules live) and into
+// provisioning tools (which only encode them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::vnf {
+
+enum class RuleAction : std::uint8_t {
+  kDrop = 1,   // discard the packet, poison the flow
+  kAlert = 2,  // forward but notify the controller
+};
+
+struct InspectionRule {
+  std::string name;
+  Bytes pattern;  // byte signature searched anywhere in the payload
+  RuleAction action = RuleAction::kDrop;
+  // Header constraints; zero means wildcard.
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;  // IpProto numeric value (6 tcp, 17 udp, ...)
+};
+
+/// Ordered rule table. Drop rules outrank alert rules when several patterns
+/// hit the same packet; ties fall to insertion order.
+class RuleSet {
+ public:
+  /// Add or replace (by name). Throws Error on empty name or pattern.
+  void add(InspectionRule rule);
+  const std::vector<InspectionRule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  Bytes encode() const;
+  static RuleSet decode(ByteView blob);
+
+ private:
+  std::vector<InspectionRule> rules_;
+};
+
+/// Aho-Corasick automaton over a RuleSet: one pass over the payload finds
+/// every pattern hit regardless of rule count.
+class RuleMatcher {
+ public:
+  explicit RuleMatcher(const RuleSet& rules);
+  ~RuleMatcher();
+  RuleMatcher(const RuleMatcher&) = delete;
+  RuleMatcher& operator=(const RuleMatcher&) = delete;
+
+  /// Best matching rule index for this payload + headers, or nullopt if
+  /// clean. Drop beats alert; earlier rules beat later ones.
+  std::optional<std::size_t> match(ByteView payload, std::uint16_t dst_port,
+                                   std::uint8_t proto) const;
+
+ private:
+  struct Node;
+  const std::vector<InspectionRule> rules_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace vnfsgx::vnf

@@ -1,0 +1,21 @@
+// secretlint fixture: the trusted ring worker validates an untrusted slot
+// length, then fetches it a second time at the point of use — the classic
+// TOCTOU double fetch a concurrently scribbling host exploits to smuggle an
+// out-of-range length past the check. Never compiled; consumed by
+// `secretlint --fixtures`.
+// secretlint-file: src/sgx/hostcall.cpp
+// secretlint-expect: R1
+
+namespace vnfsgx::sgx {
+
+void process_slot(Slot& slot, EnclaveEntry& entry) {
+  if (slot.payload_len > kMaxHostCallPayload) {
+    return;
+  }
+  // Second fetch: the host may have grown payload_len since the bounds
+  // check above, so this copy can read past the validated range.
+  copy_in(slot.payload.data(), slot.payload_len);
+  entry.dispatch(slot.opcode, {});
+}
+
+}  // namespace vnfsgx::sgx

@@ -1,0 +1,21 @@
+// secretlint fixture: the copy-in-once discipline the double-fetch rule
+// enforces — each untrusted slot field is fetched exactly one time into an
+// enclave-local value, the *copy* is validated, and only the copy is used.
+// Writes publishing results back to the host are exempt. Must produce zero
+// findings. Never compiled; consumed by `secretlint --fixtures`.
+// secretlint-file: src/sgx/hostcall.cpp
+
+namespace vnfsgx::sgx {
+
+void process_slot(Slot& slot, EnclaveEntry& entry) {
+  const std::uint32_t opcode_copy = slot.opcode;
+  const std::uint32_t payload_len_copy = slot.payload_len;
+  if (payload_len_copy > kMaxHostCallPayload) {
+    slot.result_len = 0;
+    slot.failed = 1;
+    return;
+  }
+  entry.dispatch(opcode_copy, payload_len_copy);
+}
+
+}  // namespace vnfsgx::sgx

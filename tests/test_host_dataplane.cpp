@@ -236,11 +236,12 @@ TEST(FabricTest, MultiHopForwarding) {
   f2.action = dp::Action::forward(9);  // unlinked port: leaves the fabric
   s2.add_flow(f2);
 
-  const auto path = fabric.inject(1, 1, dp::Packet{});
-  ASSERT_EQ(path.size(), 2u);
-  EXPECT_EQ(path[0].dpid, 1u);
-  EXPECT_EQ(path[1].dpid, 2u);
-  EXPECT_EQ(path[1].result.out_port, 9);
+  const auto trace = fabric.inject(1, 1, dp::Packet{});
+  ASSERT_EQ(trace.hops.size(), 2u);
+  EXPECT_EQ(trace.hops[0].dpid, 1u);
+  EXPECT_EQ(trace.hops[1].dpid, 2u);
+  EXPECT_EQ(trace.hops[1].result.out_port, 9);
+  EXPECT_EQ(trace.outcome, dp::PathOutcome::kDelivered);
 }
 
 TEST(FabricTest, LoopGuardStopsForwarding) {
@@ -257,8 +258,10 @@ TEST(FabricTest, LoopGuardStopsForwarding) {
   loop2.action = dp::Action::forward(1);
   s2.add_flow(loop2);
 
-  const auto path = fabric.inject(1, 5, dp::Packet{}, /*max_hops=*/8);
-  EXPECT_EQ(path.size(), 8u);
+  const auto trace = fabric.inject(1, 5, dp::Packet{}, /*max_hops=*/8);
+  EXPECT_EQ(trace.hops.size(), 8u);
+  EXPECT_EQ(trace.outcome, dp::PathOutcome::kLoopGuard);
+  EXPECT_STREQ(dp::to_string(trace.outcome), "loop-guard");
 }
 
 TEST(FabricTest, Errors) {

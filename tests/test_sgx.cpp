@@ -133,7 +133,13 @@ TEST_F(SgxFixture, LoadAndCallEnclave) {
   auto enclave = load(test_image());
   const Bytes out = enclave->call(kEcho, to_bytes("ping"));
   EXPECT_EQ(to_string(out), "ping");
-  EXPECT_EQ(enclave->ecall_count(), 1u);
+  const EcallStats stats = enclave->ecall_stats();
+  EXPECT_EQ(stats.crossings, 1u);
+  EXPECT_EQ(stats.sync_calls, 1u);
+  EXPECT_EQ(stats.dispatches(), 1u);
+  ASSERT_EQ(stats.per_opcode.size(), 1u);
+  EXPECT_EQ(stats.per_opcode[0].first, static_cast<std::uint32_t>(kEcho));
+  EXPECT_EQ(stats.per_opcode[0].second, 1u);
   EXPECT_EQ(platform_->total_crossings(), 1u);
 }
 
@@ -346,7 +352,11 @@ TEST_F(SgxFixture, ConcurrentEcallsFromManyThreads) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(enclave->ecall_count(), 400u);
+  // Snapshot via the fenced helper: counts published by worker threads
+  // must all be visible here, not just "eventually".
+  const EcallStats stats = enclave->ecall_stats();
+  EXPECT_EQ(stats.crossings, 400u);
+  EXPECT_EQ(stats.sync_calls, 400u);
 }
 
 TEST_F(SgxFixture, VaultIsolationBetweenEnclaves) {

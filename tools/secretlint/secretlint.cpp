@@ -7,7 +7,9 @@
 //                   untrusted modules (controller/, dataplane/, ias/,
 //                   http/), and the OCALL/serialization surface
 //                   (vnf/ocall.h, core/protocol.h) must not mention
-//                   secret-bearing types.
+//                   secret-bearing types. In the hostcall ring sources,
+//                   trusted code must read each untrusted slot field at
+//                   most once per function (TOCTOU double-fetch guard).
 //   R2 zeroization  variables that *own* secret bytes (seeds, private
 //                   keys, round keys, IKM) must be wrapped in
 //                   Zeroizing<T> / SecureBytes so they wipe on destruct.
@@ -57,7 +59,16 @@ const std::set<std::string> kUntrustedModules = {"controller", "dataplane",
 // the vault). Untrusted modules must talk through vnf/ocall.h instead.
 const std::set<std::string> kPrivateHeaders = {
     "vnf/credential_enclave.h", "host/attestation_enclave.h",
-    "tls/key_schedule.h", "tls/record.h", "sgx/enclave.h"};
+    "tls/key_schedule.h",       "tls/record.h",
+    "sgx/enclave.h",            "sgx/hostcall.h"};
+
+// The shared-memory ECALL ring: the one place where trusted code reads
+// host-writable memory directly. Slot fields must be copied in exactly once
+// per function; a second read after validation is a TOCTOU double fetch.
+const std::set<std::string> kRingFiles = {"src/sgx/hostcall.cpp",
+                                          "src/sgx/hostcall.h"};
+const std::regex kRingFieldAccess(
+    R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(opcode|payload_len|result_len|failed)\b)");
 
 // The marshalling surface between trusted and untrusted code. If a secret
 // type leaks into these headers it can be serialized across the boundary.
@@ -234,6 +245,7 @@ class Linter {
   std::vector<Finding> lint(const SourceFile& f) {
     findings_.clear();
     rule_boundary(f);
+    if (kRingFiles.count(f.path) != 0) rule_double_fetch(f);
     rule_zeroization(f);
     if (f.module == "crypto") rule_constant_time(f);
     rule_hygiene(f);
@@ -271,6 +283,57 @@ class Linter {
                 "boundary header mentions secret type '" + tok +
                     "' (secrets must not cross the OCALL surface)");
           }
+        }
+      }
+    }
+  }
+
+  // R1 (ring sources only): double-fetch of untrusted slot fields.
+  //
+  // Function-scoped like R3 (segments end at a column-0 closing brace).
+  // Every `<base>.field` / `<base>->field` *read* of a host-writable slot
+  // field is counted per (base, field); a second read in the same function
+  // means trusted code can observe two different values for one logical
+  // input — the check/use pair the copy-in-once discipline exists to kill.
+  // Writes (access followed by `=`, not `==`) publish results back to the
+  // host and are exempt.
+  void rule_double_fetch(const SourceFile& f) {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (!f.code[i].empty() && f.code[i][0] == '}') {
+        df_segment(f, start, i + 1);
+        start = i + 1;
+      }
+    }
+    df_segment(f, start, f.code.size());
+  }
+
+  void df_segment(const SourceFile& f, std::size_t begin, std::size_t end) {
+    std::map<std::string, int> reads;
+    std::set<std::string> reported;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& line = f.code[i];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          kRingFieldAccess);
+           it != std::sregex_iterator(); ++it) {
+        // A write stores into the slot rather than fetching from it:
+        // `slot.result_len = n`. `==` comparisons still count as reads.
+        std::size_t after =
+            static_cast<std::size_t>(it->position(0) + it->length(0));
+        while (after < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[after]))) {
+          ++after;
+        }
+        if (after < line.size() && line[after] == '=' &&
+            (after + 1 >= line.size() || line[after + 1] != '=')) {
+          continue;
+        }
+        const std::string key = (*it)[1].str() + "." + (*it)[2].str();
+        if (++reads[key] >= 2 && reported.insert(key).second) {
+          add(f, i, "R1",
+              "double fetch of untrusted ring field '" + key +
+                  "'; copy it into a local once, validate the copy, and "
+                  "never re-read the slot");
         }
       }
     }
