@@ -207,10 +207,14 @@ std::vector<BatchResult> Enclave::call_batch(std::span<const BatchCall> jobs) {
   ecall_count_.fetch_add(1, std::memory_order_relaxed);
   const EnclaveEntryGuard guard(this);
   for (const BatchCall& job : jobs) {
-    note_dispatch(job.opcode, DispatchPath::kBatched);
+    // Copy the opcode in once: the job descriptors live in host-owned
+    // memory, and dispatching on a second read would let a concurrently
+    // scribbling host route the accounting and the handler differently.
+    const std::uint32_t opcode = job.opcode;
+    note_dispatch(opcode, DispatchPath::kBatched);
     BatchResult r;
     try {
-      r.output = logic_->handle_call(job.opcode, job.input, *services_);
+      r.output = logic_->handle_call(opcode, job.input, *services_);
       r.ok = true;
     } catch (const std::exception& e) {
       r.ok = false;

@@ -98,6 +98,9 @@ class TrustedLogic {
 using LogicFactory = std::function<std::unique_ptr<TrustedLogic>()>;
 
 /// One job of a batched ECALL: K of these amortize a single crossing.
+///
+/// boundary: shared — host-owned job descriptors the enclave reads while
+/// dispatching; trusted code must copy each field in once (boundarycheck B1).
 struct BatchCall {
   std::uint32_t opcode = 0;
   Bytes input;
@@ -105,6 +108,9 @@ struct BatchCall {
 
 /// Per-job outcome of a batched ECALL. Failures are isolated: one job
 /// throwing does not poison its batch siblings.
+///
+/// boundary: wire — written by the enclave, consumed host-side after the
+/// crossing; only the secret-egress rule (boundarycheck B4) applies.
 struct BatchResult {
   bool ok = false;
   Bytes output;

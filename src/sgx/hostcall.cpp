@@ -34,6 +34,10 @@ std::size_t round_up_pow2(std::size_t n) {
 // written strictly before a release store of `state` and read strictly after
 // an acquire load of it, so the non-atomic payload/result bytes hand off
 // cleanly between the untrusted submitter and the enclave worker.
+//
+// boundary: shared — host-writable while the enclave reads it. boundarycheck
+// enforces copy-in-once (B1), bounds-before-use (B2), release/acquire on
+// `state` (B3), and no secret egress (B4) on every access to these fields.
 struct alignas(64) HostCallRing::Slot {
   std::atomic<std::uint32_t> state{kFree};
   std::uint32_t opcode = 0;
@@ -151,19 +155,32 @@ Bytes HostCallRing::wait(Ticket ticket) {
     std::unique_lock<std::mutex> lk(done_mutex_);
     done_waiters_.fetch_add(1, std::memory_order_seq_cst);
     done_cv_.wait(lk, [&] {
+      // bc-ok(B3): seq_cst required — Dekker hand-off with done_waiters_:
+      // the predicate load must not reorder before the waiter-count store,
+      // or the worker could miss a sleeper and skip the notify.
       return slot.state.load(std::memory_order_seq_cst) == kDone;
     });
     done_waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
   const std::uint32_t result_len = slot.result_len;
   const bool failed = slot.failed != 0;
-  Bytes out(slot.result.begin(), slot.result.begin() + result_len);
+  // The ring lives in shared memory: validate the copied length against the
+  // slot capacity before it offsets anything, and free the slot either way
+  // so a corrupted length cannot leak ring occupancy.
+  const bool length_ok = result_len <= kMaxHostCallPayload;
+  Bytes out;
+  if (length_ok) {
+    out.assign(slot.result.begin(), slot.result.begin() + result_len);
+  }
   slot.state.store(kFree, std::memory_order_release);
   occupancy_.fetch_sub(1, std::memory_order_relaxed);
   set_occupancy_gauge();
   if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
     std::lock_guard<std::mutex> lk(space_mutex_);
     space_cv_.notify_all();
+  }
+  if (!length_ok) {
+    throw Error("hostcall: result_len exceeds ring slot capacity");
   }
   if (failed) throw Error(std::string(out.begin(), out.end()));
   return out;
@@ -217,6 +234,9 @@ bool HostCallRing::process_one(EnclaveEntry& entry) {
     if (reply_len != 0) std::memcpy(slot.result.data(), output.data(), reply_len);
     slot.result_len = static_cast<std::uint32_t>(reply_len);
     slot.failed = ok ? 0 : 1;
+    // bc-ok(B3): seq_cst required — StoreLoad ordering against the
+    // done_waiters_ load below (Dekker pattern): a plain release would let
+    // this store reorder after the waiter check and strand a sleeper.
     slot.state.store(kDone, std::memory_order_seq_cst);
     jobs_.fetch_add(1, std::memory_order_relaxed);
     if (done_waiters_.load(std::memory_order_seq_cst) > 0) {

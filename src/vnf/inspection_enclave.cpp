@@ -317,22 +317,42 @@ std::vector<dataplane::InspectionOutcome> InspectionClient::inspect_burst(
       // drains jobs while we are still enqueueing later frames. Tickets
       // are collected FIFO — never more outstanding than the ring can
       // hold, which would deadlock against our own uncollected results.
+      // Error path: every submitted ticket is waited on even after a
+      // failure — an uncollected ticket would pin its slot forever and
+      // leak ring capacity into permanent backpressure. Once anything
+      // fails (a rejected job, or stop() racing the window) the burst
+      // stops decoding into `outcomes`, drains the remaining in-flight
+      // tickets, and rethrows: a stopped ring can therefore never surface
+      // a stale or misaligned verdict for a later-submitted frame.
       const std::size_t window = std::max<std::size_t>(ring_->capacity() / 2, 1);
       std::vector<sgx::HostCallRing::Ticket> tickets;
       tickets.reserve(packets.size());
       std::size_t collected = 0;
-      for (const dataplane::Packet& p : packets) {
-        if (tickets.size() - collected >= window) {
-          outcomes.push_back(
-              decode_inspect_response(ring_->wait(tickets[collected++])));
+      std::exception_ptr first_error;
+      auto collect_one = [&] {
+        const sgx::HostCallRing::Ticket t = tickets[collected++];
+        try {
+          Bytes response = ring_->wait(t);
+          if (!first_error) {
+            outcomes.push_back(decode_inspect_response(response));
+          }
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
         }
-        tickets.push_back(
-            ring_->submit(kOpInspectPacket, encode_inspect_request(p, in_port)));
+      };
+      for (const dataplane::Packet& p : packets) {
+        if (tickets.size() - collected >= window) collect_one();
+        if (first_error) break;
+        try {
+          tickets.push_back(ring_->submit(kOpInspectPacket,
+                                          encode_inspect_request(p, in_port)));
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+          break;
+        }
       }
-      while (collected < tickets.size()) {
-        outcomes.push_back(
-            decode_inspect_response(ring_->wait(tickets[collected++])));
-      }
+      while (collected < tickets.size()) collect_one();
+      if (first_error) std::rethrow_exception(first_error);
       break;
     }
   }

@@ -22,6 +22,9 @@ enum class RuleAction : std::uint8_t {
   kAlert = 2,  // forward but notify the controller
 };
 
+// boundary: wire — rule blobs are provisioned across the enclave boundary
+// (decoded + validated once on entry by RuleSet::decode), so only the
+// secret-egress rule (boundarycheck B4) applies to these fields.
 struct InspectionRule {
   std::string name;
   Bytes pattern;  // byte signature searched anywhere in the payload

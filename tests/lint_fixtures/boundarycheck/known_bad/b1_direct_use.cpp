@@ -1,0 +1,17 @@
+// boundarycheck-expect: B1
+//
+// Untrusted provenance: a shared scalar is passed straight into a callee
+// without first being copied into an enclave-owned local — the callee (or a
+// later re-read) may observe a different value than any check did.
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::uint32_t opcode = 0;
+};
+
+std::uint32_t table_lookup(std::uint32_t op);
+
+std::uint32_t route(const Slot& slot) {
+  return table_lookup(slot.opcode);
+}

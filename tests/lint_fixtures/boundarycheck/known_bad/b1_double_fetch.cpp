@@ -1,0 +1,20 @@
+// boundarycheck-expect: B1
+//
+// TOCTOU double fetch: the opcode is read from host-writable slot memory
+// twice in the same function, so a concurrently scribbling host can make
+// the two reads disagree.
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::uint32_t opcode = 0;
+  std::uint32_t flags = 0;
+};
+
+std::uint32_t account(std::uint32_t op);
+
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t first = slot.opcode;
+  const std::uint32_t second = slot.opcode;
+  return first ^ second;
+}

@@ -1,0 +1,18 @@
+// boundarycheck-expect: B2
+//
+// Bounds-before-use: the length is copied in once (B1-clean) but then sizes
+// an allocation and offsets a copy without ever being compared against the
+// slot capacity.
+#include <cstdint>
+#include <vector>
+
+// boundary: shared
+struct Slot {
+  std::uint32_t payload_len = 0;
+  unsigned char payload[256];
+};
+
+void consume(const Slot& slot, std::vector<unsigned char>& out) {
+  const std::uint32_t len = slot.payload_len;
+  out.resize(len);
+}

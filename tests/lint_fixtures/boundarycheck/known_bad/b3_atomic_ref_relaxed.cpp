@@ -1,0 +1,18 @@
+// boundarycheck-expect: B1
+// boundarycheck-expect: B3
+//
+// Relaxed atomic_ref peeking at a plain boundary field re-introduces the
+// data race the ring's release/acquire protocol exists to prevent; wrapping
+// the shared field also aliases it instead of copying it in (B1).
+#include <atomic>
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t opcode = 0;
+};
+
+std::uint32_t peek(Slot& slot) {
+  return std::atomic_ref(slot.opcode).load(std::memory_order_relaxed);
+}

@@ -1,0 +1,16 @@
+// boundarycheck-expect: B3
+//
+// Atomics discipline: publishing the slot state with a relaxed store lets
+// the consumer observe the state flip before the payload bytes land.
+#include <atomic>
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t opcode = 0;
+};
+
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_relaxed);
+}

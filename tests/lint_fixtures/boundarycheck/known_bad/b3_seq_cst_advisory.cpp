@@ -1,0 +1,21 @@
+// boundarycheck-expect-advisory: B3
+//
+// Advisory (does not fail the build): seq_cst publication is correct but
+// stronger than the protocol needs — release/acquire suffices, and the
+// full fence costs on every hot-path crossing.
+#include <atomic>
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t opcode = 0;
+};
+
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_seq_cst);
+}
+
+std::uint32_t consume(const Slot& slot) {
+  return slot.state.load(std::memory_order_acquire);
+}

@@ -1,0 +1,18 @@
+// boundarycheck-expect: B3
+//
+// Tree-wide pairing: a release store of a publishing field with no acquire
+// load anywhere in the analyzed sources means nobody consumes the
+// publication edge — the release is either dead code or the consumer reads
+// the field with a plain (unordered) access.
+#include <atomic>
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t opcode = 0;
+};
+
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_release);
+}

@@ -1,0 +1,22 @@
+// boundarycheck-expect: B4
+//
+// Secret egress: bytes that originated in a wiping type are written into a
+// host-visible boundary field — the host can read the ring slot (or wire
+// reply) and the secret has left the enclave in cleartext.
+#include <cstdint>
+#include <string>
+
+struct SecureBytes;
+
+// boundary: wire
+struct Reply {
+  std::uint32_t status = 0;
+  std::string body;
+};
+
+SecureBytes derive_key();
+
+void answer(Reply& out) {
+  SecureBytes key = derive_key();
+  out.body = key;
+}

@@ -1,0 +1,19 @@
+// boundarycheck-expect: B4
+//
+// Secret egress through calls: taint propagates from the Zeroizing secret
+// through an intermediate local, then crosses to the host as an OCALL
+// argument and leaks into a log line.
+#include <cstdint>
+
+template <typename T>
+struct Zeroizing;
+
+Zeroizing<int> unwrap_credential();
+void ocall_send(const void* data, std::uint32_t n);
+
+void exfiltrate() {
+  Zeroizing<int> secret = unwrap_credential();
+  auto staged = secret;
+  ocall_send(&staged, 4);
+  VNFSGX_LOG_INFO("credential staged: {}", staged);
+}

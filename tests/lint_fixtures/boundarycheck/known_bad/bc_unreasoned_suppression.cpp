@@ -1,0 +1,16 @@
+// boundarycheck-expect: BC
+// boundarycheck-expect: B1
+//
+// A bc-ok mark without a reason is itself a finding (suppressions must be
+// auditable) AND it fails to suppress — the double fetch still fires.
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::uint32_t opcode = 0;
+};
+
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t once = slot.opcode;
+  return slot.opcode ^ once;  // bc-ok(B1)
+}

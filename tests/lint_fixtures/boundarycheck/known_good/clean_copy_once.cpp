@@ -1,0 +1,23 @@
+// The full blessed protocol: acquire the publication, copy each untrusted
+// field in exactly once, bounds-check the copied length against the slot
+// capacity before it sizes anything, and free the slot with a release store
+// that pairs with the acquire.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t payload_len = 0;
+  unsigned char payload[256];
+};
+
+bool consume(Slot& slot, std::vector<unsigned char>& out) {
+  if (slot.state.load(std::memory_order_acquire) != 2) return false;
+  const std::uint32_t len = slot.payload_len;
+  if (len > sizeof(slot.payload)) return false;
+  out.assign(slot.payload, slot.payload + len);
+  slot.state.store(0, std::memory_order_release);
+  return true;
+}

@@ -1,0 +1,17 @@
+// Reasoned-suppression round trip: the second read below is a real B1
+// double fetch, silenced by a bc-ok carrying a reason — the mark suppresses
+// the finding and is itself legal (compare bc_unreasoned_suppression in
+// known_bad, where the same shape without a reason fires both B1 and BC).
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::uint32_t opcode = 0;
+};
+
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t once = slot.opcode;
+  // bc-ok(B1): fixture exercises the reasoned-suppression round trip; the
+  // re-read is deliberate and this comment is the audit trail.
+  return slot.opcode ^ once;
+}

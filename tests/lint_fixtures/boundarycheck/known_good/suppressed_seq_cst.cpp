@@ -1,0 +1,21 @@
+// A reasoned bc-ok(B3) silences the seq_cst-where-release-suffices advisory
+// (mirrors the Dekker hand-off in src/sgx/hostcall.cpp, where the fence IS
+// required); suppressed advisories leave the baseline at zero findings.
+#include <atomic>
+#include <cstdint>
+
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t opcode = 0;
+};
+
+void publish(Slot& slot) {
+  // bc-ok(B3): seq_cst is load-bearing in the pattern this fixture mirrors —
+  // the store must not reorder past a subsequent waiter-count load.
+  slot.state.store(2, std::memory_order_seq_cst);
+}
+
+std::uint32_t consume(const Slot& slot) {
+  return slot.state.load(std::memory_order_acquire);
+}

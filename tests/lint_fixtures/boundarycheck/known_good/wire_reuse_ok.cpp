@@ -1,0 +1,17 @@
+// Wire-kind boundary data was copied and validated once at the crossing
+// (RuleSet::decode style), so enclave-internal re-reads are NOT double
+// fetches: only the B4 egress rule applies to wire fields, and nothing
+// here touches a secret.
+#include <cstdint>
+
+// boundary: wire
+struct Rule {
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+};
+
+bool matches(const Rule& rule, std::uint16_t port, std::uint8_t proto) {
+  if (rule.dst_port != 0 && rule.dst_port != port) return false;
+  if (rule.proto != 0 && rule.proto != proto) return false;
+  return true;
+}

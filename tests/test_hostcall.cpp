@@ -379,6 +379,52 @@ TEST_F(HostCallFixture, StopUnblocksBackpressuredSubmitters) {
   EXPECT_TRUE(threw.load());
 }
 
+TEST_F(HostCallFixture, StopRacingPipelineNeverMisdeliversResults) {
+  // A stop() landing in the middle of a pipelined submit/wait window may
+  // fail frames (fine) but must never surface a result that belongs to a
+  // different ticket — every successful wait has to return exactly the
+  // payload submitted under that ticket, and no slot may leak.
+  auto enclave = load();
+  HostCallOptions options;
+  options.ring_capacity = 8;
+  HostCallRing ring(enclave, options);
+
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    ring.stop();
+  });
+
+  constexpr int kFrames = 4000;
+  std::vector<HostCallRing::Ticket> tickets;
+  std::vector<int> frame_of;  // frame_of[i] = frame submitted as tickets[i]
+  std::size_t collected = 0;
+  int mismatches = 0;
+  auto collect = [&] {
+    try {
+      const Bytes out = ring.wait(tickets[collected]);
+      if (to_string(out) != "f" + std::to_string(frame_of[collected])) {
+        ++mismatches;
+      }
+    } catch (const Error&) {
+      // stop() raced this frame; losing it is fine, misdelivery is not.
+    }
+    ++collected;
+  };
+  for (int i = 0; i < kFrames; ++i) {
+    if (tickets.size() - collected >= 4) collect();
+    try {
+      tickets.push_back(ring.submit(kEcho, to_bytes("f" + std::to_string(i))));
+      frame_of.push_back(i);
+    } catch (const Error&) {
+      break;  // ring stopped mid-pipeline
+    }
+  }
+  while (collected < tickets.size()) collect();
+  stopper.join();
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(ring.occupancy(), 0u);
+}
+
 TEST_F(HostCallFixture, CapacityRoundsToPowerOfTwo) {
   auto enclave = load();
   HostCallOptions options;

@@ -267,6 +267,31 @@ TEST_F(InspectionFixture, BurstModesAgree) {
   EXPECT_GT(enclave->ecall_stats().switchless_jobs, 0u);
 }
 
+TEST_F(InspectionFixture, SwitchlessFailedBurstsDoNotLeakRingSlots) {
+  InspectionClient client(load(), InspectionClient::Mode::kSwitchless);
+  std::vector<dp::Packet> burst;
+  for (int i = 0; i < 96; ++i) {
+    burst.push_back(
+        make_packet("frame " + std::to_string(i), 80, 0x0a000200 + i));
+  }
+  // No rules are loaded, so every in-enclave inspect job fails and every
+  // wait() rethrows. A burst that abandons its in-flight tickets on the
+  // first error pins their ring slots forever (kDone, never collected);
+  // with a 128-slot ring and 64-frame windows, the third such burst
+  // deadlocks in submit backpressure. Four rounds cross that threshold
+  // with margin — this test hangs if the error path stops draining.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_THROW(client.inspect_burst(burst, 1), Error);
+  }
+  // The ring is still fully usable: provision rules and inspect cleanly.
+  client.load_rules(demo_rules());
+  const auto outcomes = client.inspect_burst(burst, 1);
+  ASSERT_EQ(outcomes.size(), burst.size());
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.verdict, dp::InspectVerdict::kForward);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Dataplane punt path
 // ---------------------------------------------------------------------------

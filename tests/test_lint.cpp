@@ -1,0 +1,440 @@
+// Unit tests for the AST-lite lint stack: the lintcore lexer/source model
+// and the boundarycheck analyzer rules (B1-B4 + BC), driven directly as
+// libraries. The end-to-end drivers are exercised separately by the
+// `ctest -L lint` fixture suites under tests/lint_fixtures/.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boundarycheck/boundarycheck.h"
+#include "lintcore/lintcore.h"
+
+namespace {
+
+using lintcore::Finding;
+using lintcore::SourceFile;
+
+SourceFile load(const std::string& text) {
+  return lintcore::load_source("src/sgx/snippet.cpp", "sgx", text,
+                               lintcore::MarkSyntax{boundarycheck::kMarkTag});
+}
+
+std::vector<Finding> analyze(const std::string& text) {
+  const SourceFile f = load(text);
+  boundarycheck::Analyzer analyzer(
+      boundarycheck::build_model(boundarycheck::collect_annotations(f)));
+  analyzer.add_file(f);
+  return analyzer.finish();
+}
+
+std::vector<std::string> rules(const std::vector<Finding>& findings,
+                               bool advisory) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) {
+    if (f.advisory == advisory) out.push_back(f.rule);
+  }
+  return out;
+}
+
+// A shared-memory slot in the ring idiom; prepended to analyzer snippets.
+constexpr char kSlotSnippet[] = R"cpp(
+// boundary: shared
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+  std::uint32_t opcode = 0;
+  std::uint32_t payload_len = 0;
+  unsigned char payload[256];
+};
+)cpp";
+
+// ---------------------------------------------------------------------------
+// Lexer: strip_code
+// ---------------------------------------------------------------------------
+
+TEST(LintCoreLexer, LineCommentsAreStripped) {
+  const SourceFile f = load("int x = 1;  // trailing secret\n");
+  EXPECT_EQ("int x = 1;  ", f.code[0]);
+}
+
+TEST(LintCoreLexer, BlockCommentsSpanLines) {
+  const SourceFile f = load(
+      "int a; /* begin\n"
+      "all comment here\n"
+      "end */ int b;\n");
+  EXPECT_EQ("int a; ", f.code[0]);
+  EXPECT_EQ("", f.code[1]);
+  EXPECT_EQ(" int b;", f.code[2]);
+}
+
+TEST(LintCoreLexer, StringContentsAreBlanked) {
+  const SourceFile f =
+      load("const char* s = \"secret // not a comment\"; int k = 2;\n");
+  EXPECT_EQ("const char* s = \"\"; int k = 2;", f.code[0]);
+}
+
+TEST(LintCoreLexer, EscapedQuoteDoesNotEndString) {
+  const SourceFile f = load(R"(auto s = "a\"b"; int tail = 3;)" "\n");
+  EXPECT_EQ("auto s = \"\"; int tail = 3;", f.code[0]);
+}
+
+TEST(LintCoreLexer, RawStringOnOneLine) {
+  const SourceFile f = load("auto r = R\"(hidden // text)\"; int z = 9;\n");
+  EXPECT_EQ("auto r = R\"\"; int z = 9;", f.code[0]);
+}
+
+TEST(LintCoreLexer, RawStringWithDelimiterSpansLines) {
+  const SourceFile f = load(
+      "auto s = u8R\"xy(line one \"quote\n"
+      "line two )not\" )xy\" + tail;\n");
+  EXPECT_EQ("auto s = u8R\"", f.code[0]);
+  EXPECT_EQ("\" + tail;", f.code[1]);
+}
+
+TEST(LintCoreLexer, IdentifierEndingInRIsNotARawString) {
+  // FooR"(y)" is the identifier FooR followed by an ordinary string whose
+  // contents happen to look like a raw-string body.
+  const SourceFile f = load("auto x = FooR\"(y)\"; int after = 4;\n");
+  EXPECT_EQ("auto x = FooR\"\"; int after = 4;", f.code[0]);
+}
+
+TEST(LintCoreLexer, DigitSeparatorDoesNotOpenCharLiteral) {
+  const SourceFile f = load("int n = 1'000'000; int m = 0xFF'FF;\n");
+  EXPECT_EQ("int n = 1'000'000; int m = 0xFF'FF;", f.code[0]);
+}
+
+TEST(LintCoreLexer, PrefixedCharLiteralIsBlanked) {
+  // L'a' must be recognized as a char literal even though the quote sits
+  // between two alphanumerics like a digit separator would.
+  const SourceFile f = load("wchar_t c = L'a'; int after = 7;\n");
+  EXPECT_EQ("wchar_t c = L''; int after = 7;", f.code[0]);
+}
+
+TEST(LintCoreLexer, DigraphsPassThrough) {
+  const SourceFile f = load("int a<:2:> = <%0%>; // digraph soup\n");
+  EXPECT_EQ("int a<:2:> = <%0%>; ", f.code[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Marks and suppression
+// ---------------------------------------------------------------------------
+
+TEST(LintCoreMarks, SingleMarkWithRulesAndReason) {
+  const SourceFile f = load("int x;  // bc-ok(B1): deliberate re-read\n");
+  ASSERT_TRUE(f.marks[0].present);
+  EXPECT_TRUE(f.marks[0].has_reason);
+  EXPECT_EQ(1u, f.marks[0].rules.count("B1"));
+  EXPECT_TRUE(lintcore::suppressed(f, 0, "B1"));
+  EXPECT_FALSE(lintcore::suppressed(f, 0, "B2"));
+}
+
+TEST(LintCoreMarks, MarkWithoutReasonDoesNotSuppress) {
+  const SourceFile f = load("int x;  // bc-ok(B1)\n");
+  ASSERT_TRUE(f.marks[0].present);
+  EXPECT_FALSE(f.marks[0].has_reason);
+  EXPECT_FALSE(lintcore::suppressed(f, 0, "B1"));
+}
+
+TEST(LintCoreMarks, MarkWithoutRuleListCoversEverything) {
+  const SourceFile f = load("int x;  // bc-ok: covers all rules\n");
+  EXPECT_TRUE(lintcore::suppressed(f, 0, "B1"));
+  EXPECT_TRUE(lintcore::suppressed(f, 0, "B4"));
+}
+
+TEST(LintCoreMarks, CommentBlockAboveSuppressesStatement) {
+  const SourceFile f = load(
+      "// bc-ok(B2): the capacity was checked by the caller.\n"
+      "// (second comment line keeps the block contiguous)\n"
+      "out.resize(len);\n"
+      "other.resize(len);\n");
+  EXPECT_TRUE(lintcore::suppressed(f, 2, "B2"));
+  // The block does not reach past the first statement.
+  EXPECT_FALSE(lintcore::suppressed(f, 3, "B2"));
+}
+
+TEST(LintCoreMarks, UnclosedBeginBlockIsRecorded) {
+  const SourceFile f = load(
+      "// bc-ok-begin(B3): region reason\n"
+      "int x;\n");
+  ASSERT_TRUE(f.unclosed_block.has_value());
+  EXPECT_EQ(0u, *f.unclosed_block);
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers
+// ---------------------------------------------------------------------------
+
+TEST(LintCoreStructure, FunctionSegmentsSplitAtColumnZeroBrace) {
+  const SourceFile f = load(
+      "void a() {\n"
+      "  int x;\n"
+      "}\n"
+      "void b() {\n"
+      "}\n");
+  const auto segs = lintcore::function_segments(f.code);
+  ASSERT_EQ(2u, segs.size());
+  EXPECT_EQ(0u, segs[0].begin);
+  EXPECT_EQ(3u, segs[0].end);
+  EXPECT_EQ(3u, segs[1].begin);
+  EXPECT_EQ(5u, segs[1].end);
+}
+
+TEST(LintCoreStructure, BalanceParensCrossesLines) {
+  const SourceFile f = load(
+      "call(one,\n"
+      "     two(3),\n"
+      "     four);\n");
+  EXPECT_EQ("one,      two(3),      four",
+            lintcore::balance_parens(f, 0, 5));
+}
+
+TEST(LintCoreStructure, SplitTopLevelRespectsNesting) {
+  const auto parts = lintcore::split_top_level("a, f(b, c), d", ',');
+  ASSERT_EQ(3u, parts.size());
+  EXPECT_EQ("a", parts[0]);
+  EXPECT_EQ(" f(b, c)", parts[1]);
+  EXPECT_EQ(" d", parts[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Annotation discovery
+// ---------------------------------------------------------------------------
+
+TEST(BoundaryCheckModel, CollectsAnnotatedStructWithFieldKinds) {
+  const SourceFile f = load(kSlotSnippet);
+  const auto structs = boundarycheck::collect_annotations(f);
+  ASSERT_EQ(1u, structs.size());
+  EXPECT_EQ("Slot", structs[0].name);
+  EXPECT_EQ(boundarycheck::BoundaryKind::kShared, structs[0].kind);
+  ASSERT_EQ(4u, structs[0].fields.size());
+  EXPECT_EQ("state", structs[0].fields[0].name);
+  EXPECT_EQ(boundarycheck::FieldKind::kAtomic, structs[0].fields[0].kind);
+  EXPECT_EQ(boundarycheck::FieldKind::kScalar, structs[0].fields[1].kind);
+  EXPECT_EQ(boundarycheck::FieldKind::kScalar, structs[0].fields[2].kind);
+  EXPECT_EQ("payload", structs[0].fields[3].name);
+  EXPECT_EQ(boundarycheck::FieldKind::kArray, structs[0].fields[3].kind);
+
+  const auto model = boundarycheck::build_model(structs);
+  EXPECT_EQ(1u, model.scalar_fields.count("opcode"));
+  EXPECT_EQ(1u, model.atomic_fields.count("state"));
+  EXPECT_EQ(1u, model.array_fields.count("payload"));
+  EXPECT_EQ(4u, model.egress_fields.size());
+}
+
+TEST(BoundaryCheckModel, WireStructsOnlyFeedEgress) {
+  const auto f = load(
+      "// boundary: wire\n"
+      "struct Reply {\n"
+      "  std::uint32_t status = 0;\n"
+      "};\n");
+  const auto model =
+      boundarycheck::build_model(boundarycheck::collect_annotations(f));
+  EXPECT_TRUE(model.scalar_fields.empty());
+  EXPECT_EQ(1u, model.egress_fields.count("status"));
+}
+
+TEST(BoundaryCheckModel, StrayAnnotationWithoutStructIsIgnored) {
+  const auto f = load("// boundary: shared\nint plain_global;\n");
+  EXPECT_TRUE(boundarycheck::collect_annotations(f).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule firing
+// ---------------------------------------------------------------------------
+
+TEST(BoundaryCheckRules, B1DoubleFetchFires) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t a = slot.opcode;
+  const std::uint32_t b = slot.opcode;
+  return a ^ b;
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B1"}, rules(findings, false));
+  EXPECT_TRUE(rules(findings, true).empty());
+}
+
+TEST(BoundaryCheckRules, B1DirectCallArgumentFires) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+std::uint32_t route(const Slot& slot) {
+  return table_lookup(slot.opcode);
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B1"}, rules(findings, false));
+}
+
+TEST(BoundaryCheckRules, B1AllowsChecksCastsAndSingleCopies) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+bool guard(const Slot& slot) {
+  if (slot.opcode == 3) return false;
+  return true;
+}
+std::uint32_t narrow(const Slot& slot) {
+  return static_cast<std::uint16_t>(slot.payload_len);
+}
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(BoundaryCheckRules, B2UncheckedLengthFires) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void consume(const Slot& slot, std::vector<unsigned char>& out) {
+  const std::uint32_t len = slot.payload_len;
+  out.resize(len);
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B2"}, rules(findings, false));
+}
+
+TEST(BoundaryCheckRules, B2CheckedLengthIsClean) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+bool consume(const Slot& slot, std::vector<unsigned char>& out) {
+  const std::uint32_t len = slot.payload_len;
+  if (len > sizeof(slot.payload)) return false;
+  out.resize(len);
+  return true;
+}
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(BoundaryCheckRules, B3RelaxedStoreFires) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_relaxed);
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B3"}, rules(findings, false));
+}
+
+TEST(BoundaryCheckRules, B3WrongDirectionStoreFires) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_acquire);
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B3"}, rules(findings, false));
+}
+
+TEST(BoundaryCheckRules, B3SeqCstStoreIsAdvisoryOnly) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_seq_cst);
+}
+std::uint32_t consume(const Slot& slot) {
+  return slot.state.load(std::memory_order_acquire);
+}
+)cpp");
+  EXPECT_TRUE(rules(findings, false).empty());
+  EXPECT_EQ(std::vector<std::string>{"B3"}, rules(findings, true));
+}
+
+TEST(BoundaryCheckRules, B3UnpairedReleaseStoreFiresInFinish) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_release);
+}
+)cpp");
+  ASSERT_EQ(std::vector<std::string>{"B3"}, rules(findings, false));
+  EXPECT_NE(std::string::npos,
+            findings[0].message.find("no pairing acquire load"));
+}
+
+TEST(BoundaryCheckRules, B3ReleaseAcquirePairIsClean) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void publish(Slot& slot) {
+  slot.state.store(1, std::memory_order_release);
+}
+std::uint32_t consume(const Slot& slot) {
+  return slot.state.load(std::memory_order_acquire);
+}
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(BoundaryCheckRules, B4SecretToOcallFires) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void leak(Slot& slot) {
+  SecureBytes secret = derive();
+  ocall_push(secret);
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B4"}, rules(findings, false));
+}
+
+TEST(BoundaryCheckRules, B4TaintPropagatesThroughAssignment) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void leak(Slot& slot) {
+  Zeroizing<std::uint64_t> secret = derive();
+  auto staged = secret;
+  VNFSGX_LOG_INFO("value {}", staged);
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B4"}, rules(findings, false));
+}
+
+TEST(BoundaryCheckRules, B4SizeIsLaunderedMetadata) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+void report(Slot& slot) {
+  SecureBytes secret = derive();
+  const std::uint32_t n = secret.size();
+  slot.payload_len = n;
+}
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression round trip through the analyzer
+// ---------------------------------------------------------------------------
+
+TEST(BoundaryCheckSuppression, ReasonedMarkSilencesFinding) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t a = slot.opcode;
+  // bc-ok(B1): deliberate re-read; this test is the audit trail.
+  return slot.opcode ^ a;
+}
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(BoundaryCheckSuppression, UnreasonedMarkFiresBCAndDoesNotSuppress) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t a = slot.opcode;
+  return slot.opcode ^ a;  // bc-ok(B1)
+}
+)cpp");
+  const auto hard = rules(findings, false);
+  EXPECT_EQ((std::vector<std::string>{"B1", "BC"}), hard);
+}
+
+TEST(BoundaryCheckSuppression, MarkForOtherRuleDoesNotSuppress) {
+  const auto findings = analyze(std::string(kSlotSnippet) +
+                                R"cpp(
+std::uint32_t dispatch(const Slot& slot) {
+  const std::uint32_t a = slot.opcode;
+  // bc-ok(B2): wrong rule on purpose — must not silence the B1 below.
+  return slot.opcode ^ a;
+}
+)cpp");
+  EXPECT_EQ(std::vector<std::string>{"B1"}, rules(findings, false));
+}
+
+}  // namespace

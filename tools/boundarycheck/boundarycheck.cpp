@@ -1,0 +1,737 @@
+#include "boundarycheck/boundarycheck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <regex>
+#include <tuple>
+
+namespace boundarycheck {
+
+namespace {
+
+using lintcore::SourceFile;
+
+// ---------------------------------------------------------------------------
+// Shared regexes
+// ---------------------------------------------------------------------------
+
+const std::regex kAnnotation(R"(//\s*boundary:\s*(shared|wire)\b)");
+const std::regex kStructDecl(
+    R"(\b(?:struct|class)\s+(?:alignas\s*\([^)]*\)\s*)?([A-Za-z_][\w:]*))");
+
+// B2: locals that carry a length/offset/count by name.
+const std::regex kLengthish(R"((len|size|count|cnt|num|off|offset|idx|index))",
+                            std::regex::icase);
+
+// B2/B4: assignments (declarations, plain/compound assignment — possibly
+// through a subscripted lvalue). The `[^=]` after `=` rejects `==`.
+const std::regex kAssign(
+    R"(\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*(?:[-+*/%&|^]|<<|>>)?=\s*([^=][^;]*);)");
+
+// B4: taint seeds — declarations whose type wipes on destruct.
+const std::regex kSecretDecl(
+    R"(\b(?:Zeroizing\s*<[^<>;]*(?:<[^<>]*>)?[^<>;]*>|SecureBytes)\s*[&*]?\s*([A-Za-z_]\w*))");
+
+// B4: egress call sites.
+const std::regex kCallee(R"(\b([A-Za-z_][\w:]*)\s*\()");
+const std::regex kLogCall(R"(\bVNFSGX_LOG_\w+\s*\()");
+const std::regex kObsCall(
+    R"(\b(?:counter|gauge|histogram|start_span|annotate)\s*\()");
+
+const std::regex kMemoryOrder(R"(memory_order(?:_|::\s*)(\w+))");
+
+// .size()/.empty() reveal only public metadata, not secret bytes.
+const std::regex kPublicAccess(R"(\w+\s*(\.|->)\s*(size|empty)\s*\(\s*\))");
+
+// Callees through which an untrusted scalar may pass without a prior copy:
+// checks, clamps, and casts — reading the field inside them is itself the
+// validation step (re-reads are still caught by the double-fetch counter).
+const std::set<std::string> kCheckCallees = {
+    "if",     "while",       "switch", "for",   "return", "assert",
+    "min",    "max",         "clamp",  "sizeof", "static_cast",
+    "uint8_t", "uint16_t",   "uint32_t", "uint64_t", "size_t"};
+
+bool space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string strip_public_access(const std::string& expr) {
+  return std::regex_replace(expr, kPublicAccess, "");
+}
+
+std::string join_fields(const std::set<std::string>& fields) {
+  std::string alt;
+  for (const std::string& f : fields) {
+    if (!alt.empty()) alt += '|';
+    alt += f;
+  }
+  return alt;
+}
+
+/// `base.field` / `base->field` access regex for the given field set, or
+/// nullopt when the set is empty.
+std::optional<std::regex> access_regex(const std::set<std::string>& fields) {
+  if (fields.empty()) return std::nullopt;
+  return std::regex(R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*()" +
+                    join_fields(fields) + R"()\b)");
+}
+
+/// True when the access at [b, e) is a plain write: the next non-space
+/// character is `=` and not `==`.
+bool is_write(const std::string& line, std::size_t e) {
+  while (e < line.size() && space(line[e])) ++e;
+  return e < line.size() && line[e] == '=' &&
+         (e + 1 >= line.size() || line[e + 1] != '=');
+}
+
+/// The callee identifier of the innermost unclosed `(` left of `pos` on the
+/// line, "" for a grouping paren, and nullopt when `pos` is not inside a
+/// paren (or is inside a `[` subscript, reported via *in_subscript).
+std::optional<std::string> enclosing_callee(const std::string& line,
+                                            std::size_t pos,
+                                            bool* in_subscript) {
+  *in_subscript = false;
+  std::vector<char> stack;
+  for (std::size_t i = 0; i < pos; ++i) {
+    const char c = line[i];
+    if (c == '(' || c == '[') stack.push_back(c);
+    if ((c == ')' || c == ']') && !stack.empty()) stack.pop_back();
+  }
+  if (stack.empty()) return std::nullopt;
+  if (stack.back() == '[') {
+    *in_subscript = true;
+    return std::nullopt;
+  }
+  // Find the position of that innermost '(' again.
+  std::size_t open = std::string::npos;
+  int depth = 0;
+  for (std::size_t i = pos; i-- > 0;) {
+    const char c = line[i];
+    if (c == ')' || c == ']') ++depth;
+    if (c == '(' || c == '[') {
+      if (depth == 0) {
+        open = i;
+        break;
+      }
+      --depth;
+    }
+  }
+  if (open == std::string::npos) return std::string();
+  std::size_t j = open;
+  while (j > 0 && space(line[j - 1])) --j;
+  // Skip a template argument list: static_cast<std::uint32_t>(...)
+  if (j > 0 && line[j - 1] == '>') {
+    int angle = 1;
+    --j;
+    while (j > 0 && angle > 0) {
+      --j;
+      if (line[j] == '>') ++angle;
+      if (line[j] == '<') --angle;
+    }
+    while (j > 0 && space(line[j - 1])) --j;
+  }
+  std::size_t end = j;
+  while (j > 0 && ident_char(line[j - 1])) --j;
+  return line.substr(j, end - j);
+}
+
+/// Why a direct (uncopied) use of an untrusted scalar is dangerous, or ""
+/// when the context is one of the allowed shapes (sole RHS copy, comparison,
+/// check/clamp/cast argument, return value, write).
+std::string direct_use_reason(const std::string& line, std::size_t b,
+                              std::size_t e) {
+  bool in_subscript = false;
+  const auto callee = enclosing_callee(line, b, &in_subscript);
+  if (in_subscript) return "used directly as an array index";
+  if (callee && !callee->empty()) {
+    std::string last = *callee;
+    const std::size_t colons = last.rfind("::");
+    if (colons != std::string::npos) last = last.substr(colons + 2);
+    if (kCheckCallees.count(last) == 0) {
+      return "passed directly to " + *callee + "()";
+    }
+  }
+  // Arithmetic adjacency before the base identifier.
+  std::size_t i = b;
+  while (i > 0 && space(line[i - 1])) --i;
+  if (i > 0) {
+    const char c = line[i - 1];
+    const char cc = i > 1 ? line[i - 2] : '\0';
+    if (c == '+' || c == '*' || c == '/' || c == '%') {
+      return "used directly in arithmetic";
+    }
+    if (c == '-' && cc != '-') return "used directly in arithmetic";
+    if (c == '&' && cc != '&') return "address taken / aliased";
+  }
+  // Arithmetic adjacency after the field name.
+  std::size_t j = e;
+  while (j < line.size() && space(line[j])) ++j;
+  if (j < line.size()) {
+    const char c = line[j];
+    const char cn = j + 1 < line.size() ? line[j + 1] : '\0';
+    if (c == '+' || c == '-' || c == '*' || c == '/' || c == '%') {
+      return "used directly in arithmetic";
+    }
+    if ((c == '&' || c == '|' || c == '^') && cn != c && cn != '=') {
+      return "used directly in arithmetic";
+    }
+    if ((c == '<' || c == '>') && cn == c) {
+      return "used directly in arithmetic";
+    }
+  }
+  return {};
+}
+
+std::string classify_order(const std::string& args_text, bool* has_order) {
+  std::smatch m;
+  *has_order = std::regex_search(args_text, m, kMemoryOrder);
+  return *has_order ? m[1].str() : std::string();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Annotation discovery
+// ---------------------------------------------------------------------------
+
+std::vector<BoundaryStruct> collect_annotations(const SourceFile& f) {
+  std::vector<BoundaryStruct> out;
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.raw[i], m, kAnnotation)) continue;
+    BoundaryStruct bs;
+    bs.kind = m[1].str() == "shared" ? BoundaryKind::kShared
+                                     : BoundaryKind::kWire;
+    bs.file = f.path;
+    bs.line = static_cast<int>(i + 1);
+
+    // The annotated struct declaration must follow within a few lines
+    // (doc comments between annotation and declaration are fine).
+    std::size_t decl = f.code.size();
+    for (std::size_t j = i; j < std::min(i + 6, f.code.size()); ++j) {
+      std::smatch d;
+      if (std::regex_search(f.code[j], d, kStructDecl)) {
+        std::string name = d[1].str();
+        const std::size_t colons = name.rfind("::");
+        if (colons != std::string::npos) name = name.substr(colons + 2);
+        bs.name = name;
+        decl = j;
+        break;
+      }
+    }
+    if (decl == f.code.size()) continue;  // stray annotation; ignore
+
+    // Walk the struct body, collecting field declarations at depth 1.
+    int depth = 0;
+    bool body = false;
+    for (std::size_t j = decl; j < f.code.size(); ++j) {
+      const std::string& line = f.code[j];
+      const int depth_at_start = depth;
+      for (const char c : line) {
+        if (c == '{') {
+          ++depth;
+          body = true;
+        }
+        if (c == '}') --depth;
+      }
+      if (body && depth <= 0) break;
+      if (!body || depth_at_start != 1 || j == decl) continue;
+
+      std::string s = line;
+      std::size_t k = 0;
+      while (k < s.size() && space(s[k])) ++k;
+      s = s.substr(k);
+      if (s.empty() || s.find('(') != std::string::npos) continue;
+      static const std::regex non_field(
+          R"(^(?:using|static|friend|typedef|enum|struct|class|template|public|private|protected)\b)");
+      if (std::regex_search(s, non_field)) continue;
+      const std::size_t semi = s.find(';');
+      if (semi == std::string::npos) continue;
+      const std::string decl_text = s.substr(0, semi);
+      std::string cut = decl_text;
+      const std::size_t stop = cut.find_first_of("={");
+      if (stop != std::string::npos) cut = cut.substr(0, stop);
+      const std::size_t bracket = cut.find('[');
+      if (bracket != std::string::npos) cut = cut.substr(0, bracket);
+      const auto ids = lintcore::idents_in(cut);
+      if (ids.size() < 2) continue;
+
+      BoundaryField field;
+      field.name = ids.back();
+      if (decl_text.find("atomic") != std::string::npos) {
+        field.kind = FieldKind::kAtomic;
+      } else if (decl_text.find("array<") != std::string::npos ||
+                 decl_text.find("Bytes") != std::string::npos ||
+                 decl_text.find("string") != std::string::npos ||
+                 decl_text.find("vector") != std::string::npos ||
+                 decl_text.find("span") != std::string::npos ||
+                 decl_text.find('[') != std::string::npos) {
+        field.kind = FieldKind::kArray;
+      } else {
+        field.kind = FieldKind::kScalar;
+      }
+      bs.fields.push_back(std::move(field));
+    }
+    if (!bs.fields.empty()) out.push_back(std::move(bs));
+  }
+  return out;
+}
+
+Model build_model(const std::vector<BoundaryStruct>& structs) {
+  Model m;
+  m.structs = structs;
+  for (const BoundaryStruct& s : structs) {
+    for (const BoundaryField& f : s.fields) {
+      m.egress_fields.insert(f.name);
+      if (s.kind != BoundaryKind::kShared) continue;
+      switch (f.kind) {
+        case FieldKind::kScalar:
+          m.scalar_fields.insert(f.name);
+          break;
+        case FieldKind::kArray:
+          m.array_fields.insert(f.name);
+          break;
+        case FieldKind::kAtomic:
+          m.atomic_fields.insert(f.name);
+          break;
+      }
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+void Analyzer::add(const SourceFile& f, std::size_t line_index,
+                   const char* rule, std::string message, bool advisory) {
+  findings_.push_back(lintcore::Finding{f.path,
+                                        static_cast<int>(line_index + 1), rule,
+                                        std::move(message), advisory});
+}
+
+void Analyzer::add_file(const SourceFile& f) {
+  rule_marks(f);
+  for (const lintcore::Segment& seg : lintcore::function_segments(f.code)) {
+    rule_b1_b2(f, seg.begin, seg.end);
+    rule_b4(f, seg.begin, seg.end);
+  }
+  rule_b3(f);
+}
+
+// A bc-ok marker with no reason is itself a finding: suppressions must be
+// auditable.
+void Analyzer::rule_marks(const SourceFile& f) {
+  for (std::size_t i = 0; i < f.marks.size(); ++i) {
+    if (f.marks[i].present && !f.marks[i].has_reason) {
+      add(f, i, "BC", "bc-ok suppression is missing a reason");
+    }
+  }
+  if (f.unclosed_block) {
+    add(f, *f.unclosed_block, "BC",
+        "bc-ok-begin block is never closed with bc-ok-end");
+  }
+}
+
+// B1 untrusted-pointer provenance + B2 bounds-before-use, per function
+// segment. The two rules share the scan: B1 polices raw field accesses, B2
+// follows the blessed copies.
+void Analyzer::rule_b1_b2(const SourceFile& f, std::size_t begin,
+                          std::size_t end) {
+  const auto scalar_access = access_regex(model_.scalar_fields);
+  if (!scalar_access) return;
+
+  std::map<std::string, int> reads;
+  std::set<std::string> reported;
+  // B2 state: lengthish locals copied from boundary fields, with the first
+  // line where each was compared against a capacity.
+  struct Tracked {
+    std::size_t decl_line = 0;
+    std::size_t checked_line = SIZE_MAX;
+    std::set<std::size_t> flagged;
+  };
+  std::map<std::string, Tracked> lengths;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& line = f.code[i];
+
+    // --- B1: every raw read of a shared scalar field ---
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        *scalar_access);
+         it != std::sregex_iterator(); ++it) {
+      const std::string base = (*it)[1].str();
+      if (base == "this") continue;
+      const std::size_t b = static_cast<std::size_t>(it->position(0));
+      const std::size_t e =
+          static_cast<std::size_t>(it->position(0) + it->length(0));
+      if (is_write(line, e)) continue;  // publishing a result back
+
+      const std::string key = base + "." + (*it)[2].str();
+      if (++reads[key] >= 2) {
+        if (reported.insert(key).second && !lintcore::suppressed(f, i, "B1")) {
+          add(f, i, "B1",
+              "double fetch of untrusted field '" + key +
+                  "'; copy it into a local once, validate the copy, and "
+                  "never re-read the shared memory");
+        }
+        continue;
+      }
+      const std::string why = direct_use_reason(line, b, e);
+      if (!why.empty() && !lintcore::suppressed(f, i, "B1")) {
+        add(f, i, "B1",
+            "untrusted field '" + key + "' " + why +
+                " without being copied into an enclave-owned local first");
+      }
+    }
+
+    // --- B2: record lengthish locals copied from boundary fields ---
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kAssign);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (!std::regex_search(name, kLengthish)) continue;
+      const std::string rhs = (*it)[2].str();
+      if (std::regex_search(rhs, *scalar_access)) {
+        lengths.emplace(name, Tracked{i, SIZE_MAX, {}});
+      }
+    }
+  }
+  if (lengths.empty()) return;
+
+  // --- B2: check events, then uses before the first check ---
+  for (auto& [name, t] : lengths) {
+    const std::regex cmp_after("\\b" + name + R"(\s*[<>]=?)");
+    const std::regex cmp_before(R"([<>]=?\s*)" + name + "\\b");
+    const std::regex clamp(R"(\b(?:min|max|clamp)\s*\([^)]*\b)" + name +
+                           "\\b");
+    for (std::size_t i = t.decl_line; i < end; ++i) {
+      const std::string& line = f.code[i];
+      if (std::regex_search(line, cmp_after) ||
+          std::regex_search(line, cmp_before) ||
+          std::regex_search(line, clamp)) {
+        t.checked_line = i;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& line = f.code[i];
+    for (auto& [name, t] : lengths) {
+      if (i <= t.decl_line || i >= t.checked_line) continue;
+      bool used = false;
+      // Subscript contents.
+      for (std::size_t pos = line.find('['); pos != std::string::npos;
+           pos = line.find('[', pos + 1)) {
+        const std::size_t close = line.find(']', pos + 1);
+        if (close == std::string::npos) break;
+        const std::string sub = line.substr(pos + 1, close - pos - 1);
+        for (const std::string& id : lintcore::idents_in(sub)) {
+          if (id == name) used = true;
+        }
+      }
+      // Size-consuming calls and iterator arithmetic.
+      const std::regex consume(
+          R"(\b(?:memcpy|memmove|resize|reserve|assign)\s*\([^;]*\b)" + name +
+          "\\b");
+      const std::regex iter_arith(R"(\b(?:begin|data)\s*\(\s*\)\s*\+\s*)" +
+                                  name + "\\b");
+      if (std::regex_search(line, consume) ||
+          std::regex_search(line, iter_arith)) {
+        used = true;
+      }
+      if (used && t.flagged.insert(i).second &&
+          !lintcore::suppressed(f, i, "B2")) {
+        add(f, i, "B2",
+            "untrusted length '" + name +
+                "' is used before being bounds-checked against a capacity");
+      }
+    }
+  }
+}
+
+// B3 atomics discipline on publishing fields, file-scoped (the pairing
+// check in finish() is tree-wide).
+void Analyzer::rule_b3(const SourceFile& f) {
+  const auto atomic_access = access_regex(model_.atomic_fields);
+  if (!atomic_access) return;
+  static const std::regex atomic_op(
+      R"(^\s*\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\()");
+
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+
+    // atomic_ref over a plain boundary field with a relaxed order: the
+    // payload fields are published by the state release store; any relaxed
+    // peeking re-introduces the race the ring protocol exists to prevent.
+    if (line.find("atomic_ref") != std::string::npos &&
+        line.find("relaxed") != std::string::npos &&
+        (std::regex_search(line, *atomic_access) ||
+         (access_regex(model_.scalar_fields) &&
+          std::regex_search(line, *access_regex(model_.scalar_fields))))) {
+      if (!lintcore::suppressed(f, i, "B3")) {
+        add(f, i, "B3",
+            "relaxed atomic_ref access to a boundary field; publishing "
+            "fields need release/acquire ordering");
+      }
+      continue;
+    }
+
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        *atomic_access);
+         it != std::sregex_iterator(); ++it) {
+      const std::string field = (*it)[2].str();
+      const std::size_t e =
+          static_cast<std::size_t>(it->position(0) + it->length(0));
+      const std::string rest = line.substr(e);
+      std::smatch op;
+      if (!std::regex_search(rest, op, atomic_op)) {
+        // Operator-form access (slot.state = x; y = slot.state) compiles to
+        // seq_cst; the ring wants explicit load/store with orders.
+        if (!lintcore::suppressed(f, i, "B3")) {
+          add(f, i, "B3",
+              "implicit seq_cst operator access to atomic field '" + field +
+                  "'; use explicit .load/.store with an ordering",
+              /*advisory=*/true);
+        }
+        continue;
+      }
+      const std::string name = op[1].str();
+      const std::size_t args_at =
+          e + static_cast<std::size_t>(op.position(0) + op.length(0));
+      const std::string args = lintcore::balance_parens(f, i, args_at);
+      AtomicUse& use = atomic_uses_[field];
+      const bool quiet = lintcore::suppressed(f, i, "B3");
+      auto hard = [&](const std::string& msg) {
+        if (!quiet) add(f, i, "B3", msg);
+      };
+      auto advisory = [&](const std::string& msg) {
+        if (!quiet) add(f, i, "B3", msg, /*advisory=*/true);
+      };
+
+      if (name == "store") {
+        bool has_order = false;
+        const std::string order = classify_order(args, &has_order);
+        if (order == "relaxed") {
+          hard("relaxed store to publishing field '" + field +
+               "'; the consumer will observe stale payload bytes");
+        } else if (order == "acquire" || order == "consume" ||
+                   order == "acq_rel") {
+          hard("store to '" + field + "' with invalid order memory_order_" +
+               order + "; publication needs memory_order_release");
+        } else if (!has_order || order == "seq_cst") {
+          advisory("seq_cst store to '" + field +
+                   "' where memory_order_release suffices");
+          use.release_store = true;  // seq_cst is release-or-stronger
+          if (!use.store_line) {
+            use.store_file = f.path;
+            use.store_line = static_cast<int>(i + 1);
+            use.store_suppressed = quiet;
+          }
+        } else if (order == "release") {
+          use.release_store = true;
+          if (!use.store_line) {
+            use.store_file = f.path;
+            use.store_line = static_cast<int>(i + 1);
+            use.store_suppressed = quiet;
+          }
+        }
+      } else if (name == "load") {
+        bool has_order = false;
+        const std::string order = classify_order(args, &has_order);
+        if (order == "relaxed") {
+          hard("relaxed load of publishing field '" + field +
+               "'; payload reads may be reordered before it");
+        } else if (order == "release" || order == "acq_rel") {
+          hard("load of '" + field + "' with invalid order memory_order_" +
+               order + "; consumption needs memory_order_acquire");
+        } else {
+          if (!has_order || order == "seq_cst") {
+            advisory("seq_cst load of '" + field +
+                     "' where memory_order_acquire suffices");
+          }
+          use.acquire_load = true;  // acquire, consume, or seq_cst
+        }
+      } else if (name.rfind("compare_exchange", 0) == 0) {
+        // Only the success order matters for publication; the failure order
+        // (the last argument, when present) is a pure load and may be
+        // relaxed.
+        const auto parts = lintcore::split_top_level(args, ',');
+        std::string success;
+        bool has_order = false;
+        for (const std::string& part : parts) {
+          bool h = false;
+          const std::string o = classify_order(part, &h);
+          if (h) {
+            success = o;
+            has_order = true;
+            break;
+          }
+        }
+        if (success == "relaxed") {
+          hard("compare_exchange on '" + field +
+               "' with relaxed success order; the claim/publish transition "
+               "needs acq_rel");
+        } else if (!has_order || success == "seq_cst") {
+          advisory("seq_cst compare_exchange on '" + field +
+                   "' where memory_order_acq_rel suffices");
+        }
+        use.release_store = true;
+        use.acquire_load = true;
+      } else {  // exchange / fetch_*
+        bool has_order = false;
+        const std::string order = classify_order(args, &has_order);
+        if (order == "relaxed") {
+          hard("relaxed " + name + " on publishing field '" + field + "'");
+        } else if (!has_order || order == "seq_cst") {
+          advisory("seq_cst " + name + " on '" + field +
+                   "' where memory_order_acq_rel suffices");
+        }
+        use.release_store = true;
+        use.acquire_load = true;
+      }
+    }
+  }
+}
+
+// B4 secret egress, per function segment: taint seeded from wiping types,
+// propagated through assignments, checked at boundary writes, OCALLs, and
+// log/metric call sites.
+void Analyzer::rule_b4(const SourceFile& f, std::size_t begin,
+                       std::size_t end) {
+  std::set<std::string> tainted;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& line = f.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kSecretDecl);
+         it != std::sregex_iterator(); ++it) {
+      tainted.insert((*it)[1].str());
+    }
+  }
+  if (tainted.empty()) return;
+
+  // Fixpoint propagation through assignments, .size()/.empty() laundered.
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::string& line = f.code[i];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kAssign);
+           it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (tainted.count(name) != 0) continue;
+        const std::string rhs = strip_public_access((*it)[2].str());
+        for (const std::string& id : lintcore::idents_in(rhs)) {
+          if (tainted.count(id) != 0) {
+            tainted.insert(name);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  auto expr_tainted = [&](const std::string& expr) -> std::string {
+    const std::string cleaned = strip_public_access(expr);
+    for (const std::string& id : lintcore::idents_in(cleaned)) {
+      if (tainted.count(id) != 0) return id;
+    }
+    return {};
+  };
+
+  const auto egress_access = access_regex(model_.egress_fields);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& line = f.code[i];
+
+    // Writes of tainted data into boundary fields (assignment form).
+    if (egress_access) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          *egress_access);
+           it != std::sregex_iterator(); ++it) {
+        const std::size_t e =
+            static_cast<std::size_t>(it->position(0) + it->length(0));
+        if (!is_write(line, e)) continue;
+        const std::size_t eq = line.find('=', e);
+        if (eq == std::string::npos) continue;
+        const std::size_t semi = line.find(';', eq);
+        const std::string rhs =
+            line.substr(eq + 1, semi == std::string::npos
+                                    ? std::string::npos
+                                    : semi - eq - 1);
+        const std::string id = expr_tainted(rhs);
+        if (!id.empty() && !lintcore::suppressed(f, i, "B4")) {
+          add(f, i, "B4",
+              "secret-tainted value '" + id +
+                  "' written to host-visible boundary field '" +
+                  (*it)[2].str() + "'");
+        }
+      }
+      // memcpy/std::copy of tainted bytes into a boundary field.
+      static const std::regex copy_call(
+          R"(\b(?:memcpy|memmove|copy|copy_n)\s*\()");
+      std::smatch m;
+      if (std::regex_search(line, m, copy_call) &&
+          std::regex_search(line, *egress_access)) {
+        const std::string args = lintcore::balance_parens(
+            f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
+        const std::string id = expr_tainted(args);
+        if (!id.empty() && !lintcore::suppressed(f, i, "B4")) {
+          add(f, i, "B4",
+              "secret-tainted value '" + id +
+                  "' copied into a host-visible boundary field");
+        }
+      }
+    }
+
+    // OCALL argument slots.
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kCallee);
+         it != std::sregex_iterator(); ++it) {
+      std::string callee = (*it)[1].str();
+      std::transform(callee.begin(), callee.end(), callee.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (callee.find("ocall") == std::string::npos) continue;
+      const std::string args = lintcore::balance_parens(
+          f, i, static_cast<std::size_t>(it->position(0) + it->length(0)));
+      const std::string id = expr_tainted(args);
+      if (!id.empty() && !lintcore::suppressed(f, i, "B4")) {
+        add(f, i, "B4",
+            "secret-tainted value '" + id + "' passed to OCALL '" +
+                (*it)[1].str() + "'; secrets must not cross to the host");
+      }
+    }
+
+    // Log and metric call sites (exported over /metrics and log sinks).
+    for (const std::regex* re : {&kLogCall, &kObsCall}) {
+      std::smatch m;
+      if (!std::regex_search(line, m, *re)) continue;
+      const std::string args = lintcore::balance_parens(
+          f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
+      const std::string id = expr_tainted(args);
+      if (!id.empty() && !lintcore::suppressed(f, i, "B4")) {
+        add(f, i, "B4",
+            "secret-tainted value '" + id +
+                "' reaches a log/metric call site");
+      }
+    }
+  }
+}
+
+std::vector<lintcore::Finding> Analyzer::finish() {
+  for (const auto& [field, use] : atomic_uses_) {
+    if (use.release_store && !use.acquire_load && !use.store_suppressed) {
+      findings_.push_back(lintcore::Finding{
+          use.store_file, use.store_line, "B3",
+          "release store of publishing field '" + field +
+              "' has no pairing acquire load in the analyzed sources"});
+    }
+  }
+  std::sort(findings_.begin(), findings_.end(),
+            [](const lintcore::Finding& a, const lintcore::Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings_;
+}
+
+}  // namespace boundarycheck

@@ -1,0 +1,113 @@
+// boundarycheck: function-scoped dataflow analyzer for the enclave trust
+// boundary (see docs/STATIC_ANALYSIS.md for the full rule catalog).
+//
+// Boundary structs are discovered via `// boundary: shared|wire` annotations
+// instead of a hardcoded file list; the analyzer then enforces, over every
+// enclave-facing source in src/sgx and src/vnf:
+//
+//   B1 provenance   values from shared/slot/host memory are copied into
+//                   enclave-owned locals before any dereference, arithmetic,
+//                   indexing, or call-argument use; a second read of the
+//                   same field per function is a TOCTOU double fetch.
+//   B2 bounds       every length/offset/count copied from untrusted memory
+//                   flows through a comparison against a capacity before it
+//                   indexes, memcpy's, resizes, or offsets a pointer.
+//   B3 atomics      publishing fields are released by the producer and
+//                   acquired by the consumer: no relaxed access, no
+//                   wrong-direction orders, and seq_cst-where-a-weaker-
+//                   order-suffices is flagged as an advisory.
+//   B4 egress       taint from Zeroizing/SecureBytes values must not reach
+//                   OCALL argument slots, host-visible ring result fields,
+//                   or log/metric call sites.
+//
+// Findings are suppressed by a reasoned `// bc-ok(RULE): why` on the same
+// line or in the comment block above; a mark without a reason is itself a
+// finding (rule BC), as is an unclosed bc-ok-begin block.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lintcore/lintcore.h"
+
+namespace boundarycheck {
+
+inline constexpr char kMarkTag[] = "bc-ok";
+
+/// `shared` memory is writable by the other side of the boundary while the
+/// enclave reads it (ring slots, batch job descriptors): full B1-B4.
+/// `wire` data crossed the boundary once and was copied/validated on entry
+/// (decoded rule blobs): only the B4 egress rule applies, so enclave-internal
+/// re-reads of decoded fields are not noise.
+enum class BoundaryKind { kShared, kWire };
+
+enum class FieldKind { kScalar, kArray, kAtomic };
+
+struct BoundaryField {
+  std::string name;
+  FieldKind kind = FieldKind::kScalar;
+};
+
+struct BoundaryStruct {
+  std::string name;  // last :: component of the declared name
+  BoundaryKind kind = BoundaryKind::kShared;
+  std::string file;
+  int line = 0;  // 1-based line of the annotation
+  std::vector<BoundaryField> fields;
+};
+
+/// The merged view the rules match against. Matching is by field *name*
+/// (the analyzer has no type information), so boundary field names should
+/// stay distinctive; collisions make the analyzer strictly more paranoid.
+struct Model {
+  std::vector<BoundaryStruct> structs;
+  std::set<std::string> scalar_fields;  // shared scalars: B1 + B2 sources
+  std::set<std::string> atomic_fields;  // shared atomics: B3
+  std::set<std::string> array_fields;   // shared arrays: exempt from B1
+  std::set<std::string> egress_fields;  // shared + wire: B4 sinks
+};
+
+/// Scans one file for `// boundary:` annotations and parses the annotated
+/// struct's field list (declarations at brace depth 1; method lines and
+/// using/static/friend declarations are skipped).
+std::vector<BoundaryStruct> collect_annotations(const lintcore::SourceFile& f);
+
+Model build_model(const std::vector<BoundaryStruct>& structs);
+
+/// Runs B1-B4 file by file, then a tree-wide B3 pairing pass in finish()
+/// (a release store of a publishing field must pair with an acquire load
+/// somewhere in the analyzed set).
+class Analyzer {
+ public:
+  explicit Analyzer(Model model) : model_(std::move(model)) {}
+
+  void add_file(const lintcore::SourceFile& f);
+  std::vector<lintcore::Finding> finish();
+
+ private:
+  struct AtomicUse {
+    bool release_store = false;
+    bool acquire_load = false;
+    std::string store_file;
+    int store_line = 0;
+    bool store_suppressed = false;
+  };
+
+  void add(const lintcore::SourceFile& f, std::size_t line_index,
+           const char* rule, std::string message, bool advisory = false);
+
+  void rule_marks(const lintcore::SourceFile& f);
+  void rule_b1_b2(const lintcore::SourceFile& f, std::size_t begin,
+                  std::size_t end);
+  void rule_b3(const lintcore::SourceFile& f);
+  void rule_b4(const lintcore::SourceFile& f, std::size_t begin,
+               std::size_t end);
+
+  Model model_;
+  std::map<std::string, AtomicUse> atomic_uses_;  // field -> pairing info
+  std::vector<lintcore::Finding> findings_;
+};
+
+}  // namespace boundarycheck

@@ -1,0 +1,185 @@
+// boundarycheck driver.
+//
+// Modes:
+//   boundarycheck --root <src-dir>    discover `// boundary:` annotations
+//                                     across the whole tree, then enforce
+//                                     B1-B4 on every enclave-facing source
+//                                     (src/sgx, src/vnf); exit 1 on any
+//                                     non-advisory finding
+//   boundarycheck --fixtures <dir>    self-test against known_bad/known_good
+//                                     snippets carrying boundarycheck-expect
+//                                     directives; exit 1 on any mismatch
+//
+// Fixtures are self-contained: each declares its own `// boundary:` structs
+// and is analyzed against a model built from that file alone.
+
+#include <cstdio>
+#include <filesystem>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "boundarycheck/boundarycheck.h"
+#include "lintcore/lintcore.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Modules whose sources face the enclave boundary and are enforced.
+const std::set<std::string> kEnforcedModules = {"sgx", "vnf"};
+
+lintcore::SourceFile load(const std::string& vpath, const std::string& module,
+                          const std::string& text) {
+  return lintcore::load_source(
+      vpath, module, text, lintcore::MarkSyntax{boundarycheck::kMarkTag});
+}
+
+int run_root(const fs::path& root) {
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "boundarycheck: not a directory: %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const auto paths = lintcore::source_files_under(root);
+  std::vector<lintcore::SourceFile> sources;
+  std::vector<boundarycheck::BoundaryStruct> structs;
+  for (const fs::path& p : paths) {
+    const auto text = lintcore::read_file(p);
+    if (!text) continue;
+    const std::string rel = fs::relative(p, root).generic_string();
+    const std::string module = rel.substr(0, rel.find('/'));
+    auto src = load("src/" + rel, module, *text);
+    auto found = boundarycheck::collect_annotations(src);
+    structs.insert(structs.end(), found.begin(), found.end());
+    if (kEnforcedModules.count(module) != 0) {
+      sources.push_back(std::move(src));
+    }
+  }
+
+  boundarycheck::Analyzer analyzer(boundarycheck::build_model(structs));
+  for (const lintcore::SourceFile& src : sources) analyzer.add_file(src);
+  const auto findings = analyzer.finish();
+  lintcore::print_findings(findings);
+
+  std::size_t hard = 0;
+  std::size_t advisory = 0;
+  for (const lintcore::Finding& f : findings) {
+    (f.advisory ? advisory : hard) += 1;
+  }
+  std::fprintf(stderr,
+               "boundarycheck: %zu boundary struct(s), %zu file(s) enforced, "
+               "%zu finding(s), %zu advisory\n",
+               structs.size(), sources.size(), hard, advisory);
+  return hard == 0 ? 0 : 1;
+}
+
+int run_fixtures(const fs::path& dir) {
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "boundarycheck: not a directory: %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  const std::regex d_file(R"(boundarycheck-file:\s*(\S+))");
+  const std::regex d_expect(R"(boundarycheck-expect:\s*(B\d|BC))");
+  const std::regex d_advisory(R"(boundarycheck-expect-advisory:\s*(B\d))");
+
+  int failures = 0;
+  int checked = 0;
+  for (const fs::path& p : lintcore::source_files_under(dir)) {
+    const auto text = lintcore::read_file(p);
+    if (!text) continue;
+    const bool is_bad = p.parent_path().filename().string() == "known_bad";
+    ++checked;
+
+    std::string vpath = "src/sgx/" + p.filename().string();
+    std::set<std::string> expected;
+    std::set<std::string> expected_advisory;
+    {
+      std::istringstream in(*text);
+      for (std::string line; std::getline(in, line);) {
+        std::smatch m;
+        if (std::regex_search(line, m, d_file)) vpath = m[1].str();
+        if (std::regex_search(line, m, d_expect)) expected.insert(m[1].str());
+        if (std::regex_search(line, m, d_advisory)) {
+          expected_advisory.insert(m[1].str());
+        }
+      }
+    }
+    std::string module = vpath;
+    if (module.rfind("src/", 0) == 0) module = module.substr(4);
+    module = module.substr(0, module.find('/'));
+
+    const auto src = load(vpath, module, *text);
+    boundarycheck::Analyzer analyzer(
+        boundarycheck::build_model(boundarycheck::collect_annotations(src)));
+    analyzer.add_file(src);
+    const auto findings = analyzer.finish();
+
+    std::set<std::string> fired;
+    std::set<std::string> fired_advisory;
+    for (const lintcore::Finding& f : findings) {
+      (f.advisory ? fired_advisory : fired).insert(f.rule);
+    }
+
+    auto fail = [&](const std::string& why) {
+      std::fprintf(stderr, "FAIL %s: %s\n", p.filename().string().c_str(),
+                   why.c_str());
+      lintcore::print_findings(findings);
+      ++failures;
+    };
+
+    if (is_bad) {
+      if (expected.empty() && expected_advisory.empty()) {
+        fail("known_bad fixture declares no boundarycheck-expect directive");
+        continue;
+      }
+      for (const std::string& rule : expected) {
+        if (fired.count(rule) == 0) {
+          fail("expected rule " + rule + " did not fire");
+        }
+      }
+      for (const std::string& rule : fired) {
+        if (expected.count(rule) == 0) {
+          fail("unexpected rule " + rule + " fired");
+        }
+      }
+      for (const std::string& rule : expected_advisory) {
+        if (fired_advisory.count(rule) == 0) {
+          fail("expected advisory " + rule + " did not fire");
+        }
+      }
+      for (const std::string& rule : fired_advisory) {
+        if (expected_advisory.count(rule) == 0) {
+          fail("unexpected advisory " + rule + " fired");
+        }
+      }
+    } else if (!findings.empty()) {
+      fail("known_good fixture produced findings");
+    }
+  }
+  std::fprintf(stderr, "boundarycheck fixtures: %d checked, %d failure(s)\n",
+               checked, failures);
+  if (checked == 0) {
+    std::fprintf(stderr, "boundarycheck: no fixtures found under %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--root") {
+    return run_root(argv[2]);
+  }
+  if (argc == 3 && std::string(argv[1]) == "--fixtures") {
+    return run_fixtures(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage: boundarycheck --root <src-dir> | --fixtures <dir>\n");
+  return 2;
+}

@@ -1,0 +1,316 @@
+#include "lintcore/lintcore.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace lintcore {
+
+namespace {
+
+const std::regex kIdent(R"([A-Za-z_]\w*)");
+
+bool space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::string rtrim(std::string s) {
+  while (!s.empty() && space(s.back())) s.pop_back();
+  return s;
+}
+
+/// Length of the raw-string prefix (R, u8R, uR, UR, LR) ending just before
+/// the '"' at position i, or 0 if the quote does not open a raw string.
+std::size_t raw_prefix_len(const std::string& line, std::size_t i) {
+  if (i == 0 || line[i - 1] != 'R') return 0;
+  std::size_t start = i - 1;  // position of 'R'
+  if (start > 0) {
+    const char p = line[start - 1];
+    if (p == '8' && start > 1 && line[start - 2] == 'u') {
+      start -= 2;
+    } else if (p == 'u' || p == 'U' || p == 'L') {
+      start -= 1;
+    }
+  }
+  // `FooR"x"` is an identifier followed by a string, not a raw string.
+  if (start > 0) {
+    const char before = line[start - 1];
+    if (std::isalnum(static_cast<unsigned char>(before)) || before == '_') {
+      return 0;
+    }
+  }
+  return i - start;
+}
+
+/// A ' between alphanumerics is a numeric digit separator (1'000, 0xFF'FF)
+/// unless the character after the next is another quote, which is the
+/// char-literal-with-prefix shape (L'a', u8'x').
+bool is_digit_separator(const std::string& line, std::size_t i) {
+  if (i == 0 || i + 1 >= line.size()) return false;
+  if (!std::isalnum(static_cast<unsigned char>(line[i - 1]))) return false;
+  if (!std::isalnum(static_cast<unsigned char>(line[i + 1]))) return false;
+  return !(i + 2 < line.size() && line[i + 2] == '\'');
+}
+
+std::set<std::string> parse_rule_list(const std::string& s) {
+  std::set<std::string> out;
+  std::string cur;
+  for (const char c : s + ",") {
+    if (c == ',') {
+      std::string t = rtrim(cur);
+      std::size_t k = 0;
+      while (k < t.size() && space(t[k])) ++k;
+      t = t.substr(k);
+      if (!t.empty()) out.insert(t);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  bool in_raw = false;
+  std::string raw_close;  // )delim" that terminates the open raw string
+  for (const std::string& line : raw) {
+    std::string s;
+    s.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (in_raw) {
+        const std::size_t close = line.find(raw_close, i);
+        if (close == std::string::npos) {
+          i = line.size();
+        } else {
+          in_raw = false;
+          s += '"';
+          i = close + raw_close.size();
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        i += 2;
+        continue;
+      }
+      const char c = line[i];
+      if (c == '"' && raw_prefix_len(line, i) > 0) {
+        // R"delim( ... )delim" — contents skipped, possibly across lines.
+        s += c;
+        const std::size_t open = line.find('(', i + 1);
+        if (open == std::string::npos) {
+          // Malformed raw string; drop the rest of the line.
+          i = line.size();
+          continue;
+        }
+        raw_close.assign(1, ')');
+        raw_close.append(line, i + 1, open - i - 1);
+        raw_close.push_back('"');
+        const std::size_t close = line.find(raw_close, open + 1);
+        if (close == std::string::npos) {
+          in_raw = true;
+          i = line.size();
+        } else {
+          s += '"';
+          i = close + raw_close.size();
+        }
+        continue;
+      }
+      if (c == '\'' && is_digit_separator(line, i)) {
+        s += c;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        s += c;
+        ++i;
+        while (i < line.size() && line[i] != c) {
+          i += (line[i] == '\\' && i + 1 < line.size()) ? 2 : 1;
+        }
+        if (i < line.size()) {
+          s += c;
+          ++i;
+        }
+        continue;
+      }
+      s += c;
+      ++i;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+SourceFile load_source(std::string path, std::string module,
+                       const std::string& text, const MarkSyntax& syntax) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.module = std::move(module);
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.raw.push_back(line);
+  }
+  f.code = strip_code(f.raw);
+  f.marks.resize(f.raw.size());
+
+  // Single-line form; the lookahead keeps it from also matching the block
+  // markers below. The optional parenthesized list names specific rules.
+  const std::regex single("//\\s*" + syntax.tag +
+                          R"((?!-)\s*(?:\(([^)]*)\))?\s*:?\s*(.*))");
+  const std::regex begin_re("//\\s*" + syntax.tag +
+                            R"(-begin\s*(?:\(([^)]*)\))?\s*:?\s*(.*))");
+  const std::regex end_re("//\\s*" + syntax.tag + "-end");
+
+  bool in_block = false;
+  bool block_ok = false;
+  std::set<std::string> block_rules;
+  std::size_t block_start = 0;
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(f.raw[i], m, begin_re)) {
+      in_block = true;
+      block_ok = !rtrim(m[2].str()).empty();
+      block_rules = parse_rule_list(m[1].str());
+      block_start = i;
+      f.marks[i] = Mark{true, block_ok, block_rules};
+    } else if (std::regex_search(f.raw[i], end_re)) {
+      in_block = false;
+      f.marks[i] = Mark{true, true, block_rules};
+    } else if (in_block) {
+      // Missing-reason blocks are reported once, at the begin marker; inner
+      // lines of a reasoned block inherit its suppression.
+      if (block_ok) f.marks[i] = Mark{true, true, block_rules};
+    } else if (std::regex_search(f.raw[i], m, single)) {
+      f.marks[i] =
+          Mark{true, !rtrim(m[2].str()).empty(), parse_rule_list(m[1].str())};
+    }
+  }
+  if (in_block) f.unclosed_block = block_start;
+  return f;
+}
+
+bool suppressed(const SourceFile& f, std::size_t line,
+                const std::string& rule) {
+  auto covers = [&](const Mark& m) {
+    return m.present && m.has_reason &&
+           (m.rules.empty() || m.rules.count(rule) != 0);
+  };
+  if (line < f.marks.size() && covers(f.marks[line])) return true;
+  // Contiguous //-comment block immediately above the statement.
+  for (std::size_t j = line; j-- > 0;) {
+    std::size_t k = 0;
+    const std::string& r = f.raw[j];
+    while (k < r.size() && space(r[k])) ++k;
+    if (r.compare(k, 2, "//") != 0) break;
+    if (covers(f.marks[j])) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> idents_in(const std::string& expr) {
+  std::vector<std::string> out;
+  for (auto it = std::sregex_iterator(expr.begin(), expr.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    out.push_back(it->str());
+  }
+  return out;
+}
+
+std::string balance_parens(const SourceFile& f, std::size_t line,
+                           std::size_t col) {
+  std::string out;
+  int depth = 1;
+  for (std::size_t i = line; i < f.code.size() && depth > 0; ++i) {
+    const std::string& s = f.code[i];
+    for (std::size_t j = (i == line ? col : 0); j < s.size(); ++j) {
+      if (s[j] == '(') ++depth;
+      if (s[j] == ')' && --depth == 0) return out;
+      out += s[j];
+    }
+    out += ' ';
+  }
+  return out;
+}
+
+std::vector<std::string> split_top_level(const std::string& expr, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : expr) {
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == sep && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<Segment> function_segments(const std::vector<std::string>& code) {
+  std::vector<Segment> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!code[i].empty() && code[i][0] == '}') {
+      out.push_back(Segment{start, i + 1});
+      start = i + 1;
+    }
+  }
+  if (start < code.size()) out.push_back(Segment{start, code.size()});
+  return out;
+}
+
+std::optional<std::string> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_source(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+std::vector<std::filesystem::path> source_files_under(
+    const std::filesystem::path& root) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && is_source(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s]%s %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.advisory ? " (advisory)" : "",
+                 f.message.c_str());
+  }
+}
+
+}  // namespace lintcore

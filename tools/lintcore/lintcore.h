@@ -1,0 +1,107 @@
+// lintcore: the shared lexer and source model behind the repo's AST-lite
+// static analyzers (tools/secretlint, tools/boundarycheck).
+//
+// Both tools trade soundness for zero build-time dependencies: they work on
+// comment- and string-stripped source lines plus a handful of structural
+// helpers (function segmentation at column-0 closing braces, balanced-paren
+// extraction, identifier scans). Everything that is about *reading C++
+// text* lives here; everything that is about *policy* stays in the tools.
+//
+// The stripper understands line and block comments, ordinary string and
+// char literals with escapes, raw string literals (R"delim(...)delim",
+// including encoding prefixes and multi-line bodies), and digit separators
+// (1'000'000 does not open a char literal). Digraphs (<: :> <% %>) pass
+// through untouched — they never alter comment/string state, which is all
+// the analyzers care about.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lintcore {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  // Advisory findings are reported but do not fail a tree run (used for
+  // boundarycheck's seq_cst-where-acquire/release-suffices B3 nits).
+  bool advisory = false;
+};
+
+/// One suppression comment parsed from the raw source. A mark with no rule
+/// set applies to every rule of the owning tool; a mark without a reason is
+/// itself a policy violation the tool must report.
+struct Mark {
+  bool present = false;
+  bool has_reason = false;
+  std::set<std::string> rules;  // empty = all rules
+};
+
+/// Suppression comment grammar, parameterized by tag:
+///   // <tag>: reason                      (all rules)
+///   // <tag>(R1,R2): reason               (listed rules only)
+///   // <tag>-begin[(rules)]: reason ... // <tag>-end   (region form)
+struct MarkSyntax {
+  std::string tag;  // e.g. "ct-ok", "bc-ok"
+};
+
+struct SourceFile {
+  std::string path;    // repo-relative, e.g. src/sgx/hostcall.cpp
+  std::string module;  // first directory under src/, e.g. sgx
+  std::vector<std::string> raw;   // original lines (for directives/marks)
+  std::vector<std::string> code;  // comment- and string-stripped lines
+  std::vector<Mark> marks;        // per-line suppression state
+  std::optional<std::size_t> unclosed_block;  // -begin with no -end
+};
+
+/// Strips // and /* */ comments plus string/char literal *contents* so rule
+/// regexes never match words inside comments or quoted text. Keeps line
+/// structure (one output line per input line). Handles raw strings and
+/// numeric digit separators; see the header comment.
+std::vector<std::string> strip_code(const std::vector<std::string>& raw);
+
+/// Splits text into lines, strips code, and parses suppression marks.
+SourceFile load_source(std::string path, std::string module,
+                       const std::string& text, const MarkSyntax& syntax);
+
+/// True when line `i` of `f` is covered by a reasoned mark applying to
+/// `rule` — on the line itself or in the contiguous //-comment block
+/// immediately above the statement.
+bool suppressed(const SourceFile& f, std::size_t line, const std::string& rule);
+
+/// All identifiers in `expr`, in order, duplicates kept.
+std::vector<std::string> idents_in(const std::string& expr);
+
+/// The parenthesized expression starting at code[line][col] (col just past
+/// the opening paren), balanced across lines.
+std::string balance_parens(const SourceFile& f, std::size_t line,
+                           std::size_t col);
+
+/// Splits at top-level (paren/bracket/brace depth 0) occurrences of `sep`.
+std::vector<std::string> split_top_level(const std::string& expr, char sep);
+
+/// Function-scope approximation: the file segmented at column-0 closing
+/// braces (this codebase puts top-level definitions at column 0). Each
+/// segment is a [begin, end) line range.
+struct Segment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+std::vector<Segment> function_segments(const std::vector<std::string>& code);
+
+// Filesystem helpers shared by the tool drivers.
+std::optional<std::string> read_file(const std::filesystem::path& p);
+bool is_source(const std::filesystem::path& p);
+/// Sorted list of .h/.hpp/.cpp/.cc files under `root`, recursive.
+std::vector<std::filesystem::path> source_files_under(
+    const std::filesystem::path& root);
+
+/// Print findings to stderr as file:line: [rule] message.
+void print_findings(const std::vector<Finding>& findings);
+
+}  // namespace lintcore

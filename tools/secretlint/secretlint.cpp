@@ -1,15 +1,16 @@
 // secretlint: secret-hygiene static analyzer for the vnfsgx tree.
 //
-// A token/AST-lite checker (no compiler dependency) enforcing four rule
-// families over src/ (see docs/SECURITY.md for the policy rationale):
+// A token/AST-lite checker (no compiler dependency, lexer shared with
+// tools/boundarycheck via tools/lintcore) enforcing four rule families over
+// src/ (see docs/STATIC_ANALYSIS.md for the policy rationale):
 //
 //   R1 boundary     enclave-private headers must not be included from
 //                   untrusted modules (controller/, dataplane/, ias/,
 //                   http/), and the OCALL/serialization surface
 //                   (vnf/ocall.h, core/protocol.h) must not mention
-//                   secret-bearing types. In the hostcall ring sources,
-//                   trusted code must read each untrusted slot field at
-//                   most once per function (TOCTOU double-fetch guard).
+//                   secret-bearing types. (The ring double-fetch guard that
+//                   used to live here is now boundarycheck rule B1, driven
+//                   by `// boundary:` annotations instead of a file list.)
 //   R2 zeroization  variables that *own* secret bytes (seeds, private
 //                   keys, round keys, IKM) must be wrapped in
 //                   Zeroizing<T> / SecureBytes so they wipe on destruct.
@@ -28,24 +29,29 @@
 //
 // The analyzer is deliberately heuristic: it trades soundness for zero
 // build-time dependencies. Known blind spots (ternaries, multi-level
-// template types, indirect data flow) are documented in docs/SECURITY.md.
+// template types, indirect data flow) are documented in
+// docs/STATIC_ANALYSIS.md.
 
-#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
-#include <optional>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lintcore/lintcore.h"
+
 namespace fs = std::filesystem;
 
 namespace {
+
+using lintcore::Finding;
+using lintcore::SourceFile;
+
+const lintcore::MarkSyntax kCtOkSyntax{"ct-ok"};
 
 // ---------------------------------------------------------------------------
 // Policy tables
@@ -61,14 +67,6 @@ const std::set<std::string> kPrivateHeaders = {
     "vnf/credential_enclave.h", "host/attestation_enclave.h",
     "tls/key_schedule.h",       "tls/record.h",
     "sgx/enclave.h",            "sgx/hostcall.h"};
-
-// The shared-memory ECALL ring: the one place where trusted code reads
-// host-writable memory directly. Slot fields must be copied in exactly once
-// per function; a second read after validation is a TOCTOU double fetch.
-const std::set<std::string> kRingFiles = {"src/sgx/hostcall.cpp",
-                                          "src/sgx/hostcall.h"};
-const std::regex kRingFieldAccess(
-    R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(opcode|payload_len|result_len|failed)\b)");
 
 // The marshalling surface between trusted and untrusted code. If a secret
 // type leaks into these headers it can be serialized across the boundary.
@@ -96,142 +94,12 @@ const std::regex kHygieneIdent(
     "(secret|seed|private_key|round_keys|ikm|scalar|_key|key_)",
     std::regex::icase);
 
-const std::regex kIdent(R"([A-Za-z_]\w*)");
 const std::regex kInclude(R"(^\s*#\s*include\s*\"([^\"]+)\")");
-// Single-line suppression; the lookahead keeps it from also matching the
-// block markers below.
-const std::regex kCtOk(R"(//\s*ct-ok(?!-)\s*:?\s*(.*))");
-const std::regex kCtOkBegin(R"(//\s*ct-ok-begin\s*:?\s*(.*))");
-const std::regex kCtOkEnd(R"(//\s*ct-ok-end)");
 
-// Member accesses that reveal only public metadata, not secret bytes.
-// (.data()/.begin()/.end() are NOT here: they alias the secret bytes.)
-const std::regex kPublicAccess(
-    R"(\w+\s*(\.|->)\s*(size|empty)\s*\(\s*\))");
+/// Removes .size()/.empty() accesses: `key.size()` is public metadata.
+/// (.data()/.begin()/.end() are NOT stripped: they alias the secret bytes.)
+const std::regex kPublicAccess(R"(\w+\s*(\.|->)\s*(size|empty)\s*\(\s*\))");
 
-// ---------------------------------------------------------------------------
-// Source model
-// ---------------------------------------------------------------------------
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-enum class CtOk { kNone, kWithReason, kMissingReason };
-
-struct SourceFile {
-  std::string path;    // repo-relative, e.g. src/crypto/aes.cpp
-  std::string module;  // first directory under src/, e.g. crypto
-  std::vector<std::string> raw;   // original lines (for directives/ct-ok)
-  std::vector<std::string> code;  // comment- and string-stripped lines
-  std::vector<CtOk> ct_ok;        // per-line suppression state
-  std::optional<std::size_t> unclosed_ct_block;  // ct-ok-begin with no end
-};
-
-/// Strips // and /* */ comments plus string/char literal *contents* so rule
-/// regexes never match words inside comments or quoted text. Keeps line
-/// structure (one output line per input line).
-std::vector<std::string> strip_code(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& line : raw) {
-    std::string s;
-    s.reserve(line.size());
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) break;
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block = true;
-        i += 2;
-        continue;
-      }
-      const char c = line[i];
-      if (c == '"' || c == '\'') {
-        s += c;
-        ++i;
-        while (i < line.size() && line[i] != c) {
-          i += (line[i] == '\\' && i + 1 < line.size()) ? 2 : 1;
-        }
-        if (i < line.size()) {
-          s += c;
-          ++i;
-        }
-        continue;
-      }
-      s += c;
-      ++i;
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-SourceFile load_source(std::string path, std::string module,
-                       const std::string& text) {
-  SourceFile f;
-  f.path = std::move(path);
-  f.module = std::move(module);
-  std::istringstream in(text);
-  for (std::string line; std::getline(in, line);) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    f.raw.push_back(line);
-  }
-  f.code = strip_code(f.raw);
-  f.ct_ok.resize(f.raw.size(), CtOk::kNone);
-  auto trimmed = [](std::string s) {
-    while (!s.empty() &&
-           std::isspace(static_cast<unsigned char>(s.back()))) {
-      s.pop_back();
-    }
-    return s;
-  };
-  bool in_block = false;
-  bool block_ok = false;
-  std::size_t block_start = 0;
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(f.raw[i], m, kCtOkBegin)) {
-      in_block = true;
-      block_ok = !trimmed(m[1].str()).empty();
-      block_start = i;
-      f.ct_ok[i] = block_ok ? CtOk::kWithReason : CtOk::kMissingReason;
-    } else if (std::regex_search(f.raw[i], kCtOkEnd)) {
-      in_block = false;
-      f.ct_ok[i] = CtOk::kWithReason;
-    } else if (in_block) {
-      // Missing-reason blocks are reported once, at the begin marker.
-      f.ct_ok[i] = block_ok ? CtOk::kWithReason : CtOk::kNone;
-    } else if (std::regex_search(f.raw[i], m, kCtOk)) {
-      f.ct_ok[i] = trimmed(m[1].str()).empty() ? CtOk::kMissingReason
-                                               : CtOk::kWithReason;
-    }
-  }
-  if (in_block) f.unclosed_ct_block = block_start;
-  return f;
-}
-
-std::vector<std::string> idents_in(const std::string& expr) {
-  std::vector<std::string> out;
-  for (auto it = std::sregex_iterator(expr.begin(), expr.end(), kIdent);
-       it != std::sregex_iterator(); ++it) {
-    out.push_back(it->str());
-  }
-  return out;
-}
-
-/// Removes .size()/.empty()/... accesses: `key.size()` is public metadata.
 std::string strip_public_access(const std::string& expr) {
   return std::regex_replace(expr, kPublicAccess, "");
 }
@@ -245,7 +113,6 @@ class Linter {
   std::vector<Finding> lint(const SourceFile& f) {
     findings_.clear();
     rule_boundary(f);
-    if (kRingFiles.count(f.path) != 0) rule_double_fetch(f);
     rule_zeroization(f);
     if (f.module == "crypto") rule_constant_time(f);
     rule_hygiene(f);
@@ -288,57 +155,6 @@ class Linter {
     }
   }
 
-  // R1 (ring sources only): double-fetch of untrusted slot fields.
-  //
-  // Function-scoped like R3 (segments end at a column-0 closing brace).
-  // Every `<base>.field` / `<base>->field` *read* of a host-writable slot
-  // field is counted per (base, field); a second read in the same function
-  // means trusted code can observe two different values for one logical
-  // input — the check/use pair the copy-in-once discipline exists to kill.
-  // Writes (access followed by `=`, not `==`) publish results back to the
-  // host and are exempt.
-  void rule_double_fetch(const SourceFile& f) {
-    std::size_t start = 0;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      if (!f.code[i].empty() && f.code[i][0] == '}') {
-        df_segment(f, start, i + 1);
-        start = i + 1;
-      }
-    }
-    df_segment(f, start, f.code.size());
-  }
-
-  void df_segment(const SourceFile& f, std::size_t begin, std::size_t end) {
-    std::map<std::string, int> reads;
-    std::set<std::string> reported;
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::string& line = f.code[i];
-      for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                          kRingFieldAccess);
-           it != std::sregex_iterator(); ++it) {
-        // A write stores into the slot rather than fetching from it:
-        // `slot.result_len = n`. `==` comparisons still count as reads.
-        std::size_t after =
-            static_cast<std::size_t>(it->position(0) + it->length(0));
-        while (after < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[after]))) {
-          ++after;
-        }
-        if (after < line.size() && line[after] == '=' &&
-            (after + 1 >= line.size() || line[after + 1] != '=')) {
-          continue;
-        }
-        const std::string key = (*it)[1].str() + "." + (*it)[2].str();
-        if (++reads[key] >= 2 && reported.insert(key).second) {
-          add(f, i, "R1",
-              "double fetch of untrusted ring field '" + key +
-                  "'; copy it into a local once, validate the copy, and "
-                  "never re-read the slot");
-        }
-      }
-    }
-  }
-
   // R2: owned secret material must be Zeroizing-wrapped.
   void rule_zeroization(const SourceFile& f) {
     for (std::size_t i = 0; i < f.code.size(); ++i) {
@@ -366,24 +182,19 @@ class Linter {
   // Cross-function flow (a helper called with a secret argument) is instead
   // caught by seeding from parameter *names and types* inside the callee.
   void rule_constant_time(const SourceFile& f) {
-    std::size_t start = 0;
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      if (!f.code[i].empty() && f.code[i][0] == '}') {
-        ct_segment(f, start, i + 1);
-        start = i + 1;
-      }
+    for (const lintcore::Segment& seg : lintcore::function_segments(f.code)) {
+      ct_segment(f, seg.begin, seg.end);
     }
-    ct_segment(f, start, f.code.size());
 
     // A ct-ok marker with no reason is itself a finding: suppressions must
     // be auditable.
     for (std::size_t i = 0; i < f.code.size(); ++i) {
-      if (f.ct_ok[i] == CtOk::kMissingReason) {
+      if (f.marks[i].present && !f.marks[i].has_reason) {
         add(f, i, "R3", "ct-ok suppression is missing a reason");
       }
     }
-    if (f.unclosed_ct_block) {
-      add(f, *f.unclosed_ct_block, "R3",
+    if (f.unclosed_block) {
+      add(f, *f.unclosed_block, "R3",
           "ct-ok-begin block is never closed with ct-ok-end");
     }
   }
@@ -396,7 +207,7 @@ class Linter {
     const std::regex typed_decl(
         R"(\b([A-Za-z_][\w:]*)\s*[&*]?\s+([A-Za-z_]\w*)\s*[,)=;{\[])");
     for (std::size_t i = begin; i < end; ++i) {
-      for (const std::string& id : idents_in(f.code[i])) {
+      for (const std::string& id : lintcore::idents_in(f.code[i])) {
         if (std::regex_search(id, kTaintSource)) tainted.insert(id);
       }
       const std::string& line = f.code[i];
@@ -426,7 +237,7 @@ class Linter {
                              const std::string& init) {
           if (tainted.count(name) != 0) return;
           const std::string cleaned = strip_public_access(init);
-          for (const std::string& id : idents_in(cleaned)) {
+          for (const std::string& id : lintcore::idents_in(cleaned)) {
             if (tainted.count(id) != 0) {
               tainted.insert(name);
               changed = true;
@@ -445,25 +256,9 @@ class Linter {
       if (!changed) break;
     }
 
-    // A finding is suppressed by a reasoned ct-ok on the same line or in
-    // the contiguous comment block immediately above the statement.
-    auto suppressed = [&](std::size_t i) {
-      if (f.ct_ok[i] == CtOk::kWithReason) return true;
-      for (std::size_t j = i; j-- > 0;) {
-        std::size_t k = 0;
-        const std::string& r = f.raw[j];
-        while (k < r.size() &&
-               std::isspace(static_cast<unsigned char>(r[k]))) {
-          ++k;
-        }
-        if (r.compare(k, 2, "//") != 0) break;
-        if (f.ct_ok[j] == CtOk::kWithReason) return true;
-      }
-      return false;
-    };
     auto expr_tainted = [&](const std::string& expr) -> std::string {
       const std::string cleaned = strip_public_access(expr);
-      for (const std::string& id : idents_in(cleaned)) {
+      for (const std::string& id : lintcore::idents_in(cleaned)) {
         if (tainted.count(id) != 0) return id;
       }
       return {};
@@ -479,17 +274,17 @@ class Linter {
       for (auto it = std::sregex_iterator(line.begin(), line.end(), branch);
            it != std::sregex_iterator(); ++it) {
         const std::string kw = (*it)[1].str();
-        std::string expr = balance_parens(
+        std::string expr = lintcore::balance_parens(
             f, i, static_cast<std::size_t>(it->position(0) + it->length(0)));
         if (kw == "for") {
           // Only the loop condition (between top-level semicolons) can leak
           // timing; range-fors walk the container sequentially.
-          const auto clauses = split_top_level(expr, ';');
+          const auto clauses = lintcore::split_top_level(expr, ';');
           if (clauses.size() < 2) continue;
           expr = clauses[1];
         }
         const std::string id = expr_tainted(expr);
-        if (!id.empty() && !suppressed(i)) {
+        if (!id.empty() && !lintcore::suppressed(f, i, "R3")) {
           add(f, i, "R3",
               kw + " condition depends on key-derived value '" + id + "'");
         }
@@ -502,7 +297,7 @@ class Linter {
         if (close == std::string::npos) break;
         const std::string sub = line.substr(pos + 1, close - pos - 1);
         const std::string id = expr_tainted(sub);
-        if (!id.empty() && !suppressed(i)) {
+        if (!id.empty() && !lintcore::suppressed(f, i, "R3")) {
           add(f, i, "R3",
               "array index depends on key-derived value '" + id + "'");
         }
@@ -526,9 +321,9 @@ class Linter {
       const std::string& line = f.code[i];
       std::smatch m;
       if (!is_secure_impl && std::regex_search(line, m, memset_call)) {
-        const std::string args = balance_parens(
+        const std::string args = lintcore::balance_parens(
             f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
-        for (const std::string& id : idents_in(args)) {
+        for (const std::string& id : lintcore::idents_in(args)) {
           if (std::regex_search(id, kHygieneIdent)) {
             add(f, i, "R4",
                 "memset over secret '" + id +
@@ -538,9 +333,9 @@ class Linter {
         }
       }
       if (std::regex_search(line, m, log_call)) {
-        const std::string args = balance_parens(
+        const std::string args = lintcore::balance_parens(
             f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
-        for (const std::string& id : idents_in(args)) {
+        for (const std::string& id : lintcore::idents_in(args)) {
           if (std::regex_search(id, kHygieneIdent)) {
             add(f, i, "R4",
                 "log statement references secret '" + id + "'");
@@ -549,9 +344,9 @@ class Linter {
         }
       }
       if (std::regex_search(line, m, obs_call)) {
-        const std::string args = balance_parens(
+        const std::string args = lintcore::balance_parens(
             f, i, static_cast<std::size_t>(m.position(0) + m.length(0)));
-        for (const std::string& id : idents_in(args)) {
+        for (const std::string& id : lintcore::idents_in(args)) {
           if (std::regex_search(id, kHygieneIdent)) {
             add(f, i, "R4",
                 "metric/span call references secret '" + id +
@@ -564,43 +359,6 @@ class Linter {
     }
   }
 
-  /// Returns the parenthesized expression starting at code[line][col]
-  /// (col just past the opening paren), balancing across lines.
-  static std::string balance_parens(const SourceFile& f, std::size_t line,
-                                    std::size_t col) {
-    std::string out;
-    int depth = 1;
-    for (std::size_t i = line; i < f.code.size() && depth > 0; ++i) {
-      const std::string& s = f.code[i];
-      for (std::size_t j = (i == line ? col : 0); j < s.size(); ++j) {
-        if (s[j] == '(') ++depth;
-        if (s[j] == ')' && --depth == 0) return out;
-        out += s[j];
-      }
-      out += ' ';
-    }
-    return out;
-  }
-
-  static std::vector<std::string> split_top_level(const std::string& expr,
-                                                  char sep) {
-    std::vector<std::string> out;
-    std::string cur;
-    int depth = 0;
-    for (const char c : expr) {
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') --depth;
-      if (c == sep && depth == 0) {
-        out.push_back(cur);
-        cur.clear();
-      } else {
-        cur += c;
-      }
-    }
-    out.push_back(cur);
-    return out;
-  }
-
   std::vector<Finding> findings_;
 };
 
@@ -608,52 +366,26 @@ class Linter {
 // Drivers
 // ---------------------------------------------------------------------------
 
-std::optional<std::string> read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-bool is_source(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
-}
-
-void print_findings(const std::vector<Finding>& findings) {
-  for (const Finding& f : findings) {
-    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.message.c_str());
-  }
-}
-
 int run_root(const fs::path& root) {
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "secretlint: not a directory: %s\n",
                  root.string().c_str());
     return 2;
   }
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (entry.is_regular_file() && is_source(entry.path())) {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
+  const auto files = lintcore::source_files_under(root);
 
   Linter linter;
   std::vector<Finding> all;
   for (const fs::path& p : files) {
-    const auto text = read_file(p);
+    const auto text = lintcore::read_file(p);
     if (!text) continue;
     const std::string rel = fs::relative(p, root).generic_string();
     const std::string module = rel.substr(0, rel.find('/'));
-    auto src = load_source("src/" + rel, module, *text);
+    auto src = lintcore::load_source("src/" + rel, module, *text, kCtOkSyntax);
     auto fnd = linter.lint(src);
     all.insert(all.end(), fnd.begin(), fnd.end());
   }
-  print_findings(all);
+  lintcore::print_findings(all);
   std::fprintf(stderr, "secretlint: %zu file(s), %zu finding(s)\n",
                files.size(), all.size());
   return all.empty() ? 0 : 1;
@@ -673,16 +405,8 @@ int run_fixtures(const fs::path& dir) {
   Linter linter;
   int failures = 0;
   int checked = 0;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-    if (entry.is_regular_file() && is_source(entry.path())) {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  for (const fs::path& p : files) {
-    const auto text = read_file(p);
+  for (const fs::path& p : lintcore::source_files_under(dir)) {
+    const auto text = lintcore::read_file(p);
     if (!text) continue;
     const bool is_bad =
         p.parent_path().filename().string() == "known_bad";
@@ -690,7 +414,7 @@ int run_fixtures(const fs::path& dir) {
 
     // Directives: the virtual path decides module + boundary rules.
     std::string vpath = "src/misc/" + p.filename().string();
-    std::multiset<std::string> expected;
+    std::set<std::string> expected;
     {
       std::istringstream in(*text);
       for (std::string line; std::getline(in, line);) {
@@ -703,14 +427,15 @@ int run_fixtures(const fs::path& dir) {
     if (module.rfind("src/", 0) == 0) module = module.substr(4);
     module = module.substr(0, module.find('/'));
 
-    const auto findings = linter.lint(load_source(vpath, module, *text));
+    const auto findings =
+        linter.lint(lintcore::load_source(vpath, module, *text, kCtOkSyntax));
     std::set<std::string> fired;
     for (const Finding& f : findings) fired.insert(f.rule);
 
     auto fail = [&](const std::string& why) {
       std::fprintf(stderr, "FAIL %s: %s\n", p.filename().string().c_str(),
                    why.c_str());
-      print_findings(findings);
+      lintcore::print_findings(findings);
       ++failures;
     };
 
@@ -719,15 +444,13 @@ int run_fixtures(const fs::path& dir) {
         fail("known_bad fixture declares no secretlint-expect directive");
         continue;
       }
-      const std::set<std::string> expected_rules(expected.begin(),
-                                                 expected.end());
-      for (const std::string& rule : expected_rules) {
+      for (const std::string& rule : expected) {
         if (fired.count(rule) == 0) {
           fail("expected rule " + rule + " did not fire");
         }
       }
       for (const std::string& rule : fired) {
-        if (expected_rules.count(rule) == 0) {
+        if (expected.count(rule) == 0) {
           fail("unexpected rule " + rule + " fired");
         }
       }
