@@ -10,6 +10,13 @@
 // model a WAN IAS — see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "controller/controller.h"
+#include "http/client.h"
+#include "ratls/verifier.h"
 #include "testbed.h"
 
 namespace {
@@ -236,6 +243,180 @@ BENCHMARK(BM_VnfAttestationFleet)
     ->Arg(4)
     ->Arg(16)
     ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Fleet enrollment A/B: the PR-5 pipeline (batched steps 3-4 over the WAN
+// IAS link, step-5 provisioning, then a first authenticated contact) vs
+// RA-TLS (local issuance + ONE attested handshake that simultaneously
+// attests, authenticates, and enrolls — zero prior round-trips).
+// ---------------------------------------------------------------------------
+
+/// Run fn(0..count-1) on a bounded worker set (both variants overlap their
+/// per-VNF connection legs the same way, so the A/B isolates round-trips).
+void run_on_workers(int count, int workers, const std::function<void(int)>& fn) {
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// FleetBed plus a trusted-HTTPS controller the enrolling VNFs contact.
+/// In RA-TLS mode the controller's only client trust anchor is the
+/// attestation verifier; in pipeline mode it trusts the VM's CA.
+struct EnrollBed {
+  EnrollBed(int vnf_count, bool ratls_mode)
+      : bed(vnf_count),
+        verifier(ratls::VerifierPolicy{
+            .attestation_key =
+                [this](const sgx::PlatformId& id) {
+                  return bed.ias.attestation_key(id);
+                },
+            .enclave_allowed =
+                [](const sgx::Measurement& m) {
+                  return m == vnf::credential_enclave_measurement();
+                },
+            .policy_generation = {}}) {
+    controller::ControllerConfig cfg;
+    cfg.mode = controller::SecurityMode::kTrustedHttps;
+    const auto kp = crypto::ed25519_generate(bed.rng);
+    cfg.certificate = bed.vm.ca().issue(
+        {"controller", ""}, kp.public_key,
+        static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth));
+    cfg.signer = tls::Config::software_signer(kp.seed);
+    cfg.require_attested_clients = ratls_mode;
+    cfg.clock = &bed.clock;
+    cfg.rng = &bed.rng;
+    ctrl = std::make_unique<controller::Controller>(cfg, fabric);
+    if (ratls_mode) {
+      ctrl->set_attested_verifier(&verifier);
+    } else {
+      ctrl->trust_ca(bed.vm.ca_certificate());
+    }
+    client_trust.add_root(bed.vm.ca_certificate());
+    bed.net.serve("controller:8443", [this](net::StreamPtr s) {
+      ctrl->serve(std::move(s));
+    });
+    for (auto& v : bed.vnfs) v->credentials().generate_key();
+  }
+
+  tls::Config client_config(vnf::Vnf& v, pki::Certificate cert) {
+    tls::Config c;
+    c.certificate = std::move(cert);
+    c.signer = [&v](ByteView data) { return v.credentials().sign(data); };
+    c.truststore = &client_trust;
+    c.expected_server_name = "controller";
+    c.clock = &bed.clock;
+    c.rng = &bed.rng;
+    return c;
+  }
+
+  FleetBed bed;
+  dataplane::Fabric fabric;
+  ratls::Verifier verifier;
+  pki::TrustStore client_trust;  // clients verifying the controller cert
+  std::unique_ptr<controller::Controller> ctrl;
+};
+
+void BM_FleetEnrollPipeline(benchmark::State& state) {
+  // Baseline: attest_fleet (steps 3-4, IAS legs overlapped + batched AVR
+  // verify), enroll_vnf per VNF (step 5 over the agent channel), then each
+  // VNF's first mutually authenticated contact with the controller.
+  set_log_level(LogLevel::kOff);
+  const int count = static_cast<int>(state.range(0));
+  EnrollBed eb(count, /*ratls_mode=*/false);
+  {
+    auto channel = eb.bed.net.connect("host-1:7000");
+    if (!eb.bed.vm.attest_host(*channel).trustworthy) {
+      state.SkipWithError("host attestation failed");
+    }
+  }
+  for (auto _ : state) {
+    std::vector<net::StreamPtr> channels;
+    std::vector<core::FleetTarget> targets;
+    channels.reserve(count);
+    targets.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      channels.push_back(eb.bed.net.connect("host-1:7000"));
+      targets.push_back({channels.back().get(), "vnf-" + std::to_string(i)});
+    }
+    const auto results = eb.bed.vm.attest_fleet(targets, /*max_workers=*/8);
+    for (const auto& r : results) {
+      if (!r.trustworthy) state.SkipWithError("fleet attestation failed");
+    }
+    auto channel = eb.bed.net.connect("host-1:7000");
+    for (int i = 0; i < count; ++i) {
+      const std::string name = "vnf-" + std::to_string(i);
+      if (!eb.bed.vm.enroll_vnf(*channel, name, name)) {
+        state.SkipWithError("provisioning failed");
+      }
+    }
+    run_on_workers(count, 8, [&eb](int i) {
+      vnf::Vnf& v = *eb.bed.vnfs[i];
+      http::Client client(tls::Session::connect(
+          eb.bed.net.connect("controller:8443"),
+          eb.client_config(v, v.credentials().certificate())));
+      client.get("/wm/core/controller/summary/json");
+      client.close();
+    });
+  }
+  state.counters["vnfs"] = count;
+  state.counters["per_vnf_ms"] = benchmark::Counter(
+      static_cast<double>(count) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_FleetEnrollPipeline)
+    ->Arg(16)
+    ->Arg(64)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FleetEnrollRatls(benchmark::State& state) {
+  // RA-TLS: no IAS round-trip, no provisioning leg. Each VNF quotes its
+  // in-enclave key locally, self-signs the attestation-bound certificate,
+  // and its FIRST connection to the controller both verifies the quote
+  // in-handshake and enrolls the identity.
+  set_log_level(LogLevel::kOff);
+  const int count = static_cast<int>(state.range(0));
+  EnrollBed eb(count, /*ratls_mode=*/true);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    run_on_workers(count, 8, [&eb, count, round](int i) {
+      vnf::Vnf& v = *eb.bed.vnfs[i];
+      const std::string name = "vnf-" + std::to_string(i);
+      const auto cert = v.credentials().issue_ratls_certificate(
+          eb.bed.host.sgx().quoting_enclave(), crypto::Sha256Digest{},
+          eb.bed.vendor.public_key,
+          /*serial=*/round * static_cast<std::uint64_t>(count) + i + 1,
+          {name, ""}, eb.bed.clock.now() - 10, eb.bed.clock.now() + 3600);
+      http::Client client(
+          tls::Session::connect(eb.bed.net.connect("controller:8443"),
+                                eb.client_config(v, cert)));
+      client.post("/wm/vnfsgx/enroll/json", "{}");
+      client.close();
+    });
+  }
+  if (eb.ctrl->enrolled_identities().size() !=
+      static_cast<std::size_t>(count) * round) {
+    state.SkipWithError("enrollment incomplete");
+  }
+  state.counters["vnfs"] = count;
+  state.counters["per_vnf_ms"] = benchmark::Counter(
+      static_cast<double>(count) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_FleetEnrollRatls)
+    ->Arg(16)
+    ->Arg(64)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true)
     ->Unit(benchmark::kMillisecond);
 
 void BM_QuoteGenerationOnly(benchmark::State& state) {

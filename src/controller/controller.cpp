@@ -91,6 +91,15 @@ void Controller::trust_ca(const pki::Certificate& ca_root) {
                   ca_root.subject.common_name, "'");
 }
 
+void Controller::set_attested_verifier(
+    const pki::AttestedCertVerifier* verifier) {
+  truststore_.set_attested_verifier(verifier);
+  attested_verifier_installed_ = verifier != nullptr;
+  VNFSGX_LOG_INFO("controller", config_.name,
+                  verifier ? ": RA-TLS attested verifier installed"
+                           : ": RA-TLS attested verifier removed");
+}
+
 void Controller::update_crl(const pki::RevocationList& crl) {
   truststore_.set_crl(crl);
 }
@@ -115,14 +124,20 @@ net::StreamPtr Controller::wrap_session(net::StreamPtr stream,
       tls_config.ticket_lifetime_seconds = config_.ticket_lifetime_seconds;
     }
     if (config_.mode == SecurityMode::kTrustedHttps) {
-      if (!ca_trusted_) {
-        throw Error("controller: trusted HTTPS mode requires trust_ca()");
+      // An attested verifier replaces the CA as the client trust anchor:
+      // with one installed the controller needs no pre-provisioned CA.
+      if (!ca_trusted_ && !attested_verifier_installed_) {
+        throw Error(
+            "controller: trusted HTTPS mode requires trust_ca() or "
+            "set_attested_verifier()");
       }
       tls_config.require_client_certificate = true;
       tls_config.truststore = &truststore_;
+      tls_config.require_attested_peer = config_.require_attested_clients;
     }
     auto session = tls::Session::accept(std::move(stream), tls_config);
     ctx.client_identity = session->peer_identity();
+    ctx.client_attested = session->peer_attested();
     return session;
   } catch (const TimeoutError&) {
     throw;  // a stalled handshake is a burst timeout, not an auth failure
@@ -190,6 +205,11 @@ std::vector<AuditRecord> Controller::audit_log() const {
   return audit_log_;
 }
 
+std::vector<std::string> Controller::enrolled_identities() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return enrolled_;
+}
+
 void Controller::build_router() {
   // Every route goes through `traced`: a step-6 rest_request span plus a
   // per-mode latency histogram around the handler.
@@ -240,6 +260,11 @@ void Controller::build_router() {
               traced([this](const http::Request& r,
                             const http::RequestContext& c) {
                 return handle_list_flows(r, c);
+              }));
+  router_.add("POST", "/wm/vnfsgx/enroll/json",
+              traced([this](const http::Request& r,
+                            const http::RequestContext& c) {
+                return handle_enroll(r, c);
               }));
   // Observability endpoints (read-only; served in every security mode).
   router_.add("GET", "/metrics",
@@ -353,6 +378,35 @@ http::Response Controller::handle_delete_flow(const http::Request& req,
   } catch (const std::exception&) {
     res = http::Response::error(400, "bad request");
   }
+  audit(ctx, req, res.status);
+  return res;
+}
+
+http::Response Controller::handle_enroll(const http::Request& req,
+                                         const http::RequestContext& ctx) {
+  // First-contact enrollment: the RA-TLS handshake already attested AND
+  // authenticated the caller, so the whole enrollment is this one request
+  // on the same connection — no nonce/quote/certificate round trips.
+  http::Response res;
+  const bool accepted = ctx.client_attested && !ctx.client_identity.empty();
+  if (accepted) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      enrolled_.push_back(ctx.client_identity);
+    }
+    json::Object body;
+    body["status"] = "enrolled";
+    body["identity"] = ctx.client_identity;
+    res = http::Response::json(
+        200, json::serialize(json::Value(std::move(body))));
+  } else {
+    res = http::Response::error(403, "attested client certificate required");
+  }
+  obs::registry()
+      .counter("vnfsgx_ratls_enrollments_total",
+               {{"result", accepted ? "ok" : "rejected"}},
+               "First-contact RA-TLS enrollments at the controller")
+      .add();
   audit(ctx, req, res.status);
   return res;
 }

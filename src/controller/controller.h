@@ -44,6 +44,12 @@ struct ControllerConfig {
   bool enable_session_tickets = false;
   std::int64_t ticket_lifetime_seconds = 600;
 
+  /// Trusted-HTTPS only: require every client certificate to carry RA-TLS
+  /// attestation evidence appraised in-handshake (set_attested_verifier
+  /// must install a verifier). Plain CA certificates are rejected — the
+  /// downgrade defense.
+  bool require_attested_clients = false;
+
   const Clock* clock = nullptr;
   crypto::RandomSource* rng = nullptr;
 };
@@ -62,6 +68,14 @@ class Controller {
   /// Trust the Verification Manager's CA for client authentication
   /// (replaces Floodlight's per-client keystore maintenance).
   void trust_ca(const pki::Certificate& ca_root);
+
+  /// Install the RA-TLS appraisal hook: client certificates carrying
+  /// attestation evidence are verified in-handshake against it instead of
+  /// a CA chain. With a verifier installed, trusted-HTTPS mode works with
+  /// NO pre-provisioned CA at all — first-contact enrollment. The verifier
+  /// must outlive the controller; re-installing (policy change) invalidates
+  /// cached validation verdicts.
+  void set_attested_verifier(const pki::AttestedCertVerifier* verifier);
 
   /// Install/refresh the CA's revocation list. Cached validation verdicts
   /// from before this CRL are invalidated before the call returns.
@@ -101,6 +115,8 @@ class Controller {
   std::vector<AuditRecord> audit_log() const;
   std::uint64_t requests_served() const { return requests_.load(); }
   std::uint64_t rejected_connections() const { return rejected_.load(); }
+  /// Identities enrolled through POST /wm/vnfsgx/enroll/json, in order.
+  std::vector<std::string> enrolled_identities() const;
 
  private:
   void build_router();
@@ -116,6 +132,8 @@ class Controller {
                                     const http::RequestContext&);
   http::Response handle_list_flows(const http::Request&,
                                    const http::RequestContext&);
+  http::Response handle_enroll(const http::Request&,
+                               const http::RequestContext&);
   void audit(const http::RequestContext& ctx, const http::Request& req,
              int status);
   bool authorize_write(const http::RequestContext& ctx) const;
@@ -127,9 +145,11 @@ class Controller {
   pki::TrustStore truststore_;
   tls::TicketKey ticket_key_;
   bool ca_trusted_ = false;
+  bool attested_verifier_installed_ = false;
   http::Router router_;
   mutable std::mutex mutex_;
   std::vector<AuditRecord> audit_log_;
+  std::vector<std::string> enrolled_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> rejected_{0};
 };

@@ -22,6 +22,9 @@ struct RequestContext {
   /// Authenticated TLS client identity (certificate subject), empty for
   /// plain HTTP or server-auth-only TLS. Set by the controller's TLS layer.
   std::string client_identity;
+  /// True when the client authenticated with an RA-TLS certificate whose
+  /// attestation evidence the handshake appraised (Session::peer_attested).
+  bool client_attested = false;
 };
 
 using Handler = std::function<Response(const Request&, const RequestContext&)>;

@@ -85,6 +85,16 @@ bool IasService::is_revoked(const sgx::PlatformId& id) const {
   return it != revoked_.end() && it->second;
 }
 
+std::optional<crypto::Ed25519PublicKey> IasService::attestation_key(
+    const sgx::PlatformId& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto revoked = revoked_.find(id);
+  if (revoked != revoked_.end() && revoked->second) return std::nullopt;
+  const auto it = platforms_.find(id);
+  if (it == platforms_.end()) return std::nullopt;
+  return it->second;
+}
+
 VerificationReport IasService::verify_quote(ByteView quote_bytes) {
   sgx::Quote quote;
   try {

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "common/sim_clock.h"
@@ -59,6 +60,13 @@ class IasService {
   /// Add the platform to the signature revocation list.
   void revoke_platform(const sgx::PlatformId& id);
   bool is_revoked(const sgx::PlatformId& id) const;
+
+  /// The attestation key registered for a platform, or nullopt when the
+  /// platform is unknown or revoked. This is the trust-anchor lookup RA-TLS
+  /// verifiers bind into their policy: quote appraisal happens at the
+  /// relying party instead of a verify_quote round trip to the service.
+  std::optional<crypto::Ed25519PublicKey> attestation_key(
+      const sgx::PlatformId& id) const;
 
   /// Verify an encoded quote; always returns a signed report (errors are
   /// reported in the status field, as the real service does).

@@ -21,6 +21,13 @@ enum : std::uint8_t {
   kTagKeyUsage = 0x0a,
   kTagSignature = 0x0b,
   kTagTbs = 0x0c,
+  kTagExtension = 0x0d,
+};
+
+// Tags inside a kTagExtension value.
+enum : std::uint8_t {
+  kTagExtensionId = 0x01,
+  kTagExtensionValue = 0x02,
 };
 }  // namespace
 
@@ -36,6 +43,12 @@ Bytes Certificate::tbs() const {
   w.add_bytes(kTagPublicKey, public_key);
   w.add_u8(kTagIsCa, is_ca ? 1 : 0);
   w.add_u8(kTagKeyUsage, key_usage);
+  for (const CertificateExtension& ext : extensions) {
+    TlvWriter e;
+    e.add_u32(kTagExtensionId, ext.id);
+    e.add_bytes(kTagExtensionValue, ext.value);
+    w.add_bytes(kTagExtension, e.bytes());
+  }
   return w.take();
 }
 
@@ -64,8 +77,27 @@ Certificate Certificate::decode(ByteView data) {
   cert.public_key = r.expect_array<crypto::kEd25519PublicKeySize>(kTagPublicKey);
   cert.is_ca = r.expect_u8(kTagIsCa) != 0;
   cert.key_usage = r.expect_u8(kTagKeyUsage);
+  // Extensions: order and raw value bytes are preserved, so re-encoding a
+  // parsed certificate reproduces the signed bytes exactly even when the
+  // extension ids mean nothing to this validator (ignore-unknown).
+  while (!r.done() && r.peek_tag() == kTagExtension) {
+    TlvReader e(r.expect(kTagExtension));
+    CertificateExtension ext;
+    ext.id = e.expect_u32(kTagExtensionId);
+    ext.value = e.expect_bytes(kTagExtensionValue);
+    if (!e.done()) throw ParseError("certificate: trailing extension data");
+    cert.extensions.push_back(std::move(ext));
+  }
   if (!r.done()) throw ParseError("certificate: trailing tbs data");
   return cert;
+}
+
+const CertificateExtension* Certificate::find_extension(
+    std::uint32_t id) const {
+  for (const CertificateExtension& ext : extensions) {
+    if (ext.id == id) return &ext;
+  }
+  return nullptr;
 }
 
 bool Certificate::verify_signature(

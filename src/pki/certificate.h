@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/sim_clock.h"
@@ -31,6 +32,19 @@ enum class KeyUsage : std::uint8_t {
   kCertSign = 4,
 };
 
+/// An opaque X.509-style extension: a numeric id plus raw value bytes.
+/// Extensions are part of the signed (TBS) portion. Validators ignore
+/// extensions they do not recognize, and decode preserves order and raw
+/// bytes, so a certificate carrying an unknown extension round-trips
+/// parse -> re-encode byte-identically (old peers can forward RA-TLS
+/// certificates without understanding them).
+struct CertificateExtension {
+  std::uint32_t id = 0;
+  Bytes value;
+
+  bool operator==(const CertificateExtension&) const = default;
+};
+
 struct Certificate {
   std::uint64_t serial = 0;
   DistinguishedName subject;
@@ -40,6 +54,9 @@ struct Certificate {
   crypto::Ed25519PublicKey public_key{};
   bool is_ca = false;
   std::uint8_t key_usage = 0;  // OR of KeyUsage bits
+  /// Signed extensions, in encoding order (empty for most certificates;
+  /// certificates without extensions encode exactly as before they existed).
+  std::vector<CertificateExtension> extensions;
   crypto::Ed25519Signature signature{};
 
   /// The to-be-signed portion (everything except the signature).
@@ -59,6 +76,9 @@ struct Certificate {
   bool allows(KeyUsage usage) const {
     return (key_usage & static_cast<std::uint8_t>(usage)) != 0;
   }
+
+  /// First extension with the given id, or nullptr.
+  const CertificateExtension* find_extension(std::uint32_t id) const;
 
   /// Stable identifier: hex SHA-256 of the encoding (like a cert fingerprint).
   std::string fingerprint() const;

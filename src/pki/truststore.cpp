@@ -43,6 +43,8 @@ std::string to_string(VerifyStatus status) {
       return "wrong key usage";
     case VerifyStatus::kIssuerNotCa:
       return "issuer is not a CA";
+    case VerifyStatus::kAttestationFailed:
+      return "attestation evidence rejected";
   }
   return "?";
 }
@@ -74,6 +76,12 @@ void TrustStore::set_crl(const RevocationList& crl) {
     }
   }
   crls_.push_back(crl);
+}
+
+void TrustStore::set_attested_verifier(const AttestedCertVerifier* verifier) {
+  verifier_.store(verifier, std::memory_order_release);
+  // Cached verdicts may predate the delegation change; never serve them.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 const Certificate* TrustStore::find_root_locked(
@@ -176,18 +184,51 @@ TrustStore::CachedVerdict TrustStore::evaluate_locked(const Certificate& leaf,
   return v;
 }
 
+// Appraisal path for certificates the attested verifier recognizes: the
+// verifier replaces the issuer/signature checks (an RA-TLS certificate is
+// self-signed; its quote is the chain), usage is checked after, and the
+// validity window is re-applied per request like every cached verdict.
+TrustStore::CachedVerdict TrustStore::evaluate_attested(
+    const Certificate& leaf, KeyUsage usage,
+    const AttestedCertVerifier& verifier) const {
+  CachedVerdict v;
+  v.not_before = leaf.not_before;
+  v.not_after = leaf.not_after;
+  const VerifyStatus appraisal = verifier.appraise(leaf);
+  if (appraisal != VerifyStatus::kOk) {
+    v.pre = appraisal;
+    return v;
+  }
+  if (!leaf.allows(usage)) {
+    v.post = VerifyStatus::kWrongUsage;
+    return v;
+  }
+  v.attested = true;
+  return v;
+}
+
 VerifyResult TrustStore::apply(const CachedVerdict& verdict, UnixTime now) {
   if (verdict.pre != VerifyStatus::kOk) return {verdict.pre};
   if (now < verdict.not_before) return {VerifyStatus::kNotYetValid};
   if (now > verdict.not_after) return {VerifyStatus::kExpired};
-  return {verdict.post};
+  return {verdict.post, verdict.attested && verdict.post == VerifyStatus::kOk};
 }
 
-std::string TrustStore::cache_key(const Certificate& leaf, KeyUsage usage) {
+std::string TrustStore::cache_key(const Certificate& leaf,
+                                  KeyUsage usage) const {
   // Fingerprint (hex SHA-256 of the public encoding) + requested usage —
-  // no key material ever enters the cache.
-  return leaf.fingerprint() + "/" +
-         std::to_string(static_cast<unsigned>(usage));
+  // no key material ever enters the cache. Certificates the attested
+  // verifier recognizes additionally embed the appraisal-policy generation,
+  // so a policy bump sends cached RA-TLS accepts to a fresh key (miss) on
+  // the next request.
+  std::string key = leaf.fingerprint() + "/" +
+                    std::to_string(static_cast<unsigned>(usage));
+  const AttestedCertVerifier* verifier =
+      verifier_.load(std::memory_order_acquire);
+  if (verifier && verifier->recognizes(leaf)) {
+    key += "/ra" + std::to_string(verifier->policy_generation());
+  }
+  return key;
 }
 
 std::optional<TrustStore::CachedVerdict> TrustStore::cache_lookup(
@@ -251,6 +292,15 @@ VerifyResult TrustStore::verify(const Certificate& leaf, KeyUsage usage,
   const std::string key = cache_key(leaf, usage);
   if (const auto cached = cache_lookup(key)) return apply(*cached, now);
   CachedVerdict verdict;
+  const AttestedCertVerifier* verifier =
+      verifier_.load(std::memory_order_acquire);
+  if (verifier && verifier->recognizes(leaf)) {
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_acquire);
+    verdict = evaluate_attested(leaf, usage, *verifier);
+    cache_store(key, verdict, generation);
+    return apply(verdict, now);
+  }
   std::uint64_t generation = 0;
   {
     const std::shared_lock<std::shared_mutex> lock(mutex_);
@@ -277,6 +327,43 @@ std::vector<VerifyResult> TrustStore::verify_batch(
     if (const auto cached = cache_lookup(keys[i])) {
       results[i] = apply(*cached, now);
       resolved[i] = true;
+    }
+  }
+
+  // Recognized (RA-TLS) misses route through the attested verifier's burst
+  // appraisal — its own Ed25519 batch — instead of the CA-chain batch below.
+  const AttestedCertVerifier* verifier =
+      verifier_.load(std::memory_order_acquire);
+  if (verifier) {
+    std::vector<std::size_t> ra_idx;
+    std::vector<const Certificate*> ra_leaves;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if (resolved[i] || !verifier->recognizes(leaves[i])) continue;
+      ra_idx.push_back(i);
+      ra_leaves.push_back(&leaves[i]);
+    }
+    if (!ra_idx.empty()) {
+      const std::uint64_t ra_generation =
+          generation_.load(std::memory_order_acquire);
+      const std::vector<VerifyStatus> appraisals = verifier->appraise_batch(
+          std::span<const Certificate* const>(ra_leaves));
+      for (std::size_t j = 0; j < ra_idx.size(); ++j) {
+        const std::size_t i = ra_idx[j];
+        const Certificate& leaf = leaves[i];
+        CachedVerdict& v = verdicts[i];
+        v.not_before = leaf.not_before;
+        v.not_after = leaf.not_after;
+        if (appraisals[j] != VerifyStatus::kOk) {
+          v.pre = appraisals[j];
+        } else if (!leaf.allows(usage)) {
+          v.post = VerifyStatus::kWrongUsage;
+        } else {
+          v.attested = true;
+        }
+        cache_store(keys[i], v, ra_generation);
+        results[i] = apply(v, now);
+        resolved[i] = true;
+      }
     }
   }
 

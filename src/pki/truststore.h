@@ -31,13 +31,54 @@ enum class VerifyStatus {
   kRevoked,
   kWrongUsage,
   kIssuerNotCa,
+  kAttestationFailed,
 };
 
 std::string to_string(VerifyStatus status);
 
 struct VerifyResult {
   VerifyStatus status = VerifyStatus::kOk;
+  /// True when the certificate's trust derives from verified attestation
+  /// evidence (RA-TLS) rather than a CA signature. Callers that demand an
+  /// attested peer must check this, not just ok() — a plain CA certificate
+  /// verifying kOk is the downgrade case.
+  bool attested = false;
   bool ok() const { return status == VerifyStatus::kOk; }
+};
+
+/// Appraises attestation evidence embedded in a certificate (RA-TLS). The
+/// verifier is consulted for certificates it recognizes *instead of* the CA
+/// chain: an RA-TLS certificate is self-signed and earns trust from its
+/// quote, not from an issuer. Implementations live above pki (src/ratls
+/// binds the quote signature, report-data <-> key binding, and measurement
+/// policy); pki only defines the delegation seam so TrustStore's validation
+/// cache covers attested certificates too.
+class AttestedCertVerifier {
+ public:
+  virtual ~AttestedCertVerifier() = default;
+
+  /// True if `leaf` carries attestation evidence this verifier understands.
+  virtual bool recognizes(const Certificate& leaf) const = 0;
+
+  /// Full appraisal (self-signature, evidence binding, quote signature,
+  /// measurement policy). kOk means the certificate is attested; anything
+  /// else is surfaced through VerifyResult::status.
+  virtual VerifyStatus appraise(const Certificate& leaf) const = 0;
+
+  /// Burst form: one verdict per leaf, identical to appraise() per leaf.
+  /// Implementations may fold the signature checks into one Ed25519 batch.
+  virtual std::vector<VerifyStatus> appraise_batch(
+      std::span<const Certificate* const> leaves) const {
+    std::vector<VerifyStatus> out;
+    out.reserve(leaves.size());
+    for (const Certificate* leaf : leaves) out.push_back(appraise(*leaf));
+    return out;
+  }
+
+  /// Appraisal-policy generation. Cached verdicts for recognized
+  /// certificates embed it in their cache key, so a policy bump invalidates
+  /// cached RA-TLS accepts on the very next request.
+  virtual std::uint64_t policy_generation() const = 0;
 };
 
 /// Thread-safe: verification may run concurrently with add_root/set_crl
@@ -59,6 +100,12 @@ class TrustStore {
   /// Install/replace the CRL for its issuer. The CRL signature is checked
   /// against the matching trusted root; throws Error if it fails.
   void set_crl(const RevocationList& crl);
+
+  /// Install (or clear, with nullptr) the attestation verifier. Leaf
+  /// certificates the verifier recognizes are appraised through it instead
+  /// of the CA chain; their cached verdicts are keyed by the verifier's
+  /// policy generation. The verifier must outlive this truststore.
+  void set_attested_verifier(const AttestedCertVerifier* verifier);
 
   /// Verify a leaf certificate for `usage` at time `now`.
   VerifyResult verify(const Certificate& leaf, KeyUsage usage,
@@ -109,6 +156,7 @@ class TrustStore {
   struct CachedVerdict {
     VerifyStatus pre = VerifyStatus::kOk;
     VerifyStatus post = VerifyStatus::kOk;
+    bool attested = false;
     UnixTime not_before = 0;
     UnixTime not_after = 0;
   };
@@ -117,8 +165,10 @@ class TrustStore {
   VerifyResult verify_link_to_root_locked(const Certificate& cert,
                                           UnixTime now) const;
   CachedVerdict evaluate_locked(const Certificate& leaf, KeyUsage usage) const;
+  CachedVerdict evaluate_attested(const Certificate& leaf, KeyUsage usage,
+                                  const AttestedCertVerifier& verifier) const;
   static VerifyResult apply(const CachedVerdict& verdict, UnixTime now);
-  static std::string cache_key(const Certificate& leaf, KeyUsage usage);
+  std::string cache_key(const Certificate& leaf, KeyUsage usage) const;
   std::optional<CachedVerdict> cache_lookup(const std::string& key) const;
   void cache_store(const std::string& key, const CachedVerdict& verdict,
                    std::uint64_t generation) const;
@@ -128,6 +178,7 @@ class TrustStore {
   std::vector<Certificate> roots_;
   std::vector<RevocationList> crls_;
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<const AttestedCertVerifier*> verifier_{nullptr};
 
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<std::string, CachedVerdict> cache_;

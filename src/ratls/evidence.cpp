@@ -1,0 +1,69 @@
+#include "ratls/evidence.h"
+
+#include "pki/tlv.h"
+
+namespace vnfsgx::ratls {
+
+namespace {
+enum : std::uint8_t {
+  kTagQuote = 0x01,
+  kTagImlDigest = 0x02,
+  kTagVendorKey = 0x03,
+  kTagIsvProdId = 0x04,
+  kTagIsvSvn = 0x05,
+};
+}  // namespace
+
+Bytes Evidence::encode() const {
+  pki::TlvWriter w;
+  w.add_bytes(kTagQuote, quote.encode());
+  w.add_bytes(kTagImlDigest, iml_digest);
+  w.add_bytes(kTagVendorKey, vendor_key);
+  w.add_u32(kTagIsvProdId, isv_prod_id);
+  w.add_u32(kTagIsvSvn, isv_svn);
+  return w.take();
+}
+
+Evidence Evidence::decode(ByteView data) {
+  pki::TlvReader r(data);
+  Evidence ev;
+  ev.quote = sgx::Quote::decode(r.expect(kTagQuote));
+  ev.iml_digest = r.expect_array<crypto::kSha256DigestSize>(kTagImlDigest);
+  ev.vendor_key = r.expect_array<crypto::kEd25519PublicKeySize>(kTagVendorKey);
+  const std::uint32_t prod = r.expect_u32(kTagIsvProdId);
+  const std::uint32_t svn = r.expect_u32(kTagIsvSvn);
+  if (prod > 0xffff || svn > 0xffff) {
+    throw ParseError("ratls: isv identity out of range");
+  }
+  ev.isv_prod_id = static_cast<std::uint16_t>(prod);
+  ev.isv_svn = static_cast<std::uint16_t>(svn);
+  if (!r.done()) throw ParseError("ratls: trailing evidence data");
+  return ev;
+}
+
+sgx::ReportData report_data_for_key(const crypto::Ed25519PublicKey& key) {
+  crypto::Sha256 h;
+  h.update(to_bytes(kReportDataContext));
+  h.update(key);
+  const crypto::Sha256Digest digest = h.finish();
+  sgx::ReportData data{};
+  std::copy(digest.begin(), digest.end(), data.begin());
+  return data;
+}
+
+pki::CertificateExtension to_extension(const Evidence& evidence) {
+  return pki::CertificateExtension{kEvidenceExtensionId, evidence.encode()};
+}
+
+bool carries_evidence(const pki::Certificate& cert) {
+  return cert.find_extension(kEvidenceExtensionId) != nullptr;
+}
+
+std::optional<Evidence> find_evidence(const pki::Certificate& cert) {
+  const pki::CertificateExtension* ext =
+      cert.find_extension(kEvidenceExtensionId);
+  if (!ext) return std::nullopt;
+  return Evidence::decode(ext->value);
+}
+
+}  // namespace vnfsgx::ratls

@@ -1,0 +1,72 @@
+// RA-TLS evidence: an SGX quote (plus platform-integrity context) carried
+// in an X.509 certificate extension, binding the certificate's key to an
+// attested enclave (Knauth et al., "Integrating Remote Attestation with
+// TLS"). The quote's report data commits to the TLS public key, so a
+// verifier that appraises the quote has simultaneously authenticated the
+// handshake key — one handshake both attests and authenticates, replacing
+// the separate attest round-trips (Fig. 1 steps 3-4) and the certificate
+// provisioning leg (step 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+#include "pki/certificate.h"
+#include "sgx/structs.h"
+
+namespace vnfsgx::ratls {
+
+/// Extension id of the RA-TLS evidence in pki::Certificate::extensions
+/// ("RAT1"). Validators that do not know this id ignore it (and still
+/// round-trip the certificate byte-identically).
+inline constexpr std::uint32_t kEvidenceExtensionId = 0x52415431;
+
+/// Domain separator hashed into the quote's report data ahead of the TLS
+/// public key, so an RA-TLS quote can never be replayed as the enrollment
+/// protocol's nonce binding (SHA256(nonce || key)) or vice versa.
+inline constexpr std::string_view kReportDataContext = "vnfsgx-ratls-v1";
+
+/// Decoded RA-TLS extension payload.
+///
+/// boundary: wire — parsed from attacker-supplied certificate bytes at the
+/// trust boundary; decode() copies and validates each field exactly once,
+/// and boundarycheck keeps B2 (length discipline) and B4 (secret egress)
+/// pointed at the quote parse path.
+struct Evidence {
+  /// The Quoting Enclave's signed statement about the presenting enclave;
+  /// report_data must equal report_data_for_key(certificate public key).
+  sgx::Quote quote;
+  /// SHA-256 of the host's encoded IMA measurement list at issuance time
+  /// (all-zero when the issuer had no IML context) — correlates the enclave
+  /// quote with the platform-integrity leg of Fig. 1.
+  crypto::Sha256Digest iml_digest{};
+  /// SIGSTRUCT identity: the vendor key whose hash must equal the quote's
+  /// MRSIGNER, plus the product/SVN pair that vendor signed.
+  crypto::Ed25519PublicKey vendor_key{};
+  std::uint16_t isv_prod_id = 0;
+  std::uint16_t isv_svn = 0;
+
+  Bytes encode() const;
+  static Evidence decode(ByteView data);
+};
+
+/// Report data binding the TLS key into the quote:
+/// SHA256(kReportDataContext || public_key) || zeros.
+sgx::ReportData report_data_for_key(const crypto::Ed25519PublicKey& key);
+
+/// Wrap evidence as a certificate extension.
+pki::CertificateExtension to_extension(const Evidence& evidence);
+
+/// True when the certificate carries an RA-TLS extension (well-formed or
+/// not) — the recognizer for verifier delegation and downgrade checks.
+bool carries_evidence(const pki::Certificate& cert);
+
+/// Parse the RA-TLS extension off a certificate. nullopt when absent;
+/// throws ParseError when present but malformed.
+std::optional<Evidence> find_evidence(const pki::Certificate& cert);
+
+}  // namespace vnfsgx::ratls

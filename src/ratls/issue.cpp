@@ -1,0 +1,23 @@
+#include "ratls/issue.h"
+
+namespace vnfsgx::ratls {
+
+pki::Certificate make_certificate(const CertificateSpec& spec,
+                                  const crypto::Ed25519PublicKey& key,
+                                  const Evidence& evidence,
+                                  const SignCallback& sign) {
+  pki::Certificate cert;
+  cert.serial = spec.serial;
+  cert.subject = spec.subject;
+  cert.issuer = spec.subject;  // self-signed: the quote is the chain
+  cert.not_before = spec.not_before;
+  cert.not_after = spec.not_after;
+  cert.public_key = key;
+  cert.is_ca = false;
+  cert.key_usage = spec.key_usage;
+  cert.extensions.push_back(to_extension(evidence));
+  cert.signature = sign(cert.tbs());
+  return cert;
+}
+
+}  // namespace vnfsgx::ratls

@@ -1,0 +1,41 @@
+// Self-signed RA-TLS certificate issuance.
+//
+// An RA-TLS certificate needs no CA: the subject signs its own TBS (proof
+// of key possession) and the embedded quote vouches for the key's enclave
+// residency. In production the signer callback is the credential enclave's
+// kOpSign ECALL, so issuance happens without the private key ever leaving
+// the enclave; tests use a software key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/sim_clock.h"
+#include "pki/certificate.h"
+#include "ratls/evidence.h"
+
+namespace vnfsgx::ratls {
+
+struct CertificateSpec {
+  std::uint64_t serial = 1;
+  pki::DistinguishedName subject;
+  UnixTime not_before = 0;
+  UnixTime not_after = 0;
+  /// Both auth usages by default: a VNF<->VNF attested channel has the same
+  /// certificate acting as client on one side and server on the other.
+  std::uint8_t key_usage =
+      static_cast<std::uint8_t>(pki::KeyUsage::kClientAuth) |
+      static_cast<std::uint8_t>(pki::KeyUsage::kServerAuth);
+};
+
+using SignCallback = std::function<crypto::Ed25519Signature(ByteView)>;
+
+/// Build the self-signed certificate: subject == issuer, public key `key`,
+/// the evidence attached as the RA-TLS extension, TBS signed by `sign`
+/// (which must hold the private half of `key`).
+pki::Certificate make_certificate(const CertificateSpec& spec,
+                                  const crypto::Ed25519PublicKey& key,
+                                  const Evidence& evidence,
+                                  const SignCallback& sign);
+
+}  // namespace vnfsgx::ratls

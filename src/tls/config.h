@@ -55,6 +55,16 @@ struct Config {
   /// Server side: demand and verify a client certificate ("trusted HTTPS").
   bool require_client_certificate = false;
 
+  /// Require the peer's certificate to carry *verified* attestation
+  /// evidence (RA-TLS): the truststore's attested verifier must appraise it
+  /// kOk. A peer presenting a plain CA certificate — even a valid one — is
+  /// rejected with SecurityViolation (the downgrade case). On the client
+  /// side this also disables resumption offers, so the evidence is
+  /// re-appraised on every connection. Requires a truststore with an
+  /// attested verifier installed (and, server-side,
+  /// require_client_certificate).
+  bool require_attested_peer = false;
+
   /// Client side: if non-empty, the server certificate's CN must match.
   std::string expected_server_name;
 

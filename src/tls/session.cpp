@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "crypto/ct.h"
 #include "crypto/gcm.h"
@@ -67,6 +68,7 @@ AlertCode alert_for(pki::VerifyStatus status) {
       return AlertCode::kCertificateRevoked;
     case pki::VerifyStatus::kUnknownIssuer:
       return AlertCode::kCertificateUnknown;
+    case pki::VerifyStatus::kAttestationFailed:
     default:
       return AlertCode::kBadCertificate;
   }
@@ -81,6 +83,7 @@ enum : std::uint8_t {
   kTagIdentity = 0x02,
   kTagSerial = 0x03,
   kTagExpiry = 0x04,
+  kTagAttested = 0x05,
 };
 
 struct TicketPlaintext {
@@ -88,6 +91,7 @@ struct TicketPlaintext {
   std::string identity;        // authenticated client CN ("" = anonymous)
   std::uint64_t serial = 0;    // client certificate serial (0 = none)
   UnixTime expiry = 0;
+  bool attested = false;       // original handshake verified RA-TLS evidence
 };
 
 Bytes seal_ticket(const TicketKey& key, const TicketPlaintext& plain,
@@ -97,6 +101,7 @@ Bytes seal_ticket(const TicketKey& key, const TicketPlaintext& plain,
   w.add_string(kTagIdentity, plain.identity);
   w.add_u64(kTagSerial, plain.serial);
   w.add_u64(kTagExpiry, static_cast<std::uint64_t>(plain.expiry));
+  w.add_u8(kTagAttested, plain.attested ? 1 : 0);
 
   Bytes nonce(12);
   rng.fill(nonce);
@@ -121,6 +126,7 @@ std::optional<TicketPlaintext> open_ticket(const TicketKey& key,
     t.identity = r.expect_string(kTagIdentity);
     t.serial = r.expect_u64(kTagSerial);
     t.expiry = static_cast<UnixTime>(r.expect_u64(kTagExpiry));
+    t.attested = r.expect_u8(kTagAttested) != 0;
     return t;
   } catch (const ParseError&) {
     return std::nullopt;
@@ -177,6 +183,17 @@ struct Session::Handshaker {
       // Best effort; the transport may already be gone.
     }
     throw ProtocolError("tls: " + why);
+  }
+
+  /// Attestation-policy failures alert like fail() but throw
+  /// SecurityViolation: a rejected quote or a downgrade attempt is an
+  /// attack signal, not a protocol hiccup.
+  [[noreturn]] void fail_security(AlertCode code, const std::string& why) {
+    try {
+      fail(code, why);
+    } catch (const ProtocolError&) {
+      throw SecurityViolation("tls: " + why);
+    }
   }
 
   void send_handshake(HsType type, ByteView body) {
@@ -319,7 +336,12 @@ struct Session::Handshaker {
     send_handshake(HsType::kCertificateVerify, ByteView(sig.data(), sig.size()));
   }
 
-  pki::Certificate receive_certificate(pki::KeyUsage usage) {
+  struct VerifiedCert {
+    pki::Certificate cert;
+    bool attested = false;
+  };
+
+  VerifiedCert receive_certificate(pki::KeyUsage usage) {
     const Bytes body = expect(HsType::kCertificate);
     pki::Certificate cert;
     try {
@@ -332,11 +354,22 @@ struct Session::Handshaker {
     }
     const auto result = config.truststore->verify(cert, usage,
                                                   config.clock->now());
+    if (result.status == pki::VerifyStatus::kAttestationFailed) {
+      fail_security(alert_for(result.status),
+                    "peer attestation evidence rejected");
+    }
     if (!result.ok()) {
       fail(alert_for(result.status),
            "peer certificate rejected: " + pki::to_string(result.status));
     }
-    return cert;
+    if (config.require_attested_peer && !result.attested) {
+      // Downgrade attempt: a valid but unattested certificate where policy
+      // demands in-handshake attestation.
+      fail_security(AlertCode::kBadCertificate,
+                    "peer presented an unattested certificate where policy "
+                    "requires attestation");
+    }
+    return {std::move(cert), result.attested};
   }
 
   void receive_certificate_verify(bool peer_is_server,
@@ -430,8 +463,10 @@ std::unique_ptr<Session> Session::connect_impl(net::StreamPtr transport,
     throw Error("tls: client requires a truststore");
   }
 
-  // PSK offer?
-  const bool offering = config.resumption && config.resumption->valid();
+  // PSK offer? Never when attestation is required: resumption would skip
+  // the certificate exchange and with it the evidence re-appraisal.
+  const bool offering = config.resumption && config.resumption->valid() &&
+                        !config.require_attested_peer;
   if (offering) {
     hs.schedule = KeySchedule(config.resumption->resumption_secret);
   }
@@ -479,6 +514,7 @@ std::unique_ptr<Session> Session::connect_impl(net::StreamPtr transport,
 
   // Server's encrypted flight.
   std::optional<pki::Certificate> server_cert;
+  bool server_attested = false;
   bool client_cert_requested = false;
   if (!resumed) {
     // Peek: next message may be CertificateRequest.
@@ -489,7 +525,9 @@ std::unique_ptr<Session> Session::connect_impl(net::StreamPtr transport,
       client_cert_requested = true;
     }
 
-    server_cert = hs.receive_certificate(pki::KeyUsage::kServerAuth);
+    auto verified = hs.receive_certificate(pki::KeyUsage::kServerAuth);
+    server_cert = std::move(verified.cert);
+    server_attested = verified.attested;
     if (!config.expected_server_name.empty() &&
         server_cert->subject.common_name != config.expected_server_name) {
       hs.fail(AlertCode::kBadCertificate,
@@ -537,6 +575,7 @@ std::unique_ptr<Session> Session::connect_impl(net::StreamPtr transport,
       RecordProtection(app_client_keys.key, app_client_keys.iv),
       std::move(server_cert), std::move(peer_identity), resumed,
       std::nullopt));
+  session->peer_attested_ = server_attested;
   session->resumption_secret_pending_ = resumption_secret;
   session->server_name_ = config.expected_server_name.empty()
                               ? session->peer_identity_
@@ -562,6 +601,10 @@ std::unique_ptr<Session> Session::accept_impl(net::StreamPtr transport,
   }
   if (config.require_client_certificate && !config.truststore) {
     throw Error("tls: mutual auth requires a truststore");
+  }
+  if (config.require_attested_peer && !config.require_client_certificate) {
+    throw Error(
+        "tls: require_attested_peer needs require_client_certificate");
   }
 
   // ClientHello.
@@ -637,8 +680,11 @@ std::unique_ptr<Session> Session::accept_impl(net::StreamPtr transport,
 
   // Client flight.
   std::optional<pki::Certificate> client_cert;
+  bool client_attested = false;
   if (!resumed && config.require_client_certificate) {
-    client_cert = hs.receive_certificate(pki::KeyUsage::kClientAuth);
+    auto verified = hs.receive_certificate(pki::KeyUsage::kClientAuth);
+    client_cert = std::move(verified.cert);
+    client_attested = verified.attested;
     const Bytes th_before_cv = hs.transcript.digest();
     hs.receive_certificate_verify(/*peer_is_server=*/false, *client_cert,
                                   th_before_cv);
@@ -647,7 +693,14 @@ std::unique_ptr<Session> Session::accept_impl(net::StreamPtr transport,
     // The original session was anonymous; resumption cannot mint identity.
     hs.fail(AlertCode::kCertificateRequired,
             "resumed session lacks client identity");
+  } else if (resumed && config.require_attested_peer &&
+             !resumed_state.attested) {
+    // A ticket from an unattested handshake must not satisfy an
+    // attestation requirement introduced (or enforced) since.
+    hs.fail_security(AlertCode::kBadCertificate,
+                     "resumed session lacks peer attestation");
   }
+  if (resumed) client_attested = resumed_state.attested;
   hs.receive_finished(client_hs);
 
   std::string peer_identity = client_cert
@@ -667,6 +720,7 @@ std::unique_ptr<Session> Session::accept_impl(net::StreamPtr transport,
         hs.schedule.resumption_secret(hs.transcript.digest());
     plain.identity = peer_identity;
     plain.serial = client_cert ? client_cert->serial : 0;
+    plain.attested = client_attested;
     plain.expiry = config.clock->now() + config.ticket_lifetime_seconds;
     const Bytes ticket = seal_ticket(*config.ticket_key, plain, *config.rng);
     const Bytes msg = hs_message(HsType::kNewSessionTicket, ticket);
@@ -674,10 +728,12 @@ std::unique_ptr<Session> Session::accept_impl(net::StreamPtr transport,
     transport->write(hs.wire_scratch);
   }
 
-  return std::unique_ptr<Session>(new Session(
+  auto session = std::unique_ptr<Session>(new Session(
       std::move(transport), std::move(app_read), std::move(app_write),
       std::move(client_cert), std::move(peer_identity), resumed,
       std::nullopt));
+  session->peer_attested_ = client_attested;
+  return session;
 }
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,12 @@ class Session final : public net::Stream {
   /// True if this session was established via ticket resumption.
   bool resumed() const { return resumed_; }
 
+  /// True when the peer's certificate carried attestation evidence the
+  /// truststore's attested verifier accepted (RA-TLS) — the handshake both
+  /// attested and authenticated the peer. Resumed server sessions carry the
+  /// flag over from the original handshake via the ticket.
+  bool peer_attested() const { return peer_attested_; }
+
   /// Client side: the resumption ticket issued by the server during this
   /// session, if any (valid after the handshake; tickets arrive with the
   /// server's first flight).
@@ -84,6 +90,7 @@ class Session final : public net::Stream {
   std::optional<pki::Certificate> peer_certificate_;
   std::string peer_identity_;
   bool resumed_ = false;
+  bool peer_attested_ = false;
   std::optional<SessionTicket> session_ticket_;
   SecureBytes resumption_secret_pending_;  // client: PSK for a future ticket
   std::string server_name_;          // client: ticket scope

@@ -36,6 +36,29 @@ sgx::Report CredentialClient::create_report(
   return sgx::Report::decode(out);
 }
 
+pki::Certificate CredentialClient::issue_ratls_certificate(
+    sgx::QuotingEnclave& qe, const crypto::Sha256Digest& iml_digest,
+    const crypto::Ed25519PublicKey& vendor_key, std::uint64_t serial,
+    const pki::DistinguishedName& subject, UnixTime not_before,
+    UnixTime not_after) {
+  static obs::Histogram& duration = obs::registry().histogram(
+      "vnfsgx_ratls_issue_duration_us", {}, {},
+      "RA-TLS certificate issuance: report ECALL + QE quote + issue ECALL");
+  obs::Span span =
+      obs::tracer().start_span("ratls_issue", obs::kStepQuoteVerification);
+  span.annotate("subject", subject.common_name);
+  const Bytes report_bytes = enclave_->call(
+      kOpRatlsReport, encode_ratls_report_request(qe.target_info()));
+  const sgx::Quote quote = qe.quote(sgx::Report::decode(report_bytes));
+  const Bytes cert_bytes = enclave_->call(
+      kOpRatlsIssue,
+      encode_ratls_issue(quote.encode(), iml_digest, vendor_key, serial,
+                         subject, not_before, not_after));
+  span.end();
+  duration.observe(span.elapsed_us());
+  return pki::Certificate::decode(cert_bytes);
+}
+
 void CredentialClient::install_certificate(const pki::Certificate& cert) {
   enclave_->call(kOpInstallCertificate, cert.encode());
 }

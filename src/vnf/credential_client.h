@@ -9,6 +9,7 @@
 #include "common/sim_clock.h"
 #include "net/stream.h"
 #include "pki/certificate.h"
+#include "sgx/platform.h"
 #include "vnf/credential_enclave.h"
 
 namespace vnfsgx::vnf {
@@ -30,6 +31,17 @@ class CredentialClient {
   /// Attestation report binding (nonce, public key).
   sgx::Report create_report(const std::array<std::uint8_t, 32>& nonce,
                             const sgx::TargetInfo& target);
+
+  /// RA-TLS issuance: ECALL 13 for a report whose report_data binds the
+  /// enclave key, quote it through the platform's QE, then ECALL 14 to
+  /// self-sign + install the attestation-bound certificate in-enclave.
+  /// No CA, no controller round trip — the certificate is ready to present
+  /// on first contact.
+  pki::Certificate issue_ratls_certificate(
+      sgx::QuotingEnclave& qe, const crypto::Sha256Digest& iml_digest,
+      const crypto::Ed25519PublicKey& vendor_key, std::uint64_t serial,
+      const pki::DistinguishedName& subject, UnixTime not_before,
+      UnixTime not_after);
 
   void install_certificate(const pki::Certificate& cert);
   pki::Certificate certificate();

@@ -3,6 +3,8 @@
 #include "crypto/sha256.h"
 #include "pki/tlv.h"
 #include "pki/truststore.h"
+#include "ratls/evidence.h"
+#include "ratls/issue.h"
 #include "tls/session.h"
 #include "vnf/ocall.h"
 
@@ -20,6 +22,14 @@ enum : std::uint8_t {
   kTagMax = 0x07,
   kTagSeed = 0x08,
   kTagCert = 0x09,
+  kTagQuote = 0x0a,
+  kTagImlDigest = 0x0b,
+  kTagVendorKey = 0x0c,
+  kTagSerial = 0x0d,
+  kTagSubjectCn = 0x0e,
+  kTagSubjectOrg = 0x0f,
+  kTagNotBefore = 0x10,
+  kTagNotAfter = 0x11,
 };
 
 Bytes credential_enclave_code() {
@@ -104,6 +114,10 @@ class CredentialEnclaveLogic final : public sgx::TrustedLogic {
         return tls_close();
       case kOpRotateKey:
         return rotate_key(services);
+      case kOpRatlsReport:
+        return ratls_report(input, services);
+      case kOpRatlsIssue:
+        return ratls_issue(input, services);
     }
     throw Error("credential enclave: unknown opcode " + std::to_string(opcode));
   }
@@ -252,6 +266,57 @@ class CredentialEnclaveLogic final : public sgx::TrustedLogic {
     return {};
   }
 
+  Bytes ratls_report(ByteView input, sgx::EnclaveServices& services) {
+    pki::TlvReader r(input);
+    const sgx::TargetInfo target =
+        sgx::TargetInfo::decode(r.expect(kTagTargetInfo));
+    if (!services.vault().contains("seed")) {
+      throw Error("credential enclave: no key generated yet");
+    }
+    const auto pub = crypto::ed25519_public_key(seed_from_vault(services));
+    const sgx::Report report =
+        services.create_report(target, ratls::report_data_for_key(pub));
+    return report.encode();
+  }
+
+  Bytes ratls_issue(ByteView input, sgx::EnclaveServices& services) {
+    pki::TlvReader r(input);
+    const Bytes quote_bytes = r.expect_bytes(kTagQuote);
+    ratls::Evidence evidence;
+    evidence.quote = sgx::Quote::decode(quote_bytes);
+    evidence.iml_digest = r.expect_array<crypto::kSha256DigestSize>(
+        kTagImlDigest);
+    evidence.vendor_key =
+        r.expect_array<crypto::kEd25519PublicKeySize>(kTagVendorKey);
+    evidence.isv_prod_id = evidence.quote.body.isv_prod_id;
+    evidence.isv_svn = evidence.quote.body.isv_svn;
+
+    ratls::CertificateSpec spec;
+    spec.serial = r.expect_u64(kTagSerial);
+    spec.subject.common_name = r.expect_string(kTagSubjectCn);
+    spec.subject.organization = r.expect_string(kTagSubjectOrg);
+    spec.not_before = static_cast<UnixTime>(r.expect_u64(kTagNotBefore));
+    spec.not_after = static_cast<UnixTime>(r.expect_u64(kTagNotAfter));
+
+    if (!services.vault().contains("seed")) {
+      throw Error("credential enclave: no key generated yet");
+    }
+    Zeroizing<crypto::Ed25519Seed> seed = seed_from_vault(services);
+    const auto pub = crypto::ed25519_public_key(seed);
+    // The quote must speak for THIS enclave's key: untrusted code supplied
+    // it, and binding someone else's quote to our key (or ours to theirs)
+    // must not produce a certificate.
+    if (evidence.quote.body.report_data != ratls::report_data_for_key(pub)) {
+      throw SecurityViolation(
+          "credential enclave: quote does not bind this enclave's key");
+    }
+    const pki::Certificate cert = ratls::make_certificate(
+        spec, pub, evidence,
+        [&seed](ByteView data) { return crypto::ed25519_sign(seed, data); });
+    services.vault().store("cert", cert.encode());
+    return cert.encode();
+  }
+
   Bytes rotate_key(sgx::EnclaveServices& services) {
     // Any live session was established under the old credential; drop it.
     tls_close();
@@ -289,6 +354,30 @@ Bytes encode_tls_open(std::uint64_t stream_token, UnixTime now,
   w.add_u64(kTagNow, static_cast<std::uint64_t>(now));
   w.add_string(kTagExpectedName, expected_name);
   w.add_bytes(kTagCaRoot, ca_root.encode());
+  return w.take();
+}
+
+Bytes encode_ratls_report_request(const sgx::TargetInfo& target) {
+  pki::TlvWriter w;
+  w.add_bytes(kTagTargetInfo, target.encode());
+  return w.take();
+}
+
+Bytes encode_ratls_issue(ByteView quote_bytes,
+                         const crypto::Sha256Digest& iml_digest,
+                         const crypto::Ed25519PublicKey& vendor_key,
+                         std::uint64_t serial,
+                         const pki::DistinguishedName& subject,
+                         UnixTime not_before, UnixTime not_after) {
+  pki::TlvWriter w;
+  w.add_bytes(kTagQuote, quote_bytes);
+  w.add_bytes(kTagImlDigest, iml_digest);
+  w.add_bytes(kTagVendorKey, vendor_key);
+  w.add_u64(kTagSerial, serial);
+  w.add_string(kTagSubjectCn, subject.common_name);
+  w.add_string(kTagSubjectOrg, subject.organization);
+  w.add_u64(kTagNotBefore, static_cast<std::uint64_t>(not_before));
+  w.add_u64(kTagNotAfter, static_cast<std::uint64_t>(not_after));
   return w.take();
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "common/sim_clock.h"
+#include "crypto/sha256.h"
 #include "pki/certificate.h"
 #include "sgx/enclave.h"
 
@@ -50,6 +51,15 @@ enum CredentialOp : std::uint32_t {
   /// keypair and certificate, generating a fresh key. The VNF must be
   /// re-attested and re-enrolled afterwards.
   kOpRotateKey = 12,
+  /// TLV{target_info} -> serialized Report with
+  /// report_data = ratls::report_data_for_key(public_key): the quote-bound
+  /// key statement the Quoting Enclave turns into RA-TLS evidence.
+  kOpRatlsReport = 13,
+  /// TLV{quote bytes, iml_digest, vendor_key, serial, subject, not_before,
+  /// not_after} -> certificate bytes. Verifies the quote speaks for this
+  /// enclave's key, then self-signs an RA-TLS certificate *inside* the
+  /// enclave and installs it as the active credential.
+  kOpRatlsIssue = 14,
 };
 
 /// Encoders for the structured ECALL inputs.
@@ -58,6 +68,13 @@ Bytes encode_report_request(const std::array<std::uint8_t, 32>& nonce,
 Bytes encode_tls_open(std::uint64_t stream_token, UnixTime now,
                       const std::string& expected_name,
                       const pki::Certificate& ca_root);
+Bytes encode_ratls_report_request(const sgx::TargetInfo& target);
+Bytes encode_ratls_issue(ByteView quote_bytes,
+                         const crypto::Sha256Digest& iml_digest,
+                         const crypto::Ed25519PublicKey& vendor_key,
+                         std::uint64_t serial,
+                         const pki::DistinguishedName& subject,
+                         UnixTime not_before, UnixTime not_after);
 
 /// report_data binding recomputed by the Verification Manager.
 sgx::ReportData credential_report_data(

@@ -1,0 +1,19 @@
+// boundarycheck-expect: B2
+//
+// A length decoded off the wire (RA-TLS evidence style) is exempt from B1
+// (the copy already happened at decode) but is still an untrusted B2
+// source: here it sizes a resize and offsets a copy without ever being
+// compared against the actual buffer capacity.
+#include <cstdint>
+#include <vector>
+
+// boundary: wire
+struct Envelope {
+  std::uint32_t body_len = 0;
+  std::vector<unsigned char> body;
+};
+
+void extract(const Envelope& env, std::vector<unsigned char>& out) {
+  const std::uint32_t len = env.body_len;
+  out.resize(len);
+}

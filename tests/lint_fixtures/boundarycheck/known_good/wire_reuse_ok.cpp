@@ -1,7 +1,7 @@
 // Wire-kind boundary data was copied and validated once at the crossing
 // (RuleSet::decode style), so enclave-internal re-reads are NOT double
-// fetches: only the B4 egress rule applies to wire fields, and nothing
-// here touches a secret.
+// fetches: wire fields carry only B4 egress plus B2 length-source duty,
+// and nothing here assigns a length or touches a secret.
 #include <cstdint>
 
 // boundary: wire

@@ -231,6 +231,80 @@ TEST_F(PkiFixture, AddRootRejectsNonCa) {
   EXPECT_THROW(store.add_root(leaf), Error);
 }
 
+TEST_F(PkiFixture, UnknownExtensionRoundTripsAndValidates) {
+  // Hand-rolled issuance so an extension nobody recognizes sits inside the
+  // signed TBS (RA-TLS forward-compat: old peers must carry it untouched).
+  const auto root_kp = crypto::ed25519_generate(rng_);
+  Certificate root;
+  root.serial = 1;
+  root.subject = root.issuer = {"ext-ca", ""};
+  root.not_before = clock_.now() - 10;
+  root.not_after = clock_.now() + 3600;
+  root.public_key = root_kp.public_key;
+  root.is_ca = true;
+  root.key_usage = static_cast<std::uint8_t>(KeyUsage::kCertSign);
+  root.signature = crypto::ed25519_sign(root_kp.seed, root.tbs());
+
+  const auto leaf_kp = crypto::ed25519_generate(rng_);
+  Certificate leaf;
+  leaf.serial = 2;
+  leaf.subject = {"vnf-1", ""};
+  leaf.issuer = root.subject;
+  leaf.not_before = clock_.now() - 10;
+  leaf.not_after = clock_.now() + 3600;
+  leaf.public_key = leaf_kp.public_key;
+  leaf.key_usage = static_cast<std::uint8_t>(KeyUsage::kClientAuth);
+  leaf.extensions.push_back({0x46555455, Bytes{0x01, 0x02, 0x03}});  // "FUTU"
+  leaf.extensions.push_back({0x58595a30, rng_.bytes(16)});           // "XYZ0"
+  leaf.signature = crypto::ed25519_sign(root_kp.seed, leaf.tbs());
+
+  // Parse -> re-encode is byte-identical, order and raw bytes preserved.
+  const Bytes wire = leaf.encode();
+  const Certificate decoded = Certificate::decode(wire);
+  EXPECT_EQ(decoded, leaf);
+  EXPECT_EQ(decoded.encode(), wire);
+  ASSERT_EQ(decoded.extensions.size(), 2u);
+  ASSERT_NE(decoded.find_extension(0x46555455), nullptr);
+  EXPECT_EQ(decoded.find_extension(0x46555455)->value,
+            (Bytes{0x01, 0x02, 0x03}));
+  EXPECT_EQ(decoded.find_extension(0x99), nullptr);
+
+  // A validator that does not recognize the extensions ignores them...
+  TrustStore store;
+  store.add_root(root);
+  EXPECT_TRUE(store.verify(decoded, KeyUsage::kClientAuth, clock_.now()).ok());
+
+  // ...but they are still signature-protected: tampering breaks the chain.
+  Certificate tampered = decoded;
+  tampered.extensions[0].value.push_back(0xff);
+  EXPECT_EQ(store.verify(tampered, KeyUsage::kClientAuth, clock_.now()).status,
+            VerifyStatus::kBadSignature);
+}
+
+TEST_F(PkiFixture, NoExtensionsEncodeMatchesLegacyFormat) {
+  // A certificate without extensions emits zero extension TLVs: its TBS is
+  // byte-for-byte the pre-extension wire format, so old signatures and
+  // fingerprints stay valid.
+  const auto key = crypto::ed25519_generate(rng_);
+  const Certificate cert =
+      ca_.issue({"vnf-legacy", "tenant"}, key.public_key,
+                static_cast<std::uint8_t>(KeyUsage::kClientAuth));
+  ASSERT_TRUE(cert.extensions.empty());
+
+  TlvWriter w;  // the legacy TBS layout, tags per certificate.cpp
+  w.add_u64(0x01, cert.serial);
+  w.add_string(0x02, cert.subject.common_name);
+  w.add_string(0x03, cert.subject.organization);
+  w.add_string(0x04, cert.issuer.common_name);
+  w.add_string(0x05, cert.issuer.organization);
+  w.add_u64(0x06, static_cast<std::uint64_t>(cert.not_before));
+  w.add_u64(0x07, static_cast<std::uint64_t>(cert.not_after));
+  w.add_bytes(0x08, cert.public_key);
+  w.add_u8(0x09, cert.is_ca ? 1 : 0);
+  w.add_u8(0x0a, cert.key_usage);
+  EXPECT_EQ(cert.tbs(), w.bytes());
+}
+
 TEST_F(PkiFixture, CertFromDifferentCaRejected) {
   DeterministicRandom rng2(77);
   CertificateAuthority other_ca(DistinguishedName{"rogue-ca", ""}, rng2, clock_);

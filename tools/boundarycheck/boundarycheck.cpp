@@ -285,7 +285,12 @@ Model build_model(const std::vector<BoundaryStruct>& structs) {
   for (const BoundaryStruct& s : structs) {
     for (const BoundaryField& f : s.fields) {
       m.egress_fields.insert(f.name);
-      if (s.kind != BoundaryKind::kShared) continue;
+      if (s.kind != BoundaryKind::kShared) {
+        // Wire structs get no B1 (the copy already happened at decode), but
+        // a scalar decoded off the wire is still an untrusted B2 source.
+        if (f.kind == FieldKind::kScalar) m.wire_scalar_fields.insert(f.name);
+        continue;
+      }
       switch (f.kind) {
         case FieldKind::kScalar:
           m.scalar_fields.insert(f.name);
@@ -337,12 +342,17 @@ void Analyzer::rule_marks(const SourceFile& f) {
 }
 
 // B1 untrusted-pointer provenance + B2 bounds-before-use, per function
-// segment. The two rules share the scan: B1 polices raw field accesses, B2
-// follows the blessed copies.
+// segment. The two rules share the scan: B1 polices raw field accesses of
+// *shared* scalars, B2 follows the blessed copies — sourced from shared
+// scalars and from wire scalars (a decoded length is just as untrusted).
 void Analyzer::rule_b1_b2(const SourceFile& f, std::size_t begin,
                           std::size_t end) {
   const auto scalar_access = access_regex(model_.scalar_fields);
-  if (!scalar_access) return;
+  std::set<std::string> b2_sources = model_.scalar_fields;
+  b2_sources.insert(model_.wire_scalar_fields.begin(),
+                    model_.wire_scalar_fields.end());
+  const auto length_source = access_regex(b2_sources);
+  if (!length_source) return;
 
   std::map<std::string, int> reads;
   std::set<std::string> reported;
@@ -359,8 +369,10 @@ void Analyzer::rule_b1_b2(const SourceFile& f, std::size_t begin,
     const std::string& line = f.code[i];
 
     // --- B1: every raw read of a shared scalar field ---
-    for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                        *scalar_access);
+    for (auto it = scalar_access
+                       ? std::sregex_iterator(line.begin(), line.end(),
+                                              *scalar_access)
+                       : std::sregex_iterator();
          it != std::sregex_iterator(); ++it) {
       const std::string base = (*it)[1].str();
       if (base == "this") continue;
@@ -393,7 +405,7 @@ void Analyzer::rule_b1_b2(const SourceFile& f, std::size_t begin,
       const std::string name = (*it)[1].str();
       if (!std::regex_search(name, kLengthish)) continue;
       const std::string rhs = (*it)[2].str();
-      if (std::regex_search(rhs, *scalar_access)) {
+      if (std::regex_search(rhs, *length_source)) {
         lengths.emplace(name, Tracked{i, SIZE_MAX, {}});
       }
     }

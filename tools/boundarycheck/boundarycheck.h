@@ -39,8 +39,10 @@ inline constexpr char kMarkTag[] = "bc-ok";
 /// `shared` memory is writable by the other side of the boundary while the
 /// enclave reads it (ring slots, batch job descriptors): full B1-B4.
 /// `wire` data crossed the boundary once and was copied/validated on entry
-/// (decoded rule blobs): only the B4 egress rule applies, so enclave-internal
-/// re-reads of decoded fields are not noise.
+/// (decoded rule blobs, parsed certificate evidence): B4 egress plus B2 as
+/// a *length source* — a length decoded off the wire still needs a bounds
+/// check before it indexes or sizes anything. B1 does not apply, so
+/// enclave-internal re-reads of decoded fields are not noise.
 enum class BoundaryKind { kShared, kWire };
 
 enum class FieldKind { kScalar, kArray, kAtomic };
@@ -64,6 +66,7 @@ struct BoundaryStruct {
 struct Model {
   std::vector<BoundaryStruct> structs;
   std::set<std::string> scalar_fields;  // shared scalars: B1 + B2 sources
+  std::set<std::string> wire_scalar_fields;  // wire scalars: B2 sources only
   std::set<std::string> atomic_fields;  // shared atomics: B3
   std::set<std::string> array_fields;   // shared arrays: exempt from B1
   std::set<std::string> egress_fields;  // shared + wire: B4 sinks

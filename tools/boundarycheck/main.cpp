@@ -29,7 +29,7 @@ namespace fs = std::filesystem;
 namespace {
 
 // Modules whose sources face the enclave boundary and are enforced.
-const std::set<std::string> kEnforcedModules = {"sgx", "vnf"};
+const std::set<std::string> kEnforcedModules = {"sgx", "vnf", "ratls"};
 
 lintcore::SourceFile load(const std::string& vpath, const std::string& module,
                           const std::string& text) {
