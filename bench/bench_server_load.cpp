@@ -28,11 +28,16 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/logging.h"
 #include "common/sim_clock.h"
 #include "controller/controller.h"
 #include "crypto/random.h"
 #include "http/client.h"
+#include "http/runtime.h"
+#include "http/server.h"
 #include "net/inmemory.h"
 #include "net/server.h"
 #include "obs/metrics.h"
@@ -305,6 +310,246 @@ void BM_ServerLoad(benchmark::State& state) {
 BENCHMARK(BM_ServerLoad)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+// ---------------------------------------------------------------------------
+// PR-9 sweep: resident-channel scaling. Conns x shards over plain HTTP on
+// the in-memory transport: a fleet of `conns` keep-alive connections is
+// opened and parked (connection diet), then a fixed 64-connection active
+// subset drives a closed-loop storm. The series isolates what sharding the
+// dispatch plane buys as the *resident* population grows: per-request p50 /
+// p99, requests/s, parked-fleet RSS per connection, steal and pool counters.
+//
+//   --conns sweep: 512 -> 2048 -> 10240, each at shards=1 and shards=4.
+//
+// On a single-core host the shards=4 series exercises correctness of the
+// sharded path, not a speedup claim (see EXPERIMENTS.md); the worker pool
+// is pinned to 4 in both series so the only variable is the shard count.
+// ---------------------------------------------------------------------------
+
+/// VmRSS in bytes, from /proc/self/status.
+std::size_t process_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream field(line.substr(6));
+      std::size_t kb = 0;
+      field >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+/// Safety valve for weak CI hosts: VNFSGX_SWEEP_MAX_CONNS caps the fleet.
+int sweep_conns_cap() {
+  if (const char* env = std::getenv("VNFSGX_SWEEP_MAX_CONNS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+#if defined(VNFSGX_BENCH_SANITIZED)
+  return 512;
+#else
+  return 1 << 20;
+#endif
+}
+
+constexpr int kSweepThreads = 8;
+constexpr int kSweepActive = 64;  // closed-loop subset, fixed across series
+constexpr const char* kSweepAddress = "sweep:80";
+
+void BM_ShardedConnSweep(benchmark::State& state) {
+  const int conns =
+      std::min(static_cast<int>(state.range(0)), sweep_conns_cap());
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  // Third arg toggles the connection diet: park=0 is the unparked RSS
+  // baseline measured in the same run (same process, same allocator state).
+  const bool park = state.range(2) != 0;
+  set_log_level(LogLevel::kOff);
+
+  http::Router router;
+  router.add("GET", "/ping",
+             [](const http::Request&, const http::RequestContext&) {
+               return http::Response::text(200, "pong");
+             });
+  net::InMemoryNetwork net;
+  net::ServerRuntime runtime({.workers = 4,
+                              .shards = shards,
+                              .burst_read_timeout = std::chrono::seconds(10),
+                              .park_idle_sessions = park,
+                              .name = "bench-sweep"});
+  runtime.listen_inmemory(net, kSweepAddress,
+                          http::make_http_driver_factory(router));
+
+  // Resident fleet: open every connection, serve one request each, park.
+  // parked_bytes is the runtime's own accounting of scratch released by
+  // the diet — allocator-independent, unlike the RSS delta.
+  auto& parked_bytes = obs::registry().counter(
+      "vnfsgx_server_parked_bytes_total", {{"runtime", "bench-sweep"}},
+      "Scratch bytes released by parking idle connections");
+  const std::uint64_t parked_before = parked_bytes.value();
+  const std::size_t rss_before = process_rss_bytes();
+  std::vector<std::vector<http::Client>> fleet(kSweepThreads);
+  {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> openers;
+    for (int t = 0; t < kSweepThreads; ++t) {
+      const int share = conns / kSweepThreads + (t < conns % kSweepThreads);
+      openers.emplace_back([&, t, share] {
+        fleet[t].reserve(share);
+        for (int i = 0; i < share; ++i) {
+          fleet[t].emplace_back(net.connect(kSweepAddress));
+          if (fleet[t].back().get("/ping").status != 200) ++failures;
+        }
+      });
+    }
+    for (auto& thread : openers) thread.join();
+    if (failures.load() != 0) {
+      state.SkipWithError("fleet setup failed");
+      return;
+    }
+  }
+  // Let the final bursts finish parking before the RSS sample. The
+  // parked-bytes delta is read here too: later bursts park again on every
+  // request, so reading after the storm would count churn, not the fleet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::uint64_t fleet_parked_bytes =
+      parked_bytes.value() - parked_before;
+  const std::size_t rss_parked = process_rss_bytes();
+  const double rss_per_conn =
+      conns > 0 && rss_parked > rss_before
+          ? static_cast<double>(rss_parked - rss_before) / conns
+          : 0.0;
+
+  // Closed-loop storm on a fixed-size active subset (the first connections
+  // of each opener thread), with per-request latency sampling for p50/p99.
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> inflight{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<double>> samples(kSweepThreads);
+  const int active_per_thread = kSweepActive / kSweepThreads;
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < kSweepThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& mine = fleet[t];
+      auto& lat = samples[t];
+      lat.reserve(1 << 14);
+      const int active =
+          std::min(active_per_thread, static_cast<int>(mine.size()));
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!go.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        inflight.fetch_add(1, std::memory_order_acq_rel);
+        try {
+          for (int i = 0; i < active; ++i) {
+            const auto start = std::chrono::steady_clock::now();
+            if (mine[i].get("/ping").status == 200) {
+              requests.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+            lat.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+          }
+        } catch (const Error&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        inflight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t before = requests.load(std::memory_order_relaxed);
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(kWindow);
+    go.store(false, std::memory_order_release);
+    while (inflight.load(std::memory_order_acquire) != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    total += requests.load(std::memory_order_relaxed) - before;
+    state.SetIterationTime(std::chrono::duration<double>(elapsed).count());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : drivers) thread.join();
+
+  std::vector<double> merged;
+  for (auto& lat : samples) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  const auto percentile = [&](double p) {
+    if (merged.empty()) return 0.0;
+    const auto nth =
+        merged.begin() +
+        static_cast<std::ptrdiff_t>(p * static_cast<double>(merged.size() - 1));
+    std::nth_element(merged.begin(), nth, merged.end());
+    return *nth;
+  };
+  const double p50 = percentile(0.50);
+  const double p99 = percentile(0.99);
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.SetLabel(std::string("conns=") + std::to_string(conns) +
+                 "/shards=" + std::to_string(shards) +
+                 (park ? "" : "/no-park"));
+  state.counters["conns"] = static_cast<double>(conns);
+  state.counters["shards"] = static_cast<double>(runtime.shard_count());
+  state.counters["park"] = park ? 1 : 0;
+  state.counters["rss_per_conn_bytes"] = rss_per_conn;
+  state.counters["parked_bytes_per_conn"] =
+      conns > 0 ? static_cast<double>(fleet_parked_bytes) / conns : 0.0;
+  state.counters["p50_ms"] = p50;
+  state.counters["p99_ms"] = p99;
+  state.counters["errors"] = static_cast<double>(errors.load());
+  state.counters["pooled_buffers"] =
+      static_cast<double>(runtime.pooled_buffers());
+  state.counters["steals"] = static_cast<double>(runtime.steal_count());
+
+  const obs::Labels labels{{"conns", std::to_string(conns)},
+                           {"shards", std::to_string(shards)},
+                           {"park", park ? "1" : "0"}};
+  obs::registry()
+      .gauge("vnfsgx_bench_sweep_requests", labels,
+             "Closed-loop requests completed, by resident-fleet size x shards")
+      .set(static_cast<double>(total));
+  obs::registry()
+      .gauge("vnfsgx_bench_sweep_p99_us", labels,
+             "p99 request latency (us), by resident-fleet size x shards")
+      .set(static_cast<std::int64_t>(p99 * 1000.0));
+  obs::registry()
+      .gauge("vnfsgx_bench_sweep_rss_per_conn_bytes", labels,
+             "Parked-fleet RSS per resident connection (bytes)")
+      .set(rss_per_conn);
+
+  for (auto& bucket : fleet) {
+    for (auto& conn : bucket) conn.close();
+  }
+  runtime.shutdown();
+  net.join_all();
+}
+// The no-park baseline runs FIRST: RSS deltas are only honest while the
+// allocator is cold (later series partly reuse freed high-water pages, so
+// their rss_per_conn_bytes underestimates — compare cold-to-cold across
+// runs, or first-series-to-first-series; vnfsgx_server_parked_bytes_total
+// gives the allocator-independent accounting of what parking releases).
+BENCHMARK(BM_ShardedConnSweep)
+    ->Args({10240, 1, 0})
+    ->Args({512, 1, 1})
+    ->Args({512, 4, 1})
+    ->Args({2048, 1, 1})
+    ->Args({2048, 4, 1})
+    ->Args({10240, 1, 1})
+    ->Args({10240, 4, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseManualTime();
 

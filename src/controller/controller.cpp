@@ -138,6 +138,10 @@ net::StreamPtr Controller::wrap_session(net::StreamPtr stream,
     auto session = tls::Session::accept(std::move(stream), tls_config);
     ctx.client_identity = session->peer_identity();
     ctx.client_attested = session->peer_attested();
+    // Identity + attestation verdict are recorded in the request context;
+    // the parsed client certificate chain (~1 KB/connection) serves no
+    // further purpose on a 100k-resident channel server.
+    session->release_handshake_state();
     return session;
   } catch (const TimeoutError&) {
     throw;  // a stalled handshake is a burst timeout, not an auth failure

@@ -24,23 +24,35 @@ obs::Counter& eviction_counter() {
 }  // namespace
 
 void AppraisalDatabase::bump_generation() {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t AppraisalDatabase::generation() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return generation_;
+  return generation_.load(std::memory_order_acquire);
+}
+
+AppraisalDatabase::CacheStripe& AppraisalDatabase::stripe_for(
+    const crypto::Sha256Digest& key) const {
+  // SHA-256 output is uniform; the first byte picks a stripe fairly.
+  return cache_stripes_[key[0] % kCacheStripes];
 }
 
 std::uint64_t AppraisalDatabase::cache_hits() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_hits_;
+  std::uint64_t total = 0;
+  for (const CacheStripe& stripe : cache_stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.hits;
+  }
+  return total;
 }
 
 std::uint64_t AppraisalDatabase::cache_misses() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_misses_;
+  std::uint64_t total = 0;
+  for (const CacheStripe& stripe : cache_stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.misses;
+  }
+  return total;
 }
 
 void AppraisalDatabase::expect_file(const std::string& path,
@@ -96,34 +108,39 @@ AppraisalResult AppraisalDatabase::appraise(
 AppraisalResult AppraisalDatabase::appraise_cached(
     ByteView encoded_iml, const ima::MeasurementList& iml) const {
   const crypto::Sha256Digest key = crypto::Sha256::hash(encoded_iml);
+  CacheStripe& stripe = stripe_for(key);
+  const std::uint64_t current = generation_.load(std::memory_order_acquire);
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (cache_generation_ != generation_) {
-      if (!cache_.empty()) eviction_counter().add(cache_.size());
-      cache_.clear();
-      cache_generation_ = generation_;
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (stripe.generation != current) {
+      if (!stripe.map.empty()) eviction_counter().add(stripe.map.size());
+      stripe.map.clear();
+      stripe.generation = current;
     }
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++cache_hits_;
+    const auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) {
+      ++stripe.hits;
       cache_counter("hit").add();
       return it->second;
     }
-    ++cache_misses_;
+    ++stripe.misses;
     cache_counter("miss").add();
   }
 
   const AppraisalResult result = appraise(iml);
 
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
   // The appraisal ran against the generation captured above; if policy
   // changed meanwhile, drop the verdict rather than publish a stale one.
-  if (cache_generation_ != generation_) return result;
-  if (cache_.size() >= kMaxCachedAppraisals) {
-    cache_.erase(cache_.begin());
+  if (generation_.load(std::memory_order_acquire) != current ||
+      stripe.generation != current) {
+    return result;
+  }
+  if (stripe.map.size() >= kMaxCachedAppraisals / kCacheStripes) {
+    stripe.map.erase(stripe.map.begin());
     eviction_counter().add();
   }
-  cache_[key] = result;
+  stripe.map[key] = result;
   return result;
 }
 

@@ -3,6 +3,7 @@
 // measurements — and the appraisal verdict logic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -69,12 +70,21 @@ class AppraisalDatabase {
   std::map<std::string, ima::Digest> expected_files_;
   std::set<sgx::Measurement> allowed_enclaves_;
 
-  mutable std::mutex cache_mutex_;
-  std::uint64_t generation_ = 0;
-  mutable std::map<crypto::Sha256Digest, AppraisalResult> cache_;
-  mutable std::uint64_t cache_generation_ = 0;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
+  /// Memoization cache, striped by IML digest so concurrent enrollments on
+  /// different runtime shards don't serialize on one cache mutex. Each
+  /// stripe lazily re-syncs to the policy generation.
+  struct CacheStripe {
+    mutable std::mutex mutex;
+    mutable std::map<crypto::Sha256Digest, AppraisalResult> map;
+    mutable std::uint64_t generation = 0;
+    mutable std::uint64_t hits = 0;
+    mutable std::uint64_t misses = 0;
+  };
+  static constexpr std::size_t kCacheStripes = 8;
+  CacheStripe& stripe_for(const crypto::Sha256Digest& key) const;
+
+  std::atomic<std::uint64_t> generation_{0};
+  mutable CacheStripe cache_stripes_[kCacheStripes];
 };
 
 }  // namespace vnfsgx::core

@@ -33,6 +33,9 @@ VerificationManager::VerificationManager(crypto::RandomSource& rng,
       ias_(std::move(ias)),
       options_(std::move(options)),
       ca_(options_.ca_name, rng, clock) {
+  if (options_.ca_serial_stripes > 1) {
+    ca_.configure_serial_stripes(options_.ca_serial_stripes);
+  }
   // The two enclave identities the system ships are trusted out of the box;
   // operators may allow additional measurements via appraisal().
   appraisal_.allow_enclave(host::attestation_enclave_measurement());
@@ -119,7 +122,7 @@ HostAttestation VerificationManager::attest_host_impl(net::Stream& channel,
   // it produces an aggregate that no longer matches the hardware PCR.
   std::optional<crypto::Ed25519PublicKey> aik;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
     const auto it = platform_aiks_.find(result.platform_id);
     if (it != platform_aiks_.end()) aik = it->second;
   }
@@ -164,7 +167,7 @@ HostAttestation VerificationManager::attest_host_impl(net::Stream& channel,
   result.trustworthy = true;
   result.reason = "host attested";
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::shared_mutex> lock(mutex_);
     trusted_platforms_.insert(result.platform_id);
     ++hosts_attested_;
   }
@@ -247,7 +250,7 @@ VnfAttestation VerificationManager::finish_vnf_attestation(
   result.trustworthy = true;
   result.reason = "VNF enclave attested";
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::shared_mutex> lock(mutex_);
     attested_vnfs_[vnf_name] =
         AttestedVnf{response.public_key, result.platform_id};
     ++vnfs_attested_;
@@ -402,7 +405,7 @@ std::optional<pki::Certificate> VerificationManager::enroll_vnf_impl(
     const std::string& common_name) {
   AttestedVnf attested;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
     const auto it = attested_vnfs_.find(vnf_name);
     if (it == attested_vnfs_.end()) {
       VNFSGX_LOG_WARN("vm", "enroll refused: '", vnf_name, "' not attested");
@@ -431,7 +434,7 @@ std::optional<pki::Certificate> VerificationManager::enroll_vnf_impl(
     return std::nullopt;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::shared_mutex> lock(mutex_);
     issued_[cert.serial] = attested.platform_id;
     ++credentials_issued_;
   }
@@ -442,7 +445,7 @@ std::optional<pki::Certificate> VerificationManager::enroll_vnf_impl(
 
 void VerificationManager::enroll_platform_aik(
     const sgx::PlatformId& platform_id, const crypto::Ed25519PublicKey& aik) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::shared_mutex> lock(mutex_);
   platform_aiks_[platform_id] = aik;
 }
 
@@ -455,7 +458,7 @@ pki::RevocationList VerificationManager::revoke_platform(
     const sgx::PlatformId& platform_id) {
   std::vector<std::uint64_t> serials;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<std::shared_mutex> lock(mutex_);
     trusted_platforms_.erase(platform_id);
     for (const auto& [serial, platform] : issued_) {
       if (platform == platform_id) serials.push_back(serial);
@@ -480,18 +483,18 @@ pki::RevocationList VerificationManager::revoke_platform(
 
 bool VerificationManager::platform_trusted(
     const sgx::PlatformId& platform_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   return trusted_platforms_.count(platform_id) > 0;
 }
 
 std::vector<sgx::PlatformId> VerificationManager::trusted_platforms() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   return std::vector<sgx::PlatformId>(trusted_platforms_.begin(),
                                       trusted_platforms_.end());
 }
 
 std::vector<std::string> VerificationManager::attested_vnf_names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(attested_vnfs_.size());
   for (const auto& [name, info] : attested_vnfs_) names.push_back(name);

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +35,10 @@ namespace vnfsgx::core {
 struct VmOptions {
   pki::DistinguishedName ca_name{"verification-manager", "vnfsgx"};
   std::int64_t credential_validity_seconds = 24 * 3600;
+  /// Shard the CA's serial space so concurrent enrollments on different
+  /// runtime shards allocate serials without contending (stripe s hands
+  /// out serials in its own residue class). 1 = sequential serials.
+  std::size_t ca_serial_stripes = 1;
 };
 
 struct HostAttestation {
@@ -157,7 +162,11 @@ class VerificationManager {
   pki::CertificateAuthority ca_;
   AppraisalDatabase appraisal_;
 
-  mutable std::mutex mutex_;
+  // Reader/writer split: enrollment-plane hot paths (per-connection AIK /
+  // attested-VNF / platform-trust lookups) take shared locks and run
+  // concurrently across runtime shards; attestation/revocation state
+  // changes take the exclusive side.
+  mutable std::shared_mutex mutex_;
   std::set<sgx::PlatformId> trusted_platforms_;
   std::map<sgx::PlatformId, crypto::Ed25519PublicKey> platform_aiks_;
   struct AttestedVnf {

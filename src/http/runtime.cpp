@@ -57,6 +57,17 @@ class HttpDriver final : public net::ConnectionDriver {
     return transport_ != nullptr || session_ != nullptr;
   }
 
+  // Connection diet: hand the HTTP wire buffers and the session's record
+  // scratch/cipher state to the shard pool while the connection idles.
+  // Only ever called after a kKeepAlive burst, so both layers exist and
+  // have no buffered bytes (kMoreData would have been returned otherwise).
+  std::size_t on_park(net::BufferPool* pool) override {
+    if (!conn_ || !session_) return 0;
+    std::size_t released = conn_->release_idle_buffers(pool);
+    released += session_->park_buffers(pool);
+    return released;
+  }
+
  private:
   net::StreamPtr transport_;  // consumed by the wrap on the first burst
   const Router& router_;

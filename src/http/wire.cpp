@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "net/buffer_pool.h"
+
 namespace vnfsgx::http {
 
 namespace {
@@ -109,6 +111,31 @@ bool Connection::fill() {
   }
   buffer_.resize(old_size + n);
   return n != 0;
+}
+
+std::size_t Connection::release_idle_buffers(net::BufferPool* pool) {
+  std::size_t released = 0;
+  if (!has_buffered_data() && buffer_.capacity() > 0) {
+    released += buffer_.capacity();
+    if (pool) {
+      pool->release(std::move(buffer_));
+    } else {
+      Bytes().swap(buffer_);
+    }
+    buffer_.clear();
+    pos_ = 0;
+    scan_ = 0;
+  }
+  if (write_scratch_.capacity() > 0) {
+    released += write_scratch_.capacity();
+    if (pool) {
+      pool->release(std::move(write_scratch_));
+    } else {
+      Bytes().swap(write_scratch_);
+    }
+    write_scratch_.clear();
+  }
+  return released;
 }
 
 void Connection::compact() {

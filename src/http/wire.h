@@ -57,6 +57,13 @@ class Connection {
   /// the transport, not this buffer.
   bool has_buffered_data() const { return pos_ < buffer_.size(); }
 
+  /// Connection diet: release the read buffer and encode scratch into
+  /// `pool` (nullptr = just free) while the connection idles between
+  /// keep-alive requests; the next read/write allocates (or draws pooled
+  /// capacity) lazily. Refuses to touch a buffer still holding pipelined
+  /// bytes. Returns an estimate of bytes released.
+  std::size_t release_idle_buffers(net::BufferPool* pool);
+
  private:
   /// Find the end of the next header block (index one past CRLFCRLF),
   /// filling from the stream as needed; npos-like nullopt on clean EOF.

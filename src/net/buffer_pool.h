@@ -1,0 +1,68 @@
+// Per-shard scratch-buffer pool backing the connection diet.
+//
+// Idle connections release their read/write scratch here when the runtime
+// parks them; the next readiness burst reacquires a warm buffer instead of
+// growing a fresh allocation. The pool is bounded: beyond `max_buffers`
+// releases simply free, so pooled memory is proportional to the number of
+// recently active connections, not to every connection ever parked.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace vnfsgx::net {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_buffers = 64)
+      : max_buffers_(max_buffers) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pop a pooled buffer (cleared, capacity kept) or return a fresh one
+  /// reserving `reserve_hint` bytes.
+  Bytes acquire(std::size_t reserve_hint = 0) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!pool_.empty()) {
+        Bytes buffer = std::move(pool_.back());
+        pool_.pop_back();
+        buffer.clear();
+        return buffer;
+      }
+    }
+    Bytes buffer;
+    if (reserve_hint > 0) buffer.reserve(reserve_hint);
+    return buffer;
+  }
+
+  /// Return a buffer's capacity to the pool. Buffers beyond the bound (or
+  /// with no capacity worth keeping) are freed instead.
+  void release(Bytes&& buffer) {
+    if (buffer.capacity() == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (pool_.size() >= max_buffers_) return;  // buffer frees on scope exit
+    buffer.clear();
+    pool_.push_back(std::move(buffer));
+  }
+
+  std::size_t pooled() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pool_.size();
+  }
+
+  std::size_t max_buffers() const { return max_buffers_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Bytes> pool_;
+  std::size_t max_buffers_;
+};
+
+}  // namespace vnfsgx::net

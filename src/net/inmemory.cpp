@@ -181,6 +181,24 @@ void InMemoryNetwork::serve(const std::string& address, AcceptHandler handler,
   }
 }
 
+void InMemoryNetwork::serve_sharded(const std::string& address,
+                                    std::vector<AcceptHandler> handlers,
+                                    const LinkOptions& options) {
+  if (handlers.empty()) {
+    throw Error("inmemory: sharded listener needs at least one handler");
+  }
+  Listener listener;
+  listener.options = options;
+  listener.mode = ServeMode::kSharded;
+  listener.shard_handlers =
+      std::make_shared<std::vector<AcceptHandler>>(std::move(handlers));
+  listener.shard_cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!listeners_.emplace(address, std::move(listener)).second) {
+    throw Error("inmemory: address already in use: " + address);
+  }
+}
+
 void InMemoryNetwork::stop_serving(const std::string& address) {
   const std::lock_guard<std::mutex> lock(mutex_);
   listeners_.erase(address);
@@ -196,9 +214,20 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
     if (it == listeners_.end()) {
       throw IoError("inmemory: connection refused: " + address);
     }
-    handler = it->second.handler;
     options = it->second.options;
     mode = it->second.mode;
+    if (mode == ServeMode::kSharded) {
+      // In-memory SO_REUSEPORT: pick the next shard's accept handler. The
+      // kernel balances by flow hash; round-robin gives the determinism
+      // the per-shard balance tests want.
+      auto& handlers = *it->second.shard_handlers;
+      const std::size_t shard =
+          it->second.shard_cursor->fetch_add(1, std::memory_order_relaxed) %
+          handlers.size();
+      handler = handlers[shard];
+    } else {
+      handler = it->second.handler;
+    }
   }
   static obs::Counter& accepted = obs::registry().counter(
       "vnfsgx_net_connections_total", {{"transport", "inmemory"}},
@@ -208,7 +237,7 @@ StreamPtr InMemoryNetwork::connect(const std::string& address) {
       "Connections with a live server-side handler");
   auto [client_end, server_end] = make_pipe(options);
   accepted.add();
-  if (mode == ServeMode::kInline) {
+  if (mode == ServeMode::kInline || mode == ServeMode::kSharded) {
     // Pooled dispatch: the handler only registers the server end with a
     // runtime and returns, so no thread is spawned at all. The runtime's
     // connection-close path owns the active-gauge decrement instead.

@@ -10,6 +10,7 @@
 // registers the connection and returns immediately).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -53,6 +54,7 @@ bool pipe_readable(Stream& stream);
 enum class ServeMode {
   kThreadPerConnection,  // legacy: handler owns the connection on a thread
   kInline,               // handler registers + returns on the caller's thread
+  kSharded,  // one inline handler per shard; connects round-robin over them
 };
 
 /// In-process network with named listeners.
@@ -75,6 +77,15 @@ class InMemoryNetwork {
   void serve(const std::string& address, AcceptHandler handler,
              const LinkOptions& options = {},
              ServeMode mode = ServeMode::kThreadPerConnection);
+
+  /// Register a sharded listener: the in-memory analogue of N SO_REUSEPORT
+  /// listeners. Each handler registers the server end with one runtime
+  /// shard (inline, like kInline); connects are spread round-robin so every
+  /// shard exercises the same per-shard dispatch contract the TCP path
+  /// uses. Throws Error if the address is taken or `handlers` is empty.
+  void serve_sharded(const std::string& address,
+                     std::vector<AcceptHandler> handlers,
+                     const LinkOptions& options = {});
 
   /// Remove a listener (existing connections keep running).
   void stop_serving(const std::string& address);
@@ -100,6 +111,11 @@ class InMemoryNetwork {
     AcceptHandler handler;
     LinkOptions options;
     ServeMode mode = ServeMode::kThreadPerConnection;
+    /// kSharded: per-shard handlers + the round-robin cursor. Shared so a
+    /// connect can keep dispatching after the listener entry is copied out
+    /// under the lock.
+    std::shared_ptr<std::vector<AcceptHandler>> shard_handlers;
+    std::shared_ptr<std::atomic<std::size_t>> shard_cursor;
   };
   struct ConnThread {
     std::thread thread;

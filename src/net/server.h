@@ -1,17 +1,33 @@
 // ServerRuntime: shared scalable server scaffolding for every listening
 // surface (controller REST, VM operator API, IAS HTTP API, examples).
 //
-// Replaces thread-per-connection: idle keep-alive connections park in the
+// Replaces thread-per-connection: idle keep-alive connections park in an
 // epoll reactor (or behind a pipe readiness callback for the in-memory
 // transport) costing zero threads. When a connection becomes readable it is
 // queued to a bounded worker pool; the worker runs the protocol's existing
 // blocking code for exactly one request/response burst, then re-arms the
 // connection (EPOLLONESHOT). Thread count is therefore bounded by *active*
-// requests, not open connections. A per-burst read deadline
-// (Stream::set_read_timeout) stops a stalled mid-request peer from pinning
-// a worker: the read throws TimeoutError and the connection is dropped.
+// requests, not open connections.
+//
+// The runtime is sharded N ways: each shard owns a reactor, a hierarchical
+// timer wheel (burst-read deadlines + idle-connection eviction), a scratch
+// buffer pool, and a dispatch queue. Accepted fds have shard affinity —
+// SO_REUSEPORT listeners (one per shard) when the kernel allows it, else
+// accept-fd round-robin from a single listener — so readiness, timers, and
+// teardown for one connection always run against one shard's state.
+// Workers pull from their home shard's queue first and steal from other
+// shards when idle, so a bursty shard borrows the whole pool.
+//
+// Between bursts the runtime puts connections on a diet: the driver's
+// on_park hook releases per-connection scratch (TLS record buffers, HTTP
+// read buffers) into the shard's buffer pool, to be lazily reacquired on
+// the next readiness burst. A per-burst read deadline
+// (Stream::set_read_timeout, backstopped by the wheel) stops a stalled
+// mid-request peer from pinning a worker; an optional idle timeout evicts
+// connections that stay silent too long.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -24,10 +40,12 @@
 #include <thread>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/inmemory.h"
 #include "net/reactor.h"
 #include "net/stream.h"
 #include "net/tcp.h"
+#include "net/timer_wheel.h"
 
 namespace vnfsgx::net {
 
@@ -55,6 +73,17 @@ class ConnectionDriver {
   /// borrowed stream pointer during teardown; kKeepAlive/kMoreData results
   /// promise the transport is still alive.
   virtual bool transport_alive() const { return true; }
+
+  /// True for drivers that pace their own (possibly long) conversation —
+  /// the runtime's burst-deadline timer does not apply to them.
+  virtual bool paces_itself() const { return false; }
+
+  /// Connection diet hook: the runtime calls this when parking the
+  /// connection after a kKeepAlive burst. Implementations release scratch
+  /// buffers into `pool` (may be null: just free) and compact any state
+  /// that can be rebuilt lazily; they must preserve bytes already buffered
+  /// for the reader. Returns an estimate of bytes released.
+  virtual std::size_t on_park(BufferPool* /*pool*/) { return 0; }
 };
 
 /// Builds the driver for a freshly accepted transport stream. The runtime
@@ -87,8 +116,25 @@ DriverFactory frame_driver(std::function<Bytes(ByteView)> handler);
 struct ServerOptions {
   /// Worker pool size; 0 = max(2, 2 x hardware concurrency).
   std::size_t workers = 0;
+  /// Reactor shards; 0 = max(1, hardware concurrency / 2). Each shard owns
+  /// a reactor thread, a timer wheel, a buffer pool and a dispatch queue.
+  std::size_t shards = 0;
   /// Per-burst read deadline applied to accepted transports (0 = none).
+  /// Enforced by SO_RCVTIMEO on the transport and backstopped by the
+  /// shard's timer wheel (which forcibly shuts the read side down if a
+  /// burst overruns the deadline with margin).
   std::chrono::milliseconds burst_read_timeout{1000};
+  /// Evict connections that stay parked (no readiness) this long
+  /// (0 = keep idle connections forever, the historical behaviour).
+  std::chrono::milliseconds idle_timeout{0};
+  /// Release per-connection scratch buffers into the shard pool when
+  /// parking (ConnectionDriver::on_park); reacquired lazily on the next
+  /// burst. Off = buffers stay resident across idle intervals.
+  bool park_idle_sessions = true;
+  /// Prefer one SO_REUSEPORT listener per shard (kernel-balanced accept
+  /// affinity); falls back to a single listener with accept-fd round-robin
+  /// when the bind fails or there is only one shard.
+  bool reuse_port = true;
   /// Metrics label value for this runtime's vnfsgx_server_* instruments.
   std::string name = "server";
 };
@@ -102,18 +148,22 @@ class ServerRuntime {
   ServerRuntime& operator=(const ServerRuntime&) = delete;
 
   /// Bind a TCP listener on 127.0.0.1:`port` (0 = ephemeral) and serve
-  /// accepted connections through the pool. Returns the listener (owned by
-  /// the runtime) so callers can read the bound port.
+  /// accepted connections through the pool. With multiple shards this
+  /// binds one SO_REUSEPORT listener per shard (same port); the returned
+  /// reference is the first of the group (callers read the bound port).
   TcpListener& listen_tcp(std::uint16_t port, DriverFactory factory,
                           int backlog = TcpListener::kDefaultBacklog);
 
   /// Register `address` on the in-memory network; connections dispatch
-  /// through the same queue + worker pool as TCP ones (ServeMode::kInline —
-  /// no per-connection thread is ever spawned).
+  /// through the same per-shard queues + worker pool as TCP ones. With
+  /// multiple shards this registers a sharded listener whose connects
+  /// spread round-robin across shards (the in-memory SO_REUSEPORT
+  /// analogue); no per-connection thread is ever spawned.
   void listen_inmemory(InMemoryNetwork& network, const std::string& address,
                        DriverFactory factory);
 
-  /// Adopt an already-connected stream (pipe or TCP) into the pool.
+  /// Adopt an already-connected stream (pipe or TCP) into the pool; the
+  /// connection is assigned to a shard round-robin.
   void adopt(StreamPtr stream, const DriverFactory& factory);
 
   /// Stop accepting, drain workers, and close every connection. Called by
@@ -121,38 +171,56 @@ class ServerRuntime {
   void shutdown();
 
   std::size_t worker_count() const { return workers_.size(); }
+  std::size_t shard_count() const { return shards_.size(); }
   std::size_t active_connections() const;
+  /// Per-shard open-connection counts (for balance assertions).
+  std::vector<std::size_t> connections_per_shard() const;
+  /// Scratch buffers currently held across all shard pools (bounded by
+  /// shards x pool cap regardless of connection count).
+  std::size_t pooled_buffers() const;
   /// High-water mark of concurrently busy workers (for bounds assertions).
   std::size_t peak_busy_workers() const;
+  /// Bursts claimed by a worker from a non-home shard's queue.
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Connections evicted by the idle timeout.
+  std::uint64_t idle_evictions() const {
+    return idle_evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection;
   struct Listener;
+  struct Shard;
 
-  void reactor_loop();
-  void worker_loop();
-  void notify(std::uint64_t id);
-  void enqueue_locked(Connection& conn);
-  void finish_burst(std::uint64_t id, BurstResult result);
-  void destroy_connection(std::unique_ptr<Connection> conn);
-  std::uint64_t register_connection(StreamPtr stream,
+  void reactor_loop(Shard& shard);
+  void worker_loop(std::size_t worker_index);
+  void notify(Shard& shard, std::uint64_t id);
+  void enqueue_locked(Shard& shard, Connection& conn);
+  void poke_idle_shard(std::size_t except);
+  Connection* try_claim_locked(Shard& shard, bool stolen);
+  void finish_burst(Shard& shard, Connection* conn, BurstResult result);
+  void destroy_connection(Shard& shard, std::unique_ptr<Connection> conn);
+  void handle_expired_timers(Shard& shard,
+                             const std::vector<std::uint64_t>& tokens,
+                             std::vector<std::unique_ptr<Connection>>& dead);
+  std::uint64_t register_connection(Shard& shard, StreamPtr stream,
                                     const DriverFactory& factory, int fd);
+  Shard& next_shard();
 
   ServerOptions options_;
-  Reactor reactor_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::uint64_t> queue_;
-  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
-  std::map<std::uint64_t, std::unique_ptr<Listener>> listeners_;
-  std::uint64_t next_id_ = 1;
-  bool stopping_ = false;
-  std::size_t busy_workers_ = 0;
-  std::size_t peak_busy_workers_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> round_robin_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> busy_workers_{0};
+  std::atomic<std::size_t> peak_busy_workers_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> idle_evictions_{0};
 
   std::vector<std::thread> workers_;
-  std::thread reactor_thread_;
 };
 
 }  // namespace vnfsgx::net

@@ -16,6 +16,8 @@
 
 namespace vnfsgx::net {
 
+class BufferPool;
+
 class Stream {
  public:
   virtual ~Stream() = default;
@@ -41,6 +43,14 @@ class Stream {
   /// stream object (not visible to the transport's readiness machinery).
   /// The server runtime re-dispatches instead of parking such connections.
   virtual bool buffered() const { return false; }
+
+  /// Park for an idle interval: release internal scratch buffers (into
+  /// `pool` when given, else freeing them) and compact any per-connection
+  /// state that can be rebuilt lazily on the next read/write. Called by
+  /// pooled runtimes between readiness bursts; implementations must keep
+  /// bytes that are already buffered for the reader. Returns an estimate of
+  /// the bytes released (0 for transports with no parkable state).
+  virtual std::size_t park_buffers(BufferPool* /*pool*/) { return 0; }
 
   /// Read exactly out.size() bytes or throw IoError on premature EOF.
   void read_exact(std::span<std::uint8_t> out) {

@@ -135,11 +135,19 @@ StreamPtr TcpStream::connect(const std::string& host, std::uint16_t port) {
   return std::make_unique<TcpStream>(fd);
 }
 
-TcpListener::TcpListener(std::uint16_t port, int backlog) {
+TcpListener::TcpListener(std::uint16_t port, int backlog, bool reuse_port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("tcp socket");
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuse_port &&
+      ::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("tcp SO_REUSEPORT");
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -155,9 +163,32 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
     throw_errno("tcp getsockname");
   }
   port_ = ntohs(addr.sin_port);
+  // Reserve one fd now, while the table has room: the EMFILE shed path
+  // spends it to accept-and-close a connection the process cannot serve.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
 
 TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::shed_on_emfile() {
+  static obs::Counter& shed = obs::registry().counter(
+      "vnfsgx_server_accept_emfile_total", {},
+      "Connections shed via the reserved-fd path under fd exhaustion "
+      "(accepted and immediately closed instead of livelocking accept)");
+  if (spare_fd_ < 0) {
+    // The reserve itself could not be (re)opened — nothing to spend.
+    return false;
+  }
+  ::close(spare_fd_);
+  spare_fd_ = -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client >= 0) {
+    ::close(client);  // peer sees an orderly close, not a hung connection
+    shed.add();
+  }
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  return client >= 0;
+}
 
 StreamPtr TcpListener::accept() {
   while (true) {
@@ -168,6 +199,7 @@ StreamPtr TcpListener::accept() {
         accept_soft_error(reason).add();
         VNFSGX_LOG_WARN("net", "tcp accept soft failure (", reason,
                         "): ", std::strerror(errno));
+        if (errno == EMFILE || errno == ENFILE) shed_on_emfile();
         continue;
       }
       throw_errno("tcp accept");
@@ -187,6 +219,9 @@ std::unique_ptr<TcpStream> TcpListener::try_accept() {
         accept_soft_error(reason).add();
         VNFSGX_LOG_WARN("net", "tcp accept soft failure (", reason,
                         "): ", std::strerror(errno));
+        if ((errno == EMFILE || errno == ENFILE) && shed_on_emfile()) {
+          continue;  // backlog drained by one; poll for more
+        }
         return nullptr;  // let the reactor retry on the next readiness event
       }
       throw_errno("tcp accept");
@@ -204,6 +239,10 @@ void TcpListener::set_nonblocking() {
 }
 
 void TcpListener::close() {
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
   if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);

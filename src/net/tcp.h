@@ -48,8 +48,12 @@ class TcpListener {
  public:
   /// Bind to the given port; port 0 picks an ephemeral port. `backlog` is
   /// the listen(2) queue depth — deep by default so connection storms from
-  /// a VNF fleet queue in the kernel instead of seeing RSTs.
-  explicit TcpListener(std::uint16_t port, int backlog = kDefaultBacklog);
+  /// a VNF fleet queue in the kernel instead of seeing RSTs. With
+  /// `reuse_port` set, multiple listeners may bind the same port
+  /// (SO_REUSEPORT) and the kernel load-balances accepts between them —
+  /// the sharded runtime binds one listener per reactor shard this way.
+  explicit TcpListener(std::uint16_t port, int backlog = kDefaultBacklog,
+                       bool reuse_port = false);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
@@ -82,7 +86,16 @@ class TcpListener {
   void close();
 
  private:
+  /// Shed one connection under fd exhaustion: close the reserved spare fd,
+  /// accept (now that a slot is free), immediately close the accepted
+  /// socket, and re-open the spare. Without this, a full fd table makes
+  /// accept() fail EMFILE forever while the backlog entry stays readable —
+  /// the classic accept-loop livelock. Returns true if a connection was
+  /// shed (the caller's accept should be retried / re-polled).
+  bool shed_on_emfile();
+
   int fd_ = -1;
+  int spare_fd_ = -1;  // reserved slot for the EMFILE shed path
   std::uint16_t port_ = 0;
 };
 

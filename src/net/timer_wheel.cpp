@@ -1,0 +1,124 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace vnfsgx::net {
+
+TimerWheel::TimerWheel(TimePoint origin, std::chrono::milliseconds tick)
+    : tick_(tick.count() > 0 ? tick : kDefaultTick), origin_(origin) {}
+
+std::uint64_t TimerWheel::schedule(std::chrono::milliseconds delay,
+                                   Token token) {
+  const auto ticks =
+      (delay.count() + tick_.count() - 1) / tick_.count();  // round up
+  // Minimum one tick out: the current tick's slot was already processed.
+  const std::uint64_t deadline =
+      current_tick_ + std::max<std::uint64_t>(
+                          1, static_cast<std::uint64_t>(std::max<std::int64_t>(
+                                 0, static_cast<std::int64_t>(ticks))));
+  const std::uint64_t id = next_id_++;
+  entries_.emplace(id, Entry{token, deadline});
+  place(id, deadline);
+  return id;
+}
+
+bool TimerWheel::cancel(std::uint64_t id) {
+  // Lazy: the slot entry stays behind and is skipped (id no longer live)
+  // when its slot is processed or cascaded.
+  return entries_.erase(id) != 0;
+}
+
+void TimerWheel::place(std::uint64_t id, std::uint64_t deadline_tick) {
+  const std::uint64_t delta =
+      deadline_tick > current_tick_ ? deadline_tick - current_tick_ : 1;
+  std::size_t level = 0;
+  std::uint64_t span = kSlots;
+  while (level + 1 < kLevels && delta >= span) {
+    ++level;
+    span <<= kSlotBits;
+  }
+  const std::size_t slot = static_cast<std::size_t>(
+      (deadline_tick >> (kSlotBits * level)) & kSlotMask);
+  slots_[level][slot].push_back(id);
+}
+
+void TimerWheel::process_slot(std::vector<std::uint64_t>& slot,
+                              std::vector<Token>& expired) {
+  // Entries whose deadline has passed fire; later-deadline entries (placed
+  // here by a coarser level) are re-cascaded closer to the rim.
+  std::vector<std::uint64_t> ids;
+  ids.swap(slot);
+  for (const std::uint64_t id : ids) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // cancelled: lazy drop
+    if (it->second.deadline_tick <= current_tick_) {
+      expired.push_back(it->second.token);
+      entries_.erase(it);
+    } else {
+      place(id, it->second.deadline_tick);
+    }
+  }
+}
+
+void TimerWheel::advance(TimePoint now, std::vector<Token>& expired) {
+  if (now <= origin_) return;
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - origin_)
+          .count() /
+      tick_.count());
+  if (target <= current_tick_) return;
+  if (entries_.empty()) {  // nothing armed: jump, no per-tick work
+    current_tick_ = target;
+    return;
+  }
+  while (current_tick_ < target) {
+    ++current_tick_;
+    // Cascade coarser levels whenever their finer neighbourhood wraps.
+    for (std::size_t level = 1; level < kLevels; ++level) {
+      if ((current_tick_ & ((1ULL << (kSlotBits * level)) - 1)) != 0) break;
+      const std::size_t slot = static_cast<std::size_t>(
+          (current_tick_ >> (kSlotBits * level)) & kSlotMask);
+      process_slot(slots_[level][slot], expired);
+    }
+    process_slot(slots_[0][current_tick_ & kSlotMask], expired);
+    if (entries_.empty()) {
+      current_tick_ = target;
+      return;
+    }
+  }
+}
+
+std::chrono::milliseconds TimerWheel::next_expiry(TimePoint now) const {
+  if (entries_.empty()) return std::chrono::milliseconds{-1};
+  // Scan the fine wheel one revolution out. Entries in coarser levels
+  // cannot fire before their neighbourhood's cascade boundary, and any
+  // still-uncascaded entry's boundary lies at or beyond the next one — so
+  // the next 64-tick boundary is a safe bound for everything off-level-0.
+  const std::uint64_t next_boundary =
+      current_tick_ + (kSlots - (current_tick_ & kSlotMask));
+  std::uint64_t soonest = next_boundary;
+  for (std::uint64_t t = current_tick_ + 1; t <= current_tick_ + kSlots;
+       ++t) {
+    const auto& slot = slots_[0][t & kSlotMask];
+    bool live = false;
+    for (const std::uint64_t id : slot) {
+      const auto it = entries_.find(id);
+      if (it != entries_.end() && it->second.deadline_tick == t) {
+        live = true;
+        break;
+      }
+    }
+    if (live) {
+      soonest = std::min(soonest, t);
+      break;
+    }
+  }
+  const auto deadline =
+      origin_ + std::chrono::milliseconds(tick_.count() *
+                                          static_cast<std::int64_t>(soonest));
+  return std::max(std::chrono::milliseconds{1},
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now));
+}
+
+}  // namespace vnfsgx::net

@@ -1,0 +1,75 @@
+// Hierarchical timer wheel for per-reactor deadlines.
+//
+// Each ServerRuntime shard owns one wheel and drives it from its reactor
+// thread: burst-read deadlines and idle-connection eviction both become
+// O(1) schedule/cancel operations instead of ad-hoc per-connection checks.
+// Four levels of 64 slots at a 10 ms tick cover ~19 days of horizon; timers
+// farther than one level cascade down as the wheel turns (the classic
+// Varghese/Lauck design).
+//
+// Not thread-safe: callers serialize access (the shard mutex). Cancelled
+// timers are dropped lazily — the id leaves the live table immediately and
+// the stale slot entry is skipped when its slot is processed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vnfsgx::net {
+
+class TimerWheel {
+ public:
+  using Token = std::uint64_t;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit TimerWheel(TimePoint origin,
+                      std::chrono::milliseconds tick = kDefaultTick);
+
+  static constexpr std::chrono::milliseconds kDefaultTick{10};
+
+  /// Arm a timer: `token` is reported by advance() once `delay` has
+  /// elapsed (rounded up to whole ticks; a zero delay fires on the next
+  /// tick). Returns a non-zero id for cancel().
+  std::uint64_t schedule(std::chrono::milliseconds delay, Token token);
+
+  /// Disarm. Returns false if the timer already fired or was cancelled —
+  /// callers use this to detect fire/cancel races.
+  bool cancel(std::uint64_t id);
+
+  /// Turn the wheel forward to `now`, appending the token of every timer
+  /// whose deadline passed to `expired` (in deadline order per slot).
+  void advance(TimePoint now, std::vector<Token>& expired);
+
+  /// Conservative bound on the next deadline: the real soonest timer never
+  /// fires earlier than now + the returned duration. Returns a negative
+  /// duration when no timers are armed.
+  std::chrono::milliseconds next_expiry(TimePoint now) const;
+
+  std::size_t armed() const { return entries_.size(); }
+
+ private:
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlotBits = 6;
+  static constexpr std::size_t kSlots = 1u << kSlotBits;  // 64
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+
+  struct Entry {
+    Token token = 0;
+    std::uint64_t deadline_tick = 0;
+  };
+
+  void place(std::uint64_t id, std::uint64_t deadline_tick);
+  void process_slot(std::vector<std::uint64_t>& slot,
+                    std::vector<Token>& expired);
+
+  std::chrono::milliseconds tick_;
+  TimePoint origin_;
+  std::uint64_t current_tick_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::vector<std::uint64_t> slots_[kLevels][kSlots];
+};
+
+}  // namespace vnfsgx::net

@@ -156,7 +156,28 @@ std::string to_prometheus(const std::vector<MetricSample>& samples) {
   return out;
 }
 
+void refresh_process_gauges() {
+  // VmRSS from /proc/self/status: resident set of the whole process. Kept
+  // as a pull-time gauge (refreshed by the exporters) so connection-diet
+  // experiments can read memory-per-connection straight off the scrape.
+  static Gauge& rss = registry().gauge(
+      "vnfsgx_rss_bytes", {},
+      "Process resident set size (VmRSS), refreshed at export time");
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return;  // non-Linux: gauge stays 0
+  char line[256];
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    long long kib = 0;
+    if (std::sscanf(line, "VmRSS: %lld kB", &kib) == 1) {
+      rss.set(kib * 1024);
+      break;
+    }
+  }
+  std::fclose(status);
+}
+
 std::string to_prometheus(const MetricsRegistry& reg) {
+  refresh_process_gauges();
   return to_prometheus(reg.collect());
 }
 
@@ -248,6 +269,7 @@ json::Value snapshot_json(const std::vector<MetricSample>& samples,
 
 std::string snapshot_text(const MetricsRegistry& reg, const Tracer& tracer,
                           const std::string& run_name) {
+  refresh_process_gauges();
   return json::serialize_pretty(
       snapshot_json(reg.collect(), tracer.spans(), run_name));
 }

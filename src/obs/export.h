@@ -17,6 +17,11 @@
 
 namespace vnfsgx::obs {
 
+/// Refresh pull-time process gauges (vnfsgx_rss_bytes from /proc/self/
+/// status VmRSS). Called automatically by the registry-level exporters;
+/// benches call it directly to sample RSS at specific points in a run.
+void refresh_process_gauges();
+
 /// Prometheus text exposition format (text/plain; version=0.0.4).
 /// Histograms expand to cumulative `_bucket{le=...}` series plus `_sum`
 /// and `_count`; quantile estimates are NOT exported here (Prometheus

@@ -26,6 +26,8 @@ CertificateAuthority::CertificateAuthority(DistinguishedName name,
                                            const Clock& clock,
                                            std::int64_t root_validity_seconds)
     : name_(std::move(name)), clock_(clock), key_(crypto::ed25519_generate(rng)) {
+  stripe_next_.push_back(
+      std::make_unique<std::atomic<std::uint64_t>>(2));  // 1 is the root
   root_cert_.serial = 1;
   root_cert_.subject = name_;
   root_cert_.issuer = name_;
@@ -49,13 +51,36 @@ std::unique_ptr<CertificateAuthority> CertificateAuthority::subordinate(
   return sub;
 }
 
+void CertificateAuthority::configure_serial_stripes(std::size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  // New stripes start past every serial handed out so far: stripe s opens
+  // at hi + s and steps by `stripes`, so stripes are pairwise disjoint mod
+  // `stripes` and never revisit an issued serial.
+  std::uint64_t hi = 2;
+  for (const auto& next : stripe_next_) {
+    hi = std::max(hi, next->load(std::memory_order_relaxed));
+  }
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> fresh;
+  fresh.reserve(stripes);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    fresh.push_back(std::make_unique<std::atomic<std::uint64_t>>(hi + s));
+  }
+  stripe_next_ = std::move(fresh);
+}
+
+std::uint64_t CertificateAuthority::allocate_serial() {
+  const std::size_t n = stripe_next_.size();
+  const std::size_t s =
+      n == 1 ? 0 : stripe_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+  return stripe_next_[s]->fetch_add(n, std::memory_order_relaxed);
+}
+
 Certificate CertificateAuthority::issue_intermediate(
     const DistinguishedName& subject,
     const crypto::Ed25519PublicKey& subject_key,
     std::int64_t validity_seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
   Certificate cert;
-  cert.serial = next_serial_++;
+  cert.serial = allocate_serial();
   cert.subject = subject;
   cert.issuer = name_;
   cert.not_before = clock_.now();
@@ -64,6 +89,7 @@ Certificate CertificateAuthority::issue_intermediate(
   cert.is_ca = true;
   cert.key_usage = static_cast<std::uint8_t>(KeyUsage::kCertSign);
   cert.signature = crypto::ed25519_sign(key_.seed, cert.tbs());
+  issued_.fetch_add(1, std::memory_order_relaxed);
   issued_counter("intermediate").add();
   return cert;
 }
@@ -72,9 +98,10 @@ Certificate CertificateAuthority::issue(
     const DistinguishedName& subject,
     const crypto::Ed25519PublicKey& subject_public_key,
     std::uint8_t key_usage, std::int64_t validity_seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // Lock-free: the Ed25519 signing dominates issuance cost, and under the
+  // old whole-method mutex it serialized every enrolling shard.
   Certificate cert;
-  cert.serial = next_serial_++;
+  cert.serial = allocate_serial();
   cert.subject = subject;
   cert.issuer = name_;
   cert.not_before = clock_.now();
@@ -83,6 +110,7 @@ Certificate CertificateAuthority::issue(
   cert.is_ca = false;
   cert.key_usage = key_usage;
   cert.signature = crypto::ed25519_sign(key_.seed, cert.tbs());
+  issued_.fetch_add(1, std::memory_order_relaxed);
   issued_counter("leaf").add();
   return cert;
 }
@@ -110,8 +138,7 @@ RevocationList CertificateAuthority::current_crl() const {
 }
 
 std::uint64_t CertificateAuthority::issued_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return next_serial_ - 2;
+  return issued_.load(std::memory_order_relaxed);
 }
 
 RevocationList CertificateAuthority::build_crl_locked() const {

@@ -231,22 +231,27 @@ std::string TrustStore::cache_key(const Certificate& leaf,
   return key;
 }
 
+TrustStore::CacheStripe& TrustStore::stripe_for(const std::string& key) const {
+  return cache_stripes_[std::hash<std::string>{}(key) % kCacheStripes];
+}
+
 std::optional<TrustStore::CachedVerdict> TrustStore::cache_lookup(
     const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheStripe& stripe = stripe_for(key);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
   const std::uint64_t current = generation_.load(std::memory_order_acquire);
-  if (cache_generation_ != current) {
-    if (!cache_.empty()) eviction_counter().add(cache_.size());
-    cache_.clear();
-    cache_generation_ = current;
+  if (stripe.generation != current) {
+    if (!stripe.map.empty()) eviction_counter().add(stripe.map.size());
+    stripe.map.clear();
+    stripe.generation = current;
   }
-  const auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    ++cache_misses_;
+  const auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
+    ++stripe.misses;
     cache_counter("miss").add();
     return std::nullopt;
   }
-  ++cache_hits_;
+  ++stripe.hits;
   cache_counter("hit").add();
   return it->second;
 }
@@ -254,37 +259,48 @@ std::optional<TrustStore::CachedVerdict> TrustStore::cache_lookup(
 void TrustStore::cache_store(const std::string& key,
                              const CachedVerdict& verdict,
                              std::uint64_t generation) const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheStripe& stripe = stripe_for(key);
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
   const std::uint64_t current = generation_.load(std::memory_order_acquire);
   // A verdict computed against an older truststore must never be published:
   // a revocation may have landed between evaluation and now.
   if (generation != current) return;
-  if (cache_generation_ != current) {
-    if (!cache_.empty()) eviction_counter().add(cache_.size());
-    cache_.clear();
-    cache_generation_ = current;
+  if (stripe.generation != current) {
+    if (!stripe.map.empty()) eviction_counter().add(stripe.map.size());
+    stripe.map.clear();
+    stripe.generation = current;
   }
-  if (cache_.size() >= kMaxCachedVerdicts) {
-    cache_.erase(cache_.begin());
+  if (stripe.map.size() >= kMaxCachedVerdicts / kCacheStripes) {
+    stripe.map.erase(stripe.map.begin());
     eviction_counter().add();
   }
-  cache_[key] = verdict;
+  stripe.map[key] = verdict;
 }
 
 void TrustStore::flush_validation_cache() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (!cache_.empty()) eviction_counter().add(cache_.size());
-  cache_.clear();
+  for (CacheStripe& stripe : cache_stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (!stripe.map.empty()) eviction_counter().add(stripe.map.size());
+    stripe.map.clear();
+  }
 }
 
 std::uint64_t TrustStore::cache_hits() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_hits_;
+  std::uint64_t total = 0;
+  for (CacheStripe& stripe : cache_stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.hits;
+  }
+  return total;
 }
 
 std::uint64_t TrustStore::cache_misses() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_misses_;
+  std::uint64_t total = 0;
+  for (CacheStripe& stripe : cache_stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.misses;
+  }
+  return total;
 }
 
 VerifyResult TrustStore::verify(const Certificate& leaf, KeyUsage usage,

@@ -180,11 +180,20 @@ class TrustStore {
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<const AttestedCertVerifier*> verifier_{nullptr};
 
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<std::string, CachedVerdict> cache_;
-  mutable std::uint64_t cache_generation_ = 0;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
+  /// Validation cache, striped by cache-key hash so concurrent handshakes
+  /// on different runtime shards don't serialize on one cache mutex. Each
+  /// stripe carries its own lazily-synced generation stamp; the capacity
+  /// cap is split evenly across stripes.
+  struct CacheStripe {
+    mutable std::mutex mutex;
+    mutable std::unordered_map<std::string, CachedVerdict> map;
+    mutable std::uint64_t generation = 0;
+    mutable std::uint64_t hits = 0;
+    mutable std::uint64_t misses = 0;
+  };
+  static constexpr std::size_t kCacheStripes = 8;
+  CacheStripe& stripe_for(const std::string& key) const;
+  mutable CacheStripe cache_stripes_[kCacheStripes];
 };
 
 }  // namespace vnfsgx::pki

@@ -31,9 +31,19 @@ std::optional<Record> read_record(net::Stream& stream) {
   return record;
 }
 
-RecordProtection::RecordProtection(ByteView key, ByteView iv) : aead_(key) {
+RecordProtection::RecordProtection(ByteView key, ByteView iv)
+    : key_(Bytes(key.begin(), key.end())),
+      // Built eagerly so a bad key size still throws at construction.
+      aead_(std::make_unique<crypto::AesGcm>(key)) {
   if (iv.size() != iv_.size()) throw CryptoError("tls: bad record IV size");
   std::copy(iv.begin(), iv.end(), iv_.begin());
+}
+
+void RecordProtection::park() { aead_.reset(); }
+
+crypto::AesGcm& RecordProtection::aead() {
+  if (!aead_) aead_ = std::make_unique<crypto::AesGcm>(ByteView(key_));
+  return *aead_;
 }
 
 std::array<std::uint8_t, 12> RecordProtection::nonce_for_seq() const {
@@ -63,8 +73,8 @@ void RecordProtection::protect_into(ContentType type, ByteView payload,
   const auto nonce = nonce_for_seq();
   // AAD is the 3-byte header just written; ciphertext replaces the inner
   // plaintext in place, tag lands directly after it.
-  aead_.seal_in_place(nonce, wire.data() + 3, inner_len,
-                      ByteView(wire.data(), 3), wire.data() + 3 + inner_len);
+  aead().seal_in_place(nonce, wire.data() + 3, inner_len,
+                       ByteView(wire.data(), 3), wire.data() + 3 + inner_len);
   ++seq_;
 }
 
@@ -83,9 +93,9 @@ ContentType RecordProtection::unprotect_in_place(ContentType outer_type,
 
   const std::size_t inner_len = payload.size() - crypto::kGcmTagSize;
   const auto nonce = nonce_for_seq();
-  if (!aead_.open_in_place(nonce, payload.data(), inner_len, ByteView(aad, 3),
-                           ByteView(payload.data() + inner_len,
-                                    crypto::kGcmTagSize))) {
+  if (!aead().open_in_place(nonce, payload.data(), inner_len, ByteView(aad, 3),
+                            ByteView(payload.data() + inner_len,
+                                     crypto::kGcmTagSize))) {
     throw ProtocolError("tls: record authentication failed");
   }
   ++seq_;

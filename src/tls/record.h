@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secure.h"
 #include "crypto/gcm.h"
 #include "net/stream.h"
 
@@ -57,10 +58,25 @@ class RecordProtection {
 
   std::uint64_t seq() const { return seq_; }
 
+  /// Connection diet: drop the expanded AES key schedule and GHASH
+  /// multiplication tables (~1 KB per direction) while the connection
+  /// idles. The raw traffic key + IV + sequence number stay, so the next
+  /// protect/unprotect rebuilds the cipher transparently.
+  void park();
+
+  /// True while the expanded cipher state is released (between park() and
+  /// the next protect/unprotect).
+  bool parked() const { return aead_ == nullptr; }
+
+  /// Heap + inline footprint of the expanded cipher state park() releases.
+  static std::size_t expanded_state_size() { return sizeof(crypto::AesGcm); }
+
  private:
   std::array<std::uint8_t, 12> nonce_for_seq() const;
+  crypto::AesGcm& aead();
 
-  crypto::AesGcm aead_;
+  SecureBytes key_;  // raw traffic key, kept to rebuild aead_ after park()
+  std::unique_ptr<crypto::AesGcm> aead_;
   std::array<std::uint8_t, 12> iv_{};
   std::uint64_t seq_ = 0;
 };

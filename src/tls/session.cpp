@@ -8,6 +8,7 @@
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
 #include "crypto/x25519.h"
+#include "net/buffer_pool.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "pki/tlv.h"
@@ -759,7 +760,74 @@ Session::~Session() {
   } catch (...) {
     // Destructors must not throw; the transport is going away regardless.
   }
+  if (parked_) {
+    parked_ = false;
+    parked_sessions_gauge().add(-1);
+  }
 }
+
+obs::Gauge& Session::parked_sessions_gauge() {
+  static obs::Gauge& gauge = obs::registry().gauge(
+      "vnfsgx_tls_parked_sessions", {},
+      "TLS sessions currently parked on the connection diet (record "
+      "scratch and expanded cipher state released)");
+  return gauge;
+}
+
+std::size_t Session::park_buffers(net::BufferPool* pool) {
+  if (closed_) return 0;
+  buffer_pool_ = pool;
+  std::size_t released = 0;
+  // Never discard decrypted bytes the reader has not consumed yet; only a
+  // fully-drained read buffer goes back to the pool.
+  if (read_pos_ >= read_buffer_.size() && read_buffer_.capacity() > 0) {
+    released += read_buffer_.capacity();
+    if (pool) {
+      pool->release(std::move(read_buffer_));
+    } else {
+      Bytes().swap(read_buffer_);
+    }
+    read_buffer_.clear();
+    read_pos_ = 0;
+  }
+  if (write_wire_.capacity() > 0) {
+    released += write_wire_.capacity();
+    if (pool) {
+      pool->release(std::move(write_wire_));
+    } else {
+      Bytes().swap(write_wire_);
+    }
+    write_wire_.clear();
+  }
+  if (!read_protection_.parked()) {
+    released += RecordProtection::expanded_state_size();
+    read_protection_.park();
+  }
+  if (!write_protection_.parked()) {
+    released += RecordProtection::expanded_state_size();
+    write_protection_.park();
+  }
+  released += transport_->park_buffers(pool);
+  if (!parked_) {
+    parked_ = true;
+    parked_sessions_gauge().add(1);
+  }
+  return released;
+}
+
+void Session::unpark() {
+  if (!parked_) return;
+  parked_ = false;
+  parked_sessions_gauge().add(-1);
+  // Write scratch is the one buffer protect_into reuses; pull a pooled one
+  // so the first record after an idle interval skips the allocation. The
+  // read buffer needs nothing: each record's decrypted payload is moved in.
+  if (buffer_pool_ != nullptr && write_wire_.capacity() == 0) {
+    write_wire_ = buffer_pool_->acquire();
+  }
+}
+
+void Session::release_handshake_state() { peer_certificate_.reset(); }
 
 void Session::write(ByteView data) {
   // Cached references: registration cost is paid once per process; the
@@ -771,6 +839,7 @@ void Session::write(ByteView data) {
       "vnfsgx_tls_records_total", {{"direction", "out"}},
       "TLS application-data records processed");
   if (closed_) throw IoError("tls: session closed");
+  unpark();
   std::size_t off = 0;
   while (off < data.size()) {
     const std::size_t take = std::min<std::size_t>(16384, data.size() - off);
@@ -784,6 +853,7 @@ void Session::write(ByteView data) {
 }
 
 std::size_t Session::read(std::span<std::uint8_t> out) {
+  unpark();
   while (read_pos_ == read_buffer_.size()) {
     if (peer_closed_) return 0;
     std::optional<Record> record = read_record(*transport_);
@@ -837,6 +907,7 @@ std::size_t Session::read(std::span<std::uint8_t> out) {
 
 void Session::close() {
   if (closed_) return;
+  unpark();
   closed_ = true;
   try {
     Record alert{ContentType::kAlert, {}};

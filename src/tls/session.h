@@ -15,6 +15,10 @@
 #include "tls/key_schedule.h"
 #include "tls/record.h"
 
+namespace vnfsgx::obs {
+class Gauge;
+}
+
 namespace vnfsgx::tls {
 
 class Session final : public net::Stream {
@@ -40,6 +44,21 @@ class Session final : public net::Stream {
   /// Decrypted application bytes already queued in userspace — invisible
   /// to transport-level readiness polling.
   bool buffered() const override { return read_pos_ < read_buffer_.size(); }
+
+  /// Connection diet (net::Stream hook): release the record scratch
+  /// buffers into `pool` (nullptr = just free), drop both directions'
+  /// expanded cipher state, and remember the pool so the next read/write
+  /// reacquires scratch lazily. Fully-consumed read buffers only — bytes
+  /// still queued for the reader are never discarded. Also forwards to the
+  /// underlying transport. Returns an estimate of bytes released.
+  std::size_t park_buffers(net::BufferPool* pool) override;
+
+  /// Drop handshake-only state that is no longer needed once the caller
+  /// has recorded the peer's identity: the parsed peer certificate chain.
+  /// peer_identity() and peer_attested() keep working; peer_certificate()
+  /// returns nullopt afterwards. Callers that inspect certificate fields
+  /// post-handshake must not call this.
+  void release_handshake_state();
 
   /// The peer's verified certificate (servers in mutual-auth mode and
   /// clients always have one — on *full* handshakes; resumed sessions
@@ -99,6 +118,14 @@ class Session final : public net::Stream {
   std::size_t read_pos_ = 0;
   bool closed_ = false;
   bool peer_closed_ = false;
+  net::BufferPool* buffer_pool_ = nullptr;  // set by park_buffers
+  bool parked_ = false;  // tracked for the vnfsgx_tls_parked_sessions gauge
+
+  /// Reacquire write scratch from the pool after a park and clear the
+  /// parked flag/gauge on first activity.
+  void unpark();
+
+  static obs::Gauge& parked_sessions_gauge();
 };
 
 }  // namespace vnfsgx::tls

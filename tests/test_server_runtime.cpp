@@ -27,6 +27,7 @@
 #include "net/framing.h"
 #include "net/inmemory.h"
 #include "net/server.h"
+#include "net/tcp.h"
 #include "pki/ca.h"
 
 namespace vnfsgx::net {
@@ -425,6 +426,98 @@ TEST_F(ServerRuntimeFixture, FailedTlsAcceptDoesNotPoisonRuntime) {
                             /*with_client_cert=*/true);
   EXPECT_EQ(authorized.get("/wm/core/controller/summary/json").status, 200);
   authorized.close();
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: multiple reactors split the connection population; idle
+// connections put their scratch into the per-shard pools and still serve.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerRuntimeFixture, ShardedRuntimeBalancesAndParksConnections) {
+  InMemoryNetwork net;
+  // Shards are explicit: on a single-core CI box the default would
+  // collapse to one shard and test nothing.
+  ServerRuntime runtime({.workers = 4,
+                         .shards = 2,
+                         .burst_read_timeout = std::chrono::seconds(10),
+                         .name = "test-sharded"});
+  ASSERT_EQ(runtime.shard_count(), 2u);
+  Controller controller(config(SecurityMode::kHttp), fabric_);
+  runtime.listen_inmemory(net, "controller:8443", controller.driver_factory());
+
+  constexpr int kConns = 32;
+  std::vector<http::Client> conns;
+  conns.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    conns.emplace_back(net.connect("controller:8443"));
+    EXPECT_EQ(conns.back().get("/wm/core/controller/summary/json").status, 200);
+  }
+  EXPECT_EQ(runtime.active_connections(), static_cast<std::size_t>(kConns));
+  EXPECT_EQ(net.live_connection_threads(), 0u);
+
+  // Round-robin shard assignment: an even split, not a hot shard.
+  const auto per_shard = runtime.connections_per_shard();
+  ASSERT_EQ(per_shard.size(), 2u);
+  EXPECT_EQ(per_shard[0] + per_shard[1], static_cast<std::size_t>(kConns));
+  EXPECT_EQ(per_shard[0], per_shard[1]);
+
+  // All connections are idle; their parked HTTP scratch lands in the shard
+  // pools (poll: the last bursts may still be finishing).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (runtime.pooled_buffers() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(runtime.pooled_buffers(), 0u);
+  EXPECT_LE(runtime.pooled_buffers(), 2 * 64u);
+
+  // Parked connections reacquire scratch transparently.
+  for (auto& conn : conns) {
+    EXPECT_EQ(conn.get("/wm/core/controller/summary/json").status, 200);
+  }
+  for (auto& conn : conns) conn.close();
+}
+
+TEST_F(ServerRuntimeFixture, ShardedTcpListenersShareOnePort) {
+  // listen_tcp with shards > 1 binds one SO_REUSEPORT listener per shard
+  // (or falls back to accept round-robin); either way every client that
+  // dials the single advertised port is served.
+  ServerRuntime runtime({.workers = 4,
+                         .shards = 2,
+                         .burst_read_timeout = std::chrono::seconds(10),
+                         .name = "test-sharded-tcp"});
+  Controller controller(config(SecurityMode::kHttp), fabric_);
+  auto& listener = runtime.listen_tcp(0, controller.driver_factory());
+  const std::uint16_t port = listener.port();
+  ASSERT_NE(port, 0);
+
+  constexpr int kConns = 16;
+  std::vector<http::Client> conns;
+  conns.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    conns.emplace_back(TcpStream::connect("127.0.0.1", port));
+    EXPECT_EQ(conns.back().get("/wm/core/controller/summary/json").status, 200);
+  }
+  EXPECT_EQ(runtime.active_connections(), static_cast<std::size_t>(kConns));
+  // Kernel REUSEPORT hashing decides the split; the invariant is that the
+  // shards jointly own the whole population.
+  const auto per_shard = runtime.connections_per_shard();
+  ASSERT_EQ(per_shard.size(), 2u);
+  EXPECT_EQ(per_shard[0] + per_shard[1], static_cast<std::size_t>(kConns));
+
+  // Second round on the (parked) connections, then teardown.
+  for (auto& conn : conns) {
+    EXPECT_EQ(conn.get("/wm/core/controller/summary/json").status, 200);
+  }
+  for (auto& conn : conns) conn.close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (runtime.active_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(runtime.active_connections(), 0u);
 }
 
 }  // namespace

@@ -9,8 +9,11 @@
 #include "crypto/random.h"
 #include "http/client.h"
 #include "http/server.h"
+#include "net/buffer_pool.h"
 #include "net/inmemory.h"
+#include "obs/metrics.h"
 #include "pki/ca.h"
+#include "tls/record.h"
 #include "tls/session.h"
 
 namespace vnfsgx::tls {
@@ -290,6 +293,69 @@ TEST_F(TlsFixture, HttpOverTls) {
   EXPECT_EQ(to_string(client.get("/whoami").body), "vnf-9");
   client.close();
   server.join();
+}
+
+TEST_F(TlsFixture, ParkReleasesBuffersAndUnparksOnUse) {
+  const Identity server_id =
+      make_identity("controller", pki::KeyUsage::kServerAuth);
+  auto [client, server] = handshake(client_config(), server_config(server_id, false));
+  client->write(to_bytes("warm-up"));
+  EXPECT_EQ(to_string(server->read_exact(7)), "warm-up");
+  server->write(to_bytes("ack"));
+  EXPECT_EQ(to_string(client->read_exact(3)), "ack");
+
+  auto& parked_gauge = obs::registry().gauge(
+      "vnfsgx_tls_parked_sessions", {},
+      "TLS sessions currently parked (scratch + AEAD state released)");
+  const std::int64_t parked_before = parked_gauge.value();
+
+  // Park both ends: wire scratch moves into the pool, the expanded AEAD
+  // key schedules are dropped (raw keys kept), and the gauge counts both.
+  net::BufferPool pool;
+  const std::size_t client_released = client->park_buffers(&pool);
+  const std::size_t server_released = server->park_buffers(&pool);
+  EXPECT_GT(client_released, 2 * RecordProtection::expanded_state_size());
+  EXPECT_GT(server_released, 2 * RecordProtection::expanded_state_size());
+  EXPECT_GT(pool.pooled(), 0u);
+  EXPECT_EQ(parked_gauge.value(), parked_before + 2);
+
+  // Parking again while already parked releases nothing new.
+  EXPECT_EQ(client->park_buffers(&pool), 0u);
+  EXPECT_EQ(parked_gauge.value(), parked_before + 2);
+
+  // Using the session unparks transparently: keys re-expand, scratch is
+  // reacquired from the pool, and record sequence numbers continue where
+  // they left off (a reset would break AEAD nonce continuity).
+  client->write(to_bytes("after-park"));
+  EXPECT_EQ(to_string(server->read_exact(10)), "after-park");
+  server->write(to_bytes("still-alive"));
+  EXPECT_EQ(to_string(client->read_exact(11)), "still-alive");
+  EXPECT_EQ(parked_gauge.value(), parked_before);
+
+  // A second park/unpark cycle works too (the steady-state of an idle
+  // connection on the 100k-resident server).
+  EXPECT_GT(client->park_buffers(&pool), 0u);
+  client->write(to_bytes("x"));
+  EXPECT_EQ(to_string(server->read_exact(1)), "x");
+  EXPECT_EQ(parked_gauge.value(), parked_before);
+}
+
+TEST_F(TlsFixture, ReleaseHandshakeStateKeepsIdentity) {
+  const Identity server_id =
+      make_identity("controller", pki::KeyUsage::kServerAuth);
+  const Identity client_id = make_identity("vnf-3", pki::KeyUsage::kClientAuth);
+  auto [client, server] =
+      handshake(client_config(&client_id), server_config(server_id, true));
+
+  ASSERT_TRUE(server->peer_certificate().has_value());
+  server->release_handshake_state();
+  // The parsed certificate is gone but the authenticated identity —
+  // what dispatch decisions key on — survives.
+  EXPECT_FALSE(server->peer_certificate().has_value());
+  EXPECT_EQ(server->peer_identity(), "vnf-3");
+
+  server->write(to_bytes("post-release"));
+  EXPECT_EQ(to_string(client->read_exact(12)), "post-release");
 }
 
 TEST_F(TlsFixture, CloseNotifyYieldsCleanEof) {
