@@ -69,7 +69,7 @@ struct BoundaryBench {
   std::shared_ptr<sgx::Enclave> enclave;
   std::unique_ptr<vnf::InspectionClient> client;
 
-  explicit BoundaryBench(vnf::InspectionClient::Mode mode) {
+  explicit BoundaryBench(vnf::InspectionClient::Options client_options) {
     sgx::PlatformOptions options;  // default 2us crossing cost
     platform = std::make_unique<sgx::SgxPlatform>(rng, "bench", options);
     const auto vendor = crypto::ed25519_generate(rng);
@@ -77,14 +77,15 @@ struct BoundaryBench {
     const sgx::SigStruct sig = sgx::sign_enclave(
         vendor.seed, sgx::measure_image(image.code, image.attributes), 11, 1);
     enclave = platform->load_enclave(image, sig);
-    client = std::make_unique<vnf::InspectionClient>(enclave, mode);
+    client = std::make_unique<vnf::InspectionClient>(enclave, client_options);
     client->load_rules(bench_rules());
   }
+  explicit BoundaryBench(vnf::InspectionClient::Mode mode)
+      : BoundaryBench(vnf::InspectionClient::Options{.mode = mode}) {}
 };
 
-void run_inspection(benchmark::State& state, vnf::InspectionClient::Mode mode,
-                    const char* label) {
-  BoundaryBench bench(mode);
+void run_inspection_loop(benchmark::State& state, BoundaryBench& bench,
+                         const std::string& label) {
   const auto burst = make_burst(static_cast<std::size_t>(state.range(0)));
   // Fenced snapshots (not raw ecall_count): the switchless worker thread
   // publishes its counts concurrently.
@@ -106,6 +107,12 @@ void run_inspection(benchmark::State& state, vnf::InspectionClient::Mode mode,
       static_cast<double>(after.crossings - before.crossings),
       benchmark::Counter::kIsRate);
   state.SetLabel(label);
+}
+
+void run_inspection(benchmark::State& state, vnf::InspectionClient::Mode mode,
+                    const char* label) {
+  BoundaryBench bench(mode);
+  run_inspection_loop(state, bench, label);
 }
 
 void BM_InspectSyncEcall(benchmark::State& state) {
@@ -136,6 +143,37 @@ BENCHMARK(BM_InspectSwitchless)
     ->Arg(64)
     ->Arg(512)
     ->Arg(1500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InspectSwitchlessSweep(benchmark::State& state) {
+  // The PR-10 A/B matrix: frame size x ring count x wire codec. codec 0 is
+  // the PR-6 TLV format (per-frame heap encode, then a copy into the
+  // slot); codec 1 is the zero-copy FrameDescriptor serialized straight
+  // into the ring slot with the verdict collected in place.
+  vnf::InspectionClient::Options options;
+  options.mode = vnf::InspectionClient::Mode::kSwitchless;
+  options.rings = static_cast<std::size_t>(state.range(1));
+  options.codec = state.range(2) == 0 ? vnf::InspectionClient::Codec::kTlv
+                                      : vnf::InspectionClient::Codec::kZeroCopy;
+  BoundaryBench bench(options);
+  std::string label = state.range(2) == 0 ? "tlv" : "zerocopy";
+  label += ", rings=" + std::to_string(state.range(1));
+  run_inspection_loop(state, bench, label);
+}
+BENCHMARK(BM_InspectSwitchlessSweep)
+    // Args: {frame bytes, rings, codec (0 = tlv, 1 = zerocopy)}.
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({64, 2, 0})
+    ->Args({64, 2, 1})
+    ->Args({512, 1, 0})
+    ->Args({512, 1, 1})
+    ->Args({512, 2, 0})
+    ->Args({512, 2, 1})
+    ->Args({1500, 1, 0})
+    ->Args({1500, 1, 1})
+    ->Args({1500, 2, 0})
+    ->Args({1500, 2, 1})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_InspectOutsideEnclave(benchmark::State& state) {

@@ -38,8 +38,7 @@ std::optional<PacketIn> Switch::pop_packet_in() {
   return front;
 }
 
-ForwardingResult Switch::process(const Packet& packet, std::uint16_t in_port) {
-  ++total_packets_;
+FlowEntry* Switch::match_flow(const Packet& packet, std::uint16_t in_port) {
   FlowEntry* best = nullptr;
   for (auto& entry : flows_) {
     if (!entry.match.matches(packet, in_port)) continue;
@@ -49,19 +48,26 @@ ForwardingResult Switch::process(const Packet& packet, std::uint16_t in_port) {
       best = &entry;
     }
   }
+  return best;
+}
+
+ForwardingResult Switch::apply_entry(FlowEntry* entry, const Packet& packet,
+                                     std::uint16_t in_port,
+                                     bool defer_inspection) {
+  ++total_packets_;
   ForwardingResult result;
-  if (!best) {
+  if (!entry) {
     packet_ins_.push_back(PacketIn{packet, in_port});
     result.kind = ForwardingResult::Kind::kTableMiss;
     return result;
   }
-  ++best->packet_count;
-  best->byte_count += packet.payload.size();
-  result.entry = best;
-  switch (best->action.type) {
+  ++entry->packet_count;
+  entry->byte_count += packet.payload.size();
+  result.entry = entry;
+  switch (entry->action.type) {
     case ActionType::kForward:
       result.kind = ForwardingResult::Kind::kForwarded;
-      result.out_port = best->action.out_port;
+      result.out_port = entry->action.out_port;
       break;
     case ActionType::kDrop:
       result.kind = ForwardingResult::Kind::kDropped;
@@ -71,33 +77,94 @@ ForwardingResult Switch::process(const Packet& packet, std::uint16_t in_port) {
       result.kind = ForwardingResult::Kind::kPacketIn;
       break;
     case ActionType::kInspect:
-      return run_inspection(*best, packet, in_port);
+      if (defer_inspection) {
+        // process_burst() collects these and punts them in one call; mark
+        // the result so the caller knows it still owes a verdict.
+        result.inspected = true;
+      } else {
+        return run_inspection(*entry, packet, in_port);
+      }
+      break;
   }
   return result;
 }
 
+ForwardingResult Switch::process(const Packet& packet, std::uint16_t in_port) {
+  return apply_entry(match_flow(packet, in_port), packet, in_port,
+                     /*defer_inspection=*/false);
+}
+
+std::vector<ForwardingResult> Switch::process_burst(
+    std::span<const Packet> packets, std::uint16_t in_port) {
+  std::vector<ForwardingResult> results;
+  results.reserve(packets.size());
+  // First pass: match + apply every non-punt action. Punted packets are
+  // gathered for one burst-inspector call when it is bound; otherwise they
+  // take the per-packet punt path (which itself fails closed).
+  std::vector<const Packet*> punted;
+  std::vector<std::size_t> punted_index;
+  std::vector<FlowEntry*> punted_entry;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const Packet& packet = packets[i];
+    FlowEntry* entry = match_flow(packet, in_port);
+    const bool punt = entry != nullptr &&
+                      entry->action.type == ActionType::kInspect &&
+                      has_burst_inspector();
+    results.push_back(apply_entry(entry, packet, in_port, punt));
+    if (punt) {
+      punted.push_back(&packet);
+      punted_index.push_back(i);
+      punted_entry.push_back(entry);
+    }
+  }
+  if (punted.empty()) return results;
+  // Second pass: one pipelined inspection for the whole punted set. Fail
+  // closed as a unit — a throwing or short-counting inspector must not let
+  // any punted frame through uninspected.
+  std::vector<InspectionOutcome> outcomes;
+  std::string error;
+  try {
+    outcomes = burst_inspector_(punted, in_port);
+    if (outcomes.size() != punted.size()) {
+      error = "inspector-error: burst verdict count mismatch";
+    }
+  } catch (const std::exception& e) {
+    error = std::string("inspector-error: ") + e.what();
+  }
+  for (std::size_t j = 0; j < punted.size(); ++j) {
+    results[punted_index[j]] =
+        error.empty()
+            ? finish_inspection(*punted_entry[j], *punted[j], in_port,
+                                std::move(outcomes[j]))
+            : inspection_failure(*punted_entry[j], error);
+  }
+  return results;
+}
+
 ForwardingResult Switch::run_inspection(FlowEntry& entry, const Packet& packet,
                                         std::uint16_t in_port) {
-  ForwardingResult result;
-  result.entry = &entry;
-  result.inspected = true;
   // Fail closed: a punt flow with no reachable inspector must not let
   // traffic bypass inspection.
   if (!inspector_) {
-    result.kind = ForwardingResult::Kind::kDropped;
-    result.verdict = InspectVerdict::kDrop;
-    result.inspect_rule = "no-inspector";
-    return result;
+    return inspection_failure(entry, "no-inspector");
   }
   InspectionOutcome outcome;
   try {
     outcome = inspector_(packet, in_port);
   } catch (const std::exception& e) {
-    result.kind = ForwardingResult::Kind::kDropped;
-    result.verdict = InspectVerdict::kDrop;
-    result.inspect_rule = std::string("inspector-error: ") + e.what();
-    return result;
+    return inspection_failure(entry,
+                              std::string("inspector-error: ") + e.what());
   }
+  return finish_inspection(entry, packet, in_port, std::move(outcome));
+}
+
+ForwardingResult Switch::finish_inspection(FlowEntry& entry,
+                                           const Packet& packet,
+                                           std::uint16_t in_port,
+                                           InspectionOutcome outcome) {
+  ForwardingResult result;
+  result.entry = &entry;
+  result.inspected = true;
   result.verdict = outcome.verdict;
   result.inspect_rule = std::move(outcome.rule);
   switch (outcome.verdict) {
@@ -113,6 +180,17 @@ ForwardingResult Switch::run_inspection(FlowEntry& entry, const Packet& packet,
       result.out_port = entry.action.out_port;
       break;
   }
+  return result;
+}
+
+ForwardingResult Switch::inspection_failure(FlowEntry& entry,
+                                            std::string rule) {
+  ForwardingResult result;
+  result.entry = &entry;
+  result.inspected = true;
+  result.kind = ForwardingResult::Kind::kDropped;
+  result.verdict = InspectVerdict::kDrop;
+  result.inspect_rule = std::move(rule);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,14 @@ struct InspectionOutcome {
 using InspectorFn =
     std::function<InspectionOutcome(const Packet&, std::uint16_t in_port)>;
 
+/// Burst punt-path hook: all packets a burst punted, inspected in one
+/// pipelined pass (the switchless ring keeps the whole burst in flight).
+/// Packets are passed by pointer because the punted subset of a burst is
+/// rarely contiguous; outcomes must be positional and complete — a short
+/// or throwing reply fails the whole punted set CLOSED.
+using BurstInspectorFn = std::function<std::vector<InspectionOutcome>(
+    std::span<const Packet* const>, std::uint16_t in_port)>;
+
 struct FlowEntry {
   std::string name;  // staticflowpusher identifier
   int priority = 0;
@@ -100,6 +109,14 @@ class Switch {
   /// specificity, then insertion order.
   ForwardingResult process(const Packet& packet, std::uint16_t in_port);
 
+  /// Process a burst. Equivalent to calling process() per packet, except
+  /// that punted packets are gathered and handed to the burst inspector in
+  /// one call (falling back to the per-packet inspector, then to the
+  /// fail-closed drop, when no burst inspector is bound). Results are
+  /// positional.
+  std::vector<ForwardingResult> process_burst(std::span<const Packet> packets,
+                                              std::uint16_t in_port);
+
   /// Bind the inspection NF serving this switch's kInspect actions. With no
   /// inspector bound (or an inspector that throws), kInspect fails CLOSED:
   /// the packet is dropped rather than forwarded uninspected.
@@ -107,6 +124,15 @@ class Switch {
     inspector_ = std::move(inspector);
   }
   bool has_inspector() const { return static_cast<bool>(inspector_); }
+
+  /// Bind the burst inspector used by process_burst (the per-packet
+  /// inspector still serves process()). Same fail-closed contract.
+  void set_burst_inspector(BurstInspectorFn inspector) {
+    burst_inspector_ = std::move(inspector);
+  }
+  bool has_burst_inspector() const {
+    return static_cast<bool>(burst_inspector_);
+  }
 
   /// Packets punted to the controller (table miss or explicit action).
   const std::deque<PacketIn>& packet_in_queue() const { return packet_ins_; }
@@ -117,13 +143,22 @@ class Switch {
   std::uint64_t total_packets() const { return total_packets_; }
 
  private:
+  FlowEntry* match_flow(const Packet& packet, std::uint16_t in_port);
+  ForwardingResult apply_entry(FlowEntry* entry, const Packet& packet,
+                               std::uint16_t in_port, bool defer_inspection);
   ForwardingResult run_inspection(FlowEntry& entry, const Packet& packet,
                                   std::uint16_t in_port);
+  ForwardingResult finish_inspection(FlowEntry& entry, const Packet& packet,
+                                     std::uint16_t in_port,
+                                     InspectionOutcome outcome);
+  static ForwardingResult inspection_failure(FlowEntry& entry,
+                                             std::string rule);
 
   std::uint64_t dpid_;
   std::vector<FlowEntry> flows_;
   std::deque<PacketIn> packet_ins_;
   InspectorFn inspector_;
+  BurstInspectorFn burst_inspector_;
   std::uint64_t total_packets_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "sgx/enclave.h"
 
+#include <cstring>
 #include <vector>
 
 #include "crypto/gcm.h"
@@ -227,7 +228,9 @@ std::vector<BatchResult> Enclave::call_batch(std::span<const BatchCall> jobs) {
 
 EcallStats Enclave::ecall_stats() const {
   // Publish/consume fence: writers use relaxed adds on hot paths, so make
-  // every count published before this snapshot visible to the caller.
+  // every count published before this snapshot visible to the caller. The
+  // counters are enclave-global, so N ring workers (RingGroup) aggregate
+  // here for free — one fence per snapshot, never one per ring.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   EcallStats stats;
   stats.crossings = ecall_count_.load(std::memory_order_relaxed);
@@ -295,6 +298,31 @@ Bytes EnclaveEntry::dispatch(std::uint32_t opcode, ByteView input) {
   }
   enclave_.note_dispatch(opcode, Enclave::DispatchPath::kSwitchless);
   return enclave_.logic_->handle_call(opcode, input, *enclave_.services_);
+}
+
+std::size_t EnclaveEntry::dispatch_into(std::uint32_t opcode, ByteView input,
+                                        std::span<std::uint8_t> out) {
+  if (enclave_.destroyed_) {
+    throw SecurityViolation("switchless dispatch into destroyed enclave '" +
+                            enclave_.name() + "'");
+  }
+  enclave_.note_dispatch(opcode, Enclave::DispatchPath::kSwitchless);
+  if (std::optional<std::size_t> n = enclave_.logic_->handle_call_into(
+          opcode, input, out, *enclave_.services_)) {
+    if (*n > out.size()) {
+      throw Error("hostcall: trusted result exceeds ring slot capacity");
+    }
+    return *n;
+  }
+  const Bytes result =
+      enclave_.logic_->handle_call(opcode, input, *enclave_.services_);
+  if (result.size() > out.size()) {
+    throw Error("hostcall: trusted result exceeds ring slot capacity");
+  }
+  if (!result.empty()) {
+    std::memcpy(out.data(), result.data(), result.size());
+  }
+  return result.size();
 }
 
 }  // namespace vnfsgx::sgx

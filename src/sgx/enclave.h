@@ -93,6 +93,21 @@ class TrustedLogic {
   virtual ~TrustedLogic() = default;
   virtual Bytes handle_call(std::uint32_t opcode, ByteView input,
                             EnclaveServices& services) = 0;
+
+  /// Allocation-free fast path used by the switchless ring: write the
+  /// result directly into `out` (enclave-local memory backing the worker's
+  /// scratch buffer) and return its length. Return nullopt to fall back to
+  /// handle_call() for this opcode. Implementations must never write past
+  /// out.size(); dispatch re-validates the returned length anyway.
+  virtual std::optional<std::size_t> handle_call_into(
+      std::uint32_t opcode, ByteView input, std::span<std::uint8_t> out,
+      EnclaveServices& services) {
+    (void)opcode;
+    (void)input;
+    (void)out;
+    (void)services;
+    return std::nullopt;
+  }
 };
 
 using LogicFactory = std::function<std::unique_ptr<TrustedLogic>()>;
@@ -234,6 +249,14 @@ class EnclaveEntry {
 
   /// Dispatch one job to the trusted logic without a boundary crossing.
   Bytes dispatch(std::uint32_t opcode, ByteView input);
+
+  /// Allocation-free variant: the result is written straight into `out`
+  /// (the ring worker's enclave-local scratch) and its length returned.
+  /// Prefers TrustedLogic::handle_call_into; falls back to handle_call plus
+  /// one copy when the logic has no fixed-buffer path for the opcode.
+  /// Throws Error if the result does not fit in `out`.
+  std::size_t dispatch_into(std::uint32_t opcode, ByteView input,
+                            std::span<std::uint8_t> out);
 
  private:
   Enclave& enclave_;

@@ -13,6 +13,7 @@ namespace {
 //   kFree -(submitter CAS)-> kClaimed -(submitter store)-> kQueued
 //   kQueued -(worker CAS)-> kExecuting -(worker store)-> kDone
 //   kDone -(waiter store)-> kFree
+// abandon() short-circuits kClaimed -> kFree without a worker pass.
 constexpr std::uint32_t kFree = 0;
 constexpr std::uint32_t kClaimed = 1;
 constexpr std::uint32_t kQueued = 2;
@@ -27,6 +28,8 @@ std::size_t round_up_pow2(std::size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+std::atomic<std::uint64_t> g_next_group_id{1};
 
 }  // namespace
 
@@ -50,6 +53,14 @@ struct alignas(64) HostCallRing::Slot {
   std::array<std::uint8_t, kMaxHostCallPayload> result{};
 };
 
+// Enclave-local fixed buffers the worker copies jobs into and results out
+// of. One instance lives on the worker's stack for its whole residency:
+// the switchless hot path allocates nothing per job on the trusted side.
+struct HostCallRing::WorkerScratch {
+  std::array<std::uint8_t, kMaxHostCallPayload> input{};
+  std::array<std::uint8_t, kMaxHostCallPayload> output{};
+};
+
 HostCallRing::HostCallRing(std::shared_ptr<Enclave> enclave,
                            HostCallOptions options)
     : enclave_(std::move(enclave)), options_(std::move(options)) {
@@ -61,6 +72,9 @@ HostCallRing::HostCallRing(std::shared_ptr<Enclave> enclave,
       "vnfsgx_hostcall_ring_occupancy", {{"ring", options_.name}},
       "Hostcall ring slots currently claimed, queued, executing, or "
       "holding an uncollected result");
+  submits_counter_ = &obs::registry().counter(
+      "vnfsgx_hostcall_submits_total", {{"ring", options_.name}},
+      "Jobs published into this hostcall ring (copying and zero-copy)");
   worker_ = std::thread(&HostCallRing::worker_main, this);
 }
 
@@ -108,6 +122,109 @@ HostCallRing::Slot& HostCallRing::claim_slot() {
   return *claimed;
 }
 
+void HostCallRing::enter_submitter() {
+  submitters_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void HostCallRing::leave_submitter() {
+  if (submitters_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    std::lock_guard<std::mutex> lk(stop_mutex_);
+    stop_cv_.notify_all();
+  }
+}
+
+void HostCallRing::release_slot(Slot& slot) {
+  slot.state.store(kFree, std::memory_order_release);
+  occupancy_.fetch_sub(1, std::memory_order_relaxed);
+  set_occupancy_gauge();
+  if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(space_mutex_);
+    space_cv_.notify_all();
+  }
+}
+
+void HostCallRing::publish_slot(Slot& slot, std::size_t payload_len) {
+  slot.payload_len = static_cast<std::uint32_t>(payload_len);
+  slot.state.store(kQueued, std::memory_order_release);
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  submits_.fetch_add(1, std::memory_order_relaxed);
+  submits_counter_->add();
+  // Classic-ECALL wakeup edge: only pay the lock when the worker is parked.
+  if (parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+}
+
+HostCallRing::SubmitHandle HostCallRing::begin_submit(std::uint32_t opcode) {
+  // The submitter count stays elevated until publish()/abandon(): stop()
+  // phase 2 must wait out claimed-but-unpublished handles too, or phase 3
+  // could join the worker while a publish is still in flight.
+  enter_submitter();
+  try {
+    if (!accepting_.load(std::memory_order_seq_cst)) {
+      throw Error("hostcall: ring '" + options_.name + "' stopped");
+    }
+    Slot& slot = claim_slot();
+    slot.opcode = opcode;
+    return SubmitHandle{
+        static_cast<Ticket>(&slot - slots_.get()),
+        std::span<std::uint8_t>(slot.payload.data(), kMaxHostCallPayload)};
+  } catch (...) {
+    leave_submitter();
+    throw;
+  }
+}
+
+std::optional<HostCallRing::SubmitHandle> HostCallRing::try_begin_submit(
+    std::uint32_t opcode) {
+  enter_submitter();
+  try {
+    if (!accepting_.load(std::memory_order_seq_cst)) {
+      throw Error("hostcall: ring '" + options_.name + "' stopped");
+    }
+    Slot* slot = try_claim();
+    if (slot == nullptr) {
+      leave_submitter();
+      return std::nullopt;
+    }
+    slot->opcode = opcode;
+    return SubmitHandle{
+        static_cast<Ticket>(slot - slots_.get()),
+        std::span<std::uint8_t>(slot->payload.data(), kMaxHostCallPayload)};
+  } catch (...) {
+    leave_submitter();
+    throw;
+  }
+}
+
+void HostCallRing::publish(const SubmitHandle& handle,
+                           std::size_t payload_len) {
+  if (handle.ticket >= capacity_) {
+    throw Error("hostcall: invalid submit handle");
+  }
+  Slot& slot = slots_[handle.ticket];
+  if (payload_len > kMaxHostCallPayload) {
+    // The handle is consumed either way: free the slot so a bad length
+    // cannot leak ring occupancy, then report the gate rejection.
+    release_slot(slot);
+    leave_submitter();
+    throw Error("hostcall: payload of " + std::to_string(payload_len) +
+                " bytes exceeds ring limit of " +
+                std::to_string(kMaxHostCallPayload));
+  }
+  publish_slot(slot, payload_len);
+  leave_submitter();
+}
+
+void HostCallRing::abandon(const SubmitHandle& handle) {
+  if (handle.ticket >= capacity_) {
+    throw Error("hostcall: invalid submit handle");
+  }
+  release_slot(slots_[handle.ticket]);
+  leave_submitter();
+}
+
 HostCallRing::Ticket HostCallRing::submit(std::uint32_t opcode,
                                           ByteView payload) {
   if (payload.size() > kMaxHostCallPayload) {
@@ -115,40 +232,17 @@ HostCallRing::Ticket HostCallRing::submit(std::uint32_t opcode,
                 " bytes exceeds ring limit of " +
                 std::to_string(kMaxHostCallPayload));
   }
-  submitters_.fetch_add(1, std::memory_order_seq_cst);
-  struct SubmitGuard {
-    HostCallRing* ring;
-    ~SubmitGuard() {
-      if (ring->submitters_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-        std::lock_guard<std::mutex> lk(ring->stop_mutex_);
-        ring->stop_cv_.notify_all();
-      }
-    }
-  } guard{this};
-  if (!accepting_.load(std::memory_order_seq_cst)) {
-    throw Error("hostcall: ring '" + options_.name + "' stopped");
-  }
-  Slot& slot = claim_slot();
-  slot.opcode = opcode;
-  slot.payload_len = static_cast<std::uint32_t>(payload.size());
+  const SubmitHandle handle = begin_submit(opcode);
   if (!payload.empty()) {
-    std::memcpy(slot.payload.data(), payload.data(), payload.size());
+    std::memcpy(handle.payload.data(), payload.data(), payload.size());
   }
-  slot.state.store(kQueued, std::memory_order_release);
-  queued_.fetch_add(1, std::memory_order_seq_cst);
-  // Classic-ECALL wakeup edge: only pay the lock when the worker is parked.
-  if (parked_.load(std::memory_order_seq_cst)) {
-    std::lock_guard<std::mutex> lk(wake_mutex_);
-    wake_cv_.notify_one();
-  }
-  return static_cast<Ticket>(&slot - slots_.get());
+  publish(handle, payload.size());
+  return handle.ticket;
 }
 
-Bytes HostCallRing::wait(Ticket ticket) {
-  if (ticket >= capacity_) throw Error("hostcall: invalid ticket");
-  Slot& slot = slots_[ticket];
+void HostCallRing::await_done(Slot& slot) {
   for (int i = 0; i < kWaitSpinPolls; ++i) {
-    if (slot.state.load(std::memory_order_acquire) == kDone) break;
+    if (slot.state.load(std::memory_order_acquire) == kDone) return;
     std::this_thread::yield();
   }
   if (slot.state.load(std::memory_order_acquire) != kDone) {
@@ -162,6 +256,12 @@ Bytes HostCallRing::wait(Ticket ticket) {
     });
     done_waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
+}
+
+Bytes HostCallRing::wait(Ticket ticket) {
+  if (ticket >= capacity_) throw Error("hostcall: invalid ticket");
+  Slot& slot = slots_[ticket];
+  await_done(slot);
   const std::uint32_t result_len = slot.result_len;
   const bool failed = slot.failed != 0;
   // The ring lives in shared memory: validate the copied length against the
@@ -172,13 +272,7 @@ Bytes HostCallRing::wait(Ticket ticket) {
   if (length_ok) {
     out.assign(slot.result.begin(), slot.result.begin() + result_len);
   }
-  slot.state.store(kFree, std::memory_order_release);
-  occupancy_.fetch_sub(1, std::memory_order_relaxed);
-  set_occupancy_gauge();
-  if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lk(space_mutex_);
-    space_cv_.notify_all();
-  }
+  release_slot(slot);
   if (!length_ok) {
     throw Error("hostcall: result_len exceeds ring slot capacity");
   }
@@ -186,11 +280,41 @@ Bytes HostCallRing::wait(Ticket ticket) {
   return out;
 }
 
+std::size_t HostCallRing::wait_into(Ticket ticket,
+                                    std::span<std::uint8_t> out) {
+  if (ticket >= capacity_) throw Error("hostcall: invalid ticket");
+  Slot& slot = slots_[ticket];
+  await_done(slot);
+  const std::uint32_t result_len = slot.result_len;
+  const bool failed = slot.failed != 0;
+  const bool length_ok = result_len <= kMaxHostCallPayload;
+  const bool fits = length_ok && result_len <= out.size();
+  // Copy everything needed out of the slot before releasing it: a released
+  // slot can be reclaimed and rewritten by another submitter immediately.
+  std::string error;
+  if (length_ok && failed) {
+    error.assign(slot.result.begin(), slot.result.begin() + result_len);
+  } else if (fits && result_len != 0) {
+    std::memcpy(out.data(), slot.result.data(), result_len);
+  }
+  release_slot(slot);
+  if (!length_ok) {
+    throw Error("hostcall: result_len exceeds ring slot capacity");
+  }
+  if (failed) throw Error(error);
+  if (!fits) {
+    throw Error("hostcall: result of " + std::to_string(result_len) +
+                " bytes exceeds caller buffer of " +
+                std::to_string(out.size()));
+  }
+  return result_len;
+}
+
 Bytes HostCallRing::call(std::uint32_t opcode, ByteView payload) {
   return wait(submit(opcode, payload));
 }
 
-bool HostCallRing::process_one(EnclaveEntry& entry) {
+bool HostCallRing::process_one(EnclaveEntry& entry, WorkerScratch& scratch) {
   for (std::size_t i = 0; i < capacity_; ++i) {
     Slot& slot = slots_[(scan_ + i) & mask_];
     if (slot.state.load(std::memory_order_acquire) != kQueued) continue;
@@ -207,31 +331,41 @@ bool HostCallRing::process_one(EnclaveEntry& entry) {
     // time into an enclave-local value, then validated and used only via
     // that copy. Trusted code never re-reads untrusted memory after a
     // check, so a concurrently scribbling host cannot flip a validated
-    // length or opcode (the classic TOCTOU double-fetch).
+    // length or opcode (the classic TOCTOU double-fetch). The payload is
+    // memcpy'd once into the worker's fixed scratch buffer and the result
+    // produced in place — no trusted-side allocation per job.
     const std::uint32_t opcode_copy = slot.opcode;
     const std::uint32_t payload_len_copy = slot.payload_len;
     bool ok = false;
-    Bytes output;
+    std::size_t reply_len = 0;
     std::string error;
     if (payload_len_copy > kMaxHostCallPayload) {
       error = "hostcall: untrusted payload_len out of range";
     } else {
-      const Bytes input(slot.payload.begin(),
-                        slot.payload.begin() + payload_len_copy);
+      if (payload_len_copy != 0) {
+        std::memcpy(scratch.input.data(), slot.payload.data(),
+                    payload_len_copy);
+      }
       try {
-        output = entry.dispatch(opcode_copy, input);
-        ok = true;
+        reply_len = entry.dispatch_into(
+            opcode_copy, ByteView(scratch.input.data(), payload_len_copy),
+            std::span<std::uint8_t>(scratch.output));
+        ok = reply_len <= kMaxHostCallPayload;
+        if (!ok) error = "hostcall: trusted result exceeds ring slot capacity";
       } catch (const std::exception& e) {
         error = e.what();
       }
     }
-    if (ok && output.size() > kMaxHostCallPayload) {
-      ok = false;
-      error = "hostcall: trusted result exceeds ring slot capacity";
+    if (ok) {
+      if (reply_len != 0) {
+        std::memcpy(slot.result.data(), scratch.output.data(), reply_len);
+      }
+    } else {
+      reply_len = std::min(error.size(), kMaxHostCallPayload);
+      if (reply_len != 0) {
+        std::memcpy(slot.result.data(), error.data(), reply_len);
+      }
     }
-    if (!ok) output.assign(error.begin(), error.end());
-    const std::size_t reply_len = std::min(output.size(), kMaxHostCallPayload);
-    if (reply_len != 0) std::memcpy(slot.result.data(), output.data(), reply_len);
     slot.result_len = static_cast<std::uint32_t>(reply_len);
     slot.failed = ok ? 0 : 1;
     // bc-ok(B3): seq_cst required — StoreLoad ordering against the
@@ -249,6 +383,7 @@ bool HostCallRing::process_one(EnclaveEntry& entry) {
 }
 
 void HostCallRing::worker_main() {
+  WorkerScratch scratch;
   while (true) {
     {
       // One crossing to enter; every job dispatched inside this scope is
@@ -256,7 +391,7 @@ void HostCallRing::worker_main() {
       EnclaveEntry entry(*enclave_);
       int empty_polls = 0;
       while (true) {
-        if (process_one(entry)) {
+        if (process_one(entry, scratch)) {
           empty_polls = 0;
           continue;
         }
@@ -291,7 +426,8 @@ void HostCallRing::stop() {
       space_cv_.notify_all();
     }
     // Phase 2: let in-flight submitters land their jobs (the worker is
-    // still running, so anything they queued will execute).
+    // still running, so anything they queued will execute). Unpublished
+    // zero-copy handles count as submitters until publish()/abandon().
     {
       std::unique_lock<std::mutex> lk(stop_mutex_);
       stop_cv_.wait(lk, [this] {
@@ -310,10 +446,151 @@ void HostCallRing::stop() {
 
 HostCallStats HostCallRing::stats() const {
   HostCallStats s;
+  s.submits = submits_.load(std::memory_order_relaxed);
   s.jobs = jobs_.load(std::memory_order_relaxed);
   s.parks = parks_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
   s.backpressure_waits = backpressure_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// RingGroup
+// ---------------------------------------------------------------------------
+
+RingGroup::RingGroup(std::shared_ptr<Enclave> enclave,
+                     RingGroupOptions options)
+    : group_id_(g_next_group_id.fetch_add(1, std::memory_order_relaxed)) {
+  if (!enclave) throw Error("hostcall: null enclave");
+  const std::size_t n = std::max<std::size_t>(options.rings, 1);
+  rings_.reserve(n);
+  steal_counters_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    HostCallOptions ring_options;
+    ring_options.ring_capacity = options.ring_capacity;
+    ring_options.spin_polls = options.spin_polls;
+    ring_options.name = options.name + "/" + std::to_string(i);
+    rings_.push_back(
+        std::make_unique<HostCallRing>(enclave, std::move(ring_options)));
+    steal_counters_.push_back(&obs::registry().counter(
+        "vnfsgx_hostcall_steals_total", {{"ring", rings_.back()->name()}},
+        "Slot claims diverted to this ring because the submitter's home "
+        "ring was full"));
+  }
+}
+
+RingGroup::~RingGroup() { stop(); }
+
+std::size_t RingGroup::home_index() const {
+  // Home-ring assignment is sticky per (thread, group): the first claim a
+  // thread makes picks the next ring round-robin, and every later claim
+  // from that thread prefers it. Keyed by a unique group id, not `this`,
+  // so a recycled allocation cannot inherit a dead group's affinity map.
+  thread_local std::vector<std::pair<std::uint64_t, std::uint32_t>> homes;
+  for (const auto& [id, ring] : homes) {
+    if (id == group_id_) return ring;
+  }
+  const std::uint32_t assigned =
+      next_home_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<std::uint32_t>(rings_.size());
+  homes.emplace_back(group_id_, assigned);
+  return assigned;
+}
+
+RingGroup::SubmitHandle RingGroup::begin_submit(std::uint32_t opcode) {
+  const std::size_t home = home_index();
+  if (auto handle = rings_[home]->try_begin_submit(opcode)) {
+    affinity_submits_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitHandle{static_cast<std::uint32_t>(home), *handle};
+  }
+  // Home ring full: steal a slot from a sibling before blocking.
+  for (std::size_t offset = 1; offset < rings_.size(); ++offset) {
+    const std::size_t r = (home + offset) % rings_.size();
+    if (auto handle = rings_[r]->try_begin_submit(opcode)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      steal_counters_[r]->add();
+      return SubmitHandle{static_cast<std::uint32_t>(r), *handle};
+    }
+  }
+  // Every ring full: backpressure on home (never drop).
+  affinity_submits_.fetch_add(1, std::memory_order_relaxed);
+  return SubmitHandle{static_cast<std::uint32_t>(home),
+                      rings_[home]->begin_submit(opcode)};
+}
+
+RingGroup::SubmitHandle RingGroup::begin_submit_on(std::size_t ring_index,
+                                                   std::uint32_t opcode) {
+  if (ring_index >= rings_.size()) {
+    throw Error("hostcall: ring index out of range");
+  }
+  return SubmitHandle{static_cast<std::uint32_t>(ring_index),
+                      rings_[ring_index]->begin_submit(opcode)};
+}
+
+void RingGroup::publish(const SubmitHandle& handle, std::size_t payload_len) {
+  if (handle.ring >= rings_.size()) {
+    throw Error("hostcall: invalid submit handle");
+  }
+  rings_[handle.ring]->publish(handle.inner, payload_len);
+}
+
+void RingGroup::abandon(const SubmitHandle& handle) {
+  if (handle.ring >= rings_.size()) {
+    throw Error("hostcall: invalid submit handle");
+  }
+  rings_[handle.ring]->abandon(handle.inner);
+}
+
+RingGroup::Ticket RingGroup::submit(std::uint32_t opcode, ByteView payload) {
+  if (payload.size() > kMaxHostCallPayload) {
+    throw Error("hostcall: payload of " + std::to_string(payload.size()) +
+                " bytes exceeds ring limit of " +
+                std::to_string(kMaxHostCallPayload));
+  }
+  const SubmitHandle handle = begin_submit(opcode);
+  if (!payload.empty()) {
+    std::memcpy(handle.inner.payload.data(), payload.data(), payload.size());
+  }
+  publish(handle, payload.size());
+  return Ticket{handle.ring, handle.inner.ticket};
+}
+
+Bytes RingGroup::wait(Ticket ticket) {
+  if (ticket.ring >= rings_.size()) throw Error("hostcall: invalid ticket");
+  return rings_[ticket.ring]->wait(ticket.slot);
+}
+
+std::size_t RingGroup::wait_into(Ticket ticket, std::span<std::uint8_t> out) {
+  if (ticket.ring >= rings_.size()) throw Error("hostcall: invalid ticket");
+  return rings_[ticket.ring]->wait_into(ticket.slot, out);
+}
+
+Bytes RingGroup::call(std::uint32_t opcode, ByteView payload) {
+  return wait(submit(opcode, payload));
+}
+
+void RingGroup::stop() {
+  for (auto& ring : rings_) ring->stop();
+}
+
+RingGroupStats RingGroup::stats() const {
+  // One fence for the whole snapshot (HostCallRing::stats is relaxed-only):
+  // the per-ring loop must not re-fence, or an N-ring group would pay N
+  // barriers per scrape.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  RingGroupStats s;
+  s.per_ring.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    const HostCallStats r = ring->stats();
+    s.total.submits += r.submits;
+    s.total.jobs += r.jobs;
+    s.total.parks += r.parks;
+    s.total.wakeups += r.wakeups;
+    s.total.backpressure_waits += r.backpressure_waits;
+    s.per_ring.push_back(r);
+  }
+  s.affinity_submits = affinity_submits_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -8,6 +8,21 @@
 // re-read after validation), executes it, and posts the result back into
 // the slot. No per-job boundary crossing happens on this path.
 //
+// Two submission shapes:
+//   * submit(opcode, bytes): classic copying submit (payload memcpy'd from
+//     a caller buffer into the slot).
+//   * begin_submit()/publish(): zero-copy submit — the caller serializes
+//     its message directly into the claimed slot's payload region, so the
+//     only untrusted-side copy is the serialization itself. Paired with
+//     wait_into(), which lands the result in a caller buffer, a frame
+//     round-trip performs zero heap allocations.
+//
+// A RingGroup scales the substrate past one resident worker: N rings, one
+// in-enclave worker each, with producer affinity (a submitting thread
+// sticks to its home ring for cache locality and contention-free claims)
+// and round-robin fallback ("steal" a slot on a sibling ring rather than
+// block when home is full).
+//
 // Idle policy is spin-then-park: after `spin_polls` empty polls the worker
 // exits the enclave and parks on a condition variable, so an idle enclave
 // burns no CPU; the next submission performs a classic ECALL-style wakeup
@@ -23,14 +38,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "sgx/enclave.h"
 
 namespace vnfsgx::obs {
+class Counter;
 class Gauge;
-}
+}  // namespace vnfsgx::obs
 
 namespace vnfsgx::sgx {
 
@@ -50,6 +68,7 @@ struct HostCallOptions {
 
 /// Counters exposed for tests and benchmarks (monotonic, relaxed).
 struct HostCallStats {
+  std::uint64_t submits = 0;             // jobs published into the ring
   std::uint64_t jobs = 0;                // jobs completed through the ring
   std::uint64_t parks = 0;               // spin budget exhausted, worker slept
   std::uint64_t wakeups = 0;             // park -> run transitions
@@ -70,14 +89,46 @@ class HostCallRing {
   /// Handle to a submitted job; pass to wait() exactly once.
   using Ticket = std::uint32_t;
 
-  /// Enqueue a job. Blocks only when the ring is full (backpressure) —
-  /// never drops. Throws Error if the payload exceeds kMaxHostCallPayload
-  /// or the ring has been stopped.
+  /// A claimed-but-unpublished slot for zero-copy submission. The caller
+  /// serializes its message directly into `payload` (the slot's inline
+  /// region, kMaxHostCallPayload bytes) and then either publish()es or
+  /// abandon()s the handle — exactly one of the two, exactly once. Between
+  /// begin_submit() and that call the slot is caller-owned and stop()
+  /// waits for it, so never hold a handle across blocking work.
+  struct SubmitHandle {
+    Ticket ticket = 0;
+    std::span<std::uint8_t> payload;
+  };
+
+  /// Claim a slot for zero-copy submission. Blocks only when the ring is
+  /// full (backpressure) — never drops. Throws Error once stopped.
+  SubmitHandle begin_submit(std::uint32_t opcode);
+
+  /// Non-blocking variant: nullopt when the ring is currently full.
+  /// Still throws Error once stopped.
+  std::optional<SubmitHandle> try_begin_submit(std::uint32_t opcode);
+
+  /// Hand a filled handle to the worker. `payload_len` is how many bytes of
+  /// handle.payload the caller wrote; the handle is consumed. Throws Error
+  /// (and frees the slot) if payload_len exceeds kMaxHostCallPayload.
+  void publish(const SubmitHandle& handle, std::size_t payload_len);
+
+  /// Release an unpublished handle without running a job (error paths).
+  void abandon(const SubmitHandle& handle);
+
+  /// Enqueue a job, copying `payload` into the slot. Blocks only when the
+  /// ring is full (backpressure) — never drops. Throws Error if the payload
+  /// exceeds kMaxHostCallPayload or the ring has been stopped.
   Ticket submit(std::uint32_t opcode, ByteView payload);
 
   /// Collect a submitted job's result, freeing its slot. Rethrows the
   /// trusted handler's failure as Error.
   Bytes wait(Ticket ticket);
+
+  /// Zero-copy collect: the result bytes land in `out` and the result
+  /// length is returned. Throws Error (still freeing the slot) when the
+  /// result does not fit in `out`; rethrows trusted failures like wait().
+  std::size_t wait_into(Ticket ticket, std::span<std::uint8_t> out);
 
   /// submit + wait: the drop-in replacement for Enclave::call.
   Bytes call(std::uint32_t opcode, ByteView payload);
@@ -95,14 +146,21 @@ class HostCallRing {
     return occupancy_.load(std::memory_order_relaxed);
   }
   std::size_t capacity() const { return capacity_; }
+  const std::string& name() const { return options_.name; }
   HostCallStats stats() const;
 
  private:
   struct Slot;
+  struct WorkerScratch;
 
   Slot* try_claim();
   Slot& claim_slot();
-  bool process_one(EnclaveEntry& entry);
+  void enter_submitter();
+  void leave_submitter();
+  void release_slot(Slot& slot);
+  void publish_slot(Slot& slot, std::size_t payload_len);
+  void await_done(Slot& slot);
+  bool process_one(EnclaveEntry& entry, WorkerScratch& scratch);
   void worker_main();
   void set_occupancy_gauge();
 
@@ -116,7 +174,7 @@ class HostCallRing {
   std::atomic<bool> running_{true};
   std::atomic<std::size_t> occupancy_{0};
   std::atomic<std::uint64_t> queued_{0};      // enqueued, not yet claimed
-  std::atomic<std::uint64_t> submitters_{0};  // calls inside submit/wait
+  std::atomic<std::uint64_t> submitters_{0};  // threads holding slots/handles
   std::atomic<std::uint32_t> claim_hint_{0};
   std::size_t scan_ = 0;  // worker-only cursor
 
@@ -138,15 +196,105 @@ class HostCallRing {
   std::condition_variable stop_cv_;
   std::once_flag stop_once_;
 
+  std::atomic<std::uint64_t> submits_{0};
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> parks_{0};
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> backpressure_waits_{0};
 
-  // Cached metric instrument (registered once per ring name).
+  // Cached metric instruments (registered once per ring name).
   obs::Gauge* occupancy_gauge_ = nullptr;
+  obs::Counter* submits_counter_ = nullptr;
 
   std::thread worker_;
+};
+
+struct RingGroupOptions {
+  /// Rings (= resident enclave workers). One per producer core is the
+  /// intended shape; 1 degenerates to a plain HostCallRing.
+  std::size_t rings = 1;
+  /// Per-ring slot count; rounded up to a power of two, minimum 2.
+  std::size_t ring_capacity = 128;
+  /// Empty polls before a worker exits the enclave and parks.
+  int spin_polls = 4096;
+  /// Metrics label prefix; ring i is labeled "<name>/<i>".
+  std::string name = "hostcall";
+};
+
+/// Aggregated group counters plus the per-ring breakdown. Snapshot pays one
+/// seq_cst fence total, then relaxed reads — never one fence per ring.
+struct RingGroupStats {
+  HostCallStats total;
+  std::vector<HostCallStats> per_ring;
+  std::uint64_t affinity_submits = 0;  // claims landed on the home ring
+  std::uint64_t steals = 0;            // claims diverted to a sibling ring
+};
+
+/// N hostcall rings over one enclave, each with its own resident worker.
+/// Submitting threads are assigned a home ring on first contact
+/// (round-robin); a full home ring falls back to stealing a slot on a
+/// sibling before blocking. All rings dispatch into the same TrustedLogic,
+/// which therefore must tolerate concurrent calls when rings > 1.
+class RingGroup {
+ public:
+  explicit RingGroup(std::shared_ptr<Enclave> enclave,
+                     RingGroupOptions options = {});
+  ~RingGroup();
+
+  RingGroup(const RingGroup&) = delete;
+  RingGroup& operator=(const RingGroup&) = delete;
+
+  /// Group tickets/handles carry the ring index that owns the slot.
+  struct Ticket {
+    std::uint32_t ring = 0;
+    HostCallRing::Ticket slot = 0;
+  };
+  struct SubmitHandle {
+    std::uint32_t ring = 0;
+    HostCallRing::SubmitHandle inner;
+  };
+
+  std::size_t rings() const { return rings_.size(); }
+  HostCallRing& ring(std::size_t index) { return *rings_[index]; }
+
+  /// The calling thread's affine ring (assigned round-robin on first use).
+  std::size_t home_ring() const { return home_index(); }
+
+  /// Zero-copy claim with affinity: home ring first, then steal round-robin
+  /// from siblings, then block on the home ring.
+  SubmitHandle begin_submit(std::uint32_t opcode);
+
+  /// Zero-copy claim pinned to one ring (burst striping). Blocks on that
+  /// ring when full.
+  SubmitHandle begin_submit_on(std::size_t ring_index, std::uint32_t opcode);
+
+  void publish(const SubmitHandle& handle, std::size_t payload_len);
+  void abandon(const SubmitHandle& handle);
+
+  /// Copying submit with the same affinity policy as begin_submit().
+  Ticket submit(std::uint32_t opcode, ByteView payload);
+
+  Bytes wait(Ticket ticket);
+  std::size_t wait_into(Ticket ticket, std::span<std::uint8_t> out);
+  Bytes call(std::uint32_t opcode, ByteView payload);
+
+  /// Stop every ring (same three-phase drain as HostCallRing::stop, run
+  /// per ring). Idempotent; also run by the destructor.
+  void stop();
+  bool stopped() const { return rings_.front()->stopped(); }
+
+  RingGroupStats stats() const;
+
+ private:
+  std::size_t home_index() const;
+
+  std::uint64_t group_id_ = 0;
+  std::vector<std::unique_ptr<HostCallRing>> rings_;
+  mutable std::atomic<std::uint32_t> next_home_{0};
+  std::atomic<std::uint64_t> affinity_submits_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  // Cached per-ring steal counters (label: the ring that donated the slot).
+  std::vector<obs::Counter*> steal_counters_;
 };
 
 }  // namespace vnfsgx::sgx

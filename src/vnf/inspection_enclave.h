@@ -7,6 +7,15 @@
 // out. Rule provisioning rides the sealed-credential path: kOpSealRules /
 // kOpRestoreRules wrap the table with the platform seal keys, so rules are
 // confidentiality-protected exactly like VNF credentials.
+//
+// Two switchless wire formats coexist:
+//   * kOpInspectPacket (TLV) — the PR-6 format, kept for the sync/batched
+//     paths and as the A/B baseline in the boundary benchmarks.
+//   * kOpInspectFrame (FrameDescriptor) — the zero-copy hot path: a fixed
+//     POD header + inline frame bytes serialized once, directly into the
+//     ring slot, with the verdict returned in place (inspection_wire.h).
+// The trusted logic is thread-safe: a RingGroup runs one resident worker
+// per ring, all dispatching into the same rule table and flow shards.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include "dataplane/switch.h"
 #include "sgx/hostcall.h"
 #include "vnf/inspection_rules.h"
+#include "vnf/inspection_wire.h"
 
 namespace vnfsgx::vnf {
 
@@ -35,7 +45,16 @@ enum InspectionOp : std::uint32_t {
   kOpFlowStats = 5,
   /// () -> (). Clears the flow table and verdict cache; rules stay.
   kOpResetFlows = 6,
+  /// FrameDescriptor + inline payload -> FrameVerdict + rule name. The
+  /// zero-copy switchless path; same semantics as kOpInspectPacket.
+  kOpInspectFrame = 7,
 };
+
+/// Largest frame payload the zero-copy path can inline in one ring slot.
+/// Comfortably above a 1500-byte MTU frame; larger payloads are rejected
+/// at the untrusted gate (the dataplane then fails closed).
+inline constexpr std::size_t kMaxInlineFramePayload =
+    sgx::kMaxHostCallPayload - wire::kFrameHeaderSize;
 
 /// In-enclave flow-table statistics (kOpFlowStats).
 struct InspectionStats {
@@ -56,15 +75,32 @@ class InspectionClient {
  public:
   enum class Mode { kSync, kBatched, kSwitchless };
 
-  /// For kSwitchless a dedicated hostcall ring (and its in-enclave worker
-  /// thread) is spun up; the other modes call straight into the enclave.
+  /// Wire format used on the switchless hot path. kTlv is the PR-6 format
+  /// (per-frame TLV encode into a heap buffer, then copied into the slot);
+  /// kZeroCopy serializes the FrameDescriptor straight into the slot.
+  enum class Codec { kTlv, kZeroCopy };
+
+  struct Options {
+    Mode mode = Mode::kSync;
+    /// Hostcall rings — one resident enclave worker each (switchless only).
+    std::size_t rings = 1;
+    /// Per-ring slot count.
+    std::size_t ring_capacity = 128;
+    Codec codec = Codec::kZeroCopy;
+  };
+
+  /// For kSwitchless a RingGroup (and its in-enclave worker threads) is
+  /// spun up; the other modes call straight into the enclave.
   explicit InspectionClient(std::shared_ptr<sgx::Enclave> enclave,
                             Mode mode = Mode::kSync);
+  InspectionClient(std::shared_ptr<sgx::Enclave> enclave, Options options);
   ~InspectionClient();
   InspectionClient(const InspectionClient&) = delete;
   InspectionClient& operator=(const InspectionClient&) = delete;
 
-  Mode mode() const { return mode_; }
+  Mode mode() const { return options_.mode; }
+  Codec codec() const { return options_.codec; }
+  std::size_t rings() const { return group_ ? group_->rings() : 0; }
 
   void load_rules(const RuleSet& rules);
   Bytes seal_rules();
@@ -75,9 +111,16 @@ class InspectionClient {
                                        std::uint16_t in_port);
 
   /// Inspect a burst. kSync pays one crossing per frame, kBatched one per
-  /// burst, kSwitchless keeps the whole burst in flight on the ring.
+  /// burst, kSwitchless stripes the burst round-robin across the rings
+  /// with a bounded in-flight window per ring. Outcomes are positional.
   std::vector<dataplane::InspectionOutcome> inspect_burst(
       std::span<const dataplane::Packet> packets, std::uint16_t in_port);
+
+  /// Pointer-burst variant (the Switch punt path hands the non-contiguous
+  /// punted subset this way; frames are never copied to regroup them).
+  std::vector<dataplane::InspectionOutcome> inspect_burst(
+      std::span<const dataplane::Packet* const> packets,
+      std::uint16_t in_port);
 
   InspectionStats flow_stats();
   void reset_flows();
@@ -86,12 +129,21 @@ class InspectionClient {
   /// plain reference: the client must outlive any switch it is bound to.
   dataplane::InspectorFn as_inspector();
 
+  /// Bind to Switch::set_burst_inspector: the whole punted burst rides the
+  /// ring group in one pipelined window. Same lifetime rule as above.
+  dataplane::BurstInspectorFn as_burst_inspector();
+
  private:
   Bytes dispatch(std::uint32_t opcode, ByteView input);
+  dataplane::InspectionOutcome inspect_frame_zero_copy(
+      const dataplane::Packet& packet, std::uint16_t in_port);
+  std::vector<dataplane::InspectionOutcome> inspect_burst_switchless(
+      std::span<const dataplane::Packet* const> packets,
+      std::uint16_t in_port);
 
   std::shared_ptr<sgx::Enclave> enclave_;
-  Mode mode_;
-  std::unique_ptr<sgx::HostCallRing> ring_;
+  Options options_;
+  std::unique_ptr<sgx::RingGroup> group_;
 };
 
 /// Wire helpers, exposed for tests.

@@ -1,0 +1,23 @@
+// boundarycheck-expect: B1
+//
+// Frame-descriptor double fetch: a descriptor read in place from the
+// host-writable ring slot is shared memory, so its inline length must be
+// copied in exactly once. Here the bounds check reads frame_len and the
+// copy re-reads it — a scribbling host can shrink the first read and
+// inflate the second, defeating the validation.
+#include <cstdint>
+#include <cstring>
+
+// boundary: shared
+struct FrameSlot {
+  std::uint32_t frame_len = 0;
+  unsigned char frame[1536];
+};
+
+bool copy_frame(const FrameSlot& slot, unsigned char* out) {
+  const std::uint32_t checked = slot.frame_len;
+  if (checked > sizeof(slot.frame)) return false;
+  const std::uint32_t refetched = slot.frame_len;
+  std::memcpy(out, slot.frame, refetched);
+  return true;
+}

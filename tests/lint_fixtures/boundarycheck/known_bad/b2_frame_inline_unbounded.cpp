@@ -1,0 +1,22 @@
+// boundarycheck-expect: B2
+//
+// Unbounded inline-payload read: the FrameDescriptor's frame_len came off
+// the wire (copied once at the crossing, so no B1 duty), but it is still
+// an untrusted length source. Slicing the inline payload with it before
+// any comparison against what was actually received reads past the
+// message.
+#include <cstdint>
+#include <cstring>
+
+// boundary: wire
+struct FrameDescriptor {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint32_t frame_len = 0;
+};
+
+void unpack_payload(const FrameDescriptor& header, const unsigned char* body,
+                    unsigned char* out) {
+  const std::uint32_t len = header.frame_len;
+  std::memcpy(out, body, len);
+}

@@ -3,9 +3,11 @@
 // the failure modes at the trusted/untrusted boundary.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
 
@@ -437,6 +439,321 @@ TEST_F(HostCallFixture, InvalidTicketRejected) {
   auto enclave = load();
   HostCallRing ring(enclave);
   EXPECT_THROW(ring.wait(static_cast<HostCallRing::Ticket>(1u << 20)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy submission (begin_submit / publish / wait_into)
+// ---------------------------------------------------------------------------
+
+TEST_F(HostCallFixture, ZeroCopyRoundTrip) {
+  auto enclave = load();
+  HostCallRing ring(enclave);
+  const std::string msg = "serialized straight into the slot";
+
+  const auto handle = ring.begin_submit(kEcho);
+  ASSERT_EQ(handle.payload.size(), kMaxHostCallPayload);
+  std::memcpy(handle.payload.data(), msg.data(), msg.size());
+  ring.publish(handle, msg.size());
+
+  std::array<std::uint8_t, kMaxHostCallPayload> out{};
+  const std::size_t n = ring.wait_into(handle.ticket, out);
+  EXPECT_EQ(std::string(out.begin(), out.begin() + n), msg);
+  EXPECT_EQ(ring.occupancy(), 0u);
+  EXPECT_EQ(ring.stats().jobs, 1u);
+  EXPECT_EQ(ring.stats().submits, 1u);
+}
+
+TEST_F(HostCallFixture, AbandonedHandleFreesTheSlot) {
+  auto enclave = load();
+  HostCallOptions options;
+  options.ring_capacity = 2;
+  HostCallRing ring(enclave, options);
+
+  const auto handle = ring.begin_submit(kEcho);
+  EXPECT_EQ(ring.occupancy(), 1u);
+  ring.abandon(handle);
+  EXPECT_EQ(ring.occupancy(), 0u);
+  EXPECT_EQ(ring.stats().submits, 0u);  // never published, never a job
+  EXPECT_EQ(ring.stats().jobs, 0u);
+
+  // The slot really is reusable: fill the whole (tiny) ring afterwards.
+  EXPECT_EQ(to_string(ring.call(kEcho, to_bytes("a"))), "a");
+  EXPECT_EQ(to_string(ring.call(kEcho, to_bytes("b"))), "b");
+}
+
+TEST_F(HostCallFixture, OversizedPublishRejectedAndSlotFreed) {
+  auto enclave = load();
+  HostCallRing ring(enclave);
+  const auto handle = ring.begin_submit(kEcho);
+  EXPECT_THROW(ring.publish(handle, kMaxHostCallPayload + 1), Error);
+  // The rejected handle was released, not leaked.
+  EXPECT_EQ(ring.occupancy(), 0u);
+  EXPECT_EQ(ring.stats().submits, 0u);
+  EXPECT_EQ(to_string(ring.call(kEcho, to_bytes("still fine"))), "still fine");
+}
+
+TEST_F(HostCallFixture, WaitIntoSmallBufferFailsButFreesTheSlot) {
+  auto enclave = load();
+  HostCallRing ring(enclave);
+  const Bytes big(256, 0x55);
+  const auto ticket = ring.submit(kEcho, big);
+  std::array<std::uint8_t, 16> tiny{};
+  try {
+    ring.wait_into(ticket, tiny);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("caller buffer"), std::string::npos);
+  }
+  EXPECT_EQ(ring.occupancy(), 0u);  // failed collection still frees the slot
+  EXPECT_EQ(to_string(ring.call(kEcho, to_bytes("next"))), "next");
+}
+
+TEST_F(HostCallFixture, WaitIntoPropagatesTrustedErrors) {
+  auto enclave = load();
+  HostCallRing ring(enclave);
+  const auto ticket = ring.submit(kFail, {});
+  std::array<std::uint8_t, kMaxHostCallPayload> out{};
+  try {
+    ring.wait_into(ticket, out);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("refused"), std::string::npos);
+  }
+  EXPECT_EQ(ring.occupancy(), 0u);
+}
+
+TEST_F(HostCallFixture, StopWaitsForUnpublishedHandles) {
+  auto enclave = load();
+  HostCallRing ring(enclave);
+  const auto handle = ring.begin_submit(kEcho);
+  std::memcpy(handle.payload.data(), "held", 4);
+
+  std::atomic<bool> stop_done{false};
+  std::thread stopper([&] {
+    ring.stop();
+    stop_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Phase 2 of stop() must wait out the claimed-but-unpublished handle —
+  // tearing the ring down under a caller mid-serialization would hand the
+  // worker a half-written slot.
+  EXPECT_FALSE(stop_done.load());
+
+  ring.publish(handle, 4);
+  stopper.join();
+  EXPECT_TRUE(stop_done.load());
+  EXPECT_EQ(to_string(ring.wait(handle.ticket)), "held");
+  EXPECT_EQ(ring.occupancy(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RingGroup: affinity, stealing, aggregation, teardown
+// ---------------------------------------------------------------------------
+
+TEST_F(HostCallFixture, GroupAffinityKeepsAThreadOnItsHomeRing) {
+  auto enclave = load();
+  RingGroupOptions options;
+  options.rings = 2;
+  options.name = "affine";
+  RingGroup group(enclave, options);
+  ASSERT_EQ(group.rings(), 2u);
+  const std::size_t home = group.home_ring();
+  ASSERT_LT(home, 2u);
+
+  for (int i = 0; i < 8; ++i) {
+    const auto ticket = group.submit(kEcho, to_bytes("a" + std::to_string(i)));
+    EXPECT_EQ(ticket.ring, home);  // never wanders while home has space
+    EXPECT_EQ(to_string(group.wait(ticket)), "a" + std::to_string(i));
+  }
+
+  const RingGroupStats stats = group.stats();
+  EXPECT_EQ(stats.affinity_submits, 8u);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.per_ring[home].jobs, 8u);
+  EXPECT_EQ(stats.per_ring[1 - home].jobs, 0u);
+  EXPECT_EQ(stats.total.jobs, 8u);
+}
+
+TEST_F(HostCallFixture, GroupFullHomeRingStealsFromSibling) {
+  auto enclave = load();
+  RingGroupOptions options;
+  options.rings = 2;
+  options.ring_capacity = 2;
+  options.name = "steal";
+  RingGroup group(enclave, options);
+  const std::size_t home = group.home_ring();
+  const std::uint32_t sibling = static_cast<std::uint32_t>(1 - home);
+
+  // Fill the home ring: one job parked on the gate, one queued behind it.
+  // Slots stay occupied until collected, so home is deterministically full.
+  auto stuck = group.begin_submit_on(home, kGateWait);
+  group.publish(stuck, 0);
+  const auto queued = group.submit(kEcho, to_bytes("queued"));
+  ASSERT_EQ(queued.ring, home);
+
+  // A full home must divert to the sibling ring instead of blocking.
+  const auto stolen = group.submit(kEcho, to_bytes("stolen"));
+  EXPECT_EQ(stolen.ring, sibling);
+  EXPECT_EQ(to_string(group.wait(stolen)), "stolen");  // sibling worker ran it
+
+  const RingGroupStats mid = group.stats();
+  EXPECT_EQ(mid.steals, 1u);
+  EXPECT_EQ(mid.affinity_submits, 1u);  // only "queued" landed home unassisted
+
+  gate_->release();
+  std::array<std::uint8_t, kMaxHostCallPayload> out{};
+  const std::size_t n =
+      group.wait_into(RingGroup::Ticket{stuck.ring, stuck.inner.ticket}, out);
+  EXPECT_EQ(std::string(out.begin(), out.begin() + n), "released");
+  EXPECT_EQ(to_string(group.wait(queued)), "queued");
+  EXPECT_EQ(group.ring(home).occupancy(), 0u);
+  EXPECT_EQ(group.ring(sibling).occupancy(), 0u);
+}
+
+TEST_F(HostCallFixture, GroupStatsMatchSerialOracle) {
+  auto enclave = load();
+  RingGroupOptions options;
+  options.rings = 3;
+  options.name = "oracle";
+  RingGroup group(enclave, options);
+  const EcallStats before = enclave->ecall_stats();
+
+  // Pin a known number of jobs to each ring; the aggregate must equal this
+  // serial plan exactly — no lost or double-counted increments.
+  const std::array<std::size_t, 3> plan = {5, 9, 2};
+  for (std::size_t r = 0; r < plan.size(); ++r) {
+    for (std::size_t i = 0; i < plan[r]; ++i) {
+      auto handle = group.begin_submit_on(r, kEcho);
+      const std::string msg =
+          "r" + std::to_string(r) + "." + std::to_string(i);
+      std::memcpy(handle.inner.payload.data(), msg.data(), msg.size());
+      group.publish(handle, msg.size());
+      std::array<std::uint8_t, kMaxHostCallPayload> out{};
+      const std::size_t n = group.wait_into(
+          RingGroup::Ticket{handle.ring, handle.inner.ticket}, out);
+      EXPECT_EQ(std::string(out.begin(), out.begin() + n), msg);
+    }
+  }
+
+  const std::uint64_t expected = plan[0] + plan[1] + plan[2];
+  const RingGroupStats stats = group.stats();
+  ASSERT_EQ(stats.per_ring.size(), 3u);
+  std::uint64_t sum_jobs = 0;
+  std::uint64_t sum_submits = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(stats.per_ring[r].jobs, plan[r]);
+    EXPECT_EQ(stats.per_ring[r].submits, plan[r]);
+    sum_jobs += stats.per_ring[r].jobs;
+    sum_submits += stats.per_ring[r].submits;
+  }
+  EXPECT_EQ(stats.total.jobs, expected);
+  EXPECT_EQ(stats.total.jobs, sum_jobs);
+  EXPECT_EQ(stats.total.submits, sum_submits);
+  // Pinned submits bypass the affinity policy entirely.
+  EXPECT_EQ(stats.affinity_submits, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+
+  // The enclave-global view agrees: N ring workers, one set of counters.
+  const EcallStats after = enclave->ecall_stats();
+  EXPECT_EQ(after.switchless_jobs - before.switchless_jobs, expected);
+  std::uint64_t echo_before = 0;
+  std::uint64_t echo_after = 0;
+  for (const auto& [op, count] : before.per_opcode) {
+    if (op == kEcho) echo_before = count;
+  }
+  for (const auto& [op, count] : after.per_opcode) {
+    if (op == kEcho) echo_after = count;
+  }
+  EXPECT_EQ(echo_after - echo_before, expected);
+}
+
+TEST_F(HostCallFixture, GroupStopDrainsInFlightWindowsAcrossRings) {
+  auto enclave = load();
+  RingGroupOptions options;
+  options.rings = 3;
+  options.ring_capacity = 8;
+  options.name = "gdrain";
+  RingGroup group(enclave, options);
+
+  // An open pipelined window striped over every ring, then stop() mid-burst:
+  // every published job must still complete and stay collectable.
+  std::vector<RingGroup::Ticket> tickets;
+  for (int i = 0; i < 18; ++i) {
+    auto handle = group.begin_submit_on(static_cast<std::size_t>(i) % 3, kEcho);
+    const std::string msg = "w" + std::to_string(i);
+    std::memcpy(handle.inner.payload.data(), msg.data(), msg.size());
+    group.publish(handle, msg.size());
+    tickets.push_back(RingGroup::Ticket{handle.ring, handle.inner.ticket});
+  }
+  group.stop();
+  EXPECT_TRUE(group.stopped());
+
+  for (int i = 0; i < 18; ++i) {
+    std::array<std::uint8_t, kMaxHostCallPayload> out{};
+    const std::size_t n = group.wait_into(tickets[static_cast<std::size_t>(i)], out);
+    EXPECT_EQ(std::string(out.begin(), out.begin() + n),
+              "w" + std::to_string(i));
+  }
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(group.ring(r).occupancy(), 0u);
+  }
+  EXPECT_THROW(group.submit(kEcho, to_bytes("late")), Error);
+  EXPECT_THROW(group.begin_submit(kEcho), Error);
+}
+
+TEST_F(HostCallFixture, GroupStressManyProducersWithAffinityChurn) {
+  auto enclave = load();
+  RingGroupOptions options;
+  options.rings = 3;
+  options.ring_capacity = 8;  // small rings: force steals and backpressure
+  options.spin_polls = 64;    // park/wake churn too
+  options.name = "stress";
+  RingGroup group(enclave, options);
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&group, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string msg = "t";
+        msg += std::to_string(t);
+        msg += '.';
+        msg += std::to_string(i);
+        std::string got;
+        if (i % 3 == 0) {
+          // Pinned zero-copy submit to a rotating ring: deliberate affinity
+          // churn so every thread hits every ring and every steal path.
+          auto handle = group.begin_submit_on(
+              static_cast<std::size_t>(t + i) % 3, kEcho);
+          std::memcpy(handle.inner.payload.data(), msg.data(), msg.size());
+          group.publish(handle, msg.size());
+          std::array<std::uint8_t, kMaxHostCallPayload> out{};
+          const std::size_t n = group.wait_into(
+              RingGroup::Ticket{handle.ring, handle.inner.ticket}, out);
+          got.assign(out.begin(), out.begin() + static_cast<long>(n));
+        } else {
+          got = to_string(group.call(kEcho, to_bytes(msg)));
+        }
+        if (got != msg) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const RingGroupStats stats = group.stats();
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(stats.total.jobs, kTotal);
+  EXPECT_EQ(stats.total.submits, kTotal);
+  std::uint64_t sum = 0;
+  for (const auto& ring_stats : stats.per_ring) sum += ring_stats.jobs;
+  EXPECT_EQ(sum, kTotal);
+  for (std::size_t r = 0; r < group.rings(); ++r) {
+    EXPECT_EQ(group.ring(r).occupancy(), 0u);
+  }
 }
 
 }  // namespace

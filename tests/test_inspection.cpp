@@ -384,5 +384,222 @@ TEST_F(InspectionFixture, SwitchlessInspectorOnThePuntPath) {
   EXPECT_EQ(bad.inspect_rule, "exploit-shell");
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy switchless path (FrameDescriptor codec + RingGroup)
+// ---------------------------------------------------------------------------
+
+TEST_F(InspectionFixture, SwitchlessCodecsAgree) {
+  auto enclave = load();
+  std::vector<dp::Packet> burst;
+  for (int i = 0; i < 24; ++i) {
+    // Verdicts depend only on the payload, never on inspection order, so
+    // multi-ring striping cannot change the expected outcome.
+    burst.push_back(make_packet(i % 3 == 1 ? "payload /bin/sh inside"
+                                           : "clean payload " +
+                                                 std::to_string(i),
+                                80, 0x0a000300 + i));
+  }
+
+  InspectionClient sync_client(enclave, InspectionClient::Mode::kSync);
+  sync_client.load_rules(demo_rules());
+  const auto sync_out = sync_client.inspect_burst(burst, 1);
+
+  InspectionClient::Options tlv_options;
+  tlv_options.mode = InspectionClient::Mode::kSwitchless;
+  tlv_options.codec = InspectionClient::Codec::kTlv;
+  InspectionClient tlv(enclave, tlv_options);
+  tlv.reset_flows();
+  const auto tlv_out = tlv.inspect_burst(burst, 1);
+
+  InspectionClient::Options zc_options;
+  zc_options.mode = InspectionClient::Mode::kSwitchless;
+  zc_options.codec = InspectionClient::Codec::kZeroCopy;
+  zc_options.rings = 2;
+  InspectionClient zc(enclave, zc_options);
+  ASSERT_EQ(zc.rings(), 2u);
+  zc.reset_flows();
+  const auto zc_out = zc.inspect_burst(burst, 1);
+
+  ASSERT_EQ(tlv_out.size(), burst.size());
+  ASSERT_EQ(zc_out.size(), burst.size());
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_EQ(sync_out[i].verdict, tlv_out[i].verdict) << i;
+    EXPECT_EQ(sync_out[i].verdict, zc_out[i].verdict) << i;
+    EXPECT_EQ(sync_out[i].rule, zc_out[i].rule) << i;
+  }
+}
+
+TEST_F(InspectionFixture, StickyDropConsistentAcrossRings) {
+  auto enclave = load();
+  InspectionClient::Options options;
+  options.mode = InspectionClient::Mode::kSwitchless;
+  options.rings = 2;
+  InspectionClient client(enclave, options);
+  client.load_rules(demo_rules());
+
+  // Poison the flow, then stripe clean same-flow frames across both rings:
+  // both resident workers must see the poisoned entry (the flow shards are
+  // shared enclave state, not per-ring state).
+  EXPECT_EQ(client.inspect(make_packet("run /bin/sh"), 1).verdict,
+            dp::InspectVerdict::kDrop);
+  std::vector<dp::Packet> burst(8, make_packet("totally harmless"));
+  const auto outcomes = client.inspect_burst(burst, 1);
+  ASSERT_EQ(outcomes.size(), burst.size());
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.verdict, dp::InspectVerdict::kDrop);
+    EXPECT_EQ(outcome.rule, "exploit-shell");
+  }
+  EXPECT_GE(client.flow_stats().cache_hits, 8u);
+}
+
+TEST_F(InspectionFixture, OversizedFrameFailsClosed) {
+  auto enclave = load();
+  InspectionClient client(enclave, InspectionClient::Mode::kSwitchless);
+  ASSERT_EQ(client.codec(), InspectionClient::Codec::kZeroCopy);
+  client.load_rules(demo_rules());
+
+  // One byte past the inline-descriptor limit: rejected at the untrusted
+  // gate before any slot is claimed.
+  const std::string big(kMaxInlineFramePayload + 1, 'x');
+  EXPECT_THROW(client.inspect(make_packet(big, 80, 0x0a00aa01), 1), Error);
+
+  // Through the switch the same rejection fails closed, never open.
+  dp::Switch sw(1);
+  sw.set_inspector(client.as_inspector());
+  dp::FlowEntry punt;
+  punt.name = "punt";
+  punt.action = dp::Action::inspect(4);
+  sw.add_flow(punt);
+  const auto result = sw.process(make_packet(big, 80, 0x0a00aa02), 1);
+  EXPECT_EQ(result.kind, dp::ForwardingResult::Kind::kDropped);
+  EXPECT_NE(result.inspect_rule.find("inspector-error"), std::string::npos);
+
+  // The limit itself is inclusive and the ring was not damaged.
+  const std::string max(kMaxInlineFramePayload, 'x');
+  EXPECT_EQ(client.inspect(make_packet(max, 80, 0x0a00aa03), 1).verdict,
+            dp::InspectVerdict::kForward);
+}
+
+// ---------------------------------------------------------------------------
+// Dataplane burst punt path
+// ---------------------------------------------------------------------------
+
+TEST_F(InspectionFixture, ProcessBurstPuntsOncePerBurst) {
+  auto enclave = load();
+  InspectionClient::Options options;
+  options.mode = InspectionClient::Mode::kSwitchless;
+  options.rings = 2;
+  options.ring_capacity = 16;
+  InspectionClient client(enclave, options);
+  client.load_rules(demo_rules());
+
+  dp::Switch sw(1);
+  sw.set_inspector(client.as_inspector());
+  sw.set_burst_inspector(client.as_burst_inspector());
+  ASSERT_TRUE(sw.has_burst_inspector());
+  dp::FlowEntry punt;
+  punt.name = "punt";
+  punt.action = dp::Action::inspect(4);
+  sw.add_flow(punt);
+
+  std::vector<dp::Packet> burst;
+  for (int i = 0; i < 12; ++i) {
+    switch (i % 3) {
+      case 0:
+        burst.push_back(make_packet("clean " + std::to_string(i), 80,
+                                    0x0a000400 + i));
+        break;
+      case 1:
+        burst.push_back(make_packet("run /bin/sh", 80, 0x0a000400 + i));
+        break;
+      default:
+        burst.push_back(
+            make_packet("login: admin admin", 23, 0x0a000400 + i));
+    }
+  }
+
+  const std::size_t alerts_before = sw.packet_in_queue().size();
+  const auto results = sw.process_burst(burst, 1);
+  ASSERT_EQ(results.size(), burst.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    switch (i % 3) {
+      case 0:
+        EXPECT_EQ(results[i].kind, dp::ForwardingResult::Kind::kForwarded)
+            << i;
+        EXPECT_EQ(results[i].out_port, 4) << i;
+        EXPECT_EQ(results[i].verdict, dp::InspectVerdict::kForward) << i;
+        break;
+      case 1:
+        EXPECT_EQ(results[i].kind, dp::ForwardingResult::Kind::kDropped) << i;
+        EXPECT_EQ(results[i].inspect_rule, "exploit-shell") << i;
+        break;
+      default:
+        EXPECT_EQ(results[i].kind, dp::ForwardingResult::Kind::kForwarded)
+            << i;
+        EXPECT_EQ(results[i].verdict, dp::InspectVerdict::kAlert) << i;
+        EXPECT_EQ(results[i].inspect_rule, "telnet-probe") << i;
+    }
+    EXPECT_TRUE(results[i].inspected) << i;
+  }
+  // Every alert verdict surfaced a packet-in, exactly as process() does.
+  EXPECT_EQ(sw.packet_in_queue().size(), alerts_before + 4);
+}
+
+TEST_F(InspectionFixture, ProcessBurstFallsBackToPerPacketInspector) {
+  InspectionClient client(load());
+  client.load_rules(demo_rules());
+
+  dp::Switch sw(1);
+  sw.set_inspector(client.as_inspector());  // no burst inspector bound
+  ASSERT_FALSE(sw.has_burst_inspector());
+  dp::FlowEntry punt;
+  punt.name = "punt";
+  punt.action = dp::Action::inspect(4);
+  sw.add_flow(punt);
+
+  std::vector<dp::Packet> burst;
+  burst.push_back(make_packet("clean", 80, 0x0a000500));
+  burst.push_back(make_packet("run /bin/sh", 80, 0x0a000501));
+  const auto results = sw.process_burst(burst, 1);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].kind, dp::ForwardingResult::Kind::kForwarded);
+  EXPECT_EQ(results[1].kind, dp::ForwardingResult::Kind::kDropped);
+  EXPECT_EQ(results[1].inspect_rule, "exploit-shell");
+}
+
+TEST_F(InspectionFixture, ProcessBurstFailsClosedAsAUnit) {
+  // No rules loaded: the burst inspector throws, and EVERY punted frame in
+  // the burst must drop — a partial result would forward frames that were
+  // never inspected.
+  auto enclave = load();
+  InspectionClient client(enclave, InspectionClient::Mode::kSwitchless);
+
+  dp::Switch sw(1);
+  sw.set_burst_inspector(client.as_burst_inspector());
+  dp::FlowEntry punt;
+  punt.name = "punt";
+  punt.action = dp::Action::inspect(4);
+  sw.add_flow(punt);
+
+  std::vector<dp::Packet> burst;
+  for (int i = 0; i < 6; ++i) {
+    burst.push_back(make_packet("frame " + std::to_string(i), 80,
+                                0x0a000600 + i));
+  }
+  const auto results = sw.process_burst(burst, 1);
+  ASSERT_EQ(results.size(), burst.size());
+  for (const auto& result : results) {
+    EXPECT_EQ(result.kind, dp::ForwardingResult::Kind::kDropped);
+    EXPECT_NE(result.inspect_rule.find("inspector-error"), std::string::npos);
+  }
+
+  // Recovery: provision rules and the same switch forwards clean traffic.
+  client.load_rules(demo_rules());
+  const auto after = sw.process_burst(burst, 1);
+  for (const auto& result : after) {
+    EXPECT_EQ(result.kind, dp::ForwardingResult::Kind::kForwarded);
+  }
+}
+
 }  // namespace
 }  // namespace vnfsgx::vnf
